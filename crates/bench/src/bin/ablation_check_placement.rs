@@ -1,0 +1,70 @@
+//! **Ablation — check placement** (DESIGN.md §5): duplication checks
+//! before the next synchronization point (paper §II-C) versus immediately
+//! after each duplicate. Coverage is equivalent (the check always runs
+//! before the value escapes); what changes is detection latency and
+//! (marginally) the cycle overhead profile.
+
+use minpsid_bench::{parse_args, prepared_baseline};
+use minpsid_faultsim::{golden_run, program_campaign};
+use minpsid_interp::{ExecConfig, Interp};
+use minpsid_sid::knapsack::greedy_select;
+use minpsid_sid::transform::CheckPlacement;
+use minpsid_sid::{duplicable, duplicate_module_with};
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let campaign = args.preset.campaign(args.seed);
+    let level = 0.5;
+
+    println!("== Ablation: check placement (protection level 50%) ==");
+    println!();
+    println!(
+        "{:<15} {:<12} | {:>8} {:>8} {:>10} | {:>12}",
+        "benchmark", "placement", "detected", "sdc", "overhead", "steps(ref run)"
+    );
+
+    for b in minpsid_workloads::suite() {
+        if let Some(only) = &args.bench {
+            if !b.name.eq_ignore_ascii_case(only) {
+                continue;
+            }
+        }
+        let prepared = prepared_baseline(&b, &campaign);
+        let eligible: Vec<bool> = prepared
+            .module
+            .iter_insts()
+            .map(|(_, i)| duplicable(i))
+            .collect();
+        let selection = greedy_select(
+            &prepared.cb.cost,
+            &prepared.cb.benefit,
+            &eligible,
+            prepared.cb.capacity(level),
+        );
+        let ref_input = b.model.materialize(&b.model.reference());
+
+        for (label, placement) in [
+            ("sync-point", CheckPlacement::BeforeSyncPoint),
+            ("immediate", CheckPlacement::Immediate),
+        ] {
+            let (protected, meta) = duplicate_module_with(&prepared.module, &selection, placement);
+            let golden = golden_run(&protected, &ref_input, &campaign).unwrap();
+            let c = program_campaign(&protected, &ref_input, &golden, &campaign);
+            let exec = ExecConfig {
+                profile: true,
+                ..ExecConfig::default()
+            };
+            let run = Interp::new(&protected, exec).run(&ref_input);
+            let overhead = meta.dynamic_cycle_overhead(&run.profile.unwrap().inst_cycles);
+            println!(
+                "{:<15} {:<12} | {:>8} {:>8} {:>9.2}% | {:>12}",
+                b.name,
+                label,
+                c.counts.detected,
+                c.counts.sdc,
+                overhead * 100.0,
+                run.steps
+            );
+        }
+    }
+}

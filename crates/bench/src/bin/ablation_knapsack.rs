@@ -1,0 +1,64 @@
+//! **Ablation — knapsack solver** (DESIGN.md §5): greedy benefit-density
+//! selection (what deployed SID systems use, and this repo's default)
+//! versus the exact scaled-DP solver. Reports expected coverage, budget
+//! utilisation, and solve time.
+
+use minpsid_bench::{parse_args, prepared_baseline};
+use minpsid_sid::duplicable;
+use minpsid_sid::knapsack::{dp_select, greedy_select, selection_weight};
+use std::time::Instant;
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let campaign = args.preset.campaign(args.seed);
+
+    println!("== Ablation: knapsack solver ==");
+    println!();
+    println!(
+        "{:<15} {:>5} {:<7} | {:>9} {:>10} {:>10}",
+        "benchmark", "level", "solver", "expected", "used/cap", "time(us)"
+    );
+
+    for b in minpsid_workloads::suite() {
+        if let Some(only) = &args.bench {
+            if !b.name.eq_ignore_ascii_case(only) {
+                continue;
+            }
+        }
+        let prepared = prepared_baseline(&b, &campaign);
+        let eligible: Vec<bool> = prepared
+            .module
+            .iter_insts()
+            .map(|(_, i)| duplicable(i))
+            .collect();
+        for level in [0.3, 0.5, 0.7] {
+            let cap = prepared.cb.capacity(level);
+            for (label, use_dp) in [("greedy", false), ("dp", true)] {
+                let t0 = Instant::now();
+                let sel = if use_dp {
+                    dp_select(
+                        &prepared.cb.cost,
+                        &prepared.cb.benefit,
+                        &eligible,
+                        cap,
+                        4096,
+                    )
+                } else {
+                    greedy_select(&prepared.cb.cost, &prepared.cb.benefit, &eligible, cap)
+                };
+                let dt = t0.elapsed();
+                let expected = prepared.cb.expected_coverage(&sel);
+                let used = selection_weight(&prepared.cb.cost, &sel);
+                println!(
+                    "{:<15} {:>4.0}% {:<7} | {:>8.2}% {:>9.1}% {:>10}",
+                    b.name,
+                    level * 100.0,
+                    label,
+                    expected * 100.0,
+                    used as f64 / cap.max(1) as f64 * 100.0,
+                    dt.as_micros()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! **Ablation — re-prioritization rule** (DESIGN.md §5): how the benefit
+//! rewrite for incubative instructions affects worst-case coverage.
+//!
+//! * `max`  — the paper's rule: highest benefit observed across inputs;
+//! * `mean` — mean observed benefit (less conservative);
+//! * `ref`  — keep reference benefits (discard incubative knowledge —
+//!   degenerates to baseline selection).
+
+use minpsid::ReprioritizeRule;
+use minpsid_bench::{eval_coverage_over_inputs, parse_args, prepared_minpsid, Candlestick};
+use minpsid_sid::select_and_protect;
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let campaign = args.preset.campaign(args.seed);
+    let n_eval = args.preset.eval_inputs();
+    let level = 0.5;
+
+    println!("== Ablation: re-prioritization rule (protection level 50%) ==");
+    println!();
+    println!(
+        "{:<15} {:<6} | {:>8} | {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "benchmark", "rule", "expected", "min", "q1", "med", "q3", "max"
+    );
+
+    let rules = [
+        ("max", ReprioritizeRule::Max),
+        ("mean", ReprioritizeRule::Mean),
+        ("ref", ReprioritizeRule::ReferenceOnly),
+    ];
+    let mut mins: Vec<(usize, f64)> = Vec::new();
+    for b in minpsid_workloads::suite() {
+        if let Some(only) = &args.bench {
+            if !b.name.eq_ignore_ascii_case(only) {
+                continue;
+            }
+        }
+        let cfg = args.preset.minpsid_config(level, args.seed);
+        let (prepared, info) = prepared_minpsid(&b, &cfg);
+        for (ri, (label, rule)) in rules.iter().enumerate() {
+            let mut cb = prepared.cb.clone();
+            cb.benefit = info.tracker.reprioritized_with(*rule);
+            let (_, expected, protected, _) =
+                select_and_protect(&prepared.module, &cb, level, false);
+            let coverage = eval_coverage_over_inputs(
+                &prepared.module,
+                &protected,
+                b.model.as_ref(),
+                n_eval,
+                &campaign,
+                args.seed,
+            );
+            let stick = Candlestick::from(&coverage).expect("non-empty");
+            println!(
+                "{:<15} {:<6} | {:>7.2}% | {}",
+                b.name,
+                label,
+                expected * 100.0,
+                stick.pct()
+            );
+            mins.push((ri, stick.min));
+        }
+    }
+
+    println!();
+    for (ri, (label, _)) in rules.iter().enumerate() {
+        let vals: Vec<f64> = mins
+            .iter()
+            .filter(|(r, _)| *r == ri)
+            .map(|(_, v)| *v)
+            .collect();
+        if !vals.is_empty() {
+            println!(
+                "rule {:<5}: mean worst-case coverage {:.2}%",
+                label,
+                vals.iter().sum::<f64>() / vals.len() as f64 * 100.0
+            );
+        }
+    }
+}

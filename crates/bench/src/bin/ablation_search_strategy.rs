@@ -1,0 +1,59 @@
+//! **Ablation — search strategy** (paper §X future work: "more efficient
+//! fuzzing algorithms and heuristics"): the GA engine versus simulated
+//! annealing versus blind random search, on the benchmarks with the
+//! richest incubative structure. Reports incubative instructions found
+//! and profiled-run budget consumed per strategy.
+
+use minpsid::SearchStrategy;
+use minpsid_bench::{parse_args, prepared_minpsid};
+use std::time::Instant;
+
+const BENCHES: [&str; 4] = ["kmeans", "needle", "pathfinder", "knn"];
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let budget = args.preset.max_search_inputs();
+
+    println!("== Ablation: input-search strategy ==");
+    println!("preset {:?}, search budget {budget} inputs", args.preset);
+    println!();
+    println!(
+        "{:<12} {:<10} | {:>12} {:>9} {:>10}",
+        "benchmark", "strategy", "#incubative", "inputs", "time(s)"
+    );
+
+    let strategies = [
+        ("genetic", SearchStrategy::Genetic),
+        ("annealing", SearchStrategy::Annealing),
+        ("random", SearchStrategy::Random),
+    ];
+    let mut totals = vec![0usize; strategies.len()];
+    for name in BENCHES {
+        if let Some(only) = &args.bench {
+            if !name.eq_ignore_ascii_case(only) {
+                continue;
+            }
+        }
+        let b = minpsid_workloads::by_name(name).unwrap();
+        for (si, (label, strategy)) in strategies.iter().enumerate() {
+            let mut cfg = args.preset.minpsid_config(0.5, args.seed);
+            cfg.stagnation_patience = budget;
+            cfg.strategy = *strategy;
+            let t0 = Instant::now();
+            let (_, info) = prepared_minpsid(&b, &cfg);
+            totals[si] += info.incubative.len();
+            println!(
+                "{:<12} {:<10} | {:>12} {:>9} {:>10.1}",
+                name,
+                label,
+                info.incubative.len(),
+                info.inputs_searched,
+                t0.elapsed().as_secs_f64()
+            );
+        }
+    }
+    println!();
+    for (si, (label, _)) in strategies.iter().enumerate() {
+        println!("total incubative found by {label}: {}", totals[si]);
+    }
+}

@@ -1,0 +1,99 @@
+//! **Figure 2 + Table II**: the loss of SDC coverage in existing SID.
+//!
+//! For every benchmark: profile with the reference input, protect at
+//! 30/50/70 % levels, then measure SDC coverage over random inputs.
+//! Prints the Fig. 2 candlesticks (expected coverage = the red bar) and
+//! the Table II percentage of coverage-loss inputs.
+//!
+//! ```text
+//! cargo run --release -p minpsid-bench --bin fig2_baseline_loss -- --preset small
+//! ```
+
+use minpsid_bench::{
+    eval_coverage_over_inputs, parse_args, prepared_baseline, protect_at_level, Candlestick,
+    CoverageRow,
+};
+
+const LEVELS: [f64; 3] = [0.3, 0.5, 0.7];
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let campaign = args.preset.campaign(args.seed);
+    let n_eval = args.preset.eval_inputs();
+
+    println!("== Figure 2: SDC coverage of baseline SID across inputs ==");
+    println!(
+        "preset {:?}, {} eval inputs, {} injections/campaign",
+        args.preset, n_eval, campaign.injections
+    );
+    println!();
+    println!(
+        "{:<15} {:>5} | {:>8} | {:>6} {:>6} {:>6} {:>6} {:>6} | {:>9}",
+        "benchmark", "level", "expected", "min", "q1", "med", "q3", "max", "loss-inputs"
+    );
+
+    let mut table2: Vec<(String, [f64; 3])> = Vec::new();
+    for b in minpsid_workloads::suite() {
+        if let Some(only) = &args.bench {
+            if !b.name.eq_ignore_ascii_case(only) {
+                continue;
+            }
+        }
+        let prepared = prepared_baseline(&b, &campaign);
+        let mut loss_row = [0.0f64; 3];
+        for (li, &level) in LEVELS.iter().enumerate() {
+            let (protected, expected, _, _) = protect_at_level(&prepared, level);
+            let coverage = eval_coverage_over_inputs(
+                &prepared.module,
+                &protected,
+                b.model.as_ref(),
+                n_eval,
+                &campaign,
+                args.seed ^ (li as u64) << 8,
+            );
+            let row = CoverageRow {
+                coverage: coverage.clone(),
+                expected,
+            };
+            let stick = Candlestick::from(&coverage).expect("non-empty eval set");
+            loss_row[li] = row.loss_fraction_with(args.preset.loss_epsilon());
+            println!(
+                "{:<15} {:>4.0}% | {:>7.2}% | {} | {:>8.2}%",
+                b.name,
+                level * 100.0,
+                expected * 100.0,
+                stick.pct(),
+                row.loss_fraction_with(args.preset.loss_epsilon()) * 100.0
+            );
+        }
+        table2.push((b.name.to_string(), loss_row));
+    }
+
+    println!();
+    println!("== Table II: percentage of random coverage-loss inputs (baseline SID) ==");
+    println!(
+        "{:<15} {:>10} {:>10} {:>10}",
+        "benchmark", "30% level", "50% level", "70% level"
+    );
+    let mut avg = [0.0f64; 3];
+    for (name, row) in &table2 {
+        println!(
+            "{:<15} {:>9.2}% {:>9.2}% {:>9.2}%",
+            name,
+            row[0] * 100.0,
+            row[1] * 100.0,
+            row[2] * 100.0
+        );
+        for i in 0..3 {
+            avg[i] += row[i];
+        }
+    }
+    let n = table2.len().max(1) as f64;
+    println!(
+        "{:<15} {:>9.2}% {:>9.2}% {:>9.2}%",
+        "Average",
+        avg[0] / n * 100.0,
+        avg[1] / n * 100.0,
+        avg[2] / n * 100.0
+    );
+}

@@ -1,0 +1,122 @@
+//! **Figure 7**: incubative instructions identified per searched input —
+//! MINPSID's GA input search engine versus the blind random searcher.
+//!
+//! Three searchers are compared:
+//! * `GA` — the paper's engine with the Eq. 3 (unnormalized) fitness;
+//! * `GA-shape` — the same engine with a size-normalized fitness (an
+//!   adaptation for this reproduction's size-randomized generators, see
+//!   EXPERIMENTS.md);
+//! * `random` — the blind baseline of the paper's Fig. 7.
+//!
+//! Prints normalized cumulative counts per searched input (mean across
+//! benchmarks) plus per-benchmark finals and the GA advantage.
+
+use minpsid::{FitnessKind, SearchStrategy};
+use minpsid_bench::{parse_args, prepared_minpsid};
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let budget = args.preset.max_search_inputs();
+
+    println!("== Figure 7: incubative instructions found vs inputs searched ==");
+    println!("preset {:?}, search budget {budget} inputs", args.preset);
+    println!();
+
+    let mut series: [Vec<Vec<f64>>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut gains = [Vec::new(), Vec::new()];
+    println!(
+        "{:<15} {:>9} {:>10} {:>9} | {:>9} {:>10}",
+        "benchmark", "GA", "GA-shape", "random", "GA gain", "shape gain"
+    );
+    for b in minpsid_workloads::suite() {
+        if let Some(only) = &args.bench {
+            if !b.name.eq_ignore_ascii_case(only) {
+                continue;
+            }
+        }
+        let run = |strategy: SearchStrategy, fitness: FitnessKind| {
+            let mut cfg = args.preset.minpsid_config(0.5, args.seed);
+            cfg.stagnation_patience = budget; // exhaust the budget
+            cfg.strategy = strategy;
+            cfg.ga.fitness = fitness;
+            let (_, info) = prepared_minpsid(&b, &cfg);
+            info.incubative_history
+        };
+        let ga = run(SearchStrategy::Genetic, FitnessKind::Euclidean);
+        let ga_shape = run(SearchStrategy::Genetic, FitnessKind::NormalizedEuclidean);
+        let rnd = run(SearchStrategy::Random, FitnessKind::Euclidean);
+
+        let last = |h: &[usize]| *h.last().unwrap_or(&0);
+        let (ga_n, sh_n, rnd_n) = (last(&ga), last(&ga_shape), last(&rnd));
+        let gain = |a: usize, b: usize| -> f64 {
+            if b > 0 {
+                a as f64 / b as f64 - 1.0
+            } else if a > 0 {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        gains[0].push(gain(ga_n, rnd_n));
+        gains[1].push(gain(sh_n, rnd_n));
+        println!(
+            "{:<15} {:>9} {:>10} {:>9} | {:>8.1}% {:>9.1}%",
+            b.name,
+            ga_n,
+            sh_n,
+            rnd_n,
+            gain(ga_n, rnd_n) * 100.0,
+            gain(sh_n, rnd_n) * 100.0
+        );
+
+        let norm = ga_n.max(sh_n).max(rnd_n).max(1) as f64;
+        series[0].push(pad_normalize(&ga, budget, norm));
+        series[1].push(pad_normalize(&ga_shape, budget, norm));
+        series[2].push(pad_normalize(&rnd, budget, norm));
+    }
+
+    println!();
+    println!("normalized cumulative incubative instructions (mean over benchmarks):");
+    println!(
+        "{:>7} {:>10} {:>10} {:>10}",
+        "inputs", "GA", "GA-shape", "random"
+    );
+    for i in 0..budget {
+        println!(
+            "{:>7} {:>10.3} {:>10.3} {:>10.3}",
+            i + 1,
+            mean_at(&series[0], i),
+            mean_at(&series[1], i),
+            mean_at(&series[2], i)
+        );
+    }
+    for (name, g) in [("GA", &gains[0]), ("GA-shape", &gains[1])] {
+        if !g.is_empty() {
+            println!(
+                "mean {name} advantage over random at convergence: {:+.1}% (paper GA: +45.6%)",
+                g.iter().sum::<f64>() / g.len() as f64 * 100.0
+            );
+        }
+    }
+}
+
+/// Pad a cumulative history to `len` (carrying the last value) and
+/// normalize by `norm`.
+fn pad_normalize(history: &[usize], len: usize, norm: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(len);
+    let mut last = 0usize;
+    for i in 0..len {
+        if i < history.len() {
+            last = history[i];
+        }
+        out.push(last as f64 / norm);
+    }
+    out
+}
+
+fn mean_at(series: &[Vec<f64>], i: usize) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    series.iter().map(|s| s[i]).sum::<f64>() / series.len() as f64
+}

@@ -1,0 +1,130 @@
+//! Five-number summaries for the coverage "candlesticks" of Figs. 2/6/9.
+
+/// Min / Q1 / median / Q3 / max of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candlestick {
+    pub min: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub max: f64,
+    pub n: usize,
+}
+
+impl Candlestick {
+    /// Summarize a sample; `None` when empty.
+    pub fn from(values: &[f64]) -> Option<Candlestick> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q = |p: f64| -> f64 {
+            let idx = p * (v.len() as f64 - 1.0);
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            if lo == hi {
+                v[lo]
+            } else {
+                v[lo] + (v[hi] - v[lo]) * (idx - lo as f64)
+            }
+        };
+        Some(Candlestick {
+            min: v[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: *v.last().unwrap(),
+            n: v.len(),
+        })
+    }
+
+    /// Render as `min/q1/med/q3/max` percentages.
+    pub fn pct(&self) -> String {
+        format!(
+            "{:6.2} {:6.2} {:6.2} {:6.2} {:6.2}",
+            self.min * 100.0,
+            self.q1 * 100.0,
+            self.median * 100.0,
+            self.q3 * 100.0,
+            self.max * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_numbers_of_a_simple_sample() {
+        let c = Candlestick::from(&[0.0, 0.25, 0.5, 0.75, 1.0]).unwrap();
+        assert_eq!(c.min, 0.0);
+        assert_eq!(c.q1, 0.25);
+        assert_eq!(c.median, 0.5);
+        assert_eq!(c.q3, 0.75);
+        assert_eq!(c.max, 1.0);
+        assert_eq!(c.n, 5);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let c = Candlestick::from(&[0.9, 0.1, 0.5]).unwrap();
+        assert_eq!(c.min, 0.1);
+        assert_eq!(c.max, 0.9);
+        assert_eq!(c.median, 0.5);
+    }
+
+    #[test]
+    fn single_value_collapses() {
+        let c = Candlestick::from(&[0.7]).unwrap();
+        assert_eq!(c.min, 0.7);
+        assert_eq!(c.max, 0.7);
+        assert_eq!(c.median, 0.7);
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(Candlestick::from(&[]).is_none());
+    }
+
+    #[test]
+    fn interpolated_quartiles() {
+        let c = Candlestick::from(&[0.0, 1.0]).unwrap();
+        assert_eq!(c.q1, 0.25);
+        assert_eq!(c.median, 0.5);
+        assert_eq!(c.q3, 0.75);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The five-number summary is ordered and bounded by the sample.
+        #[test]
+        fn five_numbers_are_monotone(values in prop::collection::vec(0.0f64..1.0, 1..60)) {
+            let c = Candlestick::from(&values).unwrap();
+            prop_assert!(c.min <= c.q1);
+            prop_assert!(c.q1 <= c.median);
+            prop_assert!(c.median <= c.q3);
+            prop_assert!(c.q3 <= c.max);
+            let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(c.min, lo);
+            prop_assert_eq!(c.max, hi);
+            prop_assert_eq!(c.n, values.len());
+        }
+
+        /// Permutation invariance: the summary only depends on the multiset.
+        #[test]
+        fn summary_is_order_invariant(mut values in prop::collection::vec(0.0f64..1.0, 2..40)) {
+            let a = Candlestick::from(&values).unwrap();
+            values.reverse();
+            let b = Candlestick::from(&values).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # minpsid-bench — experiment harness
+//!
+//! Shared infrastructure for the binaries that regenerate every table and
+//! figure of the paper (see DESIGN.md §4 for the index). Each binary
+//! accepts:
+//!
+//! ```text
+//! --preset tiny|small|paper   experiment scale (default: tiny)
+//! --seed <u64>                master seed (default: 42)
+//! --bench <name>              restrict to one benchmark
+//! ```
+//!
+//! `paper` uses the paper's §III-A counts (50 evaluation inputs, 1000
+//! whole-program injections, 100 per-instruction injections); `tiny` and
+//! `small` scale those down for a single-core box. Coverage *shapes* (who
+//! wins, where the loss appears) are stable across presets; only error
+//! bars widen.
+
+pub mod candlestick;
+pub mod experiment;
+pub mod preset;
+
+pub use candlestick::Candlestick;
+pub use experiment::{
+    eval_coverage_over_fixed, eval_coverage_over_inputs, prepared_baseline, prepared_minpsid,
+    protect_at_level, CoverageRow, Prepared,
+};
+pub use preset::{parse_args, ExperimentArgs, Preset};

@@ -1,0 +1,191 @@
+//! Experiment presets and command-line parsing (hand-rolled: the
+//! dependency budget has no CLI crate, and two flags do not justify one).
+
+use minpsid::{GaConfig, IncubativeConfig, MinpsidConfig, SearchStrategy};
+use minpsid_faultsim::CampaignConfig;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Seconds-to-minutes: CI and smoke runs.
+    Tiny,
+    /// Minutes: the default for EXPERIMENTS.md numbers.
+    Small,
+    /// The paper's §III-A counts. Hours on one core.
+    Paper,
+}
+
+impl Preset {
+    pub fn parse(s: &str) -> Option<Preset> {
+        match s {
+            "tiny" => Some(Preset::Tiny),
+            "small" => Some(Preset::Small),
+            "paper" => Some(Preset::Paper),
+            _ => None,
+        }
+    }
+
+    /// Number of random inputs used to *evaluate* a protected program
+    /// (the paper uses 50 for Fig. 2 and 30 for Fig. 6; we use one count).
+    pub fn eval_inputs(self) -> usize {
+        match self {
+            Preset::Tiny => 6,
+            Preset::Small => 15,
+            Preset::Paper => 50,
+        }
+    }
+
+    /// Whole-program campaign size (paper: 1000).
+    pub fn injections(self) -> usize {
+        match self {
+            Preset::Tiny => 150,
+            Preset::Small => 400,
+            Preset::Paper => 1000,
+        }
+    }
+
+    /// Per-instruction campaign size (paper: 100).
+    pub fn per_inst_injections(self) -> usize {
+        match self {
+            Preset::Tiny => 12,
+            Preset::Small => 30,
+            Preset::Paper => 100,
+        }
+    }
+
+    /// Input-search budget (paper converges around 21 inputs).
+    pub fn max_search_inputs(self) -> usize {
+        match self {
+            Preset::Tiny => 6,
+            Preset::Small => 12,
+            Preset::Paper => 25,
+        }
+    }
+
+    /// Noise slack for the "coverage-loss input" criterion, scaled to the
+    /// campaign's binomial error bars.
+    pub fn loss_epsilon(self) -> f64 {
+        match self {
+            Preset::Tiny => 0.06,
+            Preset::Small => 0.04,
+            Preset::Paper => 0.02,
+        }
+    }
+
+    pub fn campaign(self, seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            injections: self.injections(),
+            per_inst_injections: self.per_inst_injections(),
+            seed,
+            ..CampaignConfig::default()
+        }
+    }
+
+    pub fn minpsid_config(self, level: f64, seed: u64) -> MinpsidConfig {
+        MinpsidConfig {
+            protection_level: level,
+            campaign: self.campaign(seed),
+            ga: GaConfig {
+                population: if self == Preset::Tiny { 6 } else { 10 },
+                max_generations: if self == Preset::Tiny { 4 } else { 8 },
+                seed: seed ^ 0x6A,
+                ..GaConfig::default()
+            },
+            incubative: IncubativeConfig::default(),
+            max_inputs: self.max_search_inputs(),
+            stagnation_patience: if self == Preset::Tiny { 2 } else { 3 },
+            strategy: SearchStrategy::Genetic,
+            use_dp: false,
+        }
+    }
+}
+
+/// Parsed common experiment arguments.
+#[derive(Debug, Clone)]
+pub struct ExperimentArgs {
+    pub preset: Preset,
+    pub seed: u64,
+    /// Restrict to one benchmark by name.
+    pub bench: Option<String>,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        ExperimentArgs {
+            preset: Preset::Tiny,
+            seed: 42,
+            bench: None,
+        }
+    }
+}
+
+/// Parse `--preset`, `--seed`, `--bench` from an iterator of arguments.
+/// Unknown flags abort with a usage message.
+pub fn parse_args(args: impl Iterator<Item = String>) -> ExperimentArgs {
+    let mut out = ExperimentArgs::default();
+    let mut it = args.peekable();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--preset" => {
+                let v = value("--preset");
+                out.preset = Preset::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown preset `{v}` (tiny|small|paper)"));
+            }
+            "--seed" => {
+                let v = value("--seed");
+                out.seed = v.parse().unwrap_or_else(|_| panic!("bad seed `{v}`"));
+            }
+            "--bench" => out.bench = Some(value("--bench")),
+            other => panic!("unknown flag `{other}` (expected --preset/--seed/--bench)"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> ExperimentArgs {
+        parse_args(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.preset, Preset::Tiny);
+        assert_eq!(a.seed, 42);
+        assert!(a.bench.is_none());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&["--preset", "paper", "--seed", "7", "--bench", "fft"]);
+        assert_eq!(a.preset, Preset::Paper);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.bench.as_deref(), Some("fft"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown preset")]
+    fn rejects_bad_preset() {
+        parse(&["--preset", "huge"]);
+    }
+
+    #[test]
+    fn paper_preset_matches_paper_counts() {
+        assert_eq!(Preset::Paper.injections(), 1000);
+        assert_eq!(Preset::Paper.per_inst_injections(), 100);
+        assert_eq!(Preset::Paper.eval_inputs(), 50);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_scale() {
+        assert!(Preset::Tiny.injections() < Preset::Small.injections());
+        assert!(Preset::Small.injections() < Preset::Paper.injections());
+    }
+}

@@ -1,0 +1,440 @@
+//! `minpsid` — command-line driver for the MINPSID reproduction.
+//!
+//! ```text
+//! minpsid list                              # Table I: the benchmark suite
+//! minpsid compile <bench|file.mc>           # emit textual IR
+//! minpsid run <bench> [--args i:N f:X ...]  # execute and print output
+//! minpsid fi <bench> [--injections N]       # whole-program FI campaign
+//! minpsid sid <bench> [--level 0.5]         # baseline SID report
+//! minpsid minpsid <bench> [--level 0.5]     # full MINPSID pipeline report
+//! ```
+//!
+//! Benchmarks come from `minpsid-workloads`; `compile` also accepts a path
+//! to a `.mc` (minic) source file.
+
+use minpsid::{run_minpsid, MinpsidConfig};
+use minpsid_faultsim::{golden_run, program_campaign, CampaignConfig};
+use minpsid_interp::{ExecConfig, Interp, ProgInput, Scalar};
+use minpsid_ir::printer::print_module;
+use minpsid_ir::Module;
+use minpsid_sid::{run_sid, SidConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "list" => cmd_list(),
+        "compile" => cmd_compile(rest),
+        "run" => cmd_run(rest),
+        "fi" => cmd_fi(rest),
+        "analyze" => cmd_analyze(rest),
+        "cfg" => cmd_cfg(rest),
+        "propagate" => cmd_propagate(rest),
+        "sid" => cmd_sid(rest),
+        "minpsid" => cmd_minpsid(rest),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "minpsid — MINPSID (SC'22) reproduction driver
+
+usage:
+  minpsid list
+  minpsid compile <bench|file.mc>
+  minpsid run <bench> [--args i:N f:X ...]
+  minpsid fi <bench> [--injections N] [--seed S]
+  minpsid analyze <bench> [--top N]      # rank instructions by SDC benefit
+  minpsid cfg <bench> [--fn NAME]        # weighted CFG as Graphviz DOT
+  minpsid propagate <bench> [--nth K] [--bit B]
+  minpsid sid <bench> [--level 0.5] [--seed S]
+  minpsid minpsid <bench> [--level 0.5] [--seed S]"
+    );
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<15} {:<10} description", "benchmark", "suite");
+    for b in minpsid_workloads::suite() {
+        println!("{:<15} {:<10} {}", b.name, b.suite, b.description);
+    }
+    Ok(())
+}
+
+fn load_module(name: &str) -> Result<Module, String> {
+    if name.ends_with(".mc") {
+        let src = std::fs::read_to_string(name).map_err(|e| format!("reading {name}: {e}"))?;
+        return minic::compile(&src, name).map_err(|e| format!("compiling {name}: {e}"));
+    }
+    if name.ends_with(".ir") {
+        let src = std::fs::read_to_string(name).map_err(|e| format!("reading {name}: {e}"))?;
+        let module =
+            minpsid_ir::parser::parse_module(&src).map_err(|e| format!("parsing {name}: {e}"))?;
+        if let Err(errs) = minpsid_ir::verify_module(&module) {
+            return Err(format!("{name} failed verification: {}", errs[0]));
+        }
+        return Ok(module);
+    }
+    minpsid_workloads::by_name(name)
+        .map(|b| b.compile())
+        .ok_or_else(|| format!("unknown benchmark `{name}` (see `minpsid list`)"))
+}
+
+fn flag_value(rest: &[String], flag: &str) -> Option<String> {
+    rest.iter()
+        .position(|a| a == flag)
+        .and_then(|i| rest.get(i + 1).cloned())
+}
+
+fn parse_level(rest: &[String]) -> Result<f64, String> {
+    match flag_value(rest, "--level") {
+        None => Ok(0.5),
+        Some(v) => v
+            .parse::<f64>()
+            .map_err(|_| format!("bad --level `{v}`"))
+            .and_then(|l| {
+                if (0.0..=1.0).contains(&l) {
+                    Ok(l)
+                } else {
+                    Err("--level must be in [0, 1]".into())
+                }
+            }),
+    }
+}
+
+fn parse_seed(rest: &[String]) -> Result<u64, String> {
+    match flag_value(rest, "--seed") {
+        None => Ok(42),
+        Some(v) => v.parse().map_err(|_| format!("bad --seed `{v}`")),
+    }
+}
+
+fn first_arg<'a>(rest: &'a [String], what: &str) -> Result<&'a str, String> {
+    rest.first()
+        .map(|s| s.as_str())
+        .filter(|s| !s.starts_with("--"))
+        .ok_or_else(|| format!("missing {what}"))
+}
+
+fn cmd_compile(rest: &[String]) -> Result<(), String> {
+    let name = first_arg(rest, "benchmark name or .mc file")?;
+    let mut module = load_module(name)?;
+    if rest.iter().any(|a| a == "--opt") {
+        let removed = minpsid_ir::opt::optimize(&mut module);
+        eprintln!("; optimizer removed {removed} instructions");
+    }
+    print!("{}", print_module(&module));
+    println!(
+        "; {} functions, {} static instructions",
+        module.funcs.len(),
+        module.num_insts()
+    );
+    Ok(())
+}
+
+/// Parse `--args i:5 f:2.5 ...` into a scalar-argument input; without
+/// `--args`, benchmarks use their reference input.
+fn parse_input(name: &str, rest: &[String]) -> Result<ProgInput, String> {
+    if let Some(pos) = rest.iter().position(|a| a == "--args") {
+        let mut scalars = Vec::new();
+        for a in &rest[pos + 1..] {
+            if a.starts_with("--") {
+                break;
+            }
+            let (kind, v) = a
+                .split_once(':')
+                .ok_or_else(|| format!("bad arg `{a}` (want i:N or f:X)"))?;
+            match kind {
+                "i" => scalars.push(Scalar::I(v.parse().map_err(|_| format!("bad int `{v}`"))?)),
+                "f" => scalars.push(Scalar::F(
+                    v.parse().map_err(|_| format!("bad float `{v}`"))?,
+                )),
+                _ => return Err(format!("bad arg kind `{kind}`")),
+            }
+        }
+        return Ok(ProgInput::scalars(scalars));
+    }
+    minpsid_workloads::by_name(name)
+        .map(|b| b.model.materialize(&b.model.reference()))
+        .ok_or_else(|| {
+            format!("`{name}` is not a registered benchmark; pass --args for custom programs")
+        })
+}
+
+fn cmd_run(rest: &[String]) -> Result<(), String> {
+    let name = first_arg(rest, "benchmark name")?;
+    let module = load_module(name)?;
+    let input = parse_input(name, rest)?;
+    let r = Interp::new(&module, ExecConfig::default()).run(&input);
+    for item in &r.output.items {
+        println!("{item}");
+    }
+    eprintln!(
+        "terminated: {:?}, {} dynamic instructions",
+        r.termination, r.steps
+    );
+    Ok(())
+}
+
+fn cmd_fi(rest: &[String]) -> Result<(), String> {
+    let name = first_arg(rest, "benchmark name")?;
+    let module = load_module(name)?;
+    let input = parse_input(name, rest)?;
+    let mut campaign = CampaignConfig {
+        seed: parse_seed(rest)?,
+        ..CampaignConfig::default()
+    };
+    if let Some(v) = flag_value(rest, "--injections") {
+        campaign.injections = v.parse().map_err(|_| format!("bad --injections `{v}`"))?;
+    }
+    let golden =
+        golden_run(&module, &input, &campaign).map_err(|t| format!("golden run failed: {t:?}"))?;
+    let c = program_campaign(&module, &input, &golden, &campaign);
+    println!("injections: {}", c.counts.total());
+    println!("  benign:   {}", c.counts.benign);
+    println!("  sdc:      {}", c.counts.sdc);
+    println!("  crash:    {}", c.counts.crash);
+    println!("  hang:     {}", c.counts.hang);
+    println!("  detected: {}", c.counts.detected);
+    println!(
+        "SDC probability: {:.2}% (95% CI {:.2}%..{:.2}%)",
+        c.sdc_prob() * 100.0,
+        c.sdc_ci.lo * 100.0,
+        c.sdc_ci.hi * 100.0
+    );
+    Ok(())
+}
+
+/// Rank instructions by SDC benefit under the reference input — the
+/// §II-C profile SID's knapsack consumes, as a human-readable report.
+fn cmd_analyze(rest: &[String]) -> Result<(), String> {
+    use minpsid_faultsim::per_instruction_campaign;
+    use minpsid_sid::CostBenefit;
+    let name = first_arg(rest, "benchmark name")?;
+    let module = load_module(name)?;
+    let input = parse_input(name, rest)?;
+    let top: usize = match flag_value(rest, "--top") {
+        None => 15,
+        Some(v) => v.parse().map_err(|_| format!("bad --top `{v}`"))?,
+    };
+    let campaign = CampaignConfig {
+        seed: parse_seed(rest)?,
+        ..CampaignConfig::default()
+    };
+    let golden =
+        golden_run(&module, &input, &campaign).map_err(|t| format!("golden run failed: {t:?}"))?;
+    let per_inst = per_instruction_campaign(&module, &input, &golden, &campaign);
+    let cb = CostBenefit::build(&module, &golden, &per_inst);
+
+    let numbering = module.numbering();
+    let mut ranked: Vec<usize> = (0..cb.len()).filter(|&i| cb.benefit[i] > 0.0).collect();
+    ranked.sort_by(|&a, &b| cb.benefit[b].partial_cmp(&cb.benefit[a]).unwrap());
+    println!(
+        "{} static instructions, {} carry measurable SDC benefit; top {}:",
+        cb.len(),
+        ranked.len(),
+        top.min(ranked.len())
+    );
+    println!(
+        "{:>6} {:>9} {:>9} {:>11} | instruction",
+        "rank", "benefit", "sdc-prob", "dyn-count"
+    );
+    for (rank, &dense) in ranked.iter().take(top).enumerate() {
+        let gid = numbering.id_of(dense);
+        let func = module.func(gid.func);
+        println!(
+            "{:>6} {:>9.5} {:>8.1}% {:>11} | {}::{}",
+            rank + 1,
+            cb.benefit[dense],
+            cb.sdc_prob[dense] * 100.0,
+            cb.dyn_counts[dense],
+            func.name,
+            minpsid_ir::printer::print_inst(func, gid.inst)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_cfg(rest: &[String]) -> Result<(), String> {
+    let name = first_arg(rest, "benchmark name")?;
+    let module = load_module(name)?;
+    let input = parse_input(name, rest)?;
+    let exec = ExecConfig {
+        profile: true,
+        ..ExecConfig::default()
+    };
+    let r = Interp::new(&module, exec).run(&input);
+    if !r.exited() {
+        return Err(format!("run failed: {:?}", r.termination));
+    }
+    let profile = r.profile.expect("profiling enabled");
+    let fid = match flag_value(rest, "--fn") {
+        None => module.entry,
+        Some(fname) => module
+            .func_by_name(&fname)
+            .ok_or_else(|| format!("no function `{fname}`"))?,
+    };
+    print!("{}", minpsid::weighted_cfg_dot(&module, &profile, fid));
+    Ok(())
+}
+
+fn cmd_propagate(rest: &[String]) -> Result<(), String> {
+    use minpsid_faultsim::{render_report, trace_fault};
+    use minpsid_interp::{FaultSpec, FaultTarget};
+    let name = first_arg(rest, "benchmark name")?;
+    let module = load_module(name)?;
+    let input = parse_input(name, rest)?;
+    let nth: u64 = match flag_value(rest, "--nth") {
+        None => 100,
+        Some(v) => v.parse().map_err(|_| format!("bad --nth `{v}`"))?,
+    };
+    let bit: u32 = match flag_value(rest, "--bit") {
+        None => 33,
+        Some(v) => v.parse().map_err(|_| format!("bad --bit `{v}`"))?,
+    };
+    let golden = Interp::new(&module, ExecConfig::default()).run(&input);
+    if !golden.exited() {
+        return Err(format!("golden run failed: {:?}", golden.termination));
+    }
+    let fault = FaultSpec {
+        target: FaultTarget::NthDynamic(nth),
+        bit,
+    };
+    let report = trace_fault(&module, &input, fault, &golden.output, golden.steps * 10);
+    print!("{}", render_report(&module, &report));
+    Ok(())
+}
+
+fn cmd_sid(rest: &[String]) -> Result<(), String> {
+    let name = first_arg(rest, "benchmark name")?;
+    let b =
+        minpsid_workloads::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let module = b.compile();
+    let ref_input = b.model.materialize(&b.model.reference());
+    let cfg = SidConfig {
+        protection_level: parse_level(rest)?,
+        campaign: CampaignConfig {
+            seed: parse_seed(rest)?,
+            ..CampaignConfig::default()
+        },
+        use_dp: false,
+    };
+    let r = run_sid(&module, &ref_input, &cfg).map_err(|t| format!("SID failed: {t:?}"))?;
+    let selected = r.selection.iter().filter(|&&s| s).count();
+    println!(
+        "benchmark: {} ({} static instructions)",
+        b.name,
+        module.num_insts()
+    );
+    println!("protection level: {:.0}%", cfg.protection_level * 100.0);
+    println!("selected instructions: {selected}");
+    println!("duplicates inserted: {}", r.meta.num_dups);
+    println!("checks inserted: {}", r.meta.num_checks);
+    println!("expected SDC coverage: {:.2}%", r.expected_coverage * 100.0);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_value_finds_pairs() {
+        let rest = args(&["bench", "--level", "0.3", "--seed", "9"]);
+        assert_eq!(flag_value(&rest, "--level").as_deref(), Some("0.3"));
+        assert_eq!(flag_value(&rest, "--seed").as_deref(), Some("9"));
+        assert_eq!(flag_value(&rest, "--nope"), None);
+    }
+
+    #[test]
+    fn level_parsing_validates_range() {
+        assert_eq!(parse_level(&args(&["--level", "0.7"])).unwrap(), 0.7);
+        assert_eq!(parse_level(&args(&[])).unwrap(), 0.5);
+        assert!(parse_level(&args(&["--level", "1.5"])).is_err());
+        assert!(parse_level(&args(&["--level", "abc"])).is_err());
+    }
+
+    #[test]
+    fn first_arg_skips_flags() {
+        assert_eq!(
+            first_arg(&args(&["fft", "--seed", "1"]), "x").unwrap(),
+            "fft"
+        );
+        assert!(first_arg(&args(&["--seed", "1"]), "x").is_err());
+        assert!(first_arg(&args(&[]), "x").is_err());
+    }
+
+    #[test]
+    fn custom_args_parse_into_scalars() {
+        let input = parse_input("custom.mc", &args(&["--args", "i:5", "f:2.5"])).unwrap();
+        assert_eq!(input.args, vec![Scalar::I(5), Scalar::F(2.5)]);
+        assert!(parse_input("custom.mc", &args(&["--args", "x:1"])).is_err());
+    }
+
+    #[test]
+    fn benchmarks_resolve_reference_inputs() {
+        let input = parse_input("fft", &args(&[])).unwrap();
+        assert!(!input.args.is_empty());
+        assert!(parse_input("not-a-bench", &args(&[])).is_err());
+    }
+}
+
+fn cmd_minpsid(rest: &[String]) -> Result<(), String> {
+    let name = first_arg(rest, "benchmark name")?;
+    let b =
+        minpsid_workloads::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let module = b.compile();
+    let cfg = MinpsidConfig {
+        protection_level: parse_level(rest)?,
+        campaign: CampaignConfig {
+            seed: parse_seed(rest)?,
+            ..CampaignConfig::default()
+        },
+        ..MinpsidConfig::default()
+    };
+    let r = run_minpsid(&module, b.model.as_ref(), &cfg)
+        .map_err(|t| format!("MINPSID failed: {t:?}"))?;
+    println!(
+        "benchmark: {} ({} static instructions)",
+        b.name,
+        module.num_insts()
+    );
+    println!("protection level: {:.0}%", cfg.protection_level * 100.0);
+    println!("inputs searched: {}", r.inputs_searched);
+    println!(
+        "incubative instructions: {} ({:.2}% of static instructions)",
+        r.incubative.len(),
+        r.incubative.len() as f64 / module.num_insts() as f64 * 100.0
+    );
+    println!(
+        "expected SDC coverage (conservative): {:.2}%",
+        r.expected_coverage * 100.0
+    );
+    println!(
+        "time: ref FI {:.2}s, incubative FI {:.2}s, search {:.2}s",
+        r.timings.ref_fi.as_secs_f64(),
+        r.timings.incubative_fi.as_secs_f64(),
+        r.timings.search.as_secs_f64()
+    );
+    Ok(())
+}

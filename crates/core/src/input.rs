@@ -1,0 +1,260 @@
+//! The program-input model the search engine operates on.
+//!
+//! A benchmark exposes a vector of *parameters* (its command-line-style
+//! arguments plus the generator knobs of its bulk data — sizes, densities,
+//! RNG seeds), and a deterministic `materialize` from parameter values to
+//! a concrete [`ProgInput`]. The GA mutates and crosses over parameter
+//! vectors exactly as §V-B1 describes: numeric parameters get ±10 %
+//! perturbations, categorical parameters get re-enumerated, and crossover
+//! swaps one parameter between two inputs.
+
+use minpsid_interp::ProgInput;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// One input parameter's domain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamKind {
+    /// Integer in `[lo, hi]` (inclusive).
+    Int { lo: i64, hi: i64 },
+    /// Float in `[lo, hi]`.
+    Float { lo: f64, hi: f64 },
+    /// Categorical: one of the listed values (non-numeric in the paper's
+    /// sense — mutation re-enumerates rather than perturbs).
+    Choice { options: Vec<i64> },
+}
+
+/// A named parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpec {
+    pub name: &'static str,
+    pub kind: ParamKind,
+}
+
+impl ParamSpec {
+    pub fn int(name: &'static str, lo: i64, hi: i64) -> Self {
+        ParamSpec {
+            name,
+            kind: ParamKind::Int { lo, hi },
+        }
+    }
+
+    pub fn float(name: &'static str, lo: f64, hi: f64) -> Self {
+        ParamSpec {
+            name,
+            kind: ParamKind::Float { lo, hi },
+        }
+    }
+
+    pub fn choice(name: &'static str, options: Vec<i64>) -> Self {
+        ParamSpec {
+            name,
+            kind: ParamKind::Choice { options },
+        }
+    }
+
+    /// Sample a uniformly random valid value.
+    pub fn sample(&self, rng: &mut StdRng) -> ParamValue {
+        match &self.kind {
+            ParamKind::Int { lo, hi } => ParamValue::I(rng.random_range(*lo..=*hi)),
+            ParamKind::Float { lo, hi } => ParamValue::F(rng.random_range(*lo..=*hi)),
+            ParamKind::Choice { options } => {
+                ParamValue::I(options[rng.random_range(0..options.len())])
+            }
+        }
+    }
+
+    /// Clamp a value back into the domain.
+    pub fn clamp(&self, v: ParamValue) -> ParamValue {
+        match (&self.kind, v) {
+            (ParamKind::Int { lo, hi }, ParamValue::I(x)) => ParamValue::I(x.clamp(*lo, *hi)),
+            (ParamKind::Float { lo, hi }, ParamValue::F(x)) => ParamValue::F(x.clamp(*lo, *hi)),
+            (ParamKind::Choice { options }, ParamValue::I(x)) => {
+                if options.contains(&x) {
+                    ParamValue::I(x)
+                } else {
+                    ParamValue::I(options[0])
+                }
+            }
+            (_, v) => v,
+        }
+    }
+}
+
+/// A concrete parameter value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamValue {
+    I(i64),
+    F(f64),
+}
+
+impl ParamValue {
+    pub fn as_i(self) -> i64 {
+        match self {
+            ParamValue::I(v) => v,
+            ParamValue::F(v) => v as i64,
+        }
+    }
+
+    pub fn as_f(self) -> f64 {
+        match self {
+            ParamValue::I(v) => v as f64,
+            ParamValue::F(v) => v,
+        }
+    }
+}
+
+/// A benchmark's input space.
+pub trait InputModel: Sync {
+    /// The parameter domains.
+    fn spec(&self) -> &[ParamSpec];
+
+    /// Deterministically expand parameter values into the concrete program
+    /// input (arguments + generated data streams).
+    fn materialize(&self, params: &[ParamValue]) -> ProgInput;
+
+    /// Sample a random parameter vector (defaults to independent uniform
+    /// sampling; models can override to enforce cross-parameter
+    /// constraints).
+    fn random(&self, rng: &mut StdRng) -> Vec<ParamValue> {
+        self.spec().iter().map(|p| p.sample(rng)).collect()
+    }
+
+    /// The benchmark-suite reference input (paper §III-A4: SID profiles
+    /// with the suite's reference input).
+    fn reference(&self) -> Vec<ParamValue>;
+}
+
+/// GA mutation (§V-B1): pick one parameter; numeric values move by a
+/// random amount within ±10 % of the current value (clamped to the
+/// domain), categorical values are re-enumerated.
+pub fn mutate(spec: &[ParamSpec], params: &[ParamValue], rng: &mut StdRng) -> Vec<ParamValue> {
+    assert_eq!(spec.len(), params.len());
+    let mut out = params.to_vec();
+    if out.is_empty() {
+        return out;
+    }
+    let k = rng.random_range(0..out.len());
+    out[k] = match (&spec[k].kind, out[k]) {
+        (ParamKind::Choice { .. }, _) => spec[k].sample(rng),
+        (_, ParamValue::I(v)) => {
+            let span = (v.abs() as f64 * 0.1).max(1.0);
+            let delta = rng.random_range(-span..=span);
+            spec[k].clamp(ParamValue::I(v + delta.round() as i64))
+        }
+        (_, ParamValue::F(v)) => {
+            let span = (v.abs() * 0.1).max(f64::MIN_POSITIVE);
+            let delta = rng.random_range(-span..=span);
+            spec[k].clamp(ParamValue::F(v + delta))
+        }
+    };
+    out
+}
+
+/// GA crossover (§V-B1): swap one randomly chosen parameter between two
+/// inputs.
+pub fn crossover(
+    a: &[ParamValue],
+    b: &[ParamValue],
+    rng: &mut StdRng,
+) -> (Vec<ParamValue>, Vec<ParamValue>) {
+    assert_eq!(a.len(), b.len());
+    let mut a = a.to_vec();
+    let mut b = b.to_vec();
+    if !a.is_empty() {
+        let k = rng.random_range(0..a.len());
+        std::mem::swap(&mut a[k], &mut b[k]);
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn spec() -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::int("n", 1, 1000),
+            ParamSpec::float("x", -1.0, 1.0),
+            ParamSpec::choice("mode", vec![0, 1, 2]),
+        ]
+    }
+
+    #[test]
+    fn sampling_respects_domains() {
+        let spec = spec();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            for p in &spec {
+                match (p.sample(&mut rng), &p.kind) {
+                    (ParamValue::I(v), ParamKind::Int { lo, hi }) => {
+                        assert!(v >= *lo && v <= *hi)
+                    }
+                    (ParamValue::F(v), ParamKind::Float { lo, hi }) => {
+                        assert!(v >= *lo && v <= *hi)
+                    }
+                    (ParamValue::I(v), ParamKind::Choice { options }) => {
+                        assert!(options.contains(&v))
+                    }
+                    other => panic!("type mismatch {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_changes_exactly_one_parameter() {
+        let spec = spec();
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = vec![ParamValue::I(500), ParamValue::F(0.5), ParamValue::I(1)];
+        let mut changed_any = false;
+        for _ in 0..100 {
+            let m = mutate(&spec, &base, &mut rng);
+            let diffs = base.iter().zip(&m).filter(|(a, b)| a != b).count();
+            assert!(diffs <= 1, "at most one param changes");
+            changed_any |= diffs == 1;
+        }
+        assert!(changed_any);
+    }
+
+    #[test]
+    fn numeric_mutation_stays_within_ten_percent_and_domain() {
+        let spec = vec![ParamSpec::int("n", 1, 1000)];
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let m = mutate(&spec, &[ParamValue::I(500)], &mut rng);
+            let v = m[0].as_i();
+            assert!((450..=550).contains(&v), "±10% of 500: {v}");
+        }
+    }
+
+    #[test]
+    fn mutation_clamps_at_domain_edge() {
+        let spec = vec![ParamSpec::int("n", 1, 10)];
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let m = mutate(&spec, &[ParamValue::I(10)], &mut rng);
+            assert!(m[0].as_i() <= 10);
+        }
+    }
+
+    #[test]
+    fn crossover_swaps_one_position() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = vec![ParamValue::I(1), ParamValue::I(2), ParamValue::I(3)];
+        let b = vec![ParamValue::I(10), ParamValue::I(20), ParamValue::I(30)];
+        let (x, y) = crossover(&a, &b, &mut rng);
+        let swapped: Vec<usize> = (0..3).filter(|&i| x[i] != a[i]).collect();
+        assert_eq!(swapped.len(), 1);
+        let k = swapped[0];
+        assert_eq!(x[k], b[k]);
+        assert_eq!(y[k], a[k]);
+    }
+
+    #[test]
+    fn param_value_conversions() {
+        assert_eq!(ParamValue::I(3).as_f(), 3.0);
+        assert_eq!(ParamValue::F(2.9).as_i(), 2);
+    }
+}

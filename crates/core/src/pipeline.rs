@@ -1,0 +1,371 @@
+//! The end-to-end MINPSID pipeline (paper Fig. 4).
+
+use crate::incubative::{IncubativeConfig, IncubativeTracker};
+use crate::input::InputModel;
+use crate::search::{GaConfig, SearchEngine};
+use crate::wcfg::indexed_cfg_list;
+use minpsid_faultsim::{golden_run, per_instruction_campaign, CampaignConfig};
+use minpsid_interp::Termination;
+use minpsid_ir::Module;
+use minpsid_sid::knapsack::Selection;
+use minpsid_sid::transform::TransformMeta;
+use minpsid_sid::{select_and_protect, CostBenefit, SidConfig, SidResult};
+use std::time::{Duration, Instant};
+
+/// Which searcher drives step ④ — the GA engine (MINPSID proper) or the
+/// blind random searcher (the Fig. 7 baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchStrategy {
+    Genetic,
+    Random,
+    /// Simulated annealing (§X future-work exploration).
+    Annealing,
+}
+
+/// MINPSID configuration.
+#[derive(Debug, Clone)]
+pub struct MinpsidConfig {
+    /// Protection level in `[0, 1]`.
+    pub protection_level: f64,
+    /// FI campaign parameters (per-instruction counts etc.).
+    pub campaign: CampaignConfig,
+    pub ga: GaConfig,
+    pub incubative: IncubativeConfig,
+    /// Hard cap on searched inputs (the paper's searches converge around
+    /// 21 inputs).
+    pub max_inputs: usize,
+    /// Stop when this many consecutive searched inputs reveal no new
+    /// incubative instruction ("the entire search process terminates once
+    /// the number of incubative instructions no longer increases").
+    pub stagnation_patience: usize,
+    pub strategy: SearchStrategy,
+    /// Exact-DP knapsack instead of greedy (ablation).
+    pub use_dp: bool,
+}
+
+impl Default for MinpsidConfig {
+    fn default() -> Self {
+        MinpsidConfig {
+            protection_level: 0.5,
+            campaign: CampaignConfig::default(),
+            ga: GaConfig::default(),
+            incubative: IncubativeConfig::default(),
+            max_inputs: 25,
+            stagnation_patience: 3,
+            strategy: SearchStrategy::Genetic,
+            use_dp: false,
+        }
+    }
+}
+
+/// Wall-clock breakdown of a MINPSID run — the three components of Fig. 8
+/// ("Per-Inst-FI (Ref Input)", "Per-Inst-FI (For Incubative Insts.)",
+/// "Input Search Engine") plus everything else.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timings {
+    pub ref_fi: Duration,
+    pub incubative_fi: Duration,
+    pub search: Duration,
+    pub other: Duration,
+}
+
+impl Timings {
+    pub fn total(&self) -> Duration {
+        self.ref_fi + self.incubative_fi + self.search + self.other
+    }
+}
+
+/// Everything a MINPSID run produces.
+#[derive(Debug, Clone)]
+pub struct MinpsidResult {
+    /// The hardened binary (Fig. 4 ⑨).
+    pub protected: Module,
+    pub meta: TransformMeta,
+    pub selection: Selection,
+    /// Expected coverage under the *re-prioritized* profile — the
+    /// conservative promise MINPSID reports (red bars of Fig. 6).
+    pub expected_coverage: f64,
+    /// Dense indices of the incubative instructions found.
+    pub incubative: Vec<usize>,
+    /// Cumulative incubative count after each searched input (the Fig. 7
+    /// convergence series).
+    pub incubative_history: Vec<usize>,
+    pub inputs_searched: usize,
+    pub timings: Timings,
+    /// The re-prioritized cost/benefit profile used for selection.
+    pub cost_benefit: CostBenefit,
+    /// The full benefit-observation state, so callers can re-derive
+    /// profiles under alternative re-prioritization rules (ablations).
+    pub tracker: IncubativeTracker,
+}
+
+/// Baseline SID under this crate's naming, for experiment symmetry.
+pub fn run_baseline_sid(
+    module: &Module,
+    model: &dyn InputModel,
+    cfg: &MinpsidConfig,
+) -> Result<SidResult, Termination> {
+    let ref_input = model.materialize(&model.reference());
+    minpsid_sid::run_sid(
+        module,
+        &ref_input,
+        &SidConfig {
+            protection_level: cfg.protection_level,
+            campaign: cfg.campaign.clone(),
+            use_dp: cfg.use_dp,
+        },
+    )
+}
+
+/// Run the full MINPSID pipeline on `module` over `model`'s input space.
+pub fn run_minpsid(
+    module: &Module,
+    model: &dyn InputModel,
+    cfg: &MinpsidConfig,
+) -> Result<MinpsidResult, Termination> {
+    let mut timings = Timings::default();
+
+    // ① SID preparation: reference-input profile + per-instruction FI
+    let t0 = Instant::now();
+    let ref_input = model.materialize(&model.reference());
+    let ref_golden = golden_run(module, &ref_input, &cfg.campaign)?;
+    let ref_per_inst = per_instruction_campaign(module, &ref_input, &ref_golden, &cfg.campaign);
+    let ref_cb = CostBenefit::build(module, &ref_golden, &ref_per_inst);
+    timings.ref_fi = t0.elapsed();
+
+    // ③–⑦ input search + incubative identification
+    let mut engine = SearchEngine::new(module, model, cfg.campaign.clone(), cfg.ga.clone());
+    engine.record_history(ref_golden.profile.indexed_cfg_list());
+    let mut tracker = IncubativeTracker::new(ref_cb.benefit.clone(), cfg.incubative);
+    let mut incubative_history = Vec::new();
+    let mut stale = 0usize;
+    let mut inputs_searched = 0usize;
+
+    while inputs_searched < cfg.max_inputs && stale < cfg.stagnation_patience {
+        let t_search = Instant::now();
+        let outcome = match cfg.strategy {
+            SearchStrategy::Genetic => engine.next_ga_input(),
+            SearchStrategy::Random => engine.next_random_input(),
+            SearchStrategy::Annealing => engine.next_annealing_input(),
+        };
+        timings.search += t_search.elapsed();
+        let Some(outcome) = outcome else {
+            break; // input space exhausted / generator keeps failing
+        };
+
+        // ⑦ per-instruction FI under the searched input
+        let t_fi = Instant::now();
+        let golden = golden_run(module, &outcome.input, &cfg.campaign)?;
+        let per_inst = per_instruction_campaign(module, &outcome.input, &golden, &cfg.campaign);
+        let cb = CostBenefit::build(module, &golden, &per_inst);
+        timings.incubative_fi += t_fi.elapsed();
+
+        engine.record_history(indexed_cfg_list(&outcome.profile));
+        let new = tracker.observe(&cb.benefit);
+        incubative_history.push(tracker.count());
+        inputs_searched += 1;
+        if new == 0 {
+            stale += 1;
+        } else {
+            stale = 0;
+        }
+    }
+
+    // ⑧ re-prioritization + ⑨ selection & transform
+    let t_rest = Instant::now();
+    let mut cb = ref_cb;
+    cb.benefit = tracker.reprioritized_benefit();
+    let (selection, expected_coverage, protected, meta) =
+        select_and_protect(module, &cb, cfg.protection_level, cfg.use_dp);
+    timings.other = t_rest.elapsed();
+
+    Ok(MinpsidResult {
+        protected,
+        meta,
+        selection,
+        expected_coverage,
+        incubative: tracker.incubative_indices(),
+        incubative_history,
+        inputs_searched,
+        timings,
+        cost_benefit: cb,
+        tracker,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{ParamSpec, ParamValue};
+    use minpsid_interp::{ProgInput, Stream};
+    use minpsid_sid::measure_coverage;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// A miniature version of the paper's Fig. 3 situation: a comparison
+    /// whose SDC-proneness depends on whether the data values sit near the
+    /// `> 50` threshold. The reference input keeps all values far below
+    /// the threshold, so the multiply path never executes and its
+    /// instructions (plus the icmp) carry ~zero benefit. Other inputs
+    /// push values above the threshold.
+    fn module() -> Module {
+        minic::compile(
+            r#"
+            fn main() {
+                let n = data_len(0);
+                let acc = 0;
+                for i = 0 to n {
+                    let v = data_i(0, i);
+                    if v > 50 {
+                        acc = acc + v * 3 + 17;
+                    } else {
+                        acc = acc + 1;
+                    }
+                }
+                out_i(acc);
+            }
+            "#,
+            "minpsid-pipeline-test",
+        )
+        .unwrap()
+    }
+
+    struct Model {
+        spec: Vec<ParamSpec>,
+    }
+
+    impl Model {
+        fn new() -> Self {
+            Model {
+                spec: vec![
+                    ParamSpec::int("n", 16, 64),
+                    ParamSpec::int("base", 0, 100),
+                    ParamSpec::int("seed", 0, 1_000_000),
+                ],
+            }
+        }
+    }
+
+    impl InputModel for Model {
+        fn spec(&self) -> &[ParamSpec] {
+            &self.spec
+        }
+
+        fn materialize(&self, params: &[ParamValue]) -> ProgInput {
+            let n = params[0].as_i().max(1) as usize;
+            let base = params[1].as_i();
+            let mut rng = StdRng::seed_from_u64(params[2].as_i() as u64);
+            let data: Vec<i64> = (0..n).map(|_| base + rng.random_range(0..20)).collect();
+            ProgInput::new(vec![], vec![Stream::I(data)])
+        }
+
+        fn reference(&self) -> Vec<ParamValue> {
+            // all values in [5, 25): the `v > 50` path never runs
+            vec![ParamValue::I(32), ParamValue::I(5), ParamValue::I(42)]
+        }
+    }
+
+    fn quick_cfg(level: f64, strategy: SearchStrategy) -> MinpsidConfig {
+        MinpsidConfig {
+            protection_level: level,
+            campaign: CampaignConfig {
+                injections: 200,
+                per_inst_injections: 12,
+                seed: 7,
+                ..CampaignConfig::default()
+            },
+            ga: GaConfig {
+                population: 6,
+                max_generations: 4,
+                seed: 11,
+                ..GaConfig::default()
+            },
+            max_inputs: 8,
+            stagnation_patience: 2,
+            strategy,
+            ..MinpsidConfig::default()
+        }
+    }
+
+    #[test]
+    fn minpsid_finds_incubative_instructions() {
+        let m = module();
+        let model = Model::new();
+        let r = run_minpsid(&m, &model, &quick_cfg(0.5, SearchStrategy::Genetic)).unwrap();
+        assert!(
+            !r.incubative.is_empty(),
+            "the threshold branch must surface incubative instructions"
+        );
+        assert!(r.inputs_searched >= 1);
+        assert_eq!(r.incubative_history.len(), r.inputs_searched);
+        // cumulative count is non-decreasing
+        assert!(r.incubative_history.windows(2).all(|w| w[0] <= w[1]));
+        assert!(r.timings.ref_fi > Duration::ZERO);
+        assert!(r.timings.search > Duration::ZERO);
+    }
+
+    #[test]
+    fn minpsid_recovers_coverage_on_an_adversarial_input() {
+        let m = module();
+        let model = Model::new();
+        let cfg = quick_cfg(0.6, SearchStrategy::Genetic);
+
+        let baseline = run_baseline_sid(&m, &model, &cfg).unwrap();
+        let hardened = run_minpsid(&m, &model, &cfg).unwrap();
+
+        // adversarial input: every value above the threshold
+        let bad_params = vec![ParamValue::I(48), ParamValue::I(90), ParamValue::I(3)];
+        let bad_input = model.materialize(&bad_params);
+
+        let base_cov =
+            measure_coverage(&m, &baseline.protected, &bad_input, &cfg.campaign).unwrap();
+        let hard_cov =
+            measure_coverage(&m, &hardened.protected, &bad_input, &cfg.campaign).unwrap();
+
+        assert!(
+            hard_cov.coverage >= base_cov.coverage,
+            "MINPSID must not lose coverage vs baseline on the adversarial input: \
+             baseline={:.3}, minpsid={:.3}",
+            base_cov.coverage,
+            hard_cov.coverage
+        );
+    }
+
+    #[test]
+    fn reprioritized_selection_includes_incubative_instructions() {
+        let m = module();
+        let model = Model::new();
+        let cfg = quick_cfg(0.7, SearchStrategy::Genetic);
+        let r = run_minpsid(&m, &model, &cfg).unwrap();
+        // at a high protection level, re-prioritized incubative
+        // instructions should be selected (that is the whole point)
+        let selected_incubative = r.incubative.iter().filter(|&&i| r.selection[i]).count();
+        assert!(
+            selected_incubative > 0,
+            "incubative instructions must be prioritized: {:?}",
+            r.incubative
+        );
+    }
+
+    #[test]
+    fn random_strategy_runs_to_completion() {
+        let m = module();
+        let model = Model::new();
+        let r = run_minpsid(&m, &model, &quick_cfg(0.5, SearchStrategy::Random)).unwrap();
+        assert!(r.inputs_searched >= 1);
+    }
+
+    #[test]
+    fn search_terminates_on_stagnation() {
+        let m = module();
+        let model = Model::new();
+        let mut cfg = quick_cfg(0.5, SearchStrategy::Genetic);
+        cfg.max_inputs = 100; // only stagnation can stop us in reasonable time
+        cfg.stagnation_patience = 2;
+        let r = run_minpsid(&m, &model, &cfg).unwrap();
+        assert!(
+            r.inputs_searched < 100,
+            "stagnation patience must terminate the search"
+        );
+    }
+}

@@ -1,0 +1,447 @@
+//! The input search engine (paper Fig. 4 ③–⑥): a genetic algorithm whose
+//! fitness is the weighted-CFG distance to the search history, plus the
+//! blind random searcher used as the baseline in Fig. 7.
+
+use crate::input::{crossover, mutate, InputModel, ParamValue};
+use crate::wcfg::{fitness_score, fitness_score_normalized, indexed_cfg_list, profile_input};
+use minpsid_faultsim::CampaignConfig;
+use minpsid_interp::{Profile, ProgInput};
+use minpsid_ir::Module;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Which fitness function drives the GA (Eq. 3 is the paper's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FitnessKind {
+    /// Unnormalized Euclidean distance over indexed CFG lists (Eq. 3).
+    #[default]
+    Euclidean,
+    /// Shape-normalized variant (see `wcfg::fitness_score_normalized`).
+    NormalizedEuclidean,
+}
+
+/// GA hyper-parameters. Mutation 0.4 / crossover 0.05 follow the paper's
+/// §V-B1 choice of "common heuristics used in GA".
+#[derive(Debug, Clone)]
+pub struct GaConfig {
+    pub population: usize,
+    pub mutation_rate: f64,
+    pub crossover_rate: f64,
+    /// Fitness function (Eq. 3 by default).
+    pub fitness: FitnessKind,
+    /// Stop an inner GA search when the best fitness has not improved for
+    /// this many generations ("the current GA search terminates when the
+    /// fitness score no longer improves").
+    pub patience: usize,
+    /// Hard cap on inner generations.
+    pub max_generations: usize,
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 10,
+            mutation_rate: 0.4,
+            crossover_rate: 0.05,
+            fitness: FitnessKind::Euclidean,
+            patience: 2,
+            max_generations: 8,
+            seed: 1234,
+        }
+    }
+}
+
+/// An input accepted by the search, with its profile.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    pub params: Vec<ParamValue>,
+    pub input: ProgInput,
+    pub fitness: f64,
+    pub profile: Profile,
+}
+
+/// The search engine: owns the history of indexed CFG lists against which
+/// fitness is evaluated.
+pub struct SearchEngine<'a> {
+    module: &'a Module,
+    model: &'a dyn InputModel,
+    campaign: CampaignConfig,
+    ga: GaConfig,
+    history: Vec<Vec<u64>>,
+    rng: StdRng,
+    /// Profiled executions performed (reported in the Fig. 8 cost split).
+    pub profiled_runs: u64,
+}
+
+impl<'a> SearchEngine<'a> {
+    pub fn new(
+        module: &'a Module,
+        model: &'a dyn InputModel,
+        campaign: CampaignConfig,
+        ga: GaConfig,
+    ) -> Self {
+        let rng = StdRng::seed_from_u64(ga.seed);
+        SearchEngine {
+            module,
+            model,
+            campaign,
+            ga,
+            history: Vec::new(),
+            rng,
+            profiled_runs: 0,
+        }
+    }
+
+    /// Record an accepted input's indexed CFG list (the reference input is
+    /// recorded before the search starts).
+    pub fn record_history(&mut self, list: Vec<u64>) {
+        self.history.push(list);
+    }
+
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Evaluate one parameter vector: materialize, profile, score.
+    /// `None` if the input errors out (filtered per §III-A2).
+    fn evaluate(&mut self, params: Vec<ParamValue>) -> Option<ScoredCandidate> {
+        let input = self.model.materialize(&params);
+        let profile = profile_input(self.module, &input, &self.campaign).ok()?;
+        self.profiled_runs += 1;
+        let list = indexed_cfg_list(&profile);
+        let fitness = match self.ga.fitness {
+            FitnessKind::Euclidean => fitness_score(&list, &self.history),
+            FitnessKind::NormalizedEuclidean => fitness_score_normalized(&list, &self.history),
+        };
+        Some(ScoredCandidate {
+            params,
+            input,
+            profile,
+            fitness,
+        })
+    }
+
+    fn random_candidate(&mut self, attempts: usize) -> Option<ScoredCandidate> {
+        for _ in 0..attempts {
+            let params = self.model.random(&mut self.rng);
+            if let Some(c) = self.evaluate(params) {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// One full GA search (Fig. 4 ④–⑥): evolve a population until fitness
+    /// stagnates, return the fittest input found. Does *not* record it in
+    /// the history — the caller does that after the FI step accepts it.
+    pub fn next_ga_input(&mut self) -> Option<SearchOutcome> {
+        let pop_size = self.ga.population.max(2);
+        let mut pop: Vec<ScoredCandidate> = Vec::with_capacity(pop_size);
+        for _ in 0..pop_size {
+            if let Some(c) = self.random_candidate(10) {
+                pop.push(c);
+            }
+        }
+        if pop.is_empty() {
+            return None;
+        }
+        sort_by_fitness(&mut pop);
+        let mut best = pop[0].fitness;
+        let mut stale = 0usize;
+
+        for _gen in 0..self.ga.max_generations {
+            // offspring via mutation
+            let mut offspring: Vec<Vec<ParamValue>> = Vec::new();
+            for c in &pop {
+                if self.rng.random_range(0.0..1.0) < self.ga.mutation_rate {
+                    offspring.push(mutate(self.model.spec(), &c.params, &mut self.rng));
+                }
+            }
+            // offspring via crossover of two random parents
+            if pop.len() >= 2 && self.rng.random_range(0.0..1.0) < self.ga.crossover_rate {
+                let a = self.rng.random_range(0..pop.len());
+                let mut b = self.rng.random_range(0..pop.len());
+                if a == b {
+                    b = (b + 1) % pop.len();
+                }
+                let (x, y) = crossover(&pop[a].params, &pop[b].params, &mut self.rng);
+                offspring.push(x);
+                offspring.push(y);
+            }
+            for params in offspring {
+                if let Some(c) = self.evaluate(params) {
+                    pop.push(c);
+                }
+            }
+            // survival of the fittest
+            sort_by_fitness(&mut pop);
+            pop.truncate(pop_size);
+
+            if pop[0].fitness > best {
+                best = pop[0].fitness;
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= self.ga.patience {
+                    break;
+                }
+            }
+        }
+
+        let winner = pop.into_iter().next().unwrap();
+        Some(SearchOutcome {
+            params: winner.params,
+            input: winner.input,
+            fitness: winner.fitness,
+            profile: winner.profile,
+        })
+    }
+
+    /// Blind random search (the Fig. 7 baseline): a single random valid
+    /// input, no fitness guidance.
+    pub fn next_random_input(&mut self) -> Option<SearchOutcome> {
+        let c = self.random_candidate(20)?;
+        Some(SearchOutcome {
+            params: c.params,
+            input: c.input,
+            fitness: c.fitness,
+            profile: c.profile,
+        })
+    }
+
+    /// Simulated-annealing search — the paper's future-work direction of
+    /// "more efficient fuzzing algorithms and heuristics" (§X): a single
+    /// mutation chain with temperature-controlled acceptance, spending a
+    /// comparable evaluation budget to one GA round but without a
+    /// population. Accepts downhill moves with probability
+    /// `exp(Δ/T)`, geometric cooling.
+    pub fn next_annealing_input(&mut self) -> Option<SearchOutcome> {
+        let steps = (self.ga.population * self.ga.max_generations).max(4);
+        let mut current = self.random_candidate(10)?;
+        let mut best_params = current.params.clone();
+        let mut best_fitness = current.fitness;
+
+        // scale T0 to the starting fitness so acceptance is meaningful
+        // for both raw and normalized fitness magnitudes
+        let mut temp = (current.fitness.abs().max(1e-6)) * 0.5;
+        let cooling = 0.85f64;
+
+        for _ in 0..steps {
+            let proposal = mutate(self.model.spec(), &current.params, &mut self.rng);
+            let Some(cand) = self.evaluate(proposal) else {
+                continue; // invalid input: stay put
+            };
+            let delta = cand.fitness - current.fitness;
+            let accept = delta >= 0.0 || {
+                let p = (delta / temp.max(1e-12)).exp();
+                self.rng.random_range(0.0..1.0) < p
+            };
+            if accept {
+                current = cand;
+                if current.fitness > best_fitness {
+                    best_fitness = current.fitness;
+                    best_params = current.params.clone();
+                }
+            }
+            temp *= cooling;
+        }
+
+        // re-materialize the best point seen (the chain may have moved on)
+        let best = self.evaluate(best_params)?;
+        Some(SearchOutcome {
+            params: best.params,
+            input: best.input,
+            fitness: best.fitness,
+            profile: best.profile,
+        })
+    }
+}
+
+/// Convenience wrapper used by experiments that only need the baseline.
+pub fn random_searcher(
+    module: &Module,
+    model: &dyn InputModel,
+    campaign: &CampaignConfig,
+    seed: u64,
+) -> Option<SearchOutcome> {
+    let mut engine = SearchEngine::new(
+        module,
+        model,
+        campaign.clone(),
+        GaConfig {
+            seed,
+            ..GaConfig::default()
+        },
+    );
+    engine.next_random_input()
+}
+
+struct ScoredCandidate {
+    params: Vec<ParamValue>,
+    input: ProgInput,
+    profile: Profile,
+    fitness: f64,
+}
+
+fn sort_by_fitness(pop: &mut [ScoredCandidate]) {
+    pop.sort_by(|a, b| {
+        b.fitness
+            .partial_cmp(&a.fitness)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{ParamSpec, ParamValue};
+    use minpsid_interp::Scalar;
+
+    struct ToyModel {
+        spec: Vec<ParamSpec>,
+    }
+
+    impl ToyModel {
+        fn new() -> Self {
+            ToyModel {
+                spec: vec![ParamSpec::int("n", 1, 200)],
+            }
+        }
+    }
+
+    impl InputModel for ToyModel {
+        fn spec(&self) -> &[ParamSpec] {
+            &self.spec
+        }
+
+        fn materialize(&self, params: &[ParamValue]) -> ProgInput {
+            ProgInput::scalars(vec![Scalar::I(params[0].as_i())])
+        }
+
+        fn reference(&self) -> Vec<ParamValue> {
+            vec![ParamValue::I(10)]
+        }
+    }
+
+    fn module() -> Module {
+        minic::compile(
+            r#"
+            fn main() {
+                let n = arg_i(0);
+                let acc = 0;
+                for i = 0 to n { acc = acc + i; }
+                out_i(acc);
+            }
+            "#,
+            "search-test",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ga_prefers_inputs_far_from_history() {
+        let m = module();
+        let model = ToyModel::new();
+        let cfg = CampaignConfig::quick(1);
+        let mut engine = SearchEngine::new(&m, &model, cfg.clone(), GaConfig::default());
+        // history: the reference input n=10
+        let ref_profile = profile_input(&m, &model.materialize(&model.reference()), &cfg).unwrap();
+        engine.record_history(indexed_cfg_list(&ref_profile));
+
+        let got = engine.next_ga_input().expect("search succeeds");
+        // the trip count of the chosen input should be far from 10 —
+        // fitness is monotone in |n - 10| for this toy kernel
+        let n = got.params[0].as_i();
+        assert!(
+            (n - 10).abs() > 40,
+            "GA should wander far from the reference (n={n})"
+        );
+        assert!(got.fitness > 0.0);
+    }
+
+    #[test]
+    fn annealing_finds_distant_inputs_and_is_deterministic() {
+        let m = module();
+        let model = ToyModel::new();
+        let cfg = CampaignConfig::quick(6);
+        let ref_list = indexed_cfg_list(
+            &profile_input(&m, &model.materialize(&model.reference()), &cfg).unwrap(),
+        );
+        let run = |seed: u64| {
+            let mut e = SearchEngine::new(
+                &m,
+                &model,
+                cfg.clone(),
+                GaConfig {
+                    seed,
+                    population: 5,
+                    max_generations: 4,
+                    ..GaConfig::default()
+                },
+            );
+            e.record_history(ref_list.clone());
+            e.next_annealing_input().unwrap()
+        };
+        let a = run(3);
+        assert!(a.fitness > 0.0);
+        // annealing is a *local* ±10% mutation chain: it must end away
+        // from the reference, but unlike the GA it cannot teleport across
+        // the domain, so the bar is lower than the GA test's
+        assert!(
+            (a.params[0].as_i() - 10).abs() > 5,
+            "annealing should drift away from the reference (n={})",
+            a.params[0].as_i()
+        );
+        let b = run(3);
+        assert_eq!(a.params, b.params, "deterministic given the seed");
+    }
+
+    #[test]
+    fn random_searcher_returns_valid_inputs() {
+        let m = module();
+        let model = ToyModel::new();
+        let cfg = CampaignConfig::quick(2);
+        let got = random_searcher(&m, &model, &cfg, 7).unwrap();
+        let n = got.params[0].as_i();
+        assert!((1..=200).contains(&n));
+    }
+
+    #[test]
+    fn search_is_deterministic_given_seed() {
+        let m = module();
+        let model = ToyModel::new();
+        let cfg = CampaignConfig::quick(3);
+        let ref_list = indexed_cfg_list(
+            &profile_input(&m, &model.materialize(&model.reference()), &cfg).unwrap(),
+        );
+        let run = |seed| {
+            let mut e = SearchEngine::new(
+                &m,
+                &model,
+                cfg.clone(),
+                GaConfig {
+                    seed,
+                    ..GaConfig::default()
+                },
+            );
+            e.record_history(ref_list.clone());
+            e.next_ga_input().unwrap().params
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn engine_counts_profiled_runs() {
+        let m = module();
+        let model = ToyModel::new();
+        let cfg = CampaignConfig::quick(4);
+        let ref_list = indexed_cfg_list(
+            &profile_input(&m, &model.materialize(&model.reference()), &cfg).unwrap(),
+        );
+        let mut e = SearchEngine::new(&m, &model, cfg, GaConfig::default());
+        e.record_history(ref_list);
+        let _ = e.next_ga_input();
+        assert!(e.profiled_runs >= GaConfig::default().population as u64);
+    }
+}

@@ -1,0 +1,196 @@
+//! Weighted CFG profiling and the GA fitness function (paper Fig. 5,
+//! Eq. 3).
+
+use minpsid_faultsim::CampaignConfig;
+use minpsid_interp::{ExecConfig, Interp, Profile, ProgInput, Termination};
+use minpsid_ir::Module;
+
+/// Execute `input` once with profiling and return the profile — the
+/// dynamic-profiling step ⑤ of Fig. 4. Fails on inputs that error out
+/// (those are filtered, per the input-generation rules of §III-A2).
+pub fn profile_input(
+    module: &Module,
+    input: &ProgInput,
+    campaign: &CampaignConfig,
+) -> Result<Profile, Termination> {
+    let exec = ExecConfig {
+        profile: true,
+        ..campaign.exec.clone()
+    };
+    let r = Interp::new(module, exec).run(input);
+    if r.termination != Termination::Exit {
+        return Err(r.termination);
+    }
+    Ok(r.profile.expect("profiling enabled"))
+}
+
+/// The indexed weighted-CFG list of a profile: per-basic-block dynamic
+/// entry counts, concatenated over all functions (Fig. 5's list form).
+pub fn indexed_cfg_list(profile: &Profile) -> Vec<u64> {
+    profile.indexed_cfg_list()
+}
+
+/// Fitness of a candidate's indexed CFG list against the search history
+/// (Eq. 3): the Euclidean distances to every historical list, summed and
+/// divided by `|M| + 1`. Higher is better — a distant execution shape
+/// means new paths, hence likely new error-propagation behaviour.
+pub fn fitness_score(current: &[u64], history: &[Vec<u64>]) -> f64 {
+    if history.is_empty() {
+        return f64::INFINITY; // first input is always novel
+    }
+    let mut sum = 0.0;
+    for h in history {
+        assert_eq!(
+            current.len(),
+            h.len(),
+            "all inputs share the static CFG, so lists have equal length"
+        );
+        let mut sq = 0.0;
+        for (a, b) in current.iter().zip(h) {
+            let d = *a as f64 - *b as f64;
+            sq += d * d;
+        }
+        sum += sq.sqrt();
+    }
+    sum / (history.len() as f64 + 1.0)
+}
+
+/// Shape-normalized fitness: each indexed CFG list is scaled to sum to 1
+/// before the Eq. 3 distance, so the score measures differences in
+/// execution *shape* (which paths, how often relative to each other)
+/// rather than raw trip counts.
+///
+/// The paper's fitness is the unnormalized [`fitness_score`]; this
+/// variant exists because the scaled-down benchmark generators randomize
+/// instance sizes over wide ranges, and raw Euclidean distance is then
+/// dominated by size rather than by the behavioural modes that harbour
+/// incubative instructions (see the Fig. 7 discussion in EXPERIMENTS.md).
+pub fn fitness_score_normalized(current: &[u64], history: &[Vec<u64>]) -> f64 {
+    if history.is_empty() {
+        return f64::INFINITY;
+    }
+    let norm = |l: &[u64]| -> Vec<f64> {
+        let total: u64 = l.iter().sum();
+        let t = total.max(1) as f64;
+        l.iter().map(|&v| v as f64 / t).collect()
+    };
+    let cur = norm(current);
+    let mut sum = 0.0;
+    for h in history {
+        assert_eq!(current.len(), h.len());
+        let hn = norm(h);
+        let mut sq = 0.0;
+        for (a, b) in cur.iter().zip(&hn) {
+            let d = a - b;
+            sq += d * d;
+        }
+        sum += sq.sqrt();
+    }
+    sum / (history.len() as f64 + 1.0)
+}
+
+/// Render one function's weighted CFG as Graphviz DOT: nodes are basic
+/// blocks annotated with their dynamic entry counts, edges carry their
+/// execution counts (the Fig. 5 picture, machine-generated).
+pub fn weighted_cfg_dot(module: &Module, profile: &Profile, func: minpsid_ir::FuncId) -> String {
+    use std::fmt::Write as _;
+    let f = module.func(func);
+    let cfg = minpsid_ir::Cfg::build(f);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", f.name);
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for (bid, block) in f.iter_blocks() {
+        let label = block.name.as_deref().unwrap_or("bb");
+        let count = profile.block_counts[func.index()][bid.index()];
+        let _ = writeln!(
+            out,
+            "  b{} [label=\"BB{} {label}\\nentries: {count}\"];",
+            bid.0, bid.0
+        );
+    }
+    for &(from, to) in cfg.edges() {
+        let w = profile.edge_count(func, from, to);
+        let style = if w == 0 { ", style=dashed" } else { "" };
+        let _ = writeln!(out, "  b{} -> b{} [label=\"{w}\"{style}];", from.0, to.0);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpsid_interp::Scalar;
+
+    fn module() -> Module {
+        minic::compile(
+            r#"
+            fn main() {
+                let n = arg_i(0);
+                for i = 0 to n {
+                    if i % 2 == 0 { out_i(i); }
+                }
+            }
+            "#,
+            "wcfg-test",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn profiles_differ_between_inputs() {
+        let m = module();
+        let cfg = CampaignConfig::quick(1);
+        let p1 = profile_input(&m, &ProgInput::scalars(vec![Scalar::I(4)]), &cfg).unwrap();
+        let p2 = profile_input(&m, &ProgInput::scalars(vec![Scalar::I(40)]), &cfg).unwrap();
+        assert_ne!(indexed_cfg_list(&p1), indexed_cfg_list(&p2));
+    }
+
+    #[test]
+    fn fitness_of_first_input_is_infinite() {
+        assert_eq!(fitness_score(&[1, 2, 3], &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn identical_execution_has_zero_fitness() {
+        let l = vec![5u64, 9, 1];
+        assert_eq!(fitness_score(&l, &[l.clone()]), 0.0);
+    }
+
+    #[test]
+    fn fitness_matches_eq3_by_hand() {
+        // L = (0,0), history = {(3,4), (0,0)}: distances 5 and 0,
+        // S_L = (5 + 0) / (2 + 1)
+        let s = fitness_score(&[0, 0], &[vec![3, 4], vec![0, 0]]);
+        assert!((s - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn farther_executions_score_higher() {
+        let history = vec![vec![10u64, 10]];
+        let near = fitness_score(&[11, 10], &history);
+        let far = fitness_score(&[100, 10], &history);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn dot_export_contains_blocks_and_edge_weights() {
+        let m = module();
+        let cfg = CampaignConfig::quick(1);
+        let p = profile_input(&m, &ProgInput::scalars(vec![Scalar::I(6)]), &cfg).unwrap();
+        let dot = weighted_cfg_dot(&m, &p, m.entry);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("entries:"));
+        assert!(dot.contains("->"));
+        // the loop body executed 6 times: some edge carries weight 6
+        assert!(dot.contains("\"6\""), "{dot}");
+    }
+
+    #[test]
+    fn trapping_input_is_rejected() {
+        let m = minic::compile("fn main() { out_i(1 / arg_i(0)); }", "trap").unwrap();
+        let cfg = CampaignConfig::quick(1);
+        let r = profile_input(&m, &ProgInput::scalars(vec![Scalar::I(0)]), &cfg);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,394 @@
+//! Injection campaigns: golden runs, whole-program FI, per-instruction FI.
+
+use crate::outcome::{classify, Outcome, OutcomeCounts};
+use crate::parallel::{default_threads, par_map};
+use crate::stats::{binomial_ci, BinomialCi};
+use minpsid_interp::{
+    ExecConfig, FaultSpec, FaultTarget, Interp, Output, Profile, ProgInput, Termination,
+};
+use minpsid_ir::{GlobalInstId, Module};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Campaign parameters (defaults follow §III-A3 of the paper).
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Whole-program campaign size (paper: 1000).
+    pub injections: usize,
+    /// Per-static-instruction campaign size (paper: 100).
+    pub per_inst_injections: usize,
+    /// RNG seed; campaigns are fully deterministic given the seed.
+    pub seed: u64,
+    /// Worker threads (the paper farms FI out over 160 cores).
+    pub threads: usize,
+    /// Hang threshold as a multiple of the golden run's dynamic steps.
+    pub hang_multiplier: u64,
+    /// Base interpreter limits for faulty runs.
+    pub exec: ExecConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            injections: 1000,
+            per_inst_injections: 100,
+            seed: 42,
+            threads: default_threads(),
+            hang_multiplier: 10,
+            exec: ExecConfig::default(),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Scaled-down preset for tests and tiny experiments.
+    pub fn quick(seed: u64) -> Self {
+        CampaignConfig {
+            injections: 120,
+            per_inst_injections: 20,
+            seed,
+            ..CampaignConfig::default()
+        }
+    }
+}
+
+/// The fault-free reference execution of (module, input).
+#[derive(Debug, Clone)]
+pub struct GoldenRun {
+    pub output: Output,
+    pub profile: Profile,
+    pub steps: u64,
+}
+
+/// Execute the golden (fault-free, profiled) run. Fails if the program
+/// does not exit cleanly — campaign inputs must be error-free, matching
+/// the paper's input-generation rule §III-A2.
+pub fn golden_run(
+    module: &Module,
+    input: &ProgInput,
+    cfg: &CampaignConfig,
+) -> Result<GoldenRun, Termination> {
+    let exec = ExecConfig {
+        profile: true,
+        ..cfg.exec.clone()
+    };
+    let r = Interp::new(module, exec).run(input);
+    if r.termination != Termination::Exit {
+        return Err(r.termination);
+    }
+    Ok(GoldenRun {
+        output: r.output,
+        profile: r.profile.expect("profiling was enabled"),
+        steps: r.steps,
+    })
+}
+
+fn faulty_exec_config(cfg: &CampaignConfig, golden_steps: u64) -> ExecConfig {
+    ExecConfig {
+        profile: false,
+        step_limit: golden_steps.saturating_mul(cfg.hang_multiplier).max(10_000),
+        ..cfg.exec.clone()
+    }
+}
+
+/// Result of a whole-program campaign.
+#[derive(Debug, Clone)]
+pub struct ProgramCampaign {
+    pub counts: OutcomeCounts,
+    /// 95 % Wilson interval on the SDC probability.
+    pub sdc_ci: BinomialCi,
+}
+
+impl ProgramCampaign {
+    pub fn sdc_prob(&self) -> f64 {
+        self.counts.sdc_prob()
+    }
+}
+
+/// Inject `cfg.injections` single-bit flips, each into a uniformly random
+/// dynamic instruction execution and uniformly random bit, and classify
+/// every outcome.
+pub fn program_campaign(
+    module: &Module,
+    input: &ProgInput,
+    golden: &GoldenRun,
+    cfg: &CampaignConfig,
+) -> ProgramCampaign {
+    let population = golden.profile.injectable_execs;
+    let mut counts = OutcomeCounts::default();
+    if population == 0 || cfg.injections == 0 {
+        return ProgramCampaign {
+            counts,
+            sdc_ci: binomial_ci(0, 0, 1.96),
+        };
+    }
+    let interp = Interp::new(module, faulty_exec_config(cfg, golden.steps));
+    let outcomes = par_map(cfg.injections, cfg.threads, |i| {
+        // per-injection RNG: deterministic regardless of thread schedule
+        let mut rng =
+            StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let fault = FaultSpec {
+            target: FaultTarget::NthDynamic(rng.random_range(0..population)),
+            bit: rng.random_range(0..64),
+        };
+        let r = interp.run_with_fault(input, fault);
+        debug_assert!(r.fault_applied, "dynamic index within population");
+        classify(&golden.output, &r)
+    });
+    for o in outcomes {
+        counts.record(o);
+    }
+    let sdc_ci = binomial_ci(counts.sdc, counts.total(), 1.96);
+    ProgramCampaign { counts, sdc_ci }
+}
+
+/// Per-static-instruction SDC profile (dense in module numbering order).
+#[derive(Debug, Clone)]
+pub struct PerInstSdc {
+    /// SDC probability of each static instruction; 0 for never-executed or
+    /// non-injectable instructions.
+    pub sdc_prob: Vec<f64>,
+    /// Raw outcome counts per static instruction.
+    pub counts: Vec<OutcomeCounts>,
+}
+
+impl PerInstSdc {
+    pub fn len(&self) -> usize {
+        self.sdc_prob.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sdc_prob.is_empty()
+    }
+}
+
+/// Measure the SDC probability of every injectable static instruction by
+/// injecting `cfg.per_inst_injections` faults into uniformly random dynamic
+/// executions of it.
+pub fn per_instruction_campaign(
+    module: &Module,
+    input: &ProgInput,
+    golden: &GoldenRun,
+    cfg: &CampaignConfig,
+) -> PerInstSdc {
+    let numbering = module.numbering();
+    let n = numbering.len();
+    let interp = Interp::new(module, faulty_exec_config(cfg, golden.steps));
+
+    // collect the injectable, executed instructions
+    let targets: Vec<(usize, GlobalInstId, u64)> = module
+        .iter_insts()
+        .filter(|(_, inst)| inst.injectable())
+        .map(|(gid, _)| {
+            let dense = numbering.index(gid);
+            (dense, gid, golden.profile.inst_counts[dense])
+        })
+        .filter(|&(_, _, count)| count > 0)
+        .collect();
+
+    let per_target = par_map(targets.len(), cfg.threads, |t| {
+        let (dense, gid, count) = targets[t];
+        let mut counts = OutcomeCounts::default();
+        for k in 0..cfg.per_inst_injections {
+            let mut rng = StdRng::seed_from_u64(
+                cfg.seed
+                    ^ (dense as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+                    ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let fault = FaultSpec {
+                target: FaultTarget::NthOfInst(gid, rng.random_range(0..count)),
+                bit: rng.random_range(0..64),
+            };
+            let r = interp.run_with_fault(input, fault);
+            debug_assert!(r.fault_applied);
+            counts.record(classify(&golden.output, &r));
+        }
+        (dense, counts)
+    });
+
+    let mut sdc_prob = vec![0.0; n];
+    let mut counts = vec![OutcomeCounts::default(); n];
+    for (dense, c) in per_target {
+        sdc_prob[dense] = c.sdc_prob();
+        counts[dense] = c;
+    }
+    PerInstSdc { sdc_prob, counts }
+}
+
+/// Count one specific outcome in a program campaign (test/report helper).
+pub fn outcome_fraction(counts: &OutcomeCounts, outcome: Outcome) -> f64 {
+    let t = counts.total();
+    if t == 0 {
+        return 0.0;
+    }
+    let k = match outcome {
+        Outcome::Benign => counts.benign,
+        Outcome::Sdc => counts.sdc,
+        Outcome::Crash => counts.crash,
+        Outcome::Hang => counts.hang,
+        Outcome::Detected => counts.detected,
+    };
+    k as f64 / t as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpsid_interp::Scalar;
+
+    /// A small kernel with input-dependent branching: faults on the
+    /// comparison flip the branch only when `x` is near the threshold.
+    fn test_module() -> Module {
+        minic::compile(
+            r#"
+            fn main() {
+                let n = arg_i(0);
+                let acc = 0;
+                for i = 0 to n {
+                    let v = i * 3 + 1;
+                    if v % 7 < 3 { acc = acc + v; }
+                }
+                out_i(acc);
+            }
+            "#,
+            "campaign-test",
+        )
+        .unwrap()
+    }
+
+    fn input(n: i64) -> ProgInput {
+        ProgInput::scalars(vec![Scalar::I(n)])
+    }
+
+    #[test]
+    fn golden_run_profiles_and_exits() {
+        let m = test_module();
+        let g = golden_run(&m, &input(50), &CampaignConfig::default()).unwrap();
+        assert_eq!(g.output.len(), 1);
+        assert!(g.profile.injectable_execs > 0);
+        assert!(g.steps > 100);
+    }
+
+    #[test]
+    fn golden_run_rejects_trapping_input() {
+        let m = minic::compile("fn main() { out_i(10 / arg_i(0)); }", "div").unwrap();
+        let r = golden_run(&m, &input(0), &CampaignConfig::default());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn program_campaign_accounts_for_every_injection() {
+        let m = test_module();
+        let cfg = CampaignConfig::quick(7);
+        let g = golden_run(&m, &input(60), &cfg).unwrap();
+        let c = program_campaign(&m, &input(60), &g, &cfg);
+        assert_eq!(c.counts.total(), cfg.injections as u64);
+        // a real program under random bit flips shows a mix of outcomes
+        assert!(c.counts.benign > 0, "some faults must be masked");
+        assert!(
+            c.counts.sdc > 0,
+            "some faults must corrupt the accumulator: {:?}",
+            c.counts
+        );
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_given_seed() {
+        let m = test_module();
+        let cfg = CampaignConfig::quick(99);
+        let g = golden_run(&m, &input(40), &cfg).unwrap();
+        let a = program_campaign(&m, &input(40), &g, &cfg);
+        let b = program_campaign(&m, &input(40), &g, &cfg);
+        assert_eq!(a.counts, b.counts);
+
+        let pa = per_instruction_campaign(&m, &input(40), &g, &cfg);
+        let pb = per_instruction_campaign(&m, &input(40), &g, &cfg);
+        assert_eq!(pa.sdc_prob, pb.sdc_prob);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let m = test_module();
+        let g = golden_run(&m, &input(40), &CampaignConfig::default()).unwrap();
+        let a = program_campaign(&m, &input(40), &g, &CampaignConfig::quick(1));
+        let b = program_campaign(&m, &input(40), &g, &CampaignConfig::quick(2));
+        assert_ne!(a.counts, b.counts, "distinct seeds sample differently");
+    }
+
+    #[test]
+    fn per_instruction_campaign_shapes_match_module() {
+        let m = test_module();
+        let cfg = CampaignConfig::quick(5);
+        let g = golden_run(&m, &input(30), &cfg).unwrap();
+        let p = per_instruction_campaign(&m, &input(30), &g, &cfg);
+        assert_eq!(p.len(), m.num_insts());
+        // the output instruction (out_i) is not injectable -> prob 0;
+        // at least one arithmetic instruction must show SDCs
+        assert!(p.sdc_prob.iter().any(|&x| x > 0.0));
+        assert!(p.sdc_prob.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn per_inst_counts_hit_requested_sample_size() {
+        let m = test_module();
+        let cfg = CampaignConfig::quick(3);
+        let g = golden_run(&m, &input(20), &cfg).unwrap();
+        let p = per_instruction_campaign(&m, &input(20), &g, &cfg);
+        for (dense, c) in p.counts.iter().enumerate() {
+            let executed = g.profile.inst_counts[dense] > 0;
+            let inst = m.inst(m.numbering().id_of(dense));
+            if executed && inst.injectable() {
+                assert_eq!(c.total(), cfg.per_inst_injections as u64);
+            } else {
+                assert_eq!(c.total(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_threaded_and_parallel_agree() {
+        let m = test_module();
+        let mut cfg1 = CampaignConfig::quick(11);
+        cfg1.threads = 1;
+        let mut cfg4 = CampaignConfig::quick(11);
+        cfg4.threads = 4;
+        let g = golden_run(&m, &input(25), &cfg1).unwrap();
+        let a = program_campaign(&m, &input(25), &g, &cfg1);
+        let b = program_campaign(&m, &input(25), &g, &cfg4);
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn hang_detection_catches_loop_bound_corruption() {
+        // a loop whose bound lives in memory: flips on the bound load can
+        // multiply the trip count far past the hang threshold
+        let m = minic::compile(
+            r#"
+            fn main() {
+                let n = arg_i(0);
+                let acc = 0;
+                let i = 0;
+                while i < n {
+                    acc = acc + i;
+                    i = i + 1;
+                }
+                out_i(acc);
+            }
+            "#,
+            "hang-test",
+        )
+        .unwrap();
+        let cfg = CampaignConfig {
+            injections: 400,
+            seed: 13,
+            ..CampaignConfig::default()
+        };
+        let g = golden_run(&m, &input(100), &cfg).unwrap();
+        let c = program_campaign(&m, &input(100), &g, &cfg);
+        assert!(
+            c.counts.hang > 0,
+            "high-bit flips on `i`/`n` should hang: {:?}",
+            c.counts
+        );
+    }
+}

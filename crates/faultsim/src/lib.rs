@@ -1,0 +1,38 @@
+//! # minpsid-faultsim — fault-injection campaigns over the minpsid IR
+//!
+//! The LLFI role in the paper's toolchain (§III-A3): given a program and an
+//! input, inject single-bit flips into the return value of a uniformly
+//! random dynamic instruction and classify the outcome against a golden
+//! run:
+//!
+//! * **Benign** — normal exit, bit-identical output (the fault was masked);
+//! * **SDC** — normal exit, different output (silent data corruption);
+//! * **Crash** — a trap (the hardware-exception analogue);
+//! * **Hang** — step budget exceeded (10× the golden run by default);
+//! * **Detected** — a SID duplication check caught the mismatch.
+//!
+//! Two campaign shapes, mirroring §III-A3:
+//!
+//! * [`program_campaign`] — N faults uniformly over all dynamic
+//!   instructions (the paper's 1000-fault program-level measurement);
+//! * [`per_instruction_campaign`] — N faults per *static* instruction,
+//!   sampled uniformly over that instruction's dynamic executions (the
+//!   paper's 100-fault per-instruction SDC-probability measurement that
+//!   feeds SID's benefit, Eq. 2).
+//!
+//! Campaigns are deterministic given a seed and embarrassingly parallel:
+//! injections fan out over crossbeam scoped threads.
+
+pub mod campaign;
+pub mod outcome;
+pub mod parallel;
+pub mod propagation;
+pub mod stats;
+
+pub use campaign::{
+    golden_run, per_instruction_campaign, program_campaign, CampaignConfig, GoldenRun, PerInstSdc,
+    ProgramCampaign,
+};
+pub use outcome::{classify, Outcome, OutcomeCounts};
+pub use propagation::{render_report, trace_fault, PropagationReport};
+pub use stats::{binomial_ci, BinomialCi};

@@ -1,0 +1,107 @@
+//! Minimal data-parallel map over crossbeam scoped threads.
+//!
+//! The paper parallelizes all FI runs over a 4×40-core farm (§VI-C);
+//! campaigns here do the same over the local cores. `rayon` is not in this
+//! project's dependency budget, so a small chunked fan-out is used — FI
+//! tasks are coarse (one program execution each), so dynamic work-stealing
+//! would buy nothing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use by default.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every index in `0..n`, collecting results in order.
+/// `threads == 1` degenerates to a plain loop (no spawn overhead).
+pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let threads = threads.min(n);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            let next = &next;
+            let f = &f;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i);
+                // SAFETY: each index is claimed by exactly one worker via
+                // the atomic counter, so writes never alias; the vector
+                // outlives the scope.
+                unsafe {
+                    *out_ptr.get().add(i) = Some(v);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    out.into_iter().map(|v| v.expect("slot filled")).collect()
+}
+
+struct SendPtr<T>(*mut T);
+
+// manual Copy/Clone: the derive would demand `T: Copy`, which the pointee
+// never needs to satisfy
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// whole `SendPtr` — edition-2021 precise capture would otherwise grab
+    /// the raw-pointer field, which is not `Send`.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+// SAFETY: the pointer is only dereferenced at disjoint indices (see above).
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let v = par_map(100, 4, |i| i * i);
+        assert_eq!(v, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path_matches() {
+        let a = par_map(17, 1, |i| i + 1);
+        let b = par_map(17, 4, |i| i + 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(par_map(0, 8, |i| i).is_empty());
+        assert_eq!(par_map(1, 8, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(par_map(3, 64, |i| i), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,1190 @@
+//! The execution engine.
+//!
+//! A straightforward explicit-stack interpreter over the IR. The inner loop
+//! avoids allocation: register files are reused per frame, per-instruction
+//! static data (cycle cost, injectability, dense numbering) is precomputed
+//! in [`Interp::new`], and profiling is branch-guarded so fault-injection
+//! runs (which dominate total experiment time and need no profile) stay on
+//! the fast path.
+
+use crate::fault::{flip_bit, FaultSpec, FaultTarget};
+use crate::profile::Profile;
+use crate::value::{Output, ProgInput, Scalar, Stream, Value};
+use minpsid_ir::{BinOp, BlockId, CmpOp, CostModel, FuncId, InstKind, Module, Ty, UnOp};
+
+/// Limits and switches for one execution.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Maximum dynamic instructions; exceeding it terminates with
+    /// [`Termination::StepLimit`] (classified as a hang by the campaign
+    /// layer, which sets this to a multiple of the golden run's steps).
+    pub step_limit: u64,
+    /// Maximum linear-memory cells (8 bytes each).
+    pub mem_limit: u64,
+    /// Maximum call depth.
+    pub call_depth_limit: u32,
+    /// Maximum output items (a fault can turn a bounded loop into an
+    /// output flood; the limit keeps campaigns memory-safe).
+    pub output_limit: usize,
+    /// Collect a [`Profile`].
+    pub profile: bool,
+    /// Record every register write as a [`TraceEvent`] (used by the
+    /// error-propagation analysis; costs memory proportional to steps).
+    pub trace: bool,
+    pub cost_model: CostModel,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            step_limit: 200_000_000,
+            mem_limit: 1 << 24,
+            call_depth_limit: 512,
+            output_limit: 1 << 20,
+            profile: false,
+            trace: false,
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+/// One register write: which static instruction (dense index) produced
+/// which value. The sequence of trace events is the program's dataflow
+/// history; diffing a faulty run's trace against the golden one shows how
+/// an error propagates (the paper's §IV root-cause methodology).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Dense module-wide index of the producing instruction.
+    pub dense: u32,
+    pub value: Value,
+}
+
+/// Why an execution trapped (→ "crash" in the paper's outcome taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapKind {
+    OutOfBounds,
+    DivByZero,
+    NegativeAlloc,
+    MemLimit,
+    CallDepth,
+    UndefRead,
+    ArgOutOfRange,
+    ArgTypeMismatch,
+    StreamOutOfBounds,
+    StreamTypeMismatch,
+    TypeConfusion,
+}
+
+/// How an execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// Normal exit from the entry function.
+    Exit,
+    /// Hardware-exception-like failure.
+    Trap(TrapKind),
+    /// A duplication check caught a mismatch (SID detection event).
+    Detected,
+    /// Step or output budget exhausted (hang).
+    StepLimit,
+}
+
+/// The result of one execution.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    pub termination: Termination,
+    pub output: Output,
+    pub profile: Option<Profile>,
+    /// Dynamic instructions executed.
+    pub steps: u64,
+    /// Whether the configured fault actually triggered (a fault aimed past
+    /// the end of the dynamic trace never fires).
+    pub fault_applied: bool,
+    /// Entry function's return value on normal exit.
+    pub ret: Option<Value>,
+    /// Register-write trace (only with [`ExecConfig::trace`]).
+    pub trace: Option<Vec<TraceEvent>>,
+}
+
+impl ExecResult {
+    /// Convenience for tests and examples.
+    pub fn exited(&self) -> bool {
+        self.termination == Termination::Exit
+    }
+}
+
+/// Tag bit distinguishing stack (`salloc`) pointers from heap (`alloc`)
+/// pointers. A bit flip on the tag moves the pointer into the other space,
+/// which — like any pointer corruption — yields a wrong-address access or
+/// an out-of-bounds trap.
+pub const STACK_TAG: u64 = 1 << 62;
+
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    /// Index into the current block's instruction list.
+    pos: usize,
+    regs: Vec<Value>,
+    args: Vec<Value>,
+    /// Stack-memory watermark to restore on return (frees `salloc`s).
+    sp_base: usize,
+}
+
+/// An interpreter bound to one module. Cheap to construct; immutable and
+/// shareable across threads (campaigns clone nothing but the config).
+pub struct Interp<'m> {
+    module: &'m Module,
+    config: ExecConfig,
+    /// Dense numbering base per function.
+    base: Vec<usize>,
+    /// Per static instruction (dense): cycle cost.
+    cost: Vec<u64>,
+    /// Per static instruction (dense): injectable flag.
+    injectable: Vec<bool>,
+}
+
+impl<'m> Interp<'m> {
+    pub fn new(module: &'m Module, config: ExecConfig) -> Self {
+        let mut base = Vec::with_capacity(module.funcs.len());
+        let mut acc = 0usize;
+        let mut cost = Vec::with_capacity(module.num_insts());
+        let mut injectable = Vec::with_capacity(module.num_insts());
+        for f in &module.funcs {
+            base.push(acc);
+            acc += f.insts.len();
+            for inst in &f.insts {
+                cost.push(config.cost_model.cycles(&inst.kind, inst.ty));
+                injectable.push(inst.injectable());
+            }
+        }
+        Interp {
+            module,
+            config,
+            base,
+            cost,
+            injectable,
+        }
+    }
+
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// Execute without faults.
+    pub fn run(&self, input: &ProgInput) -> ExecResult {
+        self.run_inner(input, None)
+    }
+
+    /// Execute with a single fault armed.
+    pub fn run_with_fault(&self, input: &ProgInput, fault: FaultSpec) -> ExecResult {
+        self.run_inner(input, Some(fault))
+    }
+
+    fn run_inner(&self, input: &ProgInput, fault: Option<FaultSpec>) -> ExecResult {
+        let m = self.module;
+        let mut profile = self.config.profile.then(|| Profile::for_module(m));
+        let mut output = Output::default();
+        let mut mem: Vec<u64> = Vec::new();
+        let mut stack_mem: Vec<u64> = Vec::new();
+        let mut steps: u64 = 0;
+        let mut trace: Option<Vec<TraceEvent>> = self.config.trace.then(Vec::new);
+        let mut inj_ctr: u64 = 0;
+        let mut per_inst_ctr: u64 = 0;
+        let mut fault_applied = false;
+
+        // fault target precomputation
+        let (target_dense, target_nth, whole_nth) = match fault {
+            Some(FaultSpec {
+                target: FaultTarget::NthOfInst(gid, n),
+                ..
+            }) => (
+                Some(self.base[gid.func.index()] + gid.inst.index()),
+                n,
+                u64::MAX,
+            ),
+            Some(FaultSpec {
+                target: FaultTarget::NthDynamic(n),
+                ..
+            }) => (None, 0, n),
+            None => (None, 0, u64::MAX),
+        };
+        let fault_armed = fault.is_some();
+        let fault_bit = fault.map(|f| f.bit).unwrap_or(0);
+
+        let entry_fn = m.func(m.entry);
+        let mut stack = vec![Frame {
+            func: m.entry,
+            block: BlockId(0),
+            pos: 0,
+            regs: vec![Value::Undef; entry_fn.insts.len()],
+            args: vec![],
+            sp_base: 0,
+        }];
+        if let Some(p) = profile.as_mut() {
+            p.block_counts[m.entry.index()][0] += 1;
+        }
+
+        macro_rules! finish {
+            ($term:expr, $ret:expr) => {
+                return ExecResult {
+                    termination: $term,
+                    output,
+                    profile: profile.map(|mut p: Profile| {
+                        p.total_insts = steps;
+                        p.injectable_execs = inj_ctr;
+                        p.total_cycles = p.inst_cycles.iter().sum();
+                        p
+                    }),
+                    steps,
+                    fault_applied,
+                    ret: $ret,
+                    trace,
+                }
+            };
+        }
+        macro_rules! trap {
+            ($kind:expr) => {
+                finish!(Termination::Trap($kind), None)
+            };
+        }
+
+        'outer: loop {
+            // Hot loop: one instruction per iteration of this inner loop.
+            loop {
+                let depth = stack.len() as u32;
+                let frame = stack.last_mut().unwrap();
+                let func = &m.funcs[frame.func.index()];
+                let block = &func.blocks[frame.block.index()];
+                debug_assert!(frame.pos < block.insts.len(), "fell off block end");
+                let iid = block.insts[frame.pos];
+                let inst = &func.insts[iid.index()];
+                let dense = self.base[frame.func.index()] + iid.index();
+
+                steps += 1;
+                if steps > self.config.step_limit {
+                    finish!(Termination::StepLimit, None);
+                }
+                if let Some(p) = profile.as_mut() {
+                    p.inst_counts[dense] += 1;
+                    p.inst_cycles[dense] += self.cost[dense];
+                }
+
+                // operand fetch
+                macro_rules! val {
+                    ($o:expr) => {{
+                        let v = match $o {
+                            minpsid_ir::Operand::Value(id) => frame.regs[id.index()],
+                            minpsid_ir::Operand::ConstI(c) => Value::I(*c),
+                            minpsid_ir::Operand::ConstF(c) => Value::F(*c),
+                            minpsid_ir::Operand::ConstB(c) => Value::B(*c),
+                        };
+                        if matches!(v, Value::Undef) {
+                            trap!(TrapKind::UndefRead);
+                        }
+                        v
+                    }};
+                }
+                macro_rules! int {
+                    ($o:expr) => {
+                        match val!($o) {
+                            Value::I(v) => v,
+                            _ => trap!(TrapKind::TypeConfusion),
+                        }
+                    };
+                }
+                macro_rules! flt {
+                    ($o:expr) => {
+                        match val!($o) {
+                            Value::F(v) => v,
+                            _ => trap!(TrapKind::TypeConfusion),
+                        }
+                    };
+                }
+                macro_rules! boolean {
+                    ($o:expr) => {
+                        match val!($o) {
+                            Value::B(v) => v,
+                            _ => trap!(TrapKind::TypeConfusion),
+                        }
+                    };
+                }
+                macro_rules! ptr {
+                    ($o:expr) => {
+                        match val!($o) {
+                            Value::P(v) => v,
+                            _ => trap!(TrapKind::TypeConfusion),
+                        }
+                    };
+                }
+
+                // compute the result value (None for void / control)
+                let mut result: Option<Value> = None;
+                let mut control: Option<Control> = None;
+
+                match &inst.kind {
+                    InstKind::Param { n } => {
+                        let v = frame.args.get(*n as usize).copied().unwrap_or(Value::Undef);
+                        result = Some(v);
+                    }
+                    InstKind::Bin { op, lhs, rhs } => {
+                        let a = val!(lhs);
+                        let b = val!(rhs);
+                        match (a, b) {
+                            (Value::I(x), Value::I(y)) => {
+                                let r = match op {
+                                    BinOp::Add => x.wrapping_add(y),
+                                    BinOp::Sub => x.wrapping_sub(y),
+                                    BinOp::Mul => x.wrapping_mul(y),
+                                    BinOp::Div => match x.checked_div(y) {
+                                        Some(v) => v,
+                                        None => trap!(TrapKind::DivByZero),
+                                    },
+                                    BinOp::Rem => match x.checked_rem(y) {
+                                        Some(v) => v,
+                                        None => trap!(TrapKind::DivByZero),
+                                    },
+                                    BinOp::And => x & y,
+                                    BinOp::Or => x | y,
+                                    BinOp::Xor => x ^ y,
+                                    BinOp::Shl => x.wrapping_shl(y as u32 & 63),
+                                    BinOp::Shr => x.wrapping_shr(y as u32 & 63),
+                                    BinOp::Min => x.min(y),
+                                    BinOp::Max => x.max(y),
+                                };
+                                result = Some(Value::I(r));
+                            }
+                            (Value::F(x), Value::F(y)) => {
+                                let r = match op {
+                                    BinOp::Add => x + y,
+                                    BinOp::Sub => x - y,
+                                    BinOp::Mul => x * y,
+                                    BinOp::Div => x / y,
+                                    BinOp::Rem => x % y,
+                                    BinOp::Min => x.min(y),
+                                    BinOp::Max => x.max(y),
+                                    _ => trap!(TrapKind::TypeConfusion),
+                                };
+                                result = Some(Value::F(r));
+                            }
+                            _ => trap!(TrapKind::TypeConfusion),
+                        }
+                    }
+                    InstKind::Un { op, arg } => {
+                        let v = val!(arg);
+                        let r = match (op, v) {
+                            (UnOp::Neg, Value::I(x)) => Value::I(x.wrapping_neg()),
+                            (UnOp::Neg, Value::F(x)) => Value::F(-x),
+                            (UnOp::Not, Value::B(x)) => Value::B(!x),
+                            (UnOp::Not, Value::I(x)) => Value::I(!x),
+                            (UnOp::Abs, Value::I(x)) => Value::I(x.wrapping_abs()),
+                            (UnOp::Abs, Value::F(x)) => Value::F(x.abs()),
+                            (UnOp::Sqrt, Value::F(x)) => Value::F(x.sqrt()),
+                            (UnOp::Sin, Value::F(x)) => Value::F(x.sin()),
+                            (UnOp::Cos, Value::F(x)) => Value::F(x.cos()),
+                            (UnOp::Exp, Value::F(x)) => Value::F(x.exp()),
+                            (UnOp::Log, Value::F(x)) => Value::F(x.ln()),
+                            (UnOp::Floor, Value::F(x)) => Value::F(x.floor()),
+                            _ => trap!(TrapKind::TypeConfusion),
+                        };
+                        result = Some(r);
+                    }
+                    InstKind::Cmp { op, lhs, rhs } => {
+                        let a = val!(lhs);
+                        let b = val!(rhs);
+                        let r = match (a, b) {
+                            (Value::I(x), Value::I(y)) => cmp_ord(*op, x.cmp(&y)),
+                            (Value::B(x), Value::B(y)) => cmp_ord(*op, x.cmp(&y)),
+                            (Value::F(x), Value::F(y)) => match op {
+                                CmpOp::Eq => x == y,
+                                CmpOp::Ne => x != y,
+                                CmpOp::Lt => x < y,
+                                CmpOp::Le => x <= y,
+                                CmpOp::Gt => x > y,
+                                CmpOp::Ge => x >= y,
+                            },
+                            _ => trap!(TrapKind::TypeConfusion),
+                        };
+                        result = Some(Value::B(r));
+                    }
+                    InstKind::Select {
+                        cond,
+                        then_v,
+                        else_v,
+                    } => {
+                        let c = boolean!(cond);
+                        result = Some(if c { val!(then_v) } else { val!(else_v) });
+                    }
+                    InstKind::Cast { to, arg } => {
+                        let v = val!(arg);
+                        let r = match (v, to) {
+                            (Value::I(x), Ty::F64) => Value::F(x as f64),
+                            (Value::F(x), Ty::I64) => Value::I(x as i64), // saturating
+                            (Value::B(x), Ty::I64) => Value::I(x as i64),
+                            (Value::I(x), Ty::I64) => Value::I(x),
+                            _ => trap!(TrapKind::TypeConfusion),
+                        };
+                        result = Some(r);
+                    }
+                    InstKind::Alloc { count } => {
+                        let n = int!(count);
+                        if n < 0 {
+                            trap!(TrapKind::NegativeAlloc);
+                        }
+                        let n = n as u64;
+                        let base = mem.len() as u64;
+                        if base + n > self.config.mem_limit {
+                            trap!(TrapKind::MemLimit);
+                        }
+                        mem.resize((base + n) as usize, 0);
+                        result = Some(Value::P(base));
+                    }
+                    InstKind::Salloc { count } => {
+                        let n = int!(count);
+                        if n < 0 {
+                            trap!(TrapKind::NegativeAlloc);
+                        }
+                        let n = n as u64;
+                        let base = stack_mem.len() as u64;
+                        if base + n > self.config.mem_limit {
+                            trap!(TrapKind::MemLimit);
+                        }
+                        stack_mem.resize((base + n) as usize, 0);
+                        result = Some(Value::P(STACK_TAG | base));
+                    }
+                    InstKind::Load { ptr, idx, ty } => {
+                        let p = ptr!(ptr);
+                        let i = int!(idx);
+                        let (space, base): (&[u64], u64) = if p & STACK_TAG != 0 {
+                            (&stack_mem, p & !STACK_TAG)
+                        } else {
+                            (&mem, p)
+                        };
+                        let addr = base as i128 + i as i128;
+                        if addr < 0 || addr >= space.len() as i128 {
+                            trap!(TrapKind::OutOfBounds);
+                        }
+                        let bits = space[addr as usize];
+                        result = Some(match ty {
+                            Ty::I64 => Value::I(bits as i64),
+                            Ty::F64 => Value::F(f64::from_bits(bits)),
+                            _ => trap!(TrapKind::TypeConfusion),
+                        });
+                    }
+                    InstKind::Store { ptr, idx, value } => {
+                        let p = ptr!(ptr);
+                        let i = int!(idx);
+                        let v = val!(value);
+                        let (space, base): (&mut Vec<u64>, u64) = if p & STACK_TAG != 0 {
+                            (&mut stack_mem, p & !STACK_TAG)
+                        } else {
+                            (&mut mem, p)
+                        };
+                        let addr = base as i128 + i as i128;
+                        if addr < 0 || addr >= space.len() as i128 {
+                            trap!(TrapKind::OutOfBounds);
+                        }
+                        space[addr as usize] = match v {
+                            Value::I(x) => x as u64,
+                            Value::F(x) => x.to_bits(),
+                            _ => trap!(TrapKind::TypeConfusion),
+                        };
+                    }
+                    InstKind::Call { func: callee, args } => {
+                        if depth >= self.config.call_depth_limit {
+                            trap!(TrapKind::CallDepth);
+                        }
+                        let mut argv = Vec::with_capacity(args.len());
+                        for a in args {
+                            argv.push(val!(a));
+                        }
+                        control = Some(Control::Call(*callee, argv));
+                    }
+                    InstKind::NArgs => {
+                        result = Some(Value::I(input.args.len() as i64));
+                    }
+                    InstKind::ArgI { n } => {
+                        let i = int!(n);
+                        match input.args.get(usize::try_from(i).unwrap_or(usize::MAX)) {
+                            Some(Scalar::I(v)) => result = Some(Value::I(*v)),
+                            Some(Scalar::F(_)) => trap!(TrapKind::ArgTypeMismatch),
+                            None => trap!(TrapKind::ArgOutOfRange),
+                        }
+                    }
+                    InstKind::ArgF { n } => {
+                        let i = int!(n);
+                        match input.args.get(usize::try_from(i).unwrap_or(usize::MAX)) {
+                            Some(Scalar::F(v)) => result = Some(Value::F(*v)),
+                            Some(Scalar::I(_)) => trap!(TrapKind::ArgTypeMismatch),
+                            None => trap!(TrapKind::ArgOutOfRange),
+                        }
+                    }
+                    InstKind::DataLen { stream } => {
+                        let len = input
+                            .streams
+                            .get(*stream as usize)
+                            .map(|s| s.len() as i64)
+                            .unwrap_or(0);
+                        result = Some(Value::I(len));
+                    }
+                    InstKind::DataI { stream, idx } => {
+                        let i = int!(idx);
+                        match input.streams.get(*stream as usize) {
+                            Some(Stream::I(v)) => {
+                                match v.get(usize::try_from(i).unwrap_or(usize::MAX)) {
+                                    Some(x) => result = Some(Value::I(*x)),
+                                    None => trap!(TrapKind::StreamOutOfBounds),
+                                }
+                            }
+                            Some(Stream::F(_)) => trap!(TrapKind::StreamTypeMismatch),
+                            None => trap!(TrapKind::StreamOutOfBounds),
+                        }
+                    }
+                    InstKind::DataF { stream, idx } => {
+                        let i = int!(idx);
+                        match input.streams.get(*stream as usize) {
+                            Some(Stream::F(v)) => {
+                                match v.get(usize::try_from(i).unwrap_or(usize::MAX)) {
+                                    Some(x) => result = Some(Value::F(*x)),
+                                    None => trap!(TrapKind::StreamOutOfBounds),
+                                }
+                            }
+                            Some(Stream::I(_)) => trap!(TrapKind::StreamTypeMismatch),
+                            None => trap!(TrapKind::StreamOutOfBounds),
+                        }
+                    }
+                    InstKind::OutI { v } => {
+                        let x = int!(v);
+                        output.push_i(x);
+                        if output.len() > self.config.output_limit {
+                            finish!(Termination::StepLimit, None);
+                        }
+                    }
+                    InstKind::OutF { v } => {
+                        let x = flt!(v);
+                        output.push_f(x);
+                        if output.len() > self.config.output_limit {
+                            finish!(Termination::StepLimit, None);
+                        }
+                    }
+                    InstKind::Check { a, b } => {
+                        let x = val!(a);
+                        let y = val!(b);
+                        if !bit_equal(x, y) {
+                            finish!(Termination::Detected, None);
+                        }
+                    }
+                    InstKind::Br { target } => {
+                        control = Some(Control::Jump(*target));
+                    }
+                    InstKind::CondBr {
+                        cond,
+                        then_b,
+                        else_b,
+                    } => {
+                        let c = boolean!(cond);
+                        control = Some(Control::Jump(if c { *then_b } else { *else_b }));
+                    }
+                    InstKind::Ret { v } => {
+                        let rv = match v {
+                            Some(v) => Some(val!(v)),
+                            None => None,
+                        };
+                        control = Some(Control::Return(rv));
+                    }
+                }
+
+                // fault application: flip a bit of the freshly produced
+                // value when this dynamic execution is the armed target.
+                // Calls produce their value at return time and are handled
+                // in the Return branch below; everything else produces it
+                // here.
+                if self.injectable[dense] {
+                    if let Some(v) = result {
+                        if fault_armed {
+                            let fire = match target_dense {
+                                Some(td) => {
+                                    if td == dense {
+                                        let hit = per_inst_ctr == target_nth;
+                                        per_inst_ctr += 1;
+                                        hit
+                                    } else {
+                                        false
+                                    }
+                                }
+                                None => inj_ctr == whole_nth,
+                            };
+                            if fire && !fault_applied {
+                                fault_applied = true;
+                                result = Some(flip_bit(v, fault_bit));
+                            }
+                        }
+                        inj_ctr += 1;
+                    }
+                }
+
+                if let Some(v) = result {
+                    frame.regs[iid.index()] = v;
+                    if let Some(t) = trace.as_mut() {
+                        t.push(TraceEvent {
+                            dense: dense as u32,
+                            value: v,
+                        });
+                    }
+                }
+
+                match control {
+                    None => {
+                        frame.pos += 1;
+                    }
+                    Some(Control::Jump(target)) => {
+                        if let Some(p) = profile.as_mut() {
+                            p.block_counts[frame.func.index()][target.index()] += 1;
+                            *p.edge_counts[frame.func.index()]
+                                .entry((frame.block, target))
+                                .or_insert(0) += 1;
+                        }
+                        frame.block = target;
+                        frame.pos = 0;
+                    }
+                    Some(Control::Call(callee, argv)) => {
+                        let cf = &m.funcs[callee.index()];
+                        let new_frame = Frame {
+                            func: callee,
+                            block: BlockId(0),
+                            pos: 0,
+                            regs: vec![Value::Undef; cf.insts.len()],
+                            args: argv,
+                            sp_base: stack_mem.len(),
+                        };
+                        if let Some(p) = profile.as_mut() {
+                            p.block_counts[callee.index()][0] += 1;
+                        }
+                        stack.push(new_frame);
+                    }
+                    Some(Control::Return(rv)) => {
+                        let finished = stack.pop().unwrap();
+                        stack_mem.truncate(finished.sp_base);
+                        match stack.last_mut() {
+                            None => {
+                                finish!(Termination::Exit, rv);
+                            }
+                            Some(caller) => {
+                                // write the return value into the call's
+                                // register and advance past the call; the
+                                // call's return value materializes *here*,
+                                // so this is its fault-injection point
+                                let cfunc = &m.funcs[caller.func.index()];
+                                let cblock = &cfunc.blocks[caller.block.index()];
+                                let call_iid = cblock.insts[caller.pos];
+                                let call_dense = self.base[caller.func.index()] + call_iid.index();
+                                if let Some(mut v) = rv {
+                                    if self.injectable[call_dense] {
+                                        if fault_armed {
+                                            let fire = match target_dense {
+                                                Some(td) => {
+                                                    if td == call_dense {
+                                                        let hit = per_inst_ctr == target_nth;
+                                                        per_inst_ctr += 1;
+                                                        hit
+                                                    } else {
+                                                        false
+                                                    }
+                                                }
+                                                None => inj_ctr == whole_nth,
+                                            };
+                                            if fire && !fault_applied {
+                                                fault_applied = true;
+                                                v = flip_bit(v, fault_bit);
+                                            }
+                                        }
+                                        inj_ctr += 1;
+                                    }
+                                    caller.regs[call_iid.index()] = v;
+                                    if let Some(t) = trace.as_mut() {
+                                        t.push(TraceEvent {
+                                            dense: call_dense as u32,
+                                            value: v,
+                                        });
+                                    }
+                                }
+                                caller.pos += 1;
+                            }
+                        }
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum Control {
+    Jump(BlockId),
+    Call(FuncId, Vec<Value>),
+    Return(Option<Value>),
+}
+
+fn cmp_ord(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+    }
+}
+
+/// Bit-exact equality used by duplication checks (NaN payloads compare by
+/// bits, exactly as a hardware comparator over registers would).
+fn bit_equal(a: Value, b: Value) -> bool {
+    match (a, b) {
+        (Value::I(x), Value::I(y)) => x == y,
+        (Value::F(x), Value::F(y)) => x.to_bits() == y.to_bits(),
+        (Value::B(x), Value::B(y)) => x == y,
+        (Value::P(x), Value::P(y)) => x == y,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpsid_ir::{verify::assert_verified, GlobalInstId, InstId, ModuleBuilder};
+
+    fn run_module(m: &Module, input: &ProgInput) -> ExecResult {
+        assert_verified(m);
+        let cfg = ExecConfig {
+            profile: true,
+            ..ExecConfig::default()
+        };
+        Interp::new(m, cfg).run(input)
+    }
+
+    /// sum of 0..n via a loop with a memory accumulator
+    fn sum_module() -> Module {
+        let mut mb = ModuleBuilder::new("sum");
+        let main = mb.declare("main", vec![], None);
+        let mut fb = mb.body(main);
+        let head = fb.new_block("head");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        let n = fb.arg_i(0i64);
+        let slot = fb.alloc(2i64); // [i, acc]
+        fb.store(slot, 0i64, 0i64);
+        fb.store(slot, 1i64, 0i64);
+        fb.br(head);
+        fb.switch_to(head);
+        let i = fb.load(Ty::I64, slot, 0i64);
+        let c = fb.cmp(CmpOp::Lt, i, n);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let acc = fb.load(Ty::I64, slot, 1i64);
+        let acc2 = fb.add(Ty::I64, acc, i);
+        fb.store(slot, 1i64, acc2);
+        let i2 = fb.add(Ty::I64, i, 1i64);
+        fb.store(slot, 0i64, i2);
+        fb.br(head);
+        fb.switch_to(exit);
+        let fin = fb.load(Ty::I64, slot, 1i64);
+        fb.out_i(fin);
+        fb.ret_void();
+        mb.define(fb);
+        mb.finish()
+    }
+
+    #[test]
+    fn loop_sum_produces_expected_output() {
+        let m = sum_module();
+        let r = run_module(&m, &ProgInput::scalars(vec![Scalar::I(10)]));
+        assert!(r.exited());
+        assert_eq!(r.output.items, vec![crate::value::OutputItem::I(45)]);
+    }
+
+    #[test]
+    fn profile_counts_loop_iterations() {
+        let m = sum_module();
+        let r = run_module(&m, &ProgInput::scalars(vec![Scalar::I(10)]));
+        let p = r.profile.unwrap();
+        // body block (id 2) entered exactly 10 times
+        assert_eq!(p.block_counts[0][2], 10);
+        // head entered 11 times (10 iterations + final test)
+        assert_eq!(p.block_counts[0][1], 11);
+        // edge body->head has weight 10
+        assert_eq!(p.edge_count(FuncId(0), BlockId(2), BlockId(1)), 10);
+        assert!(p.total_cycles > 0);
+        assert_eq!(p.total_insts, r.steps);
+    }
+
+    #[test]
+    fn recursion_works_and_depth_is_limited() {
+        // fib(n) recursive
+        let mut mb = ModuleBuilder::new("fib");
+        let main = mb.declare("main", vec![], None);
+        let fib = mb.declare("fib", vec![Ty::I64], Some(Ty::I64));
+        let mut fb = mb.body(fib);
+        let rec = fb.new_block("rec");
+        let basecase = fb.new_block("base");
+        let n = fb.param(0);
+        let c = fb.cmp(CmpOp::Lt, n, 2i64);
+        fb.cond_br(c, basecase, rec);
+        fb.switch_to(basecase);
+        fb.ret(n);
+        fb.switch_to(rec);
+        let n1 = fb.sub(Ty::I64, n, 1i64);
+        let n2 = fb.sub(Ty::I64, n, 2i64);
+        let a = fb.call(fib, Some(Ty::I64), vec![n1.into()]);
+        let b = fb.call(fib, Some(Ty::I64), vec![n2.into()]);
+        let s = fb.add(Ty::I64, a, b);
+        fb.ret(s);
+        mb.define(fb);
+        let mut fb = mb.body(main);
+        let x = fb.arg_i(0i64);
+        let v = fb.call(fib, Some(Ty::I64), vec![x.into()]);
+        fb.out_i(v);
+        fb.ret_void();
+        mb.define(fb);
+        let m = mb.finish();
+
+        let r = run_module(&m, &ProgInput::scalars(vec![Scalar::I(12)]));
+        assert!(r.exited());
+        assert_eq!(r.output.items, vec![crate::value::OutputItem::I(144)]);
+    }
+
+    #[test]
+    fn div_by_zero_traps() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", vec![], None);
+        let mut fb = mb.body(main);
+        let a = fb.arg_i(0i64);
+        let d = fb.div(Ty::I64, 10i64, a);
+        fb.out_i(d);
+        fb.ret_void();
+        mb.define(fb);
+        let m = mb.finish();
+        let r = run_module(&m, &ProgInput::scalars(vec![Scalar::I(0)]));
+        assert_eq!(r.termination, Termination::Trap(TrapKind::DivByZero));
+    }
+
+    #[test]
+    fn out_of_bounds_load_traps() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", vec![], None);
+        let mut fb = mb.body(main);
+        let p = fb.alloc(4i64);
+        let v = fb.load(Ty::I64, p, 100i64);
+        fb.out_i(v);
+        fb.ret_void();
+        mb.define(fb);
+        let m = mb.finish();
+        let r = run_module(&m, &ProgInput::default());
+        assert_eq!(r.termination, Termination::Trap(TrapKind::OutOfBounds));
+    }
+
+    #[test]
+    fn step_limit_catches_infinite_loop() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", vec![], None);
+        let mut fb = mb.body(main);
+        let l = fb.new_block("l");
+        fb.br(l);
+        fb.switch_to(l);
+        fb.br(l);
+        mb.define(fb);
+        let m = mb.finish();
+        let cfg = ExecConfig {
+            step_limit: 1000,
+            ..ExecConfig::default()
+        };
+        let r = Interp::new(&m, cfg).run(&ProgInput::default());
+        assert_eq!(r.termination, Termination::StepLimit);
+        assert!(r.steps <= 1001);
+    }
+
+    #[test]
+    fn check_detects_mismatch() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", vec![], None);
+        let mut fb = mb.body(main);
+        let a = fb.add(Ty::I64, 1i64, 2i64);
+        let b = fb.add(Ty::I64, 1i64, 2i64);
+        // manually insert a check; without a fault both sides agree
+        fb.check(a, b);
+        fb.out_i(a);
+        fb.ret_void();
+        mb.define(fb);
+        let m = mb.finish();
+        let r = run_module(&m, &ProgInput::default());
+        assert!(r.exited(), "no fault -> check passes");
+
+        // fault on the first add: check must fire
+        let cfg = ExecConfig::default();
+        let fault = FaultSpec {
+            target: FaultTarget::NthOfInst(
+                GlobalInstId {
+                    func: FuncId(0),
+                    inst: InstId(0),
+                },
+                0,
+            ),
+            bit: 5,
+        };
+        let r = Interp::new(&m, cfg).run_with_fault(&ProgInput::default(), fault);
+        assert!(r.fault_applied);
+        assert_eq!(r.termination, Termination::Detected);
+    }
+
+    #[test]
+    fn whole_program_fault_changes_output() {
+        let m = sum_module();
+        let interp = Interp::new(&m, ExecConfig::default());
+        let input = ProgInput::scalars(vec![Scalar::I(10)]);
+        let golden = interp.run(&input);
+        // hit the accumulator add (flip a low bit of some execution)
+        let fault = FaultSpec {
+            target: FaultTarget::NthDynamic(20),
+            bit: 3,
+        };
+        let faulty = interp.run_with_fault(&input, fault);
+        assert!(faulty.fault_applied);
+        // outcome is input- and site-dependent; it must be *some* deviation
+        // or a masked (equal-output) run, never a panic
+        if faulty.termination == Termination::Exit {
+            // either masked or SDC — both are legitimate
+            let _ = faulty.output == golden.output;
+        }
+    }
+
+    #[test]
+    fn fault_past_end_of_trace_never_fires() {
+        let m = sum_module();
+        let interp = Interp::new(&m, ExecConfig::default());
+        let input = ProgInput::scalars(vec![Scalar::I(3)]);
+        let fault = FaultSpec {
+            target: FaultTarget::NthDynamic(1_000_000),
+            bit: 0,
+        };
+        let r = interp.run_with_fault(&input, fault);
+        assert!(!r.fault_applied);
+        assert!(r.exited());
+    }
+
+    #[test]
+    fn call_return_values_are_injectable() {
+        // main calls sq(x) and prints it: a fault aimed at the call
+        // instruction must flip the *returned* value
+        let mut mb = ModuleBuilder::new("call-fi");
+        let main = mb.declare("main", vec![], None);
+        let sq = mb.declare("sq", vec![Ty::I64], Some(Ty::I64));
+        let mut fb = mb.body(sq);
+        let p = fb.param(0);
+        let r = fb.mul(Ty::I64, p, p);
+        fb.ret(r);
+        mb.define(fb);
+        let mut fb = mb.body(main);
+        let v = fb.call(sq, Some(Ty::I64), vec![6i64.into()]);
+        fb.out_i(v);
+        fb.ret_void();
+        mb.define(fb);
+        let m = mb.finish();
+
+        // locate the call instruction (function 0, the first instruction)
+        let call_gid = GlobalInstId {
+            func: FuncId(0),
+            inst: InstId(0),
+        };
+        assert!(m.inst(call_gid).injectable());
+        let interp = Interp::new(&m, ExecConfig::default());
+        let fault = FaultSpec {
+            target: FaultTarget::NthOfInst(call_gid, 0),
+            bit: 0,
+        };
+        let r = interp.run_with_fault(&ProgInput::default(), fault);
+        assert!(r.fault_applied, "call-return fault must fire");
+        assert_eq!(
+            r.output.items,
+            vec![crate::value::OutputItem::I(37)],
+            "36 with bit 0 flipped"
+        );
+    }
+
+    #[test]
+    fn injectable_exec_count_matches_between_golden_and_armed_runs() {
+        // profile a run with calls; then aim a fault at the *last*
+        // injectable execution — it must fire (the populations agree)
+        let mut mb = ModuleBuilder::new("count-check");
+        let main = mb.declare("main", vec![], None);
+        let inc = mb.declare("inc", vec![Ty::I64], Some(Ty::I64));
+        let mut fb = mb.body(inc);
+        let p = fb.param(0);
+        let r = fb.add(Ty::I64, p, 1i64);
+        fb.ret(r);
+        mb.define(fb);
+        let mut fb = mb.body(main);
+        let a = fb.call(inc, Some(Ty::I64), vec![1i64.into()]);
+        let b = fb.call(inc, Some(Ty::I64), vec![a.into()]);
+        fb.out_i(b);
+        fb.ret_void();
+        mb.define(fb);
+        let m = mb.finish();
+
+        let cfg = ExecConfig {
+            profile: true,
+            ..ExecConfig::default()
+        };
+        let interp = Interp::new(&m, cfg);
+        let golden = interp.run(&ProgInput::default());
+        let pop = golden.profile.unwrap().injectable_execs;
+        assert!(pop >= 4, "two adds + two call returns");
+        let fault = FaultSpec {
+            target: FaultTarget::NthDynamic(pop - 1),
+            bit: 1,
+        };
+        let r = interp.run_with_fault(&ProgInput::default(), fault);
+        assert!(
+            r.fault_applied,
+            "last injectable execution must be reachable"
+        );
+        let fault = FaultSpec {
+            target: FaultTarget::NthDynamic(pop),
+            bit: 1,
+        };
+        let r = interp.run_with_fault(&ProgInput::default(), fault);
+        assert!(!r.fault_applied, "population is exactly `injectable_execs`");
+    }
+
+    #[test]
+    fn fault_determinism() {
+        let m = sum_module();
+        let interp = Interp::new(&m, ExecConfig::default());
+        let input = ProgInput::scalars(vec![Scalar::I(25)]);
+        let fault = FaultSpec {
+            target: FaultTarget::NthDynamic(33),
+            bit: 62,
+        };
+        let a = interp.run_with_fault(&input, fault);
+        let b = interp.run_with_fault(&input, fault);
+        assert_eq!(a.termination, b.termination);
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn salloc_locals_are_per_frame_and_freed() {
+        // fact(n) with the accumulator held in a salloc slot per frame
+        let mut mb = ModuleBuilder::new("fact");
+        let main = mb.declare("main", vec![], None);
+        let fact = mb.declare("fact", vec![Ty::I64], Some(Ty::I64));
+        let mut fb = mb.body(fact);
+        let rec = fb.new_block("rec");
+        let basecase = fb.new_block("base");
+        let n = fb.param(0);
+        let slot = fb.salloc(1i64);
+        fb.store(slot, 0i64, n);
+        let c = fb.cmp(CmpOp::Le, n, 1i64);
+        fb.cond_br(c, basecase, rec);
+        fb.switch_to(basecase);
+        fb.ret(1i64);
+        fb.switch_to(rec);
+        let n1 = fb.sub(Ty::I64, n, 1i64);
+        let sub = fb.call(fact, Some(Ty::I64), vec![n1.into()]);
+        // reload our own n from the slot: must be unclobbered by the call
+        let mine = fb.load(Ty::I64, slot, 0i64);
+        let r = fb.mul(Ty::I64, sub, mine);
+        fb.ret(r);
+        mb.define(fb);
+        let mut fb = mb.body(main);
+        let x = fb.arg_i(0i64);
+        let v = fb.call(fact, Some(Ty::I64), vec![x.into()]);
+        fb.out_i(v);
+        fb.ret_void();
+        mb.define(fb);
+        let m = mb.finish();
+        let r = run_module(&m, &ProgInput::scalars(vec![Scalar::I(6)]));
+        assert!(r.exited());
+        assert_eq!(r.output.items, vec![crate::value::OutputItem::I(720)]);
+    }
+
+    #[test]
+    fn dangling_salloc_pointer_traps_after_return() {
+        // helper returns a pointer to its own stack slot; main dereferences
+        // it after the frame died -> out of bounds
+        let mut mb = ModuleBuilder::new("dangle");
+        let main = mb.declare("main", vec![], None);
+        let h = mb.declare("h", vec![], Some(Ty::Ptr));
+        let mut fb = mb.body(h);
+        let slot = fb.salloc(1i64);
+        fb.store(slot, 0i64, 42i64);
+        fb.ret(slot);
+        mb.define(fb);
+        let mut fb = mb.body(main);
+        let p = fb.call(h, Some(Ty::Ptr), vec![]);
+        let v = fb.load(Ty::I64, p, 0i64);
+        fb.out_i(v);
+        fb.ret_void();
+        mb.define(fb);
+        let m = mb.finish();
+        let r = run_module(&m, &ProgInput::default());
+        assert_eq!(r.termination, Termination::Trap(TrapKind::OutOfBounds));
+    }
+
+    #[test]
+    fn float_pipeline_and_casts() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", vec![], None);
+        let mut fb = mb.body(main);
+        let x = fb.arg_f(0i64);
+        let s = fb.un(UnOp::Sqrt, Ty::F64, x);
+        let i = fb.cast(Ty::I64, s);
+        fb.out_i(i);
+        fb.out_f(s);
+        fb.ret_void();
+        mb.define(fb);
+        let m = mb.finish();
+        let r = run_module(&m, &ProgInput::scalars(vec![Scalar::F(16.0)]));
+        assert!(r.exited());
+        assert_eq!(
+            r.output.items,
+            vec![
+                crate::value::OutputItem::I(4),
+                crate::value::OutputItem::F(4.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn data_streams_are_readable_and_bounds_checked() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", vec![], None);
+        let mut fb = mb.body(main);
+        let n = fb.data_len(0);
+        let v = fb.data_f(0, 1i64);
+        fb.out_i(n);
+        fb.out_f(v);
+        fb.ret_void();
+        mb.define(fb);
+        let m = mb.finish();
+        let input = ProgInput::new(vec![], vec![Stream::F(vec![1.0, 2.5])]);
+        let r = run_module(&m, &input);
+        assert!(r.exited());
+        assert_eq!(
+            r.output.items,
+            vec![
+                crate::value::OutputItem::I(2),
+                crate::value::OutputItem::F(2.5)
+            ]
+        );
+
+        // out-of-range read traps
+        let input = ProgInput::new(vec![], vec![Stream::F(vec![1.0])]);
+        let r = run_module(&m, &input);
+        assert_eq!(
+            r.termination,
+            Termination::Trap(TrapKind::StreamOutOfBounds)
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # minpsid-interp — deterministic interpreter for the minpsid IR
+//!
+//! This crate plays the role that native execution plus LLFI's runtime
+//! instrumentation play in the paper:
+//!
+//! * it executes a verified [`minpsid_ir::Module`] against a
+//!   [`ProgInput`] (scalar arguments + bulk data streams), producing the
+//!   program *output stream* whose bit-exact comparison against a golden
+//!   run defines an SDC;
+//! * it can apply a [`FaultSpec`] — a single-bit flip in the return value
+//!   of one chosen dynamic instruction — exactly once per run, which is the
+//!   paper's fault model (§II-A, §III-A3);
+//! * it classifies abnormal termination (traps → crash, step budget →
+//!   hang, duplication-check mismatch → detected);
+//! * it optionally collects a [`Profile`]: per-instruction dynamic counts
+//!   and cycles (SID's cost input, Eq. 1), per-block entry counts (the
+//!   *indexed weighted-CFG list* of Fig. 5), and per-edge execution counts.
+//!
+//! Determinism is total: same module + same input + same fault spec ⇒ same
+//! result, which is what lets fault-injection campaigns run embarrassingly
+//! parallel with no coordination.
+
+pub mod exec;
+pub mod fault;
+pub mod profile;
+pub mod value;
+
+pub use exec::{ExecConfig, ExecResult, Interp, Termination, TraceEvent, TrapKind};
+pub use fault::{flip_bit, FaultSpec, FaultTarget};
+pub use profile::Profile;
+pub use value::{Output, OutputItem, ProgInput, Scalar, Stream, Value};

@@ -1,0 +1,143 @@
+//! Arithmetic edge cases: the interpreter's integer/float semantics at
+//! the boundaries, where an incorrect implementation would silently skew
+//! every SDC measurement (a flipped high bit routinely produces values
+//! like `i64::MIN` or huge doubles).
+
+use minic::compile;
+use minpsid_interp::{ExecConfig, Interp, OutputItem, ProgInput, Scalar, Termination, TrapKind};
+
+fn run(src: &str, args: Vec<Scalar>) -> minpsid_interp::ExecResult {
+    let m = compile(src, "edge").expect("compiles");
+    Interp::new(&m, ExecConfig::default()).run(&ProgInput::scalars(args))
+}
+
+fn out_ints(r: &minpsid_interp::ExecResult) -> Vec<i64> {
+    r.output
+        .items
+        .iter()
+        .map(|i| match i {
+            OutputItem::I(v) => *v,
+            OutputItem::F(v) => panic!("unexpected float {v}"),
+        })
+        .collect()
+}
+
+#[test]
+fn integer_overflow_wraps_like_hardware() {
+    let r = run(
+        "fn main() { out_i(arg_i(0) + 1); out_i(arg_i(0) * 2); }",
+        vec![Scalar::I(i64::MAX)],
+    );
+    assert!(r.exited());
+    assert_eq!(out_ints(&r), vec![i64::MIN, -2]);
+}
+
+#[test]
+fn min_div_minus_one_traps_like_sigfpe() {
+    let r = run(
+        "fn main() { out_i(arg_i(0) / arg_i(1)); }",
+        vec![Scalar::I(i64::MIN), Scalar::I(-1)],
+    );
+    assert_eq!(r.termination, Termination::Trap(TrapKind::DivByZero));
+}
+
+#[test]
+fn remainder_follows_truncated_division() {
+    let r = run(
+        "fn main() { out_i(-7 % 3); out_i(7 % -3); out_i(-7 % -3); }",
+        vec![],
+    );
+    assert_eq!(out_ints(&r), vec![-1, 1, -1]);
+}
+
+#[test]
+fn float_division_by_zero_is_ieee_not_a_trap() {
+    let r = run(
+        "fn main() { out_f(1.0 / arg_f(0)); out_f(-1.0 / arg_f(0)); out_f(0.0 / arg_f(0)); }",
+        vec![Scalar::F(0.0)],
+    );
+    assert!(r.exited(), "IEEE semantics: inf/-inf/NaN, no trap");
+    let OutputItem::F(a) = r.output.items[0] else {
+        panic!()
+    };
+    let OutputItem::F(b) = r.output.items[1] else {
+        panic!()
+    };
+    let OutputItem::F(c) = r.output.items[2] else {
+        panic!()
+    };
+    assert_eq!(a, f64::INFINITY);
+    assert_eq!(b, f64::NEG_INFINITY);
+    assert!(c.is_nan());
+}
+
+#[test]
+fn float_to_int_cast_saturates() {
+    let r = run(
+        "fn main() { out_i(int(arg_f(0))); out_i(int(arg_f(1))); out_i(int(arg_f(2))); }",
+        vec![
+            Scalar::F(1e300),
+            Scalar::F(-1e300),
+            Scalar::F(f64::NAN),
+        ],
+    );
+    assert!(r.exited());
+    assert_eq!(out_ints(&r), vec![i64::MAX, i64::MIN, 0]);
+}
+
+#[test]
+fn nan_comparisons_are_all_false_except_ne() {
+    let src = r#"
+        fn main() {
+            let x = arg_f(0);
+            if x < x { out_i(1); } else { out_i(0); }
+            if x == x { out_i(1); } else { out_i(0); }
+            if x != x { out_i(1); } else { out_i(0); }
+            if x >= x { out_i(1); } else { out_i(0); }
+        }
+    "#;
+    let r = run(src, vec![Scalar::F(f64::NAN)]);
+    assert_eq!(out_ints(&r), vec![0, 0, 1, 0]);
+}
+
+#[test]
+fn abs_of_min_wraps() {
+    let r = run(
+        "fn main() { out_i(abs(arg_i(0))); }",
+        vec![Scalar::I(i64::MIN)],
+    );
+    assert!(r.exited());
+    assert_eq!(out_ints(&r), vec![i64::MIN], "wrapping_abs semantics");
+}
+
+#[test]
+fn negative_zero_propagates() {
+    let r = run("fn main() { out_f(-(0.0)); out_f(0.0 * -1.0); }", vec![]);
+    let bits: Vec<u64> = r
+        .output
+        .items
+        .iter()
+        .map(|i| match i {
+            OutputItem::F(v) => v.to_bits(),
+            _ => panic!(),
+        })
+        .collect();
+    assert_eq!(bits, vec![(-0.0f64).to_bits(), (-0.0f64).to_bits()]);
+}
+
+#[test]
+fn min_max_on_floats_follow_rust_semantics() {
+    let r = run(
+        "fn main() { out_f(min(arg_f(0), 1.0)); out_f(max(arg_f(0), 1.0)); }",
+        vec![Scalar::F(f64::NAN)],
+    );
+    // f64::min/max ignore NaN when the other side is a number
+    let OutputItem::F(a) = r.output.items[0] else {
+        panic!()
+    };
+    let OutputItem::F(b) = r.output.items[1] else {
+        panic!()
+    };
+    assert_eq!(a, 1.0);
+    assert_eq!(b, 1.0);
+}

@@ -1,0 +1,432 @@
+//! Programmatic construction of modules and functions.
+//!
+//! `ModuleBuilder` pre-declares function signatures (so calls between
+//! functions, including recursion, can be emitted before the callee's body
+//! exists), then each body is built with a [`FunctionBuilder`] and installed
+//! with [`ModuleBuilder::define`].
+
+use crate::inst::{BinOp, CmpOp, Inst, InstId, InstKind, Operand, UnOp};
+use crate::module::{Block, BlockId, FuncId, Function, Module};
+use crate::types::Ty;
+
+/// Builds a [`Module`] by declaring functions and installing built bodies.
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            module: Module::new(name),
+        }
+    }
+
+    /// Declare a function signature; the body starts empty.
+    pub fn declare(&mut self, name: impl Into<String>, params: Vec<Ty>, ret: Option<Ty>) -> FuncId {
+        let id = FuncId(self.module.funcs.len() as u32);
+        self.module.funcs.push(Function::new(name, params, ret));
+        id
+    }
+
+    /// Start building the body of a declared function.
+    pub fn body(&self, id: FuncId) -> FunctionBuilder {
+        let f = self.module.func(id);
+        FunctionBuilder::new(id, &f.name, f.params.clone(), f.ret)
+    }
+
+    /// Install a finished body.
+    pub fn define(&mut self, fb: FunctionBuilder) {
+        let (id, func) = fb.finish();
+        self.module.funcs[id.index()] = func;
+    }
+
+    /// Set the program entry point (defaults to function 0).
+    pub fn set_entry(&mut self, id: FuncId) {
+        self.module.entry = id;
+    }
+
+    pub fn finish(self) -> Module {
+        self.module
+    }
+}
+
+/// Builds one function body, block by block.
+///
+/// The entry block is created automatically and `Param` pseudo-instructions
+/// for the declared parameters are emitted into it; retrieve them with
+/// [`FunctionBuilder::param`].
+pub struct FunctionBuilder {
+    id: FuncId,
+    func: Function,
+    cur: BlockId,
+    params: Vec<InstId>,
+}
+
+impl FunctionBuilder {
+    fn new(id: FuncId, name: &str, params: Vec<Ty>, ret: Option<Ty>) -> Self {
+        let mut func = Function::new(name, params.clone(), ret);
+        func.blocks.push(Block {
+            insts: vec![],
+            name: Some("entry".into()),
+        });
+        let mut fb = FunctionBuilder {
+            id,
+            func,
+            cur: BlockId(0),
+            params: Vec::new(),
+        };
+        for (n, ty) in params.into_iter().enumerate() {
+            let p = fb.push(InstKind::Param { n: n as u32 }, Some(ty));
+            fb.params.push(p);
+        }
+        fb
+    }
+
+    /// The `n`-th parameter value.
+    pub fn param(&self, n: usize) -> InstId {
+        self.params[n]
+    }
+
+    /// Create a new (empty) block; does not switch to it.
+    pub fn new_block(&mut self, name: &str) -> BlockId {
+        let id = BlockId(self.func.blocks.len() as u32);
+        self.func.blocks.push(Block {
+            insts: vec![],
+            name: Some(name.to_string()),
+        });
+        id
+    }
+
+    /// Make subsequent instructions append to `b`.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    /// The block currently being appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Whether the current block already has its terminator.
+    pub fn current_terminated(&self) -> bool {
+        self.func
+            .block(self.cur)
+            .terminator()
+            .map(|t| self.func.inst(t).kind.is_terminator())
+            .unwrap_or(false)
+    }
+
+    fn push(&mut self, kind: InstKind, ty: Option<Ty>) -> InstId {
+        assert!(
+            !self.current_terminated(),
+            "appending {:?} to terminated block {:?} of `{}`",
+            kind.mnemonic(),
+            self.cur,
+            self.func.name
+        );
+        let id = InstId(self.func.insts.len() as u32);
+        self.func.insts.push(Inst::new(kind, ty));
+        self.func.blocks[self.cur.index()].insts.push(id);
+        id
+    }
+
+    /// Attach a source-level name to the most recent instruction.
+    pub fn name_last(&mut self, name: &str) {
+        if let Some(inst) = self.func.insts.last_mut() {
+            inst.name = Some(name.to_string());
+        }
+    }
+
+    // ---- value-producing instructions ----
+
+    pub fn bin(
+        &mut self,
+        op: BinOp,
+        ty: Ty,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+    ) -> InstId {
+        self.push(
+            InstKind::Bin {
+                op,
+                lhs: lhs.into(),
+                rhs: rhs.into(),
+            },
+            Some(ty),
+        )
+    }
+
+    pub fn add(&mut self, ty: Ty, l: impl Into<Operand>, r: impl Into<Operand>) -> InstId {
+        self.bin(BinOp::Add, ty, l, r)
+    }
+
+    pub fn sub(&mut self, ty: Ty, l: impl Into<Operand>, r: impl Into<Operand>) -> InstId {
+        self.bin(BinOp::Sub, ty, l, r)
+    }
+
+    pub fn mul(&mut self, ty: Ty, l: impl Into<Operand>, r: impl Into<Operand>) -> InstId {
+        self.bin(BinOp::Mul, ty, l, r)
+    }
+
+    pub fn div(&mut self, ty: Ty, l: impl Into<Operand>, r: impl Into<Operand>) -> InstId {
+        self.bin(BinOp::Div, ty, l, r)
+    }
+
+    pub fn un(&mut self, op: UnOp, ty: Ty, arg: impl Into<Operand>) -> InstId {
+        self.push(
+            InstKind::Un {
+                op,
+                arg: arg.into(),
+            },
+            Some(ty),
+        )
+    }
+
+    pub fn cmp(&mut self, op: CmpOp, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> InstId {
+        self.push(
+            InstKind::Cmp {
+                op,
+                lhs: lhs.into(),
+                rhs: rhs.into(),
+            },
+            Some(Ty::Bool),
+        )
+    }
+
+    pub fn select(
+        &mut self,
+        ty: Ty,
+        cond: impl Into<Operand>,
+        then_v: impl Into<Operand>,
+        else_v: impl Into<Operand>,
+    ) -> InstId {
+        self.push(
+            InstKind::Select {
+                cond: cond.into(),
+                then_v: then_v.into(),
+                else_v: else_v.into(),
+            },
+            Some(ty),
+        )
+    }
+
+    pub fn cast(&mut self, to: Ty, arg: impl Into<Operand>) -> InstId {
+        self.push(
+            InstKind::Cast {
+                to,
+                arg: arg.into(),
+            },
+            Some(to),
+        )
+    }
+
+    pub fn alloc(&mut self, count: impl Into<Operand>) -> InstId {
+        self.push(
+            InstKind::Alloc {
+                count: count.into(),
+            },
+            Some(Ty::Ptr),
+        )
+    }
+
+    /// Stack allocation (freed on function return).
+    pub fn salloc(&mut self, count: impl Into<Operand>) -> InstId {
+        self.push(
+            InstKind::Salloc {
+                count: count.into(),
+            },
+            Some(Ty::Ptr),
+        )
+    }
+
+    pub fn load(&mut self, ty: Ty, ptr: impl Into<Operand>, idx: impl Into<Operand>) -> InstId {
+        self.push(
+            InstKind::Load {
+                ptr: ptr.into(),
+                idx: idx.into(),
+                ty,
+            },
+            Some(ty),
+        )
+    }
+
+    pub fn store(
+        &mut self,
+        ptr: impl Into<Operand>,
+        idx: impl Into<Operand>,
+        value: impl Into<Operand>,
+    ) {
+        self.push(
+            InstKind::Store {
+                ptr: ptr.into(),
+                idx: idx.into(),
+                value: value.into(),
+            },
+            None,
+        );
+    }
+
+    /// Call `func`; `ret` must match the callee's declared return type.
+    pub fn call(&mut self, func: FuncId, ret: Option<Ty>, args: Vec<Operand>) -> InstId {
+        self.push(InstKind::Call { func, args }, ret)
+    }
+
+    // ---- I/O intrinsics ----
+
+    pub fn nargs(&mut self) -> InstId {
+        self.push(InstKind::NArgs, Some(Ty::I64))
+    }
+
+    pub fn arg_i(&mut self, n: impl Into<Operand>) -> InstId {
+        self.push(InstKind::ArgI { n: n.into() }, Some(Ty::I64))
+    }
+
+    pub fn arg_f(&mut self, n: impl Into<Operand>) -> InstId {
+        self.push(InstKind::ArgF { n: n.into() }, Some(Ty::F64))
+    }
+
+    pub fn data_len(&mut self, stream: u32) -> InstId {
+        self.push(InstKind::DataLen { stream }, Some(Ty::I64))
+    }
+
+    pub fn data_i(&mut self, stream: u32, idx: impl Into<Operand>) -> InstId {
+        self.push(
+            InstKind::DataI {
+                stream,
+                idx: idx.into(),
+            },
+            Some(Ty::I64),
+        )
+    }
+
+    pub fn data_f(&mut self, stream: u32, idx: impl Into<Operand>) -> InstId {
+        self.push(
+            InstKind::DataF {
+                stream,
+                idx: idx.into(),
+            },
+            Some(Ty::F64),
+        )
+    }
+
+    pub fn out_i(&mut self, v: impl Into<Operand>) {
+        self.push(InstKind::OutI { v: v.into() }, None);
+    }
+
+    pub fn out_f(&mut self, v: impl Into<Operand>) {
+        self.push(InstKind::OutF { v: v.into() }, None);
+    }
+
+    /// Emit a duplication check (raises `Detected` at runtime on mismatch).
+    /// Ordinarily only the SID transform creates these; the builder exposes
+    /// it for tests and hand-protected modules.
+    pub fn check(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.push(
+            InstKind::Check {
+                a: a.into(),
+                b: b.into(),
+            },
+            None,
+        );
+    }
+
+    // ---- terminators ----
+
+    pub fn br(&mut self, target: BlockId) {
+        self.push(InstKind::Br { target }, None);
+    }
+
+    pub fn cond_br(&mut self, cond: impl Into<Operand>, then_b: BlockId, else_b: BlockId) {
+        self.push(
+            InstKind::CondBr {
+                cond: cond.into(),
+                then_b,
+                else_b,
+            },
+            None,
+        );
+    }
+
+    pub fn ret(&mut self, v: impl Into<Operand>) {
+        self.push(InstKind::Ret { v: Some(v.into()) }, None);
+    }
+
+    pub fn ret_void(&mut self) {
+        self.push(InstKind::Ret { v: None }, None);
+    }
+
+    fn finish(self) -> (FuncId, Function) {
+        (self.id, self.func)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build `fn main() -> i64 { if 3 < 4 { 1 } else { 0 } }`-shaped IR.
+    #[test]
+    fn builds_branching_function() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", vec![], Some(Ty::I64));
+        let mut fb = mb.body(main);
+        let t = fb.new_block("then");
+        let e = fb.new_block("else");
+        let c = fb.cmp(CmpOp::Lt, 3i64, 4i64);
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        fb.ret(1i64);
+        fb.switch_to(e);
+        fb.ret(0i64);
+        mb.define(fb);
+        let m = mb.finish();
+        let f = m.func(main);
+        assert_eq!(f.blocks.len(), 3);
+        assert_eq!(f.insts.len(), 4);
+        assert!(f
+            .inst(f.block(BlockId(0)).terminator().unwrap())
+            .kind
+            .is_terminator());
+    }
+
+    #[test]
+    fn params_are_materialized_in_entry() {
+        let mut mb = ModuleBuilder::new("t");
+        let f = mb.declare("f", vec![Ty::I64, Ty::F64], Some(Ty::F64));
+        let fb = mb.body(f);
+        assert_eq!(fb.param(0), InstId(0));
+        assert_eq!(fb.param(1), InstId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated block")]
+    fn appending_after_terminator_panics() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", vec![], None);
+        let mut fb = mb.body(main);
+        fb.ret_void();
+        fb.nargs(); // must panic
+    }
+
+    #[test]
+    fn call_between_declared_functions() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", vec![], Some(Ty::I64));
+        let helper = mb.declare("helper", vec![Ty::I64], Some(Ty::I64));
+
+        let mut fb = mb.body(helper);
+        let p = fb.param(0);
+        let r = fb.add(Ty::I64, p, 1i64);
+        fb.ret(r);
+        mb.define(fb);
+
+        let mut fb = mb.body(main);
+        let v = fb.call(helper, Some(Ty::I64), vec![41i64.into()]);
+        fb.ret(v);
+        mb.define(fb);
+
+        let m = mb.finish();
+        assert_eq!(m.num_insts(), 5);
+        assert_eq!(m.entry, main);
+    }
+}

@@ -1,0 +1,528 @@
+//! Instruction set of the IR.
+//!
+//! Every instruction produces at most one typed result value. The result is
+//! what the fault model perturbs ("inject single-bit flips into a random
+//! instruction's return value", paper §III-A3), what the duplication
+//! transform re-computes, and what carries a per-instruction SDC probability
+//! in the cost/benefit profile.
+
+use crate::module::{BlockId, FuncId};
+use crate::types::Ty;
+use serde::{Deserialize, Serialize};
+
+/// Index of an instruction inside its function's instruction arena.
+/// The result value of instruction `i` is referenced as `Operand::Value(i)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InstId(pub u32);
+
+impl InstId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An operand: either the result of another instruction or an immediate.
+///
+/// Immediates mirror LLVM constant operands — they are not instructions,
+/// so they are not fault-injection targets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// Result of another instruction in the same function.
+    Value(InstId),
+    /// Integer immediate.
+    ConstI(i64),
+    /// Floating-point immediate.
+    ConstF(f64),
+    /// Boolean immediate.
+    ConstB(bool),
+}
+
+impl From<InstId> for Operand {
+    fn from(v: InstId) -> Self {
+        Operand::Value(v)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::ConstI(v)
+    }
+}
+
+impl From<f64> for Operand {
+    fn from(v: f64) -> Self {
+        Operand::ConstF(v)
+    }
+}
+
+impl From<bool> for Operand {
+    fn from(v: bool) -> Self {
+        Operand::ConstB(v)
+    }
+}
+
+/// Binary arithmetic / bitwise operations. The operand type (recorded on
+/// the instruction) selects integer or floating-point semantics; the
+/// verifier restricts bitwise/shift ops to `i64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Min,
+    Max,
+}
+
+impl BinOp {
+    /// True if the op is integer-only (bitwise and shifts).
+    pub fn int_only(self) -> bool {
+        matches!(
+            self,
+            BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+        )
+    }
+}
+
+/// Unary operations, including the math intrinsics the HPC workloads need
+/// (FFT: sin/cos; Kmeans/kNN: sqrt; Backprop: exp; XSBench: log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    Neg,
+    /// Logical not (Bool) / bitwise not (I64).
+    Not,
+    Sqrt,
+    Sin,
+    Cos,
+    Exp,
+    Log,
+    Abs,
+    Floor,
+}
+
+impl UnOp {
+    /// True for the ops that only make sense on `f64`.
+    pub fn float_only(self) -> bool {
+        matches!(
+            self,
+            UnOp::Sqrt | UnOp::Sin | UnOp::Cos | UnOp::Exp | UnOp::Log | UnOp::Floor
+        )
+    }
+}
+
+/// Comparison predicates; the result type is always `Bool`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// The instruction kinds.
+///
+/// Program I/O goes through intrinsics rather than a libc model:
+/// * scalar command-line arguments: `ArgI`/`ArgF`/`NArgs`;
+/// * bulk input data (matrices, graphs, point sets) lives in numbered
+///   read-only *streams*: `DataLen`/`DataI`/`DataF`;
+/// * program output (the artifact compared bit-wise to detect SDCs, as
+///   LLFI compares output files) is emitted with `OutI`/`OutF`.
+///
+/// `Check` is only created by the SID transform: it raises a `Detected`
+/// event when its operands differ, modelling the comparison between an
+/// instruction and its duplicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InstKind {
+    /// `n`-th parameter of the enclosing function.
+    Param {
+        n: u32,
+    },
+    Bin {
+        op: BinOp,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    Un {
+        op: UnOp,
+        arg: Operand,
+    },
+    Cmp {
+        op: CmpOp,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    Select {
+        cond: Operand,
+        then_v: Operand,
+        else_v: Operand,
+    },
+    /// Convert between `i64` and `f64` (and `bool`→`i64`).
+    Cast {
+        to: Ty,
+        arg: Operand,
+    },
+    /// Allocate `count` elements in linear memory; result is the base `Ptr`.
+    Alloc {
+        count: Operand,
+    },
+    /// Allocate `count` elements on the call stack, freed when the
+    /// enclosing function returns (LLVM `alloca`). Used by the front end
+    /// for function locals.
+    Salloc {
+        count: Operand,
+    },
+    Load {
+        ptr: Operand,
+        idx: Operand,
+        ty: Ty,
+    },
+    Store {
+        ptr: Operand,
+        idx: Operand,
+        value: Operand,
+    },
+    Call {
+        func: FuncId,
+        args: Vec<Operand>,
+    },
+
+    // ---- program I/O intrinsics ----
+    NArgs,
+    ArgI {
+        n: Operand,
+    },
+    ArgF {
+        n: Operand,
+    },
+    DataLen {
+        stream: u32,
+    },
+    DataI {
+        stream: u32,
+        idx: Operand,
+    },
+    DataF {
+        stream: u32,
+        idx: Operand,
+    },
+    OutI {
+        v: Operand,
+    },
+    OutF {
+        v: Operand,
+    },
+
+    /// Duplication check inserted by SID; raises `Detected` on mismatch.
+    Check {
+        a: Operand,
+        b: Operand,
+    },
+
+    // ---- terminators ----
+    Br {
+        target: BlockId,
+    },
+    CondBr {
+        cond: Operand,
+        then_b: BlockId,
+        else_b: BlockId,
+    },
+    Ret {
+        v: Option<Operand>,
+    },
+}
+
+impl InstKind {
+    /// True if the instruction ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            InstKind::Br { .. } | InstKind::CondBr { .. } | InstKind::Ret { .. }
+        )
+    }
+
+    /// Collect the value operands (ignoring immediates) into `out`.
+    pub fn value_operands(&self, out: &mut Vec<InstId>) {
+        let mut push = |o: &Operand| {
+            if let Operand::Value(v) = o {
+                out.push(*v);
+            }
+        };
+        match self {
+            InstKind::Param { .. } | InstKind::NArgs | InstKind::DataLen { .. } => {}
+            InstKind::Bin { lhs, rhs, .. } | InstKind::Cmp { lhs, rhs, .. } => {
+                push(lhs);
+                push(rhs);
+            }
+            InstKind::Un { arg, .. } | InstKind::Cast { arg, .. } => push(arg),
+            InstKind::Select {
+                cond,
+                then_v,
+                else_v,
+            } => {
+                push(cond);
+                push(then_v);
+                push(else_v);
+            }
+            InstKind::Alloc { count } | InstKind::Salloc { count } => push(count),
+            InstKind::Load { ptr, idx, .. } => {
+                push(ptr);
+                push(idx);
+            }
+            InstKind::Store { ptr, idx, value } => {
+                push(ptr);
+                push(idx);
+                push(value);
+            }
+            InstKind::Call { args, .. } => {
+                for a in args {
+                    push(a);
+                }
+            }
+            InstKind::ArgI { n } | InstKind::ArgF { n } => push(n),
+            InstKind::DataI { idx, .. } | InstKind::DataF { idx, .. } => push(idx),
+            InstKind::OutI { v } | InstKind::OutF { v } => push(v),
+            InstKind::Check { a, b } => {
+                push(a);
+                push(b);
+            }
+            InstKind::Br { .. } => {}
+            InstKind::CondBr { cond, .. } => push(cond),
+            InstKind::Ret { v } => {
+                if let Some(v) = v {
+                    push(v);
+                }
+            }
+        }
+    }
+
+    /// Mutable access to all operands, used by transforms that rewrite
+    /// value references (e.g. the duplication pass renumbering).
+    pub fn operands_mut(&mut self) -> Vec<&mut Operand> {
+        match self {
+            InstKind::Param { .. } | InstKind::NArgs | InstKind::DataLen { .. } => vec![],
+            InstKind::Bin { lhs, rhs, .. } | InstKind::Cmp { lhs, rhs, .. } => vec![lhs, rhs],
+            InstKind::Un { arg, .. } | InstKind::Cast { arg, .. } => vec![arg],
+            InstKind::Select {
+                cond,
+                then_v,
+                else_v,
+            } => vec![cond, then_v, else_v],
+            InstKind::Alloc { count } | InstKind::Salloc { count } => vec![count],
+            InstKind::Load { ptr, idx, .. } => vec![ptr, idx],
+            InstKind::Store { ptr, idx, value } => vec![ptr, idx, value],
+            InstKind::Call { args, .. } => args.iter_mut().collect(),
+            InstKind::ArgI { n } | InstKind::ArgF { n } => vec![n],
+            InstKind::DataI { idx, .. } | InstKind::DataF { idx, .. } => vec![idx],
+            InstKind::OutI { v } | InstKind::OutF { v } => vec![v],
+            InstKind::Check { a, b } => vec![a, b],
+            InstKind::Br { .. } => vec![],
+            InstKind::CondBr { cond, .. } => vec![cond],
+            InstKind::Ret { v } => v.iter_mut().collect(),
+        }
+    }
+
+    /// Short mnemonic used by the printer and reports.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            InstKind::Param { .. } => "param",
+            InstKind::Bin { op, .. } => match op {
+                BinOp::Add => "add",
+                BinOp::Sub => "sub",
+                BinOp::Mul => "mul",
+                BinOp::Div => "div",
+                BinOp::Rem => "rem",
+                BinOp::And => "and",
+                BinOp::Or => "or",
+                BinOp::Xor => "xor",
+                BinOp::Shl => "shl",
+                BinOp::Shr => "shr",
+                BinOp::Min => "min",
+                BinOp::Max => "max",
+            },
+            InstKind::Un { op, .. } => match op {
+                UnOp::Neg => "neg",
+                UnOp::Not => "not",
+                UnOp::Sqrt => "sqrt",
+                UnOp::Sin => "sin",
+                UnOp::Cos => "cos",
+                UnOp::Exp => "exp",
+                UnOp::Log => "log",
+                UnOp::Abs => "abs",
+                UnOp::Floor => "floor",
+            },
+            InstKind::Cmp { .. } => "icmp",
+            InstKind::Select { .. } => "select",
+            InstKind::Cast { .. } => "cast",
+            InstKind::Alloc { .. } => "alloc",
+            InstKind::Salloc { .. } => "salloc",
+            InstKind::Load { .. } => "load",
+            InstKind::Store { .. } => "store",
+            InstKind::Call { .. } => "call",
+            InstKind::NArgs => "nargs",
+            InstKind::ArgI { .. } => "arg_i",
+            InstKind::ArgF { .. } => "arg_f",
+            InstKind::DataLen { .. } => "data_len",
+            InstKind::DataI { .. } => "data_i",
+            InstKind::DataF { .. } => "data_f",
+            InstKind::OutI { .. } => "out_i",
+            InstKind::OutF { .. } => "out_f",
+            InstKind::Check { .. } => "check",
+            InstKind::Br { .. } => "br",
+            InstKind::CondBr { .. } => "condbr",
+            InstKind::Ret { .. } => "ret",
+        }
+    }
+}
+
+/// An instruction: a kind plus its (optional) result type and an optional
+/// source-level name kept for diagnostics (LLVM IR keeps variable names for
+/// the same reason — fine-grained source mapping, paper §II-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Inst {
+    pub kind: InstKind,
+    /// Result type; `None` for void instructions (stores, output, branches…).
+    pub ty: Option<Ty>,
+    /// Optional source-level name for diagnostics.
+    pub name: Option<String>,
+}
+
+impl Inst {
+    pub fn new(kind: InstKind, ty: Option<Ty>) -> Self {
+        Inst {
+            kind,
+            ty,
+            name: None,
+        }
+    }
+
+    /// Whether this instruction is a fault-injection target.
+    ///
+    /// Per the paper's fault model (§II-A + §III-A3) faults are single-bit
+    /// flips in a *computational* instruction's return value. We therefore
+    /// include every value-producing instruction except:
+    /// * `Param` — its value is produced by the caller's `Call`, already an
+    ///   injection site in the caller;
+    /// * `Check` — protection control logic, excluded like other control
+    ///   logic in the fault model.
+    pub fn injectable(&self) -> bool {
+        if self.ty.is_none() {
+            return false;
+        }
+        !matches!(self.kind, InstKind::Param { .. } | InstKind::Check { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: u32) -> Operand {
+        Operand::Value(InstId(n))
+    }
+
+    #[test]
+    fn terminators_are_classified() {
+        assert!(InstKind::Br { target: BlockId(0) }.is_terminator());
+        assert!(InstKind::Ret { v: None }.is_terminator());
+        assert!(InstKind::CondBr {
+            cond: v(0),
+            then_b: BlockId(1),
+            else_b: BlockId(2)
+        }
+        .is_terminator());
+        assert!(!InstKind::NArgs.is_terminator());
+    }
+
+    #[test]
+    fn value_operands_skip_immediates() {
+        let k = InstKind::Bin {
+            op: BinOp::Add,
+            lhs: v(3),
+            rhs: Operand::ConstI(7),
+        };
+        let mut out = vec![];
+        k.value_operands(&mut out);
+        assert_eq!(out, vec![InstId(3)]);
+    }
+
+    #[test]
+    fn store_has_three_value_operands() {
+        let k = InstKind::Store {
+            ptr: v(0),
+            idx: v(1),
+            value: v(2),
+        };
+        let mut out = vec![];
+        k.value_operands(&mut out);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn call_operands_are_all_args() {
+        let mut k = InstKind::Call {
+            func: FuncId(0),
+            args: vec![v(0), Operand::ConstF(1.5), v(2)],
+        };
+        let mut out = vec![];
+        k.value_operands(&mut out);
+        assert_eq!(out, vec![InstId(0), InstId(2)]);
+        assert_eq!(k.operands_mut().len(), 3);
+    }
+
+    #[test]
+    fn injectability_follows_fault_model() {
+        let add = Inst::new(
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: v(0),
+                rhs: v(1),
+            },
+            Some(Ty::I64),
+        );
+        assert!(add.injectable());
+
+        let store = Inst::new(
+            InstKind::Store {
+                ptr: v(0),
+                idx: v(1),
+                value: v(2),
+            },
+            None,
+        );
+        assert!(
+            !store.injectable(),
+            "void instructions have no return value"
+        );
+
+        let param = Inst::new(InstKind::Param { n: 0 }, Some(Ty::I64));
+        assert!(!param.injectable(), "params are covered at the call site");
+
+        let check = Inst::new(InstKind::Check { a: v(0), b: v(1) }, None);
+        assert!(!check.injectable(), "protection logic is outside the model");
+    }
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(InstId(4)), v(4));
+        assert_eq!(Operand::from(3i64), Operand::ConstI(3));
+        assert_eq!(Operand::from(2.5f64), Operand::ConstF(2.5));
+        assert_eq!(Operand::from(true), Operand::ConstB(true));
+    }
+
+    #[test]
+    fn int_only_and_float_only_ops() {
+        assert!(BinOp::Xor.int_only());
+        assert!(!BinOp::Add.int_only());
+        assert!(UnOp::Sqrt.float_only());
+        assert!(!UnOp::Neg.float_only());
+    }
+}

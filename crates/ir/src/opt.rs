@@ -1,0 +1,451 @@
+//! IR optimization passes: constant folding and dead-code elimination.
+//!
+//! The paper's toolchain analyzes compiler IR, where programs normally
+//! arrive optimized. These passes let the pipeline study protection on
+//! optimized code (front ends lower naively, so folding + DCE is the
+//! difference between `-O0`-style and cleaned-up IR). Semantics are
+//! preserved exactly — folding mirrors the interpreter's wrapping/IEEE
+//! arithmetic and never folds operations that could trap at runtime.
+
+use crate::inst::{BinOp, CmpOp, Inst, InstId, InstKind, Operand, UnOp};
+use crate::module::{Block, Function, Module};
+use crate::types::Ty;
+
+/// Run constant folding and DCE to a fixpoint (bounded rounds). Returns
+/// the number of instructions removed.
+pub fn optimize(module: &mut Module) -> usize {
+    let before = module.num_insts();
+    for _ in 0..4 {
+        let folded = constant_fold(module);
+        let removed = dead_code_elimination(module);
+        if folded == 0 && removed == 0 {
+            break;
+        }
+    }
+    before - module.num_insts()
+}
+
+/// Evaluate instructions whose operands are all constants and rewrite
+/// their uses with the folded literal. Returns the number of folds.
+/// The defining instructions become dead and are left for DCE.
+pub fn constant_fold(module: &mut Module) -> usize {
+    let mut folds = 0;
+    for func in &mut module.funcs {
+        // each instruction folds at most once per pass; iterating lets a
+        // fold expose new all-constant operand sets down the chain
+        let mut folded = vec![false; func.insts.len()];
+        loop {
+            let mut changed = false;
+            #[allow(clippy::needless_range_loop)] // i indexes two arrays and feeds InstId
+            for i in 0..func.insts.len() {
+                if folded[i] {
+                    continue;
+                }
+                if let Some(c) = fold_inst(&func.insts[i]) {
+                    replace_uses(func, InstId(i as u32), c);
+                    folded[i] = true;
+                    folds += 1;
+                    changed = true;
+                    // the instruction keeps its (now unused) form; DCE
+                    // removes it
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    folds
+}
+
+fn fold_inst(inst: &Inst) -> Option<Operand> {
+    match &inst.kind {
+        InstKind::Bin { op, lhs, rhs } => fold_bin(*op, lhs, rhs),
+        InstKind::Un { op, arg } => fold_un(*op, arg),
+        InstKind::Cmp { op, lhs, rhs } => fold_cmp(*op, lhs, rhs),
+        InstKind::Select {
+            cond,
+            then_v,
+            else_v,
+        } => match cond {
+            Operand::ConstB(true) => as_const(then_v),
+            Operand::ConstB(false) => as_const(else_v),
+            _ => None,
+        },
+        InstKind::Cast { to, arg } => fold_cast(*to, arg),
+        _ => None,
+    }
+}
+
+fn as_const(o: &Operand) -> Option<Operand> {
+    match o {
+        Operand::Value(_) => None,
+        c => Some(*c),
+    }
+}
+
+fn fold_bin(op: BinOp, lhs: &Operand, rhs: &Operand) -> Option<Operand> {
+    match (lhs, rhs) {
+        (Operand::ConstI(a), Operand::ConstI(b)) => {
+            let r = match op {
+                BinOp::Add => a.wrapping_add(*b),
+                BinOp::Sub => a.wrapping_sub(*b),
+                BinOp::Mul => a.wrapping_mul(*b),
+                // division/remainder by a constant zero (or MIN / -1)
+                // traps at runtime — never fold it away
+                BinOp::Div => a.checked_div(*b)?,
+                BinOp::Rem => a.checked_rem(*b)?,
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                BinOp::Shl => a.wrapping_shl(*b as u32 & 63),
+                BinOp::Shr => a.wrapping_shr(*b as u32 & 63),
+                BinOp::Min => *a.min(b),
+                BinOp::Max => *a.max(b),
+            };
+            Some(Operand::ConstI(r))
+        }
+        (Operand::ConstF(a), Operand::ConstF(b)) => {
+            let r = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                BinOp::Rem => a % b,
+                BinOp::Min => a.min(*b),
+                BinOp::Max => a.max(*b),
+                _ => return None,
+            };
+            Some(Operand::ConstF(r))
+        }
+        _ => None,
+    }
+}
+
+fn fold_un(op: UnOp, arg: &Operand) -> Option<Operand> {
+    match arg {
+        Operand::ConstI(a) => {
+            let r = match op {
+                UnOp::Neg => a.wrapping_neg(),
+                UnOp::Not => !a,
+                UnOp::Abs => a.wrapping_abs(),
+                _ => return None,
+            };
+            Some(Operand::ConstI(r))
+        }
+        Operand::ConstF(a) => {
+            let r = match op {
+                UnOp::Neg => -a,
+                UnOp::Abs => a.abs(),
+                UnOp::Sqrt => a.sqrt(),
+                UnOp::Sin => a.sin(),
+                UnOp::Cos => a.cos(),
+                UnOp::Exp => a.exp(),
+                UnOp::Log => a.ln(),
+                UnOp::Floor => a.floor(),
+                UnOp::Not => return None,
+            };
+            Some(Operand::ConstF(r))
+        }
+        Operand::ConstB(a) => match op {
+            UnOp::Not => Some(Operand::ConstB(!a)),
+            _ => None,
+        },
+        Operand::Value(_) => None,
+    }
+}
+
+fn fold_cmp(op: CmpOp, lhs: &Operand, rhs: &Operand) -> Option<Operand> {
+    let r = match (lhs, rhs) {
+        (Operand::ConstI(a), Operand::ConstI(b)) => cmp_with(op, a.cmp(b)),
+        (Operand::ConstB(a), Operand::ConstB(b)) => cmp_with(op, a.cmp(b)),
+        (Operand::ConstF(a), Operand::ConstF(b)) => match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        },
+        _ => return None,
+    };
+    Some(Operand::ConstB(r))
+}
+
+fn cmp_with(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+    }
+}
+
+fn fold_cast(to: Ty, arg: &Operand) -> Option<Operand> {
+    match (arg, to) {
+        (Operand::ConstI(a), Ty::F64) => Some(Operand::ConstF(*a as f64)),
+        (Operand::ConstF(a), Ty::I64) => Some(Operand::ConstI(*a as i64)),
+        (Operand::ConstB(a), Ty::I64) => Some(Operand::ConstI(*a as i64)),
+        (Operand::ConstI(a), Ty::I64) => Some(Operand::ConstI(*a)),
+        _ => None,
+    }
+}
+
+fn replace_uses(func: &mut Function, target: InstId, replacement: Operand) {
+    for inst in &mut func.insts {
+        for op in inst.kind.operands_mut() {
+            if *op == Operand::Value(target) {
+                *op = replacement;
+            }
+        }
+    }
+}
+
+/// Remove instructions whose results are never used and that have no side
+/// effects. Returns the number of instructions removed.
+pub fn dead_code_elimination(module: &mut Module) -> usize {
+    let mut removed = 0;
+    for func in &mut module.funcs {
+        removed += dce_function(func);
+    }
+    removed
+}
+
+fn has_side_effect(kind: &InstKind) -> bool {
+    matches!(
+        kind,
+        InstKind::Store { .. }
+            | InstKind::Call { .. }
+            | InstKind::OutI { .. }
+            | InstKind::OutF { .. }
+            | InstKind::Check { .. }
+            | InstKind::Br { .. }
+            | InstKind::CondBr { .. }
+            | InstKind::Ret { .. }
+            // argument/stream reads can trap on bad indices — removing
+            // them would change crash behaviour
+            | InstKind::ArgI { .. }
+            | InstKind::ArgF { .. }
+            | InstKind::DataI { .. }
+            | InstKind::DataF { .. }
+            // loads can trap out of bounds
+            | InstKind::Load { .. }
+            // params carry the calling convention
+            | InstKind::Param { .. }
+    )
+}
+
+fn dce_function(func: &mut Function) -> usize {
+    let n = func.insts.len();
+    let mut live = vec![false; n];
+    let mut worklist: Vec<InstId> = Vec::new();
+    for (i, inst) in func.insts.iter().enumerate() {
+        if has_side_effect(&inst.kind) {
+            live[i] = true;
+            worklist.push(InstId(i as u32));
+        }
+    }
+    let mut ops = Vec::new();
+    while let Some(id) = worklist.pop() {
+        ops.clear();
+        func.insts[id.index()].kind.value_operands(&mut ops);
+        for &def in &ops {
+            if !live[def.index()] {
+                live[def.index()] = true;
+                worklist.push(def);
+            }
+        }
+    }
+    let dead = live.iter().filter(|&&l| !l).count();
+    if dead == 0 {
+        return 0;
+    }
+
+    // rebuild with dense renumbering
+    let mut map: Vec<Option<InstId>> = vec![None; n];
+    let mut new_insts: Vec<Inst> = Vec::with_capacity(n - dead);
+    let mut new_blocks: Vec<Block> = Vec::with_capacity(func.blocks.len());
+    for block in &func.blocks {
+        let mut nb = Block {
+            insts: Vec::with_capacity(block.insts.len()),
+            name: block.name.clone(),
+        };
+        for &iid in &block.insts {
+            if !live[iid.index()] {
+                continue;
+            }
+            let mut inst = func.insts[iid.index()].clone();
+            for op in inst.kind.operands_mut() {
+                if let Operand::Value(v) = op {
+                    *v = map[v.index()].expect("live operand defined before use");
+                }
+            }
+            let new_id = InstId(new_insts.len() as u32);
+            map[iid.index()] = Some(new_id);
+            new_insts.push(inst);
+            nb.insts.push(new_id);
+        }
+        new_blocks.push(nb);
+    }
+    func.insts = new_insts;
+    func.blocks = new_blocks;
+    dead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::verify::verify_module;
+
+    fn fold_and_check(mut m: Module) -> Module {
+        let removed = optimize(&mut m);
+        verify_module(&m).expect("optimized module verifies");
+        assert!(removed > 0, "expected some instructions to disappear");
+        m
+    }
+
+    #[test]
+    fn folds_constant_arithmetic_chain() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", vec![], None);
+        let mut fb = mb.body(main);
+        let a = fb.add(Ty::I64, 2i64, 3i64);
+        let b = fb.mul(Ty::I64, a, 4i64);
+        let c = fb.sub(Ty::I64, b, 5i64);
+        fb.out_i(c);
+        fb.ret_void();
+        mb.define(fb);
+        let m = fold_and_check(mb.finish());
+        // everything folds into out_i(15)
+        assert_eq!(m.num_insts(), 2);
+        let f = m.func(m.entry);
+        assert!(matches!(
+            f.insts[0].kind,
+            InstKind::OutI {
+                v: Operand::ConstI(15)
+            }
+        ));
+    }
+
+    #[test]
+    fn never_folds_division_by_zero() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", vec![], None);
+        let mut fb = mb.body(main);
+        let d = fb.div(Ty::I64, 10i64, 0i64);
+        fb.out_i(d);
+        fb.ret_void();
+        mb.define(fb);
+        let mut m = mb.finish();
+        optimize(&mut m);
+        // the trapping division must survive
+        assert!(m
+            .iter_insts()
+            .any(|(_, i)| matches!(i.kind, InstKind::Bin { op: BinOp::Div, .. })));
+    }
+
+    #[test]
+    fn dce_keeps_loads_and_stream_reads() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", vec![], None);
+        let mut fb = mb.body(main);
+        let _unused_data = fb.data_i(0, 5i64); // can trap: must stay
+        let p = fb.alloc(4i64);
+        let _unused_load = fb.load(Ty::I64, p, 0i64); // can trap: must stay
+        let unused_add = fb.add(Ty::I64, 1i64, 2i64); // pure: folded+removed
+        let _ = unused_add;
+        fb.ret_void();
+        mb.define(fb);
+        let mut m = mb.finish();
+        optimize(&mut m);
+        verify_module(&m).unwrap();
+        assert!(m
+            .iter_insts()
+            .any(|(_, i)| matches!(i.kind, InstKind::DataI { .. })));
+        assert!(m
+            .iter_insts()
+            .any(|(_, i)| matches!(i.kind, InstKind::Load { .. })));
+        assert!(!m
+            .iter_insts()
+            .any(|(_, i)| matches!(i.kind, InstKind::Bin { op: BinOp::Add, .. })));
+    }
+
+    #[test]
+    fn folds_comparisons_and_selects() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", vec![], None);
+        let mut fb = mb.body(main);
+        let c = fb.cmp(CmpOp::Lt, 3i64, 4i64);
+        let s = fb.select(Ty::I64, c, 10i64, 20i64);
+        fb.out_i(s);
+        fb.ret_void();
+        mb.define(fb);
+        let m = fold_and_check(mb.finish());
+        let f = m.func(m.entry);
+        assert!(matches!(
+            f.insts[0].kind,
+            InstKind::OutI {
+                v: Operand::ConstI(10)
+            }
+        ));
+    }
+
+    #[test]
+    fn folding_matches_wrapping_semantics() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", vec![], None);
+        let mut fb = mb.body(main);
+        let a = fb.add(Ty::I64, i64::MAX, 1i64);
+        fb.out_i(a);
+        fb.ret_void();
+        mb.define(fb);
+        let m = fold_and_check(mb.finish());
+        let f = m.func(m.entry);
+        assert!(matches!(
+            f.insts[0].kind,
+            InstKind::OutI {
+                v: Operand::ConstI(i64::MIN)
+            }
+        ));
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", vec![], None);
+        let mut fb = mb.body(main);
+        let a = fb.add(Ty::I64, 1i64, 2i64);
+        let b = fb.mul(Ty::I64, a, a);
+        fb.out_i(b);
+        fb.ret_void();
+        mb.define(fb);
+        let mut m = mb.finish();
+        optimize(&mut m);
+        let once = m.clone();
+        let removed = optimize(&mut m);
+        assert_eq!(removed, 0);
+        assert_eq!(m, once);
+    }
+
+    #[test]
+    fn cross_block_constants_fold() {
+        let mut mb = ModuleBuilder::new("t");
+        let main = mb.declare("main", vec![], None);
+        let mut fb = mb.body(main);
+        let next = fb.new_block("next");
+        let a = fb.add(Ty::I64, 5i64, 5i64);
+        fb.br(next);
+        fb.switch_to(next);
+        let b = fb.mul(Ty::I64, a, 2i64);
+        fb.out_i(b);
+        fb.ret_void();
+        mb.define(fb);
+        let m = fold_and_check(mb.finish());
+        let text = crate::printer::print_module(&m);
+        assert!(text.contains("out_i 20"), "{text}");
+    }
+}

@@ -1,0 +1,795 @@
+//! Parser for the textual IR format emitted by [`crate::printer`].
+//!
+//! Together with the printer this gives the IR a durable on-disk form:
+//! `minpsid compile <bench> > prog.ir` and `minpsid run prog.ir` work the
+//! way `llvm-dis`/`lli` do for LLVM bitcode. The grammar is exactly the
+//! printer's output language; `parse_module(print_module(m))`
+//! reconstructs `m` (round-trip tested, including NaN/∞ float literals).
+
+use crate::inst::{BinOp, CmpOp, Inst, InstId, InstKind, Operand, UnOp};
+use crate::module::{Block, BlockId, FuncId, Function, Module};
+use crate::types::Ty;
+use std::fmt;
+
+/// A parse failure with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: u32,
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IR parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse the printer's textual format back into a module.
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    Parser::new(text).module()
+}
+
+struct Parser<'a> {
+    lines: Vec<(u32, &'a str)>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i as u32 + 1, l.trim_end()))
+            .filter(|(_, l)| !l.trim().is_empty())
+            .collect();
+        Parser { lines, pos: 0 }
+    }
+
+    fn err<T>(&self, line: u32, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line,
+            msg: msg.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<(u32, &'a str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<(u32, &'a str)> {
+        let l = self.peek();
+        self.pos += 1;
+        l
+    }
+
+    fn module(&mut self) -> Result<Module, ParseError> {
+        // `; module NAME`
+        let (line, first) = match self.bump() {
+            Some(l) => l,
+            None => return self.err(0, "empty input"),
+        };
+        let name = first
+            .trim()
+            .strip_prefix("; module ")
+            .ok_or(ParseError {
+                line,
+                msg: "expected `; module <name>`".into(),
+            })?
+            .to_string();
+        let mut module = Module::new(name);
+        let mut entry: Option<FuncId> = None;
+        let mut next_is_entry = false;
+
+        while let Some((line, l)) = self.peek() {
+            let t = l.trim();
+            if t == "; entry" {
+                next_is_entry = true;
+                self.pos += 1;
+                continue;
+            }
+            if t.starts_with("fn ") {
+                let fid = FuncId(module.funcs.len() as u32);
+                let f = self.function()?;
+                module.funcs.push(f);
+                if next_is_entry {
+                    entry = Some(fid);
+                    next_is_entry = false;
+                }
+                continue;
+            }
+            if t.starts_with(';') {
+                // trailing stats comment etc.
+                self.pos += 1;
+                continue;
+            }
+            return self.err(line, format!("unexpected line `{t}`"));
+        }
+        module.entry = entry.unwrap_or(FuncId(0));
+        if module.funcs.is_empty() {
+            return self.err(0, "module has no functions");
+        }
+        Ok(module)
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        let (line, header) = self.bump().expect("caller checked");
+        let header = header.trim();
+        // `fn name(ty, ty) -> ret {`
+        let rest = header
+            .strip_prefix("fn ")
+            .and_then(|r| r.strip_suffix('{'))
+            .map(str::trim)
+            .ok_or(ParseError {
+                line,
+                msg: "malformed function header".into(),
+            })?;
+        let open = rest.find('(').ok_or(ParseError {
+            line,
+            msg: "missing `(`".into(),
+        })?;
+        let close = rest.rfind(')').ok_or(ParseError {
+            line,
+            msg: "missing `)`".into(),
+        })?;
+        let name = rest[..open].trim().to_string();
+        let params: Vec<Ty> = rest[open + 1..close]
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| self.ty(line, s))
+            .collect::<Result<_, _>>()?;
+        let ret_text = rest[close + 1..]
+            .trim()
+            .strip_prefix("->")
+            .map(str::trim)
+            .ok_or(ParseError {
+                line,
+                msg: "missing `-> <ret>`".into(),
+            })?;
+        let ret = if ret_text == "void" {
+            None
+        } else {
+            Some(self.ty(line, ret_text)?)
+        };
+
+        // Collect the body lines first: instruction ids in the text follow
+        // the *arena* order of the original module, which nested control
+        // flow makes non-monotonic in block order. Pass 1 assigns fresh
+        // dense ids in textual order and maps declared `%N` ids onto them
+        // (handling forward references); pass 2 parses with the full map.
+        enum BodyLine<'t> {
+            Label(String),
+            Inst(u32, &'t str),
+        }
+        let mut body: Vec<BodyLine> = Vec::new();
+        loop {
+            let Some((line, l)) = self.bump() else {
+                return self.err(line, "unterminated function (missing `}`)");
+            };
+            let t = l.trim();
+            if t == "}" {
+                break;
+            }
+            if let Some(label) = t.strip_suffix(':') {
+                let (bname, _) = label.rsplit_once('.').ok_or(ParseError {
+                    line,
+                    msg: format!("malformed block label `{label}`"),
+                })?;
+                body.push(BodyLine::Label(bname.to_string()));
+                continue;
+            }
+            if body.is_empty() {
+                return self.err(line, "instruction before first block label");
+            }
+            body.push(BodyLine::Inst(line, t));
+        }
+
+        // pass 1: declared-id → fresh-id map
+        let mut id_map: std::collections::HashMap<u32, InstId> = std::collections::HashMap::new();
+        let mut fresh: u32 = 0;
+        for bl in &body {
+            if let BodyLine::Inst(line, t) = bl {
+                if let Some(declared) = declared_id(t) {
+                    let declared = declared.map_err(|msg| ParseError { line: *line, msg })?;
+                    if id_map.insert(declared, InstId(fresh)).is_some() {
+                        return self.err(*line, format!("duplicate result id %{declared}"));
+                    }
+                }
+                fresh += 1;
+            }
+        }
+
+        // pass 2: parse instructions with operand remapping
+        let mut func = Function::new(name, params, ret);
+        for bl in &body {
+            match bl {
+                BodyLine::Label(bname) => func.blocks.push(Block {
+                    insts: vec![],
+                    name: Some(bname.clone()),
+                }),
+                BodyLine::Inst(line, t) => {
+                    let (mut inst, _) = self.instruction(*line, t)?;
+                    for op in inst.kind.operands_mut() {
+                        if let Operand::Value(v) = op {
+                            *v = *id_map.get(&v.0).ok_or(ParseError {
+                                line: *line,
+                                msg: format!("operand %{} never defined", v.0),
+                            })?;
+                        }
+                    }
+                    let id = InstId(func.insts.len() as u32);
+                    func.insts.push(inst);
+                    func.blocks.last_mut().unwrap().insts.push(id);
+                }
+            }
+        }
+        Ok(func)
+    }
+
+    fn ty(&self, line: u32, s: &str) -> Result<Ty, ParseError> {
+        match s {
+            "i64" => Ok(Ty::I64),
+            "f64" => Ok(Ty::F64),
+            "bool" => Ok(Ty::Bool),
+            "ptr" => Ok(Ty::Ptr),
+            other => Err(ParseError {
+                line,
+                msg: format!("unknown type `{other}`"),
+            }),
+        }
+    }
+
+    /// Parse one instruction line; returns the instruction and, when the
+    /// line carries a `%N : ty =` prefix, the declared id for validation.
+    fn instruction(&self, line: u32, text: &str) -> Result<(Inst, Option<u32>), ParseError> {
+        // split off a trailing `  ; name` comment
+        let (body, name) = match text.split_once("  ; ") {
+            Some((b, n)) => (b.trim(), Some(n.trim().to_string())),
+            None => (text, None),
+        };
+        let (declared, ty, rest) = match body.split_once('=') {
+            Some((lhs, rhs)) if lhs.trim_start().starts_with('%') => {
+                let lhs = lhs.trim();
+                let (idpart, typart) = lhs.split_once(':').ok_or(ParseError {
+                    line,
+                    msg: "missing `:` in result declaration".into(),
+                })?;
+                let id: u32 = idpart.trim()[1..].parse().map_err(|_| ParseError {
+                    line,
+                    msg: "bad result id".into(),
+                })?;
+                let ty = self.ty(line, typart.trim())?;
+                (Some(id), Some(ty), rhs.trim())
+            }
+            _ => (None, None, body.trim()),
+        };
+
+        let (mnemonic, args) = match rest.split_once(' ') {
+            Some((m, a)) => (m, a.trim()),
+            None => (rest, ""),
+        };
+
+        let op = |s: &str| self.operand(line, s);
+        let two = |s: &str| -> Result<(Operand, Operand), ParseError> {
+            let (a, b) = s.split_once(',').ok_or(ParseError {
+                line,
+                msg: format!("expected two operands in `{s}`"),
+            })?;
+            Ok((op(a.trim())?, op(b.trim())?))
+        };
+
+        let kind = match mnemonic {
+            "param" => InstKind::Param {
+                n: args.parse().map_err(|_| ParseError {
+                    line,
+                    msg: "bad param index".into(),
+                })?,
+            },
+            "add" | "sub" | "mul" | "div" | "rem" | "and" | "or" | "xor" | "shl" | "shr"
+            | "min" | "max" => {
+                let (lhs, rhs) = two(args)?;
+                InstKind::Bin {
+                    op: bin_op(mnemonic),
+                    lhs,
+                    rhs,
+                }
+            }
+            "neg" | "not" | "sqrt" | "sin" | "cos" | "exp" | "log" | "abs" | "floor" => {
+                InstKind::Un {
+                    op: un_op(mnemonic),
+                    arg: op(args)?,
+                }
+            }
+            "icmp" => {
+                let (pred, rest) = args.split_once(' ').ok_or(ParseError {
+                    line,
+                    msg: "icmp needs a predicate".into(),
+                })?;
+                let (lhs, rhs) = two(rest)?;
+                InstKind::Cmp {
+                    op: cmp_op(line, pred)?,
+                    lhs,
+                    rhs,
+                }
+            }
+            "select" => {
+                let parts: Vec<&str> = args.split(',').map(str::trim).collect();
+                if parts.len() != 3 {
+                    return self.err(line, "select needs three operands");
+                }
+                InstKind::Select {
+                    cond: op(parts[0])?,
+                    then_v: op(parts[1])?,
+                    else_v: op(parts[2])?,
+                }
+            }
+            "cast" => {
+                let (a, to) = args.split_once(" to ").ok_or(ParseError {
+                    line,
+                    msg: "cast needs ` to <ty>`".into(),
+                })?;
+                InstKind::Cast {
+                    to: self.ty(line, to.trim())?,
+                    arg: op(a.trim())?,
+                }
+            }
+            "alloc" => InstKind::Alloc { count: op(args)? },
+            "salloc" => InstKind::Salloc { count: op(args)? },
+            "load" => {
+                // `load ty %p[%i]`
+                let (tytext, rest) = args.split_once(' ').ok_or(ParseError {
+                    line,
+                    msg: "load needs a type".into(),
+                })?;
+                let (p, i) = indexed(line, rest)?;
+                InstKind::Load {
+                    ptr: op(&p)?,
+                    idx: op(&i)?,
+                    ty: self.ty(line, tytext)?,
+                }
+            }
+            "store" => {
+                // `store %p[%i], %v`
+                let (target, v) = args.rsplit_once(',').ok_or(ParseError {
+                    line,
+                    msg: "store needs a value".into(),
+                })?;
+                let (p, i) = indexed(line, target.trim())?;
+                InstKind::Store {
+                    ptr: op(&p)?,
+                    idx: op(&i)?,
+                    value: op(v.trim())?,
+                }
+            }
+            "call" => {
+                // `call @N(a, b)`
+                let rest = args.strip_prefix('@').ok_or(ParseError {
+                    line,
+                    msg: "call needs `@<func>`".into(),
+                })?;
+                let (fidx, argl) = rest.split_once('(').ok_or(ParseError {
+                    line,
+                    msg: "call needs `(`".into(),
+                })?;
+                let argl = argl.strip_suffix(')').ok_or(ParseError {
+                    line,
+                    msg: "call needs `)`".into(),
+                })?;
+                let func = FuncId(fidx.parse().map_err(|_| ParseError {
+                    line,
+                    msg: "bad function index".into(),
+                })?);
+                let call_args: Vec<Operand> = argl
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(&op)
+                    .collect::<Result<_, _>>()?;
+                InstKind::Call {
+                    func,
+                    args: call_args,
+                }
+            }
+            "nargs" => InstKind::NArgs,
+            "arg_i" => InstKind::ArgI { n: op(args)? },
+            "arg_f" => InstKind::ArgF { n: op(args)? },
+            "data_len" => InstKind::DataLen {
+                stream: stream_no(line, args)?,
+            },
+            "data_i" | "data_f" => {
+                let (s, rest) = args.split_once('[').ok_or(ParseError {
+                    line,
+                    msg: "data needs `[`".into(),
+                })?;
+                let idx = rest.strip_suffix(']').ok_or(ParseError {
+                    line,
+                    msg: "data needs `]`".into(),
+                })?;
+                let stream = stream_no(line, s.trim())?;
+                if mnemonic == "data_i" {
+                    InstKind::DataI {
+                        stream,
+                        idx: op(idx)?,
+                    }
+                } else {
+                    InstKind::DataF {
+                        stream,
+                        idx: op(idx)?,
+                    }
+                }
+            }
+            "out_i" => InstKind::OutI { v: op(args)? },
+            "out_f" => InstKind::OutF { v: op(args)? },
+            "check" => {
+                let (a, b) = two(args)?;
+                InstKind::Check { a, b }
+            }
+            "br" => InstKind::Br {
+                target: block_ref(line, args)?,
+            },
+            "condbr" => {
+                let parts: Vec<&str> = args.split(',').map(str::trim).collect();
+                if parts.len() != 3 {
+                    return self.err(line, "condbr needs cond and two targets");
+                }
+                InstKind::CondBr {
+                    cond: op(parts[0])?,
+                    then_b: block_ref(line, parts[1])?,
+                    else_b: block_ref(line, parts[2])?,
+                }
+            }
+            "ret" => {
+                if args.is_empty() {
+                    InstKind::Ret { v: None }
+                } else {
+                    InstKind::Ret { v: Some(op(args)?) }
+                }
+            }
+            other => return self.err(line, format!("unknown mnemonic `{other}`")),
+        };
+        let mut inst = Inst::new(kind, ty);
+        inst.name = name;
+        Ok((inst, declared))
+    }
+
+    fn operand(&self, line: u32, s: &str) -> Result<Operand, ParseError> {
+        let s = s.trim();
+        if let Some(v) = s.strip_prefix('%') {
+            return Ok(Operand::Value(InstId(v.parse().map_err(|_| {
+                ParseError {
+                    line,
+                    msg: format!("bad value ref `{s}`"),
+                }
+            })?)));
+        }
+        match s {
+            "true" => return Ok(Operand::ConstB(true)),
+            "false" => return Ok(Operand::ConstB(false)),
+            "NaN" => return Ok(Operand::ConstF(f64::NAN)),
+            "inf" => return Ok(Operand::ConstF(f64::INFINITY)),
+            "-inf" => return Ok(Operand::ConstF(f64::NEG_INFINITY)),
+            _ => {}
+        }
+        // float literals contain `.`, `e`, or are printed by {:?}
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            return s
+                .parse::<f64>()
+                .map(Operand::ConstF)
+                .map_err(|_| ParseError {
+                    line,
+                    msg: format!("bad float literal `{s}`"),
+                });
+        }
+        s.parse::<i64>()
+            .map(Operand::ConstI)
+            .map_err(|_| ParseError {
+                line,
+                msg: format!("bad operand `{s}`"),
+            })
+    }
+}
+
+/// Extract the declared `%N` result id from an instruction line, if any.
+fn declared_id(t: &str) -> Option<Result<u32, String>> {
+    let t = t.trim_start();
+    let rest = t.strip_prefix('%')?;
+    let (idpart, after) = rest.split_once(':')?;
+    // only lines of the form `%N : ty = ...` declare a result
+    if !after.contains('=') {
+        return None;
+    }
+    Some(
+        idpart
+            .trim()
+            .parse::<u32>()
+            .map_err(|_| format!("bad result id `%{}`", idpart.trim())),
+    )
+}
+
+fn bin_op(m: &str) -> BinOp {
+    match m {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "rem" => BinOp::Rem,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        "min" => BinOp::Min,
+        _ => BinOp::Max,
+    }
+}
+
+fn un_op(m: &str) -> UnOp {
+    match m {
+        "neg" => UnOp::Neg,
+        "not" => UnOp::Not,
+        "sqrt" => UnOp::Sqrt,
+        "sin" => UnOp::Sin,
+        "cos" => UnOp::Cos,
+        "exp" => UnOp::Exp,
+        "log" => UnOp::Log,
+        "abs" => UnOp::Abs,
+        _ => UnOp::Floor,
+    }
+}
+
+fn cmp_op(line: u32, s: &str) -> Result<CmpOp, ParseError> {
+    match s {
+        "Eq" => Ok(CmpOp::Eq),
+        "Ne" => Ok(CmpOp::Ne),
+        "Lt" => Ok(CmpOp::Lt),
+        "Le" => Ok(CmpOp::Le),
+        "Gt" => Ok(CmpOp::Gt),
+        "Ge" => Ok(CmpOp::Ge),
+        other => Err(ParseError {
+            line,
+            msg: format!("unknown predicate `{other}`"),
+        }),
+    }
+}
+
+/// Parse `%p[%i]` / `%p[5]`.
+fn indexed(line: u32, s: &str) -> Result<(String, String), ParseError> {
+    let (p, rest) = s.split_once('[').ok_or(ParseError {
+        line,
+        msg: format!("expected `ptr[idx]` in `{s}`"),
+    })?;
+    let i = rest.strip_suffix(']').ok_or(ParseError {
+        line,
+        msg: "missing `]`".into(),
+    })?;
+    Ok((p.trim().to_string(), i.trim().to_string()))
+}
+
+/// Parse `#N` stream numbers.
+fn stream_no(line: u32, s: &str) -> Result<u32, ParseError> {
+    s.strip_prefix('#')
+        .and_then(|v| v.parse().ok())
+        .ok_or(ParseError {
+            line,
+            msg: format!("bad stream number `{s}`"),
+        })
+}
+
+/// Parse `bb.N` block references.
+fn block_ref(line: u32, s: &str) -> Result<BlockId, ParseError> {
+    s.trim()
+        .strip_prefix("bb.")
+        .and_then(|v| v.parse().ok())
+        .map(BlockId)
+        .ok_or(ParseError {
+            line,
+            msg: format!("bad block reference `{s}`"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::printer::print_module;
+    use crate::verify::verify_module;
+
+    fn roundtrip(m: &Module) {
+        let text = print_module(m);
+        let parsed = parse_module(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(&parsed, m, "round-trip mismatch:\n{text}");
+    }
+
+    #[test]
+    fn roundtrips_a_branching_function() {
+        let mut mb = ModuleBuilder::new("rt");
+        let main = mb.declare("main", vec![], Some(Ty::I64));
+        let mut fb = mb.body(main);
+        let t = fb.new_block("then");
+        let e = fb.new_block("else");
+        let x = fb.arg_i(0i64);
+        fb.name_last("x");
+        let c = fb.cmp(CmpOp::Gt, x, 50i64);
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        fb.ret(1i64);
+        fb.switch_to(e);
+        fb.ret(0i64);
+        mb.define(fb);
+        roundtrip(&mb.finish());
+    }
+
+    #[test]
+    fn roundtrips_memory_calls_and_floats() {
+        let mut mb = ModuleBuilder::new("rt2");
+        let main = mb.declare("main", vec![], None);
+        let helper = mb.declare("h", vec![Ty::F64, Ty::Ptr], Some(Ty::F64));
+        let mut fb = mb.body(helper);
+        let p0 = fb.param(0);
+        let p1 = fb.param(1);
+        let v = fb.load(Ty::F64, p1, 3i64);
+        let s = fb.un(UnOp::Sqrt, Ty::F64, v);
+        let r = fb.add(Ty::F64, s, p0);
+        fb.ret(r);
+        mb.define(fb);
+        let mut fb = mb.body(main);
+        let a = fb.alloc(8i64);
+        fb.store(a, 3i64, 2.5f64);
+        let x = fb.call(helper, Some(Ty::F64), vec![0.25f64.into(), a.into()]);
+        fb.out_f(x);
+        let sl = fb.salloc(1i64);
+        fb.store(sl, 0i64, 7i64);
+        let l = fb.load(Ty::I64, sl, 0i64);
+        fb.out_i(l);
+        fb.check(l, l);
+        fb.ret_void();
+        mb.define(fb);
+        roundtrip(&mb.finish());
+    }
+
+    #[test]
+    fn roundtrips_every_benchmark_shaped_construct() {
+        // selects, casts, data streams, shifts, min/max, nargs
+        let mut mb = ModuleBuilder::new("rt3");
+        let main = mb.declare("main", vec![], None);
+        let mut fb = mb.body(main);
+        let n = fb.nargs();
+        let d = fb.data_len(2);
+        let di = fb.data_i(0, 4i64);
+        let df = fb.data_f(1, di);
+        let ci = fb.cast(Ty::I64, df);
+        let cf = fb.cast(Ty::F64, ci);
+        let c = fb.cmp(CmpOp::Le, ci, n);
+        let s = fb.select(Ty::I64, c, ci, d);
+        let sh = fb.bin(BinOp::Shl, Ty::I64, s, 2i64);
+        let mx = fb.bin(BinOp::Max, Ty::I64, sh, 100i64);
+        fb.out_i(mx);
+        fb.out_f(cf);
+        fb.ret_void();
+        mb.define(fb);
+        roundtrip(&mb.finish());
+    }
+
+    #[test]
+    fn roundtrips_special_float_literals() {
+        let mut mb = ModuleBuilder::new("rt4");
+        let main = mb.declare("main", vec![], None);
+        let mut fb = mb.body(main);
+        let a = fb.add(Ty::F64, f64::INFINITY, f64::NEG_INFINITY);
+        fb.out_f(a);
+        fb.out_f(1e300f64);
+        fb.out_f(-0.0f64);
+        fb.ret_void();
+        mb.define(fb);
+        let m = mb.finish();
+        let text = print_module(&m);
+        let parsed = parse_module(&text).unwrap();
+        // NaN-bearing modules cannot use `==`; compare printed forms
+        assert_eq!(print_module(&parsed), text);
+    }
+
+    /// Kernel-shaped module (loops, salloc locals, calls, math) survives
+    /// print → parse → print byte-identically and still verifies. The
+    /// whole benchmark suite gets the same treatment in the workspace
+    /// integration tests (the ir crate cannot depend on minic).
+    #[test]
+    fn roundtrips_a_kernel_shaped_module() {
+        let m = kernel_shaped_module();
+        let text = print_module(&m);
+        let parsed = parse_module(&text).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(print_module(&parsed), text);
+        assert_eq!(parsed, m);
+        verify_module(&parsed).expect("parsed module verifies");
+    }
+
+    fn kernel_shaped_module() -> Module {
+        let mut mb = ModuleBuilder::new("suite-standin");
+        let main = mb.declare("main", vec![], None);
+        let helper = mb.declare("butterfly", vec![Ty::Ptr, Ty::I64], None);
+        let mut fb = mb.body(helper);
+        let head = fb.new_block("head");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        let p = fb.param(0);
+        let nn = fb.param(1);
+        let slot = fb.salloc(1i64);
+        fb.store(slot, 0i64, 0i64);
+        fb.br(head);
+        fb.switch_to(head);
+        let i = fb.load(Ty::I64, slot, 0i64);
+        let c = fb.cmp(CmpOp::Lt, i, nn);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let v = fb.load(Ty::F64, p, i);
+        let w = fb.un(UnOp::Cos, Ty::F64, v);
+        fb.store(p, i, w);
+        let i2 = fb.add(Ty::I64, i, 1i64);
+        fb.store(slot, 0i64, i2);
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret_void();
+        mb.define(fb);
+        let mut fb = mb.body(main);
+        let n = fb.arg_i(0i64);
+        let buf = fb.alloc(n);
+        fb.call(helper, None, vec![buf.into(), n.into()]);
+        let first = fb.load(Ty::F64, buf, 0i64);
+        fb.out_f(first);
+        fb.ret_void();
+        mb.define(fb);
+        mb.finish()
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(parse_module("").is_err());
+        assert!(parse_module("; module x").is_err(), "no functions");
+        let bad_mnemonic = "; module x\nfn main() -> void {\nentry.0:\n  frobnicate 1\n}\n";
+        let e = parse_module(bad_mnemonic).unwrap_err();
+        assert!(e.msg.contains("frobnicate"));
+        assert_eq!(e.line, 4);
+        let undefined_operand = "; module x\nfn main() -> void {\nentry.0:\n  out_i %7\n  ret\n}\n";
+        let e = parse_module(undefined_operand).unwrap_err();
+        assert!(e.msg.contains("never defined"));
+    }
+
+    #[test]
+    fn sparse_ids_are_renumbered_densely() {
+        // hand-written IR may number freely; the parser renumbers
+        let text =
+            "; module x\nfn main() -> void {\nentry.0:\n  %5 : i64 = nargs\n  out_i %5\n  ret\n}\n";
+        let m = parse_module(text).unwrap();
+        verify_module(&m).unwrap();
+        let printed = print_module(&m);
+        assert!(printed.contains("%0 : i64 = nargs"));
+        assert!(printed.contains("out_i %0"));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        // a block printed earlier may use a value declared textually later
+        // as long as dominance holds at verification time; the parser maps
+        // ids in two passes so the reference resolves
+        let text = "; module x\nfn main() -> void {\nentry.0:\n  %9 : i64 = nargs\n  br bb.1\nnext.1:\n  out_i %9\n  ret\n}\n";
+        let m = parse_module(text).unwrap();
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn entry_marker_is_respected() {
+        let mut mb = ModuleBuilder::new("rt5");
+        let _aux = mb.declare("aux", vec![], None);
+        let main = mb.declare("main", vec![], None);
+        for f in [_aux, main] {
+            let mut fb = mb.body(f);
+            fb.ret_void();
+            mb.define(fb);
+        }
+        mb.set_entry(main);
+        let m = mb.finish();
+        let parsed = parse_module(&print_module(&m)).unwrap();
+        assert_eq!(parsed.entry, main);
+    }
+}

@@ -1,0 +1,184 @@
+//! Human-readable textual form of modules, in an LLVM-flavoured syntax.
+//!
+//! Used by the CLI (`minpsid compile --emit-ir`), diagnostics, and the
+//! incubative-instruction reports that point developers at the offending
+//! instruction (paper Fig. 3 shows exactly such an excerpt).
+
+use crate::inst::{InstId, InstKind, Operand};
+use crate::module::{Function, Module};
+use std::fmt::Write as _;
+
+/// Render a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; module {}", m.name);
+    for (fid, f) in m.iter_funcs() {
+        if fid == m.entry {
+            let _ = writeln!(out, "; entry");
+        }
+        out.push_str(&print_function(f));
+        out.push('\n');
+    }
+    out
+}
+
+fn fmt_operand(o: &Operand) -> String {
+    match o {
+        Operand::Value(v) => format!("%{}", v.0),
+        Operand::ConstI(i) => i.to_string(),
+        Operand::ConstF(x) => format!("{x:?}"),
+        Operand::ConstB(b) => b.to_string(),
+    }
+}
+
+/// Render one function.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let params = f
+        .params
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let ret = f
+        .ret
+        .map(|t| t.to_string())
+        .unwrap_or_else(|| "void".into());
+    let _ = writeln!(out, "fn {}({}) -> {} {{", f.name, params, ret);
+    for (bid, b) in f.iter_blocks() {
+        let label = b.name.as_deref().unwrap_or("bb");
+        let _ = writeln!(out, "{label}.{}:", bid.0);
+        for &iid in &b.insts {
+            let _ = writeln!(out, "  {}", print_inst(f, iid));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render one instruction.
+pub fn print_inst(f: &Function, iid: InstId) -> String {
+    let inst = f.inst(iid);
+    let lhs = match inst.ty {
+        Some(ty) => format!("%{} : {ty} = ", iid.0),
+        None => String::new(),
+    };
+    let body = match &inst.kind {
+        InstKind::Param { n } => format!("param {n}"),
+        InstKind::Bin { lhs: a, rhs: b, .. } => {
+            format!(
+                "{} {}, {}",
+                inst.kind.mnemonic(),
+                fmt_operand(a),
+                fmt_operand(b)
+            )
+        }
+        InstKind::Un { arg, .. } => format!("{} {}", inst.kind.mnemonic(), fmt_operand(arg)),
+        InstKind::Cmp { op, lhs: a, rhs: b } => {
+            format!("icmp {op:?} {}, {}", fmt_operand(a), fmt_operand(b))
+        }
+        InstKind::Select {
+            cond,
+            then_v,
+            else_v,
+        } => format!(
+            "select {}, {}, {}",
+            fmt_operand(cond),
+            fmt_operand(then_v),
+            fmt_operand(else_v)
+        ),
+        InstKind::Cast { to, arg } => format!("cast {} to {to}", fmt_operand(arg)),
+        InstKind::Alloc { count } => format!("alloc {}", fmt_operand(count)),
+        InstKind::Salloc { count } => format!("salloc {}", fmt_operand(count)),
+        InstKind::Load { ptr, idx, ty } => {
+            format!("load {ty} {}[{}]", fmt_operand(ptr), fmt_operand(idx))
+        }
+        InstKind::Store { ptr, idx, value } => format!(
+            "store {}[{}], {}",
+            fmt_operand(ptr),
+            fmt_operand(idx),
+            fmt_operand(value)
+        ),
+        InstKind::Call { func, args } => {
+            let a = args.iter().map(fmt_operand).collect::<Vec<_>>().join(", ");
+            format!("call @{}({})", func.0, a)
+        }
+        InstKind::NArgs => "nargs".into(),
+        InstKind::ArgI { n } => format!("arg_i {}", fmt_operand(n)),
+        InstKind::ArgF { n } => format!("arg_f {}", fmt_operand(n)),
+        InstKind::DataLen { stream } => format!("data_len #{stream}"),
+        InstKind::DataI { stream, idx } => format!("data_i #{stream}[{}]", fmt_operand(idx)),
+        InstKind::DataF { stream, idx } => format!("data_f #{stream}[{}]", fmt_operand(idx)),
+        InstKind::OutI { v } => format!("out_i {}", fmt_operand(v)),
+        InstKind::OutF { v } => format!("out_f {}", fmt_operand(v)),
+        InstKind::Check { a, b } => format!("check {}, {}", fmt_operand(a), fmt_operand(b)),
+        InstKind::Br { target } => format!("br bb.{}", target.0),
+        InstKind::CondBr {
+            cond,
+            then_b,
+            else_b,
+        } => format!(
+            "condbr {}, bb.{}, bb.{}",
+            fmt_operand(cond),
+            then_b.0,
+            else_b.0
+        ),
+        InstKind::Ret { v } => match v {
+            Some(v) => format!("ret {}", fmt_operand(v)),
+            None => "ret".into(),
+        },
+    };
+    let name = inst
+        .name
+        .as_ref()
+        .map(|n| format!("  ; {n}"))
+        .unwrap_or_default();
+    format!("{lhs}{body}{name}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::CmpOp;
+    use crate::types::Ty;
+
+    #[test]
+    fn prints_readable_ir() {
+        let mut mb = ModuleBuilder::new("demo");
+        let main = mb.declare("main", vec![], Some(Ty::I64));
+        let mut fb = mb.body(main);
+        let t = fb.new_block("then");
+        let e = fb.new_block("else");
+        let x = fb.arg_i(0i64);
+        fb.name_last("x");
+        let c = fb.cmp(CmpOp::Gt, x, 50i64);
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        fb.ret(1i64);
+        fb.switch_to(e);
+        fb.ret(0i64);
+        mb.define(fb);
+        let m = mb.finish();
+        let text = print_module(&m);
+        assert!(text.contains("fn main() -> i64 {"));
+        assert!(text.contains("%0 : i64 = arg_i 0  ; x"));
+        assert!(text.contains("icmp Gt %0, 50"));
+        assert!(text.contains("condbr %1, bb.1, bb.2"));
+        assert!(text.contains("; entry"));
+    }
+
+    #[test]
+    fn void_instructions_have_no_lhs() {
+        let mut mb = ModuleBuilder::new("demo");
+        let main = mb.declare("main", vec![], None);
+        let mut fb = mb.body(main);
+        fb.out_i(7i64);
+        fb.ret_void();
+        mb.define(fb);
+        let m = mb.finish();
+        let text = print_function(m.func(main));
+        assert!(text.contains("  out_i 7"));
+        assert!(!text.contains("= out_i"));
+    }
+}

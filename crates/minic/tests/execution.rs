@@ -1,0 +1,367 @@
+//! End-to-end semantics tests: compile minic source, run it on the
+//! interpreter, check the output stream.
+
+use minic::compile;
+use minpsid_interp::{ExecConfig, Interp, OutputItem, ProgInput, Scalar, Stream};
+
+fn run(src: &str, input: ProgInput) -> Vec<OutputItem> {
+    let m = compile(src, "test").expect("compile");
+    let r = Interp::new(&m, ExecConfig::default()).run(&input);
+    assert!(r.exited(), "termination: {:?}", r.termination);
+    r.output.items
+}
+
+fn run_scalars(src: &str, args: Vec<Scalar>) -> Vec<OutputItem> {
+    run(src, ProgInput::scalars(args))
+}
+
+fn ints(items: &[OutputItem]) -> Vec<i64> {
+    items
+        .iter()
+        .map(|i| match i {
+            OutputItem::I(v) => *v,
+            OutputItem::F(v) => panic!("expected int output, got {v}"),
+        })
+        .collect()
+}
+
+fn floats(items: &[OutputItem]) -> Vec<f64> {
+    items
+        .iter()
+        .map(|i| match i {
+            OutputItem::F(v) => *v,
+            OutputItem::I(v) => panic!("expected float output, got {v}"),
+        })
+        .collect()
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    let out = run_scalars("fn main() { out_i(2 + 3 * 4 - 10 / 2); }", vec![]);
+    assert_eq!(ints(&out), vec![9]);
+}
+
+#[test]
+fn integer_division_and_remainder() {
+    let out = run_scalars(
+        "fn main() { out_i(17 / 5); out_i(17 % 5); out_i(-17 / 5); }",
+        vec![],
+    );
+    assert_eq!(ints(&out), vec![3, 2, -3]);
+}
+
+#[test]
+fn while_loop_with_break_and_continue() {
+    let src = r#"
+        fn main() {
+            let i = 0;
+            while true {
+                i = i + 1;
+                if i % 2 == 0 { continue; }
+                if i > 7 { break; }
+                out_i(i);
+            }
+        }
+    "#;
+    let out = run_scalars(src, vec![]);
+    assert_eq!(ints(&out), vec![1, 3, 5, 7]);
+}
+
+#[test]
+fn for_loop_bound_evaluated_once() {
+    // mutating the bound variable inside the loop must not change the trip
+    // count because `to` is evaluated before the loop
+    let src = r#"
+        fn main() {
+            let n = 4;
+            for i = 0 to n {
+                n = 0;
+                out_i(i);
+            }
+        }
+    "#;
+    let out = run_scalars(src, vec![]);
+    assert_eq!(ints(&out), vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn nested_loops_and_loop_var_scoping() {
+    let src = r#"
+        fn main() {
+            for i = 0 to 3 {
+                for j = 0 to 2 {
+                    out_i(i * 10 + j);
+                }
+            }
+        }
+    "#;
+    let out = run_scalars(src, vec![]);
+    assert_eq!(ints(&out), vec![0, 1, 10, 11, 20, 21]);
+}
+
+#[test]
+fn short_circuit_and_skips_rhs() {
+    // RHS would trap with a division by zero if evaluated
+    let src = r#"
+        fn main() {
+            let d = 0;
+            if d != 0 && 10 / d > 1 { out_i(1); } else { out_i(0); }
+        }
+    "#;
+    let out = run_scalars(src, vec![]);
+    assert_eq!(ints(&out), vec![0]);
+}
+
+#[test]
+fn short_circuit_or_skips_rhs() {
+    let src = r#"
+        fn main() {
+            let d = 0;
+            if d == 0 || 10 / d > 1 { out_i(1); } else { out_i(0); }
+        }
+    "#;
+    let out = run_scalars(src, vec![]);
+    assert_eq!(ints(&out), vec![1]);
+}
+
+#[test]
+fn logical_operators_evaluate_rhs_when_needed() {
+    let src = r#"
+        fn side(x: int) -> bool { out_i(x); return x > 0; }
+        fn main() {
+            if side(1) && side(2) { out_i(100); }
+            if side(0) || side(3) { out_i(200); }
+        }
+    "#;
+    let out = run_scalars(src, vec![]);
+    assert_eq!(ints(&out), vec![1, 2, 100, 0, 3, 200]);
+}
+
+#[test]
+fn recursion_fibonacci() {
+    let src = r#"
+        fn fib(n: int) -> int {
+            if n < 2 { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn main() { out_i(fib(arg_i(0))); }
+    "#;
+    let out = run_scalars(src, vec![Scalar::I(15)]);
+    assert_eq!(ints(&out), vec![610]);
+}
+
+#[test]
+fn arrays_store_and_load() {
+    let src = r#"
+        fn main() {
+            let n = 5;
+            let a: [int] = alloc(n);
+            for i = 0 to n { a[i] = i * i; }
+            let sum = 0;
+            for i = 0 to n { sum = sum + a[i]; }
+            out_i(sum);
+        }
+    "#;
+    let out = run_scalars(src, vec![]);
+    assert_eq!(ints(&out), vec![30]);
+}
+
+#[test]
+fn flat_2d_matrix_multiply() {
+    let src = r#"
+        fn main() {
+            let n = 2;
+            let a: [float] = alloc(n * n);
+            let b: [float] = alloc(n * n);
+            let c: [float] = alloc(n * n);
+            a[0] = 1.0; a[1] = 2.0; a[2] = 3.0; a[3] = 4.0;
+            b[0] = 5.0; b[1] = 6.0; b[2] = 7.0; b[3] = 8.0;
+            for i = 0 to n {
+                for j = 0 to n {
+                    let acc = 0.0;
+                    for k = 0 to n {
+                        acc = acc + a[i * n + k] * b[k * n + j];
+                    }
+                    c[i * n + j] = acc;
+                }
+            }
+            for i = 0 to n * n { out_f(c[i]); }
+        }
+    "#;
+    let out = run_scalars(src, vec![]);
+    assert_eq!(floats(&out), vec![19.0, 22.0, 43.0, 50.0]);
+}
+
+#[test]
+fn arrays_passed_to_functions_are_shared() {
+    let src = r#"
+        fn fill(a: [int], n: int, v: int) {
+            for i = 0 to n { a[i] = v; }
+        }
+        fn main() {
+            let a: [int] = alloc(3);
+            fill(a, 3, 7);
+            out_i(a[0] + a[1] + a[2]);
+        }
+    "#;
+    let out = run_scalars(src, vec![]);
+    assert_eq!(ints(&out), vec![21]);
+}
+
+#[test]
+fn math_builtins() {
+    let src = r#"
+        fn main() {
+            out_f(sqrt(16.0));
+            out_f(abs(-2.5));
+            out_i(abs(-3));
+            out_f(min(1.5, 2));
+            out_i(max(3, 7));
+            out_f(floor(2.9));
+            out_i(int(2.9));
+            out_f(float(3));
+        }
+    "#;
+    let out = run_scalars(src, vec![]);
+    assert_eq!(
+        out,
+        vec![
+            OutputItem::F(4.0),
+            OutputItem::F(2.5),
+            OutputItem::I(3),
+            OutputItem::F(1.5),
+            OutputItem::I(7),
+            OutputItem::F(2.0),
+            OutputItem::I(2),
+            OutputItem::F(3.0),
+        ]
+    );
+}
+
+#[test]
+fn transcendental_builtins_match_rust() {
+    let src = "fn main() { out_f(sin(1.0)); out_f(cos(1.0)); out_f(exp(1.0)); out_f(log(2.718281828459045)); }";
+    let out = floats(&run_scalars(src, vec![]));
+    assert_eq!(out[0], 1.0f64.sin());
+    assert_eq!(out[1], 1.0f64.cos());
+    assert_eq!(out[2], 1.0f64.exp());
+    assert!((out[3] - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn else_if_chain_selects_correct_branch() {
+    let src = r#"
+        fn classify(x: int) -> int {
+            if x < 0 { return 0; }
+            else if x == 0 { return 1; }
+            else if x < 10 { return 2; }
+            else { return 3; }
+        }
+        fn main() {
+            out_i(classify(-5));
+            out_i(classify(0));
+            out_i(classify(5));
+            out_i(classify(50));
+        }
+    "#;
+    let out = run_scalars(src, vec![]);
+    assert_eq!(ints(&out), vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn data_streams_feed_computation() {
+    let src = r#"
+        fn main() {
+            let n = data_len(0);
+            let sum = 0.0;
+            for i = 0 to n { sum = sum + data_f(0, i); }
+            out_f(sum / float(n));
+            let m = data_len(1);
+            let isum = 0;
+            for i = 0 to m { isum = isum + data_i(1, i); }
+            out_i(isum);
+        }
+    "#;
+    let input = ProgInput::new(
+        vec![],
+        vec![
+            Stream::F(vec![1.0, 2.0, 3.0, 4.0]),
+            Stream::I(vec![10, 20, 30]),
+        ],
+    );
+    let out = run(src, input);
+    assert_eq!(out, vec![OutputItem::F(2.5), OutputItem::I(60)]);
+}
+
+#[test]
+fn mutable_bool_variables_work() {
+    let src = r#"
+        fn main() {
+            let found = false;
+            for i = 0 to 10 {
+                if i == 7 { found = true; }
+            }
+            if found { out_i(1); } else { out_i(0); }
+            let flip = true;
+            flip = !flip;
+            if flip { out_i(1); } else { out_i(0); }
+        }
+    "#;
+    let out = run_scalars(src, vec![]);
+    assert_eq!(ints(&out), vec![1, 0]);
+}
+
+#[test]
+fn early_return_from_both_branches() {
+    let src = r#"
+        fn sign(x: float) -> int {
+            if x < 0.0 { return -1; } else { return 1; }
+        }
+        fn main() { out_i(sign(-2.5)); out_i(sign(3)); }
+    "#;
+    let out = run_scalars(src, vec![]);
+    assert_eq!(ints(&out), vec![-1, 1]);
+}
+
+#[test]
+fn float_widening_in_calls_and_returns() {
+    let src = r#"
+        fn half(x: float) -> float { return x / 2; }
+        fn main() { out_f(half(7)); }
+    "#;
+    let out = run_scalars(src, vec![]);
+    assert_eq!(floats(&out), vec![3.5]);
+}
+
+#[test]
+fn deep_loop_nest_matches_reference_model() {
+    // triangular accumulation, checked against the same computation in Rust
+    let src = r#"
+        fn main() {
+            let n = arg_i(0);
+            let acc = 0;
+            for i = 0 to n {
+                for j = 0 to i {
+                    acc = acc + i * j;
+                }
+            }
+            out_i(acc);
+        }
+    "#;
+    let n = 17i64;
+    let mut expected = 0i64;
+    for i in 0..n {
+        for j in 0..i {
+            expected += i * j;
+        }
+    }
+    let out = run_scalars(src, vec![Scalar::I(n)]);
+    assert_eq!(ints(&out), vec![expected]);
+}
+
+#[test]
+fn program_reads_nargs() {
+    let src = "fn main() { out_i(nargs()); }";
+    let out = run_scalars(src, vec![Scalar::I(1), Scalar::F(2.0), Scalar::I(3)]);
+    assert_eq!(ints(&out), vec![3]);
+}

@@ -1,0 +1,148 @@
+//! Structural tests on minic's lowering output: the CFG shapes the
+//! weighted-CFG profile depends on (Fig. 5 reasoning assumes loops lower
+//! to header/body/latch/exit and conditionals to then/else/join).
+
+use minic::compile;
+use minpsid_ir::{Cfg, DomTree, InstKind, Module};
+
+fn blocks_of(m: &Module) -> Vec<String> {
+    m.func(m.entry)
+        .blocks
+        .iter()
+        .map(|b| b.name.clone().unwrap_or_default())
+        .collect()
+}
+
+#[test]
+fn for_loop_lowers_to_four_block_skeleton() {
+    let m = compile("fn main() { for i = 0 to 10 { out_i(i); } }", "t").unwrap();
+    let names = blocks_of(&m);
+    assert_eq!(
+        names,
+        vec!["entry", "for.header", "for.body", "for.latch", "for.exit"]
+    );
+    // header has two successors (body, exit); latch loops back
+    let f = m.func(m.entry);
+    let cfg = Cfg::build(f);
+    assert_eq!(cfg.succs(minpsid_ir::BlockId(1)).len(), 2);
+    assert_eq!(
+        cfg.succs(minpsid_ir::BlockId(3)),
+        &[minpsid_ir::BlockId(1)]
+    );
+    // the back edge is detected as a natural loop of header+body+latch
+    let dom = DomTree::build(&cfg);
+    let back = dom.back_edges(&cfg);
+    assert_eq!(back.len(), 1);
+    let body = dom.natural_loop(&cfg, back[0].0, back[0].1);
+    assert_eq!(body.len(), 3, "header, body, latch");
+}
+
+#[test]
+fn if_else_lowers_to_diamond() {
+    let m = compile(
+        "fn main() { let x = arg_i(0); if x > 0 { out_i(1); } else { out_i(2); } out_i(3); }",
+        "t",
+    )
+    .unwrap();
+    let names = blocks_of(&m);
+    assert_eq!(names, vec!["entry", "if.then", "if.else", "if.join"]);
+    let f = m.func(m.entry);
+    let cfg = Cfg::build(f);
+    let dom = DomTree::build(&cfg);
+    // entry dominates everything; join is dominated by entry, not by arms
+    let (e, t, el, j) = (
+        minpsid_ir::BlockId(0),
+        minpsid_ir::BlockId(1),
+        minpsid_ir::BlockId(2),
+        minpsid_ir::BlockId(3),
+    );
+    assert!(dom.dominates(e, j));
+    assert!(!dom.dominates(t, j));
+    assert!(!dom.dominates(el, j));
+}
+
+#[test]
+fn early_return_branches_skip_the_join() {
+    let m = compile(
+        "fn f(x: int) -> int { if x > 0 { return 1; } else { return 2; } }\nfn main() { out_i(f(3)); }",
+        "t",
+    )
+    .unwrap();
+    let f = m.func_by_name("f").unwrap();
+    let func = m.func(f);
+    // no join block: both arms terminate
+    let names: Vec<_> = func.blocks.iter().filter_map(|b| b.name.clone()).collect();
+    assert!(!names.iter().any(|n| n == "if.join"), "{names:?}");
+}
+
+#[test]
+fn short_circuit_creates_three_extra_blocks_per_operator() {
+    let one = compile("fn main() { let x = arg_i(0); if x > 0 && x < 10 { out_i(1); } }", "t")
+        .unwrap();
+    let names = blocks_of(&one);
+    for expected in ["sc.rhs", "sc.skip", "sc.join"] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "missing {expected} in {names:?}"
+        );
+    }
+}
+
+#[test]
+fn immutable_lets_use_no_memory_traffic() {
+    // a chain of immutable lets must lower to pure register arithmetic:
+    // exactly one salloc (the empty frame slab) and zero loads/stores
+    let m = compile(
+        "fn main() { let a = arg_i(0); let b = a + 1; let c = b * 2; out_i(c); }",
+        "t",
+    )
+    .unwrap();
+    let f = m.func(m.entry);
+    let loads = f
+        .insts
+        .iter()
+        .filter(|i| matches!(i.kind, InstKind::Load { .. } | InstKind::Store { .. }))
+        .count();
+    assert_eq!(loads, 0, "immutable bindings must stay in registers");
+}
+
+#[test]
+fn mutable_variables_get_frame_slots() {
+    let m = compile(
+        "fn main() { let a = 0; a = a + 1; out_i(a); }",
+        "t",
+    )
+    .unwrap();
+    let f = m.func(m.entry);
+    let stores = f
+        .insts
+        .iter()
+        .filter(|i| matches!(i.kind, InstKind::Store { .. }))
+        .count();
+    assert!(stores >= 2, "init + assignment both store");
+    // the frame slab is a single salloc
+    let sallocs = f
+        .insts
+        .iter()
+        .filter(|i| matches!(i.kind, InstKind::Salloc { .. }))
+        .count();
+    assert_eq!(sallocs, 1);
+}
+
+#[test]
+fn frame_slab_size_matches_slot_demand() {
+    // 2 mutable ints + 1 loop counter = 3 slots
+    let m = compile(
+        "fn main() { let a = 0; let b = 0; for i = 0 to 4 { a = a + i; b = b + 1; } out_i(a + b); }",
+        "t",
+    )
+    .unwrap();
+    let f = m.func(m.entry);
+    let count = f.insts.iter().find_map(|i| match i.kind {
+        InstKind::Salloc {
+            count: minpsid_ir::Operand::ConstI(c),
+        } => Some(c),
+        _ => None,
+    });
+    assert_eq!(count, Some(3));
+}

@@ -1,0 +1,132 @@
+//! Property tests for the minic front end: no input — valid, invalid, or
+//! adversarial — may panic the compiler; it either produces a verified
+//! module or a located error.
+
+use proptest::prelude::*;
+
+/// Random "token soup" built from minic's own lexemes: maximizes parser
+/// coverage while staying lexically valid most of the time.
+fn token_soup() -> impl Strategy<Value = String> {
+    let token = prop_oneof![
+        Just("fn".to_string()),
+        Just("let".to_string()),
+        Just("if".to_string()),
+        Just("else".to_string()),
+        Just("while".to_string()),
+        Just("for".to_string()),
+        Just("to".to_string()),
+        Just("return".to_string()),
+        Just("break".to_string()),
+        Just("continue".to_string()),
+        Just("int".to_string()),
+        Just("float".to_string()),
+        Just("bool".to_string()),
+        Just("true".to_string()),
+        Just("false".to_string()),
+        Just("main".to_string()),
+        Just("x".to_string()),
+        Just("y".to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        Just("[".to_string()),
+        Just("]".to_string()),
+        Just(";".to_string()),
+        Just(":".to_string()),
+        Just(",".to_string()),
+        Just("=".to_string()),
+        Just("+".to_string()),
+        Just("-".to_string()),
+        Just("*".to_string()),
+        Just("/".to_string()),
+        Just("%".to_string()),
+        Just("==".to_string()),
+        Just("!=".to_string()),
+        Just("<".to_string()),
+        Just("<=".to_string()),
+        Just(">=".to_string()),
+        Just("&&".to_string()),
+        Just("||".to_string()),
+        Just("->".to_string()),
+        Just("!".to_string()),
+        (0i64..100).prop_map(|v| v.to_string()),
+        (0u32..100).prop_map(|v| format!("{}.5", v)),
+    ];
+    prop::collection::vec(token, 0..60).prop_map(|toks| toks.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The compiler never panics on token soup.
+    #[test]
+    fn compiler_never_panics_on_token_soup(src in token_soup()) {
+        let _ = minic::compile(&src, "soup");
+    }
+
+    /// The compiler never panics on arbitrary bytes-ish strings.
+    #[test]
+    fn compiler_never_panics_on_arbitrary_strings(src in ".{0,200}") {
+        let _ = minic::compile(&src, "arb");
+    }
+
+    /// Whatever compiles also verifies (compile() runs the verifier and
+    /// would surface an internal error, so a plain Ok is the property).
+    #[test]
+    fn successful_compiles_are_verified_modules(src in token_soup()) {
+        if let Ok(module) = minic::compile(&src, "soup") {
+            prop_assert!(minpsid_ir::verify_module(&module).is_ok());
+        }
+    }
+
+    /// Error positions point at real lines of the source.
+    #[test]
+    fn error_lines_are_within_the_source(src in token_soup()) {
+        if let Err(e) = minic::compile(&src, "soup") {
+            let lines = src.lines().count() as u32;
+            prop_assert!(e.line <= lines.max(1), "line {} of {}", e.line, lines);
+        }
+    }
+}
+
+/// Deterministic adversarial cases that broke lesser parsers.
+#[test]
+fn adversarial_sources_error_gracefully() {
+    let cases = [
+        "",
+        "fn",
+        "fn main(",
+        "fn main() {",
+        "fn main() { let x = ; }",
+        "fn main() { if { } }",
+        "fn main() { for i = 0 { } }",
+        "fn main() { x[0; }",
+        "fn main() { out_i(((((1); }",
+        "fn main() -> { }",
+        "fn main() { let x: [bool] = alloc(2); }",
+        "fn main() { 1 + ; }",
+        "fn f(a: int, a: int) { } fn main() { }",
+        "fn main() { let x = 9223372036854775808; }", // i64 overflow
+    ];
+    for src in cases {
+        assert!(
+            minic::compile(src, "adv").is_err(),
+            "expected an error for {src:?}"
+        );
+    }
+}
+
+/// Deeply nested expressions must not blow the parser stack at sane
+/// depths (recursive descent; minic programs are hand-written kernels).
+#[test]
+fn moderately_deep_nesting_parses() {
+    let depth = 200;
+    let mut expr = String::from("1");
+    for _ in 0..depth {
+        expr = format!("({expr} + 1)");
+    }
+    let src = format!("fn main() {{ out_i({expr}); }}");
+    let m = minic::compile(&src, "deep").expect("compiles");
+    assert!(m.num_insts() > depth);
+}

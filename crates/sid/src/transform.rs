@@ -1,0 +1,447 @@
+//! The duplication code transform (paper Fig. 1c).
+//!
+//! Each selected instruction is cloned right after itself, recomputing the
+//! same operands; a `check` comparing original and duplicate is inserted
+//! *before the next synchronization point* (store, call, output, control
+//! transfer — §II-C), which is where a corrupted value could escape the
+//! protected data-flow. Because a transient fault affects only one
+//! instruction at a time, the immediate re-execution is fault-free and the
+//! mismatch is detected at the check.
+
+use minpsid_ir::module::is_sync_point;
+use minpsid_ir::{Block, FuncId, Function, GlobalInstId, Inst, InstId, InstKind, Module};
+
+/// What a static instruction in the *protected* module is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Carried over from the original module (dense original index).
+    Original(usize),
+    /// Duplicate of an original instruction (dense original index).
+    Dup(usize),
+    /// A comparison check inserted by the transform.
+    Check,
+}
+
+/// Mapping between the original and the protected module.
+#[derive(Debug, Clone)]
+pub struct TransformMeta {
+    /// Dense original index → id in the protected module.
+    pub orig_to_new: Vec<GlobalInstId>,
+    /// Role of every static instruction of the protected module (dense in
+    /// the protected module's numbering).
+    pub roles: Vec<Role>,
+    pub num_dups: usize,
+    pub num_checks: usize,
+}
+
+impl TransformMeta {
+    /// Fraction of *dynamic* instructions in a protected-run profile that
+    /// are duplicates — the paper's §VIII-A "amount of dynamic instructions
+    /// duplicated" measurement.
+    pub fn dynamic_dup_fraction(&self, protected_inst_counts: &[u64]) -> f64 {
+        assert_eq!(self.roles.len(), protected_inst_counts.len());
+        let mut orig = 0u64;
+        let mut dup = 0u64;
+        for (role, &count) in self.roles.iter().zip(protected_inst_counts) {
+            match role {
+                Role::Original(_) => orig += count,
+                Role::Dup(_) => dup += count,
+                Role::Check => {}
+            }
+        }
+        if orig == 0 {
+            0.0
+        } else {
+            dup as f64 / orig as f64
+        }
+    }
+
+    /// Fraction of dynamic cycles added by duplication + checks relative
+    /// to the original instructions' cycles (performance overhead proxy).
+    pub fn dynamic_cycle_overhead(&self, protected_inst_cycles: &[u64]) -> f64 {
+        assert_eq!(self.roles.len(), protected_inst_cycles.len());
+        let mut orig = 0u64;
+        let mut added = 0u64;
+        for (role, &cycles) in self.roles.iter().zip(protected_inst_cycles) {
+            match role {
+                Role::Original(_) => orig += cycles,
+                Role::Dup(_) | Role::Check => added += cycles,
+            }
+        }
+        if orig == 0 {
+            0.0
+        } else {
+            added as f64 / orig as f64
+        }
+    }
+}
+
+/// Whether the transform can duplicate this instruction: pure
+/// value-producing operations. Calls (side effects), allocations (distinct
+/// result by design), params, and control flow are not duplicable —
+/// matching what IR-level SID systems duplicate in practice.
+pub fn duplicable(inst: &Inst) -> bool {
+    if inst.ty.is_none() {
+        return false;
+    }
+    matches!(
+        inst.kind,
+        InstKind::Bin { .. }
+            | InstKind::Un { .. }
+            | InstKind::Cmp { .. }
+            | InstKind::Select { .. }
+            | InstKind::Cast { .. }
+            | InstKind::Load { .. }
+            | InstKind::NArgs
+            | InstKind::ArgI { .. }
+            | InstKind::ArgF { .. }
+            | InstKind::DataLen { .. }
+            | InstKind::DataI { .. }
+            | InstKind::DataF { .. }
+    )
+}
+
+/// Where the transform places duplication checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckPlacement {
+    /// Before the next synchronization point (paper §II-C) — checks are
+    /// batched, so consecutive duplicated instructions share no extra
+    /// control overhead until a value could escape.
+    #[default]
+    BeforeSyncPoint,
+    /// Immediately after each duplicate (ablation): lowest detection
+    /// latency, one check per duplicate at the same position.
+    Immediate,
+}
+
+/// Duplicate the selected instructions (dense mask over the original
+/// module) and insert checks. Returns the protected module plus the
+/// original↔protected mapping.
+pub fn duplicate_module(module: &Module, selected: &[bool]) -> (Module, TransformMeta) {
+    duplicate_module_with(module, selected, CheckPlacement::BeforeSyncPoint)
+}
+
+/// [`duplicate_module`] with an explicit check-placement policy.
+pub fn duplicate_module_with(
+    module: &Module,
+    selected: &[bool],
+    placement: CheckPlacement,
+) -> (Module, TransformMeta) {
+    let numbering = module.numbering();
+    assert_eq!(selected.len(), numbering.len());
+
+    let mut out = Module::new(format!("{}+sid", module.name));
+    out.entry = module.entry;
+    let mut orig_to_new = vec![
+        GlobalInstId {
+            func: FuncId(0),
+            inst: InstId(0)
+        };
+        numbering.len()
+    ];
+    let mut roles_per_func: Vec<Vec<Role>> = Vec::with_capacity(module.funcs.len());
+    let mut num_dups = 0usize;
+    let mut num_checks = 0usize;
+
+    for (fid, func) in module.iter_funcs() {
+        let mut new_func = Function::new(func.name.clone(), func.params.clone(), func.ret);
+        let mut roles: Vec<Role> = Vec::with_capacity(func.insts.len());
+        // old local inst id -> new local inst id
+        let mut map: Vec<Option<InstId>> = vec![None; func.insts.len()];
+
+        for (_bid, block) in func.iter_blocks() {
+            let mut new_block = Block {
+                insts: Vec::with_capacity(block.insts.len()),
+                name: block.name.clone(),
+            };
+            // (orig_new, dup_new) pairs awaiting their check
+            let mut pending: Vec<(InstId, InstId)> = Vec::new();
+
+            let push =
+                |f: &mut Function, b: &mut Block, roles: &mut Vec<Role>, inst: Inst, role: Role| {
+                    let id = InstId(f.insts.len() as u32);
+                    f.insts.push(inst);
+                    b.insts.push(id);
+                    roles.push(role);
+                    id
+                };
+
+            for &old_id in &block.insts {
+                let old_inst = func.inst(old_id);
+                let dense = numbering.index(GlobalInstId {
+                    func: fid,
+                    inst: old_id,
+                });
+
+                // remap operands
+                let mut kind = old_inst.kind.clone();
+                for op in kind.operands_mut() {
+                    if let minpsid_ir::Operand::Value(v) = op {
+                        *v = map[v.index()].expect("operand defined before use");
+                    }
+                }
+
+                // flush pending checks before a synchronization point
+                if is_sync_point(&kind) {
+                    for (orig, dup) in pending.drain(..) {
+                        push(
+                            &mut new_func,
+                            &mut new_block,
+                            &mut roles,
+                            Inst::new(
+                                InstKind::Check {
+                                    a: orig.into(),
+                                    b: dup.into(),
+                                },
+                                None,
+                            ),
+                            Role::Check,
+                        );
+                        num_checks += 1;
+                    }
+                }
+
+                let dup_kind = kind.clone();
+                let mut new_inst = Inst::new(kind, old_inst.ty);
+                new_inst.name = old_inst.name.clone();
+                let new_id = push(
+                    &mut new_func,
+                    &mut new_block,
+                    &mut roles,
+                    new_inst,
+                    Role::Original(dense),
+                );
+                map[old_id.index()] = Some(new_id);
+
+                if selected[dense] && duplicable(old_inst) {
+                    let dup_id = push(
+                        &mut new_func,
+                        &mut new_block,
+                        &mut roles,
+                        Inst::new(dup_kind, old_inst.ty),
+                        Role::Dup(dense),
+                    );
+                    num_dups += 1;
+                    match placement {
+                        CheckPlacement::BeforeSyncPoint => pending.push((new_id, dup_id)),
+                        CheckPlacement::Immediate => {
+                            push(
+                                &mut new_func,
+                                &mut new_block,
+                                &mut roles,
+                                Inst::new(
+                                    InstKind::Check {
+                                        a: new_id.into(),
+                                        b: dup_id.into(),
+                                    },
+                                    None,
+                                ),
+                                Role::Check,
+                            );
+                            num_checks += 1;
+                        }
+                    }
+                }
+            }
+            debug_assert!(
+                pending.is_empty(),
+                "terminator (a sync point) must flush all checks"
+            );
+            new_func.blocks.push(new_block);
+        }
+
+        // record the global mapping
+        for (old_local, new_local) in map.iter().enumerate() {
+            let dense = numbering.index(GlobalInstId {
+                func: fid,
+                inst: InstId(old_local as u32),
+            });
+            orig_to_new[dense] = GlobalInstId {
+                func: fid,
+                inst: new_local.expect("every instruction was emitted"),
+            };
+        }
+        roles_per_func.push(roles);
+        out.funcs.push(new_func);
+    }
+
+    let roles: Vec<Role> = roles_per_func.into_iter().flatten().collect();
+    (
+        out,
+        TransformMeta {
+            orig_to_new,
+            roles,
+            num_dups,
+            num_checks,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpsid_interp::{ExecConfig, Interp, ProgInput, Scalar};
+    use minpsid_ir::verify_module;
+
+    fn kernel() -> Module {
+        minic::compile(
+            r#"
+            fn main() {
+                let n = arg_i(0);
+                let acc = 0;
+                for i = 0 to n {
+                    acc = acc + i * i;
+                }
+                out_i(acc);
+            }
+            "#,
+            "dup-test",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn immediate_placement_preserves_semantics_and_adds_one_check_per_dup() {
+        let m = kernel();
+        let all = vec![true; m.num_insts()];
+        let (protected, meta) = duplicate_module_with(&m, &all, CheckPlacement::Immediate);
+        verify_module(&protected).expect("verifies");
+        assert_eq!(meta.num_checks, meta.num_dups);
+        let input = ProgInput::scalars(vec![Scalar::I(15)]);
+        let a = Interp::new(&m, ExecConfig::default()).run(&input);
+        let b = Interp::new(&protected, ExecConfig::default()).run(&input);
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn sync_placement_batches_checks() {
+        let m = kernel();
+        let all = vec![true; m.num_insts()];
+        let (_, sync_meta) = duplicate_module_with(&m, &all, CheckPlacement::BeforeSyncPoint);
+        let (_, imm_meta) = duplicate_module_with(&m, &all, CheckPlacement::Immediate);
+        assert_eq!(sync_meta.num_dups, imm_meta.num_dups);
+        assert_eq!(sync_meta.num_checks, imm_meta.num_checks);
+    }
+
+    #[test]
+    fn full_duplication_preserves_semantics() {
+        let m = kernel();
+        let all = vec![true; m.num_insts()];
+        let (protected, meta) = duplicate_module(&m, &all);
+        verify_module(&protected).expect("protected module verifies");
+        assert!(meta.num_dups > 0);
+        assert!(meta.num_checks > 0);
+
+        let input = ProgInput::scalars(vec![Scalar::I(20)]);
+        let a = Interp::new(&m, ExecConfig::default()).run(&input);
+        let b = Interp::new(&protected, ExecConfig::default()).run(&input);
+        assert!(b.exited(), "{:?}", b.termination);
+        assert_eq!(a.output, b.output, "duplication must not change output");
+        assert!(b.steps > a.steps, "duplication adds dynamic instructions");
+    }
+
+    #[test]
+    fn empty_selection_is_identity_modulo_name() {
+        let m = kernel();
+        let none = vec![false; m.num_insts()];
+        let (protected, meta) = duplicate_module(&m, &none);
+        assert_eq!(meta.num_dups, 0);
+        assert_eq!(meta.num_checks, 0);
+        assert_eq!(protected.num_insts(), m.num_insts());
+        let input = ProgInput::scalars(vec![Scalar::I(7)]);
+        let a = Interp::new(&m, ExecConfig::default()).run(&input);
+        let b = Interp::new(&protected, ExecConfig::default()).run(&input);
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn roles_align_with_protected_numbering() {
+        let m = kernel();
+        let all = vec![true; m.num_insts()];
+        let (protected, meta) = duplicate_module(&m, &all);
+        assert_eq!(meta.roles.len(), protected.num_insts());
+        let originals = meta
+            .roles
+            .iter()
+            .filter(|r| matches!(r, Role::Original(_)))
+            .count();
+        assert_eq!(originals, m.num_insts());
+        // every original maps to an instruction whose role says Original
+        let numbering = protected.numbering();
+        for (dense, gid) in meta.orig_to_new.iter().enumerate() {
+            let new_dense = numbering.index(*gid);
+            assert_eq!(meta.roles[new_dense], Role::Original(dense));
+        }
+    }
+
+    #[test]
+    fn checks_are_placed_before_sync_points() {
+        let m = kernel();
+        let all = vec![true; m.num_insts()];
+        let (protected, _) = duplicate_module(&m, &all);
+        // in every block, scan: no Check may appear after a store/out/call
+        // with a pending dup before it — weaker invariant checked here:
+        // every block's checks precede its terminator
+        for (_, f) in protected.iter_funcs() {
+            for (_, b) in f.iter_blocks() {
+                let term_pos = b.insts.len() - 1;
+                for (pos, &iid) in b.insts.iter().enumerate() {
+                    if matches!(f.inst(iid).kind, InstKind::Check { .. }) {
+                        assert!(pos < term_pos);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faults_on_duplicated_instructions_are_detected() {
+        use minpsid_faultsim::{golden_run, program_campaign, CampaignConfig};
+        let m = kernel();
+        let all = vec![true; m.num_insts()];
+        let (protected, _) = duplicate_module(&m, &all);
+        let input = ProgInput::scalars(vec![Scalar::I(30)]);
+        let cfg = CampaignConfig {
+            injections: 300,
+            seed: 5,
+            ..CampaignConfig::default()
+        };
+        let g = golden_run(&protected, &input, &cfg).unwrap();
+        let c = program_campaign(&protected, &input, &g, &cfg);
+        assert!(
+            c.counts.detected > 0,
+            "full duplication must detect faults: {:?}",
+            c.counts
+        );
+        // under full duplication, SDCs should be rare compared to the
+        // detected count (only non-duplicable instructions leak)
+        assert!(c.counts.detected > c.counts.sdc);
+    }
+
+    #[test]
+    fn dynamic_dup_fraction_is_selection_dependent() {
+        let m = kernel();
+        let input = ProgInput::scalars(vec![Scalar::I(25)]);
+        let exec = ExecConfig {
+            profile: true,
+            ..ExecConfig::default()
+        };
+
+        let all = vec![true; m.num_insts()];
+        let (p_all, meta_all) = duplicate_module(&m, &all);
+        let r = Interp::new(&p_all, exec.clone()).run(&input);
+        let frac_all = meta_all.dynamic_dup_fraction(&r.profile.unwrap().inst_counts);
+
+        let none = vec![false; m.num_insts()];
+        let (p_none, meta_none) = duplicate_module(&m, &none);
+        let r = Interp::new(&p_none, exec).run(&input);
+        let frac_none = meta_none.dynamic_dup_fraction(&r.profile.unwrap().inst_counts);
+
+        assert_eq!(frac_none, 0.0);
+        assert!(
+            frac_all > 0.3,
+            "most dynamic instructions duplicable: {frac_all}"
+        );
+    }
+}

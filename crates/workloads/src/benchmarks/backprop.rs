@@ -1,0 +1,154 @@
+//! Backprop (Rodinia): one stochastic-gradient training step of a
+//! two-layer perceptron. Sigmoid saturation makes error propagation
+//! heavily input-dependent: with large weights the derivatives vanish and
+//! most flips mask; near the linear regime they reach the output.
+
+use crate::gen::uniform_floats;
+use crate::Benchmark;
+use minpsid::{InputModel, ParamSpec, ParamValue};
+use minpsid_interp::{ProgInput, Scalar, Stream};
+
+pub const SOURCE: &str = r#"
+fn sigmoid(z: float) -> float {
+    return 1.0 / (1.0 + exp(-z));
+}
+
+fn main() {
+    let nin = arg_i(0);
+    let nh = arg_i(1);
+    let lr = arg_f(2);
+    let target = arg_f(3);
+    let w1: [float] = alloc(nin * nh);
+    let w2: [float] = alloc(nh);
+    let h: [float] = alloc(nh);
+    for i = 0 to nin * nh { w1[i] = data_f(0, i); }
+    for j = 0 to nh { w2[j] = data_f(1, j); }
+
+    // forward pass
+    for j = 0 to nh {
+        let z = 0.0;
+        for i = 0 to nin {
+            z = z + data_f(2, i) * w1[i * nh + j];
+        }
+        h[j] = sigmoid(z);
+    }
+    let zy = 0.0;
+    for j = 0 to nh { zy = zy + h[j] * w2[j]; }
+    let y = sigmoid(zy);
+
+    // backward pass + weight update
+    let dout = (target - y) * y * (1.0 - y);
+    for j = 0 to nh {
+        let dh = h[j] * (1.0 - h[j]) * w2[j] * dout;
+        w2[j] = w2[j] + lr * dout * h[j];
+        for i = 0 to nin {
+            w1[i * nh + j] = w1[i * nh + j] + lr * dh * data_f(2, i);
+        }
+    }
+
+    out_f(y);
+    let c1 = 0.0;
+    for i = 0 to nin * nh { c1 = c1 + w1[i]; }
+    let c2 = 0.0;
+    for j = 0 to nh { c2 = c2 + w2[j]; }
+    out_f(c1);
+    out_f(c2);
+}
+"#;
+
+pub struct Model {
+    spec: Vec<ParamSpec>,
+}
+
+impl Model {
+    pub fn new() -> Self {
+        Model {
+            spec: vec![
+                ParamSpec::int("nin", 8, 64),
+                ParamSpec::int("nh", 4, 32),
+                ParamSpec::float("lr", 0.01, 0.5),
+                ParamSpec::float("target", 0.0, 1.0),
+                ParamSpec::float("wscale", 0.1, 4.0),
+                ParamSpec::int("seed", 0, 1_000_000),
+            ],
+        }
+    }
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InputModel for Model {
+    fn spec(&self) -> &[ParamSpec] {
+        &self.spec
+    }
+
+    fn materialize(&self, params: &[ParamValue]) -> ProgInput {
+        let nin = params[0].as_i().max(1);
+        let nh = params[1].as_i().max(1);
+        let lr = params[2].as_f();
+        let target = params[3].as_f();
+        let wscale = params[4].as_f().max(1e-3);
+        let seed = params[5].as_i() as u64;
+        let w1 = uniform_floats(seed, (nin * nh) as usize, -wscale, wscale);
+        let w2 = uniform_floats(seed ^ 0xBEEF, nh as usize, -wscale, wscale);
+        let x = uniform_floats(seed ^ 0xF00D, nin as usize, -1.0, 1.0);
+        ProgInput::new(
+            vec![
+                Scalar::I(nin),
+                Scalar::I(nh),
+                Scalar::F(lr),
+                Scalar::F(target),
+            ],
+            vec![Stream::F(w1), Stream::F(w2), Stream::F(x)],
+        )
+    }
+
+    fn reference(&self) -> Vec<ParamValue> {
+        vec![
+            ParamValue::I(32),
+            ParamValue::I(16),
+            ParamValue::F(0.1),
+            ParamValue::F(0.8),
+            ParamValue::F(1.0),
+            ParamValue::I(42),
+        ]
+    }
+}
+
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "backprop",
+        suite: "Rodinia",
+        description: "A machine-learning algorithm that trains the weights of connected nodes on a layered neural network",
+        source: SOURCE,
+        model: Box::new(Model::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpsid_interp::{ExecConfig, Interp, OutputItem};
+
+    #[test]
+    fn output_is_a_probability_and_update_moves_toward_target() {
+        let b = benchmark();
+        let m = b.compile();
+        let input = b.model.materialize(&b.model.reference());
+        let r = Interp::new(&m, ExecConfig::default()).run(&input);
+        assert!(r.exited());
+        let OutputItem::F(y) = r.output.items[0] else {
+            panic!()
+        };
+        assert!((0.0..=1.0).contains(&y), "sigmoid output: {y}");
+        // checksums are finite
+        for item in &r.output.items[1..] {
+            let OutputItem::F(v) = item else { panic!() };
+            assert!(v.is_finite());
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! BFS (Rodinia): breadth-first search over a CSR graph. Error
+//! propagation here is strongly input-dependent — flipping a frontier
+//! index on a sparse graph usually crashes or masks, while on a dense,
+//! shallow graph it silently corrupts the depth map.
+
+use crate::gen::random_csr;
+use crate::Benchmark;
+use minpsid::{InputModel, ParamSpec, ParamValue};
+use minpsid_interp::{ProgInput, Scalar, Stream};
+
+pub const SOURCE: &str = r#"
+fn main() {
+    let n = arg_i(0);
+    let src = arg_i(1);
+    let depth: [int] = alloc(n);
+    let queue: [int] = alloc(n);
+    for i = 0 to n { depth[i] = -1; }
+    depth[src] = 0;
+    queue[0] = src;
+    let head = 0;
+    let tail = 1;
+    while head < tail {
+        let u = queue[head];
+        head = head + 1;
+        let first = data_i(0, u);
+        let last = data_i(0, u + 1);
+        for e = first to last {
+            let v = data_i(1, e);
+            if depth[v] < 0 {
+                depth[v] = depth[u] + 1;
+                queue[tail] = v;
+                tail = tail + 1;
+            }
+        }
+    }
+    let sum = 0;
+    let visited = 0;
+    let maxd = 0;
+    for i = 0 to n {
+        if depth[i] >= 0 {
+            sum = sum + depth[i];
+            visited = visited + 1;
+            if depth[i] > maxd { maxd = depth[i]; }
+        }
+    }
+    out_i(visited);
+    out_i(sum);
+    out_i(maxd);
+    for i = 0 to n { out_i(depth[i]); }
+}
+"#;
+
+pub struct Model {
+    spec: Vec<ParamSpec>,
+}
+
+impl Model {
+    pub fn new() -> Self {
+        Model {
+            spec: vec![
+                ParamSpec::int("n", 64, 400),
+                ParamSpec::int("degree", 1, 6),
+                // src stays below the minimum n so any combination is valid
+                ParamSpec::int("src", 0, 63),
+                ParamSpec::int("seed", 0, 1_000_000),
+            ],
+        }
+    }
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InputModel for Model {
+    fn spec(&self) -> &[ParamSpec] {
+        &self.spec
+    }
+
+    fn materialize(&self, params: &[ParamValue]) -> ProgInput {
+        let n = params[0].as_i().max(64);
+        let degree = params[1].as_i().max(1);
+        let src = params[2].as_i().clamp(0, n - 1);
+        let seed = params[3].as_i() as u64;
+        let (offsets, edges) = random_csr(seed, n as usize, degree as usize);
+        ProgInput::new(
+            vec![Scalar::I(n), Scalar::I(src)],
+            vec![Stream::I(offsets), Stream::I(edges)],
+        )
+    }
+
+    fn reference(&self) -> Vec<ParamValue> {
+        vec![
+            ParamValue::I(200),
+            ParamValue::I(3),
+            ParamValue::I(0),
+            ParamValue::I(42),
+        ]
+    }
+}
+
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "bfs",
+        suite: "Rodinia",
+        description: "Breadth-first search all connected components in a graph",
+        source: SOURCE,
+        model: Box::new(Model::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpsid_interp::{ExecConfig, Interp, OutputItem};
+
+    fn rust_bfs(n: usize, src: usize, offsets: &[i64], edges: &[i64]) -> Vec<i64> {
+        let mut depth = vec![-1i64; n];
+        let mut queue = std::collections::VecDeque::new();
+        depth[src] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for e in offsets[u] as usize..offsets[u + 1] as usize {
+                let v = edges[e] as usize;
+                if depth[v] < 0 {
+                    depth[v] = depth[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        depth
+    }
+
+    #[test]
+    fn depths_match_rust_reference() {
+        let b = benchmark();
+        let m = b.compile();
+        let input = b.model.materialize(&b.model.reference());
+        let (Stream::I(offsets), Stream::I(edges)) = (&input.streams[0], &input.streams[1]) else {
+            panic!()
+        };
+        let expected = rust_bfs(200, 0, offsets, edges);
+        let r = Interp::new(&m, ExecConfig::default()).run(&input);
+        assert!(r.exited());
+        let depths: Vec<i64> = r.output.items[3..]
+            .iter()
+            .map(|i| match i {
+                OutputItem::I(v) => *v,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(depths, expected);
+        // visited count agrees
+        let visited = expected.iter().filter(|&&d| d >= 0).count() as i64;
+        assert_eq!(r.output.items[0], OutputItem::I(visited));
+    }
+}

@@ -1,0 +1,397 @@
+//! FFT (SPLASH-2): iterative radix-2 Cooley-Tukey FFT (the scaled-down
+//! stand-in for the six-step method — same butterfly data flow and the
+//! same kind of size-dependent comparisons that produced the paper's
+//! Fig. 3 incubative `icmp`).
+
+use crate::gen::uniform_floats;
+use crate::Benchmark;
+use minpsid::{InputModel, ParamKind, ParamSpec, ParamValue};
+use minpsid_interp::{ProgInput, Scalar, Stream};
+
+pub const SOURCE: &str = r#"
+fn main() {
+    let logn = arg_i(0);
+    let clip = arg_f(1);
+    let n = 1;
+    for b = 0 to logn { n = n * 2; }
+    let re: [float] = alloc(n);
+    let im: [float] = alloc(n);
+    for i = 0 to n {
+        re[i] = data_f(0, i);
+        im[i] = data_f(1, i);
+        // input conditioning: samples beyond the clip level saturate
+        // (cold under the unit-amplitude reference input — the same
+        // threshold-comparison shape as the paper's Fig. 3 icmp)
+        if re[i] > clip { re[i] = clip; }
+        if re[i] < -clip { re[i] = -clip; }
+        if im[i] > clip { im[i] = clip; }
+        if im[i] < -clip { im[i] = -clip; }
+    }
+    // bit-reversal permutation
+    for i = 0 to n {
+        let j = 0;
+        let t = i;
+        for b = 0 to logn {
+            j = j * 2 + t % 2;
+            t = t / 2;
+        }
+        if j > i {
+            let tr = re[i]; re[i] = re[j]; re[j] = tr;
+            let ti = im[i]; im[i] = im[j]; im[j] = ti;
+        }
+    }
+    // butterflies
+    let len = 2;
+    while len <= n {
+        let ang = -6.283185307179586 / float(len);
+        let half = len / 2;
+        let base = 0;
+        while base < n {
+            for j = 0 to half {
+                let wr = cos(ang * float(j));
+                let wi = sin(ang * float(j));
+                let ur = re[base + j];
+                let ui = im[base + j];
+                let vr = re[base + j + half] * wr - im[base + j + half] * wi;
+                let vi = re[base + j + half] * wi + im[base + j + half] * wr;
+                re[base + j] = ur + vr;
+                im[base + j] = ui + vi;
+                re[base + j + half] = ur - vr;
+                im[base + j + half] = ui - vi;
+            }
+            base = base + len;
+        }
+        len = len * 2;
+    }
+    for i = 0 to n {
+        out_f(re[i]);
+        out_f(im[i]);
+    }
+}
+"#;
+
+/// Multi-"thread" FFT for the §VIII-B discussion. SID's detection is
+/// per-thread: every thread runs the same protected code and checks fire
+/// before any synchronization point, so a `T`-thread run is behaviourally
+/// `T` independent shard transforms over disjoint data. The deterministic
+/// interpreter models that as an outer shard loop over a `T × n` buffer —
+/// identical protected-instruction set, `T`-fold dynamic replication.
+pub const MT_SOURCE: &str = r#"
+fn fft_shard(re: [float], im: [float], off: int, n: int, logn: int) {
+    for i = 0 to n {
+        let j = 0;
+        let t = i;
+        for b = 0 to logn {
+            j = j * 2 + t % 2;
+            t = t / 2;
+        }
+        if j > i {
+            let tr = re[off + i]; re[off + i] = re[off + j]; re[off + j] = tr;
+            let ti = im[off + i]; im[off + i] = im[off + j]; im[off + j] = ti;
+        }
+    }
+    let len = 2;
+    while len <= n {
+        let ang = -6.283185307179586 / float(len);
+        let half = len / 2;
+        let base = 0;
+        while base < n {
+            for j = 0 to half {
+                let wr = cos(ang * float(j));
+                let wi = sin(ang * float(j));
+                let ur = re[off + base + j];
+                let ui = im[off + base + j];
+                let vr = re[off + base + j + half] * wr - im[off + base + j + half] * wi;
+                let vi = re[off + base + j + half] * wi + im[off + base + j + half] * wr;
+                re[off + base + j] = ur + vr;
+                im[off + base + j] = ui + vi;
+                re[off + base + j + half] = ur - vr;
+                im[off + base + j + half] = ui - vi;
+            }
+            base = base + len;
+        }
+        len = len * 2;
+    }
+}
+
+fn main() {
+    let logn = arg_i(0);
+    let clip = arg_f(1);
+    let threads = arg_i(2);
+    let n = 1;
+    for b = 0 to logn { n = n * 2; }
+    let total = n * threads;
+    let re: [float] = alloc(total);
+    let im: [float] = alloc(total);
+    for i = 0 to total {
+        re[i] = data_f(0, i);
+        im[i] = data_f(1, i);
+        if re[i] > clip { re[i] = clip; }
+        if re[i] < -clip { re[i] = -clip; }
+        if im[i] > clip { im[i] = clip; }
+        if im[i] < -clip { im[i] = -clip; }
+    }
+    for t = 0 to threads {
+        fft_shard(re, im, t * n, n, logn);
+    }
+    for i = 0 to total {
+        out_f(re[i]);
+        out_f(im[i]);
+    }
+}
+"#;
+
+/// Input model for [`MT_SOURCE`] with a fixed thread count.
+pub struct MtModel {
+    threads: i64,
+    spec: Vec<ParamSpec>,
+}
+
+impl MtModel {
+    pub fn new(threads: i64) -> Self {
+        MtModel {
+            threads,
+            spec: vec![
+                ParamSpec {
+                    name: "logn",
+                    kind: ParamKind::Choice {
+                        options: vec![4, 5, 6],
+                    },
+                },
+                ParamSpec::float("clip", 1.0, 40.0),
+                ParamSpec::float("amplitude", 0.1, 50.0),
+                ParamSpec::int("seed", 0, 1_000_000),
+            ],
+        }
+    }
+}
+
+impl InputModel for MtModel {
+    fn spec(&self) -> &[ParamSpec] {
+        &self.spec
+    }
+
+    fn materialize(&self, params: &[ParamValue]) -> ProgInput {
+        let logn = params[0].as_i().clamp(1, 10);
+        let clip = params[1].as_f().max(1e-3);
+        let amplitude = params[2].as_f().max(1e-3);
+        let seed = params[3].as_i() as u64;
+        let total = (1usize << logn) * self.threads as usize;
+        let re = uniform_floats(seed, total, -amplitude, amplitude);
+        let im = uniform_floats(seed ^ 0x1337, total, -amplitude, amplitude);
+        ProgInput::new(
+            vec![Scalar::I(logn), Scalar::F(clip), Scalar::I(self.threads)],
+            vec![Stream::F(re), Stream::F(im)],
+        )
+    }
+
+    fn reference(&self) -> Vec<ParamValue> {
+        vec![
+            ParamValue::I(5),
+            ParamValue::F(30.0),
+            ParamValue::F(1.0),
+            ParamValue::I(42),
+        ]
+    }
+}
+
+/// The multi-threaded FFT benchmark with `threads` ∈ {1, 2, 4} (§VIII-B).
+pub fn mt_benchmark(threads: i64) -> Benchmark {
+    Benchmark {
+        name: "fft-mt",
+        suite: "SPLASH-2",
+        description:
+            "Multi-threaded FFT model: per-thread shard transforms under shared protected code",
+        source: MT_SOURCE,
+        model: Box::new(MtModel::new(threads)),
+    }
+}
+
+pub struct Model {
+    spec: Vec<ParamSpec>,
+}
+
+impl Model {
+    pub fn new() -> Self {
+        Model {
+            spec: vec![
+                ParamSpec {
+                    name: "logn",
+                    kind: ParamKind::Choice {
+                        options: vec![4, 5, 6, 7, 8],
+                    },
+                },
+                ParamSpec::float("clip", 1.0, 40.0),
+                ParamSpec::float("amplitude", 0.1, 50.0),
+                ParamSpec::int("seed", 0, 1_000_000),
+            ],
+        }
+    }
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InputModel for Model {
+    fn spec(&self) -> &[ParamSpec] {
+        &self.spec
+    }
+
+    fn materialize(&self, params: &[ParamValue]) -> ProgInput {
+        let logn = params[0].as_i().clamp(1, 12);
+        let clip = params[1].as_f().max(1e-3);
+        let amplitude = params[2].as_f().max(1e-3);
+        let seed = params[3].as_i() as u64;
+        let n = 1usize << logn;
+        let re = uniform_floats(seed, n, -amplitude, amplitude);
+        let im = uniform_floats(seed ^ 0x1337, n, -amplitude, amplitude);
+        ProgInput::new(
+            vec![Scalar::I(logn), Scalar::F(clip)],
+            vec![Stream::F(re), Stream::F(im)],
+        )
+    }
+
+    fn reference(&self) -> Vec<ParamValue> {
+        // unit amplitude far below the clip level: the saturation branch
+        // never fires under the reference input
+        vec![
+            ParamValue::I(6),
+            ParamValue::F(30.0),
+            ParamValue::F(1.0),
+            ParamValue::I(42),
+        ]
+    }
+}
+
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "fft",
+        suite: "SPLASH-2",
+        description: "1D fast Fourier transform using six-step FFT method",
+        source: SOURCE,
+        model: Box::new(Model::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpsid_interp::{ExecConfig, Interp, OutputItem};
+
+    /// O(n²) reference DFT.
+    fn dft(re: &[f64], im: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let n = re.len();
+        let mut or_ = vec![0.0; n];
+        let mut oi = vec![0.0; n];
+        for k in 0..n {
+            for t in 0..n {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                or_[k] += re[t] * ang.cos() - im[t] * ang.sin();
+                oi[k] += re[t] * ang.sin() + im[t] * ang.cos();
+            }
+        }
+        (or_, oi)
+    }
+
+    #[test]
+    fn fft_matches_reference_dft() {
+        let b = benchmark();
+        let m = b.compile();
+        let params = vec![
+            ParamValue::I(5),
+            ParamValue::F(30.0),
+            ParamValue::F(1.0),
+            ParamValue::I(9),
+        ];
+        let input = b.model.materialize(&params);
+        let (Stream::F(re), Stream::F(im)) = (&input.streams[0], &input.streams[1]) else {
+            panic!()
+        };
+        let (er, ei) = dft(re, im);
+        let r = Interp::new(&m, ExecConfig::default()).run(&input);
+        assert!(r.exited());
+        assert_eq!(r.output.len(), 64);
+        for k in 0..32 {
+            let OutputItem::F(gr) = r.output.items[2 * k] else {
+                panic!()
+            };
+            let OutputItem::F(gi) = r.output.items[2 * k + 1] else {
+                panic!()
+            };
+            assert!((gr - er[k]).abs() < 1e-9, "re[{k}]: {gr} vs {}", er[k]);
+            assert!((gi - ei[k]).abs() < 1e-9, "im[{k}]: {gi} vs {}", ei[k]);
+        }
+    }
+
+    #[test]
+    fn mt_variant_matches_single_threaded_shards() {
+        // a 2-thread run over [A | B] must equal two 1-thread runs on A, B
+        let mt = mt_benchmark(2);
+        let m2 = mt.compile();
+        let params = vec![
+            ParamValue::I(4),
+            ParamValue::F(30.0),
+            ParamValue::F(1.0),
+            ParamValue::I(5),
+        ];
+        let input2 = mt.model.materialize(&params);
+        let r2 = Interp::new(&m2, ExecConfig::default()).run(&input2);
+        assert!(r2.exited());
+
+        let st = mt_benchmark(1);
+        let m1 = st.compile();
+        let (Stream::F(re), Stream::F(im)) = (&input2.streams[0], &input2.streams[1]) else {
+            panic!()
+        };
+        let n = re.len() / 2;
+        let mut combined = Vec::new();
+        for shard in 0..2 {
+            let shard_input = minpsid_interp::ProgInput::new(
+                vec![
+                    minpsid_interp::Scalar::I(4),
+                    minpsid_interp::Scalar::F(30.0),
+                    minpsid_interp::Scalar::I(1),
+                ],
+                vec![
+                    Stream::F(re[shard * n..(shard + 1) * n].to_vec()),
+                    Stream::F(im[shard * n..(shard + 1) * n].to_vec()),
+                ],
+            );
+            let r1 = Interp::new(&m1, ExecConfig::default()).run(&shard_input);
+            assert!(r1.exited());
+            combined.extend(r1.output.items);
+        }
+        // outputs are interleaved per shard in both cases
+        assert_eq!(r2.output.items, combined);
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let b = benchmark();
+        let m = b.compile();
+        let input = b.model.materialize(&b.model.reference());
+        let (Stream::F(re), Stream::F(im)) = (&input.streams[0], &input.streams[1]) else {
+            panic!()
+        };
+        let n = re.len() as f64;
+        let time_energy: f64 = re.iter().zip(im).map(|(r, i)| r * r + i * i).sum::<f64>();
+        let r = Interp::new(&m, ExecConfig::default()).run(&input);
+        let freq_energy: f64 = r
+            .output
+            .items
+            .iter()
+            .map(|it| match it {
+                OutputItem::F(v) => v * v,
+                _ => panic!(),
+            })
+            .sum::<f64>()
+            / n;
+        assert!(
+            (time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0),
+            "Parseval violated: {time_energy} vs {freq_energy}"
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! HPCCG (Mantevo): conjugate gradient on a 1D Laplacian-like SPD stencil
+//! (matrix-free, as HPCCG's 27-point stencil is — reduced to 3 points for
+//! the scaled-down instance). The convergence test `sqrt(rs2) < tol` is
+//! the canonical input-dependent branch: which iteration it fires on
+//! depends on the right-hand side.
+
+use crate::gen::uniform_floats;
+use crate::Benchmark;
+use minpsid::{InputModel, ParamSpec, ParamValue};
+use minpsid_interp::{ProgInput, Scalar, Stream};
+
+pub const SOURCE: &str = r#"
+fn matvec(x: [float], y: [float], n: int) {
+    for i = 0 to n {
+        let v = 2.5 * x[i];
+        if i > 0 { v = v - x[i - 1]; }
+        if i < n - 1 { v = v - x[i + 1]; }
+        y[i] = v;
+    }
+}
+
+fn dot(a: [float], b: [float], n: int) -> float {
+    let s = 0.0;
+    for i = 0 to n { s = s + a[i] * b[i]; }
+    return s;
+}
+
+fn main() {
+    let n = arg_i(0);
+    let iters = arg_i(1);
+    let tol = arg_f(2);
+    let x: [float] = alloc(n);
+    let r: [float] = alloc(n);
+    let p: [float] = alloc(n);
+    let ap: [float] = alloc(n);
+    for i = 0 to n {
+        x[i] = 0.0;
+        r[i] = data_f(0, i);
+        p[i] = r[i];
+    }
+    let rs = dot(r, r, n);
+    let it = 0;
+    while it < iters {
+        matvec(p, ap, n);
+        let pap = dot(p, ap, n);
+        let alpha = rs / pap;
+        for i = 0 to n {
+            x[i] = x[i] + alpha * p[i];
+            r[i] = r[i] - alpha * ap[i];
+        }
+        let rs2 = dot(r, r, n);
+        if sqrt(rs2) < tol {
+            it = iters;
+        } else {
+            let beta = rs2 / rs;
+            for i = 0 to n { p[i] = r[i] + beta * p[i]; }
+            rs = rs2;
+            it = it + 1;
+        }
+    }
+    out_f(sqrt(dot(r, r, n)));
+    for i = 0 to n { out_f(x[i]); }
+}
+"#;
+
+pub struct Model {
+    spec: Vec<ParamSpec>,
+}
+
+impl Model {
+    pub fn new() -> Self {
+        Model {
+            spec: vec![
+                ParamSpec::int("n", 64, 384),
+                ParamSpec::int("iters", 4, 24),
+                ParamSpec::float("tol", 1e-8, 1e-2),
+                ParamSpec::float("bmag", 0.5, 20.0),
+                ParamSpec::int("seed", 0, 1_000_000),
+            ],
+        }
+    }
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InputModel for Model {
+    fn spec(&self) -> &[ParamSpec] {
+        &self.spec
+    }
+
+    fn materialize(&self, params: &[ParamValue]) -> ProgInput {
+        let n = params[0].as_i().max(8);
+        let iters = params[1].as_i().max(1);
+        let tol = params[2].as_f().max(1e-12);
+        let bmag = params[3].as_f().max(1e-3);
+        let seed = params[4].as_i() as u64;
+        let b = uniform_floats(seed, n as usize, -bmag, bmag);
+        ProgInput::new(
+            vec![Scalar::I(n), Scalar::I(iters), Scalar::F(tol)],
+            vec![Stream::F(b)],
+        )
+    }
+
+    fn reference(&self) -> Vec<ParamValue> {
+        vec![
+            ParamValue::I(160),
+            ParamValue::I(10),
+            ParamValue::F(1e-6),
+            ParamValue::F(4.0),
+            ParamValue::I(42),
+        ]
+    }
+}
+
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "hpccg",
+        suite: "Mantevo",
+        description: "A simple conjugate gradient benchmark code for a 3D chimney domain on an arbitrary number of processors",
+        source: SOURCE,
+        model: Box::new(Model::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpsid_interp::{ExecConfig, Interp, OutputItem};
+
+    #[test]
+    fn residual_shrinks_with_cg_iterations() {
+        let b = benchmark();
+        let m = b.compile();
+
+        let few = b.model.materialize(&[
+            ParamValue::I(96),
+            ParamValue::I(2),
+            ParamValue::F(1e-12),
+            ParamValue::F(4.0),
+            ParamValue::I(7),
+        ]);
+        let many = b.model.materialize(&[
+            ParamValue::I(96),
+            ParamValue::I(20),
+            ParamValue::F(1e-12),
+            ParamValue::F(4.0),
+            ParamValue::I(7),
+        ]);
+        let res = |input| {
+            let r = Interp::new(&m, ExecConfig::default()).run(input);
+            assert!(r.exited());
+            match r.output.items[0] {
+                OutputItem::F(v) => v,
+                _ => panic!(),
+            }
+        };
+        let r_few = res(&few);
+        let r_many = res(&many);
+        assert!(
+            r_many < r_few * 0.5,
+            "CG must converge: residual {r_few} -> {r_many}"
+        );
+    }
+
+    #[test]
+    fn solution_satisfies_the_system_approximately() {
+        let b = benchmark();
+        let m = b.compile();
+        let input = b.model.materialize(&[
+            ParamValue::I(64),
+            ParamValue::I(24),
+            ParamValue::F(1e-10),
+            ParamValue::F(2.0),
+            ParamValue::I(3),
+        ]);
+        let Stream::F(rhs) = &input.streams[0] else {
+            panic!()
+        };
+        let r = Interp::new(&m, ExecConfig::default()).run(&input);
+        let x: Vec<f64> = r.output.items[1..]
+            .iter()
+            .map(|i| match i {
+                OutputItem::F(v) => *v,
+                _ => panic!(),
+            })
+            .collect();
+        let n = x.len();
+        // ||Ax - b||_inf should be small after 24 iterations
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            let mut ax = 2.5 * x[i];
+            if i > 0 {
+                ax -= x[i - 1];
+            }
+            if i + 1 < n {
+                ax -= x[i + 1];
+            }
+            worst = worst.max((ax - rhs[i]).abs());
+        }
+        assert!(worst < 0.15, "residual too large: {worst}");
+    }
+}

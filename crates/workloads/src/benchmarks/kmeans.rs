@@ -1,0 +1,152 @@
+//! Kmeans (Rodinia): 2D k-means clustering. The paper's most extreme
+//! coverage-loss case (0 %–100 % across inputs): assignment-loop
+//! comparisons behave completely differently on well-separated versus
+//! overlapping clusters, which the `spread` parameter controls.
+
+use crate::gen::gaussian_mixture_2d;
+use crate::Benchmark;
+use minpsid::{InputModel, ParamSpec, ParamValue};
+use minpsid_interp::{ProgInput, Scalar, Stream};
+
+pub const SOURCE: &str = r#"
+fn main() {
+    let n = arg_i(0);
+    let k = arg_i(1);
+    let iters = arg_i(2);
+    let cx: [float] = alloc(k);
+    let cy: [float] = alloc(k);
+    let sx: [float] = alloc(k);
+    let sy: [float] = alloc(k);
+    let cnt: [int] = alloc(k);
+    // init centroids from the first k points
+    for c = 0 to k {
+        cx[c] = data_f(0, 2 * c);
+        cy[c] = data_f(0, 2 * c + 1);
+    }
+    for it = 0 to iters {
+        for c = 0 to k {
+            sx[c] = 0.0;
+            sy[c] = 0.0;
+            cnt[c] = 0;
+        }
+        for i = 0 to n {
+            let px = data_f(0, 2 * i);
+            let py = data_f(0, 2 * i + 1);
+            let best = 0;
+            let bestd = 1.0e300;
+            for c = 0 to k {
+                let dx = px - cx[c];
+                let dy = py - cy[c];
+                let d = dx * dx + dy * dy;
+                if d < bestd {
+                    bestd = d;
+                    best = c;
+                }
+            }
+            sx[best] = sx[best] + px;
+            sy[best] = sy[best] + py;
+            cnt[best] = cnt[best] + 1;
+        }
+        for c = 0 to k {
+            if cnt[c] > 0 {
+                cx[c] = sx[c] / float(cnt[c]);
+                cy[c] = sy[c] / float(cnt[c]);
+            }
+        }
+    }
+    for c = 0 to k {
+        out_f(cx[c]);
+        out_f(cy[c]);
+    }
+}
+"#;
+
+pub struct Model {
+    spec: Vec<ParamSpec>,
+}
+
+impl Model {
+    pub fn new() -> Self {
+        Model {
+            spec: vec![
+                ParamSpec::int("n", 64, 400),
+                ParamSpec::int("k", 2, 8),
+                ParamSpec::int("iters", 3, 10),
+                ParamSpec::float("spread", 0.5, 20.0),
+                ParamSpec::int("seed", 0, 1_000_000),
+            ],
+        }
+    }
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InputModel for Model {
+    fn spec(&self) -> &[ParamSpec] {
+        &self.spec
+    }
+
+    fn materialize(&self, params: &[ParamValue]) -> ProgInput {
+        let n = params[0].as_i().max(8);
+        let k = params[1].as_i().clamp(1, n);
+        let iters = params[2].as_i().max(1);
+        let spread = params[3].as_f().max(0.01);
+        let seed = params[4].as_i() as u64;
+        let pts = gaussian_mixture_2d(seed, n as usize, k as usize, spread);
+        ProgInput::new(
+            vec![Scalar::I(n), Scalar::I(k), Scalar::I(iters)],
+            vec![Stream::F(pts)],
+        )
+    }
+
+    fn reference(&self) -> Vec<ParamValue> {
+        vec![
+            ParamValue::I(200),
+            ParamValue::I(4),
+            ParamValue::I(5),
+            ParamValue::F(2.0),
+            ParamValue::I(42),
+        ]
+    }
+}
+
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "kmeans",
+        suite: "Rodinia",
+        description: "A clustering algorithm used extensively in data-mining and elsewhere",
+        source: SOURCE,
+        model: Box::new(Model::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpsid_interp::{ExecConfig, Interp, OutputItem};
+
+    #[test]
+    fn centroids_are_finite_and_within_data_range() {
+        let b = benchmark();
+        let m = b.compile();
+        let input = b.model.materialize(&b.model.reference());
+        let Stream::F(pts) = &input.streams[0] else {
+            panic!()
+        };
+        let (lo, hi) = pts
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        let r = Interp::new(&m, ExecConfig::default()).run(&input);
+        assert!(r.exited());
+        assert_eq!(r.output.len(), 8); // 4 centroids × (x, y)
+        for item in &r.output.items {
+            let OutputItem::F(v) = item else { panic!() };
+            assert!(v.is_finite());
+            assert!(*v >= lo && *v <= hi, "centroid {v} outside [{lo}, {hi}]");
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! kNN (Rodinia): find the k nearest neighbours of a query point in an
+//! unstructured 2D point set. The selection loop's comparison
+//! (`dist[i] < bestd`) is a classic incubative candidate: its flip
+//! sensitivity depends on how tightly the distances cluster, which the
+//! point spread parameter controls.
+
+use crate::gen::uniform_floats;
+use crate::Benchmark;
+use minpsid::{InputModel, ParamSpec, ParamValue};
+use minpsid_interp::{ProgInput, Scalar, Stream};
+
+pub const SOURCE: &str = r#"
+fn main() {
+    let n = arg_i(0);
+    let k = arg_i(1);
+    let qx = arg_f(2);
+    let qy = arg_f(3);
+    let radius = arg_f(4);
+    let dist: [float] = alloc(n);
+    let taken: [int] = alloc(n);
+    for i = 0 to n {
+        let dx = data_f(0, 2 * i) - qx;
+        let dy = data_f(0, 2 * i + 1) - qy;
+        dist[i] = sqrt(dx * dx + dy * dy);
+        // records outside the search radius are filtered out, like the
+        // latitude/longitude record filter of the Rodinia original
+        if dist[i] > radius {
+            taken[i] = 1;
+        } else {
+            taken[i] = 0;
+        }
+    }
+    for j = 0 to k {
+        let best = -1;
+        let bestd = 1.0e300;
+        for i = 0 to n {
+            if taken[i] == 0 {
+                if dist[i] < bestd {
+                    bestd = dist[i];
+                    best = i;
+                }
+            }
+        }
+        if best >= 0 {
+            taken[best] = 1;
+            out_i(best);
+            out_f(bestd);
+        } else {
+            out_i(-1);
+            out_f(0.0);
+        }
+    }
+}
+"#;
+
+pub struct Model {
+    spec: Vec<ParamSpec>,
+}
+
+impl Model {
+    pub fn new() -> Self {
+        Model {
+            spec: vec![
+                ParamSpec::int("n", 64, 512),
+                ParamSpec::int("k", 1, 8),
+                ParamSpec::float("qx", -100.0, 100.0),
+                ParamSpec::float("qy", -100.0, 100.0),
+                // small radii make the record filter reject most points —
+                // the reference input never exercises that regime
+                ParamSpec::float("radius", 2.0, 400.0),
+                ParamSpec::float("spread", 1.0, 120.0),
+                ParamSpec::int("seed", 0, 1_000_000),
+            ],
+        }
+    }
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InputModel for Model {
+    fn spec(&self) -> &[ParamSpec] {
+        &self.spec
+    }
+
+    fn materialize(&self, params: &[ParamValue]) -> ProgInput {
+        let n = params[0].as_i().max(1);
+        let k = params[1].as_i().clamp(1, n);
+        let qx = params[2].as_f();
+        let qy = params[3].as_f();
+        let radius = params[4].as_f().max(1e-3);
+        let spread = params[5].as_f().max(1e-3);
+        let seed = params[6].as_i() as u64;
+        let pts = uniform_floats(seed, 2 * n as usize, -spread, spread);
+        ProgInput::new(
+            vec![
+                Scalar::I(n),
+                Scalar::I(k),
+                Scalar::F(qx),
+                Scalar::F(qy),
+                Scalar::F(radius),
+            ],
+            vec![Stream::F(pts)],
+        )
+    }
+
+    fn reference(&self) -> Vec<ParamValue> {
+        // the reference radius covers the whole point cloud: the filter
+        // branch never rejects, so its instructions sit at ~zero benefit
+        vec![
+            ParamValue::I(256),
+            ParamValue::I(4),
+            ParamValue::F(0.0),
+            ParamValue::F(0.0),
+            ParamValue::F(300.0),
+            ParamValue::F(50.0),
+            ParamValue::I(42),
+        ]
+    }
+}
+
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "knn",
+        suite: "Rodinia",
+        description: "Find the k-nearest neighbours from an unstructured data set",
+        source: SOURCE,
+        model: Box::new(Model::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpsid_interp::{ExecConfig, Interp, OutputItem};
+
+    #[test]
+    fn returns_k_neighbours_in_nondecreasing_distance_order() {
+        let b = benchmark();
+        let m = b.compile();
+        let input = b.model.materialize(&b.model.reference());
+        let r = Interp::new(&m, ExecConfig::default()).run(&input);
+        assert!(r.exited());
+        // output: k (index, dist) pairs
+        assert_eq!(r.output.len(), 8);
+        let dists: Vec<f64> = r
+            .output
+            .items
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .map(|i| match i {
+                OutputItem::F(v) => *v,
+                _ => panic!("expected float"),
+            })
+            .collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let b = benchmark();
+        let m = b.compile();
+        let input = b.model.materialize(&b.model.reference());
+        let Stream::F(pts) = &input.streams[0] else {
+            panic!()
+        };
+        let (qx, qy) = (0.0, 0.0);
+        let nearest = (0..pts.len() / 2)
+            .min_by(|&a, &bp| {
+                let da = (pts[2 * a] - qx).hypot(pts[2 * a + 1] - qy);
+                let db = (pts[2 * bp] - qx).hypot(pts[2 * bp + 1] - qy);
+                da.partial_cmp(&db).unwrap()
+            })
+            .unwrap();
+        let r = Interp::new(&m, ExecConfig::default()).run(&input);
+        assert_eq!(r.output.items[0], OutputItem::I(nearest as i64));
+    }
+}

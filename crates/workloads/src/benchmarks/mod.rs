@@ -1,0 +1,14 @@
+//! The 11 benchmark kernels (paper Table I), each as a minic source plus
+//! an [`minpsid::InputModel`] describing its input space.
+
+pub mod backprop;
+pub mod bfs;
+pub mod fft;
+pub mod hpccg;
+pub mod kmeans;
+pub mod knn;
+pub mod lu;
+pub mod needle;
+pub mod particlefilter;
+pub mod pathfinder;
+pub mod xsbench;

@@ -1,0 +1,148 @@
+//! Needle (Rodinia): Needleman-Wunsch global DNA-sequence alignment —
+//! a full (m+1)×(n+1) DP table with a three-way max recurrence. The paper
+//! found Needle to have the largest incubative-instruction share (32 %):
+//! which `max` arm wins is a pure function of the sequence content.
+
+use crate::gen::uniform_ints;
+use crate::Benchmark;
+use minpsid::{InputModel, ParamSpec, ParamValue};
+use minpsid_interp::{ProgInput, Scalar, Stream};
+
+pub const SOURCE: &str = r#"
+fn main() {
+    let m = arg_i(0);
+    let n = arg_i(1);
+    let penalty = arg_i(2);
+    let w = n + 1;
+    let dp: [int] = alloc((m + 1) * w);
+    for j = 0 to n + 1 { dp[j] = -(j * penalty); }
+    for i = 1 to m + 1 { dp[i * w] = -(i * penalty); }
+    for i = 1 to m + 1 {
+        for j = 1 to n + 1 {
+            let a = data_i(0, i - 1);
+            let b = data_i(1, j - 1);
+            let s = data_i(2, a * 4 + b);
+            let diag = dp[(i - 1) * w + j - 1] + s;
+            let up = dp[(i - 1) * w + j] - penalty;
+            let left = dp[i * w + j - 1] - penalty;
+            let best = diag;
+            if up > best { best = up; }
+            if left > best { best = left; }
+            dp[i * w + j] = best;
+        }
+    }
+    out_i(dp[m * w + n]);
+    for i = 0 to m + 1 { out_i(dp[i * w + n]); }
+}
+"#;
+
+pub struct Model {
+    spec: Vec<ParamSpec>,
+}
+
+impl Model {
+    pub fn new() -> Self {
+        Model {
+            spec: vec![
+                ParamSpec::int("m", 16, 64),
+                ParamSpec::int("n", 16, 64),
+                ParamSpec::int("penalty", 1, 10),
+                ParamSpec::int("seed", 0, 1_000_000),
+            ],
+        }
+    }
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InputModel for Model {
+    fn spec(&self) -> &[ParamSpec] {
+        &self.spec
+    }
+
+    fn materialize(&self, params: &[ParamValue]) -> ProgInput {
+        let m = params[0].as_i().max(1);
+        let n = params[1].as_i().max(1);
+        let penalty = params[2].as_i().max(1);
+        let seed = params[3].as_i() as u64;
+        let seq_a = uniform_ints(seed, m as usize, 0, 3);
+        let seq_b = uniform_ints(seed ^ 0xAC61, n as usize, 0, 3);
+        // BLOSUM-like random similarity matrix: positive diagonal,
+        // mildly negative off-diagonal
+        let mut sim = uniform_ints(seed ^ 0x5151, 16, -2, 1);
+        for d in 0..4 {
+            sim[d * 4 + d] = 2 + (seed as i64 % 3);
+        }
+        ProgInput::new(
+            vec![Scalar::I(m), Scalar::I(n), Scalar::I(penalty)],
+            vec![Stream::I(seq_a), Stream::I(seq_b), Stream::I(sim)],
+        )
+    }
+
+    fn reference(&self) -> Vec<ParamValue> {
+        vec![
+            ParamValue::I(32),
+            ParamValue::I(32),
+            ParamValue::I(4),
+            ParamValue::I(42),
+        ]
+    }
+}
+
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "needle",
+        suite: "Rodinia",
+        description: "A nonlinear global optimization method for DNA sequence alignments",
+        source: SOURCE,
+        model: Box::new(Model::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpsid_interp::{ExecConfig, Interp, OutputItem};
+
+    fn rust_nw(a: &[i64], b: &[i64], sim: &[i64], penalty: i64) -> i64 {
+        let (m, n) = (a.len(), b.len());
+        let w = n + 1;
+        let mut dp = vec![0i64; (m + 1) * w];
+        for (j, cell) in dp.iter_mut().enumerate().take(n + 1) {
+            *cell = -(j as i64 * penalty);
+        }
+        for i in 1..=m {
+            dp[i * w] = -(i as i64 * penalty);
+        }
+        for i in 1..=m {
+            for j in 1..=n {
+                let s = sim[(a[i - 1] * 4 + b[j - 1]) as usize];
+                let diag = dp[(i - 1) * w + j - 1] + s;
+                let up = dp[(i - 1) * w + j] - penalty;
+                let left = dp[i * w + j - 1] - penalty;
+                dp[i * w + j] = diag.max(up).max(left);
+            }
+        }
+        dp[m * w + n]
+    }
+
+    #[test]
+    fn alignment_score_matches_rust_reference() {
+        let b = benchmark();
+        let m = b.compile();
+        let input = b.model.materialize(&b.model.reference());
+        let (Stream::I(sa), Stream::I(sb), Stream::I(sim)) =
+            (&input.streams[0], &input.streams[1], &input.streams[2])
+        else {
+            panic!()
+        };
+        let expected = rust_nw(sa, sb, sim, 4);
+        let r = Interp::new(&m, ExecConfig::default()).run(&input);
+        assert!(r.exited());
+        assert_eq!(r.output.items[0], OutputItem::I(expected));
+    }
+}

@@ -1,0 +1,194 @@
+//! Particlefilter (Rodinia): a 1D bootstrap particle filter tracking a
+//! noisy target. Likelihood exponentials concentrate or flatten the
+//! weight distribution depending on the noise scale, so the resampling
+//! loop's trip pattern — and its fault sensitivity — is input-dependent.
+
+use crate::gen::{gaussians, uniform_floats};
+use crate::Benchmark;
+use minpsid::{InputModel, ParamSpec, ParamValue};
+use minpsid_interp::{ProgInput, Scalar, Stream};
+
+pub const SOURCE: &str = r#"
+fn main() {
+    let np = arg_i(0);
+    let steps = arg_i(1);
+    let sigma = arg_f(2);
+    let p: [float] = alloc(np);
+    let w: [float] = alloc(np);
+    let resampled: [float] = alloc(np);
+    for i = 0 to np {
+        p[i] = data_f(0, i);
+        w[i] = 1.0 / float(np);
+    }
+    for t = 0 to steps {
+        let obs = data_f(1, t);
+        // propagate with process noise, weight by likelihood
+        let wsum = 0.0;
+        for i = 0 to np {
+            p[i] = p[i] + data_f(2, t * np + i);
+            let d = p[i] - obs;
+            w[i] = w[i] * exp(-(d * d) / (2.0 * sigma * sigma));
+            wsum = wsum + w[i];
+        }
+        if wsum < 1.0e-300 {
+            for i = 0 to np { w[i] = 1.0 / float(np); }
+            wsum = 1.0;
+        }
+        let est = 0.0;
+        let ess_inv = 0.0;
+        for i = 0 to np {
+            w[i] = w[i] / wsum;
+            est = est + w[i] * p[i];
+            ess_inv = ess_inv + w[i] * w[i];
+        }
+        out_f(est);
+        // systematic resampling, but only when the effective sample size
+        // degenerates — with a flat likelihood (the reference regime) the
+        // whole resampling kernel is cold
+        let ess = 1.0 / ess_inv;
+        if ess < 0.5 * float(np) {
+            let u = data_f(3, t) / float(np);
+            let cumulative = 0.0;
+            let j = 0;
+            for i = 0 to np {
+                cumulative = cumulative + w[i];
+                while float(j) / float(np) + u < cumulative {
+                    if j < np {
+                        resampled[j] = p[i];
+                        j = j + 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            while j < np {
+                resampled[j] = p[np - 1];
+                j = j + 1;
+            }
+            for i = 0 to np {
+                p[i] = resampled[i];
+                w[i] = 1.0 / float(np);
+            }
+        }
+    }
+}
+"#;
+
+pub struct Model {
+    spec: Vec<ParamSpec>,
+}
+
+impl Model {
+    pub fn new() -> Self {
+        Model {
+            spec: vec![
+                ParamSpec::int("np", 32, 256),
+                ParamSpec::int("steps", 4, 16),
+                ParamSpec::float("sigma", 0.3, 3.0),
+                ParamSpec::float("drift", -1.0, 1.0),
+                ParamSpec::int("seed", 0, 1_000_000),
+            ],
+        }
+    }
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InputModel for Model {
+    fn spec(&self) -> &[ParamSpec] {
+        &self.spec
+    }
+
+    fn materialize(&self, params: &[ParamValue]) -> ProgInput {
+        let np = params[0].as_i().max(4) as usize;
+        let steps = params[1].as_i().max(1) as usize;
+        let sigma = params[2].as_f().max(0.05);
+        let drift = params[3].as_f();
+        let seed = params[4].as_i() as u64;
+
+        // initial particle cloud around 0
+        let init: Vec<f64> = gaussians(seed, np);
+        // the true target drifts; observations are noisy readings of it
+        let obs_noise = gaussians(seed ^ 0x0B5, steps);
+        let obs: Vec<f64> = (0..steps)
+            .map(|t| drift * t as f64 + 0.3 * obs_noise[t])
+            .collect();
+        // process noise for every particle at every step
+        let noise: Vec<f64> = gaussians(seed ^ 0x4015E, steps * np)
+            .into_iter()
+            .map(|g| 0.2 * g + drift / steps.max(1) as f64)
+            .collect();
+        // resampling offsets in [0, 1)
+        let offsets = uniform_floats(seed ^ 0x0FF5, steps, 0.0, 1.0);
+
+        ProgInput::new(
+            vec![
+                Scalar::I(np as i64),
+                Scalar::I(steps as i64),
+                Scalar::F(sigma),
+            ],
+            vec![
+                Stream::F(init),
+                Stream::F(obs),
+                Stream::F(noise),
+                Stream::F(offsets),
+            ],
+        )
+    }
+
+    fn reference(&self) -> Vec<ParamValue> {
+        vec![
+            ParamValue::I(128),
+            ParamValue::I(8),
+            ParamValue::F(1.0),
+            ParamValue::F(0.2),
+            ParamValue::I(42),
+        ]
+    }
+}
+
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "particlefilter",
+        suite: "Rodinia",
+        description: "Statistical estimator of the location of a target object given noisy measurements of that target's location in a Bayesian framework",
+        source: SOURCE,
+        model: Box::new(Model::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpsid_interp::{ExecConfig, Interp, OutputItem};
+
+    #[test]
+    fn estimates_track_the_drifting_target() {
+        let b = benchmark();
+        let m = b.compile();
+        let input = b.model.materialize(&b.model.reference());
+        let r = Interp::new(&m, ExecConfig::default()).run(&input);
+        assert!(r.exited(), "{:?}", r.termination);
+        assert_eq!(r.output.len(), 8);
+        let estimates: Vec<f64> = r
+            .output
+            .items
+            .iter()
+            .map(|i| match i {
+                OutputItem::F(v) => *v,
+                _ => panic!(),
+            })
+            .collect();
+        assert!(estimates.iter().all(|e| e.is_finite()));
+        // drift 0.2/step over 8 steps: the last estimate should sit well
+        // above the first
+        assert!(
+            estimates.last().unwrap() > estimates.first().unwrap(),
+            "filter failed to follow the drift: {estimates:?}"
+        );
+    }
+}

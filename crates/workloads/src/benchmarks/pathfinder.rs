@@ -1,0 +1,147 @@
+//! Pathfinder (Rodinia): dynamic programming over a weight grid — find
+//! the cheapest top-to-bottom path moving to the same / adjacent column
+//! per row. The rolling-DP structure (Fig. 1 and Fig. 5 of the paper use
+//! Pathfinder fragments) gives boundary-column branches whose behaviour
+//! depends on the grid width and weight range.
+
+use crate::gen::uniform_ints;
+use crate::Benchmark;
+use minpsid::{InputModel, ParamSpec, ParamValue};
+use minpsid_interp::{ProgInput, Scalar, Stream};
+
+pub const SOURCE: &str = r#"
+fn main() {
+    let rows = arg_i(0);
+    let cols = arg_i(1);
+    let dp: [int] = alloc(cols);
+    let next: [int] = alloc(cols);
+    for c = 0 to cols { dp[c] = data_i(0, c); }
+    for r = 1 to rows {
+        for c = 0 to cols {
+            let best = dp[c];
+            if c > 0 {
+                if dp[c - 1] < best { best = dp[c - 1]; }
+            }
+            if c < cols - 1 {
+                if dp[c + 1] < best { best = dp[c + 1]; }
+            }
+            next[c] = data_i(0, r * cols + c) + best;
+        }
+        for c = 0 to cols { dp[c] = next[c]; }
+    }
+    let best = dp[0];
+    for c = 1 to cols {
+        if dp[c] < best { best = dp[c]; }
+    }
+    out_i(best);
+    for c = 0 to cols { out_i(dp[c]); }
+}
+"#;
+
+pub struct Model {
+    spec: Vec<ParamSpec>,
+}
+
+impl Model {
+    pub fn new() -> Self {
+        Model {
+            spec: vec![
+                ParamSpec::int("rows", 8, 40),
+                ParamSpec::int("cols", 16, 64),
+                ParamSpec::int("wmax", 1, 100),
+                ParamSpec::int("seed", 0, 1_000_000),
+            ],
+        }
+    }
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InputModel for Model {
+    fn spec(&self) -> &[ParamSpec] {
+        &self.spec
+    }
+
+    fn materialize(&self, params: &[ParamValue]) -> ProgInput {
+        let rows = params[0].as_i().max(1);
+        let cols = params[1].as_i().max(2);
+        let wmax = params[2].as_i().max(1);
+        let seed = params[3].as_i() as u64;
+        let grid = uniform_ints(seed, (rows * cols) as usize, 0, wmax);
+        ProgInput::new(
+            vec![Scalar::I(rows), Scalar::I(cols)],
+            vec![Stream::I(grid)],
+        )
+    }
+
+    fn reference(&self) -> Vec<ParamValue> {
+        // a mid-range weight magnitude keeps the reference representative
+        // (the paper found Pathfinder nearly loss-free, Table II)
+        vec![
+            ParamValue::I(24),
+            ParamValue::I(40),
+            ParamValue::I(50),
+            ParamValue::I(42),
+        ]
+    }
+}
+
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "pathfinder",
+        suite: "Rodinia",
+        description: "Use dynamic programming to find a path in grid",
+        source: SOURCE,
+        model: Box::new(Model::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpsid_interp::{ExecConfig, Interp, OutputItem};
+
+    /// Reference implementation of the same DP in Rust.
+    fn rust_pathfinder(rows: usize, cols: usize, grid: &[i64]) -> i64 {
+        let mut dp: Vec<i64> = grid[..cols].to_vec();
+        for r in 1..rows {
+            let mut next = vec![0i64; cols];
+            for c in 0..cols {
+                let mut best = dp[c];
+                if c > 0 {
+                    best = best.min(dp[c - 1]);
+                }
+                if c + 1 < cols {
+                    best = best.min(dp[c + 1]);
+                }
+                next[c] = grid[r * cols + c] + best;
+            }
+            dp = next;
+        }
+        dp.into_iter().min().unwrap()
+    }
+
+    #[test]
+    fn matches_rust_reference() {
+        let b = benchmark();
+        let m = b.compile();
+        let params = vec![
+            ParamValue::I(12),
+            ParamValue::I(20),
+            ParamValue::I(9),
+            ParamValue::I(7),
+        ];
+        let input = b.model.materialize(&params);
+        let Stream::I(grid) = &input.streams[0] else {
+            panic!()
+        };
+        let expected = rust_pathfinder(12, 20, grid);
+        let r = Interp::new(&m, ExecConfig::default()).run(&input);
+        assert!(r.exited());
+        assert_eq!(r.output.items[0], OutputItem::I(expected));
+    }
+}

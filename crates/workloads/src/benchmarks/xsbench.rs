@@ -1,0 +1,191 @@
+//! XSBench (CESAR): the macroscopic-cross-section lookup kernel of Monte
+//! Carlo neutronics — binary search on a sorted energy grid plus linear
+//! interpolation over 5 reaction channels. The binary-search comparisons
+//! are textbook incubative instructions: their flip sensitivity depends on
+//! where the lookup energies fall within the grid.
+
+use crate::gen::{sorted_grid, uniform_floats};
+use crate::Benchmark;
+use minpsid::{InputModel, ParamSpec, ParamValue};
+use minpsid_interp::{ProgInput, Scalar, Stream};
+
+pub const SOURCE: &str = r#"
+fn main() {
+    let ngrid = arg_i(0);
+    let nlookups = arg_i(1);
+    let eres = arg_f(2);
+    let acc = 0.0;
+    let resonant = 0;
+    for l = 0 to nlookups {
+        let e = data_f(2, l);
+        // resonance-region handling: low-energy lookups take an extra
+        // self-shielding correction path (cold under the reference input)
+        if e < eres {
+            resonant = resonant + 1;
+            acc = acc + log(1.0 + e) * 0.5;
+        }
+        // binary search: find lo with grid[lo] <= e < grid[hi]
+        let lo = 0;
+        let hi = ngrid - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if data_f(0, mid) > e {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        let e0 = data_f(0, lo);
+        let e1 = data_f(0, hi);
+        let f = (e - e0) / (e1 - e0);
+        // interpolate all 5 reaction channels
+        for c = 0 to 5 {
+            let x0 = data_f(1, lo * 5 + c);
+            let x1 = data_f(1, hi * 5 + c);
+            acc = acc + x0 + f * (x1 - x0);
+        }
+    }
+    out_f(acc);
+    out_i(resonant);
+}
+"#;
+
+pub struct Model {
+    spec: Vec<ParamSpec>,
+}
+
+impl Model {
+    pub fn new() -> Self {
+        Model {
+            spec: vec![
+                ParamSpec::int("ngrid", 64, 512),
+                ParamSpec::int("nlookups", 32, 256),
+                ParamSpec::float("emax", 1.0, 100.0),
+                ParamSpec::float("eres", 0.0, 40.0),
+                ParamSpec::int("seed", 0, 1_000_000),
+            ],
+        }
+    }
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InputModel for Model {
+    fn spec(&self) -> &[ParamSpec] {
+        &self.spec
+    }
+
+    fn materialize(&self, params: &[ParamValue]) -> ProgInput {
+        let ngrid = params[0].as_i().max(4) as usize;
+        let nlookups = params[1].as_i().max(1) as usize;
+        let emax = params[2].as_f().max(0.1);
+        let eres = params[3].as_f().max(0.0);
+        let seed = params[4].as_i() as u64;
+        let grid = sorted_grid(seed, ngrid, 0.0, emax);
+        let xs = uniform_floats(seed ^ 0x5EC, ngrid * 5, 0.0, 10.0);
+        // lookup energies strictly inside the grid span
+        let span = grid[ngrid - 1] - grid[0];
+        let lookups: Vec<f64> = uniform_floats(seed ^ 0x100C, nlookups, 0.0, 1.0)
+            .into_iter()
+            .map(|u| grid[0] + u * span * 0.999)
+            .collect();
+        ProgInput::new(
+            vec![
+                Scalar::I(ngrid as i64),
+                Scalar::I(nlookups as i64),
+                Scalar::F(eres),
+            ],
+            vec![Stream::F(grid), Stream::F(xs), Stream::F(lookups)],
+        )
+    }
+
+    fn reference(&self) -> Vec<ParamValue> {
+        // reference resonance threshold below almost the whole grid: the
+        // correction path is cold, exactly the Fig. 3 incubative setup
+        vec![
+            ParamValue::I(256),
+            ParamValue::I(128),
+            ParamValue::F(20.0),
+            ParamValue::F(0.2),
+            ParamValue::I(42),
+        ]
+    }
+}
+
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "xsbench",
+        suite: "CESAR",
+        description: "Key computational kernel of the Monte Carlo neutronics application",
+        source: SOURCE,
+        model: Box::new(Model::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpsid_interp::{ExecConfig, Interp, OutputItem};
+
+    fn rust_xsbench(grid: &[f64], xs: &[f64], lookups: &[f64], eres: f64) -> (f64, i64) {
+        let mut acc = 0.0;
+        let mut resonant = 0i64;
+        for &e in lookups {
+            if e < eres {
+                resonant += 1;
+                acc = acc + (1.0 + e).ln() * 0.5;
+            }
+            let mut lo = 0usize;
+            let mut hi = grid.len() - 1;
+            while hi - lo > 1 {
+                let mid = (lo + hi) / 2;
+                if grid[mid] > e {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            let f = (e - grid[lo]) / (grid[hi] - grid[lo]);
+            for c in 0..5 {
+                let x0 = xs[lo * 5 + c];
+                let x1 = xs[hi * 5 + c];
+                // same association as the minic source: (acc + x0) + f*(x1-x0)
+                acc = acc + x0 + f * (x1 - x0);
+            }
+        }
+        (acc, resonant)
+    }
+
+    #[test]
+    fn accumulated_xs_matches_rust_reference_bitwise() {
+        let b = benchmark();
+        let m = b.compile();
+        // use a mid-range resonance threshold so both paths execute
+        let params = vec![
+            ParamValue::I(128),
+            ParamValue::I(64),
+            ParamValue::F(10.0),
+            ParamValue::F(5.0),
+            ParamValue::I(11),
+        ];
+        let input = b.model.materialize(&params);
+        let (Stream::F(grid), Stream::F(xs), Stream::F(lookups)) =
+            (&input.streams[0], &input.streams[1], &input.streams[2])
+        else {
+            panic!()
+        };
+        let (expected, resonant) = rust_xsbench(grid, xs, lookups, 5.0);
+        let r = Interp::new(&m, ExecConfig::default()).run(&input);
+        assert!(r.exited());
+        let OutputItem::F(acc) = r.output.items[0] else {
+            panic!()
+        };
+        assert_eq!(acc.to_bits(), expected.to_bits());
+        assert_eq!(r.output.items[1], OutputItem::I(resonant));
+        assert!(resonant > 0, "resonance path must be exercised");
+    }
+}

@@ -1,0 +1,217 @@
+//! Seeded data generators — the "input-randomizing scripts" of §III-A2.
+//!
+//! All generators are deterministic functions of their parameters (the
+//! seed is itself a search parameter, so the GA can mutate it), and they
+//! only produce inputs on which the benchmarks run without errors.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Uniform random integers in `[lo, hi]`.
+pub fn uniform_ints(seed: u64, n: usize, lo: i64, hi: i64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(lo..=hi)).collect()
+}
+
+/// Uniform random floats in `[lo, hi)`.
+pub fn uniform_floats(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(lo..hi)).collect()
+}
+
+/// Strictly increasing sorted floats in `[lo, hi]` (an energy grid):
+/// uniform samples, sorted, then nudged apart so adjacent points never
+/// coincide (interpolation never divides by zero).
+pub fn sorted_grid(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let mut v = uniform_floats(seed, n, lo, hi);
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let eps = (hi - lo).abs().max(1.0) * 1e-9;
+    for i in 1..v.len() {
+        if v[i] <= v[i - 1] {
+            v[i] = v[i - 1] + eps;
+        }
+    }
+    v
+}
+
+/// Standard-normal samples (Box-Muller).
+pub fn gaussians(seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let t = 2.0 * std::f64::consts::PI * u2;
+        out.push(r * t.cos());
+        if out.len() < n {
+            out.push(r * t.sin());
+        }
+    }
+    out
+}
+
+/// A random directed graph in CSR form: `(offsets, edges)` with
+/// `offsets.len() == n + 1`. Every node gets `degree` out-edges to
+/// uniformly random targets (self-loops allowed — BFS handles them).
+pub fn random_csr(seed: u64, n: usize, degree: usize) -> (Vec<i64>, Vec<i64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut edges = Vec::with_capacity(n * degree);
+    offsets.push(0);
+    for _ in 0..n {
+        for _ in 0..degree {
+            edges.push(rng.random_range(0..n as i64));
+        }
+        offsets.push(edges.len() as i64);
+    }
+    (offsets, edges)
+}
+
+/// A KONECT-like scale-free graph via preferential attachment
+/// (Barabási–Albert): node `i` attaches `m` edges to earlier nodes,
+/// preferring high-degree ones; returned as a symmetric CSR. Real-world
+/// social/citation graphs in KONECT have exactly this heavy-tailed degree
+/// shape, which is what distinguishes the case-study inputs (§VII) from
+/// the uniform random graphs above.
+pub fn preferential_attachment_csr(seed: u64, n: usize, m: usize) -> (Vec<i64>, Vec<i64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = m.max(1).min(n.saturating_sub(1)).max(1);
+    // adjacency lists; `targets` is the repeated-endpoint pool that makes
+    // sampling proportional to degree
+    let mut adj: Vec<Vec<i64>> = vec![Vec::new(); n];
+    let mut pool: Vec<usize> = Vec::new();
+    for v in 0..n.min(m + 1) {
+        // small seed clique
+        for u in 0..v {
+            adj[v].push(u as i64);
+            adj[u].push(v as i64);
+            pool.push(u);
+            pool.push(v);
+        }
+    }
+    for v in (m + 1)..n {
+        // Vec + contains (not a HashSet): m is tiny and deterministic
+        // iteration order is required for reproducible inputs
+        let mut chosen: Vec<usize> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m && guard < 50 * m {
+            guard += 1;
+            let u = if pool.is_empty() || rng.random_range(0..10) == 0 {
+                rng.random_range(0..v)
+            } else {
+                pool[rng.random_range(0..pool.len())]
+            };
+            if u != v && !chosen.contains(&u) {
+                chosen.push(u);
+            }
+        }
+        for u in chosen {
+            adj[v].push(u as i64);
+            adj[u].push(v as i64);
+            pool.push(u);
+            pool.push(v);
+        }
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut edges = Vec::new();
+    offsets.push(0);
+    for a in adj {
+        edges.extend(a);
+        offsets.push(edges.len() as i64);
+    }
+    (offsets, edges)
+}
+
+/// Kaggle-like 2D clustering data: `k` Gaussian blobs with distinct
+/// centers and per-cluster spreads, plus a small fraction of uniform
+/// outliers — interleaved as `[x0, y0, x1, y1, …]`.
+pub fn gaussian_mixture_2d(seed: u64, n: usize, k: usize, spread: f64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = k.max(1);
+    let centers: Vec<(f64, f64)> = (0..k)
+        .map(|_| (rng.random_range(-50.0..50.0), rng.random_range(-50.0..50.0)))
+        .collect();
+    let noise = gaussians(seed.wrapping_add(1), 2 * n);
+    let mut out = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        if rng.random_range(0..100) < 3 {
+            // outlier
+            out.push(rng.random_range(-100.0..100.0));
+            out.push(rng.random_range(-100.0..100.0));
+        } else {
+            let (cx, cy) = centers[rng.random_range(0..k)];
+            out.push(cx + noise[2 * i] * spread);
+            out.push(cy + noise[2 * i + 1] * spread);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform_ints(5, 100, 0, 9), uniform_ints(5, 100, 0, 9));
+        assert_eq!(
+            gaussian_mixture_2d(3, 50, 4, 2.0),
+            gaussian_mixture_2d(3, 50, 4, 2.0)
+        );
+        assert_eq!(
+            preferential_attachment_csr(9, 60, 2),
+            preferential_attachment_csr(9, 60, 2)
+        );
+    }
+
+    #[test]
+    fn uniform_ints_respect_range() {
+        let v = uniform_ints(1, 1000, -5, 5);
+        assert!(v.iter().all(|&x| (-5..=5).contains(&x)));
+    }
+
+    #[test]
+    fn sorted_grid_is_strictly_increasing() {
+        let g = sorted_grid(2, 500, 0.0, 1.0);
+        assert!(g.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn gaussians_have_sane_moments() {
+        let g = gaussians(4, 10_000);
+        let mean: f64 = g.iter().sum::<f64>() / g.len() as f64;
+        let var: f64 = g.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / g.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn csr_is_well_formed() {
+        let (off, edges) = random_csr(7, 50, 4);
+        assert_eq!(off.len(), 51);
+        assert_eq!(*off.last().unwrap() as usize, edges.len());
+        assert!(off.windows(2).all(|w| w[0] <= w[1]));
+        assert!(edges.iter().all(|&e| (0..50).contains(&e)));
+    }
+
+    #[test]
+    fn preferential_attachment_has_heavy_tail() {
+        let n = 300;
+        let (off, _) = preferential_attachment_csr(11, n, 2);
+        let degrees: Vec<i64> = off.windows(2).map(|w| w[1] - w[0]).collect();
+        let max_deg = *degrees.iter().max().unwrap();
+        let mean_deg: f64 = degrees.iter().sum::<i64>() as f64 / n as f64;
+        assert!(
+            max_deg as f64 > 4.0 * mean_deg,
+            "hub expected: max {max_deg}, mean {mean_deg}"
+        );
+    }
+
+    #[test]
+    fn mixture_size_and_interleaving() {
+        let pts = gaussian_mixture_2d(6, 123, 3, 1.5);
+        assert_eq!(pts.len(), 246);
+        assert!(pts.iter().all(|x| x.is_finite()));
+    }
+}

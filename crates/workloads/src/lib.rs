@@ -1,0 +1,180 @@
+//! # minpsid-workloads — the paper's 11 HPC benchmarks
+//!
+//! Table I of the paper, re-implemented in `minic` with parameterized
+//! random-input generators following §III-A2:
+//!
+//! | Benchmark      | Suite    | Kernel                                   |
+//! |----------------|----------|------------------------------------------|
+//! | XSBench        | CESAR    | MC neutronics macro-XS lookup            |
+//! | HPCCG          | Mantevo  | conjugate gradient (sparse SPD stencil)  |
+//! | FFT            | SPLASH-2 | radix-2 1D FFT                           |
+//! | kNN            | Rodinia  | k nearest neighbours                     |
+//! | Pathfinder     | Rodinia  | dynamic-programming grid path            |
+//! | Backprop       | Rodinia  | one training step of a layered MLP       |
+//! | BFS            | Rodinia  | breadth-first search (CSR)               |
+//! | Particlefilter | Rodinia  | 1D Bayesian particle filter              |
+//! | Kmeans         | Rodinia  | 2D k-means clustering                    |
+//! | LU             | Rodinia  | LU decomposition (Doolittle)             |
+//! | Needle         | Rodinia  | Needleman-Wunsch sequence alignment      |
+//!
+//! Instance sizes are scaled down (10⁴–10⁶ dynamic IR instructions at the
+//! reference inputs) because this reproduction runs interpreted; the
+//! control structure — the input-dependent branches and loop bounds that
+//! make instructions *incubative* — is kept.
+//!
+//! Every benchmark implements [`minpsid::InputModel`], so the whole suite
+//! plugs into both baseline SID and MINPSID. Input-generation rules match
+//! the paper: numeric parameters randomize over documented ranges, data
+//! streams are produced by seeded generators ("scripts" in the paper's
+//! terms), and inputs that would error out are rejected by the pipelines'
+//! golden-run filter.
+
+pub mod benchmarks;
+pub mod datasets;
+pub mod gen;
+
+use minpsid::InputModel;
+use minpsid_ir::Module;
+
+/// One registered benchmark.
+pub struct Benchmark {
+    pub name: &'static str,
+    pub suite: &'static str,
+    pub description: &'static str,
+    /// minic source code.
+    pub source: &'static str,
+    /// The benchmark's input space.
+    pub model: Box<dyn InputModel + Send + Sync>,
+}
+
+impl Benchmark {
+    /// Compile the benchmark to IR (panics on error: sources are fixtures
+    /// of this crate and must always compile).
+    pub fn compile(&self) -> Module {
+        match minic::compile(self.source, self.name) {
+            Ok(m) => m,
+            Err(e) => panic!("benchmark `{}` failed to compile: {e}", self.name),
+        }
+    }
+}
+
+/// The full 11-benchmark suite, in the paper's Table I order.
+pub fn suite() -> Vec<Benchmark> {
+    vec![
+        benchmarks::xsbench::benchmark(),
+        benchmarks::hpccg::benchmark(),
+        benchmarks::fft::benchmark(),
+        benchmarks::knn::benchmark(),
+        benchmarks::pathfinder::benchmark(),
+        benchmarks::backprop::benchmark(),
+        benchmarks::bfs::benchmark(),
+        benchmarks::particlefilter::benchmark(),
+        benchmarks::kmeans::benchmark(),
+        benchmarks::lu::benchmark(),
+        benchmarks::needle::benchmark(),
+    ]
+}
+
+/// Look up one benchmark by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    suite()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpsid_faultsim::{golden_run, CampaignConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn suite_has_the_papers_eleven_benchmarks() {
+        let names: Vec<&str> = suite().iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "xsbench",
+                "hpccg",
+                "fft",
+                "knn",
+                "pathfinder",
+                "backprop",
+                "bfs",
+                "particlefilter",
+                "kmeans",
+                "lu",
+                "needle"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_benchmark_compiles_and_verifies() {
+        for b in suite() {
+            let m = b.compile();
+            assert!(m.num_insts() > 30, "{} is too trivial", b.name);
+        }
+    }
+
+    #[test]
+    fn every_reference_input_runs_cleanly() {
+        let cfg = CampaignConfig::quick(1);
+        for b in suite() {
+            let m = b.compile();
+            let input = b.model.materialize(&b.model.reference());
+            let g = golden_run(&m, &input, &cfg)
+                .unwrap_or_else(|t| panic!("{} reference input failed: {t:?}", b.name));
+            assert!(
+                g.steps > 3_000,
+                "{}: reference run too small ({} steps)",
+                b.name,
+                g.steps
+            );
+            assert!(
+                g.steps < 3_000_000,
+                "{}: reference run too big for FI experiments ({} steps)",
+                b.name,
+                g.steps
+            );
+            assert!(!g.output.is_empty(), "{}: no output produced", b.name);
+        }
+    }
+
+    #[test]
+    fn random_inputs_are_mostly_valid_and_vary_execution() {
+        let cfg = CampaignConfig::quick(2);
+        for b in suite() {
+            let m = b.compile();
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut ok = 0;
+            let mut lists = std::collections::HashSet::new();
+            for _ in 0..8 {
+                let params = b.model.random(&mut rng);
+                let input = b.model.materialize(&params);
+                if let Ok(g) = golden_run(&m, &input, &cfg) {
+                    ok += 1;
+                    lists.insert(g.profile.indexed_cfg_list());
+                }
+            }
+            assert!(
+                ok >= 6,
+                "{}: too many invalid random inputs ({ok}/8)",
+                b.name
+            );
+            assert!(
+                lists.len() >= 2,
+                "{}: random inputs do not vary the execution shape",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("FFT").is_some());
+        assert!(by_name("kmeans").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

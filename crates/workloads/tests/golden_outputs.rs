@@ -1,0 +1,87 @@
+//! Golden-output regression fixtures: each benchmark's reference-input
+//! output stream is locked by an FNV-1a hash. Any change to a kernel, a
+//! generator, the front end, or the interpreter that alters observable
+//! behaviour trips these — deliberate changes update the constants.
+
+use minpsid_interp::{ExecConfig, Interp, OutputItem};
+
+/// FNV-1a over the output stream's bit patterns.
+fn output_hash(items: &[OutputItem]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for item in items {
+        match item {
+            OutputItem::I(v) => {
+                eat(b"i");
+                eat(&v.to_le_bytes());
+            }
+            OutputItem::F(v) => {
+                eat(b"f");
+                eat(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+    h
+}
+
+/// `(benchmark, reference-output FNV-1a, output length)` — regenerate with
+/// the ignored `print_golden_hashes` test below.
+const GOLDEN: &[(&str, u64, usize)] = &[
+    ("xsbench", 0xcb7b3be7ce72c568, 2),
+    ("hpccg", 0xe80dfa4f9d268bc4, 161),
+    ("fft", 0x00d03f2a73c8d6db, 128),
+    ("knn", 0xee1753b132fcee3e, 8),
+    ("pathfinder", 0x7a5751559140f0a1, 41),
+    ("backprop", 0xfc7d8d6eeb17aaae, 3),
+    ("bfs", 0xf196f242f98a7066, 203),
+    ("particlefilter", 0x5b71e8f6b81f9fec, 8),
+    ("kmeans", 0x15a1a0e31ce86b56, 8),
+    ("lu", 0x6aacda1c2f682e73, 17),
+    ("needle", 0x280b8b8dfa4a42b7, 34),
+];
+
+#[test]
+fn reference_outputs_match_locked_hashes() {
+    for &(name, expected_hash, expected_len) in GOLDEN {
+        let b = minpsid_workloads::by_name(name).unwrap();
+        let m = b.compile();
+        let input = b.model.materialize(&b.model.reference());
+        let r = Interp::new(&m, ExecConfig::default()).run(&input);
+        assert!(r.exited(), "{name}: {:?}", r.termination);
+        assert_eq!(r.output.len(), expected_len, "{name}: output length");
+        assert_eq!(
+            output_hash(&r.output.items),
+            expected_hash,
+            "{name}: golden output changed — update GOLDEN if intentional"
+        );
+    }
+}
+
+#[test]
+fn golden_table_covers_the_whole_suite() {
+    let suite: Vec<&str> = minpsid_workloads::suite().iter().map(|b| b.name).collect();
+    let locked: Vec<&str> = GOLDEN.iter().map(|(n, _, _)| *n).collect();
+    assert_eq!(suite, locked, "GOLDEN must track the suite");
+}
+
+/// `cargo test -p minpsid-workloads --test golden_outputs -- --ignored --nocapture`
+#[test]
+#[ignore = "generator for the GOLDEN table"]
+fn print_golden_hashes() {
+    for b in minpsid_workloads::suite() {
+        let m = b.compile();
+        let input = b.model.materialize(&b.model.reference());
+        let r = Interp::new(&m, ExecConfig::default()).run(&input);
+        println!(
+            "    (\"{}\", {:#018x}, {}),",
+            b.name,
+            output_hash(&r.output.items),
+            r.output.len()
+        );
+    }
+}

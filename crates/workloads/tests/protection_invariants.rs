@@ -1,0 +1,115 @@
+//! Suite-wide protection invariants, exercised per benchmark:
+//! monotonicity of the knapsack in the protection level, coverage of the
+//! duplicated set, and stability of the reference profile.
+
+use minpsid_faultsim::{golden_run, per_instruction_campaign, CampaignConfig};
+use minpsid_sid::knapsack::selection_weight;
+use minpsid_sid::{duplicable, select_and_protect, CostBenefit};
+use minpsid_workloads::suite;
+
+fn quick_campaign() -> CampaignConfig {
+    CampaignConfig {
+        injections: 40,
+        per_inst_injections: 4,
+        seed: 9,
+        ..CampaignConfig::default()
+    }
+}
+
+fn profile(b: &minpsid_workloads::Benchmark) -> (minpsid_ir::Module, CostBenefit) {
+    let m = b.compile();
+    let input = b.model.materialize(&b.model.reference());
+    let cfg = quick_campaign();
+    let golden = golden_run(&m, &input, &cfg).unwrap();
+    let per_inst = per_instruction_campaign(&m, &input, &golden, &cfg);
+    let cb = CostBenefit::build(&m, &golden, &per_inst);
+    (m, cb)
+}
+
+#[test]
+fn selection_grows_with_protection_level() {
+    for b in suite() {
+        let (m, cb) = profile(&b);
+        let mut prev_value = -1.0;
+        let mut prev_weight = 0u64;
+        for level in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let (selection, expected, _, _) = select_and_protect(&m, &cb, level, false);
+            let weight = selection_weight(&cb.cost, &selection);
+            assert!(
+                weight <= cb.capacity(level),
+                "{}: budget exceeded at {level}",
+                b.name
+            );
+            assert!(
+                expected >= prev_value - 1e-9,
+                "{}: expected coverage must be monotone in the level",
+                b.name
+            );
+            assert!(
+                weight >= prev_weight,
+                "{}: selected weight must be monotone in the level",
+                b.name
+            );
+            prev_value = expected;
+            prev_weight = weight;
+        }
+    }
+}
+
+#[test]
+fn every_selected_instruction_is_duplicable_and_beneficial() {
+    for b in suite() {
+        let (m, cb) = profile(&b);
+        let (selection, _, _, meta) = select_and_protect(&m, &cb, 0.5, false);
+        let insts: Vec<_> = m.iter_insts().collect();
+        let mut selected_count = 0;
+        for (dense, sel) in selection.iter().enumerate() {
+            if !*sel {
+                continue;
+            }
+            selected_count += 1;
+            let (_, inst) = insts[dense];
+            assert!(duplicable(inst), "{}: selected non-duplicable", b.name);
+            assert!(
+                cb.benefit[dense] > 0.0,
+                "{}: selected zero-benefit instruction",
+                b.name
+            );
+        }
+        assert_eq!(
+            meta.num_dups, selected_count,
+            "{}: every selected instruction gets exactly one duplicate",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn full_protection_covers_all_measured_benefit_of_duplicable_insts() {
+    for b in suite() {
+        let (m, cb) = profile(&b);
+        let (selection, expected, _, _) = select_and_protect(&m, &cb, 1.0, false);
+        // at level 1.0 the capacity is the whole program: every duplicable
+        // instruction with positive benefit is selected
+        for (dense, (_, inst)) in m.iter_insts().enumerate() {
+            if duplicable(inst) && cb.benefit[dense] > 0.0 {
+                assert!(
+                    selection[dense],
+                    "{}: inst {dense} left out at 100%",
+                    b.name
+                );
+            }
+        }
+        // expected coverage equals the duplicable share of total benefit
+        let dup_benefit: f64 = m
+            .iter_insts()
+            .enumerate()
+            .filter(|(_, (_, inst))| duplicable(inst))
+            .map(|(dense, _)| cb.benefit[dense])
+            .sum();
+        let total = cb.total_benefit();
+        if total > 0.0 {
+            assert!((expected - dup_benefit / total).abs() < 1e-9, "{}", b.name);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! File-based IR workflow: compile a benchmark to the textual IR format,
+//! write it to disk, load it back, optimize, protect, and run — the
+//! `llvm-dis`-style loop the CLI exposes as `minpsid compile/run`.
+//!
+//! ```text
+//! cargo run --release --example ir_workflow
+//! ```
+
+use minpsid_repro::interp::{ExecConfig, Interp};
+use minpsid_repro::ir::parser::parse_module;
+use minpsid_repro::ir::printer::print_module;
+use minpsid_repro::ir::{opt, verify_module};
+use minpsid_repro::sid::duplicate_module;
+
+fn main() {
+    let bench = minpsid_repro::workloads::by_name("needle").unwrap();
+    let module = bench.compile();
+    let input = bench.model.materialize(&bench.model.reference());
+
+    // 1. serialize to the textual IR format
+    let text = print_module(&module);
+    let path = std::env::temp_dir().join("needle.ir");
+    std::fs::write(&path, &text).expect("write IR");
+    println!(
+        "wrote {} ({} bytes, {} instructions)",
+        path.display(),
+        text.len(),
+        module.num_insts()
+    );
+
+    // 2. load it back and verify
+    let loaded = parse_module(&std::fs::read_to_string(&path).unwrap()).expect("parse IR");
+    verify_module(&loaded).expect("verifies");
+
+    // 3. optimize
+    let mut optimized = loaded.clone();
+    let removed = opt::optimize(&mut optimized);
+    println!(
+        "optimizer removed {removed} instructions ({} left)",
+        optimized.num_insts()
+    );
+
+    // 4. protect (full duplication here, for brevity)
+    let all = vec![true; optimized.num_insts()];
+    let (protected, meta) = duplicate_module(&optimized, &all);
+    println!(
+        "protected: +{} duplicates, +{} checks",
+        meta.num_dups, meta.num_checks
+    );
+
+    // 5. all four variants agree on the output
+    let run = |m| Interp::new(m, ExecConfig::default()).run(&input);
+    let outputs = [
+        run(&module).output,
+        run(&loaded).output,
+        run(&optimized).output,
+        run(&protected).output,
+    ];
+    assert!(outputs.windows(2).all(|w| w[0] == w[1]));
+    println!(
+        "all four variants agree; alignment score = {}",
+        outputs[0].items[0]
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure of the paper into results/.
+# Usage: scripts/run_experiments.sh [preset] [seed]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+preset="${1:-tiny}"
+seed="${2:-42}"
+
+cargo build --release -p minpsid-bench
+
+bins=(
+  fig2_baseline_loss
+  fig6_minpsid_mitigation
+  fig7_search_efficiency
+  sec4_incubative_stats
+  fig8_time_breakdown
+  fig9_case_study
+  sec8_overhead_variance
+  sec8_multithread
+  ablation_reprioritization
+  ablation_search_strategy
+  ablation_check_placement
+  ablation_knapsack
+)
+
+mkdir -p results
+for bin in "${bins[@]}"; do
+  echo "[experiments] $bin (preset=$preset seed=$seed) $(date +%T)"
+  "./target/release/$bin" --preset "$preset" --seed "$seed" \
+    > "results/$bin.txt" 2> "results/$bin.log"
+done
+echo "[experiments] all done $(date +%T)"

@@ -1,0 +1,28 @@
+//! # minpsid-repro — reproduction of MINPSID (SC'22)
+//!
+//! *"Mitigating Silent Data Corruptions in HPC Applications across
+//! Multiple Program Inputs"*, Huang, Guo, Di, Li, Cappello — SC 2022.
+//!
+//! This facade crate re-exports the workspace so examples and integration
+//! tests can exercise the full pipeline from one place:
+//!
+//! * [`ir`] — the typed register IR (LLVM-IR stand-in);
+//! * [`minic`] — the C-like front end (clang stand-in);
+//! * [`interp`] — deterministic interpreter with profiling and the
+//!   fault-injection hook;
+//! * [`faultsim`] — LLFI-style single-bit-flip campaigns;
+//! * [`sid`] — baseline selective instruction duplication;
+//! * [`minpsid`] — the paper's contribution: GA input search,
+//!   incubative-instruction identification, re-prioritized SID;
+//! * [`workloads`] — the 11 benchmarks of Table I.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use minic;
+pub use minpsid;
+pub use minpsid_faultsim as faultsim;
+pub use minpsid_interp as interp;
+pub use minpsid_ir as ir;
+pub use minpsid_sid as sid;
+pub use minpsid_workloads as workloads;

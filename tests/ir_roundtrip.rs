@@ -1,0 +1,56 @@
+//! IR text-format round-trip over the whole benchmark suite: the exact
+//! modules the experiments run on must survive print → parse → print
+//! byte-identically, stay verified, and behave identically.
+
+use minpsid_repro::interp::{ExecConfig, Interp};
+use minpsid_repro::ir::parser::parse_module;
+use minpsid_repro::ir::printer::print_module;
+use minpsid_repro::ir::verify_module;
+use minpsid_repro::workloads;
+
+#[test]
+fn every_benchmark_roundtrips_through_the_text_format() {
+    // the parser renumbers instructions into textual order (minic's arena
+    // order interleaves nested blocks), so the invariant is normal-form
+    // idempotence: one parse reaches a fixpoint of print ∘ parse
+    for b in workloads::suite() {
+        let module = b.compile();
+        let text = print_module(&module);
+        let parsed = parse_module(&text).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        verify_module(&parsed).unwrap_or_else(|e| panic!("{}: {e:?}", b.name));
+        let normal = print_module(&parsed);
+        let reparsed = parse_module(&normal).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert_eq!(
+            print_module(&reparsed),
+            normal,
+            "{}: normal form not a fixpoint",
+            b.name
+        );
+        assert_eq!(reparsed, parsed, "{}: structural fixpoint", b.name);
+    }
+}
+
+#[test]
+fn parsed_modules_execute_identically() {
+    for b in workloads::suite().into_iter().take(4) {
+        let module = b.compile();
+        let parsed = parse_module(&print_module(&module)).unwrap();
+        let input = b.model.materialize(&b.model.reference());
+        let a = Interp::new(&module, ExecConfig::default()).run(&input);
+        let c = Interp::new(&parsed, ExecConfig::default()).run(&input);
+        assert_eq!(a.termination, c.termination, "{}", b.name);
+        assert_eq!(a.output, c.output, "{}", b.name);
+        assert_eq!(a.steps, c.steps, "{}", b.name);
+    }
+}
+
+#[test]
+fn protected_modules_roundtrip_too() {
+    use minpsid_repro::sid::duplicate_module;
+    let b = workloads::by_name("pathfinder").unwrap();
+    let module = b.compile();
+    let all = vec![true; module.num_insts()];
+    let (protected, _) = duplicate_module(&module, &all);
+    let parsed = parse_module(&print_module(&protected)).unwrap();
+    assert_eq!(parsed, protected);
+}
