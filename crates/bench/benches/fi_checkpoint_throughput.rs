@@ -1,0 +1,142 @@
+//! Cold vs checkpointed per-instruction FI campaign throughput on the
+//! three largest workloads (hpccg, fft, xsbench). Asserts bit-identity of
+//! the two campaigns, reports per-workload wall-clock and speedup, and
+//! emits `BENCH_fi_throughput.json` at the repository root.
+//!
+//! Run with `cargo bench --bench fi_checkpoint_throughput`.
+
+use criterion::black_box;
+use minpsid_faultsim::{
+    golden_run, per_instruction_campaign, CampaignConfig, CheckpointPolicy, GoldenRun,
+};
+use minpsid_interp::ProgInput;
+use minpsid_ir::Module;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const WORKLOADS: &[&str] = &["hpccg", "fft", "xsbench"];
+const REPS: usize = 2;
+
+/// Per-instruction injections; default is a trimmed bench budget.
+/// `FI_BENCH_INJECTIONS=30` reproduces the `small` preset numbers
+/// recorded in EXPERIMENTS.md.
+fn injections() -> usize {
+    std::env::var("FI_BENCH_INJECTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+}
+
+struct Row {
+    name: &'static str,
+    golden_steps: u64,
+    snapshots: usize,
+    snapshot_bytes: usize,
+    cold_s: f64,
+    warm_s: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.cold_s / self.warm_s
+    }
+}
+
+/// Best-of-REPS wall-clock of one full per-instruction campaign.
+fn time_campaign(
+    module: &Module,
+    input: &ProgInput,
+    golden: &GoldenRun,
+    cfg: &CampaignConfig,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        black_box(per_instruction_campaign(module, input, golden, cfg));
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for &name in WORKLOADS {
+        let b = minpsid_workloads::by_name(name).expect("workload exists");
+        let module = b.compile();
+        let input = b.model.materialize(&b.model.reference());
+
+        let cold_cfg = CampaignConfig {
+            per_inst_injections: injections(),
+            seed: 42,
+            checkpoints: CheckpointPolicy::Disabled,
+            ..CampaignConfig::default()
+        };
+        let warm_cfg = CampaignConfig {
+            checkpoints: CheckpointPolicy::Auto,
+            ..cold_cfg.clone()
+        };
+
+        let g_cold = golden_run(&module, &input, &cold_cfg).expect("golden run");
+        let g_warm = golden_run(&module, &input, &warm_cfg).expect("golden run");
+
+        // Bit-identity gate: the speedup is meaningless if the campaigns
+        // disagree.
+        let cold = per_instruction_campaign(&module, &input, &g_cold, &cold_cfg);
+        let warm = per_instruction_campaign(&module, &input, &g_warm, &warm_cfg);
+        assert_eq!(
+            cold.sdc_prob, warm.sdc_prob,
+            "{name}: checkpointed campaign diverged from cold campaign"
+        );
+
+        let cold_s = time_campaign(&module, &input, &g_cold, &cold_cfg);
+        let warm_s = time_campaign(&module, &input, &g_warm, &warm_cfg);
+        let row = Row {
+            name,
+            golden_steps: g_warm.steps,
+            snapshots: g_warm.checkpoints.len(),
+            snapshot_bytes: g_warm.checkpoints.total_bytes(),
+            cold_s,
+            warm_s,
+        };
+        println!(
+            "bench fi/{:<10} cold {:>8.3} s   checkpointed {:>8.3} s   speedup {:>5.2}x   \
+             ({} steps, {} snapshots, {} KiB)",
+            row.name,
+            row.cold_s,
+            row.warm_s,
+            row.speedup(),
+            row.golden_steps,
+            row.snapshots,
+            row.snapshot_bytes / 1024
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"fi_checkpoint_throughput\",\n");
+    writeln!(json, "  \"per_inst_injections\": {},", injections()).unwrap();
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"golden_steps\": {}, \"snapshots\": {}, \
+             \"snapshot_bytes\": {}, \"cold_s\": {:.4}, \"checkpointed_s\": {:.4}, \
+             \"speedup\": {:.3}}}{}",
+            r.name,
+            r.golden_steps,
+            r.snapshots,
+            r.snapshot_bytes,
+            r.cold_s,
+            r.warm_s,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_fi_throughput.json"
+    );
+    std::fs::write(path, json).expect("write BENCH_fi_throughput.json");
+    println!("wrote {path}");
+}

@@ -2,7 +2,7 @@
 //! dependency budget has no CLI crate, and two flags do not justify one).
 
 use minpsid::{GaConfig, IncubativeConfig, MinpsidConfig, SearchStrategy};
-use minpsid_faultsim::CampaignConfig;
+use minpsid_faultsim::{CampaignConfig, CheckpointPolicy};
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,11 +72,23 @@ impl Preset {
         }
     }
 
+    /// Checkpoint-store size cap for golden runs. Scales with campaign
+    /// size: more injections amortize a denser snapshot grid.
+    pub fn max_checkpoints(self) -> u64 {
+        match self {
+            Preset::Tiny => 128,
+            Preset::Small => 512,
+            Preset::Paper => 2048,
+        }
+    }
+
     pub fn campaign(self, seed: u64) -> CampaignConfig {
         CampaignConfig {
             injections: self.injections(),
             per_inst_injections: self.per_inst_injections(),
             seed,
+            checkpoints: CheckpointPolicy::Auto,
+            max_checkpoints: self.max_checkpoints(),
             ..CampaignConfig::default()
         }
     }
@@ -187,5 +199,13 @@ mod tests {
     fn presets_are_ordered_by_scale() {
         assert!(Preset::Tiny.injections() < Preset::Small.injections());
         assert!(Preset::Small.injections() < Preset::Paper.injections());
+        assert!(Preset::Tiny.max_checkpoints() < Preset::Paper.max_checkpoints());
+    }
+
+    #[test]
+    fn campaigns_checkpoint_by_default() {
+        let c = Preset::Small.campaign(1);
+        assert_eq!(c.checkpoints, CheckpointPolicy::Auto);
+        assert_eq!(c.max_checkpoints, Preset::Small.max_checkpoints());
     }
 }

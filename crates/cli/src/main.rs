@@ -13,7 +13,7 @@
 //! to a `.mc` (minic) source file.
 
 use minpsid::{run_minpsid, MinpsidConfig};
-use minpsid_faultsim::{golden_run, program_campaign, CampaignConfig};
+use minpsid_faultsim::{golden_run, program_campaign, CampaignConfig, CheckpointPolicy};
 use minpsid_interp::{ExecConfig, Interp, ProgInput, Scalar};
 use minpsid_ir::printer::print_module;
 use minpsid_ir::Module;
@@ -65,7 +65,13 @@ usage:
   minpsid cfg <bench> [--fn NAME]        # weighted CFG as Graphviz DOT
   minpsid propagate <bench> [--nth K] [--bit B]
   minpsid sid <bench> [--level 0.5] [--seed S]
-  minpsid minpsid <bench> [--level 0.5] [--seed S]"
+  minpsid minpsid <bench> [--level 0.5] [--seed S]
+
+FI campaign options (fi/analyze/sid/minpsid):
+  --checkpoint-interval N   snapshot the golden run every N dynamic
+                            instructions (default: auto, ~sqrt of steps)
+  --no-checkpoints          disable checkpointing; replay every injection
+                            from scratch"
     );
 }
 
@@ -123,6 +129,26 @@ fn parse_seed(rest: &[String]) -> Result<u64, String> {
         None => Ok(42),
         Some(v) => v.parse().map_err(|_| format!("bad --seed `{v}`")),
     }
+}
+
+/// Campaign config from the shared FI flags: `--seed`,
+/// `--checkpoint-interval`, `--no-checkpoints`.
+fn parse_campaign(rest: &[String]) -> Result<CampaignConfig, String> {
+    let mut campaign = CampaignConfig {
+        seed: parse_seed(rest)?,
+        ..CampaignConfig::default()
+    };
+    if let Some(v) = flag_value(rest, "--checkpoint-interval") {
+        let n: u64 =
+            v.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                format!("bad --checkpoint-interval `{v}` (want a positive integer)")
+            })?;
+        campaign.checkpoints = CheckpointPolicy::Every(n);
+    }
+    if rest.iter().any(|a| a == "--no-checkpoints") {
+        campaign.checkpoints = CheckpointPolicy::Disabled;
+    }
+    Ok(campaign)
 }
 
 fn first_arg<'a>(rest: &'a [String], what: &str) -> Result<&'a str, String> {
@@ -196,10 +222,7 @@ fn cmd_fi(rest: &[String]) -> Result<(), String> {
     let name = first_arg(rest, "benchmark name")?;
     let module = load_module(name)?;
     let input = parse_input(name, rest)?;
-    let mut campaign = CampaignConfig {
-        seed: parse_seed(rest)?,
-        ..CampaignConfig::default()
-    };
+    let mut campaign = parse_campaign(rest)?;
     if let Some(v) = flag_value(rest, "--injections") {
         campaign.injections = v.parse().map_err(|_| format!("bad --injections `{v}`"))?;
     }
@@ -233,10 +256,7 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
         None => 15,
         Some(v) => v.parse().map_err(|_| format!("bad --top `{v}`"))?,
     };
-    let campaign = CampaignConfig {
-        seed: parse_seed(rest)?,
-        ..CampaignConfig::default()
-    };
+    let campaign = parse_campaign(rest)?;
     let golden =
         golden_run(&module, &input, &campaign).map_err(|t| format!("golden run failed: {t:?}"))?;
     let per_inst = per_instruction_campaign(&module, &input, &golden, &campaign);
@@ -329,10 +349,7 @@ fn cmd_sid(rest: &[String]) -> Result<(), String> {
     let ref_input = b.model.materialize(&b.model.reference());
     let cfg = SidConfig {
         protection_level: parse_level(rest)?,
-        campaign: CampaignConfig {
-            seed: parse_seed(rest)?,
-            ..CampaignConfig::default()
-        },
+        campaign: parse_campaign(rest)?,
         use_dp: false,
     };
     let r = run_sid(&module, &ref_input, &cfg).map_err(|t| format!("SID failed: {t:?}"))?;
@@ -347,6 +364,43 @@ fn cmd_sid(rest: &[String]) -> Result<(), String> {
     println!("duplicates inserted: {}", r.meta.num_dups);
     println!("checks inserted: {}", r.meta.num_checks);
     println!("expected SDC coverage: {:.2}%", r.expected_coverage * 100.0);
+    Ok(())
+}
+
+fn cmd_minpsid(rest: &[String]) -> Result<(), String> {
+    let name = first_arg(rest, "benchmark name")?;
+    let b =
+        minpsid_workloads::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let module = b.compile();
+    let cfg = MinpsidConfig {
+        protection_level: parse_level(rest)?,
+        campaign: parse_campaign(rest)?,
+        ..MinpsidConfig::default()
+    };
+    let r = run_minpsid(&module, b.model.as_ref(), &cfg)
+        .map_err(|t| format!("MINPSID failed: {t:?}"))?;
+    println!(
+        "benchmark: {} ({} static instructions)",
+        b.name,
+        module.num_insts()
+    );
+    println!("protection level: {:.0}%", cfg.protection_level * 100.0);
+    println!("inputs searched: {}", r.inputs_searched);
+    println!(
+        "incubative instructions: {} ({:.2}% of static instructions)",
+        r.incubative.len(),
+        r.incubative.len() as f64 / module.num_insts() as f64 * 100.0
+    );
+    println!(
+        "expected SDC coverage (conservative): {:.2}%",
+        r.expected_coverage * 100.0
+    );
+    println!(
+        "time: ref FI {:.2}s, incubative FI {:.2}s, search {:.2}s",
+        r.timings.ref_fi.as_secs_f64(),
+        r.timings.incubative_fi.as_secs_f64(),
+        r.timings.search.as_secs_f64()
+    );
     Ok(())
 }
 
@@ -375,6 +429,29 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_flags_parse_into_policy() {
+        let def = parse_campaign(&args(&[])).unwrap();
+        assert_eq!(def.checkpoints, CheckpointPolicy::Auto);
+        assert_eq!(def.seed, 42);
+
+        let every =
+            parse_campaign(&args(&["--checkpoint-interval", "500", "--seed", "7"])).unwrap();
+        assert_eq!(every.checkpoints, CheckpointPolicy::Every(500));
+        assert_eq!(every.seed, 7);
+
+        let off = parse_campaign(&args(&["--no-checkpoints"])).unwrap();
+        assert_eq!(off.checkpoints, CheckpointPolicy::Disabled);
+
+        // --no-checkpoints wins if both are given
+        let both =
+            parse_campaign(&args(&["--checkpoint-interval", "10", "--no-checkpoints"])).unwrap();
+        assert_eq!(both.checkpoints, CheckpointPolicy::Disabled);
+
+        assert!(parse_campaign(&args(&["--checkpoint-interval", "0"])).is_err());
+        assert!(parse_campaign(&args(&["--checkpoint-interval", "abc"])).is_err());
+    }
+
+    #[test]
     fn first_arg_skips_flags() {
         assert_eq!(
             first_arg(&args(&["fft", "--seed", "1"]), "x").unwrap(),
@@ -397,44 +474,4 @@ mod tests {
         assert!(!input.args.is_empty());
         assert!(parse_input("not-a-bench", &args(&[])).is_err());
     }
-}
-
-fn cmd_minpsid(rest: &[String]) -> Result<(), String> {
-    let name = first_arg(rest, "benchmark name")?;
-    let b =
-        minpsid_workloads::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
-    let module = b.compile();
-    let cfg = MinpsidConfig {
-        protection_level: parse_level(rest)?,
-        campaign: CampaignConfig {
-            seed: parse_seed(rest)?,
-            ..CampaignConfig::default()
-        },
-        ..MinpsidConfig::default()
-    };
-    let r = run_minpsid(&module, b.model.as_ref(), &cfg)
-        .map_err(|t| format!("MINPSID failed: {t:?}"))?;
-    println!(
-        "benchmark: {} ({} static instructions)",
-        b.name,
-        module.num_insts()
-    );
-    println!("protection level: {:.0}%", cfg.protection_level * 100.0);
-    println!("inputs searched: {}", r.inputs_searched);
-    println!(
-        "incubative instructions: {} ({:.2}% of static instructions)",
-        r.incubative.len(),
-        r.incubative.len() as f64 / module.num_insts() as f64 * 100.0
-    );
-    println!(
-        "expected SDC coverage (conservative): {:.2}%",
-        r.expected_coverage * 100.0
-    );
-    println!(
-        "time: ref FI {:.2}s, incubative FI {:.2}s, search {:.2}s",
-        r.timings.ref_fi.as_secs_f64(),
-        r.timings.incubative_fi.as_secs_f64(),
-        r.timings.search.as_secs_f64()
-    );
-    Ok(())
 }

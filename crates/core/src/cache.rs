@@ -1,0 +1,285 @@
+//! A shared cache of golden runs keyed by (module fingerprint, input
+//! fingerprint, config fingerprint).
+//!
+//! Golden runs are pure functions of (module, input, limits): the
+//! interpreter is deterministic, so recomputing one is always wasted work.
+//! The pipeline hits the same (module, input) pair repeatedly — the
+//! reference input is profiled by baseline SID *and* MINPSID, experiment
+//! drivers re-evaluate the same inputs at several protection levels, and a
+//! GA search can propose duplicate parameter vectors — and with
+//! checkpointed golden runs each recomputation also rebuilds the whole
+//! snapshot store. [`GoldenCache`] memoizes them behind an `Arc` so
+//! concurrent campaign threads share one copy.
+//!
+//! Fingerprints are FNV-1a over a stable rendering of the value. Module
+//! fingerprints hash the full IR (any transform — e.g. SID duplication —
+//! changes it); input fingerprints hash scalar args and data streams
+//! bit-exactly; config fingerprints hash only the fields that influence
+//! the golden run (interpreter limits and checkpoint knobs — not seeds,
+//! thread counts, or injection counts).
+
+use minpsid_faultsim::{golden_run, CampaignConfig, GoldenRun};
+use minpsid_interp::{ProgInput, Scalar, Stream, Termination};
+use minpsid_ir::Module;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a accumulator that doubles as a `fmt::Write` sink, so arbitrary
+/// `Debug`-renderable structure can be folded in without allocating the
+/// rendered string.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn eat_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn eat_u64(&mut self, v: u64) {
+        self.eat_bytes(&v.to_le_bytes());
+    }
+}
+
+impl std::fmt::Write for Fnv {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.eat_bytes(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Structural fingerprint of a module: any change to functions, blocks, or
+/// instructions changes it.
+pub fn module_fingerprint(module: &Module) -> u64 {
+    let mut h = Fnv::new();
+    write!(h, "{module:?}").expect("fmt to hasher cannot fail");
+    h.0
+}
+
+/// Bit-exact fingerprint of a program input (floats hash by bit pattern,
+/// so -0.0 and NaN payloads are distinguished, matching the interpreter's
+/// bit-exact semantics).
+pub fn input_fingerprint(input: &ProgInput) -> u64 {
+    let mut h = Fnv::new();
+    h.eat_u64(input.args.len() as u64);
+    for a in &input.args {
+        match a {
+            Scalar::I(v) => {
+                h.eat_bytes(b"i");
+                h.eat_u64(*v as u64);
+            }
+            Scalar::F(v) => {
+                h.eat_bytes(b"f");
+                h.eat_u64(v.to_bits());
+            }
+        }
+    }
+    h.eat_u64(input.streams.len() as u64);
+    for s in &input.streams {
+        match s {
+            Stream::I(v) => {
+                h.eat_bytes(b"I");
+                h.eat_u64(v.len() as u64);
+                for x in v {
+                    h.eat_u64(*x as u64);
+                }
+            }
+            Stream::F(v) => {
+                h.eat_bytes(b"F");
+                h.eat_u64(v.len() as u64);
+                for x in v {
+                    h.eat_u64(x.to_bits());
+                }
+            }
+        }
+    }
+    h.0
+}
+
+/// Fingerprint of the campaign-config fields a golden run depends on.
+/// Seeds, thread counts, and injection counts deliberately do not
+/// participate: they change campaigns, not golden runs.
+pub fn config_fingerprint(cfg: &CampaignConfig) -> u64 {
+    let mut h = Fnv::new();
+    write!(
+        h,
+        "{:?}|{:?}|{}|{}",
+        cfg.exec, cfg.checkpoints, cfg.max_checkpoints, cfg.checkpoint_mem_budget
+    )
+    .expect("fmt to hasher cannot fail");
+    h.0
+}
+
+type Key = (u64, u64, u64);
+
+/// Thread-safe memo table for golden runs. Cheap to share (`Arc` it, or
+/// borrow it down a pipeline); entries are `Arc<GoldenRun>` so campaign
+/// fan-out reads one shared copy of the profile and checkpoint store.
+#[derive(Default)]
+pub struct GoldenCache {
+    map: Mutex<HashMap<Key, Arc<GoldenRun>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl GoldenCache {
+    pub fn new() -> Self {
+        GoldenCache::default()
+    }
+
+    /// The golden run of (module, input) under `cfg`, computed at most
+    /// once per fingerprint triple. Failed runs (non-exiting inputs) are
+    /// not cached — the paper's pipeline filters those inputs out anyway.
+    pub fn golden(
+        &self,
+        module: &Module,
+        input: &ProgInput,
+        cfg: &CampaignConfig,
+    ) -> Result<Arc<GoldenRun>, Termination> {
+        let key = (
+            module_fingerprint(module),
+            input_fingerprint(input),
+            config_fingerprint(cfg),
+        );
+        if let Some(g) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(g));
+        }
+        // Compute outside the lock so concurrent misses on different keys
+        // don't serialize. Two threads racing on the *same* key compute
+        // identical results (determinism), so last-write-wins is benign.
+        let g = Arc::new(golden_run(module, input, cfg)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().unwrap().insert(key, Arc::clone(&g));
+        Ok(g)
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+    }
+}
+
+impl std::fmt::Debug for GoldenCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GoldenCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module() -> Module {
+        minic::compile(
+            r#"
+            fn main() {
+                let n = arg_i(0);
+                let acc = 0;
+                for i = 0 to n { acc = acc + i * i; }
+                out_i(acc);
+            }
+            "#,
+            "cache-test",
+        )
+        .unwrap()
+    }
+
+    fn input(n: i64) -> ProgInput {
+        ProgInput::scalars(vec![Scalar::I(n)])
+    }
+
+    #[test]
+    fn repeated_lookups_hit() {
+        let m = module();
+        let cache = GoldenCache::new();
+        let cfg = CampaignConfig::quick(1);
+        let a = cache.golden(&m, &input(30), &cfg).unwrap();
+        let b = cache.golden(&m, &input(30), &cfg).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup returns the cached Arc");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_inputs_and_modules_miss() {
+        let m = module();
+        let cache = GoldenCache::new();
+        let cfg = CampaignConfig::quick(1);
+        cache.golden(&m, &input(30), &cfg).unwrap();
+        cache.golden(&m, &input(31), &cfg).unwrap();
+        assert_eq!(cache.misses(), 2);
+
+        let m2 = minic::compile("fn main() { out_i(arg_i(0)); }", "other").unwrap();
+        cache.golden(&m2, &input(30), &cfg).unwrap();
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn config_knobs_that_change_the_golden_run_miss() {
+        let m = module();
+        let cache = GoldenCache::new();
+        let a = CampaignConfig::quick(1);
+        let mut b = CampaignConfig::quick(1);
+        b.checkpoints = minpsid_faultsim::CheckpointPolicy::Disabled;
+        cache.golden(&m, &input(30), &a).unwrap();
+        cache.golden(&m, &input(30), &b).unwrap();
+        assert_eq!(cache.misses(), 2, "checkpoint policy changes the entry");
+
+        // seed/threads/injections do not change golden runs -> hit
+        let mut c = CampaignConfig::quick(999);
+        c.threads = 1;
+        c.injections = 5;
+        cache.golden(&m, &input(30), &c).unwrap();
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn failing_inputs_error_and_are_not_cached() {
+        let m = minic::compile("fn main() { out_i(10 / arg_i(0)); }", "div").unwrap();
+        let cache = GoldenCache::new();
+        let cfg = CampaignConfig::quick(1);
+        assert!(cache.golden(&m, &input(0), &cfg).is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn input_fingerprint_is_bit_exact_for_floats() {
+        let a = ProgInput::scalars(vec![Scalar::F(0.0)]);
+        let b = ProgInput::scalars(vec![Scalar::F(-0.0)]);
+        assert_ne!(input_fingerprint(&a), input_fingerprint(&b));
+        assert_eq!(input_fingerprint(&a), input_fingerprint(&a.clone()));
+    }
+}

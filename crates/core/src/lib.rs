@@ -33,16 +33,19 @@
 //! wraps the unhardened pipeline for comparison, and
 //! [`search::random_searcher`] is the blind-search baseline of Fig. 7.
 
+pub mod cache;
 pub mod incubative;
 pub mod input;
 pub mod pipeline;
 pub mod search;
 pub mod wcfg;
 
+pub use cache::{config_fingerprint, input_fingerprint, module_fingerprint, GoldenCache};
 pub use incubative::{incubative_between, IncubativeConfig, IncubativeTracker, ReprioritizeRule};
 pub use input::{crossover, mutate, InputModel, ParamKind, ParamSpec, ParamValue};
 pub use pipeline::{
-    run_baseline_sid, run_minpsid, MinpsidConfig, MinpsidResult, SearchStrategy, Timings,
+    run_baseline_sid, run_minpsid, run_minpsid_cached, MinpsidConfig, MinpsidResult,
+    SearchStrategy, Timings,
 };
 pub use search::{random_searcher, FitnessKind, GaConfig, SearchEngine, SearchOutcome};
 pub use wcfg::{

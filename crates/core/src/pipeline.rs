@@ -1,10 +1,11 @@
 //! The end-to-end MINPSID pipeline (paper Fig. 4).
 
+use crate::cache::GoldenCache;
 use crate::incubative::{IncubativeConfig, IncubativeTracker};
 use crate::input::InputModel;
 use crate::search::{GaConfig, SearchEngine};
 use crate::wcfg::indexed_cfg_list;
-use minpsid_faultsim::{golden_run, per_instruction_campaign, CampaignConfig};
+use minpsid_faultsim::{per_instruction_campaign, CampaignConfig};
 use minpsid_interp::Termination;
 use minpsid_ir::Module;
 use minpsid_sid::knapsack::Selection;
@@ -123,12 +124,26 @@ pub fn run_minpsid(
     model: &dyn InputModel,
     cfg: &MinpsidConfig,
 ) -> Result<MinpsidResult, Termination> {
+    run_minpsid_cached(module, model, cfg, &GoldenCache::new())
+}
+
+/// [`run_minpsid`] against a caller-owned [`GoldenCache`]. Experiment
+/// drivers that evaluate the same (module, input) pairs repeatedly —
+/// multiple protection levels, baseline-vs-hardened comparisons — share
+/// one cache across calls so each golden run (and its checkpoint store)
+/// is computed once.
+pub fn run_minpsid_cached(
+    module: &Module,
+    model: &dyn InputModel,
+    cfg: &MinpsidConfig,
+    cache: &GoldenCache,
+) -> Result<MinpsidResult, Termination> {
     let mut timings = Timings::default();
 
     // ① SID preparation: reference-input profile + per-instruction FI
     let t0 = Instant::now();
     let ref_input = model.materialize(&model.reference());
-    let ref_golden = golden_run(module, &ref_input, &cfg.campaign)?;
+    let ref_golden = cache.golden(module, &ref_input, &cfg.campaign)?;
     let ref_per_inst = per_instruction_campaign(module, &ref_input, &ref_golden, &cfg.campaign);
     let ref_cb = CostBenefit::build(module, &ref_golden, &ref_per_inst);
     timings.ref_fi = t0.elapsed();
@@ -155,7 +170,7 @@ pub fn run_minpsid(
 
         // ⑦ per-instruction FI under the searched input
         let t_fi = Instant::now();
-        let golden = golden_run(module, &outcome.input, &cfg.campaign)?;
+        let golden = cache.golden(module, &outcome.input, &cfg.campaign)?;
         let per_inst = per_instruction_campaign(module, &outcome.input, &golden, &cfg.campaign);
         let cb = CostBenefit::build(module, &golden, &per_inst);
         timings.incubative_fi += t_fi.elapsed();
@@ -255,7 +270,7 @@ mod tests {
             let n = params[0].as_i().max(1) as usize;
             let base = params[1].as_i();
             let mut rng = StdRng::seed_from_u64(params[2].as_i() as u64);
-            let data: Vec<i64> = (0..n).map(|_| base + rng.random_range(0..20)).collect();
+            let data: Vec<i64> = (0..n).map(|_| base + rng.random_range(0..20i64)).collect();
             ProgInput::new(vec![], vec![Stream::I(data)])
         }
 
@@ -345,6 +360,24 @@ mod tests {
             "incubative instructions must be prioritized: {:?}",
             r.incubative
         );
+    }
+
+    #[test]
+    fn shared_cache_eliminates_repeat_golden_runs() {
+        let m = module();
+        let model = Model::new();
+        let cfg = quick_cfg(0.5, SearchStrategy::Genetic);
+        let cache = GoldenCache::new();
+        let a = run_minpsid_cached(&m, &model, &cfg, &cache).unwrap();
+        let misses_after_first = cache.misses();
+        assert!(misses_after_first >= 1);
+        // identical rerun: every golden run is served from the cache, and
+        // the result is unchanged (campaigns are seed-deterministic)
+        let b = run_minpsid_cached(&m, &model, &cfg, &cache).unwrap();
+        assert_eq!(cache.misses(), misses_after_first);
+        assert!(cache.hits() >= misses_after_first);
+        assert_eq!(a.incubative, b.incubative);
+        assert_eq!(a.expected_coverage, b.expected_coverage);
     }
 
     #[test]

@@ -154,7 +154,7 @@ mod tests {
     #[test]
     fn identical_execution_has_zero_fitness() {
         let l = vec![5u64, 9, 1];
-        assert_eq!(fitness_score(&l, &[l.clone()]), 0.0);
+        assert_eq!(fitness_score(&l, std::slice::from_ref(&l)), 0.0);
     }
 
     #[test]

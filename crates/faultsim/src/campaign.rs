@@ -1,14 +1,40 @@
 //! Injection campaigns: golden runs, whole-program FI, per-instruction FI.
+//!
+//! ## Checkpointed injection
+//!
+//! Faulty runs are bit-identical to the golden run up to the injection
+//! point, so [`golden_run`] captures a [`CheckpointStore`] of snapshots
+//! and each injection restores the nearest snapshot at or before its
+//! target and executes only the suffix. With an interval near
+//! sqrt(golden_steps) this cuts the replayed prefix from O(steps) to
+//! O(sqrt(steps)) per injection on average, which is where campaigns
+//! spend nearly all their time. Results are bit-identical to cold runs:
+//! the same `OutcomeCounts` for the same seed with checkpointing on, off,
+//! or at any interval.
 
 use crate::outcome::{classify, Outcome, OutcomeCounts};
-use crate::parallel::{default_threads, par_map};
+use crate::parallel::{default_threads, par_map_init};
 use crate::stats::{binomial_ci, BinomialCi};
 use minpsid_interp::{
-    ExecConfig, FaultSpec, FaultTarget, Interp, Output, Profile, ProgInput, Termination,
+    auto_interval, CheckpointConfig, CheckpointStore, ExecConfig, ExecResult, FaultSpec,
+    FaultTarget, Interp, MachineState, Output, Profile, ProgInput, Termination,
 };
 use minpsid_ir::{GlobalInstId, Module};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+
+/// When and how densely the golden run snapshots its state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointPolicy {
+    /// Interval tuned to ~sqrt(golden_steps), capped so at most
+    /// [`CampaignConfig::max_checkpoints`] snapshots are taken.
+    #[default]
+    Auto,
+    /// Fixed interval in dynamic instructions.
+    Every(u64),
+    /// No snapshots; every injection replays from scratch.
+    Disabled,
+}
 
 /// Campaign parameters (defaults follow §III-A3 of the paper).
 #[derive(Debug, Clone)]
@@ -25,6 +51,12 @@ pub struct CampaignConfig {
     pub hang_multiplier: u64,
     /// Base interpreter limits for faulty runs.
     pub exec: ExecConfig,
+    /// Golden-run snapshot policy.
+    pub checkpoints: CheckpointPolicy,
+    /// Snapshot count cap under [`CheckpointPolicy::Auto`].
+    pub max_checkpoints: u64,
+    /// Total snapshot memory budget; exceeding it thins the store.
+    pub checkpoint_mem_budget: usize,
 }
 
 impl Default for CampaignConfig {
@@ -36,6 +68,9 @@ impl Default for CampaignConfig {
             threads: default_threads(),
             hang_multiplier: 10,
             exec: ExecConfig::default(),
+            checkpoints: CheckpointPolicy::Auto,
+            max_checkpoints: 512,
+            checkpoint_mem_budget: 256 << 20,
         }
     }
 }
@@ -58,11 +93,20 @@ pub struct GoldenRun {
     pub output: Output,
     pub profile: Profile,
     pub steps: u64,
+    /// Snapshots for resume-from-checkpoint injection; empty when
+    /// checkpointing is disabled.
+    pub checkpoints: CheckpointStore,
 }
 
-/// Execute the golden (fault-free, profiled) run. Fails if the program
-/// does not exit cleanly — campaign inputs must be error-free, matching
-/// the paper's input-generation rule §III-A2.
+/// Execute the golden (fault-free, profiled) run and, unless disabled,
+/// capture its checkpoint store. Fails if the program does not exit
+/// cleanly — campaign inputs must be error-free, matching the paper's
+/// input-generation rule §III-A2.
+///
+/// Two passes: a profiled pass (the profile is needed anyway and its
+/// overhead would be charged to every snapshot clone), then an unprofiled
+/// checkpointed pass whose interval is tuned from the first pass's step
+/// count.
 pub fn golden_run(
     module: &Module,
     input: &ProgInput,
@@ -76,11 +120,59 @@ pub fn golden_run(
     if r.termination != Termination::Exit {
         return Err(r.termination);
     }
+
+    let interval = match cfg.checkpoints {
+        CheckpointPolicy::Auto => Some(auto_interval(r.steps, cfg.max_checkpoints)),
+        CheckpointPolicy::Every(n) => Some(n.max(1)),
+        CheckpointPolicy::Disabled => None,
+    };
+    let checkpoints = match interval {
+        Some(interval) => {
+            let exec = ExecConfig {
+                profile: false,
+                ..cfg.exec.clone()
+            };
+            let ck_cfg = CheckpointConfig {
+                interval,
+                mem_budget_bytes: cfg.checkpoint_mem_budget,
+            };
+            let (r2, snaps) = Interp::new(module, exec).run_with_checkpoint_config(input, ck_cfg);
+            debug_assert_eq!(r2.output, r.output, "checkpointed replay diverged");
+            debug_assert_eq!(r2.steps, r.steps);
+            CheckpointStore::new(snaps)
+        }
+        None => CheckpointStore::default(),
+    };
+
     Ok(GoldenRun {
         output: r.output,
         profile: r.profile.expect("profiling was enabled"),
         steps: r.steps,
+        checkpoints,
     })
+}
+
+/// Run one injection: resume from the nearest safe snapshot when one
+/// exists (faults early in the trace may precede the first snapshot),
+/// otherwise replay from scratch. `st` is per-worker scratch whose buffers
+/// are reused across injections.
+fn inject(
+    interp: &Interp<'_>,
+    st: &mut MachineState,
+    golden: &GoldenRun,
+    input: &ProgInput,
+    fault: FaultSpec,
+) -> ExecResult {
+    let snap = match fault.target {
+        FaultTarget::NthDynamic(n) => golden.checkpoints.nearest_for_dynamic(n),
+        FaultTarget::NthOfInst(gid, n) => golden
+            .checkpoints
+            .nearest_for_inst(interp.dense_index(gid), n),
+    };
+    match snap {
+        Some(s) => interp.resume_with(st, s, input, fault),
+        None => interp.run_with_fault(input, fault),
+    }
 }
 
 fn faulty_exec_config(cfg: &CampaignConfig, golden_steps: u64) -> ExecConfig {
@@ -123,18 +215,23 @@ pub fn program_campaign(
         };
     }
     let interp = Interp::new(module, faulty_exec_config(cfg, golden.steps));
-    let outcomes = par_map(cfg.injections, cfg.threads, |i| {
-        // per-injection RNG: deterministic regardless of thread schedule
-        let mut rng =
-            StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let fault = FaultSpec {
-            target: FaultTarget::NthDynamic(rng.random_range(0..population)),
-            bit: rng.random_range(0..64),
-        };
-        let r = interp.run_with_fault(input, fault);
-        debug_assert!(r.fault_applied, "dynamic index within population");
-        classify(&golden.output, &r)
-    });
+    let outcomes = par_map_init(
+        cfg.injections,
+        cfg.threads,
+        MachineState::default,
+        |st, i| {
+            // per-injection RNG: deterministic regardless of thread schedule
+            let mut rng =
+                StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let fault = FaultSpec {
+                target: FaultTarget::NthDynamic(rng.random_range(0..population)),
+                bit: rng.random_range(0..64),
+            };
+            let r = inject(&interp, st, golden, input, fault);
+            debug_assert!(r.fault_applied, "dynamic index within population");
+            classify(&golden.output, &r)
+        },
+    );
     for o in outcomes {
         counts.record(o);
     }
@@ -186,25 +283,30 @@ pub fn per_instruction_campaign(
         .filter(|&(_, _, count)| count > 0)
         .collect();
 
-    let per_target = par_map(targets.len(), cfg.threads, |t| {
-        let (dense, gid, count) = targets[t];
-        let mut counts = OutcomeCounts::default();
-        for k in 0..cfg.per_inst_injections {
-            let mut rng = StdRng::seed_from_u64(
-                cfg.seed
-                    ^ (dense as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
-                    ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
-            let fault = FaultSpec {
-                target: FaultTarget::NthOfInst(gid, rng.random_range(0..count)),
-                bit: rng.random_range(0..64),
-            };
-            let r = interp.run_with_fault(input, fault);
-            debug_assert!(r.fault_applied);
-            counts.record(classify(&golden.output, &r));
-        }
-        (dense, counts)
-    });
+    let per_target = par_map_init(
+        targets.len(),
+        cfg.threads,
+        MachineState::default,
+        |st, t| {
+            let (dense, gid, count) = targets[t];
+            let mut counts = OutcomeCounts::default();
+            for k in 0..cfg.per_inst_injections {
+                let mut rng = StdRng::seed_from_u64(
+                    cfg.seed
+                        ^ (dense as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+                        ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let fault = FaultSpec {
+                    target: FaultTarget::NthOfInst(gid, rng.random_range(0..count)),
+                    bit: rng.random_range(0..64),
+                };
+                let r = inject(&interp, st, golden, input, fault);
+                debug_assert!(r.fault_applied);
+                counts.record(classify(&golden.output, &r));
+            }
+            (dense, counts)
+        },
+    );
 
     let mut sdc_prob = vec![0.0; n];
     let mut counts = vec![OutcomeCounts::default(); n];
@@ -356,6 +458,55 @@ mod tests {
         let a = program_campaign(&m, &input(25), &g, &cfg1);
         let b = program_campaign(&m, &input(25), &g, &cfg4);
         assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn checkpointed_and_cold_campaigns_are_bit_identical() {
+        // the load-bearing guarantee of checkpointed FI: the same seed
+        // yields the same OutcomeCounts and per-instruction SDC profile
+        // with checkpointing on (any interval) or off
+        let m = test_module();
+        let mut cold = CampaignConfig::quick(77);
+        cold.checkpoints = CheckpointPolicy::Disabled;
+        let mut auto_cfg = CampaignConfig::quick(77);
+        auto_cfg.checkpoints = CheckpointPolicy::Auto;
+        let mut fixed = CampaignConfig::quick(77);
+        fixed.checkpoints = CheckpointPolicy::Every(23);
+
+        let g_cold = golden_run(&m, &input(60), &cold).unwrap();
+        assert!(g_cold.checkpoints.is_empty());
+        let g_auto = golden_run(&m, &input(60), &auto_cfg).unwrap();
+        assert!(
+            !g_auto.checkpoints.is_empty(),
+            "run long enough to snapshot"
+        );
+        let g_fixed = golden_run(&m, &input(60), &fixed).unwrap();
+
+        let a = program_campaign(&m, &input(60), &g_cold, &cold);
+        let b = program_campaign(&m, &input(60), &g_auto, &auto_cfg);
+        let c = program_campaign(&m, &input(60), &g_fixed, &fixed);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.counts, c.counts);
+
+        let pa = per_instruction_campaign(&m, &input(60), &g_cold, &cold);
+        let pb = per_instruction_campaign(&m, &input(60), &g_auto, &auto_cfg);
+        let pc = per_instruction_campaign(&m, &input(60), &g_fixed, &fixed);
+        assert_eq!(pa.sdc_prob, pb.sdc_prob);
+        assert_eq!(pa.counts, pb.counts);
+        assert_eq!(pa.counts, pc.counts);
+    }
+
+    #[test]
+    fn checkpoint_store_respects_memory_budget() {
+        let m = test_module();
+        let mut cfg = CampaignConfig::quick(5);
+        cfg.checkpoints = CheckpointPolicy::Every(10);
+        cfg.checkpoint_mem_budget = 8 << 10; // force thinning
+        let g = golden_run(&m, &input(200), &cfg).unwrap();
+        assert!(g.checkpoints.total_bytes() <= 8 << 10);
+        // thinned store must still be usable
+        let c = program_campaign(&m, &input(200), &g, &cfg);
+        assert_eq!(c.counts.total(), cfg.injections as u64);
     }
 
     #[test]

@@ -21,7 +21,9 @@
 //!   feeds SID's benefit, Eq. 2).
 //!
 //! Campaigns are deterministic given a seed and embarrassingly parallel:
-//! injections fan out over crossbeam scoped threads.
+//! injections fan out over `std::thread::scope` workers (see [`parallel`]).
+//! Golden runs capture a checkpoint store so each injection replays only
+//! the suffix after the nearest snapshot (see [`campaign`]).
 
 pub mod campaign;
 pub mod outcome;
@@ -30,8 +32,8 @@ pub mod propagation;
 pub mod stats;
 
 pub use campaign::{
-    golden_run, per_instruction_campaign, program_campaign, CampaignConfig, GoldenRun, PerInstSdc,
-    ProgramCampaign,
+    golden_run, per_instruction_campaign, program_campaign, CampaignConfig, CheckpointPolicy,
+    GoldenRun, PerInstSdc, ProgramCampaign,
 };
 pub use outcome::{classify, Outcome, OutcomeCounts};
 pub use propagation::{render_report, trace_fault, PropagationReport};

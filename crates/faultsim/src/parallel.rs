@@ -1,12 +1,19 @@
-//! Minimal data-parallel map over crossbeam scoped threads.
+//! Minimal data-parallel map over `std::thread::scope`.
 //!
 //! The paper parallelizes all FI runs over a 4×40-core farm (§VI-C);
 //! campaigns here do the same over the local cores. `rayon` is not in this
 //! project's dependency budget, so a small chunked fan-out is used — FI
 //! tasks are coarse (one program execution each), so dynamic work-stealing
 //! would buy nothing.
+//!
+//! [`par_map_init`] additionally gives each worker a persistent scratch
+//! state, built once per worker *outside* the claim loop. Checkpointed FI
+//! uses this to reuse snapshot-restore buffers across injections instead of
+//! reallocating per item.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Number of worker threads to use by default.
 pub fn default_threads() -> usize {
@@ -17,40 +24,82 @@ pub fn default_threads() -> usize {
 
 /// Apply `f` to every index in `0..n`, collecting results in order.
 /// `threads == 1` degenerates to a plain loop (no spawn overhead).
+///
+/// If `f` panics, every worker stops claiming new items, the scope joins,
+/// and the panic is re-raised on the caller with the failing index reported.
 pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    par_map_init(n, threads, || (), |(), i| f(i))
+}
+
+/// [`par_map`] with per-worker state: `init` runs once per worker thread
+/// (outside the claim loop), and each claimed index gets `f(&mut state, i)`.
+pub fn par_map_init<S, T, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
     }
     let threads = threads.min(n);
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let next = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    // First panic observed: (index, payload). Later panics are dropped.
+    let failure: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
     let out_ptr = SendPtr(out.as_mut_ptr());
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
             let next = &next;
+            let poisoned = &poisoned;
+            let failure = &failure;
+            let init = &init;
             let f = &f;
-            scope.spawn(move |_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let v = f(i);
-                // SAFETY: each index is claimed by exactly one worker via
-                // the atomic counter, so writes never alias; the vector
-                // outlives the scope.
-                unsafe {
-                    *out_ptr.get().add(i) = Some(v);
+            scope.spawn(move || {
+                // per-worker state lives across all items this worker claims
+                let mut state = init();
+                loop {
+                    if poisoned.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| f(&mut state, i))) {
+                        Ok(v) => {
+                            // SAFETY: each index is claimed by exactly one
+                            // worker via the atomic counter, so writes never
+                            // alias; the vector outlives the scope.
+                            unsafe {
+                                *out_ptr.get().add(i) = Some(v);
+                            }
+                        }
+                        Err(payload) => {
+                            poisoned.store(true, Ordering::Relaxed);
+                            let mut slot = failure.lock().unwrap_or_else(|e| e.into_inner());
+                            if slot.is_none() {
+                                *slot = Some((i, payload));
+                            }
+                            break;
+                        }
+                    }
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
+    if let Some((i, payload)) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        eprintln!("par_map: worker panicked while processing index {i}");
+        resume_unwind(payload);
+    }
     out.into_iter().map(|v| v.expect("slot filled")).collect()
 }
 
@@ -80,6 +129,7 @@ unsafe impl<T: Send> Sync for SendPtr<T> {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn parallel_map_preserves_order() {
@@ -103,5 +153,54 @@ mod tests {
     #[test]
     fn more_threads_than_items() {
         assert_eq!(par_map(3, 64, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn init_runs_once_per_worker_not_per_item() {
+        let inits = AtomicUsize::new(0);
+        let v = par_map_init(
+            64,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |calls, i| {
+                *calls += 1;
+                i
+            },
+        );
+        assert_eq!(v, (0..64).collect::<Vec<_>>());
+        let n = inits.load(Ordering::Relaxed);
+        assert!(n <= 4, "init ran {n} times for 4 workers");
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_index_and_does_not_deadlock() {
+        let result = std::panic::catch_unwind(|| {
+            par_map(256, 4, |i| {
+                if i == 137 {
+                    panic!("injected failure at {i}");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("injected failure at 137"), "got: {msg}");
+    }
+
+    #[test]
+    fn single_thread_panic_also_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            par_map(4, 1, |i| {
+                assert!(i != 2, "boom");
+                i
+            })
+        });
+        assert!(result.is_err());
     }
 }

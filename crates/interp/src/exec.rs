@@ -6,9 +6,17 @@
 //! in [`Interp::new`], and profiling is branch-guarded so fault-injection
 //! runs (which dominate total experiment time and need no profile) stay on
 //! the fast path.
+//!
+//! All mutable machine state lives in [`MachineState`], which makes two
+//! things cheap: snapshotting it mid-run into a [`Snapshot`] (see
+//! [`Interp::run_with_checkpoints`]) and resuming a faulty run from a
+//! snapshot instead of from scratch (see [`Interp::resume`]). Because the
+//! machine is fully deterministic, a resumed run is bit-identical to a
+//! from-scratch run with the same fault.
 
 use crate::fault::{flip_bit, FaultSpec, FaultTarget};
 use crate::profile::Profile;
+use crate::snapshot::{CheckpointCollector, CheckpointConfig, Snapshot};
 use crate::value::{Output, ProgInput, Scalar, Stream, Value};
 use minpsid_ir::{BinOp, BlockId, CmpOp, CostModel, FuncId, InstKind, Module, Ty, UnOp};
 
@@ -118,7 +126,8 @@ impl ExecResult {
 /// an out-of-bounds trap.
 pub const STACK_TAG: u64 = 1 << 62;
 
-struct Frame {
+#[derive(Debug, Clone)]
+pub(crate) struct Frame {
     func: FuncId,
     block: BlockId,
     /// Index into the current block's instruction list.
@@ -127,6 +136,99 @@ struct Frame {
     args: Vec<Value>,
     /// Stack-memory watermark to restore on return (frees `salloc`s).
     sp_base: usize,
+}
+
+/// Everything the interpreter carries from one instruction to the next:
+/// the frame stack, both linear memories, the output stream, and the step
+/// and injection counters. Snapshots clone this wholesale; resumed runs
+/// start from a restored copy. The profile and trace are deliberately
+/// *not* part of it — they are observers, not machine state, and resumed
+/// runs re-collect them for the suffix only.
+///
+/// Campaigns keep one `MachineState` per worker thread as reusable scratch
+/// (see [`Interp::resume_with`]): restoring into an existing state reuses
+/// its memory buffers instead of reallocating per injection.
+#[derive(Debug, Default)]
+pub struct MachineState {
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) mem: Vec<u64>,
+    pub(crate) stack_mem: Vec<u64>,
+    pub(crate) output: Output,
+    pub(crate) steps: u64,
+    /// Global count of injectable value productions so far (the
+    /// `NthDynamic` population index).
+    pub(crate) inj_ctr: u64,
+    /// Count of injectable value productions by the armed `NthOfInst`
+    /// target instruction. Meaningless without an armed fault; restored
+    /// from a snapshot's dense count vector on resume.
+    pub(crate) per_inst_ctr: u64,
+    pub(crate) fault_applied: bool,
+}
+
+impl Clone for MachineState {
+    fn clone(&self) -> Self {
+        MachineState {
+            frames: self.frames.clone(),
+            mem: self.mem.clone(),
+            stack_mem: self.stack_mem.clone(),
+            output: self.output.clone(),
+            steps: self.steps,
+            inj_ctr: self.inj_ctr,
+            per_inst_ctr: self.per_inst_ctr,
+            fault_applied: self.fault_applied,
+        }
+    }
+
+    /// Buffer-reusing restore: `Vec::clone_from` keeps existing
+    /// allocations, which is what makes per-worker scratch states pay off
+    /// in campaigns.
+    fn clone_from(&mut self, src: &Self) {
+        self.frames.clone_from(&src.frames);
+        self.mem.clone_from(&src.mem);
+        self.stack_mem.clone_from(&src.stack_mem);
+        self.output.items.clone_from(&src.output.items);
+        self.steps = src.steps;
+        self.inj_ctr = src.inj_ctr;
+        self.per_inst_ctr = src.per_inst_ctr;
+        self.fault_applied = src.fault_applied;
+    }
+}
+
+impl MachineState {
+    /// Reset to the program entry point: one frame at the entry function's
+    /// first block, empty memories and output, zeroed counters.
+    fn start(&mut self, m: &Module) {
+        let entry_fn = m.func(m.entry);
+        self.frames.clear();
+        self.frames.push(Frame {
+            func: m.entry,
+            block: BlockId(0),
+            pos: 0,
+            regs: vec![Value::Undef; entry_fn.insts.len()],
+            args: vec![],
+            sp_base: 0,
+        });
+        self.mem.clear();
+        self.stack_mem.clear();
+        self.output.items.clear();
+        self.steps = 0;
+        self.inj_ctr = 0;
+        self.per_inst_ctr = 0;
+        self.fault_applied = false;
+    }
+
+    /// Rough heap footprint in bytes, for checkpoint memory budgeting.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        let frames: usize = self
+            .frames
+            .iter()
+            .map(|f| (f.regs.len() + f.args.len()) * std::mem::size_of::<Value>() + 64)
+            .sum();
+        frames
+            + (self.mem.len() + self.stack_mem.len()) * 8
+            + self.output.items.len() * std::mem::size_of::<crate::value::OutputItem>()
+            + 64
+    }
 }
 
 /// An interpreter bound to one module. Cheap to construct; immutable and
@@ -173,38 +275,113 @@ impl<'m> Interp<'m> {
         &self.config
     }
 
+    /// Dense module-wide index of a static instruction.
+    pub fn dense_index(&self, gid: minpsid_ir::GlobalInstId) -> usize {
+        self.base[gid.func.index()] + gid.inst.index()
+    }
+
     /// Execute without faults.
     pub fn run(&self, input: &ProgInput) -> ExecResult {
-        self.run_inner(input, None)
+        let mut st = MachineState::default();
+        st.start(self.module);
+        self.run_inner(&mut st, input, None, None)
     }
 
     /// Execute with a single fault armed.
     pub fn run_with_fault(&self, input: &ProgInput, fault: FaultSpec) -> ExecResult {
-        self.run_inner(input, Some(fault))
+        let mut st = MachineState::default();
+        st.start(self.module);
+        self.run_inner(&mut st, input, Some(fault), None)
     }
 
-    fn run_inner(&self, input: &ProgInput, fault: Option<FaultSpec>) -> ExecResult {
+    /// Execute without faults, capturing a [`Snapshot`] every `interval`
+    /// dynamic instructions (with the default memory budget). The result
+    /// is bit-identical to [`Interp::run`].
+    pub fn run_with_checkpoints(
+        &self,
+        input: &ProgInput,
+        interval: u64,
+    ) -> (ExecResult, Vec<Snapshot>) {
+        self.run_with_checkpoint_config(
+            input,
+            CheckpointConfig {
+                interval,
+                ..CheckpointConfig::default()
+            },
+        )
+    }
+
+    /// [`Interp::run_with_checkpoints`] with an explicit memory budget.
+    pub fn run_with_checkpoint_config(
+        &self,
+        input: &ProgInput,
+        cfg: CheckpointConfig,
+    ) -> (ExecResult, Vec<Snapshot>) {
+        let mut st = MachineState::default();
+        st.start(self.module);
+        let mut coll = CheckpointCollector::new(cfg, self.module.num_insts());
+        let r = self.run_inner(&mut st, input, None, Some(&mut coll));
+        (r, coll.into_snapshots())
+    }
+
+    /// Resume from a snapshot with a fault armed, executing only the
+    /// suffix. Bit-identical to [`Interp::run_with_fault`] with the same
+    /// input and fault, provided the snapshot came from a golden
+    /// (fault-free) run of the same module and input and the fault's
+    /// target has not yet executed at the snapshot (use
+    /// [`CheckpointStore::nearest_for_dynamic`] /
+    /// [`CheckpointStore::nearest_for_inst`] to pick one).
+    ///
+    /// The `profile` and `trace` of the result, when enabled, cover the
+    /// suffix only.
+    ///
+    /// [`CheckpointStore::nearest_for_dynamic`]: crate::CheckpointStore::nearest_for_dynamic
+    /// [`CheckpointStore::nearest_for_inst`]: crate::CheckpointStore::nearest_for_inst
+    pub fn resume(&self, snap: &Snapshot, input: &ProgInput, fault: FaultSpec) -> ExecResult {
+        let mut st = MachineState::default();
+        self.resume_with(&mut st, snap, input, fault)
+    }
+
+    /// [`Interp::resume`] into caller-provided scratch state, reusing its
+    /// buffers. Campaign workers hold one `MachineState` each and restore
+    /// into it per injection.
+    pub fn resume_with(
+        &self,
+        st: &mut MachineState,
+        snap: &Snapshot,
+        input: &ProgInput,
+        fault: FaultSpec,
+    ) -> ExecResult {
+        st.clone_from(&snap.state);
+        // `NthOfInst` counts executions of one static instruction; the
+        // golden run that captured the snapshot had no armed target, so
+        // restore the counter from the snapshot's dense count vector.
+        if let FaultTarget::NthOfInst(gid, _) = fault.target {
+            st.per_inst_ctr = snap.inj_count_of(self.dense_index(gid));
+        } else {
+            st.per_inst_ctr = 0;
+        }
+        st.fault_applied = false;
+        self.run_inner(st, input, Some(fault), None)
+    }
+
+    fn run_inner(
+        &self,
+        st: &mut MachineState,
+        input: &ProgInput,
+        fault: Option<FaultSpec>,
+        mut ckpt: Option<&mut CheckpointCollector>,
+    ) -> ExecResult {
         let m = self.module;
         let mut profile = self.config.profile.then(|| Profile::for_module(m));
-        let mut output = Output::default();
-        let mut mem: Vec<u64> = Vec::new();
-        let mut stack_mem: Vec<u64> = Vec::new();
-        let mut steps: u64 = 0;
         let mut trace: Option<Vec<TraceEvent>> = self.config.trace.then(Vec::new);
-        let mut inj_ctr: u64 = 0;
-        let mut per_inst_ctr: u64 = 0;
-        let mut fault_applied = false;
 
         // fault target precomputation
         let (target_dense, target_nth, whole_nth) = match fault {
             Some(FaultSpec {
                 target: FaultTarget::NthOfInst(gid, n),
                 ..
-            }) => (
-                Some(self.base[gid.func.index()] + gid.inst.index()),
-                n,
-                u64::MAX,
-            ),
+            }) => (Some(self.dense_index(gid)), n, u64::MAX),
             Some(FaultSpec {
                 target: FaultTarget::NthDynamic(n),
                 ..
@@ -214,46 +391,64 @@ impl<'m> Interp<'m> {
         let fault_armed = fault.is_some();
         let fault_bit = fault.map(|f| f.bit).unwrap_or(0);
 
-        let entry_fn = m.func(m.entry);
-        let mut stack = vec![Frame {
-            func: m.entry,
-            block: BlockId(0),
-            pos: 0,
-            regs: vec![Value::Undef; entry_fn.insts.len()],
-            args: vec![],
-            sp_base: 0,
-        }];
-        if let Some(p) = profile.as_mut() {
-            p.block_counts[m.entry.index()][0] += 1;
-        }
-
-        macro_rules! finish {
-            ($term:expr, $ret:expr) => {
-                return ExecResult {
-                    termination: $term,
-                    output,
-                    profile: profile.map(|mut p: Profile| {
-                        p.total_insts = steps;
-                        p.injectable_execs = inj_ctr;
-                        p.total_cycles = p.inst_cycles.iter().sum();
-                        p
-                    }),
-                    steps,
-                    fault_applied,
-                    ret: $ret,
-                    trace,
-                }
-            };
-        }
-        macro_rules! trap {
-            ($kind:expr) => {
-                finish!(Termination::Trap($kind), None)
-            };
+        // A fresh run enters the entry block; a resumed run (steps > 0)
+        // re-enters mid-block, and its suffix profile counts no extra
+        // block entry.
+        if st.steps == 0 {
+            if let Some(p) = profile.as_mut() {
+                p.block_counts[m.entry.index()][0] += 1;
+            }
         }
 
         'outer: loop {
             // Hot loop: one instruction per iteration of this inner loop.
             loop {
+                // Checkpoint capture sits between instructions, before any
+                // borrow of the frame stack: everything the next
+                // instruction will observe is in `st`.
+                if let Some(c) = ckpt.as_deref_mut() {
+                    if c.due(st.steps) {
+                        c.capture(st);
+                    }
+                }
+
+                // Disjoint field borrows: the frame stack, memories, and
+                // counters are all mutated in one iteration.
+                let MachineState {
+                    frames: stack,
+                    mem,
+                    stack_mem,
+                    output,
+                    steps,
+                    inj_ctr,
+                    per_inst_ctr,
+                    fault_applied,
+                } = &mut *st;
+
+                macro_rules! finish {
+                    ($term:expr, $ret:expr) => {
+                        return ExecResult {
+                            termination: $term,
+                            output: std::mem::take(output),
+                            profile: profile.map(|mut p: Profile| {
+                                p.total_insts = *steps;
+                                p.injectable_execs = *inj_ctr;
+                                p.total_cycles = p.inst_cycles.iter().sum();
+                                p
+                            }),
+                            steps: *steps,
+                            fault_applied: *fault_applied,
+                            ret: $ret,
+                            trace,
+                        }
+                    };
+                }
+                macro_rules! trap {
+                    ($kind:expr) => {
+                        finish!(Termination::Trap($kind), None)
+                    };
+                }
+
                 let depth = stack.len() as u32;
                 let frame = stack.last_mut().unwrap();
                 let func = &m.funcs[frame.func.index()];
@@ -263,8 +458,8 @@ impl<'m> Interp<'m> {
                 let inst = &func.insts[iid.index()];
                 let dense = self.base[frame.func.index()] + iid.index();
 
-                steps += 1;
-                if steps > self.config.step_limit {
+                *steps += 1;
+                if *steps > self.config.step_limit {
                     finish!(Termination::StepLimit, None);
                 }
                 if let Some(p) = profile.as_mut() {
@@ -458,9 +653,9 @@ impl<'m> Interp<'m> {
                         let p = ptr!(ptr);
                         let i = int!(idx);
                         let (space, base): (&[u64], u64) = if p & STACK_TAG != 0 {
-                            (&stack_mem, p & !STACK_TAG)
+                            (&*stack_mem, p & !STACK_TAG)
                         } else {
-                            (&mem, p)
+                            (&*mem, p)
                         };
                         let addr = base as i128 + i as i128;
                         if addr < 0 || addr >= space.len() as i128 {
@@ -478,9 +673,9 @@ impl<'m> Interp<'m> {
                         let i = int!(idx);
                         let v = val!(value);
                         let (space, base): (&mut Vec<u64>, u64) = if p & STACK_TAG != 0 {
-                            (&mut stack_mem, p & !STACK_TAG)
+                            (&mut *stack_mem, p & !STACK_TAG)
                         } else {
-                            (&mut mem, p)
+                            (&mut *mem, p)
                         };
                         let addr = base as i128 + i as i128;
                         if addr < 0 || addr >= space.len() as i128 {
@@ -600,28 +795,32 @@ impl<'m> Interp<'m> {
                 // value when this dynamic execution is the armed target.
                 // Calls produce their value at return time and are handled
                 // in the Return branch below; everything else produces it
-                // here.
+                // here. Checkpoint collection mirrors the counters here so
+                // snapshots can restore them exactly.
                 if self.injectable[dense] {
                     if let Some(v) = result {
                         if fault_armed {
                             let fire = match target_dense {
                                 Some(td) => {
                                     if td == dense {
-                                        let hit = per_inst_ctr == target_nth;
-                                        per_inst_ctr += 1;
+                                        let hit = *per_inst_ctr == target_nth;
+                                        *per_inst_ctr += 1;
                                         hit
                                     } else {
                                         false
                                     }
                                 }
-                                None => inj_ctr == whole_nth,
+                                None => *inj_ctr == whole_nth,
                             };
-                            if fire && !fault_applied {
-                                fault_applied = true;
+                            if fire && !*fault_applied {
+                                *fault_applied = true;
                                 result = Some(flip_bit(v, fault_bit));
                             }
                         }
-                        inj_ctr += 1;
+                        *inj_ctr += 1;
+                        if let Some(c) = ckpt.as_deref_mut() {
+                            c.inj_counts[dense] += 1;
+                        }
                     }
                 }
 
@@ -686,21 +885,24 @@ impl<'m> Interp<'m> {
                                             let fire = match target_dense {
                                                 Some(td) => {
                                                     if td == call_dense {
-                                                        let hit = per_inst_ctr == target_nth;
-                                                        per_inst_ctr += 1;
+                                                        let hit = *per_inst_ctr == target_nth;
+                                                        *per_inst_ctr += 1;
                                                         hit
                                                     } else {
                                                         false
                                                     }
                                                 }
-                                                None => inj_ctr == whole_nth,
+                                                None => *inj_ctr == whole_nth,
                                             };
-                                            if fire && !fault_applied {
-                                                fault_applied = true;
+                                            if fire && !*fault_applied {
+                                                *fault_applied = true;
                                                 v = flip_bit(v, fault_bit);
                                             }
                                         }
-                                        inj_ctr += 1;
+                                        *inj_ctr += 1;
+                                        if let Some(c) = ckpt.as_deref_mut() {
+                                            c.inj_counts[call_dense] += 1;
+                                        }
                                     }
                                     caller.regs[call_iid.index()] = v;
                                     if let Some(t) = trace.as_mut() {
@@ -754,6 +956,7 @@ fn bit_equal(a: Value, b: Value) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::CheckpointStore;
     use minpsid_ir::{verify::assert_verified, GlobalInstId, InstId, ModuleBuilder};
 
     fn run_module(m: &Module, input: &ProgInput) -> ExecResult {
@@ -797,32 +1000,8 @@ mod tests {
         mb.finish()
     }
 
-    #[test]
-    fn loop_sum_produces_expected_output() {
-        let m = sum_module();
-        let r = run_module(&m, &ProgInput::scalars(vec![Scalar::I(10)]));
-        assert!(r.exited());
-        assert_eq!(r.output.items, vec![crate::value::OutputItem::I(45)]);
-    }
-
-    #[test]
-    fn profile_counts_loop_iterations() {
-        let m = sum_module();
-        let r = run_module(&m, &ProgInput::scalars(vec![Scalar::I(10)]));
-        let p = r.profile.unwrap();
-        // body block (id 2) entered exactly 10 times
-        assert_eq!(p.block_counts[0][2], 10);
-        // head entered 11 times (10 iterations + final test)
-        assert_eq!(p.block_counts[0][1], 11);
-        // edge body->head has weight 10
-        assert_eq!(p.edge_count(FuncId(0), BlockId(2), BlockId(1)), 10);
-        assert!(p.total_cycles > 0);
-        assert_eq!(p.total_insts, r.steps);
-    }
-
-    #[test]
-    fn recursion_works_and_depth_is_limited() {
-        // fib(n) recursive
+    /// fib(n) recursive — exercises the call-return injection point
+    fn fib_module() -> Module {
         let mut mb = ModuleBuilder::new("fib");
         let main = mb.declare("main", vec![], None);
         let fib = mb.declare("fib", vec![Ty::I64], Some(Ty::I64));
@@ -848,8 +1027,35 @@ mod tests {
         fb.out_i(v);
         fb.ret_void();
         mb.define(fb);
-        let m = mb.finish();
+        mb.finish()
+    }
 
+    #[test]
+    fn loop_sum_produces_expected_output() {
+        let m = sum_module();
+        let r = run_module(&m, &ProgInput::scalars(vec![Scalar::I(10)]));
+        assert!(r.exited());
+        assert_eq!(r.output.items, vec![crate::value::OutputItem::I(45)]);
+    }
+
+    #[test]
+    fn profile_counts_loop_iterations() {
+        let m = sum_module();
+        let r = run_module(&m, &ProgInput::scalars(vec![Scalar::I(10)]));
+        let p = r.profile.unwrap();
+        // body block (id 2) entered exactly 10 times
+        assert_eq!(p.block_counts[0][2], 10);
+        // head entered 11 times (10 iterations + final test)
+        assert_eq!(p.block_counts[0][1], 11);
+        // edge body->head has weight 10
+        assert_eq!(p.edge_count(FuncId(0), BlockId(2), BlockId(1)), 10);
+        assert!(p.total_cycles > 0);
+        assert_eq!(p.total_insts, r.steps);
+    }
+
+    #[test]
+    fn recursion_works_and_depth_is_limited() {
+        let m = fib_module();
         let r = run_module(&m, &ProgInput::scalars(vec![Scalar::I(12)]));
         assert!(r.exited());
         assert_eq!(r.output.items, vec![crate::value::OutputItem::I(144)]);
@@ -1186,5 +1392,144 @@ mod tests {
             r.termination,
             Termination::Trap(TrapKind::StreamOutOfBounds)
         );
+    }
+
+    // ---- checkpointing ----
+
+    #[test]
+    fn checkpointed_run_matches_plain_run() {
+        for (m, input) in [
+            (sum_module(), ProgInput::scalars(vec![Scalar::I(40)])),
+            (fib_module(), ProgInput::scalars(vec![Scalar::I(12)])),
+        ] {
+            let interp = Interp::new(&m, ExecConfig::default());
+            let plain = interp.run(&input);
+            let (ckpt, snaps) = interp.run_with_checkpoints(&input, 7);
+            assert_eq!(plain.termination, ckpt.termination);
+            assert_eq!(plain.output, ckpt.output);
+            assert_eq!(plain.steps, ckpt.steps);
+            assert!(!snaps.is_empty(), "run is long enough to snapshot");
+            assert!(
+                snaps.windows(2).all(|w| w[0].steps() < w[1].steps()),
+                "snapshots are strictly ordered by step"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_is_bit_identical_for_dynamic_faults() {
+        let m = fib_module();
+        let interp = Interp::new(&m, ExecConfig::default());
+        let input = ProgInput::scalars(vec![Scalar::I(11)]);
+        let (golden, snaps) = interp.run_with_checkpoints(&input, 13);
+        let store = CheckpointStore::new(snaps);
+        let pop = golden.steps; // upper bound on injectable execs
+        let stride = (pop as usize / 40).max(1);
+        for nth in (0..pop).step_by(stride) {
+            for bit in [0u32, 62] {
+                let fault = FaultSpec {
+                    target: FaultTarget::NthDynamic(nth),
+                    bit,
+                };
+                let cold = interp.run_with_fault(&input, fault);
+                if let Some(snap) = store.nearest_for_dynamic(nth) {
+                    let warm = interp.resume(snap, &input, fault);
+                    assert_eq!(cold.termination, warm.termination, "nth={nth} bit={bit}");
+                    assert_eq!(cold.output, warm.output, "nth={nth} bit={bit}");
+                    assert_eq!(cold.steps, warm.steps, "nth={nth} bit={bit}");
+                    assert_eq!(cold.fault_applied, warm.fault_applied);
+                    assert_eq!(cold.ret, warm.ret);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resume_is_bit_identical_for_per_inst_faults() {
+        // per-instruction targeting across call boundaries: the fib calls'
+        // return values count at the call's dense index. A flipped argument
+        // can blow fib up exponentially, so cap the hang budget (the cap
+        // applies identically to cold and resumed runs).
+        let m = fib_module();
+        let interp = Interp::new(
+            &m,
+            ExecConfig {
+                step_limit: 200_000,
+                ..ExecConfig::default()
+            },
+        );
+        let input = ProgInput::scalars(vec![Scalar::I(10)]);
+        let (_, snaps) = interp.run_with_checkpoints(&input, 9);
+        let store = CheckpointStore::new(snaps);
+        for f in 0..m.funcs.len() {
+            for i in 0..m.funcs[f].insts.len() {
+                let gid = GlobalInstId {
+                    func: FuncId(f as u32),
+                    inst: InstId(i as u32),
+                };
+                if !m.inst(gid).injectable() {
+                    continue;
+                }
+                let dense = interp.dense_index(gid);
+                for nth in [0u64, 3, 11] {
+                    let fault = FaultSpec {
+                        target: FaultTarget::NthOfInst(gid, nth),
+                        bit: 7,
+                    };
+                    let cold = interp.run_with_fault(&input, fault);
+                    if let Some(snap) = store.nearest_for_inst(dense, nth) {
+                        let warm = interp.resume(snap, &input, fault);
+                        assert_eq!(cold.termination, warm.termination, "gid={gid:?} nth={nth}");
+                        assert_eq!(cold.output, warm.output, "gid={gid:?} nth={nth}");
+                        assert_eq!(cold.steps, warm.steps, "gid={gid:?} nth={nth}");
+                        assert_eq!(cold.fault_applied, warm.fault_applied);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resume_with_reuses_scratch_state() {
+        let m = sum_module();
+        let interp = Interp::new(&m, ExecConfig::default());
+        let input = ProgInput::scalars(vec![Scalar::I(30)]);
+        let (_, snaps) = interp.run_with_checkpoints(&input, 11);
+        let store = CheckpointStore::new(snaps);
+        let mut scratch = MachineState::default();
+        // back-to-back resumes into the same scratch must stay independent
+        for nth in [5u64, 50, 20] {
+            let fault = FaultSpec {
+                target: FaultTarget::NthDynamic(nth),
+                bit: 4,
+            };
+            let cold = interp.run_with_fault(&input, fault);
+            if let Some(snap) = store.nearest_for_dynamic(nth) {
+                let warm = interp.resume_with(&mut scratch, snap, &input, fault);
+                assert_eq!(cold.termination, warm.termination);
+                assert_eq!(cold.output, warm.output);
+                assert_eq!(cold.steps, warm.steps);
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_snapshot_selection_is_safe() {
+        let m = fib_module();
+        let interp = Interp::new(&m, ExecConfig::default());
+        let input = ProgInput::scalars(vec![Scalar::I(10)]);
+        let (_, snaps) = interp.run_with_checkpoints(&input, 10);
+        let store = CheckpointStore::new(snaps);
+        // a snapshot chosen for nth must not have passed the event yet
+        for nth in 0..60u64 {
+            if let Some(s) = store.nearest_for_dynamic(nth) {
+                assert!(s.inj_ctr() <= nth);
+            }
+        }
+        // events before the first snapshot's counter have no safe snapshot
+        let first = store.snapshots().first().unwrap().inj_ctr();
+        if first > 0 {
+            assert!(store.nearest_for_dynamic(first - 1).is_none() || first == 0);
+        }
     }
 }

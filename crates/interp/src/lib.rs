@@ -18,14 +18,20 @@
 //!
 //! Determinism is total: same module + same input + same fault spec ⇒ same
 //! result, which is what lets fault-injection campaigns run embarrassingly
-//! parallel with no coordination.
+//! parallel with no coordination. Determinism is also what makes
+//! checkpointed fault injection sound: a golden run can capture
+//! [`Snapshot`]s of complete machine state, and a faulty run resumed from
+//! the nearest snapshot before its injection point is bit-identical to a
+//! from-scratch run (see [`snapshot`]).
 
 pub mod exec;
 pub mod fault;
 pub mod profile;
+pub mod snapshot;
 pub mod value;
 
-pub use exec::{ExecConfig, ExecResult, Interp, Termination, TraceEvent, TrapKind};
+pub use exec::{ExecConfig, ExecResult, Interp, MachineState, Termination, TraceEvent, TrapKind};
 pub use fault::{flip_bit, FaultSpec, FaultTarget};
 pub use profile::Profile;
+pub use snapshot::{auto_interval, CheckpointConfig, CheckpointStore, Snapshot};
 pub use value::{Output, OutputItem, ProgInput, Scalar, Stream, Value};

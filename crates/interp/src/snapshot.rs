@@ -1,0 +1,229 @@
+//! Golden-run checkpoints: snapshots of complete interpreter state that
+//! faulty runs can resume from.
+//!
+//! The interpreter is fully deterministic, and the fault model flips one
+//! bit at one dynamic injection point — so a faulty run is bit-identical
+//! to the golden run up to that point. A campaign therefore only needs to
+//! re-execute the *suffix* after the nearest snapshot at or before the
+//! injection site (FastFlip's incremental-FI observation). A [`Snapshot`]
+//! captures everything the machine carries forward:
+//!
+//! * the frame stack (function, block, position, registers, arguments,
+//!   stack-memory watermark),
+//! * heap and stack linear memory,
+//! * the output stream emitted so far,
+//! * the step counter,
+//! * the injection counters: the global injectable-execution counter and a
+//!   dense per-static-instruction vector of injectable-execution counts.
+//!
+//! The per-instruction counts matter because injection points are *value
+//! productions*, not instruction fetches: a `call`'s value materializes at
+//! return time, attributed to the call's dense index. Restoring
+//! `per_inst_ctr` from the dense count vector keeps `NthOfInst` targeting
+//! bit-identical even when a snapshot lands mid-call.
+//!
+//! What a snapshot does **not** contain: the [`Profile`](crate::Profile)
+//! and the trace (resumed runs re-profile only the suffix — campaigns run
+//! faulty executions unprofiled), and the program input (resume takes the
+//! same `&ProgInput`; the machine reads it lazily).
+
+use crate::exec::MachineState;
+use crate::value::Output;
+
+/// A point-in-time copy of complete interpreter state, captured between
+/// two instructions. Resuming from it is bit-identical to executing from
+/// scratch up to the same step.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub(crate) state: MachineState,
+    /// Per-static-instruction (dense module-wide index) count of injectable
+    /// value productions performed so far.
+    pub(crate) inj_counts: Vec<u64>,
+}
+
+impl Snapshot {
+    /// Dynamic instructions completed at capture time.
+    pub fn steps(&self) -> u64 {
+        self.state.steps
+    }
+
+    /// Global injectable-execution counter at capture time (the
+    /// `NthDynamic` fault population index).
+    pub fn inj_ctr(&self) -> u64 {
+        self.state.inj_ctr
+    }
+
+    /// Injectable value productions of the static instruction `dense` at
+    /// capture time (the `NthOfInst` population index).
+    pub fn inj_count_of(&self, dense: usize) -> u64 {
+        self.inj_counts[dense]
+    }
+
+    /// Output items emitted up to the capture point.
+    pub fn output(&self) -> &Output {
+        &self.state.output
+    }
+
+    /// Rough heap footprint, for memory budgeting.
+    pub fn approx_bytes(&self) -> usize {
+        self.state.approx_bytes() + self.inj_counts.len() * 8 + 64
+    }
+}
+
+/// Knobs for checkpoint capture during a golden run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Steps between snapshots (≥ 1).
+    pub interval: u64,
+    /// Total snapshot memory budget in bytes. When a capture exceeds it,
+    /// every other snapshot is dropped and the interval doubles, keeping
+    /// spacing even while halving the footprint.
+    pub mem_budget_bytes: usize,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            interval: 4096,
+            mem_budget_bytes: 256 << 20,
+        }
+    }
+}
+
+/// Accumulates snapshots during a checkpointed run. Lives in the
+/// interpreter loop; also maintains the live dense injection-count vector
+/// that each snapshot clones.
+pub(crate) struct CheckpointCollector {
+    interval: u64,
+    next_at: u64,
+    mem_budget_bytes: usize,
+    bytes: usize,
+    pub(crate) inj_counts: Vec<u64>,
+    snaps: Vec<Snapshot>,
+}
+
+impl CheckpointCollector {
+    pub(crate) fn new(cfg: CheckpointConfig, num_insts: usize) -> Self {
+        let interval = cfg.interval.max(1);
+        CheckpointCollector {
+            interval,
+            next_at: interval,
+            mem_budget_bytes: cfg.mem_budget_bytes,
+            bytes: 0,
+            inj_counts: vec![0; num_insts],
+            snaps: Vec::new(),
+        }
+    }
+
+    /// True when the machine has completed enough steps for the next
+    /// capture. Checked between instructions.
+    #[inline]
+    pub(crate) fn due(&self, steps: u64) -> bool {
+        steps >= self.next_at
+    }
+
+    pub(crate) fn capture(&mut self, st: &MachineState) {
+        let snap = Snapshot {
+            state: st.clone(),
+            inj_counts: self.inj_counts.clone(),
+        };
+        self.bytes += snap.approx_bytes();
+        self.snaps.push(snap);
+        self.next_at = st.steps + self.interval;
+        while self.bytes > self.mem_budget_bytes && self.snaps.len() > 1 {
+            self.thin();
+        }
+    }
+
+    /// Drop every other snapshot (keeping the later of each pair, so the
+    /// worst-case replay suffix stays ≤ the new interval) and double the
+    /// interval.
+    fn thin(&mut self) {
+        let mut keep = false;
+        self.snaps.retain(|_| {
+            keep = !keep;
+            !keep
+        });
+        self.interval = self.interval.saturating_mul(2);
+        self.bytes = self.snaps.iter().map(Snapshot::approx_bytes).sum();
+        self.next_at = self.snaps.last().map(|s| s.steps()).unwrap_or(0) + self.interval;
+    }
+
+    pub(crate) fn into_snapshots(self) -> Vec<Snapshot> {
+        self.snaps
+    }
+}
+
+/// An ordered set of snapshots from one golden run, with the lookups FI
+/// campaigns need: the latest snapshot whose injection counter has not yet
+/// passed a given fault index.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    snaps: Vec<Snapshot>,
+}
+
+impl CheckpointStore {
+    /// Build from the snapshots of [`Interp::run_with_checkpoints`]
+    /// (already in capture order).
+    ///
+    /// [`Interp::run_with_checkpoints`]: crate::Interp::run_with_checkpoints
+    pub fn new(snaps: Vec<Snapshot>) -> Self {
+        debug_assert!(snaps.windows(2).all(|w| w[0].steps() < w[1].steps()));
+        CheckpointStore { snaps }
+    }
+
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
+
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snaps
+    }
+
+    pub fn total_bytes(&self) -> usize {
+        self.snaps.iter().map(Snapshot::approx_bytes).sum()
+    }
+
+    /// Latest snapshot safe for a `NthDynamic(nth)` fault: the last one
+    /// whose global injection counter is still ≤ `nth` (the target event
+    /// has not yet happened at capture time).
+    pub fn nearest_for_dynamic(&self, nth: u64) -> Option<&Snapshot> {
+        let k = self.snaps.partition_point(|s| s.inj_ctr() <= nth);
+        k.checked_sub(1).map(|i| &self.snaps[i])
+    }
+
+    /// Latest snapshot safe for a `NthOfInst(dense, nth)` fault: the last
+    /// one where the target instruction's injection count is still ≤ `nth`.
+    pub fn nearest_for_inst(&self, dense: usize, nth: u64) -> Option<&Snapshot> {
+        let k = self.snaps.partition_point(|s| s.inj_count_of(dense) <= nth);
+        k.checked_sub(1).map(|i| &self.snaps[i])
+    }
+}
+
+/// Auto-tuned capture interval for a golden run of `golden_steps` dynamic
+/// instructions: ~sqrt(steps) (balancing snapshot count against mean replay
+/// suffix), floored so at most `max_snapshots` are captured.
+pub fn auto_interval(golden_steps: u64, max_snapshots: u64) -> u64 {
+    let sqrt = (golden_steps as f64).sqrt().ceil() as u64;
+    let floor = golden_steps / max_snapshots.max(1) + 1;
+    sqrt.max(floor).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_interval_is_sqrt_like_and_capped() {
+        assert_eq!(auto_interval(0, 512), 1);
+        assert_eq!(auto_interval(100, 512), 10);
+        let i = auto_interval(1_000_000, 512);
+        // sqrt(1e6) = 1000 snapshots would exceed the 512 cap -> floor wins
+        assert!(i >= 1_000_000 / 512);
+        assert!(1_000_000 / i <= 512);
+    }
+}

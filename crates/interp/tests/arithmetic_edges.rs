@@ -75,11 +75,7 @@ fn float_division_by_zero_is_ieee_not_a_trap() {
 fn float_to_int_cast_saturates() {
     let r = run(
         "fn main() { out_i(int(arg_f(0))); out_i(int(arg_f(1))); out_i(int(arg_f(2))); }",
-        vec![
-            Scalar::F(1e300),
-            Scalar::F(-1e300),
-            Scalar::F(f64::NAN),
-        ],
+        vec![Scalar::F(1e300), Scalar::F(-1e300), Scalar::F(f64::NAN)],
     );
     assert!(r.exited());
     assert_eq!(out_ints(&r), vec![i64::MAX, i64::MIN, 0]);

@@ -1,0 +1,139 @@
+//! Property tests for checkpoint/resume (the soundness argument behind
+//! checkpointed fault injection): for *random* minic programs and random
+//! (checkpoint interval, fault spec) pairs, resuming from any snapshot
+//! whose injection counter has not yet reached the fault must be
+//! bit-identical to injecting into a from-scratch run.
+
+use minpsid_interp::{ExecConfig, FaultSpec, FaultTarget, Interp, ProgInput, Scalar};
+use proptest::prelude::*;
+
+/// Build a random minic program from a vector of statement codes. The
+/// grammar is tiny but exercises every structure a snapshot must capture:
+/// loops, branches, array stores (linear memory), recursion (frame stack
+/// and stack memory), and the output stream.
+fn gen_source(stmts: &[(u8, u8)]) -> String {
+    let mut body = String::new();
+    for (idx, &(op, k)) in stmts.iter().enumerate() {
+        let k = k as i64;
+        let s = match op % 6 {
+            0 => format!("    acc = acc + (a + {k}) * {};\n", idx + 1),
+            1 => format!("    acc = acc - b / {};\n", k + 1),
+            2 => format!(
+                "    if acc % {} == 0 {{ acc = acc * 3 + 1; }} else {{ acc = acc + b; }}\n",
+                k + 2
+            ),
+            3 => format!(
+                "    for i = 0 to {} {{ acc = acc + i * a; buf[i % 8] = acc; }}\n",
+                k % 13 + 1
+            ),
+            4 => format!("    acc = acc + rec(a % {} + 1);\n", k % 7 + 2),
+            _ => format!("    out_i(acc % {});\n", k + 10),
+        };
+        body.push_str(&s);
+    }
+    format!(
+        r#"
+fn rec(x: int) -> int {{
+    if x <= 1 {{ return 1; }}
+    return rec(x - 1) + x;
+}}
+
+fn main() {{
+    let a = arg_i(0);
+    let b = arg_i(1);
+    let buf: [int] = alloc(8);
+    for i = 0 to 8 {{ buf[i] = i; }}
+    let acc = 7;
+{body}    for i = 0 to 8 {{ out_i(buf[i]); }}
+    out_i(acc);
+}}
+"#
+    )
+}
+
+/// Faulty runs can diverge into unbounded recursion; cap both the cold
+/// and the resumed run identically so bit-identity is preserved.
+fn exec() -> ExecConfig {
+    ExecConfig {
+        step_limit: 300_000,
+        ..ExecConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// `resume(snapshot, fault)` on every snapshot eligible for a random
+    /// dynamic-index fault matches `run_with_fault` bit for bit.
+    #[test]
+    fn resume_matches_cold_run_for_dynamic_faults(
+        stmts in proptest::collection::vec((0u8..6, 0u8..20), 1..8),
+        a in 0i64..30,
+        b in -10i64..30,
+        interval_raw in 1u64..400,
+        nth_raw in 0u64..10_000,
+        bit in 0u32..64,
+    ) {
+        let m = minic::compile(&gen_source(&stmts), "prop-ckpt").unwrap();
+        let input = ProgInput::scalars(vec![Scalar::I(a), Scalar::I(b)]);
+        let interp = Interp::new(&m, exec());
+        let golden = interp.run(&input);
+        prop_assume!(golden.exited());
+
+        let interval = 1 + interval_raw % golden.steps.max(1);
+        let (gold2, snaps) = interp.run_with_checkpoints(&input, interval);
+        prop_assert_eq!(&golden.output, &gold2.output);
+        prop_assert_eq!(golden.steps, gold2.steps);
+        prop_assert!(!snaps.is_empty(), "interval <= steps yields snapshots");
+
+        let nth = nth_raw % golden.steps;
+        let fault = FaultSpec { target: FaultTarget::NthDynamic(nth), bit };
+        let cold = interp.run_with_fault(&input, fault);
+
+        for snap in snaps.iter().filter(|s| s.inj_ctr() <= nth) {
+            let warm = interp.resume(snap, &input, fault);
+            prop_assert_eq!(&warm.termination, &cold.termination);
+            prop_assert_eq!(&warm.output, &cold.output);
+            prop_assert_eq!(warm.steps, cold.steps);
+            prop_assert_eq!(warm.fault_applied, cold.fault_applied);
+            prop_assert_eq!(&warm.ret, &cold.ret);
+        }
+    }
+
+    /// Same property for per-static-instruction faults, which restore the
+    /// per-instruction injection counter from the snapshot.
+    #[test]
+    fn resume_matches_cold_run_for_per_inst_faults(
+        stmts in proptest::collection::vec((0u8..6, 0u8..20), 1..8),
+        a in 0i64..30,
+        b in -10i64..30,
+        interval_raw in 1u64..400,
+        dense_raw in 0usize..10_000,
+        nth in 0u64..20,
+        bit in 0u32..64,
+    ) {
+        let m = minic::compile(&gen_source(&stmts), "prop-ckpt").unwrap();
+        let input = ProgInput::scalars(vec![Scalar::I(a), Scalar::I(b)]);
+        let interp = Interp::new(&m, exec());
+        let golden = interp.run(&input);
+        prop_assume!(golden.exited());
+
+        let interval = 1 + interval_raw % golden.steps.max(1);
+        let (_, snaps) = interp.run_with_checkpoints(&input, interval);
+
+        let numbering = m.numbering();
+        let dense = dense_raw % m.num_insts();
+        let gid = numbering.id_of(dense);
+        let fault = FaultSpec { target: FaultTarget::NthOfInst(gid, nth), bit };
+        let cold = interp.run_with_fault(&input, fault);
+
+        for snap in snaps.iter().filter(|s| s.inj_count_of(dense) <= nth) {
+            let warm = interp.resume(snap, &input, fault);
+            prop_assert_eq!(&warm.termination, &cold.termination);
+            prop_assert_eq!(&warm.output, &cold.output);
+            prop_assert_eq!(warm.steps, cold.steps);
+            prop_assert_eq!(warm.fault_applied, cold.fault_applied);
+            prop_assert_eq!(&warm.ret, &cold.ret);
+        }
+    }
+}

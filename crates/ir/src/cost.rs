@@ -9,10 +9,9 @@
 
 use crate::inst::{BinOp, InstKind, UnOp};
 use crate::types::Ty;
-use serde::{Deserialize, Serialize};
 
 /// Configurable per-opcode cycle latencies.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CostModel {
     pub int_alu: u64,
     pub int_mul: u64,

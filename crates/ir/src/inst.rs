@@ -8,11 +8,10 @@
 
 use crate::module::{BlockId, FuncId};
 use crate::types::Ty;
-use serde::{Deserialize, Serialize};
 
 /// Index of an instruction inside its function's instruction arena.
 /// The result value of instruction `i` is referenced as `Operand::Value(i)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct InstId(pub u32);
 
 impl InstId {
@@ -25,7 +24,7 @@ impl InstId {
 ///
 /// Immediates mirror LLVM constant operands — they are not instructions,
 /// so they are not fault-injection targets.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Operand {
     /// Result of another instruction in the same function.
     Value(InstId),
@@ -64,7 +63,7 @@ impl From<bool> for Operand {
 /// Binary arithmetic / bitwise operations. The operand type (recorded on
 /// the instruction) selects integer or floating-point semantics; the
 /// verifier restricts bitwise/shift ops to `i64`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     Add,
     Sub,
@@ -92,7 +91,7 @@ impl BinOp {
 
 /// Unary operations, including the math intrinsics the HPC workloads need
 /// (FFT: sin/cos; Kmeans/kNN: sqrt; Backprop: exp; XSBench: log).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnOp {
     Neg,
     /// Logical not (Bool) / bitwise not (I64).
@@ -117,7 +116,7 @@ impl UnOp {
 }
 
 /// Comparison predicates; the result type is always `Bool`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     Eq,
     Ne,
@@ -139,7 +138,7 @@ pub enum CmpOp {
 /// `Check` is only created by the SID transform: it raises a `Detected`
 /// event when its operands differ, modelling the comparison between an
 /// instruction and its duplicate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum InstKind {
     /// `n`-th parameter of the enclosing function.
     Param {
@@ -386,7 +385,7 @@ impl InstKind {
 /// An instruction: a kind plus its (optional) result type and an optional
 /// source-level name kept for diagnostics (LLVM IR keeps variable names for
 /// the same reason — fine-grained source mapping, paper §II-B).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Inst {
     pub kind: InstKind,
     /// Result type; `None` for void instructions (stores, output, branches…).

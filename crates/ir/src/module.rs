@@ -2,10 +2,9 @@
 
 use crate::inst::{Inst, InstId, InstKind};
 use crate::types::Ty;
-use serde::{Deserialize, Serialize};
 
 /// Index of a function within a [`Module`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FuncId(pub u32);
 
 impl FuncId {
@@ -15,7 +14,7 @@ impl FuncId {
 }
 
 /// Index of a basic block within a [`Function`]. Block 0 is the entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId(pub u32);
 
 impl BlockId {
@@ -27,7 +26,7 @@ impl BlockId {
 /// Module-wide identity of a static instruction. Every profile in the
 /// pipeline (dynamic counts, cycles, SDC probability, benefit/cost, the
 /// incubative-instruction set) is keyed by this.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GlobalInstId {
     pub func: FuncId,
     pub inst: InstId,
@@ -35,7 +34,7 @@ pub struct GlobalInstId {
 
 /// A basic block: a sequence of instruction ids whose last element is the
 /// unique terminator.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Block {
     pub insts: Vec<InstId>,
     /// Optional label for printing.
@@ -51,7 +50,7 @@ impl Block {
 
 /// A function: parameter types, optional return type, an instruction arena,
 /// and the basic blocks indexing into it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     pub name: String,
     pub params: Vec<Ty>,
@@ -117,7 +116,7 @@ impl Function {
 }
 
 /// A whole program: functions plus the entry point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Module {
     pub name: String,
     pub funcs: Vec<Function>,

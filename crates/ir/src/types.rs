@@ -1,6 +1,5 @@
 //! Scalar types of the IR.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The scalar types a value in the IR can have.
@@ -8,7 +7,7 @@ use std::fmt;
 /// `Ptr` values are opaque base offsets into the execution's linear memory;
 /// element access always goes through `Load`/`Store` with an explicit `I64`
 /// index, so pointer arithmetic never mixes with data arithmetic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Ty {
     /// 64-bit signed integer.
     I64,

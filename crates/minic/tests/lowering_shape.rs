@@ -25,10 +25,7 @@ fn for_loop_lowers_to_four_block_skeleton() {
     let f = m.func(m.entry);
     let cfg = Cfg::build(f);
     assert_eq!(cfg.succs(minpsid_ir::BlockId(1)).len(), 2);
-    assert_eq!(
-        cfg.succs(minpsid_ir::BlockId(3)),
-        &[minpsid_ir::BlockId(1)]
-    );
+    assert_eq!(cfg.succs(minpsid_ir::BlockId(3)), &[minpsid_ir::BlockId(1)]);
     // the back edge is detected as a natural loop of header+body+latch
     let dom = DomTree::build(&cfg);
     let back = dom.back_edges(&cfg);
@@ -77,8 +74,11 @@ fn early_return_branches_skip_the_join() {
 
 #[test]
 fn short_circuit_creates_three_extra_blocks_per_operator() {
-    let one = compile("fn main() { let x = arg_i(0); if x > 0 && x < 10 { out_i(1); } }", "t")
-        .unwrap();
+    let one = compile(
+        "fn main() { let x = arg_i(0); if x > 0 && x < 10 { out_i(1); } }",
+        "t",
+    )
+    .unwrap();
     let names = blocks_of(&one);
     for expected in ["sc.rhs", "sc.skip", "sc.join"] {
         assert!(
@@ -108,11 +108,7 @@ fn immutable_lets_use_no_memory_traffic() {
 
 #[test]
 fn mutable_variables_get_frame_slots() {
-    let m = compile(
-        "fn main() { let a = 0; a = a + 1; out_i(a); }",
-        "t",
-    )
-    .unwrap();
+    let m = compile("fn main() { let a = 0; a = a + 1; out_i(a); }", "t").unwrap();
     let f = m.func(m.entry);
     let stores = f
         .insts

@@ -122,8 +122,8 @@ mod tests {
         depth[src] = 0;
         queue.push_back(src);
         while let Some(u) = queue.pop_front() {
-            for e in offsets[u] as usize..offsets[u + 1] as usize {
-                let v = edges[e] as usize;
+            for &edge in &edges[offsets[u] as usize..offsets[u + 1] as usize] {
+                let v = edge as usize;
                 if depth[v] < 0 {
                     depth[v] = depth[u] + 1;
                     queue.push_back(v);

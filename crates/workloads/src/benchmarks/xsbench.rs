@@ -137,7 +137,7 @@ mod tests {
         for &e in lookups {
             if e < eres {
                 resonant += 1;
-                acc = acc + (1.0 + e).ln() * 0.5;
+                acc += (1.0 + e).ln() * 0.5;
             }
             let mut lo = 0usize;
             let mut hi = grid.len() - 1;

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, the full workspace test suite, and a smoke
+# run of the headline experiment binary.
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test (workspace)"
+cargo test -q --workspace --offline
+
+echo "== fig2 smoke (--preset tiny)"
+cargo run --release --offline -q -p minpsid-bench --bin fig2_baseline_loss -- \
+  --preset tiny --bench pathfinder --seed 42 >/dev/null
+
+echo "CI OK"

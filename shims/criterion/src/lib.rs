@@ -1,0 +1,266 @@
+//! Vendored stand-in for the `criterion` crate (offline build). Implements
+//! the `Criterion` / `BenchmarkGroup` / `Bencher` surface this workspace
+//! uses, with a plain wall-clock measurement loop: warm up, pick a batch
+//! size, time `sample_size` batches, report median/mean per-iteration time
+//! and optional throughput to stdout.
+//!
+//! No statistical regression analysis, plots, or baselines — these are
+//! wall-clock guards, and the numbers are comparable across runs on the
+//! same host.
+
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub mod measurement {
+    /// Marker for wall-clock measurement (the only mode implemented).
+    pub struct WallTime;
+}
+
+/// Per-iteration timing summary of one benchmark, in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    pub median_ns: f64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    pub samples: usize,
+    pub batch: u64,
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            throughput: None,
+            _parent: PhantomData,
+            _mode: PhantomData,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _parent: PhantomData<&'a mut Criterion>,
+    _mode: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            summary: None,
+        };
+        f(&mut bencher);
+        match bencher.summary {
+            Some(s) => report(&self.name, id, &s, self.throughput),
+            None => eprintln!(
+                "warning: bench {}/{id} never called Bencher::iter",
+                self.name
+            ),
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, s: &Summary, throughput: Option<Throughput>) {
+    let time = format!(
+        "time: [{} .. {} .. {}]",
+        fmt_ns(s.min_ns),
+        fmt_ns(s.median_ns),
+        fmt_ns(s.max_ns)
+    );
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) if s.median_ns > 0.0 => {
+            format!(
+                "  thrpt: {}",
+                fmt_rate(n as f64 * 1e9 / s.median_ns, "elem/s")
+            )
+        }
+        Some(Throughput::Bytes(n)) if s.median_ns > 0.0 => {
+            format!("  thrpt: {}", fmt_rate(n as f64 * 1e9 / s.median_ns, "B/s"))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {group}/{id}  {time}{thrpt}  ({} samples x {} iters)",
+        s.samples, s.batch
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn fmt_rate(per_s: f64, unit: &str) -> String {
+    if per_s >= 1e9 {
+        format!("{:.3} G{unit}", per_s / 1e9)
+    } else if per_s >= 1e6 {
+        format!("{:.3} M{unit}", per_s / 1e6)
+    } else if per_s >= 1e3 {
+        format!("{:.3} K{unit}", per_s / 1e3)
+    } else {
+        format!("{per_s:.1} {unit}")
+    }
+}
+
+/// Passed to the closure given to `bench_function`; `iter` runs the
+/// measurement loop.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    summary: Option<Summary>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses, estimating the
+        // per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Batch size so that sample_size batches fill the measurement budget.
+        let per_sample_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((per_sample_ns / est_ns) as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.summary = Some(Summary {
+            median_ns: samples[samples.len() / 2],
+            mean_ns: mean,
+            min_ns: samples[0],
+            max_ns: *samples.last().unwrap(),
+            samples: samples.len(),
+            batch,
+        });
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench` (and optional filters); this
+            // harness runs everything regardless.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn harness_runs_and_reports() {
+        benches();
+    }
+}
