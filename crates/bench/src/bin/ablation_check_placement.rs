@@ -67,4 +67,5 @@ fn main() {
             );
         }
     }
+    minpsid_bench::finish_trace();
 }

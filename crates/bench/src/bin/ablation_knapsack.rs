@@ -61,4 +61,5 @@ fn main() {
             }
         }
     }
+    minpsid_bench::finish_trace();
 }

@@ -77,4 +77,5 @@ fn main() {
             );
         }
     }
+    minpsid_bench::finish_trace();
 }

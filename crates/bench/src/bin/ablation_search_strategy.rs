@@ -56,4 +56,5 @@ fn main() {
     for (si, (label, _)) in strategies.iter().enumerate() {
         println!("total incubative found by {label}: {}", totals[si]);
     }
+    minpsid_bench::finish_trace();
 }

@@ -96,4 +96,5 @@ fn main() {
         avg[1] / n * 100.0,
         avg[2] / n * 100.0
     );
+    minpsid_bench::finish_trace();
 }

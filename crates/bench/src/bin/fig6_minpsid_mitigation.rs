@@ -147,4 +147,5 @@ fn main() {
             m * 100.0
         );
     }
+    minpsid_bench::finish_trace();
 }

@@ -98,6 +98,7 @@ fn main() {
             );
         }
     }
+    minpsid_bench::finish_trace();
 }
 
 /// Pad a cumulative history to `len` (carrying the last value) and

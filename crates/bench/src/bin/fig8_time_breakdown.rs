@@ -64,4 +64,5 @@ fn main() {
              search 33.41 min, total 63.71 min average)"
         );
     }
+    minpsid_bench::finish_trace();
 }

@@ -46,6 +46,7 @@ fn main() {
         &campaign,
         eps,
     );
+    minpsid_bench::finish_trace();
 }
 
 fn run_case(

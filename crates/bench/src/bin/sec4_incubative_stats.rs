@@ -90,4 +90,5 @@ fn main() {
             explained.iter().sum::<f64>() / explained.len() as f64 * 100.0
         );
     }
+    minpsid_bench::finish_trace();
 }

@@ -58,4 +58,5 @@ fn main() {
     }
     println!();
     println!("(paper: baseline loss 7.52/12.13/6.00%, MINPSID 2.50/5.50/1.46% at 1/2/4 threads)");
+    minpsid_bench::finish_trace();
 }

@@ -86,6 +86,7 @@ fn main() {
         }
         println!("(paper baseline: 15.61 / 28.63 / 46.31% actual at 30 / 50 / 70% targets)");
     }
+    minpsid_bench::finish_trace();
 }
 
 /// Mean dynamic duplicate fraction of a protected binary over `n` random

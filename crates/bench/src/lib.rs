@@ -25,4 +25,4 @@ pub use experiment::{
     eval_coverage_over_fixed, eval_coverage_over_inputs, prepared_baseline, prepared_minpsid,
     protect_at_level, CoverageRow, Prepared,
 };
-pub use preset::{parse_args, ExperimentArgs, Preset};
+pub use preset::{finish_trace, parse_args, ExperimentArgs, Preset};

@@ -119,6 +119,8 @@ pub struct ExperimentArgs {
     pub seed: u64,
     /// Restrict to one benchmark by name.
     pub bench: Option<String>,
+    /// Write a structured JSONL trace of the experiment here.
+    pub trace_out: Option<String>,
 }
 
 impl Default for ExperimentArgs {
@@ -127,12 +129,16 @@ impl Default for ExperimentArgs {
             preset: Preset::Tiny,
             seed: 42,
             bench: None,
+            trace_out: None,
         }
     }
 }
 
-/// Parse `--preset`, `--seed`, `--bench` from an iterator of arguments.
-/// Unknown flags abort with a usage message.
+/// Parse `--preset`, `--seed`, `--bench`, `--trace-out` from an iterator
+/// of arguments. Unknown flags abort with a usage message. `--trace-out`
+/// also initializes the global trace sink, so every experiment binary gets
+/// structured tracing without its own plumbing; binaries must end `main`
+/// with [`finish_trace`] or buffered tail events are lost.
 pub fn parse_args(args: impl Iterator<Item = String>) -> ExperimentArgs {
     let mut out = ExperimentArgs::default();
     let mut it = args.peekable();
@@ -152,10 +158,27 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> ExperimentArgs {
                 out.seed = v.parse().unwrap_or_else(|_| panic!("bad seed `{v}`"));
             }
             "--bench" => out.bench = Some(value("--bench")),
-            other => panic!("unknown flag `{other}` (expected --preset/--seed/--bench)"),
+            "--trace-out" => {
+                let path = value("--trace-out");
+                minpsid_trace::init_file(&path)
+                    .unwrap_or_else(|e| panic!("cannot open trace file `{path}`: {e}"));
+                out.trace_out = Some(path);
+            }
+            other => {
+                panic!("unknown flag `{other}` (expected --preset/--seed/--bench/--trace-out)")
+            }
         }
     }
     out
+}
+
+/// Finish an experiment: emit `trace_end` and close the trace sink. Call
+/// at the end of each experiment binary's `main`; a no-op without
+/// `--trace-out`.
+pub fn finish_trace() {
+    if let Err(e) = minpsid_trace::shutdown() {
+        eprintln!("warning: writing trace log: {e}");
+    }
 }
 
 #[cfg(test)]

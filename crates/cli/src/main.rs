@@ -12,13 +12,34 @@
 //! Benchmarks come from `minpsid-workloads`; `compile` also accepts a path
 //! to a `.mc` (minic) source file.
 
-use minpsid::{run_minpsid, MinpsidConfig};
+use minpsid::{run_minpsid_cached, GoldenCache, MinpsidConfig};
 use minpsid_faultsim::{golden_run, program_campaign, CampaignConfig, CheckpointPolicy};
 use minpsid_interp::{ExecConfig, Interp, ProgInput, Scalar};
 use minpsid_ir::printer::print_module;
 use minpsid_ir::Module;
 use minpsid_sid::{run_sid, SidConfig};
+use minpsid_trace as trace;
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by `--quiet`: suppresses the CLI's stderr diagnostics (primary
+/// results on stdout are unaffected).
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+fn quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
+
+/// All CLI stderr diagnostics go through here so `--quiet` silences them
+/// in one place.
+macro_rules! diag {
+    ($($arg:tt)*) => {
+        if !crate::quiet() {
+            eprintln!($($arg)*);
+        }
+    };
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +48,18 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
+    if rest.iter().any(|a| a == "--quiet") {
+        QUIET.store(true, Ordering::Relaxed);
+    }
+    if let Some(path) = flag_value(rest, "--trace-out") {
+        if let Err(e) = trace::init_file(&path) {
+            eprintln!("error: cannot open trace file `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if rest.iter().any(|a| a == "--progress") {
+        install_progress_meter();
+    }
     let result = match cmd.as_str() {
         "list" => cmd_list(),
         "compile" => cmd_compile(rest),
@@ -37,19 +70,74 @@ fn main() -> ExitCode {
         "propagate" => cmd_propagate(rest),
         "sid" => cmd_sid(rest),
         "minpsid" => cmd_minpsid(rest),
+        "trace" => cmd_trace(rest),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
     };
+    let result =
+        result.and_then(|()| trace::shutdown().map_err(|e| format!("writing trace log: {e}")));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
+            let _ = trace::shutdown();
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Install a single-line live campaign meter (`--progress`): an observer
+/// that redraws on every `campaign_progress` sample and clears the line
+/// when the campaign ends. Works with or without `--trace-out`.
+fn install_progress_meter() {
+    trace::add_observer(|ev| {
+        let mut err = std::io::stderr().lock();
+        match &ev.event {
+            trace::Event::CampaignProgress {
+                kind,
+                done,
+                total,
+                counts,
+                elapsed_us,
+            } => {
+                let secs = (*elapsed_us as f64 / 1e6).max(1e-9);
+                let rate = *done as f64 / secs;
+                let eta = if rate > 0.0 && total > done {
+                    (*total - *done) as f64 / rate
+                } else {
+                    0.0
+                };
+                let kind = match kind {
+                    trace::CampaignKind::Program => "fi",
+                    trace::CampaignKind::PerInst => "per-inst fi",
+                };
+                let _ = write!(
+                    err,
+                    "\r{kind}: {done}/{total} injections ({rate:.0}/s, ETA {eta:.1}s) \
+                     sdc {} crash {} hang {} detected {}   ",
+                    counts.sdc, counts.crash, counts.hang, counts.detected
+                );
+                let _ = err.flush();
+            }
+            trace::Event::CampaignEnd {
+                injections,
+                elapsed_us,
+                ..
+            } => {
+                let secs = (*elapsed_us as f64 / 1e6).max(1e-9);
+                let _ = write!(err, "\r\x1b[2K");
+                let _ = writeln!(
+                    err,
+                    "campaign done: {injections} injections in {secs:.2}s ({:.0}/s)",
+                    *injections as f64 / secs
+                );
+            }
+            _ => {}
+        }
+    });
 }
 
 fn usage() {
@@ -65,13 +153,21 @@ usage:
   minpsid cfg <bench> [--fn NAME]        # weighted CFG as Graphviz DOT
   minpsid propagate <bench> [--nth K] [--bit B]
   minpsid sid <bench> [--level 0.5] [--seed S]
-  minpsid minpsid <bench> [--level 0.5] [--seed S]
+  minpsid minpsid <bench> [--level 0.5] [--seed S] [--json]
+  minpsid trace report <log.jsonl> [-o out/]   # analyze a trace log
+  minpsid trace check <log.jsonl>              # validate a trace log
 
 FI campaign options (fi/analyze/sid/minpsid):
   --checkpoint-interval N   snapshot the golden run every N dynamic
                             instructions (default: auto, ~sqrt of steps)
   --no-checkpoints          disable checkpointing; replay every injection
-                            from scratch"
+                            from scratch
+
+global options:
+  --trace-out PATH          write a structured JSONL trace of the run
+                            (analyze with `minpsid trace report`)
+  --progress                live single-line campaign meter on stderr
+  --quiet                   suppress stderr diagnostics"
     );
 }
 
@@ -163,7 +259,7 @@ fn cmd_compile(rest: &[String]) -> Result<(), String> {
     let mut module = load_module(name)?;
     if rest.iter().any(|a| a == "--opt") {
         let removed = minpsid_ir::opt::optimize(&mut module);
-        eprintln!("; optimizer removed {removed} instructions");
+        diag!("; optimizer removed {removed} instructions");
     }
     print!("{}", print_module(&module));
     println!(
@@ -211,9 +307,10 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
     for item in &r.output.items {
         println!("{item}");
     }
-    eprintln!(
+    diag!(
         "terminated: {:?}, {} dynamic instructions",
-        r.termination, r.steps
+        r.termination,
+        r.steps
     );
     Ok(())
 }
@@ -377,31 +474,145 @@ fn cmd_minpsid(rest: &[String]) -> Result<(), String> {
         campaign: parse_campaign(rest)?,
         ..MinpsidConfig::default()
     };
-    let r = run_minpsid(&module, b.model.as_ref(), &cfg)
+    let cache = GoldenCache::new();
+    let r = run_minpsid_cached(&module, b.model.as_ref(), &cfg, &cache)
         .map_err(|t| format!("MINPSID failed: {t:?}"))?;
-    println!(
-        "benchmark: {} ({} static instructions)",
-        b.name,
-        module.num_insts()
-    );
-    println!("protection level: {:.0}%", cfg.protection_level * 100.0);
-    println!("inputs searched: {}", r.inputs_searched);
-    println!(
-        "incubative instructions: {} ({:.2}% of static instructions)",
-        r.incubative.len(),
-        r.incubative.len() as f64 / module.num_insts() as f64 * 100.0
-    );
-    println!(
-        "expected SDC coverage (conservative): {:.2}%",
-        r.expected_coverage * 100.0
-    );
-    println!(
-        "time: ref FI {:.2}s, incubative FI {:.2}s, search {:.2}s",
-        r.timings.ref_fi.as_secs_f64(),
-        r.timings.incubative_fi.as_secs_f64(),
-        r.timings.search.as_secs_f64()
-    );
+
+    if rest.iter().any(|a| a == "--json") {
+        println!("{}", minpsid_json(name, &module, &cfg, &r, &cache).render());
+    } else {
+        println!(
+            "benchmark: {} ({} static instructions)",
+            b.name,
+            module.num_insts()
+        );
+        println!("protection level: {:.0}%", cfg.protection_level * 100.0);
+        println!("inputs searched: {}", r.inputs_searched);
+        println!(
+            "incubative instructions: {} ({:.2}% of static instructions)",
+            r.incubative.len(),
+            r.incubative.len() as f64 / module.num_insts() as f64 * 100.0
+        );
+        println!(
+            "expected SDC coverage (conservative): {:.2}%",
+            r.expected_coverage * 100.0
+        );
+    }
+    print_run_telemetry(&r.timings, &cache);
     Ok(())
+}
+
+/// End-of-run telemetry (satellite of the tracing layer): the Fig. 8 time
+/// breakdown plus golden-cache effectiveness, as a small stderr table so
+/// stdout stays parseable.
+fn print_run_telemetry(t: &minpsid::Timings, cache: &GoldenCache) {
+    let total = t.total().as_secs_f64().max(1e-9);
+    let row = |name: &str, d: std::time::Duration| {
+        diag!(
+            "  {:<14} {:>8.2}s {:>5.1}%",
+            name,
+            d.as_secs_f64(),
+            d.as_secs_f64() / total * 100.0
+        );
+    };
+    diag!("-- run telemetry --");
+    row("ref FI", t.ref_fi);
+    row("incubative FI", t.incubative_fi);
+    row("input search", t.search);
+    row("select+xform", t.other);
+    row("total", t.total());
+    let lookups = cache.hits() + cache.misses();
+    if lookups > 0 {
+        diag!(
+            "  golden cache   {} hits / {} misses ({:.0}% hit rate, {} entries)",
+            cache.hits(),
+            cache.misses(),
+            cache.hits() as f64 / lookups as f64 * 100.0,
+            cache.len()
+        );
+    }
+}
+
+/// Machine-readable `minpsid --json` summary (uses the trace crate's JSON
+/// values so numbers round-trip exactly).
+fn minpsid_json(
+    name: &str,
+    module: &Module,
+    cfg: &MinpsidConfig,
+    r: &minpsid::MinpsidResult,
+    cache: &GoldenCache,
+) -> trace::json::Json {
+    use trace::json::Json;
+    let mut timings = Json::obj();
+    timings.set("ref_fi_s", Json::F64(r.timings.ref_fi.as_secs_f64()));
+    timings.set(
+        "incubative_fi_s",
+        Json::F64(r.timings.incubative_fi.as_secs_f64()),
+    );
+    timings.set("search_s", Json::F64(r.timings.search.as_secs_f64()));
+    timings.set("other_s", Json::F64(r.timings.other.as_secs_f64()));
+    timings.set("total_s", Json::F64(r.timings.total().as_secs_f64()));
+    let mut cache_obj = Json::obj();
+    cache_obj.set("hits", Json::U64(cache.hits()));
+    cache_obj.set("misses", Json::U64(cache.misses()));
+    cache_obj.set("entries", Json::U64(cache.len() as u64));
+    let mut o = Json::obj();
+    o.set("benchmark", Json::Str(name.to_string()));
+    o.set("static_insts", Json::U64(module.num_insts() as u64));
+    o.set("protection_level", Json::F64(cfg.protection_level));
+    o.set("inputs_searched", Json::U64(r.inputs_searched as u64));
+    o.set("incubative", Json::U64(r.incubative.len() as u64));
+    o.set("expected_coverage", Json::F64(r.expected_coverage));
+    o.set("timings", timings);
+    o.set("golden_cache", cache_obj);
+    o
+}
+
+/// `minpsid trace <report|check> <log> [-o out/]` — the offline analyzer.
+fn cmd_trace(rest: &[String]) -> Result<(), String> {
+    let sub = rest
+        .first()
+        .map(|s| s.as_str())
+        .ok_or("missing trace subcommand (report|check)")?;
+    let log_path = rest
+        .get(1)
+        .map(|s| s.as_str())
+        .filter(|s| !s.starts_with('-'))
+        .ok_or("missing trace log path")?;
+    let text = std::fs::read_to_string(log_path).map_err(|e| format!("reading {log_path}: {e}"))?;
+    let events = trace::parse_log(&text)
+        .map_err(|(line, e)| format!("{log_path}:{line}: invalid trace line: {e}"))?;
+    match sub {
+        "check" => {
+            println!("{log_path}: {} events, schema ok", events.len());
+            Ok(())
+        }
+        "report" => {
+            let summary = trace::summarize(&events);
+            let md = trace::render_markdown(&summary);
+            match flag_value(rest, "-o").or_else(|| flag_value(rest, "--out")) {
+                None => {
+                    print!("{md}");
+                }
+                Some(dir) => {
+                    let dir = std::path::Path::new(&dir);
+                    std::fs::create_dir_all(dir)
+                        .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+                    let md_path = dir.join("trace_report.md");
+                    let html_path = dir.join("trace_report.html");
+                    std::fs::write(&md_path, &md)
+                        .map_err(|e| format!("writing {}: {e}", md_path.display()))?;
+                    std::fs::write(&html_path, trace::render_html(&summary))
+                        .map_err(|e| format!("writing {}: {e}", html_path.display()))?;
+                    diag!("wrote {} and {}", md_path.display(), html_path.display());
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown trace subcommand `{other}` (want report|check)"
+        )),
+    }
 }
 
 #[cfg(test)]

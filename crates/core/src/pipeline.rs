@@ -11,6 +11,7 @@ use minpsid_ir::Module;
 use minpsid_sid::knapsack::Selection;
 use minpsid_sid::transform::TransformMeta;
 use minpsid_sid::{select_and_protect, CostBenefit, SidConfig, SidResult};
+use minpsid_trace as trace;
 use std::time::{Duration, Instant};
 
 /// Which searcher drives step ④ — the GA engine (MINPSID proper) or the
@@ -139,13 +140,16 @@ pub fn run_minpsid_cached(
     cache: &GoldenCache,
 ) -> Result<MinpsidResult, Termination> {
     let mut timings = Timings::default();
+    let _pipeline_span = trace::span("minpsid_pipeline");
 
     // ① SID preparation: reference-input profile + per-instruction FI
     let t0 = Instant::now();
+    let ref_fi_span = trace::span("ref_fi");
     let ref_input = model.materialize(&model.reference());
     let ref_golden = cache.golden(module, &ref_input, &cfg.campaign)?;
     let ref_per_inst = per_instruction_campaign(module, &ref_input, &ref_golden, &cfg.campaign);
     let ref_cb = CostBenefit::build(module, &ref_golden, &ref_per_inst);
+    drop(ref_fi_span);
     timings.ref_fi = t0.elapsed();
 
     // ③–⑦ input search + incubative identification
@@ -158,11 +162,13 @@ pub fn run_minpsid_cached(
 
     while inputs_searched < cfg.max_inputs && stale < cfg.stagnation_patience {
         let t_search = Instant::now();
+        let search_span = trace::span("search");
         let outcome = match cfg.strategy {
             SearchStrategy::Genetic => engine.next_ga_input(),
             SearchStrategy::Random => engine.next_random_input(),
             SearchStrategy::Annealing => engine.next_annealing_input(),
         };
+        drop(search_span);
         timings.search += t_search.elapsed();
         let Some(outcome) = outcome else {
             break; // input space exhausted / generator keeps failing
@@ -170,15 +176,25 @@ pub fn run_minpsid_cached(
 
         // ⑦ per-instruction FI under the searched input
         let t_fi = Instant::now();
+        let fi_span = trace::span("incubative_fi");
         let golden = cache.golden(module, &outcome.input, &cfg.campaign)?;
         let per_inst = per_instruction_campaign(module, &outcome.input, &golden, &cfg.campaign);
         let cb = CostBenefit::build(module, &golden, &per_inst);
+        drop(fi_span);
         timings.incubative_fi += t_fi.elapsed();
 
         engine.record_history(indexed_cfg_list(&outcome.profile));
         let new = tracker.observe(&cb.benefit);
         incubative_history.push(tracker.count());
         inputs_searched += 1;
+        if trace::active() {
+            trace::emit(trace::Event::SearchInput {
+                index: inputs_searched as u64,
+                fitness: outcome.fitness,
+                new_incubative: new as u64,
+                total_incubative: tracker.count() as u64,
+            });
+        }
         if new == 0 {
             stale += 1;
         } else {
@@ -188,11 +204,20 @@ pub fn run_minpsid_cached(
 
     // ⑧ re-prioritization + ⑨ selection & transform
     let t_rest = Instant::now();
+    let select_span = trace::span("select_transform");
     let mut cb = ref_cb;
     cb.benefit = tracker.reprioritized_benefit();
     let (selection, expected_coverage, protected, meta) =
         select_and_protect(module, &cb, cfg.protection_level, cfg.use_dp);
+    drop(select_span);
     timings.other = t_rest.elapsed();
+    if trace::active() {
+        trace::emit(trace::Event::CacheStats {
+            hits: cache.hits(),
+            misses: cache.misses(),
+            entries: cache.len() as u64,
+        });
+    }
 
     Ok(MinpsidResult {
         protected,

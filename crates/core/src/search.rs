@@ -7,6 +7,7 @@ use crate::wcfg::{fitness_score, fitness_score_normalized, indexed_cfg_list, pro
 use minpsid_faultsim::CampaignConfig;
 use minpsid_interp::{Profile, ProgInput};
 use minpsid_ir::Module;
+use minpsid_trace as trace;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -149,8 +150,12 @@ impl<'a> SearchEngine<'a> {
         sort_by_fitness(&mut pop);
         let mut best = pop[0].fitness;
         let mut stale = 0usize;
+        // which searched input this GA round is producing (1-based, like
+        // the pipeline's `search_input` events)
+        let input_index = self.history.len() as u64;
 
-        for _gen in 0..self.ga.max_generations {
+        for gen in 0..self.ga.max_generations {
+            let evals_before = self.profiled_runs;
             // offspring via mutation
             let mut offspring: Vec<Vec<ParamValue>> = Vec::new();
             for c in &pop {
@@ -177,6 +182,18 @@ impl<'a> SearchEngine<'a> {
             // survival of the fittest
             sort_by_fitness(&mut pop);
             pop.truncate(pop_size);
+
+            if trace::active() {
+                let mean = pop.iter().map(|c| c.fitness).sum::<f64>() / pop.len() as f64;
+                trace::emit(trace::Event::GaGeneration {
+                    input_index,
+                    generation: gen as u64,
+                    best_fitness: pop[0].fitness,
+                    mean_fitness: mean,
+                    population: pop.len() as u64,
+                    evals: self.profiled_runs - evals_before,
+                });
+            }
 
             if pop[0].fitness > best {
                 best = pop[0].fitness;

@@ -20,8 +20,55 @@ use minpsid_interp::{
     FaultTarget, Interp, MachineState, Output, Profile, ProgInput, Termination,
 };
 use minpsid_ir::{GlobalInstId, Module};
+use minpsid_trace as trace;
+use minpsid_trace::{CampaignCounters, CampaignKind, Histogram, OutcomeKind};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::time::Duration;
+
+/// How often the sampler thread publishes `campaign_progress` events.
+const PROGRESS_INTERVAL: Duration = Duration::from_millis(50);
+
+fn outcome_kind(o: Outcome) -> OutcomeKind {
+    match o {
+        Outcome::Benign => OutcomeKind::Benign,
+        Outcome::Sdc => OutcomeKind::Sdc,
+        Outcome::Crash => OutcomeKind::Crash,
+        Outcome::Hang => OutcomeKind::Hang,
+        Outcome::Detected => OutcomeKind::Detected,
+    }
+}
+
+fn outcome_tally(c: &OutcomeCounts) -> trace::OutcomeTally {
+    trace::OutcomeTally {
+        benign: c.benign,
+        sdc: c.sdc,
+        crash: c.crash,
+        hang: c.hang,
+        detected: c.detected,
+    }
+}
+
+/// Aggregate a per-instruction campaign's outcome counts by enclosing
+/// function and emit one `function_outcomes` event per touched function.
+fn emit_function_outcomes(
+    module: &Module,
+    targets: &[(usize, GlobalInstId, u64)],
+    counts: &[OutcomeCounts],
+) {
+    let mut per_func = vec![OutcomeCounts::default(); module.funcs.len()];
+    for &(dense, gid, _) in targets {
+        per_func[gid.func.index()].merge(&counts[dense]);
+    }
+    for (fi, agg) in per_func.iter().enumerate() {
+        if agg.total() > 0 {
+            trace::emit(trace::Event::FunctionOutcomes {
+                func: module.funcs[fi].name.clone(),
+                counts: outcome_tally(agg),
+            });
+        }
+    }
+}
 
 /// When and how densely the golden run snapshots its state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -112,6 +159,7 @@ pub fn golden_run(
     input: &ProgInput,
     cfg: &CampaignConfig,
 ) -> Result<GoldenRun, Termination> {
+    let _span = trace::span("golden_run");
     let exec = ExecConfig {
         profile: true,
         ..cfg.exec.clone()
@@ -215,23 +263,40 @@ pub fn program_campaign(
         };
     }
     let interp = Interp::new(module, faulty_exec_config(cfg, golden.steps));
-    let outcomes = par_map_init(
-        cfg.injections,
-        cfg.threads,
-        MachineState::default,
-        |st, i| {
-            // per-injection RNG: deterministic regardless of thread schedule
-            let mut rng =
-                StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            let fault = FaultSpec {
-                target: FaultTarget::NthDynamic(rng.random_range(0..population)),
-                bit: rng.random_range(0..64),
-            };
-            let r = inject(&interp, st, golden, input, fault);
-            debug_assert!(r.fault_applied, "dynamic index within population");
-            classify(&golden.output, &r)
-        },
-    );
+    // capture once so workers pay no atomic load when tracing is off
+    let tracing = trace::active();
+    let counters = CampaignCounters::new(CampaignKind::Program, cfg.injections as u64);
+    let suffix_steps = Histogram::new();
+    let outcomes = trace::sample_campaign(&counters, PROGRESS_INTERVAL, || {
+        par_map_init(
+            cfg.injections,
+            cfg.threads,
+            MachineState::default,
+            |st, i| {
+                // per-injection RNG: deterministic regardless of thread schedule
+                let mut rng = StdRng::seed_from_u64(
+                    cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let fault = FaultSpec {
+                    target: FaultTarget::NthDynamic(rng.random_range(0..population)),
+                    bit: rng.random_range(0..64),
+                };
+                let r = inject(&interp, st, golden, input, fault);
+                debug_assert!(r.fault_applied, "dynamic index within population");
+                let o = classify(&golden.output, &r);
+                if tracing {
+                    let skipped = r.resumed_at.unwrap_or(0);
+                    let executed = r.steps.saturating_sub(skipped);
+                    counters.record(outcome_kind(o), executed, skipped);
+                    suffix_steps.record(executed);
+                }
+                o
+            },
+        )
+    });
+    if tracing {
+        suffix_steps.emit("fi.program.suffix_steps");
+    }
     for o in outcomes {
         counts.record(o);
     }
@@ -283,36 +348,51 @@ pub fn per_instruction_campaign(
         .filter(|&(_, _, count)| count > 0)
         .collect();
 
-    let per_target = par_map_init(
-        targets.len(),
-        cfg.threads,
-        MachineState::default,
-        |st, t| {
-            let (dense, gid, count) = targets[t];
-            let mut counts = OutcomeCounts::default();
-            for k in 0..cfg.per_inst_injections {
-                let mut rng = StdRng::seed_from_u64(
-                    cfg.seed
-                        ^ (dense as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
-                        ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                );
-                let fault = FaultSpec {
-                    target: FaultTarget::NthOfInst(gid, rng.random_range(0..count)),
-                    bit: rng.random_range(0..64),
-                };
-                let r = inject(&interp, st, golden, input, fault);
-                debug_assert!(r.fault_applied);
-                counts.record(classify(&golden.output, &r));
-            }
-            (dense, counts)
-        },
+    let tracing = trace::active();
+    let counters = CampaignCounters::new(
+        CampaignKind::PerInst,
+        (targets.len() * cfg.per_inst_injections) as u64,
     );
+    let per_target = trace::sample_campaign(&counters, PROGRESS_INTERVAL, || {
+        par_map_init(
+            targets.len(),
+            cfg.threads,
+            MachineState::default,
+            |st, t| {
+                let (dense, gid, count) = targets[t];
+                let mut counts = OutcomeCounts::default();
+                for k in 0..cfg.per_inst_injections {
+                    let mut rng = StdRng::seed_from_u64(
+                        cfg.seed
+                            ^ (dense as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+                            ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let fault = FaultSpec {
+                        target: FaultTarget::NthOfInst(gid, rng.random_range(0..count)),
+                        bit: rng.random_range(0..64),
+                    };
+                    let r = inject(&interp, st, golden, input, fault);
+                    debug_assert!(r.fault_applied);
+                    let o = classify(&golden.output, &r);
+                    if tracing {
+                        let skipped = r.resumed_at.unwrap_or(0);
+                        counters.record(outcome_kind(o), r.steps.saturating_sub(skipped), skipped);
+                    }
+                    counts.record(o);
+                }
+                (dense, counts)
+            },
+        )
+    });
 
     let mut sdc_prob = vec![0.0; n];
     let mut counts = vec![OutcomeCounts::default(); n];
     for (dense, c) in per_target {
         sdc_prob[dense] = c.sdc_prob();
         counts[dense] = c;
+    }
+    if tracing {
+        emit_function_outcomes(module, &targets, &counts);
     }
     PerInstSdc { sdc_prob, counts }
 }

@@ -101,6 +101,7 @@ mod tests {
             fault_applied: true,
             ret: None,
             trace: None,
+            resumed_at: None,
         }
     }
 

@@ -111,6 +111,11 @@ pub struct ExecResult {
     pub ret: Option<Value>,
     /// Register-write trace (only with [`ExecConfig::trace`]).
     pub trace: Option<Vec<TraceEvent>>,
+    /// Step counter at the snapshot this run resumed from (`None` for
+    /// from-scratch runs). The per-restore telemetry surface: callers
+    /// derive steps-skipped (`resumed_at`) vs steps-executed
+    /// (`steps - resumed_at`) per injection from it.
+    pub resumed_at: Option<u64>,
 }
 
 impl ExecResult {
@@ -375,6 +380,8 @@ impl<'m> Interp<'m> {
         let m = self.module;
         let mut profile = self.config.profile.then(|| Profile::for_module(m));
         let mut trace: Option<Vec<TraceEvent>> = self.config.trace.then(Vec::new);
+        // A resumed run enters with the snapshot's step counter already set.
+        let resumed_at = (st.steps > 0).then_some(st.steps);
 
         // fault target precomputation
         let (target_dense, target_nth, whole_nth) = match fault {
@@ -440,6 +447,7 @@ impl<'m> Interp<'m> {
                             fault_applied: *fault_applied,
                             ret: $ret,
                             trace,
+                            resumed_at,
                         }
                     };
                 }
@@ -1432,6 +1440,7 @@ mod tests {
                     bit,
                 };
                 let cold = interp.run_with_fault(&input, fault);
+                assert_eq!(cold.resumed_at, None, "cold runs report no restore");
                 if let Some(snap) = store.nearest_for_dynamic(nth) {
                     let warm = interp.resume(snap, &input, fault);
                     assert_eq!(cold.termination, warm.termination, "nth={nth} bit={bit}");
@@ -1439,6 +1448,9 @@ mod tests {
                     assert_eq!(cold.steps, warm.steps, "nth={nth} bit={bit}");
                     assert_eq!(cold.fault_applied, warm.fault_applied);
                     assert_eq!(cold.ret, warm.ret);
+                    // the per-restore telemetry surface: skipped prefix =
+                    // the snapshot's step counter
+                    assert_eq!(warm.resumed_at, Some(snap.steps()), "nth={nth} bit={bit}");
                 }
             }
         }

@@ -87,6 +87,23 @@ pub fn select_and_protect(
     };
     let expected = cb.expected_coverage(&selection);
     let (protected, meta) = duplicate_module(module, &selection);
+    if minpsid_trace::active() {
+        let protected_cycles: u64 = cb
+            .cost
+            .iter()
+            .zip(&selection)
+            .filter(|(_, &s)| s)
+            .map(|(c, _)| *c)
+            .sum();
+        minpsid_trace::emit(minpsid_trace::Event::Knapsack {
+            budget: capacity,
+            total_cycles: cb.total_cycles,
+            eligible: eligible.iter().filter(|&&e| e).count() as u64,
+            selected: selection.iter().filter(|&&s| s).count() as u64,
+            protected_cycle_fraction: protected_cycles as f64 / cb.total_cycles.max(1) as f64,
+            expected_coverage: expected,
+        });
+    }
     (selection, expected, protected, meta)
 }
 

@@ -1,0 +1,593 @@
+//! The versioned trace event schema.
+//!
+//! Every JSONL line is one [`TimedEvent`]: `{"v":1,"ts_us":…,"kind":…,…}`.
+//! `v` is [`SCHEMA_VERSION`]; the parser rejects lines whose version it
+//! does not understand, so a report can never silently misparse a log
+//! written by a different schema. Serialization is hand-rolled over
+//! [`crate::json`] (no serde in the dependency budget) and round-trip
+//! tested, both example-based and property-based.
+
+use crate::json::{parse, Json, JsonError};
+
+/// Version stamped into every line. Bump on any incompatible field change.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Which campaign shape produced a progress/end event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignKind {
+    /// Whole-program campaign (`program_campaign`).
+    Program,
+    /// Per-static-instruction campaign (`per_instruction_campaign`).
+    PerInst,
+}
+
+impl CampaignKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CampaignKind::Program => "program",
+            CampaignKind::PerInst => "per_inst",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "program" => Some(CampaignKind::Program),
+            "per_inst" => Some(CampaignKind::PerInst),
+            _ => None,
+        }
+    }
+}
+
+/// FI outcome tallies carried by campaign events (mirrors
+/// `minpsid_faultsim::OutcomeCounts`, re-declared here so the trace crate
+/// sits at the bottom of the dependency graph).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeTally {
+    pub benign: u64,
+    pub sdc: u64,
+    pub crash: u64,
+    pub hang: u64,
+    pub detected: u64,
+}
+
+impl OutcomeTally {
+    pub fn total(&self) -> u64 {
+        self.benign + self.sdc + self.crash + self.hang + self.detected
+    }
+
+    fn to_json(self) -> Json {
+        let mut o = Json::obj();
+        o.set("benign", Json::U64(self.benign));
+        o.set("sdc", Json::U64(self.sdc));
+        o.set("crash", Json::U64(self.crash));
+        o.set("hang", Json::U64(self.hang));
+        o.set("detected", Json::U64(self.detected));
+        o
+    }
+
+    fn from_json(v: &Json) -> Result<Self, SchemaError> {
+        Ok(OutcomeTally {
+            benign: field_u64(v, "benign")?,
+            sdc: field_u64(v, "sdc")?,
+            crash: field_u64(v, "crash")?,
+            hang: field_u64(v, "hang")?,
+            detected: field_u64(v, "detected")?,
+        })
+    }
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// First line of every trace: identifies the producing tool.
+    TraceStart { tool: String },
+    /// Last line written by a clean shutdown.
+    TraceEnd { dur_us: u64 },
+    /// A named stage began. `id` pairs it with its `SpanEnd`.
+    SpanBegin { id: u64, name: String },
+    /// A named stage finished after `dur_us` microseconds.
+    SpanEnd { id: u64, name: String, dur_us: u64 },
+    /// A monotonic counter sample.
+    Counter { name: String, value: u64 },
+    /// A power-of-two-bucketed histogram snapshot: `(bucket_lo, count)`
+    /// pairs for the non-empty buckets.
+    Histogram {
+        name: String,
+        buckets: Vec<(u64, u64)>,
+    },
+    /// Periodic mid-campaign sample taken from the workers' lock-free
+    /// counters by the sampler thread.
+    CampaignProgress {
+        kind: CampaignKind,
+        done: u64,
+        total: u64,
+        counts: OutcomeTally,
+        elapsed_us: u64,
+    },
+    /// Campaign summary: final outcome tallies plus checkpoint-restore
+    /// accounting (dynamic steps actually executed vs skipped by resuming
+    /// from golden-run snapshots).
+    CampaignEnd {
+        kind: CampaignKind,
+        injections: u64,
+        elapsed_us: u64,
+        counts: OutcomeTally,
+        steps_executed: u64,
+        steps_skipped: u64,
+        restores: u64,
+    },
+    /// Per-function outcome distribution of a per-instruction campaign.
+    FunctionOutcomes { func: String, counts: OutcomeTally },
+    /// One GA generation inside an input search.
+    GaGeneration {
+        /// How many inputs were already in the search history when this
+        /// GA round started (0 = the round that produced input #1).
+        input_index: u64,
+        generation: u64,
+        best_fitness: f64,
+        mean_fitness: f64,
+        population: u64,
+        evals: u64,
+    },
+    /// One accepted search input, after its FI campaign.
+    SearchInput {
+        index: u64,
+        fitness: f64,
+        new_incubative: u64,
+        total_incubative: u64,
+    },
+    /// Knapsack selection summary (budget in dynamic cycles).
+    Knapsack {
+        budget: u64,
+        total_cycles: u64,
+        eligible: u64,
+        selected: u64,
+        protected_cycle_fraction: f64,
+        expected_coverage: f64,
+    },
+    /// Golden-run cache tallies.
+    CacheStats {
+        hits: u64,
+        misses: u64,
+        entries: u64,
+    },
+}
+
+impl Event {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::TraceStart { .. } => "trace_start",
+            Event::TraceEnd { .. } => "trace_end",
+            Event::SpanBegin { .. } => "span_begin",
+            Event::SpanEnd { .. } => "span_end",
+            Event::Counter { .. } => "counter",
+            Event::Histogram { .. } => "histogram",
+            Event::CampaignProgress { .. } => "campaign_progress",
+            Event::CampaignEnd { .. } => "campaign_end",
+            Event::FunctionOutcomes { .. } => "function_outcomes",
+            Event::GaGeneration { .. } => "ga_generation",
+            Event::SearchInput { .. } => "search_input",
+            Event::Knapsack { .. } => "knapsack",
+            Event::CacheStats { .. } => "cache_stats",
+        }
+    }
+}
+
+/// An event plus its timestamp (microseconds since trace start).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    pub ts_us: u64,
+    pub event: Event,
+}
+
+/// Schema-level (as opposed to JSON-level) decode failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaError {
+    Json(JsonError),
+    /// The line's `v` is not [`SCHEMA_VERSION`].
+    Version(u64),
+    UnknownKind(String),
+    MissingField(&'static str),
+    BadField(&'static str),
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::Json(e) => write!(f, "{e}"),
+            SchemaError::Version(v) => {
+                write!(
+                    f,
+                    "schema version {v} (this analyzer reads {SCHEMA_VERSION})"
+                )
+            }
+            SchemaError::UnknownKind(k) => write!(f, "unknown event kind `{k}`"),
+            SchemaError::MissingField(k) => write!(f, "missing field `{k}`"),
+            SchemaError::BadField(k) => write!(f, "malformed field `{k}`"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+fn field<'a>(v: &'a Json, key: &'static str) -> Result<&'a Json, SchemaError> {
+    v.get(key).ok_or(SchemaError::MissingField(key))
+}
+
+fn field_u64(v: &Json, key: &'static str) -> Result<u64, SchemaError> {
+    field(v, key)?.as_u64().ok_or(SchemaError::BadField(key))
+}
+
+fn field_f64(v: &Json, key: &'static str) -> Result<f64, SchemaError> {
+    field(v, key)?.as_f64().ok_or(SchemaError::BadField(key))
+}
+
+fn field_str(v: &Json, key: &'static str) -> Result<String, SchemaError> {
+    field(v, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or(SchemaError::BadField(key))
+}
+
+fn field_kind(v: &Json) -> Result<CampaignKind, SchemaError> {
+    CampaignKind::from_str(&field_str(v, "campaign")?).ok_or(SchemaError::BadField("campaign"))
+}
+
+impl TimedEvent {
+    /// Serialize as one compact JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut o = Json::obj();
+        o.set("v", Json::U64(SCHEMA_VERSION as u64));
+        o.set("ts_us", Json::U64(self.ts_us));
+        o.set("kind", Json::Str(self.event.kind().to_string()));
+        match &self.event {
+            Event::TraceStart { tool } => o.set("tool", Json::Str(tool.clone())),
+            Event::TraceEnd { dur_us } => o.set("dur_us", Json::U64(*dur_us)),
+            Event::SpanBegin { id, name } => {
+                o.set("id", Json::U64(*id));
+                o.set("name", Json::Str(name.clone()));
+            }
+            Event::SpanEnd { id, name, dur_us } => {
+                o.set("id", Json::U64(*id));
+                o.set("name", Json::Str(name.clone()));
+                o.set("dur_us", Json::U64(*dur_us));
+            }
+            Event::Counter { name, value } => {
+                o.set("name", Json::Str(name.clone()));
+                o.set("value", Json::U64(*value));
+            }
+            Event::Histogram { name, buckets } => {
+                o.set("name", Json::Str(name.clone()));
+                o.set(
+                    "buckets",
+                    Json::Array(
+                        buckets
+                            .iter()
+                            .map(|&(lo, n)| Json::Array(vec![Json::U64(lo), Json::U64(n)]))
+                            .collect(),
+                    ),
+                );
+            }
+            Event::CampaignProgress {
+                kind,
+                done,
+                total,
+                counts,
+                elapsed_us,
+            } => {
+                o.set("campaign", Json::Str(kind.as_str().to_string()));
+                o.set("done", Json::U64(*done));
+                o.set("total", Json::U64(*total));
+                o.set("counts", counts.to_json());
+                o.set("elapsed_us", Json::U64(*elapsed_us));
+            }
+            Event::CampaignEnd {
+                kind,
+                injections,
+                elapsed_us,
+                counts,
+                steps_executed,
+                steps_skipped,
+                restores,
+            } => {
+                o.set("campaign", Json::Str(kind.as_str().to_string()));
+                o.set("injections", Json::U64(*injections));
+                o.set("elapsed_us", Json::U64(*elapsed_us));
+                o.set("counts", counts.to_json());
+                o.set("steps_executed", Json::U64(*steps_executed));
+                o.set("steps_skipped", Json::U64(*steps_skipped));
+                o.set("restores", Json::U64(*restores));
+            }
+            Event::FunctionOutcomes { func, counts } => {
+                o.set("func", Json::Str(func.clone()));
+                o.set("counts", counts.to_json());
+            }
+            Event::GaGeneration {
+                input_index,
+                generation,
+                best_fitness,
+                mean_fitness,
+                population,
+                evals,
+            } => {
+                o.set("input_index", Json::U64(*input_index));
+                o.set("generation", Json::U64(*generation));
+                o.set("best_fitness", Json::F64(*best_fitness));
+                o.set("mean_fitness", Json::F64(*mean_fitness));
+                o.set("population", Json::U64(*population));
+                o.set("evals", Json::U64(*evals));
+            }
+            Event::SearchInput {
+                index,
+                fitness,
+                new_incubative,
+                total_incubative,
+            } => {
+                o.set("index", Json::U64(*index));
+                o.set("fitness", Json::F64(*fitness));
+                o.set("new_incubative", Json::U64(*new_incubative));
+                o.set("total_incubative", Json::U64(*total_incubative));
+            }
+            Event::Knapsack {
+                budget,
+                total_cycles,
+                eligible,
+                selected,
+                protected_cycle_fraction,
+                expected_coverage,
+            } => {
+                o.set("budget", Json::U64(*budget));
+                o.set("total_cycles", Json::U64(*total_cycles));
+                o.set("eligible", Json::U64(*eligible));
+                o.set("selected", Json::U64(*selected));
+                o.set(
+                    "protected_cycle_fraction",
+                    Json::F64(*protected_cycle_fraction),
+                );
+                o.set("expected_coverage", Json::F64(*expected_coverage));
+            }
+            Event::CacheStats {
+                hits,
+                misses,
+                entries,
+            } => {
+                o.set("hits", Json::U64(*hits));
+                o.set("misses", Json::U64(*misses));
+                o.set("entries", Json::U64(*entries));
+            }
+        }
+        o.render()
+    }
+
+    /// Parse one JSONL line. Strict: unknown versions, unknown kinds, and
+    /// missing/malformed fields are all errors.
+    pub fn parse_line(line: &str) -> Result<TimedEvent, SchemaError> {
+        let v = parse(line.trim()).map_err(SchemaError::Json)?;
+        let version = field_u64(&v, "v")?;
+        if version != SCHEMA_VERSION as u64 {
+            return Err(SchemaError::Version(version));
+        }
+        let ts_us = field_u64(&v, "ts_us")?;
+        let kind = field_str(&v, "kind")?;
+        let event = match kind.as_str() {
+            "trace_start" => Event::TraceStart {
+                tool: field_str(&v, "tool")?,
+            },
+            "trace_end" => Event::TraceEnd {
+                dur_us: field_u64(&v, "dur_us")?,
+            },
+            "span_begin" => Event::SpanBegin {
+                id: field_u64(&v, "id")?,
+                name: field_str(&v, "name")?,
+            },
+            "span_end" => Event::SpanEnd {
+                id: field_u64(&v, "id")?,
+                name: field_str(&v, "name")?,
+                dur_us: field_u64(&v, "dur_us")?,
+            },
+            "counter" => Event::Counter {
+                name: field_str(&v, "name")?,
+                value: field_u64(&v, "value")?,
+            },
+            "histogram" => {
+                let raw = field(&v, "buckets")?
+                    .as_array()
+                    .ok_or(SchemaError::BadField("buckets"))?;
+                let mut buckets = Vec::with_capacity(raw.len());
+                for pair in raw {
+                    let pair = pair.as_array().ok_or(SchemaError::BadField("buckets"))?;
+                    match pair {
+                        [lo, n] => buckets.push((
+                            lo.as_u64().ok_or(SchemaError::BadField("buckets"))?,
+                            n.as_u64().ok_or(SchemaError::BadField("buckets"))?,
+                        )),
+                        _ => return Err(SchemaError::BadField("buckets")),
+                    }
+                }
+                Event::Histogram {
+                    name: field_str(&v, "name")?,
+                    buckets,
+                }
+            }
+            "campaign_progress" => Event::CampaignProgress {
+                kind: field_kind(&v)?,
+                done: field_u64(&v, "done")?,
+                total: field_u64(&v, "total")?,
+                counts: OutcomeTally::from_json(field(&v, "counts")?)?,
+                elapsed_us: field_u64(&v, "elapsed_us")?,
+            },
+            "campaign_end" => Event::CampaignEnd {
+                kind: field_kind(&v)?,
+                injections: field_u64(&v, "injections")?,
+                elapsed_us: field_u64(&v, "elapsed_us")?,
+                counts: OutcomeTally::from_json(field(&v, "counts")?)?,
+                steps_executed: field_u64(&v, "steps_executed")?,
+                steps_skipped: field_u64(&v, "steps_skipped")?,
+                restores: field_u64(&v, "restores")?,
+            },
+            "function_outcomes" => Event::FunctionOutcomes {
+                func: field_str(&v, "func")?,
+                counts: OutcomeTally::from_json(field(&v, "counts")?)?,
+            },
+            "ga_generation" => Event::GaGeneration {
+                input_index: field_u64(&v, "input_index")?,
+                generation: field_u64(&v, "generation")?,
+                best_fitness: field_f64(&v, "best_fitness")?,
+                mean_fitness: field_f64(&v, "mean_fitness")?,
+                population: field_u64(&v, "population")?,
+                evals: field_u64(&v, "evals")?,
+            },
+            "search_input" => Event::SearchInput {
+                index: field_u64(&v, "index")?,
+                fitness: field_f64(&v, "fitness")?,
+                new_incubative: field_u64(&v, "new_incubative")?,
+                total_incubative: field_u64(&v, "total_incubative")?,
+            },
+            "knapsack" => Event::Knapsack {
+                budget: field_u64(&v, "budget")?,
+                total_cycles: field_u64(&v, "total_cycles")?,
+                eligible: field_u64(&v, "eligible")?,
+                selected: field_u64(&v, "selected")?,
+                protected_cycle_fraction: field_f64(&v, "protected_cycle_fraction")?,
+                expected_coverage: field_f64(&v, "expected_coverage")?,
+            },
+            "cache_stats" => Event::CacheStats {
+                hits: field_u64(&v, "hits")?,
+                misses: field_u64(&v, "misses")?,
+                entries: field_u64(&v, "entries")?,
+            },
+            other => return Err(SchemaError::UnknownKind(other.to_string())),
+        };
+        Ok(TimedEvent { ts_us, event })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(ev: Event) {
+        let t = TimedEvent {
+            ts_us: 123,
+            event: ev,
+        };
+        let line = t.to_line();
+        let back = TimedEvent::parse_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert_eq!(back, t, "line: {line}");
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        rt(Event::TraceStart {
+            tool: "minpsid 0.1".into(),
+        });
+        rt(Event::TraceEnd { dur_us: 9 });
+        rt(Event::SpanBegin {
+            id: 1,
+            name: "ref_fi".into(),
+        });
+        rt(Event::SpanEnd {
+            id: 1,
+            name: "ref_fi".into(),
+            dur_us: 42,
+        });
+        rt(Event::Counter {
+            name: "cache.hits".into(),
+            value: u64::MAX,
+        });
+        rt(Event::Histogram {
+            name: "restore.suffix_steps".into(),
+            buckets: vec![(0, 3), (1024, 17)],
+        });
+        rt(Event::CampaignProgress {
+            kind: CampaignKind::Program,
+            done: 10,
+            total: 100,
+            counts: OutcomeTally {
+                benign: 5,
+                sdc: 2,
+                crash: 1,
+                hang: 1,
+                detected: 1,
+            },
+            elapsed_us: 7,
+        });
+        rt(Event::CampaignEnd {
+            kind: CampaignKind::PerInst,
+            injections: 100,
+            elapsed_us: 88,
+            counts: OutcomeTally {
+                benign: 90,
+                sdc: 10,
+                ..OutcomeTally::default()
+            },
+            steps_executed: 1000,
+            steps_skipped: 5000,
+            restores: 99,
+        });
+        rt(Event::FunctionOutcomes {
+            func: "main".into(),
+            counts: OutcomeTally {
+                sdc: 3,
+                ..OutcomeTally::default()
+            },
+        });
+        rt(Event::GaGeneration {
+            input_index: 2,
+            generation: 4,
+            best_fitness: 12.5,
+            mean_fitness: 3.25,
+            population: 10,
+            evals: 14,
+        });
+        rt(Event::SearchInput {
+            index: 3,
+            fitness: 0.5,
+            new_incubative: 2,
+            total_incubative: 7,
+        });
+        rt(Event::Knapsack {
+            budget: 500,
+            total_cycles: 1000,
+            eligible: 80,
+            selected: 40,
+            protected_cycle_fraction: 0.5,
+            expected_coverage: 0.875,
+        });
+        rt(Event::CacheStats {
+            hits: 4,
+            misses: 2,
+            entries: 2,
+        });
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let line = TimedEvent {
+            ts_us: 0,
+            event: Event::TraceEnd { dur_us: 0 },
+        }
+        .to_line()
+        .replace("\"v\":1", "\"v\":999");
+        assert!(matches!(
+            TimedEvent::parse_line(&line),
+            Err(SchemaError::Version(999))
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_and_missing_fields_are_rejected() {
+        assert!(matches!(
+            TimedEvent::parse_line(r#"{"v":1,"ts_us":0,"kind":"mystery"}"#),
+            Err(SchemaError::UnknownKind(_))
+        ));
+        assert!(matches!(
+            TimedEvent::parse_line(r#"{"v":1,"ts_us":0,"kind":"counter","name":"x"}"#),
+            Err(SchemaError::MissingField("value"))
+        ));
+        assert!(matches!(
+            TimedEvent::parse_line("not json at all"),
+            Err(SchemaError::Json(_))
+        ));
+    }
+}

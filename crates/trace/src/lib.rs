@@ -1,0 +1,42 @@
+//! # minpsid-trace — structured tracing + metrics for the MINPSID pipeline
+//!
+//! Production SDC-screening fleets treat telemetry as a first-class output
+//! ("Silent Data Corruptions at Scale", Dixit et al.); this crate gives
+//! the reproduction the same substrate, in the `tlparse` idiom: the run
+//! emits a structured JSONL trace, and an offline analyzer turns the log
+//! into a human-readable report.
+//!
+//! Three layers:
+//!
+//! * **Schema** ([`event`]): versioned event structs ([`Event`], wrapped
+//!   in [`TimedEvent`]) with hand-rolled JSON round-tripping over
+//!   [`json`] — every line carries `"v": SCHEMA_VERSION` and the parser
+//!   rejects anything it does not understand, so reports never silently
+//!   misparse.
+//! * **Sink** ([`sink`]): a `Sync`, process-wide sink that is a no-op
+//!   static until a file ([`init_file`]) or observer ([`add_observer`])
+//!   is attached — the disabled cost is one relaxed atomic load. Hot
+//!   paths use lock-free primitives ([`CampaignCounters`], [`Histogram`])
+//!   that a sampler thread ([`sample_campaign`]) turns into events at a
+//!   fixed low rate; [`span`] guards mark pipeline stages.
+//! * **Analyzer** ([`report`]): `minpsid trace report <log>` parses the
+//!   JSONL into a [`TraceSummary`] and renders markdown/HTML with stage
+//!   time breakdowns, FI throughput + outcome distributions, checkpoint
+//!   restore savings, golden-cache hit rates, and per-generation GA
+//!   fitness curves.
+//!
+//! The crate sits at the bottom of the workspace dependency graph (it
+//! depends on nothing), so every layer — interp, faultsim, sid, core,
+//! CLI, bench — can emit events.
+
+pub mod event;
+pub mod json;
+pub mod report;
+pub mod sink;
+
+pub use event::{CampaignKind, Event, OutcomeTally, SchemaError, TimedEvent, SCHEMA_VERSION};
+pub use report::{parse_log, render_html, render_markdown, summarize, CampaignStat, TraceSummary};
+pub use sink::{
+    active, add_observer, emit, flush, init_file, init_writer, sample_campaign, shutdown, span,
+    CampaignCounters, Histogram, OutcomeKind, Span,
+};

@@ -1,0 +1,724 @@
+//! Offline trace analyzer (the `tlparse` idiom): parse a JSONL trace log
+//! into a [`TraceSummary`] and render it as markdown or HTML.
+//!
+//! Parsing is strict — the first malformed line fails the whole log with
+//! its line number, so a schema drift is loud instead of producing a
+//! silently wrong report.
+
+use crate::event::{CampaignKind, Event, OutcomeTally, SchemaError, TimedEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Parse every line of a JSONL trace log. Blank lines are ignored;
+/// anything else must decode. On failure returns (1-based line number,
+/// error).
+pub fn parse_log(text: &str) -> Result<Vec<TimedEvent>, (usize, SchemaError)> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(TimedEvent::parse_line(line).map_err(|e| (i + 1, e))?);
+    }
+    Ok(events)
+}
+
+/// Aggregate per-stage span statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStat {
+    pub name: String,
+    pub calls: u64,
+    pub total_us: u64,
+}
+
+/// Aggregate statistics of one campaign shape.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignStat {
+    pub campaigns: u64,
+    pub injections: u64,
+    pub elapsed_us: u64,
+    pub counts: OutcomeTally,
+    pub steps_executed: u64,
+    pub steps_skipped: u64,
+    pub restores: u64,
+}
+
+impl CampaignStat {
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            0.0
+        } else {
+            self.injections as f64 / (self.elapsed_us as f64 / 1e6)
+        }
+    }
+
+    /// Fraction of golden-run-equivalent work skipped via restores.
+    pub fn savings(&self) -> f64 {
+        let total = self.steps_executed + self.steps_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.steps_skipped as f64 / total as f64
+        }
+    }
+}
+
+/// One GA generation data point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaPoint {
+    pub input_index: u64,
+    pub generation: u64,
+    pub best_fitness: f64,
+    pub mean_fitness: f64,
+}
+
+/// One accepted search input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputPoint {
+    pub index: u64,
+    pub fitness: f64,
+    pub new_incubative: u64,
+    pub total_incubative: u64,
+}
+
+/// Everything the report renders, extracted in one pass.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    pub tool: Option<String>,
+    pub events: usize,
+    /// Wall time covered: `trace_end.dur_us`, or the last timestamp.
+    pub wall_us: u64,
+    pub stages: Vec<StageStat>,
+    pub program: CampaignStat,
+    pub per_inst: CampaignStat,
+    pub functions: Vec<(String, OutcomeTally)>,
+    pub ga: Vec<GaPoint>,
+    pub inputs: Vec<InputPoint>,
+    pub knapsack: Option<KnapsackStat>,
+    pub cache: Option<CacheStat>,
+    /// Last sample of each named counter.
+    pub counters: BTreeMap<String, u64>,
+    /// Last sample of each named histogram.
+    pub histograms: BTreeMap<String, Vec<(u64, u64)>>,
+    /// Spans that began but never ended (crashed / truncated trace).
+    pub open_spans: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnapsackStat {
+    pub budget: u64,
+    pub total_cycles: u64,
+    pub eligible: u64,
+    pub selected: u64,
+    pub protected_cycle_fraction: f64,
+    pub expected_coverage: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStat {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: u64,
+}
+
+impl CacheStat {
+    pub fn hit_rate(&self) -> f64 {
+        let t = self.hits + self.misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.hits as f64 / t as f64
+        }
+    }
+}
+
+fn add_tally(into: &mut OutcomeTally, from: &OutcomeTally) {
+    into.benign += from.benign;
+    into.sdc += from.sdc;
+    into.crash += from.crash;
+    into.hang += from.hang;
+    into.detected += from.detected;
+}
+
+/// Fold a parsed event stream into a [`TraceSummary`].
+pub fn summarize(events: &[TimedEvent]) -> TraceSummary {
+    let mut s = TraceSummary {
+        events: events.len(),
+        ..TraceSummary::default()
+    };
+    let mut stage_order: Vec<String> = Vec::new();
+    let mut stages: BTreeMap<String, StageStat> = BTreeMap::new();
+    let mut begun: u64 = 0;
+    let mut ended: u64 = 0;
+    let mut func_order: Vec<String> = Vec::new();
+    let mut funcs: BTreeMap<String, OutcomeTally> = BTreeMap::new();
+
+    for te in events {
+        s.wall_us = s.wall_us.max(te.ts_us);
+        match &te.event {
+            Event::TraceStart { tool } => s.tool = Some(tool.clone()),
+            Event::TraceEnd { dur_us } => s.wall_us = s.wall_us.max(*dur_us),
+            Event::SpanBegin { .. } => begun += 1,
+            Event::SpanEnd { name, dur_us, .. } => {
+                ended += 1;
+                let st = stages.entry(name.clone()).or_insert_with(|| {
+                    stage_order.push(name.clone());
+                    StageStat {
+                        name: name.clone(),
+                        calls: 0,
+                        total_us: 0,
+                    }
+                });
+                st.calls += 1;
+                st.total_us += dur_us;
+            }
+            Event::Counter { name, value } => {
+                s.counters.insert(name.clone(), *value);
+            }
+            Event::Histogram { name, buckets } => {
+                s.histograms.insert(name.clone(), buckets.clone());
+            }
+            Event::CampaignProgress { .. } => {}
+            Event::CampaignEnd {
+                kind,
+                injections,
+                elapsed_us,
+                counts,
+                steps_executed,
+                steps_skipped,
+                restores,
+            } => {
+                let stat = match kind {
+                    CampaignKind::Program => &mut s.program,
+                    CampaignKind::PerInst => &mut s.per_inst,
+                };
+                stat.campaigns += 1;
+                stat.injections += injections;
+                stat.elapsed_us += elapsed_us;
+                add_tally(&mut stat.counts, counts);
+                stat.steps_executed += steps_executed;
+                stat.steps_skipped += steps_skipped;
+                stat.restores += restores;
+            }
+            Event::FunctionOutcomes { func, counts } => {
+                let t = funcs.entry(func.clone()).or_insert_with(|| {
+                    func_order.push(func.clone());
+                    OutcomeTally::default()
+                });
+                add_tally(t, counts);
+            }
+            Event::GaGeneration {
+                input_index,
+                generation,
+                best_fitness,
+                mean_fitness,
+                ..
+            } => s.ga.push(GaPoint {
+                input_index: *input_index,
+                generation: *generation,
+                best_fitness: *best_fitness,
+                mean_fitness: *mean_fitness,
+            }),
+            Event::SearchInput {
+                index,
+                fitness,
+                new_incubative,
+                total_incubative,
+            } => s.inputs.push(InputPoint {
+                index: *index,
+                fitness: *fitness,
+                new_incubative: *new_incubative,
+                total_incubative: *total_incubative,
+            }),
+            Event::Knapsack {
+                budget,
+                total_cycles,
+                eligible,
+                selected,
+                protected_cycle_fraction,
+                expected_coverage,
+            } => {
+                s.knapsack = Some(KnapsackStat {
+                    budget: *budget,
+                    total_cycles: *total_cycles,
+                    eligible: *eligible,
+                    selected: *selected,
+                    protected_cycle_fraction: *protected_cycle_fraction,
+                    expected_coverage: *expected_coverage,
+                });
+            }
+            Event::CacheStats {
+                hits,
+                misses,
+                entries,
+            } => {
+                s.cache = Some(CacheStat {
+                    hits: *hits,
+                    misses: *misses,
+                    entries: *entries,
+                });
+            }
+        }
+    }
+    s.open_spans = begun.saturating_sub(ended);
+    s.stages = stage_order
+        .into_iter()
+        .map(|n| stages.remove(&n).unwrap())
+        .collect();
+    s.functions = func_order
+        .into_iter()
+        .map(|n| {
+            let t = funcs.remove(&n).unwrap();
+            (n, t)
+        })
+        .collect();
+    s
+}
+
+fn secs(us: u64) -> f64 {
+    us as f64 / 1e6
+}
+
+fn pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64 * 100.0
+    }
+}
+
+fn tally_row(t: &OutcomeTally) -> String {
+    let total = t.total();
+    format!(
+        "{} | {} ({:.1}%) | {} ({:.1}%) | {} ({:.1}%) | {} ({:.1}%) | {} ({:.1}%)",
+        total,
+        t.benign,
+        pct(t.benign, total),
+        t.sdc,
+        pct(t.sdc, total),
+        t.crash,
+        pct(t.crash, total),
+        t.hang,
+        pct(t.hang, total),
+        t.detected,
+        pct(t.detected, total),
+    )
+}
+
+fn campaign_section(out: &mut String, title: &str, c: &CampaignStat) {
+    if c.campaigns == 0 {
+        return;
+    }
+    let _ = writeln!(out, "### {title}\n");
+    let _ = writeln!(out, "- campaigns: {}", c.campaigns);
+    let _ = writeln!(out, "- injections: {}", c.injections);
+    let _ = writeln!(
+        out,
+        "- throughput: {:.0} injections/s (cumulative campaign time {:.2} s)",
+        c.throughput(),
+        secs(c.elapsed_us)
+    );
+    let _ = writeln!(
+        out,
+        "\n| total | benign | sdc | crash | hang | detected |\n|---|---|---|---|---|---|"
+    );
+    let _ = writeln!(out, "| {} |", tally_row(&c.counts));
+    let _ = writeln!(
+        out,
+        "\ncheckpoint restores: {} of {} injections resumed from a snapshot; \
+         {} dynamic steps executed, {} skipped (**{:.1}% replay work saved**)\n",
+        c.restores,
+        c.injections,
+        c.steps_executed,
+        c.steps_skipped,
+        c.savings() * 100.0
+    );
+}
+
+/// Render the summary as a markdown report.
+pub fn render_markdown(s: &TraceSummary) -> String {
+    let mut out = String::with_capacity(4096);
+    let _ = writeln!(out, "# minpsid trace report\n");
+    if let Some(tool) = &s.tool {
+        let _ = writeln!(out, "- tool: {tool}");
+    }
+    let _ = writeln!(out, "- events: {}", s.events);
+    let _ = writeln!(out, "- wall time: {:.2} s", secs(s.wall_us));
+    if s.open_spans > 0 {
+        let _ = writeln!(
+            out,
+            "- **warning**: {} span(s) never ended — truncated or crashed run",
+            s.open_spans
+        );
+    }
+    let _ = writeln!(out);
+
+    if !s.stages.is_empty() {
+        let _ = writeln!(out, "## Stage time breakdown\n");
+        let _ = writeln!(
+            out,
+            "| stage | calls | total s | share |\n|---|---|---|---|"
+        );
+        let denom: u64 = s.stages.iter().map(|st| st.total_us).sum();
+        for st in &s.stages {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.3} | {:.1}% |",
+                st.name,
+                st.calls,
+                secs(st.total_us),
+                pct(st.total_us, denom)
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    if s.program.campaigns + s.per_inst.campaigns > 0 {
+        let _ = writeln!(out, "## FI campaigns\n");
+        campaign_section(&mut out, "Whole-program campaigns", &s.program);
+        campaign_section(&mut out, "Per-instruction campaigns", &s.per_inst);
+    }
+
+    if !s.functions.is_empty() {
+        let _ = writeln!(out, "### Outcomes per function\n");
+        let _ = writeln!(
+            out,
+            "| function | total | benign | sdc | crash | hang | detected |\n|---|---|---|---|---|---|---|"
+        );
+        for (name, t) in &s.functions {
+            let _ = writeln!(out, "| {} | {} |", name, tally_row(t));
+        }
+        let _ = writeln!(out);
+    }
+
+    if let Some(c) = &s.cache {
+        let _ = writeln!(out, "## Golden-run cache\n");
+        let _ = writeln!(
+            out,
+            "{} hits / {} misses ({:.1}% hit rate), {} entries\n",
+            c.hits,
+            c.misses,
+            c.hit_rate() * 100.0,
+            c.entries
+        );
+    }
+
+    if !s.ga.is_empty() {
+        let _ = writeln!(out, "## GA search: fitness per generation\n");
+        let _ = writeln!(
+            out,
+            "| input # | generation | best fitness | mean fitness |\n|---|---|---|---|"
+        );
+        for g in &s.ga {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.4} | {:.4} |",
+                g.input_index, g.generation, g.best_fitness, g.mean_fitness
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    if !s.inputs.is_empty() {
+        let _ = writeln!(out, "## Accepted search inputs\n");
+        let _ = writeln!(
+            out,
+            "| input # | fitness (distance) | new incubative | cumulative incubative |\n|---|---|---|---|"
+        );
+        for p in &s.inputs {
+            let _ = writeln!(
+                out,
+                "| {} | {:.4} | {} | {} |",
+                p.index, p.fitness, p.new_incubative, p.total_incubative
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    if let Some(k) = &s.knapsack {
+        let _ = writeln!(out, "## Knapsack selection\n");
+        let _ = writeln!(
+            out,
+            "- budget: {} of {} dynamic cycles ({:.1}%)",
+            k.budget,
+            k.total_cycles,
+            pct(k.budget, k.total_cycles)
+        );
+        let _ = writeln!(
+            out,
+            "- selected: {} of {} eligible instructions",
+            k.selected, k.eligible
+        );
+        let _ = writeln!(
+            out,
+            "- protected cycle fraction: {:.1}%",
+            k.protected_cycle_fraction * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "- expected SDC coverage: {:.2}%\n",
+            k.expected_coverage * 100.0
+        );
+    }
+
+    if !s.counters.is_empty() {
+        let _ = writeln!(out, "## Counters\n");
+        let _ = writeln!(out, "| counter | value |\n|---|---|");
+        for (name, v) in &s.counters {
+            let _ = writeln!(out, "| {name} | {v} |");
+        }
+        let _ = writeln!(out);
+    }
+
+    if !s.histograms.is_empty() {
+        let _ = writeln!(out, "## Histograms\n");
+        for (name, buckets) in &s.histograms {
+            let total: u64 = buckets.iter().map(|&(_, n)| n).sum();
+            let _ = writeln!(out, "### {name} ({total} samples)\n");
+            let _ = writeln!(out, "| ≥ | count | |\n|---|---|---|");
+            let peak = buckets.iter().map(|&(_, n)| n).max().unwrap_or(1).max(1);
+            for &(lo, n) in buckets {
+                let bar = "█".repeat(((n * 24).div_ceil(peak)) as usize);
+                let _ = writeln!(out, "| {lo} | {n} | {bar} |");
+            }
+            let _ = writeln!(out);
+        }
+    }
+
+    out
+}
+
+fn html_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Render the summary as a self-contained HTML page (the markdown body
+/// wrapped with minimal table styling; tables are converted structurally,
+/// everything else is preformatted text).
+pub fn render_html(s: &TraceSummary) -> String {
+    let md = render_markdown(s);
+    let mut body = String::with_capacity(md.len() * 2);
+    let mut in_table = false;
+    for line in md.lines() {
+        let is_row = line.starts_with('|') && line.ends_with('|');
+        let is_sep = is_row && line.chars().all(|c| matches!(c, '|' | '-' | ' '));
+        if is_row && !is_sep {
+            let cells: Vec<&str> = line[1..line.len() - 1].split('|').collect();
+            let tag = if !in_table { "th" } else { "td" };
+            if !in_table {
+                body.push_str("<table>\n");
+                in_table = true;
+            }
+            body.push_str("<tr>");
+            for c in cells {
+                let _ = write!(body, "<{tag}>{}</{tag}>", html_escape(c.trim()));
+            }
+            body.push_str("</tr>\n");
+            continue;
+        }
+        if in_table && !is_row {
+            body.push_str("</table>\n");
+            in_table = false;
+        }
+        if is_sep {
+            continue;
+        }
+        if let Some(h) = line.strip_prefix("### ") {
+            let _ = writeln!(body, "<h3>{}</h3>", html_escape(h));
+        } else if let Some(h) = line.strip_prefix("## ") {
+            let _ = writeln!(body, "<h2>{}</h2>", html_escape(h));
+        } else if let Some(h) = line.strip_prefix("# ") {
+            let _ = writeln!(body, "<h1>{}</h1>", html_escape(h));
+        } else if let Some(item) = line.strip_prefix("- ") {
+            let _ = writeln!(body, "<div>• {}</div>", html_escape(item).replace("**", ""));
+        } else if !line.is_empty() {
+            let _ = writeln!(body, "<p>{}</p>", html_escape(line).replace("**", ""));
+        }
+    }
+    if in_table {
+        body.push_str("</table>\n");
+    }
+    format!(
+        "<!doctype html>\n<html><head><meta charset=\"utf-8\">\
+         <title>minpsid trace report</title>\n<style>\
+         body{{font-family:system-ui,sans-serif;margin:2rem auto;max-width:70rem}}\
+         table{{border-collapse:collapse;margin:1rem 0}}\
+         th,td{{border:1px solid #ccc;padding:0.25rem 0.6rem;text-align:right}}\
+         th{{background:#f3f3f3}}td:first-child,th:first-child{{text-align:left}}\
+         </style></head><body>\n{body}</body></html>\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CampaignKind, Event};
+
+    fn log_from(events: Vec<Event>) -> String {
+        events
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| {
+                TimedEvent {
+                    ts_us: i as u64 * 10,
+                    event,
+                }
+                .to_line()
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::TraceStart { tool: "t".into() },
+            Event::SpanBegin {
+                id: 1,
+                name: "ref_fi".into(),
+            },
+            Event::CampaignEnd {
+                kind: CampaignKind::PerInst,
+                injections: 200,
+                elapsed_us: 1000,
+                counts: OutcomeTally {
+                    benign: 150,
+                    sdc: 30,
+                    crash: 15,
+                    hang: 5,
+                    detected: 0,
+                },
+                steps_executed: 4000,
+                steps_skipped: 6000,
+                restores: 180,
+            },
+            Event::FunctionOutcomes {
+                func: "main".into(),
+                counts: OutcomeTally {
+                    benign: 150,
+                    sdc: 30,
+                    crash: 15,
+                    hang: 5,
+                    detected: 0,
+                },
+            },
+            Event::SpanEnd {
+                id: 1,
+                name: "ref_fi".into(),
+                dur_us: 500,
+            },
+            Event::GaGeneration {
+                input_index: 0,
+                generation: 0,
+                best_fitness: 2.0,
+                mean_fitness: 1.0,
+                population: 6,
+                evals: 6,
+            },
+            Event::GaGeneration {
+                input_index: 0,
+                generation: 1,
+                best_fitness: 3.0,
+                mean_fitness: 1.5,
+                population: 6,
+                evals: 9,
+            },
+            Event::SearchInput {
+                index: 1,
+                fitness: 3.0,
+                new_incubative: 2,
+                total_incubative: 2,
+            },
+            Event::Knapsack {
+                budget: 500,
+                total_cycles: 1000,
+                eligible: 50,
+                selected: 20,
+                protected_cycle_fraction: 0.5,
+                expected_coverage: 0.9,
+            },
+            Event::CacheStats {
+                hits: 3,
+                misses: 1,
+                entries: 1,
+            },
+            Event::TraceEnd { dur_us: 90 },
+        ]
+    }
+
+    #[test]
+    fn summarize_aggregates_everything() {
+        let events = parse_log(&log_from(sample_events())).unwrap();
+        let s = summarize(&events);
+        assert_eq!(s.tool.as_deref(), Some("t"));
+        assert_eq!(s.stages.len(), 1);
+        assert_eq!(s.stages[0].name, "ref_fi");
+        assert_eq!(s.stages[0].total_us, 500);
+        assert_eq!(s.per_inst.injections, 200);
+        assert_eq!(s.per_inst.counts.sdc, 30);
+        assert!((s.per_inst.savings() - 0.6).abs() < 1e-9);
+        assert_eq!(s.program.campaigns, 0);
+        assert_eq!(s.functions.len(), 1);
+        assert_eq!(s.ga.len(), 2);
+        assert_eq!(s.inputs.len(), 1);
+        assert_eq!(s.cache.unwrap().hits, 3);
+        assert!((s.cache.unwrap().hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(s.knapsack.unwrap().selected, 20);
+        assert_eq!(s.open_spans, 0);
+    }
+
+    #[test]
+    fn parse_log_reports_line_numbers() {
+        let mut log = log_from(sample_events());
+        log.push_str("\n{broken\n");
+        let err = parse_log(&log).unwrap_err();
+        assert_eq!(err.0, sample_events().len() + 1);
+    }
+
+    #[test]
+    fn markdown_report_contains_required_sections() {
+        let events = parse_log(&log_from(sample_events())).unwrap();
+        let md = render_markdown(&summarize(&events));
+        for needle in [
+            "# minpsid trace report",
+            "## Stage time breakdown",
+            "| ref_fi |",
+            "Per-instruction campaigns",
+            "replay work saved",
+            "## Golden-run cache",
+            "75.0% hit rate",
+            "## GA search: fitness per generation",
+            "## Knapsack selection",
+            "expected SDC coverage: 90.00%",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
+        }
+    }
+
+    #[test]
+    fn html_report_is_well_formed_enough() {
+        let events = parse_log(&log_from(sample_events())).unwrap();
+        let html = render_html(&summarize(&events));
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.contains("<h1>minpsid trace report</h1>"));
+        assert_eq!(
+            html.matches("<table>").count(),
+            html.matches("</table>").count()
+        );
+        assert!(html.matches("<table>").count() >= 3);
+        assert!(html.ends_with("</body></html>\n"));
+    }
+
+    #[test]
+    fn unended_spans_are_flagged() {
+        let events = parse_log(&log_from(vec![Event::SpanBegin {
+            id: 9,
+            name: "search".into(),
+        }]))
+        .unwrap();
+        let s = summarize(&events);
+        assert_eq!(s.open_spans, 1);
+        assert!(render_markdown(&s).contains("never ended"));
+    }
+}

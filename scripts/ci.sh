@@ -18,4 +18,18 @@ echo "== fig2 smoke (--preset tiny)"
 cargo run --release --offline -q -p minpsid-bench --bin fig2_baseline_loss -- \
   --preset tiny --bench pathfinder --seed 42 >/dev/null
 
+echo "== trace smoke (fig2 --trace-out -> trace check / trace report)"
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+cargo run --release --offline -q -p minpsid-bench --bin fig2_baseline_loss -- \
+  --preset tiny --bench pathfinder --seed 42 --trace-out "$TRACE_TMP/fig2.jsonl" >/dev/null
+test -s "$TRACE_TMP/fig2.jsonl"
+# strict schema validation: `trace check` re-parses every JSONL line and
+# fails on the first malformed one
+cargo run --release --offline -q -p minpsid-cli -- trace check "$TRACE_TMP/fig2.jsonl"
+cargo run --release --offline -q -p minpsid-cli -- trace report "$TRACE_TMP/fig2.jsonl" \
+  -o "$TRACE_TMP/report"
+test -s "$TRACE_TMP/report/trace_report.md"
+test -s "$TRACE_TMP/report/trace_report.html"
+
 echo "CI OK"

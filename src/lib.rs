@@ -14,6 +14,8 @@
 //! * [`sid`] — baseline selective instruction duplication;
 //! * [`minpsid`] — the paper's contribution: GA input search,
 //!   incubative-instruction identification, re-prioritized SID;
+//! * [`trace`] — structured tracing/metrics sink and the offline
+//!   `minpsid trace report` analyzer;
 //! * [`workloads`] — the 11 benchmarks of Table I.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
@@ -25,4 +27,5 @@ pub use minpsid_faultsim as faultsim;
 pub use minpsid_interp as interp;
 pub use minpsid_ir as ir;
 pub use minpsid_sid as sid;
+pub use minpsid_trace as trace;
 pub use minpsid_workloads as workloads;
