@@ -12,8 +12,13 @@
 //! Benchmarks come from `minpsid-workloads`; `compile` also accepts a path
 //! to a `.mc` (minic) source file.
 
-use minpsid::{run_minpsid_cached, GoldenCache, MinpsidConfig};
-use minpsid_faultsim::{golden_run, program_campaign, CampaignConfig, CheckpointPolicy};
+use minpsid::{
+    minpsid_config_fingerprint, module_fingerprint, run_minpsid_cached, run_minpsid_journaled,
+    GoldenCache, MinpsidConfig, PipelineError,
+};
+use minpsid_faultsim::{
+    golden_run, interrupt, program_campaign, CampaignConfig, CampaignJournal, CheckpointPolicy,
+};
 use minpsid_interp::{ExecConfig, Interp, ProgInput, Scalar};
 use minpsid_ir::printer::print_module;
 use minpsid_ir::Module;
@@ -158,10 +163,25 @@ usage:
   minpsid trace check <log.jsonl>              # validate a trace log
 
 FI campaign options (fi/analyze/sid/minpsid):
+  --injections N            whole-program campaign size (default 1000)
+  --per-inst N              injections per static instruction (default 100)
+  --quick                   small campaign preset for smoke tests
   --checkpoint-interval N   snapshot the golden run every N dynamic
                             instructions (default: auto, ~sqrt of steps)
   --no-checkpoints          disable checkpointing; replay every injection
                             from scratch
+  --injection-timeout-ms N  per-injection wall-clock budget alongside the
+                            step limit (0 = off, the default); overruns
+                            classify as engine errors, not hangs
+  --chaos-panic-one-in N    test harness: panic inside every Nth injection
+                            worker to exercise fault isolation
+
+crash-safe journal (minpsid):
+  --journal DIR             journal campaign progress to DIR; SIGINT
+                            flushes and exits with a resume hint
+  --resume DIR              resume a journaled run (same flags required)
+  --max-inputs N            cap on searched inputs (default 25)
+  --golden-cache-cap N      LRU-evict golden runs beyond N cache entries
 
 global options:
   --trace-out PATH          write a structured JSONL trace of the run
@@ -211,12 +231,32 @@ fn parse_level(rest: &[String]) -> Result<f64, String> {
             .parse::<f64>()
             .map_err(|_| format!("bad --level `{v}`"))
             .and_then(|l| {
-                if (0.0..=1.0).contains(&l) {
-                    Ok(l)
+                if l <= 0.0 {
+                    Err(format!(
+                        "--level {v} gives a zero protection budget \
+                         (no instruction can be selected); use a level in (0, 1]"
+                    ))
+                } else if l > 1.0 {
+                    Err("--level must be in (0, 1]".into())
                 } else {
-                    Err("--level must be in [0, 1]".into())
+                    Ok(l)
                 }
             }),
+    }
+}
+
+/// Parse a flag whose value must be a positive integer (`0` is always a
+/// configuration mistake for these: it silently yields an empty campaign
+/// or an empty search).
+fn parse_positive(rest: &[String], flag: &str, what: &str) -> Result<Option<u64>, String> {
+    match flag_value(rest, flag) {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n > 0)
+            .map(Some)
+            .ok_or_else(|| format!("bad {flag} `{v}` ({what})")),
     }
 }
 
@@ -227,13 +267,25 @@ fn parse_seed(rest: &[String]) -> Result<u64, String> {
     }
 }
 
-/// Campaign config from the shared FI flags: `--seed`,
-/// `--checkpoint-interval`, `--no-checkpoints`.
+/// Campaign config from the shared FI flags: `--seed`, `--quick`,
+/// `--injections`, `--per-inst`, `--checkpoint-interval`,
+/// `--no-checkpoints`, `--injection-timeout-ms`, `--chaos-panic-one-in`.
 fn parse_campaign(rest: &[String]) -> Result<CampaignConfig, String> {
-    let mut campaign = CampaignConfig {
-        seed: parse_seed(rest)?,
-        ..CampaignConfig::default()
+    let seed = parse_seed(rest)?;
+    let mut campaign = if rest.iter().any(|a| a == "--quick") {
+        CampaignConfig::quick(seed)
+    } else {
+        CampaignConfig {
+            seed,
+            ..CampaignConfig::default()
+        }
     };
+    if let Some(n) = parse_positive(rest, "--injections", "want a positive campaign size")? {
+        campaign.injections = n as usize;
+    }
+    if let Some(n) = parse_positive(rest, "--per-inst", "want a positive per-instruction count")? {
+        campaign.per_inst_injections = n as usize;
+    }
     if let Some(v) = flag_value(rest, "--checkpoint-interval") {
         let n: u64 =
             v.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
@@ -243,6 +295,15 @@ fn parse_campaign(rest: &[String]) -> Result<CampaignConfig, String> {
     }
     if rest.iter().any(|a| a == "--no-checkpoints") {
         campaign.checkpoints = CheckpointPolicy::Disabled;
+    }
+    if let Some(v) = flag_value(rest, "--injection-timeout-ms") {
+        // 0 explicitly disables the wall-clock budget (the default)
+        campaign.exec.wall_clock_ms = v
+            .parse()
+            .map_err(|_| format!("bad --injection-timeout-ms `{v}`"))?;
+    }
+    if let Some(n) = parse_positive(rest, "--chaos-panic-one-in", "want a positive period")? {
+        campaign.chaos_panic_one_in = Some(n);
     }
     Ok(campaign)
 }
@@ -319,10 +380,7 @@ fn cmd_fi(rest: &[String]) -> Result<(), String> {
     let name = first_arg(rest, "benchmark name")?;
     let module = load_module(name)?;
     let input = parse_input(name, rest)?;
-    let mut campaign = parse_campaign(rest)?;
-    if let Some(v) = flag_value(rest, "--injections") {
-        campaign.injections = v.parse().map_err(|_| format!("bad --injections `{v}`"))?;
-    }
+    let campaign = parse_campaign(rest)?;
     let golden =
         golden_run(&module, &input, &campaign).map_err(|t| format!("golden run failed: {t:?}"))?;
     let c = program_campaign(&module, &input, &golden, &campaign);
@@ -332,6 +390,12 @@ fn cmd_fi(rest: &[String]) -> Result<(), String> {
     println!("  crash:    {}", c.counts.crash);
     println!("  hang:     {}", c.counts.hang);
     println!("  detected: {}", c.counts.detected);
+    if c.counts.engine_error > 0 {
+        println!(
+            "  engine-err: {} (excluded from rates)",
+            c.counts.engine_error
+        );
+    }
     println!(
         "SDC probability: {:.2}% (95% CI {:.2}%..{:.2}%)",
         c.sdc_prob() * 100.0,
@@ -464,19 +528,104 @@ fn cmd_sid(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Route SIGINT through the cooperative interrupt flag so a journaled
+/// campaign flushes its WAL and exits with a resume hint instead of
+/// dying mid-write. Only an atomic store happens in the handler.
+#[cfg(unix)]
+fn install_sigint_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_sigint(_sig: i32) {
+        interrupt::request();
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
+
 fn cmd_minpsid(rest: &[String]) -> Result<(), String> {
     let name = first_arg(rest, "benchmark name")?;
     let b =
         minpsid_workloads::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
     let module = b.compile();
-    let cfg = MinpsidConfig {
+    let quick = rest.iter().any(|a| a == "--quick");
+    let mut cfg = MinpsidConfig {
         protection_level: parse_level(rest)?,
         campaign: parse_campaign(rest)?,
         ..MinpsidConfig::default()
     };
-    let cache = GoldenCache::new();
-    let r = run_minpsid_cached(&module, b.model.as_ref(), &cfg, &cache)
-        .map_err(|t| format!("MINPSID failed: {t:?}"))?;
+    if quick {
+        cfg.ga.population = 4;
+        cfg.ga.max_generations = 3;
+        cfg.max_inputs = 4;
+    }
+    if let Some(n) = parse_positive(
+        rest,
+        "--max-inputs",
+        "a zero cap means an empty input search; want a positive count",
+    )? {
+        cfg.max_inputs = n as usize;
+    }
+    let cache = match parse_positive(rest, "--golden-cache-cap", "want a positive entry count")? {
+        Some(n) => GoldenCache::with_capacity(n as usize),
+        None => GoldenCache::new(),
+    };
+
+    let resume = flag_value(rest, "--resume");
+    let journal_dir = flag_value(rest, "--journal").or_else(|| resume.clone());
+    let mut journal = None;
+    if let Some(dir) = &journal_dir {
+        let dir = std::path::PathBuf::from(dir);
+        if resume.is_some() && !dir.join("campaign.wal").is_file() {
+            return Err(format!(
+                "--resume: no journal found at {} (start one with --journal)",
+                dir.display()
+            ));
+        }
+        let j = CampaignJournal::open(
+            &dir,
+            module_fingerprint(&module),
+            minpsid_config_fingerprint(&cfg),
+        )
+        .map_err(|e| format!("opening journal: {e}"))?;
+        let (recovered, truncated) = j.recovery_stats();
+        if recovered > 0 || truncated > 0 {
+            diag!(
+                "journal: recovered {recovered} records \
+                 ({truncated} torn-tail bytes truncated)"
+            );
+        }
+        install_sigint_handler();
+        journal = Some(j);
+    }
+
+    let r = match &journal {
+        Some(j) => match run_minpsid_journaled(&module, b.model.as_ref(), &cfg, &cache, j) {
+            Ok(r) => r,
+            Err(PipelineError::Interrupted) => {
+                let mut resume_args: Vec<String> = rest
+                    .iter()
+                    .filter(|a| *a != "--journal" && *a != "--resume")
+                    .cloned()
+                    .collect();
+                resume_args.retain(|a| Some(a) != journal_dir.as_ref());
+                return Err(format!(
+                    "interrupted; progress saved — resume with: \
+                     minpsid minpsid {} --resume {}",
+                    resume_args.join(" "),
+                    j.dir().display()
+                ));
+            }
+            Err(e) => return Err(format!("MINPSID failed: {e}")),
+        },
+        None => run_minpsid_cached(&module, b.model.as_ref(), &cfg, &cache)
+            .map_err(|t| format!("MINPSID failed: {t:?}"))?,
+    };
 
     if rest.iter().any(|a| a == "--json") {
         println!("{}", minpsid_json(name, &module, &cfg, &r, &cache).render());
@@ -499,6 +648,13 @@ fn cmd_minpsid(rest: &[String]) -> Result<(), String> {
         );
     }
     print_run_telemetry(&r.timings, &cache);
+    if let Some(j) = &journal {
+        let (served, appended) = j.usage();
+        diag!(
+            "  journal        {served} injections/evals served, {appended} records appended ({})",
+            j.dir().display()
+        );
+    }
     Ok(())
 }
 
@@ -637,6 +793,53 @@ mod tests {
         assert_eq!(parse_level(&args(&[])).unwrap(), 0.5);
         assert!(parse_level(&args(&["--level", "1.5"])).is_err());
         assert!(parse_level(&args(&["--level", "abc"])).is_err());
+        // a zero protection budget is a configuration mistake, not a run
+        let err = parse_level(&args(&["--level", "0"])).unwrap_err();
+        assert!(err.contains("zero protection budget"), "{err}");
+        assert!(parse_level(&args(&["--level", "-0.1"])).is_err());
+    }
+
+    #[test]
+    fn positive_flags_reject_zero_and_garbage() {
+        assert_eq!(
+            parse_positive(&args(&["--injections", "50"]), "--injections", "x").unwrap(),
+            Some(50)
+        );
+        assert_eq!(
+            parse_positive(&args(&[]), "--injections", "x").unwrap(),
+            None
+        );
+        assert!(parse_positive(&args(&["--injections", "0"]), "--injections", "x").is_err());
+        assert!(parse_positive(&args(&["--max-inputs", "0"]), "--max-inputs", "x").is_err());
+        assert!(parse_positive(&args(&["--per-inst", "-3"]), "--per-inst", "x").is_err());
+        assert!(parse_positive(&args(&["--per-inst", "abc"]), "--per-inst", "x").is_err());
+    }
+
+    #[test]
+    fn campaign_flags_cover_sizes_timeout_and_chaos() {
+        let c = parse_campaign(&args(&[
+            "--injections",
+            "60",
+            "--per-inst",
+            "7",
+            "--injection-timeout-ms",
+            "250",
+            "--chaos-panic-one-in",
+            "40",
+        ]))
+        .unwrap();
+        assert_eq!(c.injections, 60);
+        assert_eq!(c.per_inst_injections, 7);
+        assert_eq!(c.exec.wall_clock_ms, 250);
+        assert_eq!(c.chaos_panic_one_in, Some(40));
+
+        let q = parse_campaign(&args(&["--quick"])).unwrap();
+        assert!(q.injections < CampaignConfig::default().injections);
+        // timeout 0 explicitly disables the wall-clock budget
+        let off = parse_campaign(&args(&["--injection-timeout-ms", "0"])).unwrap();
+        assert_eq!(off.exec.wall_clock_ms, 0);
+        assert!(parse_campaign(&args(&["--injections", "0"])).is_err());
+        assert!(parse_campaign(&args(&["--chaos-panic-one-in", "0"])).is_err());
     }
 
     #[test]

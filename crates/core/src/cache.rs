@@ -19,7 +19,7 @@
 //! thread counts, or injection counts).
 
 use minpsid_faultsim::{golden_run, CampaignConfig, GoldenRun};
-use minpsid_interp::{ProgInput, Scalar, Stream, Termination};
+use minpsid_interp::{Output, OutputItem, ProgInput, Scalar, Stream, Termination};
 use minpsid_ir::Module;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -66,6 +66,14 @@ pub fn module_fingerprint(module: &Module) -> u64 {
     h.0
 }
 
+/// FNV-1a over a value's `Debug` rendering (the journal's config
+/// fingerprint hashes a whole `MinpsidConfig` this way).
+pub(crate) fn fingerprint_debug<T: std::fmt::Debug>(v: &T) -> u64 {
+    let mut h = Fnv::new();
+    write!(h, "{v:?}").expect("fmt to hasher cannot fail");
+    h.0
+}
+
 /// Bit-exact fingerprint of a program input (floats hash by bit pattern,
 /// so -0.0 and NaN payloads are distinguished, matching the interpreter's
 /// bit-exact semantics).
@@ -106,6 +114,27 @@ pub fn input_fingerprint(input: &ProgInput) -> u64 {
     h.0
 }
 
+/// Bit-exact fingerprint of an execution's output — the digest the
+/// crash-safe journal stores to verify that a resumed run's recomputed
+/// golden runs match the originals.
+pub fn output_fingerprint(output: &Output) -> u64 {
+    let mut h = Fnv::new();
+    h.eat_u64(output.items.len() as u64);
+    for item in &output.items {
+        match item {
+            OutputItem::I(v) => {
+                h.eat_bytes(b"i");
+                h.eat_u64(*v as u64);
+            }
+            OutputItem::F(v) => {
+                h.eat_bytes(b"f");
+                h.eat_u64(v.to_bits());
+            }
+        }
+    }
+    h.0
+}
+
 /// Fingerprint of the campaign-config fields a golden run depends on.
 /// Seeds, thread counts, and injection counts deliberately do not
 /// participate: they change campaigns, not golden runs.
@@ -122,14 +151,29 @@ pub fn config_fingerprint(cfg: &CampaignConfig) -> u64 {
 
 type Key = (u64, u64, u64);
 
+/// A cached golden run stamped with its last-use tick for LRU eviction.
+struct Entry {
+    run: Arc<GoldenRun>,
+    tick: u64,
+}
+
 /// Thread-safe memo table for golden runs. Cheap to share (`Arc` it, or
 /// borrow it down a pipeline); entries are `Arc<GoldenRun>` so campaign
 /// fan-out reads one shared copy of the profile and checkpoint store.
+///
+/// Checkpointed golden runs can hold megabytes of snapshot state each, so
+/// long experiment sweeps bound the cache with [`GoldenCache::with_capacity`]:
+/// when full, the least-recently-used entry is evicted before inserting a
+/// new one. The default capacity is unbounded (`cap == 0`), preserving the
+/// old behaviour for short pipelines.
 #[derive(Default)]
 pub struct GoldenCache {
-    map: Mutex<HashMap<Key, Arc<GoldenRun>>>,
+    map: Mutex<HashMap<Key, Entry>>,
+    cap: usize,
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl GoldenCache {
@@ -137,9 +181,25 @@ impl GoldenCache {
         GoldenCache::default()
     }
 
+    /// A cache holding at most `cap` golden runs (`0` = unbounded). At
+    /// capacity, inserting a new entry first evicts the one with the
+    /// oldest last-use tick.
+    pub fn with_capacity(cap: usize) -> Self {
+        GoldenCache {
+            cap,
+            ..GoldenCache::default()
+        }
+    }
+
+    /// The configured capacity (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
     /// The golden run of (module, input) under `cfg`, computed at most
-    /// once per fingerprint triple. Failed runs (non-exiting inputs) are
-    /// not cached — the paper's pipeline filters those inputs out anyway.
+    /// once per fingerprint triple while resident. Failed runs
+    /// (non-exiting inputs) are not cached — the paper's pipeline filters
+    /// those inputs out anyway.
     pub fn golden(
         &self,
         module: &Module,
@@ -151,16 +211,31 @@ impl GoldenCache {
             input_fingerprint(input),
             config_fingerprint(cfg),
         );
-        if let Some(g) = self.map.lock().unwrap().get(&key) {
+        if let Some(e) = self.map.lock().unwrap().get_mut(&key) {
+            e.tick = self.tick.fetch_add(1, Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(g));
+            return Ok(Arc::clone(&e.run));
         }
         // Compute outside the lock so concurrent misses on different keys
         // don't serialize. Two threads racing on the *same* key compute
         // identical results (determinism), so last-write-wins is benign.
         let g = Arc::new(golden_run(module, input, cfg)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.map.lock().unwrap().insert(key, Arc::clone(&g));
+        let mut map = self.map.lock().unwrap();
+        if self.cap > 0 && !map.contains_key(&key) && map.len() >= self.cap {
+            let oldest = map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| *k);
+            if let Some(oldest) = oldest {
+                map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        map.insert(
+            key,
+            Entry {
+                run: Arc::clone(&g),
+                tick: self.tick.fetch_add(1, Ordering::Relaxed),
+            },
+        );
         Ok(g)
     }
 
@@ -170,6 +245,11 @@ impl GoldenCache {
 
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// How many entries LRU pressure has pushed out so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     pub fn len(&self) -> usize {
@@ -189,8 +269,10 @@ impl std::fmt::Debug for GoldenCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GoldenCache")
             .field("entries", &self.len())
+            .field("capacity", &self.cap)
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
             .finish()
     }
 }
@@ -281,5 +363,55 @@ mod tests {
         let b = ProgInput::scalars(vec![Scalar::F(-0.0)]);
         assert_ne!(input_fingerprint(&a), input_fingerprint(&b));
         assert_eq!(input_fingerprint(&a), input_fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn output_fingerprint_is_bit_exact_and_order_sensitive() {
+        let a = Output {
+            items: vec![OutputItem::I(1), OutputItem::F(0.0)],
+        };
+        let b = Output {
+            items: vec![OutputItem::I(1), OutputItem::F(-0.0)],
+        };
+        let c = Output {
+            items: vec![OutputItem::F(0.0), OutputItem::I(1)],
+        };
+        assert_ne!(output_fingerprint(&a), output_fingerprint(&b));
+        assert_ne!(output_fingerprint(&a), output_fingerprint(&c));
+        assert_eq!(output_fingerprint(&a), output_fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn capped_cache_evicts_least_recently_used() {
+        let m = module();
+        let cache = GoldenCache::with_capacity(2);
+        let cfg = CampaignConfig::quick(1);
+        cache.golden(&m, &input(10), &cfg).unwrap();
+        cache.golden(&m, &input(11), &cfg).unwrap();
+        // Touch 10 so 11 becomes the LRU entry, then insert a third.
+        cache.golden(&m, &input(10), &cfg).unwrap();
+        cache.golden(&m, &input(12), &cfg).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+
+        // 10 survived, 11 was evicted (re-fetching it is a miss).
+        let misses = cache.misses();
+        cache.golden(&m, &input(10), &cfg).unwrap();
+        assert_eq!(cache.misses(), misses, "10 was retained");
+        cache.golden(&m, &input(11), &cfg).unwrap();
+        assert_eq!(cache.misses(), misses + 1, "11 was evicted");
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let m = module();
+        let cache = GoldenCache::new();
+        assert_eq!(cache.capacity(), 0);
+        let cfg = CampaignConfig::quick(1);
+        for n in 0..8 {
+            cache.golden(&m, &input(10 + n), &cfg).unwrap();
+        }
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.evictions(), 0);
     }
 }

@@ -40,14 +40,16 @@ pub mod pipeline;
 pub mod search;
 pub mod wcfg;
 
-pub use cache::{config_fingerprint, input_fingerprint, module_fingerprint, GoldenCache};
+pub use cache::{
+    config_fingerprint, input_fingerprint, module_fingerprint, output_fingerprint, GoldenCache,
+};
 pub use incubative::{incubative_between, IncubativeConfig, IncubativeTracker, ReprioritizeRule};
 pub use input::{crossover, mutate, InputModel, ParamKind, ParamSpec, ParamValue};
 pub use pipeline::{
-    run_baseline_sid, run_minpsid, run_minpsid_cached, MinpsidConfig, MinpsidResult,
-    SearchStrategy, Timings,
+    minpsid_config_fingerprint, run_baseline_sid, run_minpsid, run_minpsid_cached,
+    run_minpsid_journaled, MinpsidConfig, MinpsidResult, PipelineError, SearchStrategy, Timings,
 };
-pub use search::{random_searcher, FitnessKind, GaConfig, SearchEngine, SearchOutcome};
+pub use search::{random_searcher, EvalMemo, FitnessKind, GaConfig, SearchEngine, SearchOutcome};
 pub use wcfg::{
     fitness_score, fitness_score_normalized, indexed_cfg_list, profile_input, weighted_cfg_dot,
 };

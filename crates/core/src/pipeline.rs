@@ -1,17 +1,21 @@
 //! The end-to-end MINPSID pipeline (paper Fig. 4).
 
-use crate::cache::GoldenCache;
+use crate::cache::{fingerprint_debug, input_fingerprint, output_fingerprint, GoldenCache};
 use crate::incubative::{IncubativeConfig, IncubativeTracker};
 use crate::input::InputModel;
-use crate::search::{GaConfig, SearchEngine};
-use crate::wcfg::indexed_cfg_list;
-use minpsid_faultsim::{per_instruction_campaign, CampaignConfig};
-use minpsid_interp::Termination;
+use crate::search::{EvalMemo, GaConfig, SearchEngine};
+use minpsid_faultsim::{
+    interrupt, per_instruction_campaign, per_instruction_campaign_journaled, CampaignConfig,
+    CampaignJournal, GoldenRun, Interrupted,
+};
+use minpsid_interp::{ProgInput, Termination};
 use minpsid_ir::Module;
 use minpsid_sid::knapsack::Selection;
 use minpsid_sid::transform::TransformMeta;
 use minpsid_sid::{select_and_protect, CostBenefit, SidConfig, SidResult};
 use minpsid_trace as trace;
+use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which searcher drives step ④ — the GA engine (MINPSID proper) or the
@@ -183,7 +187,7 @@ pub fn run_minpsid_cached(
         drop(fi_span);
         timings.incubative_fi += t_fi.elapsed();
 
-        engine.record_history(indexed_cfg_list(&outcome.profile));
+        engine.record_history(outcome.cfg_list.clone());
         let new = tracker.observe(&cb.benefit);
         incubative_history.push(tracker.count());
         inputs_searched += 1;
@@ -218,6 +222,229 @@ pub fn run_minpsid_cached(
             entries: cache.len() as u64,
         });
     }
+
+    Ok(MinpsidResult {
+        protected,
+        meta,
+        selection,
+        expected_coverage,
+        incubative: tracker.incubative_indices(),
+        incubative_history,
+        inputs_searched,
+        timings,
+        cost_benefit: cb,
+        tracker,
+    })
+}
+
+/// Why a journaled pipeline run stopped without a result.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The golden run of an input failed to exit normally.
+    Golden(Termination),
+    /// A cooperative interrupt (SIGINT) stopped the run; all completed
+    /// work is in the journal and the run can be resumed.
+    Interrupted,
+    /// The journal disagrees with this run (e.g. a recomputed golden run
+    /// no longer matches its recorded digest).
+    Journal(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Golden(t) => write!(f, "golden run did not exit: {t:?}"),
+            PipelineError::Interrupted => Interrupted.fmt(f),
+            PipelineError::Journal(msg) => write!(f, "journal: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<Termination> for PipelineError {
+    fn from(t: Termination) -> Self {
+        PipelineError::Golden(t)
+    }
+}
+
+impl From<Interrupted> for PipelineError {
+    fn from(_: Interrupted) -> Self {
+        PipelineError::Interrupted
+    }
+}
+
+/// The config fingerprint a journal header carries for a MINPSID run:
+/// everything that changes the run's decisions participates; the worker
+/// thread count is normalized out (campaigns are thread-count-invariant,
+/// and resuming on a different machine must work).
+pub fn minpsid_config_fingerprint(cfg: &MinpsidConfig) -> u64 {
+    let mut c = cfg.clone();
+    c.campaign.threads = 0;
+    fingerprint_debug(&c)
+}
+
+/// The journal serves as the GA's evaluation memo: profiled CFG lists are
+/// durable, so a resumed search replays candidate evaluations for free.
+impl EvalMemo for CampaignJournal {
+    fn cfg_list(&self, input_fp: u64) -> Option<Vec<u64>> {
+        self.eval_profile(input_fp)
+    }
+
+    fn record_cfg_list(&self, input_fp: u64, list: &[u64]) {
+        self.record_eval(input_fp, list);
+    }
+}
+
+/// Fetch the golden run for `input`, verifying (or recording) its journal
+/// digest. A digest mismatch means the journal belongs to different work
+/// and replaying its outcomes would be silent garbage — refuse loudly.
+fn golden_checked(
+    module: &Module,
+    input: &ProgInput,
+    cfg: &MinpsidConfig,
+    cache: &GoldenCache,
+    journal: &CampaignJournal,
+) -> Result<(Arc<GoldenRun>, u64), PipelineError> {
+    let fp = input_fingerprint(input);
+    let golden = cache.golden(module, input, &cfg.campaign)?;
+    let digest = output_fingerprint(&golden.output);
+    match journal.golden_digest(fp) {
+        Some((d, s)) if d != digest || s != golden.steps => {
+            return Err(PipelineError::Journal(format!(
+                "golden-run digest mismatch for input {fp:#x}: journal has \
+                 (output {d:#x}, {s} steps) but this run computed \
+                 (output {digest:#x}, {} steps) — the journal belongs to a \
+                 different program or campaign config",
+                golden.steps
+            )));
+        }
+        Some(_) => {}
+        None => journal.record_golden(fp, digest, golden.steps),
+    }
+    Ok((golden, fp))
+}
+
+/// [`run_minpsid_cached`] with crash-safe progress: every per-injection
+/// outcome, golden digest, GA evaluation, accepted input, and the final
+/// selection is journaled as it happens. Resume is replay — rerunning
+/// with the same journal short-circuits completed work and produces a
+/// bit-identical [`MinpsidResult`]; an interrupt (SIGINT) flushes the
+/// journal and returns [`PipelineError::Interrupted`].
+pub fn run_minpsid_journaled(
+    module: &Module,
+    model: &dyn InputModel,
+    cfg: &MinpsidConfig,
+    cache: &GoldenCache,
+    journal: &CampaignJournal,
+) -> Result<MinpsidResult, PipelineError> {
+    let mut timings = Timings::default();
+    let _pipeline_span = trace::span("minpsid_pipeline");
+
+    // ① SID preparation: reference-input profile + per-instruction FI
+    let t0 = Instant::now();
+    let ref_fi_span = trace::span("ref_fi");
+    let ref_input = model.materialize(&model.reference());
+    let (ref_golden, ref_fp) = golden_checked(module, &ref_input, cfg, cache, journal)?;
+    let ref_per_inst = per_instruction_campaign_journaled(
+        module,
+        &ref_input,
+        &ref_golden,
+        &cfg.campaign,
+        journal,
+        ref_fp,
+    )?;
+    let ref_cb = CostBenefit::build(module, &ref_golden, &ref_per_inst);
+    drop(ref_fi_span);
+    timings.ref_fi = t0.elapsed();
+    let _ = journal.sync();
+
+    // ③–⑦ input search + incubative identification
+    let mut engine = SearchEngine::new(module, model, cfg.campaign.clone(), cfg.ga.clone());
+    engine.set_eval_memo(journal);
+    engine.record_history(ref_golden.profile.indexed_cfg_list());
+    let mut tracker = IncubativeTracker::new(ref_cb.benefit.clone(), cfg.incubative);
+    let mut incubative_history = Vec::new();
+    let mut stale = 0usize;
+    let mut inputs_searched = 0usize;
+
+    while inputs_searched < cfg.max_inputs && stale < cfg.stagnation_patience {
+        if interrupt::requested() {
+            let _ = journal.sync();
+            return Err(PipelineError::Interrupted);
+        }
+        let t_search = Instant::now();
+        let search_span = trace::span("search");
+        let outcome = match cfg.strategy {
+            SearchStrategy::Genetic => engine.next_ga_input(),
+            SearchStrategy::Random => engine.next_random_input(),
+            SearchStrategy::Annealing => engine.next_annealing_input(),
+        };
+        drop(search_span);
+        timings.search += t_search.elapsed();
+        let Some(outcome) = outcome else {
+            break; // input space exhausted / generator keeps failing
+        };
+
+        // ⑦ per-instruction FI under the searched input
+        let t_fi = Instant::now();
+        let fi_span = trace::span("incubative_fi");
+        let (golden, input_fp) = golden_checked(module, &outcome.input, cfg, cache, journal)?;
+        let per_inst = per_instruction_campaign_journaled(
+            module,
+            &outcome.input,
+            &golden,
+            &cfg.campaign,
+            journal,
+            input_fp,
+        )?;
+        let cb = CostBenefit::build(module, &golden, &per_inst);
+        drop(fi_span);
+        timings.incubative_fi += t_fi.elapsed();
+
+        engine.record_history(outcome.cfg_list.clone());
+        let new = tracker.observe(&cb.benefit);
+        incubative_history.push(tracker.count());
+        inputs_searched += 1;
+        journal.record_accepted(inputs_searched as u64, input_fp);
+        let _ = journal.sync();
+        if trace::active() {
+            trace::emit(trace::Event::SearchInput {
+                index: inputs_searched as u64,
+                fitness: outcome.fitness,
+                new_incubative: new as u64,
+                total_incubative: tracker.count() as u64,
+            });
+        }
+        if new == 0 {
+            stale += 1;
+        } else {
+            stale = 0;
+        }
+    }
+
+    // ⑧ re-prioritization + ⑨ selection & transform
+    let t_rest = Instant::now();
+    let select_span = trace::span("select_transform");
+    let mut cb = ref_cb;
+    cb.benefit = tracker.reprioritized_benefit();
+    let (selection, expected_coverage, protected, meta) =
+        select_and_protect(module, &cb, cfg.protection_level, cfg.use_dp);
+    journal.record_selection(&selection);
+    drop(select_span);
+    timings.other = t_rest.elapsed();
+    if trace::active() {
+        trace::emit(trace::Event::CacheStats {
+            hits: cache.hits(),
+            misses: cache.misses(),
+            entries: cache.len() as u64,
+        });
+    }
+    journal.emit_stats();
+    // completed run: compact the log so the directory stays small across
+    // repeated resumes, and make everything durable on the way out
+    let _ = journal.compact();
+    let _ = journal.sync();
 
     Ok(MinpsidResult {
         protected,
@@ -411,6 +638,105 @@ mod tests {
         let model = Model::new();
         let r = run_minpsid(&m, &model, &quick_cfg(0.5, SearchStrategy::Random)).unwrap();
         assert!(r.inputs_searched >= 1);
+    }
+
+    fn journal_dir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "minpsid-pipeline-journal-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn same_result(a: &MinpsidResult, b: &MinpsidResult) {
+        assert_eq!(a.selection, b.selection);
+        assert_eq!(a.incubative, b.incubative);
+        assert_eq!(a.incubative_history, b.incubative_history);
+        assert_eq!(a.inputs_searched, b.inputs_searched);
+        assert_eq!(a.expected_coverage, b.expected_coverage);
+    }
+
+    /// One test covers fresh-journaled, resumed, and interrupted runs so
+    /// nothing else races the process-wide interrupt flag.
+    #[test]
+    fn journaled_runs_are_bit_identical_and_resumable() {
+        let m = module();
+        let model = Model::new();
+        let cfg = quick_cfg(0.5, SearchStrategy::Genetic);
+        let plain = run_minpsid(&m, &model, &cfg).unwrap();
+
+        let dir = journal_dir("pipeline");
+        let mfp = crate::cache::module_fingerprint(&m);
+        let cfp = minpsid_config_fingerprint(&cfg);
+
+        // fresh journaled run == plain run
+        {
+            let journal = CampaignJournal::open(&dir, mfp, cfp).unwrap();
+            let fresh =
+                run_minpsid_journaled(&m, &model, &cfg, &GoldenCache::new(), &journal).unwrap();
+            same_result(&plain, &fresh);
+            let (_, appended) = journal.usage();
+            assert!(appended > 0, "a fresh run journals its work");
+        }
+
+        // resumed run (fresh cache, reopened journal) == plain run, with
+        // nearly all injections served from the log
+        {
+            let journal = CampaignJournal::open(&dir, mfp, cfp).unwrap();
+            let resumed =
+                run_minpsid_journaled(&m, &model, &cfg, &GoldenCache::new(), &journal).unwrap();
+            same_result(&plain, &resumed);
+            let (served, appended) = journal.usage();
+            assert!(served > 0, "a completed journal serves everything");
+            assert!(
+                appended <= 1,
+                "only the (non-idempotent) selection record is re-appended, got {appended}"
+            );
+        }
+
+        // interrupt before the search loop: progress is kept, a resumed
+        // run still matches
+        let dir2 = journal_dir("pipeline-interrupt");
+        {
+            let journal = CampaignJournal::open(&dir2, mfp, cfp).unwrap();
+            interrupt::request();
+            let r = run_minpsid_journaled(&m, &model, &cfg, &GoldenCache::new(), &journal);
+            interrupt::clear();
+            assert!(matches!(r, Err(PipelineError::Interrupted)));
+        }
+        {
+            let journal = CampaignJournal::open(&dir2, mfp, cfp).unwrap();
+            let (recovered, _) = journal.recovery_stats();
+            assert!(recovered > 0, "the interrupted run journaled its ref FI");
+            let resumed =
+                run_minpsid_journaled(&m, &model, &cfg, &GoldenCache::new(), &journal).unwrap();
+            same_result(&plain, &resumed);
+        }
+
+        // a config change is refused (journal belongs to different work)
+        let other = quick_cfg(0.9, SearchStrategy::Genetic);
+        assert!(CampaignJournal::open(&dir, mfp, minpsid_config_fingerprint(&other)).is_err());
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn config_fingerprint_ignores_thread_count() {
+        let a = quick_cfg(0.5, SearchStrategy::Genetic);
+        let mut b = a.clone();
+        b.campaign.threads = 13;
+        assert_eq!(
+            minpsid_config_fingerprint(&a),
+            minpsid_config_fingerprint(&b)
+        );
+        let mut c = a.clone();
+        c.protection_level = 0.6;
+        assert_ne!(
+            minpsid_config_fingerprint(&a),
+            minpsid_config_fingerprint(&c)
+        );
     }
 
     #[test]

@@ -2,14 +2,27 @@
 //! fitness is the weighted-CFG distance to the search history, plus the
 //! blind random searcher used as the baseline in Fig. 7.
 
+use crate::cache::input_fingerprint;
 use crate::input::{crossover, mutate, InputModel, ParamValue};
 use crate::wcfg::{fitness_score, fitness_score_normalized, indexed_cfg_list, profile_input};
 use minpsid_faultsim::CampaignConfig;
-use minpsid_interp::{Profile, ProgInput};
+use minpsid_interp::ProgInput;
 use minpsid_ir::Module;
 use minpsid_trace as trace;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+
+/// Memoized profiling results, keyed by input fingerprint. The crash-safe
+/// journal implements this so a resumed search replays GA evaluations from
+/// the log instead of re-interpreting every candidate; fitness is a pure
+/// function of the CFG list and the history, so a served list yields the
+/// exact score the original run computed.
+pub trait EvalMemo {
+    /// The indexed CFG list previously recorded for this input, if any.
+    fn cfg_list(&self, input_fp: u64) -> Option<Vec<u64>>;
+    /// Record a freshly profiled input's indexed CFG list.
+    fn record_cfg_list(&self, input_fp: u64, list: &[u64]);
+}
 
 /// Which fitness function drives the GA (Eq. 3 is the paper's).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,13 +66,15 @@ impl Default for GaConfig {
     }
 }
 
-/// An input accepted by the search, with its profile.
+/// An input accepted by the search, with the indexed CFG list its fitness
+/// was scored against (all the pipeline needs for the history; carrying
+/// the full `Profile` would defeat memoized resume).
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {
     pub params: Vec<ParamValue>,
     pub input: ProgInput,
     pub fitness: f64,
-    pub profile: Profile,
+    pub cfg_list: Vec<u64>,
 }
 
 /// The search engine: owns the history of indexed CFG lists against which
@@ -71,8 +86,13 @@ pub struct SearchEngine<'a> {
     ga: GaConfig,
     history: Vec<Vec<u64>>,
     rng: StdRng,
-    /// Profiled executions performed (reported in the Fig. 8 cost split).
+    memo: Option<&'a dyn EvalMemo>,
+    /// Profiled executions performed *or served from a memo* — memo hits
+    /// count so an interrupted-and-resumed search reports the same totals
+    /// (and emits the same trace events) as an uninterrupted one.
     pub profiled_runs: u64,
+    /// How many of `profiled_runs` were served from the memo.
+    pub memo_served: u64,
 }
 
 impl<'a> SearchEngine<'a> {
@@ -90,8 +110,16 @@ impl<'a> SearchEngine<'a> {
             ga,
             history: Vec::new(),
             rng,
+            memo: None,
             profiled_runs: 0,
+            memo_served: 0,
         }
+    }
+
+    /// Attach a memo (e.g. a crash-safe journal) consulted before every
+    /// candidate profiling run and updated after every fresh one.
+    pub fn set_eval_memo(&mut self, memo: &'a dyn EvalMemo) {
+        self.memo = Some(memo);
     }
 
     /// Record an accepted input's indexed CFG list (the reference input is
@@ -104,13 +132,27 @@ impl<'a> SearchEngine<'a> {
         self.history.len()
     }
 
-    /// Evaluate one parameter vector: materialize, profile, score.
-    /// `None` if the input errors out (filtered per §III-A2).
+    /// Evaluate one parameter vector: materialize, profile (or serve the
+    /// CFG list from the memo), score. `None` if the input errors out
+    /// (filtered per §III-A2).
     fn evaluate(&mut self, params: Vec<ParamValue>) -> Option<ScoredCandidate> {
         let input = self.model.materialize(&params);
-        let profile = profile_input(self.module, &input, &self.campaign).ok()?;
+        let fp = input_fingerprint(&input);
+        let list = match self.memo.and_then(|m| m.cfg_list(fp)) {
+            Some(list) => {
+                self.memo_served += 1;
+                list
+            }
+            None => {
+                let profile = profile_input(self.module, &input, &self.campaign).ok()?;
+                let list = indexed_cfg_list(&profile);
+                if let Some(m) = self.memo {
+                    m.record_cfg_list(fp, &list);
+                }
+                list
+            }
+        };
         self.profiled_runs += 1;
-        let list = indexed_cfg_list(&profile);
         let fitness = match self.ga.fitness {
             FitnessKind::Euclidean => fitness_score(&list, &self.history),
             FitnessKind::NormalizedEuclidean => fitness_score_normalized(&list, &self.history),
@@ -118,7 +160,7 @@ impl<'a> SearchEngine<'a> {
         Some(ScoredCandidate {
             params,
             input,
-            profile,
+            cfg_list: list,
             fitness,
         })
     }
@@ -211,7 +253,7 @@ impl<'a> SearchEngine<'a> {
             params: winner.params,
             input: winner.input,
             fitness: winner.fitness,
-            profile: winner.profile,
+            cfg_list: winner.cfg_list,
         })
     }
 
@@ -223,7 +265,7 @@ impl<'a> SearchEngine<'a> {
             params: c.params,
             input: c.input,
             fitness: c.fitness,
-            profile: c.profile,
+            cfg_list: c.cfg_list,
         })
     }
 
@@ -270,7 +312,7 @@ impl<'a> SearchEngine<'a> {
             params: best.params,
             input: best.input,
             fitness: best.fitness,
-            profile: best.profile,
+            cfg_list: best.cfg_list,
         })
     }
 }
@@ -297,7 +339,7 @@ pub fn random_searcher(
 struct ScoredCandidate {
     params: Vec<ParamValue>,
     input: ProgInput,
-    profile: Profile,
+    cfg_list: Vec<u64>,
     fitness: f64,
 }
 

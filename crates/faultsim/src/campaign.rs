@@ -20,10 +20,12 @@ use minpsid_interp::{
     FaultTarget, Interp, MachineState, Output, Profile, ProgInput, Termination,
 };
 use minpsid_ir::{GlobalInstId, Module};
+use minpsid_journal::{interrupt, CampaignJournal, Interrupted};
 use minpsid_trace as trace;
 use minpsid_trace::{CampaignCounters, CampaignKind, Histogram, OutcomeKind};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
 /// How often the sampler thread publishes `campaign_progress` events.
@@ -36,6 +38,7 @@ fn outcome_kind(o: Outcome) -> OutcomeKind {
         Outcome::Crash => OutcomeKind::Crash,
         Outcome::Hang => OutcomeKind::Hang,
         Outcome::Detected => OutcomeKind::Detected,
+        Outcome::EngineError => OutcomeKind::EngineError,
     }
 }
 
@@ -46,6 +49,7 @@ fn outcome_tally(c: &OutcomeCounts) -> trace::OutcomeTally {
         crash: c.crash,
         hang: c.hang,
         detected: c.detected,
+        engine_error: c.engine_error,
     }
 }
 
@@ -104,6 +108,11 @@ pub struct CampaignConfig {
     pub max_checkpoints: u64,
     /// Total snapshot memory budget; exceeding it thins the store.
     pub checkpoint_mem_budget: usize,
+    /// Harness chaos knob: deterministically panic inside every
+    /// `n`-th-keyed injection worker. Exercises the `catch_unwind` →
+    /// [`Outcome::EngineError`] degradation path in tests and smoke runs;
+    /// `None` (the default) in real campaigns.
+    pub chaos_panic_one_in: Option<u64>,
 }
 
 impl Default for CampaignConfig {
@@ -118,6 +127,7 @@ impl Default for CampaignConfig {
             checkpoints: CheckpointPolicy::Auto,
             max_checkpoints: 512,
             checkpoint_mem_budget: 256 << 20,
+            chaos_panic_one_in: None,
         }
     }
 }
@@ -223,6 +233,54 @@ fn inject(
     }
 }
 
+/// Does the chaos knob fire for the injection with this deterministic
+/// key? (Deterministic so interrupted-and-resumed runs see the same
+/// engine errors as uninterrupted ones.)
+fn chaos_fires(cfg: &CampaignConfig, key: u64) -> bool {
+    matches!(cfg.chaos_panic_one_in, Some(n) if n > 0 && key.is_multiple_of(n))
+}
+
+/// Flat injection index of the per-instruction campaign's (dense, k)
+/// pair, the chaos key shared by journaled and plain variants.
+fn per_inst_chaos_key(cfg: &CampaignConfig, dense: usize, k: usize) -> u64 {
+    (dense as u64) * (cfg.per_inst_injections as u64) + k as u64
+}
+
+/// [`inject`] with the worker hardened: a panic anywhere inside the
+/// replay (an interpreter bug, or the chaos knob) degrades to
+/// [`Outcome::EngineError`] instead of poisoning the worker pool and
+/// aborting the campaign. The panic still prints to stderr — a degraded
+/// run is visible, not silent.
+fn inject_classified(
+    interp: &Interp<'_>,
+    st: &mut MachineState,
+    golden: &GoldenRun,
+    input: &ProgInput,
+    fault: FaultSpec,
+    chaos: bool,
+) -> (Outcome, u64, u64) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if chaos {
+            panic!("chaos: injected worker panic (chaos_panic_one_in)");
+        }
+        inject(interp, st, golden, input, fault)
+    }));
+    match result {
+        Ok(r) => {
+            debug_assert!(r.fault_applied, "fault target within population");
+            let skipped = r.resumed_at.unwrap_or(0);
+            let executed = r.steps.saturating_sub(skipped);
+            (classify(&golden.output, &r), executed, skipped)
+        }
+        Err(_) => {
+            // the panic may have left the per-worker scratch mid-run;
+            // drop it so the next injection starts clean
+            *st = MachineState::default();
+            (Outcome::EngineError, 0, 0)
+        }
+    }
+}
+
 fn faulty_exec_config(cfg: &CampaignConfig, golden_steps: u64) -> ExecConfig {
     ExecConfig {
         profile: false,
@@ -281,12 +339,15 @@ pub fn program_campaign(
                     target: FaultTarget::NthDynamic(rng.random_range(0..population)),
                     bit: rng.random_range(0..64),
                 };
-                let r = inject(&interp, st, golden, input, fault);
-                debug_assert!(r.fault_applied, "dynamic index within population");
-                let o = classify(&golden.output, &r);
+                let (o, executed, skipped) = inject_classified(
+                    &interp,
+                    st,
+                    golden,
+                    input,
+                    fault,
+                    chaos_fires(cfg, i as u64),
+                );
                 if tracing {
-                    let skipped = r.resumed_at.unwrap_or(0);
-                    let executed = r.steps.saturating_sub(skipped);
                     counters.record(outcome_kind(o), executed, skipped);
                     suffix_steps.record(executed);
                 }
@@ -300,8 +361,91 @@ pub fn program_campaign(
     for o in outcomes {
         counts.record(o);
     }
-    let sdc_ci = binomial_ci(counts.sdc, counts.total(), 1.96);
+    // engine errors carry no information about the program, so the CI is
+    // over the injections that produced a real outcome
+    let sdc_ci = binomial_ci(counts.sdc, counts.valid_total(), 1.96);
     ProgramCampaign { counts, sdc_ci }
+}
+
+/// [`program_campaign`] with crash-safe journaling: outcomes already in
+/// `journal` (keyed by `(input_fp, injection index)`) are served without
+/// re-execution, fresh outcomes are appended as they complete, and a
+/// pending [`interrupt`] makes the campaign drain quickly and return
+/// [`Interrupted`] with all finished work durable.
+///
+/// Bit-identical to [`program_campaign`]: every injection's fault is
+/// drawn from an RNG seeded only by `(cfg.seed, index)`, so serving some
+/// outcomes from the journal cannot perturb the rest.
+pub fn program_campaign_journaled(
+    module: &Module,
+    input: &ProgInput,
+    golden: &GoldenRun,
+    cfg: &CampaignConfig,
+    journal: &CampaignJournal,
+    input_fp: u64,
+) -> Result<ProgramCampaign, Interrupted> {
+    let population = golden.profile.injectable_execs;
+    let mut counts = OutcomeCounts::default();
+    if population == 0 || cfg.injections == 0 {
+        return Ok(ProgramCampaign {
+            counts,
+            sdc_ci: binomial_ci(0, 0, 1.96),
+        });
+    }
+    let interp = Interp::new(module, faulty_exec_config(cfg, golden.steps));
+    let tracing = trace::active();
+    let counters = CampaignCounters::new(CampaignKind::Program, cfg.injections as u64);
+    let outcomes = trace::sample_campaign(&counters, PROGRESS_INTERVAL, || {
+        par_map_init(
+            cfg.injections,
+            cfg.threads,
+            MachineState::default,
+            |st, i| {
+                if interrupt::requested() {
+                    return None;
+                }
+                if let Some(o) = journal
+                    .program_outcome(input_fp, i as u64)
+                    .and_then(Outcome::from_u8)
+                {
+                    if tracing {
+                        counters.record(outcome_kind(o), 0, 0);
+                    }
+                    return Some(o);
+                }
+                let mut rng = StdRng::seed_from_u64(
+                    cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let fault = FaultSpec {
+                    target: FaultTarget::NthDynamic(rng.random_range(0..population)),
+                    bit: rng.random_range(0..64),
+                };
+                let (o, executed, skipped) = inject_classified(
+                    &interp,
+                    st,
+                    golden,
+                    input,
+                    fault,
+                    chaos_fires(cfg, i as u64),
+                );
+                journal.record_program(input_fp, i as u64, o.to_u8());
+                if tracing {
+                    counters.record(outcome_kind(o), executed, skipped);
+                }
+                Some(o)
+            },
+        )
+    });
+    let complete = outcomes.iter().all(Option::is_some);
+    if !complete || interrupt::requested() {
+        let _ = journal.sync();
+        return Err(Interrupted);
+    }
+    for o in outcomes.into_iter().flatten() {
+        counts.record(o);
+    }
+    let sdc_ci = binomial_ci(counts.sdc, counts.valid_total(), 1.96);
+    Ok(ProgramCampaign { counts, sdc_ci })
 }
 
 /// Per-static-instruction SDC profile (dense in module numbering order).
@@ -371,12 +515,11 @@ pub fn per_instruction_campaign(
                         target: FaultTarget::NthOfInst(gid, rng.random_range(0..count)),
                         bit: rng.random_range(0..64),
                     };
-                    let r = inject(&interp, st, golden, input, fault);
-                    debug_assert!(r.fault_applied);
-                    let o = classify(&golden.output, &r);
+                    let chaos = chaos_fires(cfg, per_inst_chaos_key(cfg, dense, k));
+                    let (o, executed, skipped) =
+                        inject_classified(&interp, st, golden, input, fault, chaos);
                     if tracing {
-                        let skipped = r.resumed_at.unwrap_or(0);
-                        counters.record(outcome_kind(o), r.steps.saturating_sub(skipped), skipped);
+                        counters.record(outcome_kind(o), executed, skipped);
                     }
                     counts.record(o);
                 }
@@ -397,6 +540,102 @@ pub fn per_instruction_campaign(
     PerInstSdc { sdc_prob, counts }
 }
 
+/// [`per_instruction_campaign`] with crash-safe journaling: injections
+/// already journaled under `(input_fp, dense, k)` are served without
+/// re-execution, fresh ones are appended, and a pending [`interrupt`]
+/// returns [`Interrupted`] with all finished injections durable.
+/// Bit-identical to the plain variant for the same reason as
+/// [`program_campaign_journaled`].
+pub fn per_instruction_campaign_journaled(
+    module: &Module,
+    input: &ProgInput,
+    golden: &GoldenRun,
+    cfg: &CampaignConfig,
+    journal: &CampaignJournal,
+    input_fp: u64,
+) -> Result<PerInstSdc, Interrupted> {
+    let numbering = module.numbering();
+    let n = numbering.len();
+    let interp = Interp::new(module, faulty_exec_config(cfg, golden.steps));
+
+    let targets: Vec<(usize, GlobalInstId, u64)> = module
+        .iter_insts()
+        .filter(|(_, inst)| inst.injectable())
+        .map(|(gid, _)| {
+            let dense = numbering.index(gid);
+            (dense, gid, golden.profile.inst_counts[dense])
+        })
+        .filter(|&(_, _, count)| count > 0)
+        .collect();
+
+    let tracing = trace::active();
+    let counters = CampaignCounters::new(
+        CampaignKind::PerInst,
+        (targets.len() * cfg.per_inst_injections) as u64,
+    );
+    let per_target = trace::sample_campaign(&counters, PROGRESS_INTERVAL, || {
+        par_map_init(
+            targets.len(),
+            cfg.threads,
+            MachineState::default,
+            |st, t| {
+                let (dense, gid, count) = targets[t];
+                let mut counts = OutcomeCounts::default();
+                for k in 0..cfg.per_inst_injections {
+                    if interrupt::requested() {
+                        return (dense, counts, false);
+                    }
+                    if let Some(o) = journal
+                        .per_inst_outcome(input_fp, dense as u64, k as u64)
+                        .and_then(Outcome::from_u8)
+                    {
+                        counts.record(o);
+                        if tracing {
+                            counters.record(outcome_kind(o), 0, 0);
+                        }
+                        continue;
+                    }
+                    let mut rng = StdRng::seed_from_u64(
+                        cfg.seed
+                            ^ (dense as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+                            ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let fault = FaultSpec {
+                        target: FaultTarget::NthOfInst(gid, rng.random_range(0..count)),
+                        bit: rng.random_range(0..64),
+                    };
+                    let chaos = chaos_fires(cfg, per_inst_chaos_key(cfg, dense, k));
+                    let (o, executed, skipped) =
+                        inject_classified(&interp, st, golden, input, fault, chaos);
+                    journal.record_per_inst(input_fp, dense as u64, k as u64, o.to_u8());
+                    counts.record(o);
+                    if tracing {
+                        counters.record(outcome_kind(o), executed, skipped);
+                    }
+                }
+                (dense, counts, true)
+            },
+        )
+    });
+
+    let complete = per_target.iter().all(|&(_, _, done)| done);
+    if !complete || interrupt::requested() {
+        let _ = journal.sync();
+        return Err(Interrupted);
+    }
+    let mut sdc_prob = vec![0.0; n];
+    let mut counts = vec![OutcomeCounts::default(); n];
+    for (dense, c, _) in per_target {
+        sdc_prob[dense] = c.sdc_prob();
+        counts[dense] = c;
+    }
+    if tracing {
+        emit_function_outcomes(module, &targets, &counts);
+    }
+    let _ = journal.sync();
+    Ok(PerInstSdc { sdc_prob, counts })
+}
+
 /// Count one specific outcome in a program campaign (test/report helper).
 pub fn outcome_fraction(counts: &OutcomeCounts, outcome: Outcome) -> f64 {
     let t = counts.total();
@@ -409,6 +648,7 @@ pub fn outcome_fraction(counts: &OutcomeCounts, outcome: Outcome) -> f64 {
         Outcome::Crash => counts.crash,
         Outcome::Hang => counts.hang,
         Outcome::Detected => counts.detected,
+        Outcome::EngineError => counts.engine_error,
     };
     k as f64 / t as f64
 }
@@ -587,6 +827,94 @@ mod tests {
         // thinned store must still be usable
         let c = program_campaign(&m, &input(200), &g, &cfg);
         assert_eq!(c.counts.total(), cfg.injections as u64);
+    }
+
+    fn journal_dir(name: &str) -> std::path::PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("minpsid-campaign-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn journaled_campaigns_match_plain_ones_bit_identically() {
+        let m = test_module();
+        let cfg = CampaignConfig::quick(21);
+        let g = golden_run(&m, &input(50), &cfg).unwrap();
+        let plain = program_campaign(&m, &input(50), &g, &cfg);
+        let plain_pi = per_instruction_campaign(&m, &input(50), &g, &cfg);
+
+        let dir = journal_dir("bitident");
+        let j = CampaignJournal::open(&dir, 1, 2).unwrap();
+        // first pass: everything fresh (appended)
+        let a = program_campaign_journaled(&m, &input(50), &g, &cfg, &j, 9).unwrap();
+        let a_pi = per_instruction_campaign_journaled(&m, &input(50), &g, &cfg, &j, 9).unwrap();
+        assert_eq!(a.counts, plain.counts);
+        assert_eq!(a_pi.counts, plain_pi.counts);
+        let (_, appended) = j.usage();
+        assert!(appended > 0);
+
+        // second pass over a reopened journal: everything served, still
+        // bit-identical
+        j.sync().unwrap();
+        drop(j);
+        let j = CampaignJournal::open(&dir, 1, 2).unwrap();
+        let b = program_campaign_journaled(&m, &input(50), &g, &cfg, &j, 9).unwrap();
+        let b_pi = per_instruction_campaign_journaled(&m, &input(50), &g, &cfg, &j, 9).unwrap();
+        assert_eq!(b.counts, plain.counts);
+        assert_eq!(b_pi.counts, plain_pi.counts);
+        assert_eq!(b_pi.sdc_prob, plain_pi.sdc_prob);
+        let (served, appended) = j.usage();
+        assert_eq!(appended, 0, "a fully journaled rerun executes nothing");
+        assert_eq!(
+            served,
+            (cfg.injections as u64) + plain_pi.counts.iter().map(|c| c.total()).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn chaos_panic_degrades_to_engine_error_without_aborting() {
+        let m = test_module();
+        let mut cfg = CampaignConfig::quick(8);
+        cfg.chaos_panic_one_in = Some(40);
+        let g = golden_run(&m, &input(50), &cfg).unwrap();
+        let c = program_campaign(&m, &input(50), &g, &cfg);
+        // the campaign completed, engine errors were counted, and they do
+        // not contaminate the SDC denominator
+        assert_eq!(c.counts.total(), cfg.injections as u64);
+        assert_eq!(c.counts.engine_error, (cfg.injections as u64).div_ceil(40));
+        assert_eq!(
+            c.counts.valid_total(),
+            cfg.injections as u64 - c.counts.engine_error
+        );
+
+        // deterministic: same seed, same chaos, same counts
+        let c2 = program_campaign(&m, &input(50), &g, &cfg);
+        assert_eq!(c.counts, c2.counts);
+    }
+
+    #[test]
+    fn interrupted_campaign_preserves_progress_and_resumes() {
+        let m = test_module();
+        let mut cfg = CampaignConfig::quick(31);
+        cfg.threads = 1;
+        let g = golden_run(&m, &input(50), &cfg).unwrap();
+        let plain = program_campaign(&m, &input(50), &g, &cfg);
+
+        let dir = journal_dir("interrupt");
+        {
+            let j = CampaignJournal::open(&dir, 1, 2).unwrap();
+            // request the interrupt up front: the campaign must drain
+            // immediately and report Interrupted without recording anything
+            interrupt::request();
+            let r = program_campaign_journaled(&m, &input(50), &g, &cfg, &j, 5);
+            interrupt::clear();
+            assert_eq!(r.unwrap_err(), Interrupted);
+        }
+        // resume: completes and matches the uninterrupted counts
+        let j = CampaignJournal::open(&dir, 1, 2).unwrap();
+        let resumed = program_campaign_journaled(&m, &input(50), &g, &cfg, &j, 5).unwrap();
+        assert_eq!(resumed.counts, plain.counts);
     }
 
     #[test]

@@ -61,6 +61,11 @@ proptest! {
                 // else: locally corrupted but masked before the output —
                 // the canonical benign-with-footprint case
             }
+            Outcome::EngineError => {
+                // only reachable with a wall-clock budget or a worker
+                // panic, neither of which this test configures
+                prop_assert!(false, "engine error without a chaos knob");
+            }
         }
         prop_assert!(report.corruption_density() <= 1.0);
     }

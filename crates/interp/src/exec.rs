@@ -39,6 +39,13 @@ pub struct ExecConfig {
     /// Record every register write as a [`TraceEvent`] (used by the
     /// error-propagation analysis; costs memory proportional to steps).
     pub trace: bool,
+    /// Per-execution wall-clock budget in milliseconds; 0 disables it.
+    /// Exceeding it terminates with [`Termination::WallClock`] — a last
+    /// line of defence behind the deterministic step limit, for faults
+    /// that make individual steps pathologically slow rather than many.
+    /// Off by default: timing-dependent outcomes are not reproducible, so
+    /// campaigns that must replay bit-identically leave this at 0.
+    pub wall_clock_ms: u64,
     pub cost_model: CostModel,
 }
 
@@ -51,6 +58,7 @@ impl Default for ExecConfig {
             output_limit: 1 << 20,
             profile: false,
             trace: false,
+            wall_clock_ms: 0,
             cost_model: CostModel::default(),
         }
     }
@@ -94,6 +102,8 @@ pub enum Termination {
     Detected,
     /// Step or output budget exhausted (hang).
     StepLimit,
+    /// Wall-clock budget exhausted (hang; see [`ExecConfig::wall_clock_ms`]).
+    WallClock,
 }
 
 /// The result of one execution.
@@ -380,6 +390,9 @@ impl<'m> Interp<'m> {
         let m = self.module;
         let mut profile = self.config.profile.then(|| Profile::for_module(m));
         let mut trace: Option<Vec<TraceEvent>> = self.config.trace.then(Vec::new);
+        let deadline = (self.config.wall_clock_ms > 0).then(|| {
+            std::time::Instant::now() + std::time::Duration::from_millis(self.config.wall_clock_ms)
+        });
         // A resumed run enters with the snapshot's step counter already set.
         let resumed_at = (st.steps > 0).then_some(st.steps);
 
@@ -469,6 +482,15 @@ impl<'m> Interp<'m> {
                 *steps += 1;
                 if *steps > self.config.step_limit {
                     finish!(Termination::StepLimit, None);
+                }
+                // Clock checks are ~100x an interpreted step, so poll the
+                // deadline coarsely; 8192 steps is far under a millisecond.
+                if *steps & 8191 == 0 {
+                    if let Some(d) = deadline {
+                        if std::time::Instant::now() >= d {
+                            finish!(Termination::WallClock, None);
+                        }
+                    }
                 }
                 if let Some(p) = profile.as_mut() {
                     p.inst_counts[dense] += 1;

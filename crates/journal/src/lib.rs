@@ -1,0 +1,552 @@
+//! # minpsid-journal — crash-safe campaign journal
+//!
+//! Fleet-scale SDC screening runs for hours; this crate makes the run's
+//! progress durable so a crash, OOM, or `kill -9` costs seconds of
+//! replay instead of the whole campaign. The design follows the
+//! append-only, checksummed, recovery-by-replay idioms of persistent
+//! log libraries:
+//!
+//! * [`record`] — the durable facts: per-injection outcomes, golden-run
+//!   digests, GA evaluation memos, accepted search inputs, the knapsack
+//!   selection, all keyed by FNV-64 fingerprints.
+//! * [`wal`] — framing, checksums, batched fsync, and torn-tail
+//!   recovery (truncate to the last intact record).
+//! * [`CampaignJournal`] — the in-memory index over the log that the
+//!   pipeline consults: campaigns ask it for already-journaled outcomes
+//!   (recovered work) and append fresh ones (new work). Resume is
+//!   replay: the deterministic pipeline re-walks its decisions and the
+//!   journal short-circuits everything expensive, which is what makes a
+//!   resumed run bit-identical to an uninterrupted one.
+//! * [`interrupt`] — a process-wide cooperative stop flag (set by the
+//!   CLI's SIGINT handler) that campaign loops poll, so ^C flushes the
+//!   journal and exits cleanly instead of mid-write.
+//!
+//! The crate sits just above `minpsid-trace` in the dependency order:
+//! recovery and usage statistics flow into the trace so `trace report`
+//! shows injections recovered vs replayed.
+
+pub mod record;
+pub mod wal;
+
+use record::Record;
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+use wal::{open_wal, rewrite_wal, WalWriter};
+
+/// Cooperative interruption: one process-wide flag, set from a signal
+/// handler (it is only an atomic store, so it is async-signal-safe) and
+/// polled by campaign loops between injections.
+pub mod interrupt {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static FLAG: AtomicBool = AtomicBool::new(false);
+
+    /// Request a clean stop (safe to call from a signal handler).
+    pub fn request() {
+        FLAG.store(true, Ordering::SeqCst);
+    }
+
+    /// Has a stop been requested?
+    pub fn requested() -> bool {
+        FLAG.load(Ordering::SeqCst)
+    }
+
+    /// Reset the flag (tests; a fresh run after a handled interrupt).
+    pub fn clear() {
+        FLAG.store(false, Ordering::SeqCst);
+    }
+}
+
+/// The run was cooperatively interrupted (SIGINT); journaled state is
+/// flushed and the campaign can be resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupted;
+
+impl fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "campaign interrupted; progress saved to the journal")
+    }
+}
+
+impl std::error::Error for Interrupted {}
+
+/// Why a journal could not be opened.
+#[derive(Debug)]
+pub enum JournalError {
+    Io(io::Error),
+    /// The log belongs to a different (module, config) pair; replaying
+    /// its outcomes into this run would be silent garbage.
+    Mismatch {
+        expected: (u64, u64),
+        found: (u64, u64),
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O: {e}"),
+            JournalError::Mismatch { expected, found } => write!(
+                f,
+                "journal belongs to a different run: module/config fingerprint \
+                 {found:#x?} but this run is {expected:#x?} — \
+                 resume with the same program, inputs, and campaign settings, \
+                 or point --journal at a fresh directory"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+const WAL_FILE: &str = "campaign.wal";
+
+#[derive(Default)]
+struct State {
+    golden: HashMap<u64, (u64, u64)>,
+    per_inst: HashMap<(u64, u64, u64), u8>,
+    program: HashMap<(u64, u64), u8>,
+    eval: HashMap<u64, Vec<u64>>,
+    accepted: Vec<(u64, u64)>,
+    selection: Option<Vec<bool>>,
+}
+
+impl State {
+    fn apply(&mut self, rec: Record) {
+        match rec {
+            Record::Header { .. } => {}
+            Record::GoldenDigest {
+                input_fp,
+                output_fp,
+                steps,
+            } => {
+                self.golden.insert(input_fp, (output_fp, steps));
+            }
+            Record::PerInstOutcome {
+                input_fp,
+                dense,
+                k,
+                outcome,
+            } => {
+                self.per_inst.insert((input_fp, dense, k), outcome);
+            }
+            Record::ProgramOutcome {
+                input_fp,
+                index,
+                outcome,
+            } => {
+                self.program.insert((input_fp, index), outcome);
+            }
+            Record::EvalProfile { input_fp, cfg_list } => {
+                self.eval.insert(input_fp, cfg_list);
+            }
+            Record::SearchAccepted { index, input_fp } => {
+                if !self.accepted.iter().any(|&(i, _)| i == index) {
+                    self.accepted.push((index, input_fp));
+                }
+            }
+            Record::Selection { bits } => self.selection = Some(bits),
+        }
+    }
+
+    /// The compacted record set: current state, one record per fact.
+    fn snapshot(&self, module_fp: u64, config_fp: u64) -> Vec<Record> {
+        let mut out = Vec::with_capacity(
+            1 + self.golden.len() + self.per_inst.len() + self.program.len() + self.eval.len() + 8,
+        );
+        out.push(Record::Header {
+            module_fp,
+            config_fp,
+        });
+        // deterministic order so compaction is reproducible
+        let mut golden: Vec<_> = self.golden.iter().collect();
+        golden.sort_unstable_by_key(|(k, _)| **k);
+        for (&input_fp, &(output_fp, steps)) in golden {
+            out.push(Record::GoldenDigest {
+                input_fp,
+                output_fp,
+                steps,
+            });
+        }
+        let mut per_inst: Vec<_> = self.per_inst.iter().collect();
+        per_inst.sort_unstable_by_key(|(k, _)| **k);
+        for (&(input_fp, dense, k), &outcome) in per_inst {
+            out.push(Record::PerInstOutcome {
+                input_fp,
+                dense,
+                k,
+                outcome,
+            });
+        }
+        let mut program: Vec<_> = self.program.iter().collect();
+        program.sort_unstable_by_key(|(k, _)| **k);
+        for (&(input_fp, index), &outcome) in program {
+            out.push(Record::ProgramOutcome {
+                input_fp,
+                index,
+                outcome,
+            });
+        }
+        let mut eval: Vec<_> = self.eval.iter().collect();
+        eval.sort_unstable_by_key(|(k, _)| **k);
+        for (&input_fp, cfg_list) in eval {
+            out.push(Record::EvalProfile {
+                input_fp,
+                cfg_list: cfg_list.clone(),
+            });
+        }
+        for &(index, input_fp) in &self.accepted {
+            out.push(Record::SearchAccepted { index, input_fp });
+        }
+        if let Some(bits) = &self.selection {
+            out.push(Record::Selection { bits: bits.clone() });
+        }
+        out
+    }
+}
+
+/// The crash-safe journal of one campaign run: an in-memory index over
+/// an append-only WAL.
+///
+/// Readers (campaign workers probing for recovered outcomes) take the
+/// `RwLock` read side; appends take the write side plus the writer
+/// mutex. Both are off the interpreter's hot path — one probe and at
+/// most one append per *injection* (a whole program execution).
+pub struct CampaignJournal {
+    dir: PathBuf,
+    module_fp: u64,
+    config_fp: u64,
+    state: RwLock<State>,
+    writer: Mutex<WalWriter>,
+    /// Injections served from the journal this run (recovered work).
+    served: AtomicU64,
+    /// Records appended this run (fresh work).
+    appended: AtomicU64,
+    recovered_records: u64,
+    truncated_bytes: u64,
+}
+
+impl CampaignJournal {
+    /// Open (creating if needed) the journal in `dir`, recover its
+    /// intact prefix, truncate any torn tail, and verify it belongs to
+    /// this (module, config) pair. Emits a `journal_recovery` trace
+    /// event describing what recovery found.
+    pub fn open(dir: &Path, module_fp: u64, config_fp: u64) -> Result<Self, JournalError> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(WAL_FILE);
+        let (mut writer, recovery) = open_wal(&path)?;
+
+        let mut state = State::default();
+        let mut header: Option<(u64, u64)> = None;
+        for rec in recovery.records {
+            if let Record::Header {
+                module_fp: m,
+                config_fp: c,
+            } = rec
+            {
+                header = Some((m, c));
+            }
+            state.apply(rec);
+        }
+        match header {
+            Some(found) if found != (module_fp, config_fp) => {
+                return Err(JournalError::Mismatch {
+                    expected: (module_fp, config_fp),
+                    found,
+                });
+            }
+            Some(_) => {}
+            None => {
+                writer.append(&Record::Header {
+                    module_fp,
+                    config_fp,
+                })?;
+                writer.sync()?;
+            }
+        }
+
+        let recovered_records = (state.golden.len()
+            + state.per_inst.len()
+            + state.program.len()
+            + state.eval.len()
+            + state.accepted.len()
+            + usize::from(state.selection.is_some())) as u64;
+        minpsid_trace::emit(minpsid_trace::Event::JournalRecovery {
+            records: recovered_records,
+            truncated_bytes: recovery.truncated_bytes,
+        });
+
+        Ok(CampaignJournal {
+            dir: dir.to_path_buf(),
+            module_fp,
+            config_fp,
+            state: RwLock::new(state),
+            writer: Mutex::new(writer),
+            served: AtomicU64::new(0),
+            appended: AtomicU64::new(0),
+            recovered_records,
+            truncated_bytes: recovery.truncated_bytes,
+        })
+    }
+
+    /// Directory this journal lives in (for "resume with ..." hints).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, State> {
+        self.state.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn append(&self, rec: Record) {
+        {
+            let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+            // a failed append degrades durability, not correctness: the
+            // in-memory state stays right, so the run completes and only
+            // resumability of the un-appended span is lost
+            let _ = w.append(&rec);
+        }
+        self.appended.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.write().unwrap_or_else(|e| e.into_inner());
+        st.apply(rec);
+    }
+
+    // --- golden-run digests ---
+
+    pub fn golden_digest(&self, input_fp: u64) -> Option<(u64, u64)> {
+        self.read().golden.get(&input_fp).copied()
+    }
+
+    pub fn record_golden(&self, input_fp: u64, output_fp: u64, steps: u64) {
+        if self.golden_digest(input_fp) == Some((output_fp, steps)) {
+            return;
+        }
+        self.append(Record::GoldenDigest {
+            input_fp,
+            output_fp,
+            steps,
+        });
+    }
+
+    // --- per-injection outcomes ---
+
+    pub fn per_inst_outcome(&self, input_fp: u64, dense: u64, k: u64) -> Option<u8> {
+        let hit = self.read().per_inst.get(&(input_fp, dense, k)).copied();
+        if hit.is_some() {
+            self.served.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    pub fn record_per_inst(&self, input_fp: u64, dense: u64, k: u64, outcome: u8) {
+        self.append(Record::PerInstOutcome {
+            input_fp,
+            dense,
+            k,
+            outcome,
+        });
+    }
+
+    pub fn program_outcome(&self, input_fp: u64, index: u64) -> Option<u8> {
+        let hit = self.read().program.get(&(input_fp, index)).copied();
+        if hit.is_some() {
+            self.served.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    pub fn record_program(&self, input_fp: u64, index: u64, outcome: u8) {
+        self.append(Record::ProgramOutcome {
+            input_fp,
+            index,
+            outcome,
+        });
+    }
+
+    // --- GA evaluation memos ---
+
+    pub fn eval_profile(&self, input_fp: u64) -> Option<Vec<u64>> {
+        let hit = self.read().eval.get(&input_fp).cloned();
+        if hit.is_some() {
+            self.served.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    pub fn record_eval(&self, input_fp: u64, cfg_list: &[u64]) {
+        if self.read().eval.contains_key(&input_fp) {
+            return;
+        }
+        self.append(Record::EvalProfile {
+            input_fp,
+            cfg_list: cfg_list.to_vec(),
+        });
+    }
+
+    // --- search / selection state ---
+
+    pub fn accepted_input(&self, index: u64) -> Option<u64> {
+        self.read()
+            .accepted
+            .iter()
+            .find(|&&(i, _)| i == index)
+            .map(|&(_, fp)| fp)
+    }
+
+    pub fn record_accepted(&self, index: u64, input_fp: u64) {
+        if self.accepted_input(index).is_some() {
+            return;
+        }
+        self.append(Record::SearchAccepted { index, input_fp });
+    }
+
+    pub fn selection(&self) -> Option<Vec<bool>> {
+        self.read().selection.clone()
+    }
+
+    pub fn record_selection(&self, bits: &[bool]) {
+        self.append(Record::Selection {
+            bits: bits.to_vec(),
+        });
+    }
+
+    // --- durability & maintenance ---
+
+    /// Force every appended record to stable storage (end of a stage, or
+    /// on the way out after an interrupt).
+    pub fn sync(&self) -> io::Result<()> {
+        self.writer.lock().unwrap_or_else(|e| e.into_inner()).sync()
+    }
+
+    /// Rewrite the log as a compacted snapshot of the current state
+    /// (drops superseded records; bounds log growth across many resumes).
+    pub fn compact(&self) -> io::Result<()> {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let records = self.read().snapshot(self.module_fp, self.config_fp);
+        *w = rewrite_wal(&self.dir.join(WAL_FILE), &records)?;
+        Ok(())
+    }
+
+    /// (records recovered at open, torn-tail bytes truncated at open).
+    pub fn recovery_stats(&self) -> (u64, u64) {
+        (self.recovered_records, self.truncated_bytes)
+    }
+
+    /// (injections/evals served from the journal, records appended) this
+    /// run.
+    pub fn usage(&self) -> (u64, u64) {
+        (
+            self.served.load(Ordering::Relaxed),
+            self.appended.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Emit the end-of-run `journal_stats` trace event.
+    pub fn emit_stats(&self) {
+        let (recovered, appended) = self.usage();
+        minpsid_trace::emit(minpsid_trace::Event::JournalStats {
+            recovered,
+            appended,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("minpsid-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn outcomes_survive_reopen() {
+        let dir = tmpdir("reopen");
+        {
+            let j = CampaignJournal::open(&dir, 10, 20).unwrap();
+            j.record_golden(1, 111, 5000);
+            j.record_per_inst(1, 3, 0, 2);
+            j.record_per_inst(1, 3, 1, 0);
+            j.record_program(1, 9, 1);
+            j.record_eval(77, &[1, 2, 3]);
+            j.record_accepted(0, 77);
+            j.record_selection(&[true, false, true]);
+            j.sync().unwrap();
+        }
+        let j = CampaignJournal::open(&dir, 10, 20).unwrap();
+        assert_eq!(j.golden_digest(1), Some((111, 5000)));
+        assert_eq!(j.per_inst_outcome(1, 3, 0), Some(2));
+        assert_eq!(j.per_inst_outcome(1, 3, 1), Some(0));
+        assert_eq!(j.per_inst_outcome(1, 3, 2), None);
+        assert_eq!(j.program_outcome(1, 9), Some(1));
+        assert_eq!(j.eval_profile(77), Some(vec![1, 2, 3]));
+        assert_eq!(j.accepted_input(0), Some(77));
+        assert_eq!(j.selection(), Some(vec![true, false, true]));
+        let (recovered, _) = j.recovery_stats();
+        assert_eq!(recovered, 7);
+        // three hits + one eval hit were served above
+        assert!(j.usage().0 >= 4);
+    }
+
+    #[test]
+    fn mismatched_fingerprints_refuse_to_resume() {
+        let dir = tmpdir("mismatch");
+        {
+            let j = CampaignJournal::open(&dir, 1, 2).unwrap();
+            j.record_golden(1, 1, 1);
+            j.sync().unwrap();
+        }
+        assert!(matches!(
+            CampaignJournal::open(&dir, 1, 3),
+            Err(JournalError::Mismatch { .. })
+        ));
+        assert!(matches!(
+            CampaignJournal::open(&dir, 9, 2),
+            Err(JournalError::Mismatch { .. })
+        ));
+        // the right pair still opens
+        assert!(CampaignJournal::open(&dir, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn compaction_preserves_state_and_shrinks_log() {
+        let dir = tmpdir("compact");
+        let j = CampaignJournal::open(&dir, 5, 6).unwrap();
+        // write the same key many times: only the last survives compaction
+        for i in 0..200u64 {
+            j.record_per_inst(1, 0, 0, (i % 6) as u8);
+            j.record_per_inst(1, 0, i, 1);
+        }
+        j.sync().unwrap();
+        let before = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+        j.compact().unwrap();
+        let after = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+        assert!(after < before, "compaction shrinks ({before} -> {after})");
+        drop(j);
+        let j = CampaignJournal::open(&dir, 5, 6).unwrap();
+        assert_eq!(j.per_inst_outcome(1, 0, 0), Some((199 % 6) as u8));
+        assert_eq!(j.per_inst_outcome(1, 0, 150), Some(1));
+    }
+
+    #[test]
+    fn interrupt_flag_round_trips() {
+        interrupt::clear();
+        assert!(!interrupt::requested());
+        interrupt::request();
+        assert!(interrupt::requested());
+        interrupt::clear();
+        assert!(!interrupt::requested());
+    }
+}

@@ -1,0 +1,352 @@
+//! Journal record types and their binary codec.
+//!
+//! Records are the WAL payloads: small, self-describing binary blobs
+//! (tag byte + little-endian fields). The codec is hand-rolled for the
+//! same reason the trace schema is: no external deps, and decode must be
+//! total — any byte sequence either parses to exactly the record that
+//! produced it or fails loudly, never misparses. Framing, checksums, and
+//! torn-tail handling live in [`crate::wal`]; a record never sees a
+//! corrupt payload.
+
+use std::fmt;
+
+/// One durable fact about campaign progress. Keys are FNV-64
+/// fingerprints computed by the caller (the journal is below the layers
+/// that know about modules and inputs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// First record of every journal: which (module, config) the log
+    /// belongs to. Resume refuses to proceed under a different pair —
+    /// replaying outcomes of a different program would be silent garbage.
+    Header { module_fp: u64, config_fp: u64 },
+    /// Digest of a completed golden run for one input. Resume re-executes
+    /// golden runs (they are cheap relative to campaigns) and verifies
+    /// them against this digest.
+    GoldenDigest {
+        input_fp: u64,
+        output_fp: u64,
+        steps: u64,
+    },
+    /// Outcome of one per-instruction-campaign injection, keyed by
+    /// (input, dense instruction index, repetition). The faulted bit is
+    /// implied: it is drawn from an RNG seeded by exactly this key.
+    PerInstOutcome {
+        input_fp: u64,
+        dense: u64,
+        k: u64,
+        outcome: u8,
+    },
+    /// Outcome of one whole-program-campaign injection.
+    ProgramOutcome {
+        input_fp: u64,
+        index: u64,
+        outcome: u8,
+    },
+    /// Memoized GA evaluation: the indexed weighted-CFG list of one
+    /// candidate input, so resume replays the search without re-running
+    /// the interpreter on already-evaluated candidates.
+    EvalProfile { input_fp: u64, cfg_list: Vec<u64> },
+    /// The search accepted input number `index` with this fingerprint
+    /// (consistency check during resume).
+    SearchAccepted { index: u64, input_fp: u64 },
+    /// Final knapsack selection bitmap over dense instruction indices.
+    Selection { bits: Vec<bool> },
+}
+
+/// Why a payload failed to decode. Reaching this for a frame that passed
+/// its checksum means a writer bug or version skew, so the recovery path
+/// treats it like corruption: stop at the previous record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    Truncated,
+    UnknownTag(u8),
+    TrailingBytes(usize),
+    LengthOverflow(u64),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "record payload truncated"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown record tag {t}"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after record"),
+            DecodeError::LengthOverflow(n) => write!(f, "embedded length {n} exceeds payload"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const TAG_HEADER: u8 = 1;
+const TAG_GOLDEN: u8 = 2;
+const TAG_PER_INST: u8 = 3;
+const TAG_PROGRAM: u8 = 4;
+const TAG_EVAL: u8 = 5;
+const TAG_ACCEPTED: u8 = 6;
+const TAG_SELECTION: u8 = 7;
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.bytes.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let end = self.pos.checked_add(8).ok_or(DecodeError::Truncated)?;
+        let chunk = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(chunk.try_into().unwrap()))
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
+impl Record {
+    /// Append the binary encoding of `self` to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Record::Header {
+                module_fp,
+                config_fp,
+            } => {
+                buf.push(TAG_HEADER);
+                put_u64(buf, *module_fp);
+                put_u64(buf, *config_fp);
+            }
+            Record::GoldenDigest {
+                input_fp,
+                output_fp,
+                steps,
+            } => {
+                buf.push(TAG_GOLDEN);
+                put_u64(buf, *input_fp);
+                put_u64(buf, *output_fp);
+                put_u64(buf, *steps);
+            }
+            Record::PerInstOutcome {
+                input_fp,
+                dense,
+                k,
+                outcome,
+            } => {
+                buf.push(TAG_PER_INST);
+                put_u64(buf, *input_fp);
+                put_u64(buf, *dense);
+                put_u64(buf, *k);
+                buf.push(*outcome);
+            }
+            Record::ProgramOutcome {
+                input_fp,
+                index,
+                outcome,
+            } => {
+                buf.push(TAG_PROGRAM);
+                put_u64(buf, *input_fp);
+                put_u64(buf, *index);
+                buf.push(*outcome);
+            }
+            Record::EvalProfile { input_fp, cfg_list } => {
+                buf.push(TAG_EVAL);
+                put_u64(buf, *input_fp);
+                put_u64(buf, cfg_list.len() as u64);
+                for v in cfg_list {
+                    put_u64(buf, *v);
+                }
+            }
+            Record::SearchAccepted { index, input_fp } => {
+                buf.push(TAG_ACCEPTED);
+                put_u64(buf, *index);
+                put_u64(buf, *input_fp);
+            }
+            Record::Selection { bits } => {
+                buf.push(TAG_SELECTION);
+                put_u64(buf, bits.len() as u64);
+                // pack 8 selections per byte: selections cover every static
+                // instruction, so the dense form matters
+                let mut byte = 0u8;
+                for (i, &b) in bits.iter().enumerate() {
+                    if b {
+                        byte |= 1 << (i % 8);
+                    }
+                    if i % 8 == 7 {
+                        buf.push(byte);
+                        byte = 0;
+                    }
+                }
+                if bits.len() % 8 != 0 {
+                    buf.push(byte);
+                }
+            }
+        }
+    }
+
+    /// Decode one record occupying the whole of `bytes`.
+    pub fn decode(bytes: &[u8]) -> Result<Record, DecodeError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let rec = match r.u8()? {
+            TAG_HEADER => Record::Header {
+                module_fp: r.u64()?,
+                config_fp: r.u64()?,
+            },
+            TAG_GOLDEN => Record::GoldenDigest {
+                input_fp: r.u64()?,
+                output_fp: r.u64()?,
+                steps: r.u64()?,
+            },
+            TAG_PER_INST => Record::PerInstOutcome {
+                input_fp: r.u64()?,
+                dense: r.u64()?,
+                k: r.u64()?,
+                outcome: r.u8()?,
+            },
+            TAG_PROGRAM => Record::ProgramOutcome {
+                input_fp: r.u64()?,
+                index: r.u64()?,
+                outcome: r.u8()?,
+            },
+            TAG_EVAL => {
+                let input_fp = r.u64()?;
+                let n = r.u64()?;
+                if n > (r.remaining() / 8) as u64 {
+                    return Err(DecodeError::LengthOverflow(n));
+                }
+                let mut cfg_list = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    cfg_list.push(r.u64()?);
+                }
+                Record::EvalProfile { input_fp, cfg_list }
+            }
+            TAG_ACCEPTED => Record::SearchAccepted {
+                index: r.u64()?,
+                input_fp: r.u64()?,
+            },
+            TAG_SELECTION => {
+                let n = r.u64()?;
+                if n > (r.remaining() as u64).saturating_mul(8) {
+                    return Err(DecodeError::LengthOverflow(n));
+                }
+                let mut bits = Vec::with_capacity(n as usize);
+                let mut byte = 0u8;
+                for i in 0..n as usize {
+                    if i % 8 == 0 {
+                        byte = r.u8()?;
+                    }
+                    bits.push(byte & (1 << (i % 8)) != 0);
+                }
+                Record::Selection { bits }
+            }
+            t => return Err(DecodeError::UnknownTag(t)),
+        };
+        if r.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes(r.remaining()));
+        }
+        Ok(rec)
+    }
+
+    /// Encode into a fresh buffer (convenience for tests and the WAL).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(40);
+        self.encode(&mut buf);
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(rec: Record) {
+        let bytes = rec.to_bytes();
+        assert_eq!(Record::decode(&bytes).unwrap(), rec, "bytes: {bytes:?}");
+    }
+
+    #[test]
+    fn every_record_round_trips() {
+        rt(Record::Header {
+            module_fp: 1,
+            config_fp: u64::MAX,
+        });
+        rt(Record::GoldenDigest {
+            input_fp: 3,
+            output_fp: 4,
+            steps: 5,
+        });
+        rt(Record::PerInstOutcome {
+            input_fp: 9,
+            dense: 10,
+            k: 11,
+            outcome: 255,
+        });
+        rt(Record::ProgramOutcome {
+            input_fp: 6,
+            index: 7,
+            outcome: 0,
+        });
+        rt(Record::EvalProfile {
+            input_fp: 12,
+            cfg_list: vec![],
+        });
+        rt(Record::EvalProfile {
+            input_fp: 12,
+            cfg_list: vec![0, u64::MAX, 17],
+        });
+        rt(Record::SearchAccepted {
+            index: 2,
+            input_fp: 13,
+        });
+        rt(Record::Selection { bits: vec![] });
+        rt(Record::Selection {
+            bits: vec![true, false, true, true, false, false, false, true, true],
+        });
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_are_rejected() {
+        let bytes = Record::Header {
+            module_fp: 1,
+            config_fp: 2,
+        }
+        .to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Record::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        assert_eq!(Record::decode(&[99]), Err(DecodeError::UnknownTag(99)));
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert_eq!(Record::decode(&extra), Err(DecodeError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn hostile_lengths_do_not_allocate() {
+        // an EvalProfile claiming u64::MAX entries must fail before the
+        // Vec::with_capacity, not OOM
+        let mut buf = vec![super::TAG_EVAL];
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Record::decode(&buf),
+            Err(DecodeError::LengthOverflow(_))
+        ));
+        let mut buf = vec![super::TAG_SELECTION];
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Record::decode(&buf),
+            Err(DecodeError::LengthOverflow(_))
+        ));
+    }
+}

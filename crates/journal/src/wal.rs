@@ -1,0 +1,313 @@
+//! Append-only write-ahead log with checksummed frames and torn-tail
+//! recovery.
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! [MAGIC "MPSJ"][version u32 LE]          file preamble
+//! [len u32 LE][fnv64 u64 LE][payload]     frame, repeated
+//! ```
+//!
+//! Durability model: every frame is `write_all`'d directly to the file
+//! (no userspace buffering), so a SIGKILL loses at most the frame being
+//! written — the OS page cache holds everything already written. `fsync`
+//! is batched (every [`WalWriter::FSYNC_EVERY`] frames plus explicit
+//! [`WalWriter::sync`] calls) and only matters for power loss. Either
+//! way the tail of the file may be torn or half-written; recovery walks
+//! frames from the start and truncates the file at the first frame whose
+//! length, checksum, or payload fails to validate. Everything before
+//! that point is intact by checksum.
+
+use crate::record::Record;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+pub const MAGIC: [u8; 4] = *b"MPSJ";
+pub const VERSION: u32 = 1;
+const PREAMBLE_LEN: u64 = 8;
+/// Frames are campaign facts, not bulk data; anything bigger than this
+/// is corruption masquerading as a length.
+const MAX_FRAME: u32 = 64 << 20;
+
+/// FNV-1a 64 — the same fingerprint family the rest of the workspace
+/// uses; collision resistance is irrelevant here, torn-write detection is
+/// the job.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// What recovery found in an existing log.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Every intact record, in append order.
+    pub records: Vec<Record>,
+    /// File offset after the last intact frame (the append point).
+    pub valid_len: u64,
+    /// Bytes discarded past `valid_len` (torn or corrupt tail).
+    pub truncated_bytes: u64,
+}
+
+/// Parse the byte image of a log. Never fails: a log that is corrupt
+/// from the first frame simply recovers zero records.
+fn scan(bytes: &[u8]) -> Recovery {
+    let mut rec = Recovery::default();
+    let total = bytes.len() as u64;
+    if bytes.len() < PREAMBLE_LEN as usize
+        || bytes[..4] != MAGIC
+        || u32::from_le_bytes(bytes[4..8].try_into().unwrap()) != VERSION
+    {
+        // no valid preamble: the whole file is tail
+        rec.truncated_bytes = total;
+        return rec;
+    }
+    let mut pos = PREAMBLE_LEN as usize;
+    while let Some(head) = bytes.get(pos..pos + 12) {
+        let len = u32::from_le_bytes(head[..4].try_into().unwrap());
+        if len > MAX_FRAME {
+            break;
+        }
+        let sum = u64::from_le_bytes(head[4..12].try_into().unwrap());
+        let Some(payload) = bytes.get(pos + 12..pos + 12 + len as usize) else {
+            break;
+        };
+        if fnv64(payload) != sum {
+            break;
+        }
+        let Ok(record) = Record::decode(payload) else {
+            break;
+        };
+        rec.records.push(record);
+        pos += 12 + len as usize;
+    }
+    rec.valid_len = pos as u64;
+    rec.truncated_bytes = total - pos as u64;
+    rec
+}
+
+/// Appending side of the log. Writes are unbuffered (see module docs);
+/// `fsync` is batched.
+pub struct WalWriter {
+    file: File,
+    unsynced: u32,
+}
+
+impl WalWriter {
+    /// How many appended frames may await fsync (power-loss exposure
+    /// window; process crashes lose nothing regardless).
+    pub const FSYNC_EVERY: u32 = 64;
+
+    /// Append one record as a checksummed frame.
+    pub fn append(&mut self, record: &Record) -> io::Result<()> {
+        let payload = record.to_bytes();
+        let mut frame = Vec::with_capacity(12 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv64(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.unsynced += 1;
+        if self.unsynced >= Self::FSYNC_EVERY {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Force everything appended so far to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.unsynced > 0 {
+            self.file.sync_data()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+}
+
+/// Open (or create) the log at `path`: recover its intact prefix,
+/// truncate any torn tail, and return a writer positioned at the end of
+/// the valid data.
+pub fn open_wal(path: &Path) -> io::Result<(WalWriter, Recovery)> {
+    let mut bytes = Vec::new();
+    let existed = match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+            true
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => false,
+        Err(e) => return Err(e),
+    };
+
+    if !existed || bytes.is_empty() {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(&MAGIC)?;
+        file.write_all(&VERSION.to_le_bytes())?;
+        file.sync_data()?;
+        return Ok((WalWriter { file, unsynced: 0 }, Recovery::default()));
+    }
+
+    let mut recovery = scan(&bytes);
+    if recovery.valid_len == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: not a minpsid journal (bad magic)", path.display()),
+        ));
+    }
+    let file = OpenOptions::new().write(true).open(path)?;
+    if recovery.truncated_bytes > 0 {
+        file.set_len(recovery.valid_len)?;
+        file.sync_data()?;
+    }
+    // position at the append point (set_len does not move the cursor)
+    let mut file = file;
+    use std::io::Seek;
+    file.seek(io::SeekFrom::Start(recovery.valid_len))?;
+    recovery.records.shrink_to_fit();
+    Ok((WalWriter { file, unsynced: 0 }, recovery))
+}
+
+/// Atomically replace the log at `path` with a compacted one holding
+/// exactly `records`: write to a temp file, fsync, rename over, fsync
+/// the directory. Returns a writer on the new log.
+pub fn rewrite_wal(path: &Path, records: &[Record]) -> io::Result<WalWriter> {
+    let tmp = path.with_extension("tmp");
+    let mut file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp)?;
+    file.write_all(&MAGIC)?;
+    file.write_all(&VERSION.to_le_bytes())?;
+    let mut w = WalWriter { file, unsynced: 0 };
+    for r in records {
+        w.append(r)?;
+    }
+    w.unsynced = 1; // force the final fsync even if append just synced
+    w.sync()?;
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // make the rename itself durable
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("minpsid-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample(n: u64) -> Record {
+        Record::PerInstOutcome {
+            input_fp: n,
+            dense: n * 3,
+            k: n * 7,
+            outcome: (n % 6) as u8,
+        }
+    }
+
+    #[test]
+    fn append_reopen_recovers_everything() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("j.wal");
+        let (mut w, rec) = open_wal(&path).unwrap();
+        assert!(rec.records.is_empty());
+        for i in 0..100 {
+            w.append(&sample(i)).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let (_, rec) = open_wal(&path).unwrap();
+        assert_eq!(rec.records.len(), 100);
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(rec.records[41], sample(41));
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_last_valid_record() {
+        let dir = tmpdir("torn");
+        let path = dir.join("j.wal");
+        let (mut w, _) = open_wal(&path).unwrap();
+        for i in 0..10 {
+            w.append(&sample(i)).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        // tear the file mid-frame
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let (_, rec) = open_wal(&path).unwrap();
+        assert_eq!(rec.records.len(), 9, "last frame was torn");
+        assert!(rec.truncated_bytes > 0);
+        // the truncation is persistent: reopening again is clean
+        let (_, rec2) = open_wal(&path).unwrap();
+        assert_eq!(rec2.records.len(), 9);
+        assert_eq!(rec2.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn bit_flip_in_tail_frame_is_dropped() {
+        let dir = tmpdir("flip");
+        let path = dir.join("j.wal");
+        let (mut w, _) = open_wal(&path).unwrap();
+        for i in 0..10 {
+            w.append(&sample(i)).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x40; // corrupt the last frame's payload
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, rec) = open_wal(&path).unwrap();
+        assert_eq!(rec.records.len(), 9);
+        for (i, r) in rec.records.iter().enumerate() {
+            assert_eq!(*r, sample(i as u64), "prefix intact");
+        }
+    }
+
+    #[test]
+    fn garbage_file_is_rejected_not_clobbered() {
+        let dir = tmpdir("garbage");
+        let path = dir.join("j.wal");
+        std::fs::write(&path, b"definitely not a journal").unwrap();
+        assert!(open_wal(&path).is_err());
+        // the file was not overwritten
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"definitely not a journal".to_vec()
+        );
+    }
+
+    #[test]
+    fn rewrite_compacts_and_survives_reopen() {
+        let dir = tmpdir("rewrite");
+        let path = dir.join("j.wal");
+        let (mut w, _) = open_wal(&path).unwrap();
+        for i in 0..50 {
+            w.append(&sample(i)).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let compacted: Vec<Record> = (0..5).map(sample).collect();
+        let w = rewrite_wal(&path, &compacted).unwrap();
+        drop(w);
+        let (_, rec) = open_wal(&path).unwrap();
+        assert_eq!(rec.records, compacted);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the journal record codec: every record round-trips
+//! bit-identically, and no prefix of a valid encoding decodes — the
+//! invariants torn-tail recovery leans on.
+
+use minpsid_journal::record::Record;
+use minpsid_journal::wal::fnv64;
+use proptest::prelude::*;
+
+fn arb_record(seed: [u64; 4], kind: u8, bits: Vec<bool>, list: Vec<u64>) -> Record {
+    match kind % 7 {
+        0 => Record::Header {
+            module_fp: seed[0],
+            config_fp: seed[1],
+        },
+        1 => Record::GoldenDigest {
+            input_fp: seed[0],
+            output_fp: seed[1],
+            steps: seed[2],
+        },
+        2 => Record::PerInstOutcome {
+            input_fp: seed[0],
+            dense: seed[1],
+            k: seed[2],
+            outcome: (seed[3] % 256) as u8,
+        },
+        3 => Record::ProgramOutcome {
+            input_fp: seed[0],
+            index: seed[1],
+            outcome: (seed[3] % 256) as u8,
+        },
+        4 => Record::EvalProfile {
+            input_fp: seed[0],
+            cfg_list: list,
+        },
+        5 => Record::SearchAccepted {
+            index: seed[0],
+            input_fp: seed[1],
+        },
+        _ => Record::Selection { bits },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn records_round_trip(
+        seed in proptest::collection::vec(0u64..u64::MAX, 4),
+        kind in 0u8..7,
+        bits in proptest::collection::vec(proptest::prelude::any::<bool>(), 0..64),
+        list in proptest::collection::vec(0u64..u64::MAX, 0..32),
+    ) {
+        let rec = arb_record([seed[0], seed[1], seed[2], seed[3]], kind, bits, list);
+        let bytes = rec.to_bytes();
+        let back = Record::decode(&bytes)
+            .map_err(|e| TestCaseError::fail(format!("{e} for {bytes:?}")))?;
+        prop_assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn no_strict_prefix_decodes(
+        seed in proptest::collection::vec(0u64..u64::MAX, 4),
+        kind in 0u8..7,
+        bits in proptest::collection::vec(proptest::prelude::any::<bool>(), 0..32),
+        list in proptest::collection::vec(0u64..u64::MAX, 0..16),
+    ) {
+        let rec = arb_record([seed[0], seed[1], seed[2], seed[3]], kind, bits, list);
+        let bytes = rec.to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                Record::decode(&bytes[..cut]).is_err(),
+                "prefix of len {} decoded", cut
+            );
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum(
+        seed in proptest::collection::vec(0u64..u64::MAX, 4),
+        kind in 0u8..7,
+        byte_sel in 0u64..u64::MAX,
+        bit in 0u8..8,
+    ) {
+        // the WAL's corruption detector: any one-bit payload change moves
+        // the FNV-64 checksum (FNV is bijective per input byte)
+        let rec = arb_record([seed[0], seed[1], seed[2], seed[3]], kind, vec![true], vec![7]);
+        let mut bytes = rec.to_bytes();
+        let sum = fnv64(&bytes);
+        let i = (byte_sel % bytes.len() as u64) as usize;
+        bytes[i] ^= 1 << bit;
+        prop_assert_ne!(fnv64(&bytes), sum);
+    }
+}

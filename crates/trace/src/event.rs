@@ -1,6 +1,6 @@
 //! The versioned trace event schema.
 //!
-//! Every JSONL line is one [`TimedEvent`]: `{"v":1,"ts_us":…,"kind":…,…}`.
+//! Every JSONL line is one [`TimedEvent`]: `{"v":2,"ts_us":…,"kind":…,…}`.
 //! `v` is [`SCHEMA_VERSION`]; the parser rejects lines whose version it
 //! does not understand, so a report can never silently misparse a log
 //! written by a different schema. Serialization is hand-rolled over
@@ -10,7 +10,9 @@
 use crate::json::{parse, Json, JsonError};
 
 /// Version stamped into every line. Bump on any incompatible field change.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2: outcome tallies carry `engine_error`, and the crash-safe journal
+/// emits `journal_recovery`/`journal_stats` events.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Which campaign shape produced a progress/end event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,11 +50,14 @@ pub struct OutcomeTally {
     pub crash: u64,
     pub hang: u64,
     pub detected: u64,
+    /// Injections whose worker panicked or blew its wall-clock budget —
+    /// a harness failure, not a program outcome; kept out of SDC rates.
+    pub engine_error: u64,
 }
 
 impl OutcomeTally {
     pub fn total(&self) -> u64 {
-        self.benign + self.sdc + self.crash + self.hang + self.detected
+        self.benign + self.sdc + self.crash + self.hang + self.detected + self.engine_error
     }
 
     fn to_json(self) -> Json {
@@ -62,6 +67,7 @@ impl OutcomeTally {
         o.set("crash", Json::U64(self.crash));
         o.set("hang", Json::U64(self.hang));
         o.set("detected", Json::U64(self.detected));
+        o.set("engine_error", Json::U64(self.engine_error));
         o
     }
 
@@ -72,6 +78,7 @@ impl OutcomeTally {
             crash: field_u64(v, "crash")?,
             hang: field_u64(v, "hang")?,
             detected: field_u64(v, "detected")?,
+            engine_error: field_u64(v, "engine_error")?,
         })
     }
 }
@@ -151,6 +158,12 @@ pub enum Event {
         misses: u64,
         entries: u64,
     },
+    /// Crash-safe journal opened: how much prior state was recovered and
+    /// how many bytes of torn/corrupt tail were truncated.
+    JournalRecovery { records: u64, truncated_bytes: u64 },
+    /// End-of-run journal usage: injections served from the journal
+    /// (recovered) vs executed fresh and appended (replayed).
+    JournalStats { recovered: u64, appended: u64 },
 }
 
 impl Event {
@@ -169,6 +182,8 @@ impl Event {
             Event::SearchInput { .. } => "search_input",
             Event::Knapsack { .. } => "knapsack",
             Event::CacheStats { .. } => "cache_stats",
+            Event::JournalRecovery { .. } => "journal_recovery",
+            Event::JournalStats { .. } => "journal_stats",
         }
     }
 }
@@ -355,6 +370,20 @@ impl TimedEvent {
                 o.set("misses", Json::U64(*misses));
                 o.set("entries", Json::U64(*entries));
             }
+            Event::JournalRecovery {
+                records,
+                truncated_bytes,
+            } => {
+                o.set("records", Json::U64(*records));
+                o.set("truncated_bytes", Json::U64(*truncated_bytes));
+            }
+            Event::JournalStats {
+                recovered,
+                appended,
+            } => {
+                o.set("recovered", Json::U64(*recovered));
+                o.set("appended", Json::U64(*appended));
+            }
         }
         o.render()
     }
@@ -456,6 +485,14 @@ impl TimedEvent {
                 misses: field_u64(&v, "misses")?,
                 entries: field_u64(&v, "entries")?,
             },
+            "journal_recovery" => Event::JournalRecovery {
+                records: field_u64(&v, "records")?,
+                truncated_bytes: field_u64(&v, "truncated_bytes")?,
+            },
+            "journal_stats" => Event::JournalStats {
+                recovered: field_u64(&v, "recovered")?,
+                appended: field_u64(&v, "appended")?,
+            },
             other => return Err(SchemaError::UnknownKind(other.to_string())),
         };
         Ok(TimedEvent { ts_us, event })
@@ -509,6 +546,7 @@ mod tests {
                 crash: 1,
                 hang: 1,
                 detected: 1,
+                engine_error: 1,
             },
             elapsed_us: 7,
         });
@@ -559,6 +597,14 @@ mod tests {
             misses: 2,
             entries: 2,
         });
+        rt(Event::JournalRecovery {
+            records: 321,
+            truncated_bytes: 13,
+        });
+        rt(Event::JournalStats {
+            recovered: 200,
+            appended: 121,
+        });
     }
 
     #[test]
@@ -568,7 +614,7 @@ mod tests {
             event: Event::TraceEnd { dur_us: 0 },
         }
         .to_line()
-        .replace("\"v\":1", "\"v\":999");
+        .replace("\"v\":2", "\"v\":999");
         assert!(matches!(
             TimedEvent::parse_line(&line),
             Err(SchemaError::Version(999))
@@ -578,11 +624,11 @@ mod tests {
     #[test]
     fn unknown_kind_and_missing_fields_are_rejected() {
         assert!(matches!(
-            TimedEvent::parse_line(r#"{"v":1,"ts_us":0,"kind":"mystery"}"#),
+            TimedEvent::parse_line(r#"{"v":2,"ts_us":0,"kind":"mystery"}"#),
             Err(SchemaError::UnknownKind(_))
         ));
         assert!(matches!(
-            TimedEvent::parse_line(r#"{"v":1,"ts_us":0,"kind":"counter","name":"x"}"#),
+            TimedEvent::parse_line(r#"{"v":2,"ts_us":0,"kind":"counter","name":"x"}"#),
             Err(SchemaError::MissingField("value"))
         ));
         assert!(matches!(

@@ -35,7 +35,9 @@ pub mod report;
 pub mod sink;
 
 pub use event::{CampaignKind, Event, OutcomeTally, SchemaError, TimedEvent, SCHEMA_VERSION};
-pub use report::{parse_log, render_html, render_markdown, summarize, CampaignStat, TraceSummary};
+pub use report::{
+    parse_log, render_html, render_markdown, summarize, CampaignStat, JournalStat, TraceSummary,
+};
 pub use sink::{
     active, add_observer, emit, flush, init_file, init_writer, sample_campaign, shutdown, span,
     CampaignCounters, Histogram, OutcomeKind, Span,

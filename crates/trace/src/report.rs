@@ -96,6 +96,7 @@ pub struct TraceSummary {
     pub inputs: Vec<InputPoint>,
     pub knapsack: Option<KnapsackStat>,
     pub cache: Option<CacheStat>,
+    pub journal: Option<JournalStat>,
     /// Last sample of each named counter.
     pub counters: BTreeMap<String, u64>,
     /// Last sample of each named histogram.
@@ -112,6 +113,16 @@ pub struct KnapsackStat {
     pub selected: u64,
     pub protected_cycle_fraction: f64,
     pub expected_coverage: f64,
+}
+
+/// Crash-safe journal accounting: what recovery found when the log was
+/// opened, and how much of the run it then served vs executed fresh.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStat {
+    pub recovered_records: u64,
+    pub truncated_bytes: u64,
+    pub served: u64,
+    pub appended: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,6 +149,7 @@ fn add_tally(into: &mut OutcomeTally, from: &OutcomeTally) {
     into.crash += from.crash;
     into.hang += from.hang;
     into.detected += from.detected;
+    into.engine_error += from.engine_error;
 }
 
 /// Fold a parsed event stream into a [`TraceSummary`].
@@ -258,6 +270,22 @@ pub fn summarize(events: &[TimedEvent]) -> TraceSummary {
                     entries: *entries,
                 });
             }
+            Event::JournalRecovery {
+                records,
+                truncated_bytes,
+            } => {
+                let j = s.journal.get_or_insert_with(JournalStat::default);
+                j.recovered_records = *records;
+                j.truncated_bytes = *truncated_bytes;
+            }
+            Event::JournalStats {
+                recovered,
+                appended,
+            } => {
+                let j = s.journal.get_or_insert_with(JournalStat::default);
+                j.served = *recovered;
+                j.appended = *appended;
+            }
         }
     }
     s.open_spans = begun.saturating_sub(ended);
@@ -290,7 +318,7 @@ fn pct(num: u64, den: u64) -> f64 {
 fn tally_row(t: &OutcomeTally) -> String {
     let total = t.total();
     format!(
-        "{} | {} ({:.1}%) | {} ({:.1}%) | {} ({:.1}%) | {} ({:.1}%) | {} ({:.1}%)",
+        "{} | {} ({:.1}%) | {} ({:.1}%) | {} ({:.1}%) | {} ({:.1}%) | {} ({:.1}%) | {} ({:.1}%)",
         total,
         t.benign,
         pct(t.benign, total),
@@ -302,6 +330,8 @@ fn tally_row(t: &OutcomeTally) -> String {
         pct(t.hang, total),
         t.detected,
         pct(t.detected, total),
+        t.engine_error,
+        pct(t.engine_error, total),
     )
 }
 
@@ -320,7 +350,7 @@ fn campaign_section(out: &mut String, title: &str, c: &CampaignStat) {
     );
     let _ = writeln!(
         out,
-        "\n| total | benign | sdc | crash | hang | detected |\n|---|---|---|---|---|---|"
+        "\n| total | benign | sdc | crash | hang | detected | engine-err |\n|---|---|---|---|---|---|---|"
     );
     let _ = writeln!(out, "| {} |", tally_row(&c.counts));
     let _ = writeln!(
@@ -383,7 +413,7 @@ pub fn render_markdown(s: &TraceSummary) -> String {
         let _ = writeln!(out, "### Outcomes per function\n");
         let _ = writeln!(
             out,
-            "| function | total | benign | sdc | crash | hang | detected |\n|---|---|---|---|---|---|---|"
+            "| function | total | benign | sdc | crash | hang | detected | engine-err |\n|---|---|---|---|---|---|---|---|"
         );
         for (name, t) in &s.functions {
             let _ = writeln!(out, "| {} | {} |", name, tally_row(t));
@@ -400,6 +430,22 @@ pub fn render_markdown(s: &TraceSummary) -> String {
             c.misses,
             c.hit_rate() * 100.0,
             c.entries
+        );
+    }
+
+    if let Some(j) = &s.journal {
+        let _ = writeln!(out, "## Crash-safe journal\n");
+        let _ = writeln!(
+            out,
+            "- recovery: {} record(s) replayed from the log, {} byte(s) of torn tail truncated",
+            j.recovered_records, j.truncated_bytes
+        );
+        let _ = writeln!(
+            out,
+            "- injections served from the journal: {} recovered vs {} executed fresh ({:.1}% of the run skipped)\n",
+            j.served,
+            j.appended,
+            pct(j.served, j.served + j.appended)
         );
     }
 
@@ -588,6 +634,7 @@ mod tests {
                     crash: 15,
                     hang: 5,
                     detected: 0,
+                    engine_error: 0,
                 },
                 steps_executed: 4000,
                 steps_skipped: 6000,
@@ -601,6 +648,7 @@ mod tests {
                     crash: 15,
                     hang: 5,
                     detected: 0,
+                    engine_error: 0,
                 },
             },
             Event::SpanEnd {
@@ -643,6 +691,14 @@ mod tests {
                 misses: 1,
                 entries: 1,
             },
+            Event::JournalRecovery {
+                records: 120,
+                truncated_bytes: 7,
+            },
+            Event::JournalStats {
+                recovered: 150,
+                appended: 50,
+            },
             Event::TraceEnd { dur_us: 90 },
         ]
     }
@@ -665,6 +721,11 @@ mod tests {
         assert_eq!(s.cache.unwrap().hits, 3);
         assert!((s.cache.unwrap().hit_rate() - 0.75).abs() < 1e-9);
         assert_eq!(s.knapsack.unwrap().selected, 20);
+        let j = s.journal.unwrap();
+        assert_eq!(j.recovered_records, 120);
+        assert_eq!(j.truncated_bytes, 7);
+        assert_eq!(j.served, 150);
+        assert_eq!(j.appended, 50);
         assert_eq!(s.open_spans, 0);
     }
 
@@ -691,6 +752,8 @@ mod tests {
             "## GA search: fitness per generation",
             "## Knapsack selection",
             "expected SDC coverage: 90.00%",
+            "## Crash-safe journal",
+            "150 recovered vs 50 executed fresh",
         ] {
             assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
         }

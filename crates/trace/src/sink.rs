@@ -275,6 +275,9 @@ pub enum OutcomeKind {
     Crash,
     Hang,
     Detected,
+    /// Harness failure (worker panic / wall-clock blowout), not a program
+    /// outcome.
+    EngineError,
 }
 
 /// Lock-free campaign telemetry the parallel workers write and the
@@ -292,6 +295,7 @@ pub struct CampaignCounters {
     crash: AtomicU64,
     hang: AtomicU64,
     detected: AtomicU64,
+    engine_error: AtomicU64,
     steps_executed: AtomicU64,
     steps_skipped: AtomicU64,
     restores: AtomicU64,
@@ -309,6 +313,7 @@ impl CampaignCounters {
             crash: AtomicU64::new(0),
             hang: AtomicU64::new(0),
             detected: AtomicU64::new(0),
+            engine_error: AtomicU64::new(0),
             steps_executed: AtomicU64::new(0),
             steps_skipped: AtomicU64::new(0),
             restores: AtomicU64::new(0),
@@ -325,6 +330,7 @@ impl CampaignCounters {
             OutcomeKind::Crash => &self.crash,
             OutcomeKind::Hang => &self.hang,
             OutcomeKind::Detected => &self.detected,
+            OutcomeKind::EngineError => &self.engine_error,
         };
         slot.fetch_add(1, Ordering::Relaxed);
         self.steps_executed
@@ -347,6 +353,7 @@ impl CampaignCounters {
             crash: self.crash.load(Ordering::Relaxed),
             hang: self.hang.load(Ordering::Relaxed),
             detected: self.detected.load(Ordering::Relaxed),
+            engine_error: self.engine_error.load(Ordering::Relaxed),
         }
     }
 

@@ -12,6 +12,7 @@ fn tally(seed: [u64; 5]) -> OutcomeTally {
         crash: seed[2],
         hang: seed[3],
         detected: seed[4],
+        engine_error: seed[0] ^ seed[4],
     }
 }
 
@@ -137,7 +138,7 @@ proptest! {
         name in ".{0,16}",
         buckets in proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..12),
         seed in proptest::collection::vec(0u64..u64::MAX, 5),
-        which in 0u8..3,
+        which in 0u8..5,
     ) {
         let event = match which {
             0 => Event::Histogram { name, buckets },
@@ -145,6 +146,8 @@ proptest! {
                 func: name,
                 counts: tally([seed[0], seed[1], seed[2], seed[3], seed[4]]),
             },
+            2 => Event::JournalRecovery { records: seed[0], truncated_bytes: seed[1] },
+            3 => Event::JournalStats { recovered: seed[0], appended: seed[1] },
             _ => Event::CacheStats { hits: seed[0], misses: seed[1], entries: seed[2] },
         };
         assert_roundtrip(ts, event)?;

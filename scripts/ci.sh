@@ -32,4 +32,30 @@ cargo run --release --offline -q -p minpsid-cli -- trace report "$TRACE_TMP/fig2
 test -s "$TRACE_TMP/report/trace_report.md"
 test -s "$TRACE_TMP/report/trace_report.html"
 
+echo "== crash-recovery smoke (SIGKILL mid-campaign, resume, diff)"
+CLI="target/release/minpsid"
+cargo build --release --offline -q -p minpsid-cli
+# stdout of the plain (non --json) report is fully deterministic: the
+# --json variant embeds wall-clock timings, so it cannot be diffed
+SMOKE_ARGS=(minpsid pathfinder --quick --seed 42 --level 0.5 --quiet)
+# uninterrupted journaled reference run
+"$CLI" "${SMOKE_ARGS[@]}" --journal "$TRACE_TMP/journal-ref" \
+  > "$TRACE_TMP/uninterrupted.txt"
+# start the same campaign fresh, SIGKILL it mid-flight, then resume; the
+# resumed run must produce a byte-identical report
+"$CLI" "${SMOKE_ARGS[@]}" --journal "$TRACE_TMP/journal-kill" \
+  > /dev/null 2>&1 &
+VICTIM=$!
+sleep 0.4
+kill -9 "$VICTIM" 2>/dev/null || true
+wait "$VICTIM" 2>/dev/null || true
+test -s "$TRACE_TMP/journal-kill/campaign.wal"
+"$CLI" "${SMOKE_ARGS[@]}" --resume "$TRACE_TMP/journal-kill" \
+  > "$TRACE_TMP/resumed.txt"
+diff "$TRACE_TMP/uninterrupted.txt" "$TRACE_TMP/resumed.txt"
+
+echo "== chaos smoke (worker panics degrade to engine errors)"
+"$CLI" fi pathfinder --quick --seed 42 --chaos-panic-one-in 40 --quiet \
+  2>/dev/null | grep -q "engine-err"
+
 echo "CI OK"

@@ -16,6 +16,8 @@
 //!   incubative-instruction identification, re-prioritized SID;
 //! * [`trace`] — structured tracing/metrics sink and the offline
 //!   `minpsid trace report` analyzer;
+//! * [`journal`] — crash-safe campaign journal: durable WAL,
+//!   resume-after-crash, cooperative interrupts;
 //! * [`workloads`] — the 11 benchmarks of Table I.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
@@ -26,6 +28,7 @@ pub use minpsid;
 pub use minpsid_faultsim as faultsim;
 pub use minpsid_interp as interp;
 pub use minpsid_ir as ir;
+pub use minpsid_journal as journal;
 pub use minpsid_sid as sid;
 pub use minpsid_trace as trace;
 pub use minpsid_workloads as workloads;

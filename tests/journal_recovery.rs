@@ -1,0 +1,155 @@
+//! Integration tests for the crash-safe campaign journal: an interrupted
+//! MINPSID run resumed from its journal must produce a bit-identical
+//! result, and an injected worker panic must degrade to an
+//! `EngineError` outcome instead of terminating the campaign.
+
+use minpsid_repro::faultsim::{
+    golden_run, interrupt, program_campaign, CampaignConfig, CampaignJournal,
+};
+use minpsid_repro::minpsid::{
+    minpsid_config_fingerprint, module_fingerprint, run_minpsid, run_minpsid_journaled, GaConfig,
+    GoldenCache, MinpsidConfig, MinpsidResult, PipelineError, SearchStrategy,
+};
+use minpsid_repro::workloads;
+use std::path::PathBuf;
+
+fn tiny_minpsid(seed: u64) -> MinpsidConfig {
+    MinpsidConfig {
+        protection_level: 0.6,
+        campaign: CampaignConfig {
+            injections: 80,
+            per_inst_injections: 6,
+            seed,
+            ..CampaignConfig::default()
+        },
+        ga: GaConfig {
+            population: 5,
+            max_generations: 3,
+            seed,
+            ..GaConfig::default()
+        },
+        max_inputs: 3,
+        stagnation_patience: 2,
+        strategy: SearchStrategy::Genetic,
+        ..MinpsidConfig::default()
+    }
+}
+
+fn journal_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "minpsid-integration-journal-{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn same_result(a: &MinpsidResult, b: &MinpsidResult) {
+    assert_eq!(a.selection, b.selection);
+    assert_eq!(a.incubative, b.incubative);
+    assert_eq!(a.incubative_history, b.incubative_history);
+    assert_eq!(a.inputs_searched, b.inputs_searched);
+    assert_eq!(a.expected_coverage, b.expected_coverage);
+}
+
+/// The full resume story on a real benchmark, in one test so nothing
+/// races the process-wide interrupt flag: fresh-journaled == plain,
+/// interrupt → Err(Interrupted) with progress kept, resume == plain.
+#[test]
+fn interrupted_minpsid_run_resumes_bit_identically() {
+    let suite = workloads::suite();
+    let b = suite.first().expect("non-empty suite");
+    let module = b.compile();
+    let cfg = tiny_minpsid(5);
+    let plain = run_minpsid(&module, b.model.as_ref(), &cfg).unwrap();
+
+    let mfp = module_fingerprint(&module);
+    let cfp = minpsid_config_fingerprint(&cfg);
+
+    // interrupt immediately: the run stops cleanly, journaling whatever
+    // completed before the first poll
+    let dir = journal_dir("resume");
+    {
+        let journal = CampaignJournal::open(&dir, mfp, cfp).unwrap();
+        interrupt::request();
+        let r = run_minpsid_journaled(
+            &module,
+            b.model.as_ref(),
+            &cfg,
+            &GoldenCache::new(),
+            &journal,
+        );
+        interrupt::clear();
+        assert!(
+            matches!(r, Err(PipelineError::Interrupted)),
+            "interrupt propagates"
+        );
+    }
+
+    // resume with a fresh cache and a reopened journal: bit-identical
+    let journal = CampaignJournal::open(&dir, mfp, cfp).unwrap();
+    let resumed = run_minpsid_journaled(
+        &module,
+        b.model.as_ref(),
+        &cfg,
+        &GoldenCache::new(),
+        &journal,
+    )
+    .unwrap();
+    same_result(&plain, &resumed);
+
+    // run once more over the now-complete journal: everything is served
+    drop(journal);
+    let journal = CampaignJournal::open(&dir, mfp, cfp).unwrap();
+    let replayed = run_minpsid_journaled(
+        &module,
+        b.model.as_ref(),
+        &cfg,
+        &GoldenCache::new(),
+        &journal,
+    )
+    .unwrap();
+    same_result(&plain, &replayed);
+    let (served, appended) = journal.usage();
+    assert!(served > 0, "completed journal serves the injections");
+    assert!(
+        appended <= 1,
+        "replay appends at most the selection record, got {appended}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A panicking injection worker must not take the campaign down: the
+/// chaos knob fires deterministic panics that classify as EngineError,
+/// excluded from SDC rates, and the run is otherwise unperturbed.
+#[test]
+fn worker_panics_degrade_to_engine_errors_without_aborting() {
+    let suite = workloads::suite();
+    let b = suite.first().expect("non-empty suite");
+    let module = b.compile();
+    let input = b.model.materialize(&b.model.reference());
+    let mut cfg = CampaignConfig {
+        injections: 90,
+        per_inst_injections: 4,
+        seed: 9,
+        ..CampaignConfig::default()
+    };
+    let golden = golden_run(&module, &input, &cfg).unwrap();
+    let clean = program_campaign(&module, &input, &golden, &cfg);
+    assert_eq!(clean.counts.engine_error, 0);
+
+    cfg.chaos_panic_one_in = Some(30);
+    let chaotic = program_campaign(&module, &input, &golden, &cfg);
+    assert_eq!(
+        chaotic.counts.engine_error, 3,
+        "every 30th of 90 injections panics"
+    );
+    assert_eq!(
+        chaotic.counts.total(),
+        clean.counts.total(),
+        "the campaign still runs to completion"
+    );
+    // rates are computed over valid injections only, so the panics do
+    // not silently dilute the SDC probability
+    assert_eq!(chaotic.counts.valid_total(), clean.counts.total() - 3);
+}
