@@ -1,7 +1,10 @@
 //! Cold vs checkpointed per-instruction FI campaign throughput on the
 //! three largest workloads (hpccg, fft, xsbench). Asserts bit-identity of
 //! the two campaigns, reports per-workload wall-clock and speedup, and
-//! emits `BENCH_fi_throughput.json` at the repository root.
+//! emits `BENCH_fi_throughput.json` at the repository root. Also measures
+//! the resilient scheduler's bookkeeping overhead: the checkpointed
+//! campaign timed with the default retry budget vs retries disabled
+//! (the pre-scheduler fail-fast behaviour); the target is <3%.
 //!
 //! Run with `cargo bench --bench fi_checkpoint_throughput`.
 
@@ -34,11 +37,19 @@ struct Row {
     snapshot_bytes: usize,
     cold_s: f64,
     warm_s: f64,
+    sched_retries_off_s: f64,
+    sched_default_s: f64,
 }
 
 impl Row {
     fn speedup(&self) -> f64 {
         self.cold_s / self.warm_s
+    }
+
+    /// Relative cost of the default scheduler (retry budget 2) over the
+    /// fail-fast configuration on a clean run, in percent.
+    fn sched_overhead_pct(&self) -> f64 {
+        (self.sched_default_s / self.sched_retries_off_s - 1.0) * 100.0
     }
 }
 
@@ -90,6 +101,15 @@ fn main() {
 
         let cold_s = time_campaign(&module, &input, &g_cold, &cold_cfg);
         let warm_s = time_campaign(&module, &input, &g_warm, &warm_cfg);
+
+        // scheduler overhead: the same checkpointed campaign with the
+        // retry machinery disabled vs the default retry budget (no chaos,
+        // so no retries actually fire — this isolates pure bookkeeping)
+        let mut retries_off_cfg = warm_cfg.clone();
+        retries_off_cfg.sched.max_retries = 0;
+        let sched_retries_off_s = time_campaign(&module, &input, &g_warm, &retries_off_cfg);
+        let sched_default_s = time_campaign(&module, &input, &g_warm, &warm_cfg);
+
         let row = Row {
             name,
             golden_steps: g_warm.steps,
@@ -97,6 +117,8 @@ fn main() {
             snapshot_bytes: g_warm.checkpoints.total_bytes(),
             cold_s,
             warm_s,
+            sched_retries_off_s,
+            sched_default_s,
         };
         println!(
             "bench fi/{:<10} cold {:>8.3} s   checkpointed {:>8.3} s   speedup {:>5.2}x   \
@@ -109,6 +131,14 @@ fn main() {
             row.snapshots,
             row.snapshot_bytes / 1024
         );
+        println!(
+            "bench fi/{:<10} sched: retries-off {:>8.3} s   default {:>8.3} s   \
+             overhead {:>+5.1}%",
+            row.name,
+            row.sched_retries_off_s,
+            row.sched_default_s,
+            row.sched_overhead_pct()
+        );
         rows.push(row);
     }
 
@@ -120,7 +150,8 @@ fn main() {
             json,
             "    {{\"name\": \"{}\", \"golden_steps\": {}, \"snapshots\": {}, \
              \"snapshot_bytes\": {}, \"cold_s\": {:.4}, \"checkpointed_s\": {:.4}, \
-             \"speedup\": {:.3}}}{}",
+             \"speedup\": {:.3}, \"sched_retries_off_s\": {:.4}, \
+             \"sched_default_s\": {:.4}, \"sched_overhead_pct\": {:.2}}}{}",
             r.name,
             r.golden_steps,
             r.snapshots,
@@ -128,6 +159,9 @@ fn main() {
             r.cold_s,
             r.warm_s,
             r.speedup(),
+            r.sched_retries_off_s,
+            r.sched_default_s,
+            r.sched_overhead_pct(),
             if i + 1 < rows.len() { "," } else { "" }
         )
         .unwrap();

@@ -108,6 +108,7 @@ impl Preset {
             stagnation_patience: if self == Preset::Tiny { 2 } else { 3 },
             strategy: SearchStrategy::Genetic,
             use_dp: false,
+            deadline_secs: None,
         }
     }
 }

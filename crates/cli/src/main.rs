@@ -17,7 +17,8 @@ use minpsid::{
     GoldenCache, MinpsidConfig, PipelineError,
 };
 use minpsid_faultsim::{
-    golden_run, interrupt, program_campaign, CampaignConfig, CampaignJournal, CheckpointPolicy,
+    golden_run, interrupt, program_campaign_sched, CampaignConfig, CampaignJournal,
+    CheckpointPolicy, Deadline, Scheduler,
 };
 use minpsid_interp::{ExecConfig, Interp, ProgInput, Scalar};
 use minpsid_ir::printer::print_module;
@@ -175,6 +176,20 @@ FI campaign options (fi/analyze/sid/minpsid):
                             classify as engine errors, not hangs
   --chaos-panic-one-in N    test harness: panic inside every Nth injection
                             worker to exercise fault isolation
+  --chaos-timeout-one-in N  test harness: synthetic timeout in every Nth
+                            injection to exercise retry → quarantine
+
+resilient scheduling (fi/analyze/sid/minpsid):
+  --deadline-secs S         global wall-clock budget; expired work is
+                            truncated (low-benefit sites first) and the
+                            report carries a completeness score
+  --max-retries N           extra attempts for transient engine failures
+                            (default 2; 0 disables retries)
+  --quarantine-after N      consecutive exhausted injections before a
+                            site is quarantined (default 2)
+  --quarantine-cap N        hard cap on quarantined sites (default 64)
+  --ci-half-width W         per-site early stop once the 95% Wilson
+                            interval half-width is <= W (0 = off)
 
 crash-safe journal (minpsid):
   --journal DIR             journal campaign progress to DIR; SIGINT
@@ -305,7 +320,46 @@ fn parse_campaign(rest: &[String]) -> Result<CampaignConfig, String> {
     if let Some(n) = parse_positive(rest, "--chaos-panic-one-in", "want a positive period")? {
         campaign.chaos_panic_one_in = Some(n);
     }
+    if let Some(n) = parse_positive(rest, "--chaos-timeout-one-in", "want a positive period")? {
+        campaign.chaos_timeout_one_in = Some(n);
+    }
+    if let Some(v) = flag_value(rest, "--max-retries") {
+        // 0 is meaningful: it restores fail-fast EngineError behaviour
+        campaign.sched.max_retries = v.parse().map_err(|_| format!("bad --max-retries `{v}`"))?;
+    }
+    if let Some(n) = parse_positive(rest, "--quarantine-after", "want a positive count")? {
+        campaign.sched.quarantine_after = n as u32;
+    }
+    if let Some(v) = flag_value(rest, "--quarantine-cap") {
+        // 0 is meaningful: it disables quarantine entirely
+        campaign.sched.quarantine_cap = v
+            .parse()
+            .map_err(|_| format!("bad --quarantine-cap `{v}`"))?;
+    }
+    if let Some(v) = flag_value(rest, "--ci-half-width") {
+        let w: f64 = v
+            .parse()
+            .ok()
+            .filter(|w| (0.0..0.5).contains(w))
+            .ok_or_else(|| format!("bad --ci-half-width `{v}` (want a width in [0, 0.5))"))?;
+        campaign.sched.ci_half_width = w;
+    }
     Ok(campaign)
+}
+
+/// `--deadline-secs`: the global wall-clock budget. Not part of the
+/// campaign config (and so not of the journal fingerprint) — it bounds
+/// how much work runs, never what that work computes.
+fn parse_deadline(rest: &[String]) -> Result<Option<f64>, String> {
+    match flag_value(rest, "--deadline-secs") {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<f64>()
+            .ok()
+            .filter(|d| d.is_finite() && *d >= 0.0)
+            .map(Some)
+            .ok_or_else(|| format!("bad --deadline-secs `{v}` (want a non-negative number)")),
+    }
 }
 
 fn first_arg<'a>(rest: &'a [String], what: &str) -> Result<&'a str, String> {
@@ -381,9 +435,13 @@ fn cmd_fi(rest: &[String]) -> Result<(), String> {
     let module = load_module(name)?;
     let input = parse_input(name, rest)?;
     let campaign = parse_campaign(rest)?;
+    let sched = Scheduler::new(
+        campaign.sched.clone(),
+        Deadline::from_secs(parse_deadline(rest)?),
+    );
     let golden =
         golden_run(&module, &input, &campaign).map_err(|t| format!("golden run failed: {t:?}"))?;
-    let c = program_campaign(&module, &input, &golden, &campaign);
+    let c = program_campaign_sched(&module, &input, &golden, &campaign, &sched);
     println!("injections: {}", c.counts.total());
     println!("  benign:   {}", c.counts.benign);
     println!("  sdc:      {}", c.counts.sdc);
@@ -396,19 +454,40 @@ fn cmd_fi(rest: &[String]) -> Result<(), String> {
             c.counts.engine_error
         );
     }
+    if c.recovered > 0 {
+        println!(
+            "  recovered: {} (transient failures healed by retry)",
+            c.recovered
+        );
+    }
+    if c.truncated > 0 {
+        println!(
+            "  truncated: {} of {} planned (deadline expired)",
+            c.truncated, c.planned
+        );
+    }
     println!(
         "SDC probability: {:.2}% (95% CI {:.2}%..{:.2}%)",
         c.sdc_prob() * 100.0,
         c.sdc_ci.lo * 100.0,
         c.sdc_ci.hi * 100.0
     );
+    let snap = sched.snapshot();
+    println!("completeness: {:.4}", snap.completeness());
+    if snap.accounted() != snap.planned {
+        return Err(format!(
+            "scheduler accounting violated: {} of {} injections unaccounted",
+            snap.planned - snap.accounted(),
+            snap.planned
+        ));
+    }
     Ok(())
 }
 
 /// Rank instructions by SDC benefit under the reference input — the
 /// §II-C profile SID's knapsack consumes, as a human-readable report.
 fn cmd_analyze(rest: &[String]) -> Result<(), String> {
-    use minpsid_faultsim::per_instruction_campaign;
+    use minpsid_faultsim::per_instruction_campaign_sched;
     use minpsid_sid::CostBenefit;
     let name = first_arg(rest, "benchmark name")?;
     let module = load_module(name)?;
@@ -418,9 +497,13 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
         Some(v) => v.parse().map_err(|_| format!("bad --top `{v}`"))?,
     };
     let campaign = parse_campaign(rest)?;
+    let sched = Scheduler::new(
+        campaign.sched.clone(),
+        Deadline::from_secs(parse_deadline(rest)?),
+    );
     let golden =
         golden_run(&module, &input, &campaign).map_err(|t| format!("golden run failed: {t:?}"))?;
-    let per_inst = per_instruction_campaign(&module, &input, &golden, &campaign);
+    let per_inst = per_instruction_campaign_sched(&module, &input, &golden, &campaign, &sched);
     let cb = CostBenefit::build(&module, &golden, &per_inst);
 
     let numbering = module.numbering();
@@ -433,21 +516,44 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
         top.min(ranked.len())
     );
     println!(
-        "{:>6} {:>9} {:>9} {:>11} | instruction",
-        "rank", "benefit", "sdc-prob", "dyn-count"
+        "{:>6} {:>9} {:>9} {:>15} {:>11} {:>13} | instruction",
+        "rank", "benefit", "sdc-prob", "95%-ci", "dyn-count", "sampling"
     );
     for (rank, &dense) in ranked.iter().take(top).enumerate() {
         let gid = numbering.id_of(dense);
         let func = module.func(gid.func);
+        let ci = &per_inst.ci[dense];
         println!(
-            "{:>6} {:>9.5} {:>8.1}% {:>11} | {}::{}",
+            "{:>6} {:>9.5} {:>8.1}% {:>6.1}%..{:>5.1}% {:>11} {:>13} | {}::{}",
             rank + 1,
             cb.benefit[dense],
             cb.sdc_prob[dense] * 100.0,
+            ci.lo * 100.0,
+            ci.hi * 100.0,
             cb.dyn_counts[dense],
+            per_inst.status[dense].as_str(),
             func.name,
             minpsid_ir::printer::print_inst(func, gid.inst)
         );
+    }
+    let quarantined = per_inst.status.iter().filter(|s| !s.trusted()).count();
+    let early = per_inst
+        .status
+        .iter()
+        .filter(|s| matches!(s, minpsid_faultsim::SiteStatus::EarlyStopped))
+        .count();
+    let snap = sched.snapshot();
+    println!("quarantined sites: {quarantined}");
+    if early > 0 {
+        println!("early-stopped sites: {early}");
+    }
+    println!("completeness: {:.4}", snap.completeness());
+    if snap.accounted() != snap.planned {
+        return Err(format!(
+            "scheduler accounting violated: {} of {} injections unaccounted",
+            snap.planned - snap.accounted(),
+            snap.planned
+        ));
     }
     Ok(())
 }
@@ -557,6 +663,7 @@ fn cmd_minpsid(rest: &[String]) -> Result<(), String> {
     let mut cfg = MinpsidConfig {
         protection_level: parse_level(rest)?,
         campaign: parse_campaign(rest)?,
+        deadline_secs: parse_deadline(rest)?,
         ..MinpsidConfig::default()
     };
     if quick {
@@ -646,6 +753,29 @@ fn cmd_minpsid(rest: &[String]) -> Result<(), String> {
             "expected SDC coverage (conservative): {:.2}%",
             r.expected_coverage * 100.0
         );
+        println!("campaign completeness: {:.4}", r.sched.completeness());
+        if r.sched.recovered > 0 {
+            println!(
+                "transient failures recovered by retry: {}",
+                r.sched.recovered
+            );
+        }
+        if r.sched.quarantined_sites > 0 {
+            println!("quarantined sites: {}", r.sched.quarantined_sites);
+        }
+        if r.sched.truncated > 0 {
+            println!(
+                "deadline-truncated injections: {} of {} planned",
+                r.sched.truncated, r.sched.planned
+            );
+        }
+    }
+    if r.sched.accounted() != r.sched.planned {
+        return Err(format!(
+            "scheduler accounting violated: {} of {} injections unaccounted",
+            r.sched.planned - r.sched.accounted(),
+            r.sched.planned
+        ));
     }
     print_run_telemetry(&r.timings, &cache);
     if let Some(j) = &journal {
@@ -719,6 +849,24 @@ fn minpsid_json(
     o.set("inputs_searched", Json::U64(r.inputs_searched as u64));
     o.set("incubative", Json::U64(r.incubative.len() as u64));
     o.set("expected_coverage", Json::F64(r.expected_coverage));
+    let mut sched = Json::obj();
+    sched.set("planned", Json::U64(r.sched.planned));
+    sched.set("completed", Json::U64(r.sched.completed));
+    sched.set("retries", Json::U64(r.sched.retries));
+    sched.set("recovered", Json::U64(r.sched.recovered));
+    sched.set("quarantined_sites", Json::U64(r.sched.quarantined_sites));
+    sched.set(
+        "quarantined_injections",
+        Json::U64(r.sched.quarantined_injections),
+    );
+    sched.set(
+        "early_stopped_sites",
+        Json::U64(r.sched.early_stopped_sites),
+    );
+    sched.set("early_stop_skipped", Json::U64(r.sched.early_stop_skipped));
+    sched.set("truncated", Json::U64(r.sched.truncated));
+    sched.set("completeness", Json::F64(r.sched.completeness()));
+    o.set("sched", sched);
     o.set("timings", timings);
     o.set("golden_cache", cache_obj);
     o
@@ -840,6 +988,56 @@ mod tests {
         assert_eq!(off.exec.wall_clock_ms, 0);
         assert!(parse_campaign(&args(&["--injections", "0"])).is_err());
         assert!(parse_campaign(&args(&["--chaos-panic-one-in", "0"])).is_err());
+        assert!(parse_campaign(&args(&["--chaos-timeout-one-in", "0"])).is_err());
+    }
+
+    #[test]
+    fn sched_flags_parse_into_sched_config() {
+        let c = parse_campaign(&args(&[
+            "--chaos-timeout-one-in",
+            "50",
+            "--max-retries",
+            "0",
+            "--quarantine-after",
+            "3",
+            "--quarantine-cap",
+            "0",
+            "--ci-half-width",
+            "0.05",
+        ]))
+        .unwrap();
+        assert_eq!(c.chaos_timeout_one_in, Some(50));
+        assert_eq!(c.sched.max_retries, 0, "0 restores fail-fast behaviour");
+        assert_eq!(c.sched.quarantine_after, 3);
+        assert_eq!(c.sched.quarantine_cap, 0, "0 disables quarantine");
+        assert_eq!(c.sched.ci_half_width, 0.05);
+
+        // defaults survive when no flags are given
+        let d = parse_campaign(&args(&[])).unwrap();
+        assert_eq!(d.sched, minpsid_faultsim::SchedConfig::default());
+        assert_eq!(d.chaos_timeout_one_in, None);
+
+        assert!(parse_campaign(&args(&["--max-retries", "abc"])).is_err());
+        assert!(parse_campaign(&args(&["--quarantine-after", "0"])).is_err());
+        assert!(parse_campaign(&args(&["--ci-half-width", "0.7"])).is_err());
+        assert!(parse_campaign(&args(&["--ci-half-width", "-0.1"])).is_err());
+    }
+
+    #[test]
+    fn deadline_flag_validates() {
+        assert_eq!(parse_deadline(&args(&[])).unwrap(), None);
+        assert_eq!(
+            parse_deadline(&args(&["--deadline-secs", "2.5"])).unwrap(),
+            Some(2.5)
+        );
+        assert_eq!(
+            parse_deadline(&args(&["--deadline-secs", "0"])).unwrap(),
+            Some(0.0),
+            "an already-expired budget is allowed (truncate everything)"
+        );
+        assert!(parse_deadline(&args(&["--deadline-secs", "-1"])).is_err());
+        assert!(parse_deadline(&args(&["--deadline-secs", "inf"])).is_err());
+        assert!(parse_deadline(&args(&["--deadline-secs", "soon"])).is_err());
     }
 
     #[test]

@@ -5,8 +5,8 @@ use crate::incubative::{IncubativeConfig, IncubativeTracker};
 use crate::input::InputModel;
 use crate::search::{EvalMemo, GaConfig, SearchEngine};
 use minpsid_faultsim::{
-    interrupt, per_instruction_campaign, per_instruction_campaign_journaled, CampaignConfig,
-    CampaignJournal, GoldenRun, Interrupted,
+    interrupt, per_instruction_campaign_journaled, per_instruction_campaign_sched, CampaignConfig,
+    CampaignJournal, Deadline, GoldenRun, Interrupted, SchedSnapshot, Scheduler,
 };
 use minpsid_interp::{ProgInput, Termination};
 use minpsid_ir::Module;
@@ -47,6 +47,13 @@ pub struct MinpsidConfig {
     pub strategy: SearchStrategy,
     /// Exact-DP knapsack instead of greedy (ablation).
     pub use_dp: bool,
+    /// Wall-clock budget for the whole run in seconds; `None` is
+    /// unbounded. When the budget expires, campaigns truncate their
+    /// remaining injections and the search stops — the run still produces
+    /// a report, annotated with its completeness. Deliberately excluded
+    /// from the journal fingerprint: a truncated run resumed under a
+    /// looser (or absent) deadline must converge to the full result.
+    pub deadline_secs: Option<f64>,
 }
 
 impl Default for MinpsidConfig {
@@ -60,6 +67,7 @@ impl Default for MinpsidConfig {
             stagnation_patience: 3,
             strategy: SearchStrategy::Genetic,
             use_dp: false,
+            deadline_secs: None,
         }
     }
 }
@@ -103,6 +111,9 @@ pub struct MinpsidResult {
     /// The full benefit-observation state, so callers can re-derive
     /// profiles under alternative re-prioritization rules (ablations).
     pub tracker: IncubativeTracker,
+    /// The run's scheduler accounting: retries, quarantines, early stops,
+    /// deadline truncation. `sched.completeness()` annotates the report.
+    pub sched: SchedSnapshot,
 }
 
 /// Baseline SID under this crate's naming, for experiment symmetry.
@@ -145,19 +156,22 @@ pub fn run_minpsid_cached(
 ) -> Result<MinpsidResult, Termination> {
     let mut timings = Timings::default();
     let _pipeline_span = trace::span("minpsid_pipeline");
+    let sched = run_scheduler(cfg);
 
     // ① SID preparation: reference-input profile + per-instruction FI
     let t0 = Instant::now();
     let ref_fi_span = trace::span("ref_fi");
     let ref_input = model.materialize(&model.reference());
     let ref_golden = cache.golden(module, &ref_input, &cfg.campaign)?;
-    let ref_per_inst = per_instruction_campaign(module, &ref_input, &ref_golden, &cfg.campaign);
+    let ref_per_inst =
+        per_instruction_campaign_sched(module, &ref_input, &ref_golden, &cfg.campaign, &sched);
     let ref_cb = CostBenefit::build(module, &ref_golden, &ref_per_inst);
     drop(ref_fi_span);
     timings.ref_fi = t0.elapsed();
 
     // ③–⑦ input search + incubative identification
     let mut engine = SearchEngine::new(module, model, cfg.campaign.clone(), cfg.ga.clone());
+    engine.set_deadline(sched.deadline());
     engine.record_history(ref_golden.profile.indexed_cfg_list());
     let mut tracker = IncubativeTracker::new(ref_cb.benefit.clone(), cfg.incubative);
     let mut incubative_history = Vec::new();
@@ -165,6 +179,9 @@ pub fn run_minpsid_cached(
     let mut inputs_searched = 0usize;
 
     while inputs_searched < cfg.max_inputs && stale < cfg.stagnation_patience {
+        if sched.deadline_exceeded() {
+            break; // graceful: report what we have, annotated as partial
+        }
         let t_search = Instant::now();
         let search_span = trace::span("search");
         let outcome = match cfg.strategy {
@@ -182,7 +199,8 @@ pub fn run_minpsid_cached(
         let t_fi = Instant::now();
         let fi_span = trace::span("incubative_fi");
         let golden = cache.golden(module, &outcome.input, &cfg.campaign)?;
-        let per_inst = per_instruction_campaign(module, &outcome.input, &golden, &cfg.campaign);
+        let per_inst =
+            per_instruction_campaign_sched(module, &outcome.input, &golden, &cfg.campaign, &sched);
         let cb = CostBenefit::build(module, &golden, &per_inst);
         drop(fi_span);
         timings.incubative_fi += t_fi.elapsed();
@@ -222,6 +240,7 @@ pub fn run_minpsid_cached(
             entries: cache.len() as u64,
         });
     }
+    sched.emit_summary();
 
     Ok(MinpsidResult {
         protected,
@@ -234,6 +253,7 @@ pub fn run_minpsid_cached(
         timings,
         cost_benefit: cb,
         tracker,
+        sched: sched.snapshot(),
     })
 }
 
@@ -281,7 +301,19 @@ impl From<Interrupted> for PipelineError {
 pub fn minpsid_config_fingerprint(cfg: &MinpsidConfig) -> u64 {
     let mut c = cfg.clone();
     c.campaign.threads = 0;
+    // A deadline truncates *which* work runs, never its results; a
+    // truncated journal must be resumable under a different budget.
+    c.deadline_secs = None;
     fingerprint_debug(&c)
+}
+
+/// The run-scoped scheduler: retry/quarantine knobs from the campaign
+/// config, deadline from `deadline_secs`.
+fn run_scheduler(cfg: &MinpsidConfig) -> Scheduler {
+    Scheduler::new(
+        cfg.campaign.sched.clone(),
+        Deadline::from_secs(cfg.deadline_secs),
+    )
 }
 
 /// The journal serves as the GA's evaluation memo: profiled CFG lists are
@@ -340,6 +372,7 @@ pub fn run_minpsid_journaled(
 ) -> Result<MinpsidResult, PipelineError> {
     let mut timings = Timings::default();
     let _pipeline_span = trace::span("minpsid_pipeline");
+    let sched = run_scheduler(cfg);
 
     // ① SID preparation: reference-input profile + per-instruction FI
     let t0 = Instant::now();
@@ -351,6 +384,7 @@ pub fn run_minpsid_journaled(
         &ref_input,
         &ref_golden,
         &cfg.campaign,
+        &sched,
         journal,
         ref_fp,
     )?;
@@ -362,6 +396,7 @@ pub fn run_minpsid_journaled(
     // ③–⑦ input search + incubative identification
     let mut engine = SearchEngine::new(module, model, cfg.campaign.clone(), cfg.ga.clone());
     engine.set_eval_memo(journal);
+    engine.set_deadline(sched.deadline());
     engine.record_history(ref_golden.profile.indexed_cfg_list());
     let mut tracker = IncubativeTracker::new(ref_cb.benefit.clone(), cfg.incubative);
     let mut incubative_history = Vec::new();
@@ -372,6 +407,9 @@ pub fn run_minpsid_journaled(
         if interrupt::requested() {
             let _ = journal.sync();
             return Err(PipelineError::Interrupted);
+        }
+        if sched.deadline_exceeded() {
+            break; // graceful: report what we have, annotated as partial
         }
         let t_search = Instant::now();
         let search_span = trace::span("search");
@@ -395,6 +433,7 @@ pub fn run_minpsid_journaled(
             &outcome.input,
             &golden,
             &cfg.campaign,
+            &sched,
             journal,
             input_fp,
         )?;
@@ -441,6 +480,7 @@ pub fn run_minpsid_journaled(
         });
     }
     journal.emit_stats();
+    sched.emit_summary();
     // completed run: compact the log so the directory stays small across
     // repeated resumes, and make everything durable on the way out
     let _ = journal.compact();
@@ -457,6 +497,7 @@ pub fn run_minpsid_journaled(
         timings,
         cost_benefit: cb,
         tracker,
+        sched: sched.snapshot(),
     })
 }
 
@@ -723,7 +764,7 @@ mod tests {
     }
 
     #[test]
-    fn config_fingerprint_ignores_thread_count() {
+    fn config_fingerprint_ignores_thread_count_and_deadline() {
         let a = quick_cfg(0.5, SearchStrategy::Genetic);
         let mut b = a.clone();
         b.campaign.threads = 13;
@@ -731,12 +772,48 @@ mod tests {
             minpsid_config_fingerprint(&a),
             minpsid_config_fingerprint(&b)
         );
+        // a deadline changes how much work runs, not what it computes: a
+        // truncated journal must be resumable under a looser budget
+        let mut d = a.clone();
+        d.deadline_secs = Some(3.5);
+        assert_eq!(
+            minpsid_config_fingerprint(&a),
+            minpsid_config_fingerprint(&d)
+        );
         let mut c = a.clone();
         c.protection_level = 0.6;
         assert_ne!(
             minpsid_config_fingerprint(&a),
             minpsid_config_fingerprint(&c)
         );
+        // retry/quarantine knobs *do* participate (they can change which
+        // outcomes get recorded)
+        let mut s = a.clone();
+        s.campaign.sched.quarantine_after = 9;
+        assert_ne!(
+            minpsid_config_fingerprint(&a),
+            minpsid_config_fingerprint(&s)
+        );
+    }
+
+    #[test]
+    fn expired_deadline_still_produces_an_annotated_report() {
+        let m = module();
+        let model = Model::new();
+        let mut cfg = quick_cfg(0.5, SearchStrategy::Genetic);
+        cfg.deadline_secs = Some(0.0); // already expired at start
+        let r = run_minpsid(&m, &model, &cfg).unwrap();
+        assert_eq!(r.inputs_searched, 0, "search never starts past deadline");
+        assert!(r.sched.truncated > 0, "ref FI is truncated");
+        assert!(
+            r.sched.completeness() < 1.0,
+            "the report must confess its incompleteness: {:?}",
+            r.sched
+        );
+        // unbounded runs report full completeness
+        let full = run_minpsid(&m, &model, &quick_cfg(0.5, SearchStrategy::Genetic)).unwrap();
+        assert_eq!(full.sched.completeness(), 1.0);
+        assert_eq!(full.sched.truncated, 0);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use crate::cache::input_fingerprint;
 use crate::input::{crossover, mutate, InputModel, ParamValue};
 use crate::wcfg::{fitness_score, fitness_score_normalized, indexed_cfg_list, profile_input};
-use minpsid_faultsim::CampaignConfig;
+use minpsid_faultsim::{CampaignConfig, Deadline};
 use minpsid_interp::ProgInput;
 use minpsid_ir::Module;
 use minpsid_trace as trace;
@@ -87,6 +87,7 @@ pub struct SearchEngine<'a> {
     history: Vec<Vec<u64>>,
     rng: StdRng,
     memo: Option<&'a dyn EvalMemo>,
+    deadline: Deadline,
     /// Profiled executions performed *or served from a memo* — memo hits
     /// count so an interrupted-and-resumed search reports the same totals
     /// (and emits the same trace events) as an uninterrupted one.
@@ -111,6 +112,7 @@ impl<'a> SearchEngine<'a> {
             history: Vec::new(),
             rng,
             memo: None,
+            deadline: Deadline::none(),
             profiled_runs: 0,
             memo_served: 0,
         }
@@ -120,6 +122,14 @@ impl<'a> SearchEngine<'a> {
     /// candidate profiling run and updated after every fresh one.
     pub fn set_eval_memo(&mut self, memo: &'a dyn EvalMemo) {
         self.memo = Some(memo);
+    }
+
+    /// Bound the search by a wall-clock deadline: GA generations and
+    /// annealing steps stop early once it expires, returning the best
+    /// candidate found so far. Unbounded runs are unaffected, so a run
+    /// without a deadline stays bit-identical to one that never expires.
+    pub fn set_deadline(&mut self, deadline: Deadline) {
+        self.deadline = deadline;
     }
 
     /// Record an accepted input's indexed CFG list (the reference input is
@@ -197,6 +207,9 @@ impl<'a> SearchEngine<'a> {
         let input_index = self.history.len() as u64;
 
         for gen in 0..self.ga.max_generations {
+            if self.deadline.exceeded() {
+                break; // out of budget: ship the fittest survivor
+            }
             let evals_before = self.profiled_runs;
             // offspring via mutation
             let mut offspring: Vec<Vec<ParamValue>> = Vec::new();
@@ -287,6 +300,9 @@ impl<'a> SearchEngine<'a> {
         let cooling = 0.85f64;
 
         for _ in 0..steps {
+            if self.deadline.exceeded() {
+                break; // out of budget: ship the best point seen
+            }
             let proposal = mutate(self.model.spec(), &current.params, &mut self.rng);
             let Some(cand) = self.evaluate(proposal) else {
                 continue; // invalid input: stay put

@@ -21,11 +21,15 @@ use minpsid_interp::{
 };
 use minpsid_ir::{GlobalInstId, Module};
 use minpsid_journal::{interrupt, CampaignJournal, Interrupted};
+use minpsid_sched::{
+    splitmix64, AttemptResult, FailureKind, SchedConfig, Scheduler, SiteStatus, TaskResult,
+};
 use minpsid_trace as trace;
 use minpsid_trace::{CampaignCounters, CampaignKind, Histogram, OutcomeKind};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// How often the sampler thread publishes `campaign_progress` events.
@@ -50,6 +54,10 @@ fn outcome_tally(c: &OutcomeCounts) -> trace::OutcomeTally {
         hang: c.hang,
         detected: c.detected,
         engine_error: c.engine_error,
+        // the retry/quarantine side-tallies are campaign-level, not
+        // per-function
+        transient_recovered: 0,
+        quarantined: 0,
     }
 }
 
@@ -110,9 +118,20 @@ pub struct CampaignConfig {
     pub checkpoint_mem_budget: usize,
     /// Harness chaos knob: deterministically panic inside every
     /// `n`-th-keyed injection worker. Exercises the `catch_unwind` →
-    /// [`Outcome::EngineError`] degradation path in tests and smoke runs;
-    /// `None` (the default) in real campaigns.
+    /// retry → [`Outcome::EngineError`] degradation path in tests and
+    /// smoke runs; `None` (the default) in real campaigns.
     pub chaos_panic_one_in: Option<u64>,
+    /// Chaos knob for the other failure class: every `n`-th-keyed
+    /// injection (offset by half a period so the two knobs hit different
+    /// injections) reports a synthetic wall-clock blowout instead of
+    /// executing. Exercises the timeout retry path.
+    pub chaos_timeout_one_in: Option<u64>,
+    /// Retry / quarantine / early-stop knobs. Part of the config (and so
+    /// of the journal fingerprint): two runs with different retry budgets
+    /// are different experiments. The wall-clock deadline is *not* here —
+    /// it lives on the [`Scheduler`] so a resumed run may get a fresh
+    /// budget.
+    pub sched: SchedConfig,
 }
 
 impl Default for CampaignConfig {
@@ -128,6 +147,8 @@ impl Default for CampaignConfig {
             max_checkpoints: 512,
             checkpoint_mem_budget: 256 << 20,
             chaos_panic_one_in: None,
+            chaos_timeout_one_in: None,
+            sched: SchedConfig::default(),
         }
     }
 }
@@ -233,11 +254,29 @@ fn inject(
     }
 }
 
-/// Does the chaos knob fire for the injection with this deterministic
-/// key? (Deterministic so interrupted-and-resumed runs see the same
-/// engine errors as uninterrupted ones.)
-fn chaos_fires(cfg: &CampaignConfig, key: u64) -> bool {
-    matches!(cfg.chaos_panic_one_in, Some(n) if n > 0 && key.is_multiple_of(n))
+/// Salt separating the timeout knob's failure-count stream from the panic
+/// knob's, so the two chaos classes fail for independent spans.
+const CHAOS_TIMEOUT_SALT: u64 = 0xA24B_AED4_963E_E407;
+
+/// Deterministic chaos plan for one injection key: `(kind, n)` means the
+/// first `n` attempts at this injection fail with `kind`. `n` spans 1–4,
+/// so with the default retry budget of 2 some chaos-hit injections
+/// recover and some exhaust — both paths are exercised by one knob.
+/// Deterministic in the key alone, so interrupted-and-resumed runs see
+/// the same engine failures as uninterrupted ones.
+fn chaos_plan(cfg: &CampaignConfig, key: u64) -> Option<(FailureKind, u32)> {
+    if let Some(n) = cfg.chaos_panic_one_in.filter(|&n| n > 0) {
+        if key.is_multiple_of(n) {
+            return Some((FailureKind::Panic, 1 + (splitmix64(key) & 3) as u32));
+        }
+    }
+    if let Some(m) = cfg.chaos_timeout_one_in.filter(|&m| m > 0) {
+        if key.wrapping_add(m / 2).is_multiple_of(m) {
+            let fails = 1 + (splitmix64(key ^ CHAOS_TIMEOUT_SALT) & 3) as u32;
+            return Some((FailureKind::Timeout, fails));
+        }
+    }
+    None
 }
 
 /// Flat injection index of the per-instruction campaign's (dense, k)
@@ -246,21 +285,30 @@ fn per_inst_chaos_key(cfg: &CampaignConfig, dense: usize, k: usize) -> u64 {
     (dense as u64) * (cfg.per_inst_injections as u64) + k as u64
 }
 
-/// [`inject`] with the worker hardened: a panic anywhere inside the
-/// replay (an interpreter bug, or the chaos knob) degrades to
-/// [`Outcome::EngineError`] instead of poisoning the worker pool and
-/// aborting the campaign. The panic still prints to stderr — a degraded
-/// run is visible, not silent.
-fn inject_classified(
+/// One attempt at [`inject`], hardened for the retry loop: a panic
+/// anywhere inside the replay (an interpreter bug, or the chaos knob)
+/// surfaces as [`FailureKind::Panic`] instead of poisoning the worker
+/// pool, and a wall-clock blowout (real, or the timeout chaos knob)
+/// surfaces as [`FailureKind::Timeout`]. Both are retryable — they say
+/// something about the harness or the host, not the program under test.
+/// The panic still prints to stderr: a degraded run is visible, not
+/// silent.
+fn inject_attempt(
     interp: &Interp<'_>,
     st: &mut MachineState,
     golden: &GoldenRun,
     input: &ProgInput,
     fault: FaultSpec,
-    chaos: bool,
-) -> (Outcome, u64, u64) {
+    chaos: Option<(FailureKind, u32)>,
+    attempt: u32,
+) -> AttemptResult<(Outcome, u64, u64)> {
+    let chaos_hit = matches!(chaos, Some((_, fails)) if attempt < fails);
+    if chaos_hit && matches!(chaos, Some((FailureKind::Timeout, _))) {
+        // a synthetic wall-clock kill: nothing executed, nothing to classify
+        return AttemptResult::Failed(FailureKind::Timeout);
+    }
     let result = catch_unwind(AssertUnwindSafe(|| {
-        if chaos {
+        if chaos_hit {
             panic!("chaos: injected worker panic (chaos_panic_one_in)");
         }
         inject(interp, st, golden, input, fault)
@@ -270,14 +318,65 @@ fn inject_classified(
             debug_assert!(r.fault_applied, "fault target within population");
             let skipped = r.resumed_at.unwrap_or(0);
             let executed = r.steps.saturating_sub(skipped);
-            (classify(&golden.output, &r), executed, skipped)
+            match classify(&golden.output, &r) {
+                // a real wall-clock blowout reflects host pressure, not
+                // program behaviour — hand it to the retry loop
+                Outcome::EngineError => AttemptResult::Failed(FailureKind::Timeout),
+                o => AttemptResult::Ok((o, executed, skipped)),
+            }
         }
         Err(_) => {
             // the panic may have left the per-worker scratch mid-run;
-            // drop it so the next injection starts clean
+            // drop it so the next attempt starts clean
             *st = MachineState::default();
-            (Outcome::EngineError, 0, 0)
+            AttemptResult::Failed(FailureKind::Panic)
         }
+    }
+}
+
+/// Drive one injection through the scheduler's retry loop. Exhaustion
+/// collapses to a final [`Outcome::EngineError`] with zero step counts;
+/// `recovered` is true when the outcome arrived only after ≥1 retry.
+struct ResolvedInjection {
+    outcome: Outcome,
+    executed: u64,
+    skipped: u64,
+    recovered: bool,
+    exhausted: Option<FailureKind>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_injection(
+    sched: &Scheduler,
+    kind: CampaignKind,
+    site: u64,
+    interp: &Interp<'_>,
+    st: &mut MachineState,
+    golden: &GoldenRun,
+    input: &ProgInput,
+    fault: FaultSpec,
+    chaos: Option<(FailureKind, u32)>,
+) -> ResolvedInjection {
+    match sched.run_task(kind, site, |attempt| {
+        inject_attempt(interp, st, golden, input, fault, chaos, attempt)
+    }) {
+        TaskResult::Done {
+            value: (outcome, executed, skipped),
+            retries,
+        } => ResolvedInjection {
+            outcome,
+            executed,
+            skipped,
+            recovered: retries > 0,
+            exhausted: None,
+        },
+        TaskResult::Exhausted { reason, .. } => ResolvedInjection {
+            outcome: Outcome::EngineError,
+            executed: 0,
+            skipped: 0,
+            recovered: false,
+            exhausted: Some(reason),
+        },
     }
 }
 
@@ -293,44 +392,85 @@ fn faulty_exec_config(cfg: &CampaignConfig, golden_steps: u64) -> ExecConfig {
 #[derive(Debug, Clone)]
 pub struct ProgramCampaign {
     pub counts: OutcomeCounts,
-    /// 95 % Wilson interval on the SDC probability.
+    /// Wilson interval on the SDC probability (at the configured `ci_z`).
     pub sdc_ci: BinomialCi,
+    /// Injections the campaign intended to run.
+    pub planned: u64,
+    /// Injections dropped because the wall-clock deadline expired.
+    pub truncated: u64,
+    /// Injections that failed at least once and then produced a real
+    /// outcome on retry (already counted once in `counts`).
+    pub recovered: u64,
 }
 
 impl ProgramCampaign {
     pub fn sdc_prob(&self) -> f64 {
         self.counts.sdc_prob()
     }
+
+    fn empty(cfg: &CampaignConfig) -> ProgramCampaign {
+        ProgramCampaign {
+            counts: OutcomeCounts::default(),
+            sdc_ci: binomial_ci(0, 0, cfg.sched.ci_z),
+            planned: 0,
+            truncated: 0,
+            recovered: 0,
+        }
+    }
 }
 
 /// Inject `cfg.injections` single-bit flips, each into a uniformly random
 /// dynamic instruction execution and uniformly random bit, and classify
-/// every outcome.
+/// every outcome. Uses an unbounded scheduler built from `cfg.sched`
+/// (retries, no deadline); see [`program_campaign_sched`] for the
+/// deadline-aware form.
 pub fn program_campaign(
     module: &Module,
     input: &ProgInput,
     golden: &GoldenRun,
     cfg: &CampaignConfig,
 ) -> ProgramCampaign {
+    program_campaign_sched(
+        module,
+        input,
+        golden,
+        cfg,
+        &Scheduler::unbounded(cfg.sched.clone()),
+    )
+}
+
+/// [`program_campaign`] under an explicit [`Scheduler`]: engine failures
+/// are retried with backoff, and once the scheduler's deadline expires
+/// the remaining injections are truncated (counted, not lost — see
+/// `ProgramCampaign::truncated`).
+pub fn program_campaign_sched(
+    module: &Module,
+    input: &ProgInput,
+    golden: &GoldenRun,
+    cfg: &CampaignConfig,
+    sched: &Scheduler,
+) -> ProgramCampaign {
     let population = golden.profile.injectable_execs;
     let mut counts = OutcomeCounts::default();
     if population == 0 || cfg.injections == 0 {
-        return ProgramCampaign {
-            counts,
-            sdc_ci: binomial_ci(0, 0, 1.96),
-        };
+        return ProgramCampaign::empty(cfg);
     }
+    sched.add_planned(cfg.injections as u64);
     let interp = Interp::new(module, faulty_exec_config(cfg, golden.steps));
     // capture once so workers pay no atomic load when tracing is off
     let tracing = trace::active();
     let counters = CampaignCounters::new(CampaignKind::Program, cfg.injections as u64);
     let suffix_steps = Histogram::new();
+    let recovered = AtomicU64::new(0);
     let outcomes = trace::sample_campaign(&counters, PROGRESS_INTERVAL, || {
         par_map_init(
             cfg.injections,
             cfg.threads,
             MachineState::default,
             |st, i| {
+                if sched.deadline_exceeded() {
+                    return None;
+                }
                 // per-injection RNG: deterministic regardless of thread schedule
                 let mut rng = StdRng::seed_from_u64(
                     cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
@@ -339,32 +479,53 @@ pub fn program_campaign(
                     target: FaultTarget::NthDynamic(rng.random_range(0..population)),
                     bit: rng.random_range(0..64),
                 };
-                let (o, executed, skipped) = inject_classified(
+                let r = resolve_injection(
+                    sched,
+                    CampaignKind::Program,
+                    i as u64,
                     &interp,
                     st,
                     golden,
                     input,
                     fault,
-                    chaos_fires(cfg, i as u64),
+                    chaos_plan(cfg, i as u64),
                 );
-                if tracing {
-                    counters.record(outcome_kind(o), executed, skipped);
-                    suffix_steps.record(executed);
+                sched.note_completed(1);
+                if r.recovered {
+                    recovered.fetch_add(1, Ordering::Relaxed);
                 }
-                o
+                if tracing {
+                    counters.record(outcome_kind(r.outcome), r.executed, r.skipped);
+                    if r.recovered {
+                        counters.record_recovered();
+                    }
+                    suffix_steps.record(r.executed);
+                }
+                Some(r.outcome)
             },
         )
     });
     if tracing {
         suffix_steps.emit("fi.program.suffix_steps");
     }
+    let mut truncated = 0u64;
     for o in outcomes {
-        counts.record(o);
+        match o {
+            Some(o) => counts.record(o),
+            None => truncated += 1,
+        }
     }
+    sched.note_truncated(CampaignKind::Program, truncated);
     // engine errors carry no information about the program, so the CI is
     // over the injections that produced a real outcome
-    let sdc_ci = binomial_ci(counts.sdc, counts.valid_total(), 1.96);
-    ProgramCampaign { counts, sdc_ci }
+    let sdc_ci = binomial_ci(counts.sdc, counts.valid_total(), cfg.sched.ci_z);
+    ProgramCampaign {
+        counts,
+        sdc_ci,
+        planned: cfg.injections as u64,
+        truncated,
+        recovered: recovered.into_inner(),
+    }
 }
 
 /// [`program_campaign`] with crash-safe journaling: outcomes already in
@@ -381,20 +542,22 @@ pub fn program_campaign_journaled(
     input: &ProgInput,
     golden: &GoldenRun,
     cfg: &CampaignConfig,
+    sched: &Scheduler,
     journal: &CampaignJournal,
     input_fp: u64,
 ) -> Result<ProgramCampaign, Interrupted> {
     let population = golden.profile.injectable_execs;
     let mut counts = OutcomeCounts::default();
     if population == 0 || cfg.injections == 0 {
-        return Ok(ProgramCampaign {
-            counts,
-            sdc_ci: binomial_ci(0, 0, 1.96),
-        });
+        return Ok(ProgramCampaign::empty(cfg));
     }
+    sched.add_planned(cfg.injections as u64);
     let interp = Interp::new(module, faulty_exec_config(cfg, golden.steps));
     let tracing = trace::active();
     let counters = CampaignCounters::new(CampaignKind::Program, cfg.injections as u64);
+    let recovered = AtomicU64::new(0);
+    // worker result: None = interrupted, Some(None) = deadline-truncated,
+    // Some(Some(o)) = a real outcome
     let outcomes = trace::sample_campaign(&counters, PROGRESS_INTERVAL, || {
         par_map_init(
             cfg.injections,
@@ -408,10 +571,14 @@ pub fn program_campaign_journaled(
                     .program_outcome(input_fp, i as u64)
                     .and_then(Outcome::from_u8)
                 {
+                    sched.note_completed(1);
                     if tracing {
                         counters.record(outcome_kind(o), 0, 0);
                     }
-                    return Some(o);
+                    return Some(Some(o));
+                }
+                if sched.deadline_exceeded() {
+                    return Some(None);
                 }
                 let mut rng = StdRng::seed_from_u64(
                     cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
@@ -420,42 +587,70 @@ pub fn program_campaign_journaled(
                     target: FaultTarget::NthDynamic(rng.random_range(0..population)),
                     bit: rng.random_range(0..64),
                 };
-                let (o, executed, skipped) = inject_classified(
+                let r = resolve_injection(
+                    sched,
+                    CampaignKind::Program,
+                    i as u64,
                     &interp,
                     st,
                     golden,
                     input,
                     fault,
-                    chaos_fires(cfg, i as u64),
+                    chaos_plan(cfg, i as u64),
                 );
-                journal.record_program(input_fp, i as u64, o.to_u8());
-                if tracing {
-                    counters.record(outcome_kind(o), executed, skipped);
+                journal.record_program(input_fp, i as u64, r.outcome.to_u8());
+                sched.note_completed(1);
+                if r.recovered {
+                    recovered.fetch_add(1, Ordering::Relaxed);
                 }
-                Some(o)
+                if tracing {
+                    counters.record(outcome_kind(r.outcome), r.executed, r.skipped);
+                    if r.recovered {
+                        counters.record_recovered();
+                    }
+                }
+                Some(Some(r.outcome))
             },
         )
     });
-    let complete = outcomes.iter().all(Option::is_some);
-    if !complete || interrupt::requested() {
+    if outcomes.iter().any(Option::is_none) || interrupt::requested() {
         let _ = journal.sync();
         return Err(Interrupted);
     }
+    let mut truncated = 0u64;
     for o in outcomes.into_iter().flatten() {
-        counts.record(o);
+        match o {
+            Some(o) => counts.record(o),
+            None => truncated += 1,
+        }
     }
-    let sdc_ci = binomial_ci(counts.sdc, counts.valid_total(), 1.96);
-    Ok(ProgramCampaign { counts, sdc_ci })
+    sched.note_truncated(CampaignKind::Program, truncated);
+    let _ = journal.sync();
+    let sdc_ci = binomial_ci(counts.sdc, counts.valid_total(), cfg.sched.ci_z);
+    Ok(ProgramCampaign {
+        counts,
+        sdc_ci,
+        planned: cfg.injections as u64,
+        truncated,
+        recovered: recovered.into_inner(),
+    })
 }
 
 /// Per-static-instruction SDC profile (dense in module numbering order).
 #[derive(Debug, Clone)]
 pub struct PerInstSdc {
-    /// SDC probability of each static instruction; 0 for never-executed or
-    /// non-injectable instructions.
+    /// SDC probability of each static instruction; 0 for never-executed,
+    /// non-injectable, or quarantined instructions.
     pub sdc_prob: Vec<f64>,
     /// Raw outcome counts per static instruction.
     pub counts: Vec<OutcomeCounts>,
+    /// Wilson interval on each instruction's SDC probability (vacuous for
+    /// unsampled or quarantined instructions).
+    pub ci: Vec<BinomialCi>,
+    /// How sampling ended at each instruction. `Unsampled` for
+    /// instructions outside the campaign (never executed, not injectable)
+    /// and for sites the deadline prevented entirely.
+    pub status: Vec<SiteStatus>,
 }
 
 impl PerInstSdc {
@@ -470,95 +665,76 @@ impl PerInstSdc {
 
 /// Measure the SDC probability of every injectable static instruction by
 /// injecting `cfg.per_inst_injections` faults into uniformly random dynamic
-/// executions of it.
+/// executions of it. Uses an unbounded scheduler built from `cfg.sched`;
+/// see [`per_instruction_campaign_sched`] for the deadline-aware form.
 pub fn per_instruction_campaign(
     module: &Module,
     input: &ProgInput,
     golden: &GoldenRun,
     cfg: &CampaignConfig,
 ) -> PerInstSdc {
-    let numbering = module.numbering();
-    let n = numbering.len();
-    let interp = Interp::new(module, faulty_exec_config(cfg, golden.steps));
-
-    // collect the injectable, executed instructions
-    let targets: Vec<(usize, GlobalInstId, u64)> = module
-        .iter_insts()
-        .filter(|(_, inst)| inst.injectable())
-        .map(|(gid, _)| {
-            let dense = numbering.index(gid);
-            (dense, gid, golden.profile.inst_counts[dense])
-        })
-        .filter(|&(_, _, count)| count > 0)
-        .collect();
-
-    let tracing = trace::active();
-    let counters = CampaignCounters::new(
-        CampaignKind::PerInst,
-        (targets.len() * cfg.per_inst_injections) as u64,
-    );
-    let per_target = trace::sample_campaign(&counters, PROGRESS_INTERVAL, || {
-        par_map_init(
-            targets.len(),
-            cfg.threads,
-            MachineState::default,
-            |st, t| {
-                let (dense, gid, count) = targets[t];
-                let mut counts = OutcomeCounts::default();
-                for k in 0..cfg.per_inst_injections {
-                    let mut rng = StdRng::seed_from_u64(
-                        cfg.seed
-                            ^ (dense as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
-                            ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    );
-                    let fault = FaultSpec {
-                        target: FaultTarget::NthOfInst(gid, rng.random_range(0..count)),
-                        bit: rng.random_range(0..64),
-                    };
-                    let chaos = chaos_fires(cfg, per_inst_chaos_key(cfg, dense, k));
-                    let (o, executed, skipped) =
-                        inject_classified(&interp, st, golden, input, fault, chaos);
-                    if tracing {
-                        counters.record(outcome_kind(o), executed, skipped);
-                    }
-                    counts.record(o);
-                }
-                (dense, counts)
-            },
-        )
-    });
-
-    let mut sdc_prob = vec![0.0; n];
-    let mut counts = vec![OutcomeCounts::default(); n];
-    for (dense, c) in per_target {
-        sdc_prob[dense] = c.sdc_prob();
-        counts[dense] = c;
-    }
-    if tracing {
-        emit_function_outcomes(module, &targets, &counts);
-    }
-    PerInstSdc { sdc_prob, counts }
+    per_instruction_campaign_sched(
+        module,
+        input,
+        golden,
+        cfg,
+        &Scheduler::unbounded(cfg.sched.clone()),
+    )
 }
 
-/// [`per_instruction_campaign`] with crash-safe journaling: injections
-/// already journaled under `(input_fp, dense, k)` are served without
-/// re-execution, fresh ones are appended, and a pending [`interrupt`]
-/// returns [`Interrupted`] with all finished injections durable.
-/// Bit-identical to the plain variant for the same reason as
-/// [`program_campaign_journaled`].
+/// [`per_instruction_campaign`] under an explicit [`Scheduler`]: engine
+/// failures are retried with backoff; a site that keeps exhausting its
+/// retry budget is quarantined (excluded from rates); a site whose Wilson
+/// interval converges below `ci_half_width` stops early; and sites still
+/// pending when the deadline expires are truncated. High-dynamic-count
+/// instructions run first, so the deadline truncates the low-benefit tail.
+pub fn per_instruction_campaign_sched(
+    module: &Module,
+    input: &ProgInput,
+    golden: &GoldenRun,
+    cfg: &CampaignConfig,
+    sched: &Scheduler,
+) -> PerInstSdc {
+    per_instruction_campaign_inner(module, input, golden, cfg, sched, None)
+        .unwrap_or_else(|_| unreachable!("interrupts only observed under a journal"))
+}
+
+/// [`per_instruction_campaign_sched`] with crash-safe journaling:
+/// injections already journaled under `(input_fp, dense, k)` are served
+/// without re-execution, fresh ones are appended, journaled quarantines
+/// skip their site outright, and a pending [`interrupt`] returns
+/// [`Interrupted`] with all finished injections durable. Bit-identical to
+/// the plain variant for the same reason as [`program_campaign_journaled`].
 pub fn per_instruction_campaign_journaled(
     module: &Module,
     input: &ProgInput,
     golden: &GoldenRun,
     cfg: &CampaignConfig,
+    sched: &Scheduler,
     journal: &CampaignJournal,
     input_fp: u64,
+) -> Result<PerInstSdc, Interrupted> {
+    per_instruction_campaign_inner(module, input, golden, cfg, sched, Some((journal, input_fp)))
+}
+
+fn per_instruction_campaign_inner(
+    module: &Module,
+    input: &ProgInput,
+    golden: &GoldenRun,
+    cfg: &CampaignConfig,
+    sched: &Scheduler,
+    journal: Option<(&CampaignJournal, u64)>,
 ) -> Result<PerInstSdc, Interrupted> {
     let numbering = module.numbering();
     let n = numbering.len();
     let interp = Interp::new(module, faulty_exec_config(cfg, golden.steps));
 
-    let targets: Vec<(usize, GlobalInstId, u64)> = module
+    // collect the injectable, executed instructions, highest dynamic
+    // count first: under a deadline the most-executed (highest knapsack
+    // benefit) instructions are measured before the budget runs out.
+    // Harmless to determinism — every result lands in a dense-indexed
+    // slot and every RNG is keyed by (seed, dense, k).
+    let mut targets: Vec<(usize, GlobalInstId, u64)> = module
         .iter_insts()
         .filter(|(_, inst)| inst.injectable())
         .map(|(gid, _)| {
@@ -567,12 +743,12 @@ pub fn per_instruction_campaign_journaled(
         })
         .filter(|&(_, _, count)| count > 0)
         .collect();
+    targets.sort_unstable_by_key(|&(dense, _, count)| (std::cmp::Reverse(count), dense));
 
+    let planned = cfg.per_inst_injections;
+    sched.add_planned((targets.len() * planned) as u64);
     let tracing = trace::active();
-    let counters = CampaignCounters::new(
-        CampaignKind::PerInst,
-        (targets.len() * cfg.per_inst_injections) as u64,
-    );
+    let counters = CampaignCounters::new(CampaignKind::PerInst, (targets.len() * planned) as u64);
     let per_target = trace::sample_campaign(&counters, PROGRESS_INTERVAL, || {
         par_map_init(
             targets.len(),
@@ -580,18 +756,64 @@ pub fn per_instruction_campaign_journaled(
             MachineState::default,
             |st, t| {
                 let (dense, gid, count) = targets[t];
+                let site = dense as u64;
                 let mut counts = OutcomeCounts::default();
-                for k in 0..cfg.per_inst_injections {
-                    if interrupt::requested() {
-                        return (dense, counts, false);
+                // a site quarantined by a previous (crashed or resumed)
+                // run is skipped outright: the journal is the durable
+                // quarantine list
+                if let Some((j, input_fp)) = journal {
+                    if let Some(b) = j.quarantined_site(input_fp, site) {
+                        let reason = FailureKind::from_u8(b).unwrap_or(FailureKind::Panic);
+                        sched.note_resumed_quarantine();
+                        sched.note_quarantine_skipped(planned as u64);
+                        if tracing {
+                            counters.record_quarantined(planned as u64);
+                        }
+                        return (dense, counts, SiteStatus::Quarantined(reason), true);
+                    }
+                }
+                let mut status = SiteStatus::Full;
+                let mut consecutive = 0u32;
+                for k in 0..planned {
+                    if journal.is_some() && interrupt::requested() {
+                        return (dense, counts, status, false);
+                    }
+                    if sched.deadline_exceeded() {
+                        status = if k == 0 {
+                            SiteStatus::Unsampled
+                        } else {
+                            SiteStatus::Truncated
+                        };
+                        sched.note_truncated(CampaignKind::PerInst, (planned - k) as u64);
+                        break;
                     }
                     if let Some(o) = journal
-                        .per_inst_outcome(input_fp, dense as u64, k as u64)
+                        .and_then(|(j, fp)| j.per_inst_outcome(fp, site, k as u64))
                         .and_then(Outcome::from_u8)
                     {
                         counts.record(o);
+                        sched.note_completed(1);
+                        consecutive = if o == Outcome::EngineError {
+                            consecutive + 1
+                        } else {
+                            0
+                        };
                         if tracing {
                             counters.record(outcome_kind(o), 0, 0);
+                        }
+                        if let Some(hw) = sched.early_stop(counts.sdc, counts.valid_total()) {
+                            if k + 1 < planned {
+                                let skip = (planned - k - 1) as u64;
+                                sched.note_early_stop(
+                                    CampaignKind::PerInst,
+                                    site,
+                                    counts.total(),
+                                    hw,
+                                    skip,
+                                );
+                                status = SiteStatus::EarlyStopped;
+                                break;
+                            }
                         }
                         continue;
                     }
@@ -604,36 +826,111 @@ pub fn per_instruction_campaign_journaled(
                         target: FaultTarget::NthOfInst(gid, rng.random_range(0..count)),
                         bit: rng.random_range(0..64),
                     };
-                    let chaos = chaos_fires(cfg, per_inst_chaos_key(cfg, dense, k));
-                    let (o, executed, skipped) =
-                        inject_classified(&interp, st, golden, input, fault, chaos);
-                    journal.record_per_inst(input_fp, dense as u64, k as u64, o.to_u8());
-                    counts.record(o);
+                    let chaos_key = per_inst_chaos_key(cfg, dense, k);
+                    let r = resolve_injection(
+                        sched,
+                        CampaignKind::PerInst,
+                        chaos_key,
+                        &interp,
+                        st,
+                        golden,
+                        input,
+                        fault,
+                        chaos_plan(cfg, chaos_key),
+                    );
+                    if let Some(reason) = r.exhausted {
+                        consecutive += 1;
+                        if consecutive >= cfg.sched.quarantine_after.max(1)
+                            && sched.try_quarantine(
+                                CampaignKind::PerInst,
+                                site,
+                                reason,
+                                consecutive,
+                            )
+                        {
+                            // the triggering injection and everything
+                            // still pending at this site are charged to
+                            // quarantine, not recorded as outcomes
+                            if let Some((j, input_fp)) = journal {
+                                j.record_quarantine(input_fp, site, reason.to_u8());
+                            }
+                            let skip = (planned - k) as u64;
+                            sched.note_quarantine_skipped(skip);
+                            if tracing {
+                                counters.record_quarantined(skip);
+                            }
+                            status = SiteStatus::Quarantined(reason);
+                            break;
+                        }
+                        // cap reached or below the threshold: the
+                        // exhaustion degrades to a recorded EngineError
+                    } else {
+                        consecutive = 0;
+                    }
+                    if let Some((j, input_fp)) = journal {
+                        j.record_per_inst(input_fp, site, k as u64, r.outcome.to_u8());
+                    }
+                    counts.record(r.outcome);
+                    sched.note_completed(1);
                     if tracing {
-                        counters.record(outcome_kind(o), executed, skipped);
+                        counters.record(outcome_kind(r.outcome), r.executed, r.skipped);
+                        if r.recovered {
+                            counters.record_recovered();
+                        }
+                    }
+                    if let Some(hw) = sched.early_stop(counts.sdc, counts.valid_total()) {
+                        if k + 1 < planned {
+                            let skip = (planned - k - 1) as u64;
+                            sched.note_early_stop(
+                                CampaignKind::PerInst,
+                                site,
+                                counts.total(),
+                                hw,
+                                skip,
+                            );
+                            status = SiteStatus::EarlyStopped;
+                            break;
+                        }
                     }
                 }
-                (dense, counts, true)
+                (dense, counts, status, true)
             },
         )
     });
 
-    let complete = per_target.iter().all(|&(_, _, done)| done);
-    if !complete || interrupt::requested() {
-        let _ = journal.sync();
-        return Err(Interrupted);
+    if journal.is_some() {
+        let complete = per_target.iter().all(|&(_, _, _, done)| done);
+        if !complete || interrupt::requested() {
+            if let Some((j, _)) = journal {
+                let _ = j.sync();
+            }
+            return Err(Interrupted);
+        }
     }
     let mut sdc_prob = vec![0.0; n];
     let mut counts = vec![OutcomeCounts::default(); n];
-    for (dense, c, _) in per_target {
-        sdc_prob[dense] = c.sdc_prob();
+    let mut ci = vec![binomial_ci(0, 0, cfg.sched.ci_z); n];
+    let mut status = vec![SiteStatus::Unsampled; n];
+    for (dense, c, st_, _) in per_target {
+        if st_.trusted() {
+            sdc_prob[dense] = c.sdc_prob();
+            ci[dense] = sched.site_ci(c.sdc, c.valid_total());
+        }
         counts[dense] = c;
+        status[dense] = st_;
     }
     if tracing {
         emit_function_outcomes(module, &targets, &counts);
     }
-    let _ = journal.sync();
-    Ok(PerInstSdc { sdc_prob, counts })
+    if let Some((j, _)) = journal {
+        let _ = j.sync();
+    }
+    Ok(PerInstSdc {
+        sdc_prob,
+        counts,
+        ci,
+        status,
+    })
 }
 
 /// Count one specific outcome in a program campaign (test/report helper).
@@ -846,9 +1143,10 @@ mod tests {
 
         let dir = journal_dir("bitident");
         let j = CampaignJournal::open(&dir, 1, 2).unwrap();
+        let s = Scheduler::unbounded(cfg.sched.clone());
         // first pass: everything fresh (appended)
-        let a = program_campaign_journaled(&m, &input(50), &g, &cfg, &j, 9).unwrap();
-        let a_pi = per_instruction_campaign_journaled(&m, &input(50), &g, &cfg, &j, 9).unwrap();
+        let a = program_campaign_journaled(&m, &input(50), &g, &cfg, &s, &j, 9).unwrap();
+        let a_pi = per_instruction_campaign_journaled(&m, &input(50), &g, &cfg, &s, &j, 9).unwrap();
         assert_eq!(a.counts, plain.counts);
         assert_eq!(a_pi.counts, plain_pi.counts);
         let (_, appended) = j.usage();
@@ -859,8 +1157,9 @@ mod tests {
         j.sync().unwrap();
         drop(j);
         let j = CampaignJournal::open(&dir, 1, 2).unwrap();
-        let b = program_campaign_journaled(&m, &input(50), &g, &cfg, &j, 9).unwrap();
-        let b_pi = per_instruction_campaign_journaled(&m, &input(50), &g, &cfg, &j, 9).unwrap();
+        let s = Scheduler::unbounded(cfg.sched.clone());
+        let b = program_campaign_journaled(&m, &input(50), &g, &cfg, &s, &j, 9).unwrap();
+        let b_pi = per_instruction_campaign_journaled(&m, &input(50), &g, &cfg, &s, &j, 9).unwrap();
         assert_eq!(b.counts, plain.counts);
         assert_eq!(b_pi.counts, plain_pi.counts);
         assert_eq!(b_pi.sdc_prob, plain_pi.sdc_prob);
@@ -877,6 +1176,9 @@ mod tests {
         let m = test_module();
         let mut cfg = CampaignConfig::quick(8);
         cfg.chaos_panic_one_in = Some(40);
+        // retries off: every chaos hit must surface as EngineError, the
+        // pre-scheduler behaviour
+        cfg.sched.max_retries = 0;
         let g = golden_run(&m, &input(50), &cfg).unwrap();
         let c = program_campaign(&m, &input(50), &g, &cfg);
         // the campaign completed, engine errors were counted, and they do
@@ -904,17 +1206,234 @@ mod tests {
         let dir = journal_dir("interrupt");
         {
             let j = CampaignJournal::open(&dir, 1, 2).unwrap();
+            let s = Scheduler::unbounded(cfg.sched.clone());
             // request the interrupt up front: the campaign must drain
             // immediately and report Interrupted without recording anything
             interrupt::request();
-            let r = program_campaign_journaled(&m, &input(50), &g, &cfg, &j, 5);
+            let r = program_campaign_journaled(&m, &input(50), &g, &cfg, &s, &j, 5);
             interrupt::clear();
             assert_eq!(r.unwrap_err(), Interrupted);
         }
         // resume: completes and matches the uninterrupted counts
         let j = CampaignJournal::open(&dir, 1, 2).unwrap();
-        let resumed = program_campaign_journaled(&m, &input(50), &g, &cfg, &j, 5).unwrap();
+        let s = Scheduler::unbounded(cfg.sched.clone());
+        let resumed = program_campaign_journaled(&m, &input(50), &g, &cfg, &s, &j, 5).unwrap();
         assert_eq!(resumed.counts, plain.counts);
+    }
+
+    fn fast_sched(cfg: &mut CampaignConfig) {
+        // tests never want real backoff sleeps
+        cfg.sched.backoff_base_ms = 0;
+        cfg.sched.backoff_cap_ms = 0;
+    }
+
+    #[test]
+    fn transient_chaos_recovers_via_retry() {
+        let m = test_module();
+        let mut cfg = CampaignConfig::quick(8);
+        cfg.chaos_panic_one_in = Some(40);
+        fast_sched(&mut cfg);
+        let g = golden_run(&m, &input(50), &cfg).unwrap();
+
+        // chaos hits keys 0, 40, 80; each fails 1–4 consecutive attempts,
+        // so with the default budget (3 attempts) every hit either
+        // recovers or exhausts — and nothing is lost either way
+        let s = Scheduler::unbounded(cfg.sched.clone());
+        let c = program_campaign_sched(&m, &input(50), &g, &cfg, &s);
+        let snap = s.snapshot();
+        assert_eq!(c.counts.total(), cfg.injections as u64);
+        assert_eq!(snap.recovered + snap.exhausted, 3, "{snap:?}");
+        assert_eq!(c.counts.engine_error, snap.exhausted);
+        assert_eq!(c.recovered, snap.recovered);
+        assert_eq!(snap.accounted(), snap.planned);
+
+        // deterministic: a fresh scheduler reproduces counts and tallies
+        let s2 = Scheduler::unbounded(cfg.sched.clone());
+        let c2 = program_campaign_sched(&m, &input(50), &g, &cfg, &s2);
+        assert_eq!(c.counts, c2.counts);
+        assert_eq!(snap, s2.snapshot());
+    }
+
+    #[test]
+    fn chaos_timeout_knob_hits_offset_keys() {
+        let m = test_module();
+        let mut cfg = CampaignConfig::quick(8);
+        cfg.chaos_panic_one_in = Some(40);
+        cfg.chaos_timeout_one_in = Some(40);
+        cfg.sched.max_retries = 0;
+        fast_sched(&mut cfg);
+        let g = golden_run(&m, &input(50), &cfg).unwrap();
+        let c = program_campaign(&m, &input(50), &g, &cfg);
+        // panic keys 0,40,80 and timeout keys 20,60,100 are disjoint;
+        // with retries off all six surface as EngineError
+        assert_eq!(c.counts.total(), cfg.injections as u64);
+        assert_eq!(c.counts.engine_error, 6, "{:?}", c.counts);
+    }
+
+    #[test]
+    fn persistently_failing_sites_are_quarantined_up_to_the_cap() {
+        let m = test_module();
+        let mut cfg = CampaignConfig::quick(9);
+        cfg.per_inst_injections = 6;
+        cfg.threads = 1;
+        cfg.chaos_panic_one_in = Some(1); // every injection fails
+        cfg.sched.max_retries = 0;
+        cfg.sched.quarantine_cap = 2;
+        fast_sched(&mut cfg);
+        let g = golden_run(&m, &input(20), &cfg).unwrap();
+        let s = Scheduler::unbounded(cfg.sched.clone());
+        let p = per_instruction_campaign_sched(&m, &input(20), &g, &cfg, &s);
+        let snap = s.snapshot();
+
+        // quarantine_after=2: each site records one EngineError, then the
+        // second consecutive exhaustion quarantines it — until the cap
+        assert_eq!(snap.quarantined_sites, 2);
+        let quarantined: Vec<usize> = p
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| matches!(st, SiteStatus::Quarantined(_)))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(quarantined.len(), 2);
+        for &dense in &quarantined {
+            // estimates from a quarantined site are excluded from rates
+            assert_eq!(p.sdc_prob[dense], 0.0);
+            assert_eq!((p.ci[dense].lo, p.ci[dense].hi), (0.0, 1.0));
+            assert_eq!(
+                p.counts[dense].total(),
+                1,
+                "only the pre-quarantine injection"
+            );
+        }
+        // sites past the cap degrade to plain EngineError outcomes
+        let full: Vec<usize> = p
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| matches!(st, SiteStatus::Full))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!full.is_empty());
+        for &dense in &full {
+            assert_eq!(p.counts[dense].engine_error, 6);
+        }
+        // zero lost injections, and completeness only loses the
+        // quarantined work
+        assert_eq!(snap.accounted(), snap.planned);
+        assert!(snap.completeness() < 1.0);
+    }
+
+    #[test]
+    fn early_stop_halts_converged_sites_without_losing_completeness() {
+        let m = test_module();
+        let mut cfg = CampaignConfig::quick(12);
+        cfg.per_inst_injections = 50;
+        cfg.sched.ci_half_width = 0.4; // generous: converges in a few samples
+        fast_sched(&mut cfg);
+        let g = golden_run(&m, &input(30), &cfg).unwrap();
+        let s = Scheduler::unbounded(cfg.sched.clone());
+        let p = per_instruction_campaign_sched(&m, &input(30), &g, &cfg, &s);
+        let snap = s.snapshot();
+        assert!(snap.early_stopped_sites > 0, "{snap:?}");
+        assert!(snap.early_stop_skipped > 0);
+        assert_eq!(snap.accounted(), snap.planned);
+        // an early stop means the estimate converged — nothing was lost
+        assert_eq!(snap.completeness(), 1.0);
+        assert!(p
+            .status
+            .iter()
+            .any(|st| matches!(st, SiteStatus::EarlyStopped)));
+        // every interval actually honoured the threshold
+        for (dense, st) in p.status.iter().enumerate() {
+            if matches!(st, SiteStatus::EarlyStopped) {
+                assert!(p.ci[dense].half_width() <= 0.4, "{:?}", p.ci[dense]);
+            }
+        }
+        // deterministic
+        let s2 = Scheduler::unbounded(cfg.sched.clone());
+        let p2 = per_instruction_campaign_sched(&m, &input(30), &g, &cfg, &s2);
+        assert_eq!(p.sdc_prob, p2.sdc_prob);
+        assert_eq!(snap, s2.snapshot());
+    }
+
+    #[test]
+    fn expired_deadline_truncates_gracefully() {
+        use minpsid_sched::Deadline;
+        let m = test_module();
+        let mut cfg = CampaignConfig::quick(4);
+        fast_sched(&mut cfg);
+        let g = golden_run(&m, &input(30), &cfg).unwrap();
+
+        let s = Scheduler::new(cfg.sched.clone(), Deadline::from_secs(Some(0.0)));
+        let c = program_campaign_sched(&m, &input(30), &g, &cfg, &s);
+        assert_eq!(c.counts.total(), 0);
+        assert_eq!(c.truncated, cfg.injections as u64);
+        let snap = s.snapshot();
+        assert_eq!(snap.accounted(), snap.planned);
+        assert_eq!(snap.completeness(), 0.0);
+
+        let s = Scheduler::new(cfg.sched.clone(), Deadline::from_secs(Some(0.0)));
+        let p = per_instruction_campaign_sched(&m, &input(30), &g, &cfg, &s);
+        assert!(p.counts.iter().all(|c| c.total() == 0));
+        assert!(p
+            .status
+            .iter()
+            .all(|st| matches!(st, SiteStatus::Unsampled)));
+        let snap = s.snapshot();
+        assert_eq!(snap.accounted(), snap.planned);
+        assert_eq!(snap.completeness(), 0.0);
+    }
+
+    #[test]
+    fn journaled_quarantine_is_skipped_on_resume() {
+        let m = test_module();
+        let mut cfg = CampaignConfig::quick(6);
+        cfg.per_inst_injections = 4;
+        cfg.threads = 1;
+        cfg.chaos_panic_one_in = Some(1);
+        cfg.sched.max_retries = 0;
+        cfg.sched.quarantine_after = 1; // first exhaustion quarantines
+        fast_sched(&mut cfg);
+        let g = golden_run(&m, &input(20), &cfg).unwrap();
+
+        let dir = journal_dir("quarantine-resume");
+        let sites;
+        {
+            let j = CampaignJournal::open(&dir, 1, 2).unwrap();
+            let s = Scheduler::unbounded(cfg.sched.clone());
+            let p =
+                per_instruction_campaign_journaled(&m, &input(20), &g, &cfg, &s, &j, 9).unwrap();
+            sites = p
+                .status
+                .iter()
+                .filter(|st| matches!(st, SiteStatus::Quarantined(_)))
+                .count() as u64;
+            assert!(sites > 0);
+            assert_eq!(s.snapshot().quarantined_sites, sites);
+            j.sync().unwrap();
+        }
+
+        // resume with the chaos gone: the journal's quarantine list still
+        // rules those sites out, with zero fresh executions or appends
+        let mut calm = cfg.clone();
+        calm.chaos_panic_one_in = None;
+        let j = CampaignJournal::open(&dir, 1, 2).unwrap();
+        let s = Scheduler::unbounded(calm.sched.clone());
+        let p = per_instruction_campaign_journaled(&m, &input(20), &g, &calm, &s, &j, 9).unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.quarantined_sites, sites);
+        assert_eq!(snap.quarantined_injections, sites * 4);
+        assert_eq!(snap.completed, 0);
+        assert_eq!(snap.accounted(), snap.planned);
+        assert_eq!(j.usage().1, 0, "resume appends nothing");
+        assert!(
+            p.status
+                .iter()
+                .filter(|st| matches!(st, SiteStatus::Quarantined(_)))
+                .count() as u64
+                == sites
+        );
     }
 
     #[test]

@@ -32,11 +32,13 @@ pub mod propagation;
 pub mod stats;
 
 pub use campaign::{
-    golden_run, per_instruction_campaign, per_instruction_campaign_journaled, program_campaign,
-    program_campaign_journaled, CampaignConfig, CheckpointPolicy, GoldenRun, PerInstSdc,
+    golden_run, per_instruction_campaign, per_instruction_campaign_journaled,
+    per_instruction_campaign_sched, program_campaign, program_campaign_journaled,
+    program_campaign_sched, CampaignConfig, CheckpointPolicy, GoldenRun, PerInstSdc,
     ProgramCampaign,
 };
 pub use minpsid_journal::{interrupt, CampaignJournal, Interrupted};
+pub use minpsid_sched::{Deadline, FailureKind, SchedConfig, SchedSnapshot, Scheduler, SiteStatus};
 pub use outcome::{classify, Outcome, OutcomeCounts};
 pub use propagation::{render_report, trace_fault, PropagationReport};
 pub use stats::{binomial_ci, BinomialCi};

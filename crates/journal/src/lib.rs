@@ -119,6 +119,7 @@ struct State {
     eval: HashMap<u64, Vec<u64>>,
     accepted: Vec<(u64, u64)>,
     selection: Option<Vec<bool>>,
+    quarantine: HashMap<(u64, u64), u8>,
 }
 
 impl State {
@@ -156,6 +157,13 @@ impl State {
                 }
             }
             Record::Selection { bits } => self.selection = Some(bits),
+            Record::Quarantine {
+                input_fp,
+                dense,
+                reason,
+            } => {
+                self.quarantine.insert((input_fp, dense), reason);
+            }
         }
     }
 
@@ -195,6 +203,15 @@ impl State {
                 input_fp,
                 index,
                 outcome,
+            });
+        }
+        let mut quarantine: Vec<_> = self.quarantine.iter().collect();
+        quarantine.sort_unstable_by_key(|(k, _)| **k);
+        for (&(input_fp, dense), &reason) in quarantine {
+            out.push(Record::Quarantine {
+                input_fp,
+                dense,
+                reason,
             });
         }
         let mut eval: Vec<_> = self.eval.iter().collect();
@@ -280,6 +297,7 @@ impl CampaignJournal {
             + state.program.len()
             + state.eval.len()
             + state.accepted.len()
+            + state.quarantine.len()
             + usize::from(state.selection.is_some())) as u64;
         minpsid_trace::emit(minpsid_trace::Event::JournalRecovery {
             records: recovered_records,
@@ -370,6 +388,31 @@ impl CampaignJournal {
             input_fp,
             index,
             outcome,
+        });
+    }
+
+    // --- quarantined injection sites ---
+
+    /// Is this (input, dense instruction) site quarantined? Returns the
+    /// failure-reason byte recorded when the scheduler gave up on it.
+    /// Resume consults this before sampling a site so a known-bad site is
+    /// skipped instead of re-exploding through its whole retry budget.
+    pub fn quarantined_site(&self, input_fp: u64, dense: u64) -> Option<u8> {
+        let hit = self.read().quarantine.get(&(input_fp, dense)).copied();
+        if hit.is_some() {
+            self.served.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    pub fn record_quarantine(&self, input_fp: u64, dense: u64, reason: u8) {
+        if self.read().quarantine.contains_key(&(input_fp, dense)) {
+            return;
+        }
+        self.append(Record::Quarantine {
+            input_fp,
+            dense,
+            reason,
         });
     }
 
@@ -483,6 +526,8 @@ mod tests {
             j.record_eval(77, &[1, 2, 3]);
             j.record_accepted(0, 77);
             j.record_selection(&[true, false, true]);
+            j.record_quarantine(1, 4, 0);
+            j.record_quarantine(1, 4, 1); // idempotent: first reason wins
             j.sync().unwrap();
         }
         let j = CampaignJournal::open(&dir, 10, 20).unwrap();
@@ -494,8 +539,10 @@ mod tests {
         assert_eq!(j.eval_profile(77), Some(vec![1, 2, 3]));
         assert_eq!(j.accepted_input(0), Some(77));
         assert_eq!(j.selection(), Some(vec![true, false, true]));
+        assert_eq!(j.quarantined_site(1, 4), Some(0));
+        assert_eq!(j.quarantined_site(1, 3), None);
         let (recovered, _) = j.recovery_stats();
-        assert_eq!(recovered, 7);
+        assert_eq!(recovered, 8);
         // three hits + one eval hit were served above
         assert!(j.usage().0 >= 4);
     }

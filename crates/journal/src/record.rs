@@ -51,6 +51,15 @@ pub enum Record {
     SearchAccepted { index: u64, input_fp: u64 },
     /// Final knapsack selection bitmap over dense instruction indices.
     Selection { bits: Vec<bool> },
+    /// An injection site (input, dense instruction) quarantined by the
+    /// scheduler after consecutive engine failures. `reason` is the
+    /// failure-kind byte (`minpsid_sched::FailureKind::to_u8`). Resume
+    /// skips quarantined sites instead of re-exploding on them.
+    Quarantine {
+        input_fp: u64,
+        dense: u64,
+        reason: u8,
+    },
 }
 
 /// Why a payload failed to decode. Reaching this for a frame that passed
@@ -84,6 +93,7 @@ const TAG_PROGRAM: u8 = 4;
 const TAG_EVAL: u8 = 5;
 const TAG_ACCEPTED: u8 = 6;
 const TAG_SELECTION: u8 = 7;
+const TAG_QUARANTINE: u8 = 8;
 
 fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -192,6 +202,16 @@ impl Record {
                     buf.push(byte);
                 }
             }
+            Record::Quarantine {
+                input_fp,
+                dense,
+                reason,
+            } => {
+                buf.push(TAG_QUARANTINE);
+                put_u64(buf, *input_fp);
+                put_u64(buf, *dense);
+                buf.push(*reason);
+            }
         }
     }
 
@@ -250,6 +270,11 @@ impl Record {
                 }
                 Record::Selection { bits }
             }
+            TAG_QUARANTINE => Record::Quarantine {
+                input_fp: r.u64()?,
+                dense: r.u64()?,
+                reason: r.u8()?,
+            },
             t => return Err(DecodeError::UnknownTag(t)),
         };
         if r.remaining() != 0 {
@@ -312,6 +337,11 @@ mod tests {
         rt(Record::Selection { bits: vec![] });
         rt(Record::Selection {
             bits: vec![true, false, true, true, false, false, false, true, true],
+        });
+        rt(Record::Quarantine {
+            input_fp: 14,
+            dense: 15,
+            reason: 1,
         });
     }
 

@@ -1,0 +1,31 @@
+//! minpsid-sched: the resilient campaign scheduler.
+//!
+//! Fault-injection campaigns dominate a MINPSID run's wall-clock, and at
+//! scale the measurement infrastructure itself misbehaves: workers panic,
+//! injections blow their wall-clock budget, whole hosts run out of time.
+//! This crate makes campaign execution self-healing and deadline-aware:
+//!
+//! * [`retry`] — exponential backoff with deterministic jitter for
+//!   engine failures, bounded by a retry budget;
+//! * [`Scheduler::try_quarantine`] — sites that keep failing are
+//!   quarantined (excluded from rates, recorded with a reason) instead
+//!   of poisoning the campaign;
+//! * [`stats`] — Wilson score intervals, both for report error bars and
+//!   for confidence-bounded early stopping;
+//! * [`deadline`] — a global wall-clock budget under which campaigns
+//!   degrade gracefully to a truncated-but-honest report with a
+//!   completeness score.
+//!
+//! Everything is deterministic given a seed: retries, chaos plans, and
+//! early-stop decisions are pure functions of per-site keys, so the same
+//! seed and chaos knobs produce byte-identical reports.
+
+pub mod deadline;
+pub mod retry;
+mod scheduler;
+pub mod stats;
+
+pub use deadline::Deadline;
+pub use retry::{backoff_ms, splitmix64, FailureKind};
+pub use scheduler::{AttemptResult, SchedConfig, SchedSnapshot, Scheduler, SiteStatus, TaskResult};
+pub use stats::{binomial_ci, BinomialCi};

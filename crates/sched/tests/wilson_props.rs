@@ -1,0 +1,52 @@
+//! Property tests for the Wilson score interval (ISSUE 4 satellite):
+//! the interval always contains the empirical rate, stays inside the
+//! unit interval, and narrows monotonically as samples accumulate.
+
+use minpsid_sched::binomial_ci;
+use proptest::prelude::*;
+use proptest::proptest;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn interval_contains_the_empirical_rate(
+        trials in 1u64..100_000,
+        frac in 0u64..=1_000,
+        z_mil in 100u64..4_000,
+    ) {
+        let successes = trials * frac / 1_000;
+        let z = z_mil as f64 / 1_000.0;
+        let ci = binomial_ci(successes, trials, z);
+        let p = successes as f64 / trials as f64;
+        prop_assert!((ci.estimate - p).abs() < 1e-12);
+        prop_assert!(ci.lo <= p + 1e-12, "lo {} above rate {}", ci.lo, p);
+        prop_assert!(ci.hi >= p - 1e-12, "hi {} below rate {}", ci.hi, p);
+    }
+
+    #[test]
+    fn interval_stays_inside_the_unit_interval(
+        trials in 0u64..100_000,
+        frac in 0u64..=1_000,
+    ) {
+        let successes = trials * frac / 1_000;
+        let ci = binomial_ci(successes, trials, 1.96);
+        prop_assert!(ci.lo >= 0.0 && ci.hi <= 1.0);
+        prop_assert!(ci.lo <= ci.hi);
+        prop_assert!(ci.half_width() >= 0.0);
+    }
+
+    #[test]
+    fn more_samples_at_the_same_rate_narrow_the_interval(
+        trials in 8u64..10_000,
+        frac in 0u64..=1_000,
+        growth in 2u64..=16,
+    ) {
+        // same empirical rate, `growth`x the samples: the interval must
+        // not widen (strictly narrows away from degenerate p in {0,1})
+        let s1 = trials * frac / 1_000;
+        let hw1 = binomial_ci(s1, trials, 1.96).half_width();
+        let hw2 = binomial_ci(s1 * growth, trials * growth, 1.96).half_width();
+        prop_assert!(hw2 <= hw1 + 1e-12, "hw grew: {hw1} -> {hw2}");
+    }
+}

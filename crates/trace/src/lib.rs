@@ -36,7 +36,8 @@ pub mod sink;
 
 pub use event::{CampaignKind, Event, OutcomeTally, SchemaError, TimedEvent, SCHEMA_VERSION};
 pub use report::{
-    parse_log, render_html, render_markdown, summarize, CampaignStat, JournalStat, TraceSummary,
+    parse_log, render_html, render_markdown, summarize, CampaignStat, JournalStat, SchedStat,
+    TraceSummary,
 };
 pub use sink::{
     active, add_observer, emit, flush, init_file, init_writer, sample_campaign, shutdown, span,

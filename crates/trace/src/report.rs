@@ -97,6 +97,14 @@ pub struct TraceSummary {
     pub knapsack: Option<KnapsackStat>,
     pub cache: Option<CacheStat>,
     pub journal: Option<JournalStat>,
+    /// Run-level scheduler accounting (last `sched_summary` event).
+    pub sched: Option<SchedStat>,
+    /// Raw resilience event counts, present even when the run died
+    /// before emitting its `sched_summary`.
+    pub retry_events: u64,
+    pub quarantine_events: u64,
+    pub early_stop_events: u64,
+    pub truncation_events: u64,
     /// Last sample of each named counter.
     pub counters: BTreeMap<String, u64>,
     /// Last sample of each named histogram.
@@ -125,6 +133,21 @@ pub struct JournalStat {
     pub appended: u64,
 }
 
+/// Resilient-scheduler accounting: retries, quarantine, early stopping,
+/// and deadline truncation, plus the campaign-level completeness score.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SchedStat {
+    pub retries: u64,
+    pub recovered: u64,
+    pub exhausted: u64,
+    pub quarantined_sites: u64,
+    pub quarantined_injections: u64,
+    pub early_stopped_sites: u64,
+    pub early_stop_skipped: u64,
+    pub truncated: u64,
+    pub completeness: f64,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStat {
     pub hits: u64,
@@ -150,6 +173,8 @@ fn add_tally(into: &mut OutcomeTally, from: &OutcomeTally) {
     into.hang += from.hang;
     into.detected += from.detected;
     into.engine_error += from.engine_error;
+    into.transient_recovered += from.transient_recovered;
+    into.quarantined += from.quarantined;
 }
 
 /// Fold a parsed event stream into a [`TraceSummary`].
@@ -286,6 +311,33 @@ pub fn summarize(events: &[TimedEvent]) -> TraceSummary {
                 j.served = *recovered;
                 j.appended = *appended;
             }
+            Event::RetryAttempt { .. } => s.retry_events += 1,
+            Event::Quarantine { .. } => s.quarantine_events += 1,
+            Event::EarlyStop { .. } => s.early_stop_events += 1,
+            Event::DeadlineTruncation { .. } => s.truncation_events += 1,
+            Event::SchedSummary {
+                retries,
+                recovered,
+                exhausted,
+                quarantined_sites,
+                quarantined_injections,
+                early_stopped_sites,
+                early_stop_skipped,
+                truncated,
+                completeness,
+            } => {
+                s.sched = Some(SchedStat {
+                    retries: *retries,
+                    recovered: *recovered,
+                    exhausted: *exhausted,
+                    quarantined_sites: *quarantined_sites,
+                    quarantined_injections: *quarantined_injections,
+                    early_stopped_sites: *early_stopped_sites,
+                    early_stop_skipped: *early_stop_skipped,
+                    truncated: *truncated,
+                    completeness: *completeness,
+                });
+            }
         }
     }
     s.open_spans = begun.saturating_sub(ended);
@@ -363,6 +415,14 @@ fn campaign_section(out: &mut String, title: &str, c: &CampaignStat) {
         c.steps_skipped,
         c.savings() * 100.0
     );
+    if c.counts.transient_recovered + c.counts.quarantined > 0 {
+        let _ = writeln!(
+            out,
+            "resilience: {} injection(s) recovered via retry (counted once above), \
+             {} skipped by quarantine (excluded from rates)\n",
+            c.counts.transient_recovered, c.counts.quarantined
+        );
+    }
 }
 
 /// Render the summary as a markdown report.
@@ -447,6 +507,42 @@ pub fn render_markdown(s: &TraceSummary) -> String {
             j.appended,
             pct(j.served, j.served + j.appended)
         );
+    }
+
+    let any_resilience = s.sched.is_some()
+        || s.retry_events + s.quarantine_events + s.early_stop_events + s.truncation_events > 0;
+    if any_resilience {
+        let _ = writeln!(out, "## Resilient scheduling\n");
+        let _ = writeln!(
+            out,
+            "- events: {} retry, {} quarantine, {} early-stop, {} deadline-truncation",
+            s.retry_events, s.quarantine_events, s.early_stop_events, s.truncation_events
+        );
+        if let Some(r) = &s.sched {
+            let _ = writeln!(
+                out,
+                "- retries: {} attempts retried; {} injection(s) recovered, {} exhausted their budget",
+                r.retries, r.recovered, r.exhausted
+            );
+            let _ = writeln!(
+                out,
+                "- quarantine: {} site(s) quarantined, {} injection(s) excluded from rates",
+                r.quarantined_sites, r.quarantined_injections
+            );
+            let _ = writeln!(
+                out,
+                "- early stop: {} site(s) converged early, {} injection(s) skipped with confidence",
+                r.early_stopped_sites, r.early_stop_skipped
+            );
+            let _ = writeln!(out, "- deadline: {} injection(s) truncated", r.truncated);
+            let _ = writeln!(out, "- **campaign completeness: {:.3}**", r.completeness);
+        } else {
+            let _ = writeln!(
+                out,
+                "- **warning**: no sched_summary event — run died before final accounting"
+            );
+        }
+        let _ = writeln!(out);
     }
 
     if !s.ga.is_empty() {
@@ -633,8 +729,9 @@ mod tests {
                     sdc: 30,
                     crash: 15,
                     hang: 5,
-                    detected: 0,
-                    engine_error: 0,
+                    transient_recovered: 4,
+                    quarantined: 10,
+                    ..OutcomeTally::default()
                 },
                 steps_executed: 4000,
                 steps_skipped: 6000,
@@ -647,8 +744,7 @@ mod tests {
                     sdc: 30,
                     crash: 15,
                     hang: 5,
-                    detected: 0,
-                    engine_error: 0,
+                    ..OutcomeTally::default()
                 },
             },
             Event::SpanEnd {
@@ -699,6 +795,40 @@ mod tests {
                 recovered: 150,
                 appended: 50,
             },
+            Event::RetryAttempt {
+                kind: CampaignKind::PerInst,
+                site: 3,
+                attempt: 0,
+                backoff_ms: 1,
+                reason: "panic".into(),
+            },
+            Event::Quarantine {
+                kind: CampaignKind::PerInst,
+                site: 3,
+                failures: 2,
+                reason: "panic".into(),
+            },
+            Event::EarlyStop {
+                kind: CampaignKind::PerInst,
+                site: 8,
+                samples: 40,
+                half_width: 0.04,
+            },
+            Event::DeadlineTruncation {
+                kind: CampaignKind::PerInst,
+                truncated: 12,
+            },
+            Event::SchedSummary {
+                retries: 6,
+                recovered: 4,
+                exhausted: 2,
+                quarantined_sites: 1,
+                quarantined_injections: 10,
+                early_stopped_sites: 1,
+                early_stop_skipped: 60,
+                truncated: 12,
+                completeness: 0.89,
+            },
             Event::TraceEnd { dur_us: 90 },
         ]
     }
@@ -727,6 +857,14 @@ mod tests {
         assert_eq!(j.served, 150);
         assert_eq!(j.appended, 50);
         assert_eq!(s.open_spans, 0);
+        assert_eq!(s.retry_events, 1);
+        assert_eq!(s.quarantine_events, 1);
+        assert_eq!(s.early_stop_events, 1);
+        assert_eq!(s.truncation_events, 1);
+        let r = s.sched.unwrap();
+        assert_eq!(r.retries, 6);
+        assert_eq!(r.quarantined_injections, 10);
+        assert!((r.completeness - 0.89).abs() < 1e-9);
     }
 
     #[test]
@@ -754,6 +892,10 @@ mod tests {
             "expected SDC coverage: 90.00%",
             "## Crash-safe journal",
             "150 recovered vs 50 executed fresh",
+            "## Resilient scheduling",
+            "4 injection(s) recovered via retry",
+            "10 skipped by quarantine",
+            "campaign completeness: 0.890",
         ] {
             assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
         }

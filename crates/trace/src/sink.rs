@@ -299,6 +299,8 @@ pub struct CampaignCounters {
     steps_executed: AtomicU64,
     steps_skipped: AtomicU64,
     restores: AtomicU64,
+    transient_recovered: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl CampaignCounters {
@@ -317,6 +319,8 @@ impl CampaignCounters {
             steps_executed: AtomicU64::new(0),
             steps_skipped: AtomicU64::new(0),
             restores: AtomicU64::new(0),
+            transient_recovered: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
     }
 
@@ -342,6 +346,21 @@ impl CampaignCounters {
         }
     }
 
+    /// An injection that failed at least one attempt but then produced a
+    /// real outcome. The outcome itself was already (or will be) counted
+    /// exactly once via [`CampaignCounters::record`]; this side-tally
+    /// never enters `total()`, so retried injections cannot double-count.
+    #[inline]
+    pub fn record_recovered(&self) {
+        self.transient_recovered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` injections skipped because their site is quarantined.
+    #[inline]
+    pub fn record_quarantined(&self, n: u64) {
+        self.quarantined.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub fn done(&self) -> u64 {
         self.done.load(Ordering::Relaxed)
     }
@@ -354,6 +373,8 @@ impl CampaignCounters {
             hang: self.hang.load(Ordering::Relaxed),
             detected: self.detected.load(Ordering::Relaxed),
             engine_error: self.engine_error.load(Ordering::Relaxed),
+            transient_recovered: self.transient_recovered.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 
@@ -475,6 +496,10 @@ mod tests {
             for i in 0..4u64 {
                 counters.record(OutcomeKind::Sdc, 100 + i, 50);
             }
+            // one of those outcomes came after a retry, plus two
+            // quarantine-skipped injections: side-tallies only
+            counters.record_recovered();
+            counters.record_quarantined(2);
             "done"
         });
         assert_eq!(out, "done");
@@ -523,6 +548,11 @@ mod tests {
             .expect("campaign_end present");
         assert_eq!(end.0, 4);
         assert_eq!(end.1.sdc, 4);
+        // retried-then-succeeded injections count once: side-tallies do
+        // not inflate the outcome total
+        assert_eq!(end.1.transient_recovered, 1);
+        assert_eq!(end.1.quarantined, 2);
+        assert_eq!(end.1.total(), 4);
         assert_eq!(end.2, 100 + 101 + 102 + 103);
         assert_eq!(end.3, 200);
         assert_eq!(end.4, 4);

@@ -13,6 +13,8 @@ fn tally(seed: [u64; 5]) -> OutcomeTally {
         hang: seed[3],
         detected: seed[4],
         engine_error: seed[0] ^ seed[4],
+        transient_recovered: seed[1] ^ seed[2],
+        quarantined: seed[3] ^ seed[0],
     }
 }
 

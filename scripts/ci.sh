@@ -55,7 +55,44 @@ test -s "$TRACE_TMP/journal-kill/campaign.wal"
 diff "$TRACE_TMP/uninterrupted.txt" "$TRACE_TMP/resumed.txt"
 
 echo "== chaos smoke (worker panics degrade to engine errors)"
-"$CLI" fi pathfinder --quick --seed 42 --chaos-panic-one-in 40 --quiet \
-  2>/dev/null | grep -q "engine-err"
+# --max-retries 0: with the default retry budget the scheduler would heal
+# these injected panics and no engine-err line would ever appear
+"$CLI" fi pathfinder --quick --seed 42 --chaos-panic-one-in 40 --max-retries 0 \
+  --quiet 2>/dev/null | grep -q "engine-err"
+
+echo "== chaos matrix (panic x timeout x deadline: always exit 0 + valid report)"
+# every cell must terminate cleanly and print a completeness score; the
+# deadline rows additionally exercise graceful truncation
+for CHAOS in "--chaos-panic-one-in 50" "--chaos-timeout-one-in 50" \
+             "--chaos-panic-one-in 50 --chaos-timeout-one-in 50"; do
+  for DEADLINE in "" "--deadline-secs 120"; do
+    # shellcheck disable=SC2086
+    OUT="$("$CLI" fi pathfinder --quick --seed 42 $CHAOS $DEADLINE --quiet 2>/dev/null)"
+    echo "$OUT" | grep -q "^completeness:" \
+      || { echo "chaos cell [$CHAOS $DEADLINE] lost its completeness line"; exit 1; }
+    echo "$OUT" | grep -q "^SDC probability.*CI" \
+      || { echo "chaos cell [$CHAOS $DEADLINE] lost its CI annotation"; exit 1; }
+  done
+done
+# an already-expired deadline still exits 0 with an honest (<1) score
+"$CLI" fi pathfinder --quick --seed 42 --chaos-panic-one-in 50 \
+  --chaos-timeout-one-in 50 --deadline-secs 0 --quiet 2>/dev/null \
+  | grep -q "^completeness: 0.0000"
+
+echo "== quarantine-cap smoke (quarantined sites never exceed the cap)"
+# timeouts on every injection + no retries: every site wants quarantine,
+# so the report's quarantined count must equal the configured cap
+QUARANTINED="$("$CLI" analyze pathfinder --quick --seed 42 --chaos-timeout-one-in 1 \
+  --max-retries 0 --quarantine-after 1 --quarantine-cap 5 --quiet 2>/dev/null \
+  | awk '/^quarantined sites:/ {print $3}')"
+test "$QUARANTINED" = "5" \
+  || { echo "quarantine cap violated: got $QUARANTINED quarantined sites, cap 5"; exit 1; }
+
+echo "== deterministic-report smoke (same seed + chaos knobs => identical bytes)"
+"$CLI" analyze pathfinder --quick --seed 42 --chaos-panic-one-in 50 \
+  --chaos-timeout-one-in 50 --quiet > "$TRACE_TMP/chaos-a.txt" 2>/dev/null
+"$CLI" analyze pathfinder --quick --seed 42 --chaos-panic-one-in 50 \
+  --chaos-timeout-one-in 50 --quiet > "$TRACE_TMP/chaos-b.txt" 2>/dev/null
+diff "$TRACE_TMP/chaos-a.txt" "$TRACE_TMP/chaos-b.txt"
 
 echo "CI OK"

@@ -18,6 +18,8 @@
 //!   `minpsid trace report` analyzer;
 //! * [`journal`] — crash-safe campaign journal: durable WAL,
 //!   resume-after-crash, cooperative interrupts;
+//! * [`sched`] — resilient campaign scheduler: retry/backoff,
+//!   site quarantine, Wilson-interval early stopping, deadlines;
 //! * [`workloads`] — the 11 benchmarks of Table I.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
@@ -29,6 +31,7 @@ pub use minpsid_faultsim as faultsim;
 pub use minpsid_interp as interp;
 pub use minpsid_ir as ir;
 pub use minpsid_journal as journal;
+pub use minpsid_sched as sched;
 pub use minpsid_sid as sid;
 pub use minpsid_trace as trace;
 pub use minpsid_workloads as workloads;
