@@ -6,11 +6,21 @@
 //! campaign timed with the default retry budget vs retries disabled
 //! (the pre-scheduler fail-fast behaviour); the target is <3%.
 //!
+//! Since the `CampaignEngine` refactor the journaled path is parallel
+//! too (worker-local record buffers merged by one ordered WAL writer),
+//! so this bench also times the journaled per-instruction campaign at
+//! 1/2/4/8 worker threads — fresh journal per repetition, so every rep
+//! pays full execution cost rather than WAL replay — and records the
+//! per-thread-count columns plus the 4-thread speedup. The machine's
+//! core count rides along in the JSON: on a single-core runner the
+//! thread sweep measures scheduling overhead, not parallel speedup.
+//!
 //! Run with `cargo bench --bench fi_checkpoint_throughput`.
 
 use criterion::black_box;
 use minpsid_faultsim::{
-    golden_run, per_instruction_campaign, CampaignConfig, CheckpointPolicy, GoldenRun,
+    golden_run, per_instruction_campaign, CampaignConfig, CampaignConfigBuilder, CampaignEngine,
+    CampaignJournal, GoldenRun,
 };
 use minpsid_interp::ProgInput;
 use minpsid_ir::Module;
@@ -19,6 +29,7 @@ use std::time::Instant;
 
 const WORKLOADS: &[&str] = &["hpccg", "fft", "xsbench"];
 const REPS: usize = 2;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// Per-instruction injections; default is a trimmed bench budget.
 /// `FI_BENCH_INJECTIONS=30` reproduces the `small` preset numbers
@@ -39,6 +50,8 @@ struct Row {
     warm_s: f64,
     sched_retries_off_s: f64,
     sched_default_s: f64,
+    /// Journaled campaign wall-clock per entry of [`THREAD_COUNTS`].
+    journaled_s: [f64; THREAD_COUNTS.len()],
 }
 
 impl Row {
@@ -50,6 +63,11 @@ impl Row {
     /// fail-fast configuration on a clean run, in percent.
     fn sched_overhead_pct(&self) -> f64 {
         (self.sched_default_s / self.sched_retries_off_s - 1.0) * 100.0
+    }
+
+    /// Journaled 4-thread speedup over journaled serial.
+    fn journaled_speedup_4t(&self) -> f64 {
+        self.journaled_s[0] / self.journaled_s[2]
     }
 }
 
@@ -69,23 +87,56 @@ fn time_campaign(
     best
 }
 
+/// Best-of-REPS wall-clock of one journaled per-instruction campaign.
+/// Each rep gets a fresh journal directory: reusing one would serve the
+/// recorded outcomes back and time WAL replay instead of execution.
+fn time_journaled(
+    module: &Module,
+    input: &ProgInput,
+    golden: &GoldenRun,
+    cfg: &CampaignConfig,
+    dir_tag: &str,
+) -> (f64, String) {
+    let mut best = f64::INFINITY;
+    let mut report = String::new();
+    for rep in 0..REPS {
+        let dir = std::env::temp_dir().join(format!(
+            "minpsid-bench-{dir_tag}-t{}-r{rep}-{}",
+            cfg.threads,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let j = CampaignJournal::open(&dir, 0, 0).expect("open bench journal");
+        let t = Instant::now();
+        let r = CampaignEngine::new(module, input, golden, cfg)
+            .with_journal(&j, 0)
+            .run_per_instruction()
+            .expect("bench campaigns are never interrupted");
+        best = best.min(t.elapsed().as_secs_f64());
+        report = format!("{:?}", black_box(r).sdc_prob);
+        drop(j);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    (best, report)
+}
+
 fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut rows = Vec::new();
     for &name in WORKLOADS {
         let b = minpsid_workloads::by_name(name).expect("workload exists");
         let module = b.compile();
         let input = b.model.materialize(&b.model.reference());
 
-        let cold_cfg = CampaignConfig {
-            per_inst_injections: injections(),
-            seed: 42,
-            checkpoints: CheckpointPolicy::Disabled,
-            ..CampaignConfig::default()
-        };
-        let warm_cfg = CampaignConfig {
-            checkpoints: CheckpointPolicy::Auto,
-            ..cold_cfg.clone()
-        };
+        let cold_cfg = CampaignConfigBuilder::new(42)
+            .per_inst_injections(injections() as u64)
+            .expect("positive injection count")
+            .no_checkpoints()
+            .build();
+        let warm_cfg = CampaignConfigBuilder::new(42)
+            .per_inst_injections(injections() as u64)
+            .expect("positive injection count")
+            .build();
 
         let g_cold = golden_run(&module, &input, &cold_cfg).expect("golden run");
         let g_warm = golden_run(&module, &input, &warm_cfg).expect("golden run");
@@ -110,6 +161,22 @@ fn main() {
         let sched_retries_off_s = time_campaign(&module, &input, &g_warm, &retries_off_cfg);
         let sched_default_s = time_campaign(&module, &input, &g_warm, &warm_cfg);
 
+        // journaled campaign across the thread sweep, with a determinism
+        // gate: the report must be byte-identical at every thread count
+        // and match the plain campaign.
+        let plain_report = format!("{:?}", warm.sdc_prob);
+        let mut journaled_s = [0.0; THREAD_COUNTS.len()];
+        for (slot, &threads) in THREAD_COUNTS.iter().enumerate() {
+            let mut cfg = warm_cfg.clone();
+            cfg.threads = threads;
+            let (secs, report) = time_journaled(&module, &input, &g_warm, &cfg, name);
+            assert_eq!(
+                report, plain_report,
+                "{name}: journaled campaign at {threads} threads diverged"
+            );
+            journaled_s[slot] = secs;
+        }
+
         let row = Row {
             name,
             golden_steps: g_warm.steps,
@@ -119,6 +186,7 @@ fn main() {
             warm_s,
             sched_retries_off_s,
             sched_default_s,
+            journaled_s,
         };
         println!(
             "bench fi/{:<10} cold {:>8.3} s   checkpointed {:>8.3} s   speedup {:>5.2}x   \
@@ -139,11 +207,22 @@ fn main() {
             row.sched_default_s,
             row.sched_overhead_pct()
         );
+        println!(
+            "bench fi/{:<10} journaled: 1t {:>7.3} s   2t {:>7.3} s   4t {:>7.3} s   \
+             8t {:>7.3} s   4t-speedup {:>5.2}x",
+            row.name,
+            row.journaled_s[0],
+            row.journaled_s[1],
+            row.journaled_s[2],
+            row.journaled_s[3],
+            row.journaled_speedup_4t()
+        );
         rows.push(row);
     }
 
     let mut json = String::from("{\n  \"bench\": \"fi_checkpoint_throughput\",\n");
     writeln!(json, "  \"per_inst_injections\": {},", injections()).unwrap();
+    writeln!(json, "  \"cores\": {cores},").unwrap();
     json.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         writeln!(
@@ -151,7 +230,10 @@ fn main() {
             "    {{\"name\": \"{}\", \"golden_steps\": {}, \"snapshots\": {}, \
              \"snapshot_bytes\": {}, \"cold_s\": {:.4}, \"checkpointed_s\": {:.4}, \
              \"speedup\": {:.3}, \"sched_retries_off_s\": {:.4}, \
-             \"sched_default_s\": {:.4}, \"sched_overhead_pct\": {:.2}}}{}",
+             \"sched_default_s\": {:.4}, \"sched_overhead_pct\": {:.2}, \
+             \"journaled_t1_s\": {:.4}, \"journaled_t2_s\": {:.4}, \
+             \"journaled_t4_s\": {:.4}, \"journaled_t8_s\": {:.4}, \
+             \"journaled_speedup_4t\": {:.3}}}{}",
             r.name,
             r.golden_steps,
             r.snapshots,
@@ -162,6 +244,11 @@ fn main() {
             r.sched_retries_off_s,
             r.sched_default_s,
             r.sched_overhead_pct(),
+            r.journaled_s[0],
+            r.journaled_s[1],
+            r.journaled_s[2],
+            r.journaled_s[3],
+            r.journaled_speedup_4t(),
             if i + 1 < rows.len() { "," } else { "" }
         )
         .unwrap();

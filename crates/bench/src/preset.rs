@@ -2,7 +2,7 @@
 //! dependency budget has no CLI crate, and two flags do not justify one).
 
 use minpsid::{GaConfig, IncubativeConfig, MinpsidConfig, SearchStrategy};
-use minpsid_faultsim::{CampaignConfig, CheckpointPolicy};
+use minpsid_faultsim::{CampaignConfig, CampaignConfigBuilder};
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,15 +82,16 @@ impl Preset {
         }
     }
 
+    /// Campaign config for this preset, routed through the shared
+    /// [`CampaignConfigBuilder`] so the validation rules live in one
+    /// place (preset sizes are positive by construction).
     pub fn campaign(self, seed: u64) -> CampaignConfig {
-        CampaignConfig {
-            injections: self.injections(),
-            per_inst_injections: self.per_inst_injections(),
-            seed,
-            checkpoints: CheckpointPolicy::Auto,
-            max_checkpoints: self.max_checkpoints(),
-            ..CampaignConfig::default()
-        }
+        CampaignConfigBuilder::new(seed)
+            .injections(self.injections() as u64)
+            .and_then(|b| b.per_inst_injections(self.per_inst_injections() as u64))
+            .and_then(|b| b.max_checkpoints(self.max_checkpoints()))
+            .expect("preset campaign sizes are positive")
+            .build()
     }
 
     pub fn minpsid_config(self, level: f64, seed: u64) -> MinpsidConfig {
@@ -185,6 +186,7 @@ pub fn finish_trace() {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use minpsid_faultsim::CheckpointPolicy;
 
     fn parse(v: &[&str]) -> ExperimentArgs {
         parse_args(v.iter().map(|s| s.to_string()))

@@ -17,8 +17,8 @@ use minpsid::{
     GoldenCache, MinpsidConfig, PipelineError,
 };
 use minpsid_faultsim::{
-    golden_run, interrupt, program_campaign_sched, CampaignConfig, CampaignJournal,
-    CheckpointPolicy, Deadline, Scheduler,
+    golden_run, interrupt, CampaignConfig, CampaignConfigBuilder, CampaignEngine, CampaignJournal,
+    Deadline, Scheduler,
 };
 use minpsid_interp::{ExecConfig, Interp, ProgInput, Scalar};
 use minpsid_ir::printer::print_module;
@@ -167,6 +167,8 @@ FI campaign options (fi/analyze/sid/minpsid):
   --injections N            whole-program campaign size (default 1000)
   --per-inst N              injections per static instruction (default 100)
   --quick                   small campaign preset for smoke tests
+  --threads N               worker threads (default: all cores); reports
+                            are byte-identical at any thread count
   --checkpoint-interval N   snapshot the golden run every N dynamic
                             instructions (default: auto, ~sqrt of steps)
   --no-checkpoints          disable checkpointing; replay every injection
@@ -275,91 +277,18 @@ fn parse_positive(rest: &[String], flag: &str, what: &str) -> Result<Option<u64>
     }
 }
 
-fn parse_seed(rest: &[String]) -> Result<u64, String> {
-    match flag_value(rest, "--seed") {
-        None => Ok(42),
-        Some(v) => v.parse().map_err(|_| format!("bad --seed `{v}`")),
-    }
-}
-
-/// Campaign config from the shared FI flags: `--seed`, `--quick`,
-/// `--injections`, `--per-inst`, `--checkpoint-interval`,
-/// `--no-checkpoints`, `--injection-timeout-ms`, `--chaos-panic-one-in`.
+/// Campaign config from the shared FI flag vocabulary — a thin delegate
+/// to [`CampaignConfigBuilder::from_flags`], which owns every validation
+/// rule (the bench binaries parse the same flags through the same code).
 fn parse_campaign(rest: &[String]) -> Result<CampaignConfig, String> {
-    let seed = parse_seed(rest)?;
-    let mut campaign = if rest.iter().any(|a| a == "--quick") {
-        CampaignConfig::quick(seed)
-    } else {
-        CampaignConfig {
-            seed,
-            ..CampaignConfig::default()
-        }
-    };
-    if let Some(n) = parse_positive(rest, "--injections", "want a positive campaign size")? {
-        campaign.injections = n as usize;
-    }
-    if let Some(n) = parse_positive(rest, "--per-inst", "want a positive per-instruction count")? {
-        campaign.per_inst_injections = n as usize;
-    }
-    if let Some(v) = flag_value(rest, "--checkpoint-interval") {
-        let n: u64 =
-            v.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
-                format!("bad --checkpoint-interval `{v}` (want a positive integer)")
-            })?;
-        campaign.checkpoints = CheckpointPolicy::Every(n);
-    }
-    if rest.iter().any(|a| a == "--no-checkpoints") {
-        campaign.checkpoints = CheckpointPolicy::Disabled;
-    }
-    if let Some(v) = flag_value(rest, "--injection-timeout-ms") {
-        // 0 explicitly disables the wall-clock budget (the default)
-        campaign.exec.wall_clock_ms = v
-            .parse()
-            .map_err(|_| format!("bad --injection-timeout-ms `{v}`"))?;
-    }
-    if let Some(n) = parse_positive(rest, "--chaos-panic-one-in", "want a positive period")? {
-        campaign.chaos_panic_one_in = Some(n);
-    }
-    if let Some(n) = parse_positive(rest, "--chaos-timeout-one-in", "want a positive period")? {
-        campaign.chaos_timeout_one_in = Some(n);
-    }
-    if let Some(v) = flag_value(rest, "--max-retries") {
-        // 0 is meaningful: it restores fail-fast EngineError behaviour
-        campaign.sched.max_retries = v.parse().map_err(|_| format!("bad --max-retries `{v}`"))?;
-    }
-    if let Some(n) = parse_positive(rest, "--quarantine-after", "want a positive count")? {
-        campaign.sched.quarantine_after = n as u32;
-    }
-    if let Some(v) = flag_value(rest, "--quarantine-cap") {
-        // 0 is meaningful: it disables quarantine entirely
-        campaign.sched.quarantine_cap = v
-            .parse()
-            .map_err(|_| format!("bad --quarantine-cap `{v}`"))?;
-    }
-    if let Some(v) = flag_value(rest, "--ci-half-width") {
-        let w: f64 = v
-            .parse()
-            .ok()
-            .filter(|w| (0.0..0.5).contains(w))
-            .ok_or_else(|| format!("bad --ci-half-width `{v}` (want a width in [0, 0.5))"))?;
-        campaign.sched.ci_half_width = w;
-    }
-    Ok(campaign)
+    CampaignConfigBuilder::from_flags(rest).map(CampaignConfigBuilder::build)
 }
 
 /// `--deadline-secs`: the global wall-clock budget. Not part of the
 /// campaign config (and so not of the journal fingerprint) — it bounds
 /// how much work runs, never what that work computes.
 fn parse_deadline(rest: &[String]) -> Result<Option<f64>, String> {
-    match flag_value(rest, "--deadline-secs") {
-        None => Ok(None),
-        Some(v) => v
-            .parse::<f64>()
-            .ok()
-            .filter(|d| d.is_finite() && *d >= 0.0)
-            .map(Some)
-            .ok_or_else(|| format!("bad --deadline-secs `{v}` (want a non-negative number)")),
-    }
+    CampaignConfigBuilder::from_flags(rest).map(|b| b.deadline())
 }
 
 fn first_arg<'a>(rest: &'a [String], what: &str) -> Result<&'a str, String> {
@@ -441,7 +370,10 @@ fn cmd_fi(rest: &[String]) -> Result<(), String> {
     );
     let golden =
         golden_run(&module, &input, &campaign).map_err(|t| format!("golden run failed: {t:?}"))?;
-    let c = program_campaign_sched(&module, &input, &golden, &campaign, &sched);
+    let c = CampaignEngine::new(&module, &input, &golden, &campaign)
+        .with_scheduler(&sched)
+        .run_program()
+        .unwrap_or_else(|_| unreachable!("interrupts are only observed under a journal"));
     println!("injections: {}", c.counts.total());
     println!("  benign:   {}", c.counts.benign);
     println!("  sdc:      {}", c.counts.sdc);
@@ -487,7 +419,6 @@ fn cmd_fi(rest: &[String]) -> Result<(), String> {
 /// Rank instructions by SDC benefit under the reference input — the
 /// §II-C profile SID's knapsack consumes, as a human-readable report.
 fn cmd_analyze(rest: &[String]) -> Result<(), String> {
-    use minpsid_faultsim::per_instruction_campaign_sched;
     use minpsid_sid::CostBenefit;
     let name = first_arg(rest, "benchmark name")?;
     let module = load_module(name)?;
@@ -503,7 +434,10 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
     );
     let golden =
         golden_run(&module, &input, &campaign).map_err(|t| format!("golden run failed: {t:?}"))?;
-    let per_inst = per_instruction_campaign_sched(&module, &input, &golden, &campaign, &sched);
+    let per_inst = CampaignEngine::new(&module, &input, &golden, &campaign)
+        .with_scheduler(&sched)
+        .run_per_instruction()
+        .unwrap_or_else(|_| unreachable!("interrupts are only observed under a journal"));
     let cb = CostBenefit::build(&module, &golden, &per_inst);
 
     let numbering = module.numbering();
@@ -922,6 +856,7 @@ fn cmd_trace(rest: &[String]) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use minpsid_faultsim::CheckpointPolicy;
 
     fn args(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| s.to_string()).collect()

@@ -5,8 +5,8 @@ use crate::incubative::{IncubativeConfig, IncubativeTracker};
 use crate::input::InputModel;
 use crate::search::{EvalMemo, GaConfig, SearchEngine};
 use minpsid_faultsim::{
-    interrupt, per_instruction_campaign_journaled, per_instruction_campaign_sched, CampaignConfig,
-    CampaignJournal, Deadline, GoldenRun, Interrupted, SchedSnapshot, Scheduler,
+    interrupt, CampaignConfig, CampaignEngine, CampaignJournal, Deadline, GoldenRun, Interrupted,
+    SchedSnapshot, Scheduler,
 };
 use minpsid_interp::{ProgInput, Termination};
 use minpsid_ir::Module;
@@ -154,106 +154,10 @@ pub fn run_minpsid_cached(
     cfg: &MinpsidConfig,
     cache: &GoldenCache,
 ) -> Result<MinpsidResult, Termination> {
-    let mut timings = Timings::default();
-    let _pipeline_span = trace::span("minpsid_pipeline");
-    let sched = run_scheduler(cfg);
-
-    // ① SID preparation: reference-input profile + per-instruction FI
-    let t0 = Instant::now();
-    let ref_fi_span = trace::span("ref_fi");
-    let ref_input = model.materialize(&model.reference());
-    let ref_golden = cache.golden(module, &ref_input, &cfg.campaign)?;
-    let ref_per_inst =
-        per_instruction_campaign_sched(module, &ref_input, &ref_golden, &cfg.campaign, &sched);
-    let ref_cb = CostBenefit::build(module, &ref_golden, &ref_per_inst);
-    drop(ref_fi_span);
-    timings.ref_fi = t0.elapsed();
-
-    // ③–⑦ input search + incubative identification
-    let mut engine = SearchEngine::new(module, model, cfg.campaign.clone(), cfg.ga.clone());
-    engine.set_deadline(sched.deadline());
-    engine.record_history(ref_golden.profile.indexed_cfg_list());
-    let mut tracker = IncubativeTracker::new(ref_cb.benefit.clone(), cfg.incubative);
-    let mut incubative_history = Vec::new();
-    let mut stale = 0usize;
-    let mut inputs_searched = 0usize;
-
-    while inputs_searched < cfg.max_inputs && stale < cfg.stagnation_patience {
-        if sched.deadline_exceeded() {
-            break; // graceful: report what we have, annotated as partial
-        }
-        let t_search = Instant::now();
-        let search_span = trace::span("search");
-        let outcome = match cfg.strategy {
-            SearchStrategy::Genetic => engine.next_ga_input(),
-            SearchStrategy::Random => engine.next_random_input(),
-            SearchStrategy::Annealing => engine.next_annealing_input(),
-        };
-        drop(search_span);
-        timings.search += t_search.elapsed();
-        let Some(outcome) = outcome else {
-            break; // input space exhausted / generator keeps failing
-        };
-
-        // ⑦ per-instruction FI under the searched input
-        let t_fi = Instant::now();
-        let fi_span = trace::span("incubative_fi");
-        let golden = cache.golden(module, &outcome.input, &cfg.campaign)?;
-        let per_inst =
-            per_instruction_campaign_sched(module, &outcome.input, &golden, &cfg.campaign, &sched);
-        let cb = CostBenefit::build(module, &golden, &per_inst);
-        drop(fi_span);
-        timings.incubative_fi += t_fi.elapsed();
-
-        engine.record_history(outcome.cfg_list.clone());
-        let new = tracker.observe(&cb.benefit);
-        incubative_history.push(tracker.count());
-        inputs_searched += 1;
-        if trace::active() {
-            trace::emit(trace::Event::SearchInput {
-                index: inputs_searched as u64,
-                fitness: outcome.fitness,
-                new_incubative: new as u64,
-                total_incubative: tracker.count() as u64,
-            });
-        }
-        if new == 0 {
-            stale += 1;
-        } else {
-            stale = 0;
-        }
-    }
-
-    // ⑧ re-prioritization + ⑨ selection & transform
-    let t_rest = Instant::now();
-    let select_span = trace::span("select_transform");
-    let mut cb = ref_cb;
-    cb.benefit = tracker.reprioritized_benefit();
-    let (selection, expected_coverage, protected, meta) =
-        select_and_protect(module, &cb, cfg.protection_level, cfg.use_dp);
-    drop(select_span);
-    timings.other = t_rest.elapsed();
-    if trace::active() {
-        trace::emit(trace::Event::CacheStats {
-            hits: cache.hits(),
-            misses: cache.misses(),
-            entries: cache.len() as u64,
-        });
-    }
-    sched.emit_summary();
-
-    Ok(MinpsidResult {
-        protected,
-        meta,
-        selection,
-        expected_coverage,
-        incubative: tracker.incubative_indices(),
-        incubative_history,
-        inputs_searched,
-        timings,
-        cost_benefit: cb,
-        tracker,
-        sched: sched.snapshot(),
+    run_minpsid_inner(module, model, cfg, cache, None).map_err(|e| match e {
+        PipelineError::Golden(t) => t,
+        // interrupts and journal mismatches require an attached journal
+        _ => unreachable!("journal-free pipeline raised a journal error"),
     })
 }
 
@@ -370,6 +274,48 @@ pub fn run_minpsid_journaled(
     cache: &GoldenCache,
     journal: &CampaignJournal,
 ) -> Result<MinpsidResult, PipelineError> {
+    run_minpsid_inner(module, model, cfg, cache, Some(journal))
+}
+
+/// Fetch the golden run for one input and run its per-instruction FI
+/// through the [`CampaignEngine`], with the journal layer attached when
+/// one is present (digest-checked golden, served/appended outcomes).
+fn engine_per_inst_fi(
+    module: &Module,
+    input: &ProgInput,
+    cfg: &MinpsidConfig,
+    cache: &GoldenCache,
+    sched: &Scheduler,
+    journal: Option<&CampaignJournal>,
+) -> Result<(Arc<GoldenRun>, CostBenefit, Option<u64>), PipelineError> {
+    let (golden, input_fp) = match journal {
+        Some(j) => {
+            let (g, fp) = golden_checked(module, input, cfg, cache, j)?;
+            (g, Some(fp))
+        }
+        None => (cache.golden(module, input, &cfg.campaign)?, None),
+    };
+    let mut engine =
+        CampaignEngine::new(module, input, &golden, &cfg.campaign).with_scheduler(sched);
+    if let (Some(j), Some(fp)) = (journal, input_fp) {
+        engine = engine.with_journal(j, fp);
+    }
+    let per_inst = engine.run_per_instruction()?;
+    let cb = CostBenefit::build(module, &golden, &per_inst);
+    Ok((golden, cb, input_fp))
+}
+
+/// The one pipeline body behind [`run_minpsid_cached`] and
+/// [`run_minpsid_journaled`]: identical orchestration, with the journal
+/// (durable outcomes, eval memo, interrupt handling, selection record)
+/// attached as a layer when present.
+fn run_minpsid_inner(
+    module: &Module,
+    model: &dyn InputModel,
+    cfg: &MinpsidConfig,
+    cache: &GoldenCache,
+    journal: Option<&CampaignJournal>,
+) -> Result<MinpsidResult, PipelineError> {
     let mut timings = Timings::default();
     let _pipeline_span = trace::span("minpsid_pipeline");
     let sched = run_scheduler(cfg);
@@ -378,24 +324,19 @@ pub fn run_minpsid_journaled(
     let t0 = Instant::now();
     let ref_fi_span = trace::span("ref_fi");
     let ref_input = model.materialize(&model.reference());
-    let (ref_golden, ref_fp) = golden_checked(module, &ref_input, cfg, cache, journal)?;
-    let ref_per_inst = per_instruction_campaign_journaled(
-        module,
-        &ref_input,
-        &ref_golden,
-        &cfg.campaign,
-        &sched,
-        journal,
-        ref_fp,
-    )?;
-    let ref_cb = CostBenefit::build(module, &ref_golden, &ref_per_inst);
+    let (ref_golden, ref_cb, _) =
+        engine_per_inst_fi(module, &ref_input, cfg, cache, &sched, journal)?;
     drop(ref_fi_span);
     timings.ref_fi = t0.elapsed();
-    let _ = journal.sync();
+    if let Some(j) = journal {
+        let _ = j.sync();
+    }
 
     // ③–⑦ input search + incubative identification
     let mut engine = SearchEngine::new(module, model, cfg.campaign.clone(), cfg.ga.clone());
-    engine.set_eval_memo(journal);
+    if let Some(j) = journal {
+        engine.set_eval_memo(j);
+    }
     engine.set_deadline(sched.deadline());
     engine.record_history(ref_golden.profile.indexed_cfg_list());
     let mut tracker = IncubativeTracker::new(ref_cb.benefit.clone(), cfg.incubative);
@@ -404,8 +345,10 @@ pub fn run_minpsid_journaled(
     let mut inputs_searched = 0usize;
 
     while inputs_searched < cfg.max_inputs && stale < cfg.stagnation_patience {
-        if interrupt::requested() {
-            let _ = journal.sync();
+        if journal.is_some() && interrupt::requested() {
+            if let Some(j) = journal {
+                let _ = j.sync();
+            }
             return Err(PipelineError::Interrupted);
         }
         if sched.deadline_exceeded() {
@@ -427,17 +370,8 @@ pub fn run_minpsid_journaled(
         // ⑦ per-instruction FI under the searched input
         let t_fi = Instant::now();
         let fi_span = trace::span("incubative_fi");
-        let (golden, input_fp) = golden_checked(module, &outcome.input, cfg, cache, journal)?;
-        let per_inst = per_instruction_campaign_journaled(
-            module,
-            &outcome.input,
-            &golden,
-            &cfg.campaign,
-            &sched,
-            journal,
-            input_fp,
-        )?;
-        let cb = CostBenefit::build(module, &golden, &per_inst);
+        let (_, cb, input_fp) =
+            engine_per_inst_fi(module, &outcome.input, cfg, cache, &sched, journal)?;
         drop(fi_span);
         timings.incubative_fi += t_fi.elapsed();
 
@@ -445,8 +379,10 @@ pub fn run_minpsid_journaled(
         let new = tracker.observe(&cb.benefit);
         incubative_history.push(tracker.count());
         inputs_searched += 1;
-        journal.record_accepted(inputs_searched as u64, input_fp);
-        let _ = journal.sync();
+        if let (Some(j), Some(fp)) = (journal, input_fp) {
+            j.record_accepted(inputs_searched as u64, fp);
+            let _ = j.sync();
+        }
         if trace::active() {
             trace::emit(trace::Event::SearchInput {
                 index: inputs_searched as u64,
@@ -469,7 +405,9 @@ pub fn run_minpsid_journaled(
     cb.benefit = tracker.reprioritized_benefit();
     let (selection, expected_coverage, protected, meta) =
         select_and_protect(module, &cb, cfg.protection_level, cfg.use_dp);
-    journal.record_selection(&selection);
+    if let Some(j) = journal {
+        j.record_selection(&selection);
+    }
     drop(select_span);
     timings.other = t_rest.elapsed();
     if trace::active() {
@@ -479,12 +417,17 @@ pub fn run_minpsid_journaled(
             entries: cache.len() as u64,
         });
     }
-    journal.emit_stats();
+    if let Some(j) = journal {
+        j.emit_stats();
+    }
     sched.emit_summary();
-    // completed run: compact the log so the directory stays small across
-    // repeated resumes, and make everything durable on the way out
-    let _ = journal.compact();
-    let _ = journal.sync();
+    if let Some(j) = journal {
+        // completed run: compact the log so the directory stays small
+        // across repeated resumes, and make everything durable on the
+        // way out
+        let _ = j.compact();
+        let _ = j.sync();
+    }
 
     Ok(MinpsidResult {
         protected,

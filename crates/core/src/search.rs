@@ -1,6 +1,12 @@
 //! The input search engine (paper Fig. 4 ③–⑥): a genetic algorithm whose
 //! fitness is the weighted-CFG distance to the search history, plus the
 //! blind random searcher used as the baseline in Fig. 7.
+//!
+//! The search itself only *profiles* candidate inputs (a single
+//! interpreter run per candidate, via `wcfg::profile_input`); all actual
+//! fault-injection campaigns in the surrounding pipeline go through the
+//! faultsim `CampaignEngine`, which is where the scheduler, journal, and
+//! thread-count knobs attach.
 
 use crate::cache::input_fingerprint;
 use crate::input::{crossover, mutate, InputModel, ParamValue};

@@ -1,4 +1,14 @@
-//! Injection campaigns: golden runs, whole-program FI, per-instruction FI.
+//! Campaign configuration, golden runs, result types and the two
+//! convenience entry points.
+//!
+//! The orchestration core lives in [`crate::engine`]: every campaign —
+//! plain, deadline-scheduled, journaled, traced, at any thread count —
+//! executes through one [`CampaignEngine`] plan/execute/reduce pipeline.
+//! This module keeps what surrounds it: [`CampaignConfig`] (the knobs),
+//! [`golden_run`] (the fault-free reference execution and its checkpoint
+//! store), the result types ([`ProgramCampaign`], [`PerInstSdc`]) and the
+//! two thin wrappers ([`program_campaign`], [`per_instruction_campaign`])
+//! for callers that want a default-policy campaign in one call.
 //!
 //! ## Checkpointed injection
 //!
@@ -12,75 +22,20 @@
 //! the same `OutcomeCounts` for the same seed with checkpointing on, off,
 //! or at any interval.
 
-use crate::outcome::{classify, Outcome, OutcomeCounts};
-use crate::parallel::{default_threads, par_map_init};
-use crate::stats::{binomial_ci, BinomialCi};
+use crate::engine::CampaignEngine;
+use crate::outcome::{Outcome, OutcomeCounts};
+use crate::parallel::default_threads;
 use minpsid_interp::{
-    auto_interval, CheckpointConfig, CheckpointStore, ExecConfig, ExecResult, FaultSpec,
-    FaultTarget, Interp, MachineState, Output, Profile, ProgInput, Termination,
+    auto_interval, CheckpointConfig, CheckpointStore, ExecConfig, Interp, Output, Profile,
+    ProgInput, Termination,
 };
-use minpsid_ir::{GlobalInstId, Module};
-use minpsid_journal::{interrupt, CampaignJournal, Interrupted};
-use minpsid_sched::{
-    splitmix64, AttemptResult, FailureKind, SchedConfig, Scheduler, SiteStatus, TaskResult,
-};
+use minpsid_ir::Module;
+use minpsid_sched::{binomial_ci, BinomialCi, SchedConfig, SiteStatus};
 use minpsid_trace as trace;
-use minpsid_trace::{CampaignCounters, CampaignKind, Histogram, OutcomeKind};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// How often the sampler thread publishes `campaign_progress` events.
-const PROGRESS_INTERVAL: Duration = Duration::from_millis(50);
-
-fn outcome_kind(o: Outcome) -> OutcomeKind {
-    match o {
-        Outcome::Benign => OutcomeKind::Benign,
-        Outcome::Sdc => OutcomeKind::Sdc,
-        Outcome::Crash => OutcomeKind::Crash,
-        Outcome::Hang => OutcomeKind::Hang,
-        Outcome::Detected => OutcomeKind::Detected,
-        Outcome::EngineError => OutcomeKind::EngineError,
-    }
-}
-
-fn outcome_tally(c: &OutcomeCounts) -> trace::OutcomeTally {
-    trace::OutcomeTally {
-        benign: c.benign,
-        sdc: c.sdc,
-        crash: c.crash,
-        hang: c.hang,
-        detected: c.detected,
-        engine_error: c.engine_error,
-        // the retry/quarantine side-tallies are campaign-level, not
-        // per-function
-        transient_recovered: 0,
-        quarantined: 0,
-    }
-}
-
-/// Aggregate a per-instruction campaign's outcome counts by enclosing
-/// function and emit one `function_outcomes` event per touched function.
-fn emit_function_outcomes(
-    module: &Module,
-    targets: &[(usize, GlobalInstId, u64)],
-    counts: &[OutcomeCounts],
-) {
-    let mut per_func = vec![OutcomeCounts::default(); module.funcs.len()];
-    for &(dense, gid, _) in targets {
-        per_func[gid.func.index()].merge(&counts[dense]);
-    }
-    for (fi, agg) in per_func.iter().enumerate() {
-        if agg.total() > 0 {
-            trace::emit(trace::Event::FunctionOutcomes {
-                func: module.funcs[fi].name.clone(),
-                counts: outcome_tally(agg),
-            });
-        }
-    }
-}
+pub(crate) const PROGRESS_INTERVAL: Duration = Duration::from_millis(50);
 
 /// When and how densely the golden run snapshots its state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -129,8 +84,8 @@ pub struct CampaignConfig {
     /// Retry / quarantine / early-stop knobs. Part of the config (and so
     /// of the journal fingerprint): two runs with different retry budgets
     /// are different experiments. The wall-clock deadline is *not* here —
-    /// it lives on the [`Scheduler`] so a resumed run may get a fresh
-    /// budget.
+    /// it lives on the [`Scheduler`](minpsid_sched::Scheduler) so a
+    /// resumed run may get a fresh budget.
     pub sched: SchedConfig,
 }
 
@@ -231,163 +186,6 @@ pub fn golden_run(
     })
 }
 
-/// Run one injection: resume from the nearest safe snapshot when one
-/// exists (faults early in the trace may precede the first snapshot),
-/// otherwise replay from scratch. `st` is per-worker scratch whose buffers
-/// are reused across injections.
-fn inject(
-    interp: &Interp<'_>,
-    st: &mut MachineState,
-    golden: &GoldenRun,
-    input: &ProgInput,
-    fault: FaultSpec,
-) -> ExecResult {
-    let snap = match fault.target {
-        FaultTarget::NthDynamic(n) => golden.checkpoints.nearest_for_dynamic(n),
-        FaultTarget::NthOfInst(gid, n) => golden
-            .checkpoints
-            .nearest_for_inst(interp.dense_index(gid), n),
-    };
-    match snap {
-        Some(s) => interp.resume_with(st, s, input, fault),
-        None => interp.run_with_fault(input, fault),
-    }
-}
-
-/// Salt separating the timeout knob's failure-count stream from the panic
-/// knob's, so the two chaos classes fail for independent spans.
-const CHAOS_TIMEOUT_SALT: u64 = 0xA24B_AED4_963E_E407;
-
-/// Deterministic chaos plan for one injection key: `(kind, n)` means the
-/// first `n` attempts at this injection fail with `kind`. `n` spans 1–4,
-/// so with the default retry budget of 2 some chaos-hit injections
-/// recover and some exhaust — both paths are exercised by one knob.
-/// Deterministic in the key alone, so interrupted-and-resumed runs see
-/// the same engine failures as uninterrupted ones.
-fn chaos_plan(cfg: &CampaignConfig, key: u64) -> Option<(FailureKind, u32)> {
-    if let Some(n) = cfg.chaos_panic_one_in.filter(|&n| n > 0) {
-        if key.is_multiple_of(n) {
-            return Some((FailureKind::Panic, 1 + (splitmix64(key) & 3) as u32));
-        }
-    }
-    if let Some(m) = cfg.chaos_timeout_one_in.filter(|&m| m > 0) {
-        if key.wrapping_add(m / 2).is_multiple_of(m) {
-            let fails = 1 + (splitmix64(key ^ CHAOS_TIMEOUT_SALT) & 3) as u32;
-            return Some((FailureKind::Timeout, fails));
-        }
-    }
-    None
-}
-
-/// Flat injection index of the per-instruction campaign's (dense, k)
-/// pair, the chaos key shared by journaled and plain variants.
-fn per_inst_chaos_key(cfg: &CampaignConfig, dense: usize, k: usize) -> u64 {
-    (dense as u64) * (cfg.per_inst_injections as u64) + k as u64
-}
-
-/// One attempt at [`inject`], hardened for the retry loop: a panic
-/// anywhere inside the replay (an interpreter bug, or the chaos knob)
-/// surfaces as [`FailureKind::Panic`] instead of poisoning the worker
-/// pool, and a wall-clock blowout (real, or the timeout chaos knob)
-/// surfaces as [`FailureKind::Timeout`]. Both are retryable — they say
-/// something about the harness or the host, not the program under test.
-/// The panic still prints to stderr: a degraded run is visible, not
-/// silent.
-fn inject_attempt(
-    interp: &Interp<'_>,
-    st: &mut MachineState,
-    golden: &GoldenRun,
-    input: &ProgInput,
-    fault: FaultSpec,
-    chaos: Option<(FailureKind, u32)>,
-    attempt: u32,
-) -> AttemptResult<(Outcome, u64, u64)> {
-    let chaos_hit = matches!(chaos, Some((_, fails)) if attempt < fails);
-    if chaos_hit && matches!(chaos, Some((FailureKind::Timeout, _))) {
-        // a synthetic wall-clock kill: nothing executed, nothing to classify
-        return AttemptResult::Failed(FailureKind::Timeout);
-    }
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        if chaos_hit {
-            panic!("chaos: injected worker panic (chaos_panic_one_in)");
-        }
-        inject(interp, st, golden, input, fault)
-    }));
-    match result {
-        Ok(r) => {
-            debug_assert!(r.fault_applied, "fault target within population");
-            let skipped = r.resumed_at.unwrap_or(0);
-            let executed = r.steps.saturating_sub(skipped);
-            match classify(&golden.output, &r) {
-                // a real wall-clock blowout reflects host pressure, not
-                // program behaviour — hand it to the retry loop
-                Outcome::EngineError => AttemptResult::Failed(FailureKind::Timeout),
-                o => AttemptResult::Ok((o, executed, skipped)),
-            }
-        }
-        Err(_) => {
-            // the panic may have left the per-worker scratch mid-run;
-            // drop it so the next attempt starts clean
-            *st = MachineState::default();
-            AttemptResult::Failed(FailureKind::Panic)
-        }
-    }
-}
-
-/// Drive one injection through the scheduler's retry loop. Exhaustion
-/// collapses to a final [`Outcome::EngineError`] with zero step counts;
-/// `recovered` is true when the outcome arrived only after ≥1 retry.
-struct ResolvedInjection {
-    outcome: Outcome,
-    executed: u64,
-    skipped: u64,
-    recovered: bool,
-    exhausted: Option<FailureKind>,
-}
-
-#[allow(clippy::too_many_arguments)]
-fn resolve_injection(
-    sched: &Scheduler,
-    kind: CampaignKind,
-    site: u64,
-    interp: &Interp<'_>,
-    st: &mut MachineState,
-    golden: &GoldenRun,
-    input: &ProgInput,
-    fault: FaultSpec,
-    chaos: Option<(FailureKind, u32)>,
-) -> ResolvedInjection {
-    match sched.run_task(kind, site, |attempt| {
-        inject_attempt(interp, st, golden, input, fault, chaos, attempt)
-    }) {
-        TaskResult::Done {
-            value: (outcome, executed, skipped),
-            retries,
-        } => ResolvedInjection {
-            outcome,
-            executed,
-            skipped,
-            recovered: retries > 0,
-            exhausted: None,
-        },
-        TaskResult::Exhausted { reason, .. } => ResolvedInjection {
-            outcome: Outcome::EngineError,
-            executed: 0,
-            skipped: 0,
-            recovered: false,
-            exhausted: Some(reason),
-        },
-    }
-}
-
-fn faulty_exec_config(cfg: &CampaignConfig, golden_steps: u64) -> ExecConfig {
-    ExecConfig {
-        profile: false,
-        step_limit: golden_steps.saturating_mul(cfg.hang_multiplier).max(10_000),
-        ..cfg.exec.clone()
-    }
-}
-
 /// Result of a whole-program campaign.
 #[derive(Debug, Clone)]
 pub struct ProgramCampaign {
@@ -408,7 +206,7 @@ impl ProgramCampaign {
         self.counts.sdc_prob()
     }
 
-    fn empty(cfg: &CampaignConfig) -> ProgramCampaign {
+    pub(crate) fn empty(cfg: &CampaignConfig) -> ProgramCampaign {
         ProgramCampaign {
             counts: OutcomeCounts::default(),
             sdc_ci: binomial_ci(0, 0, cfg.sched.ci_z),
@@ -417,223 +215,6 @@ impl ProgramCampaign {
             recovered: 0,
         }
     }
-}
-
-/// Inject `cfg.injections` single-bit flips, each into a uniformly random
-/// dynamic instruction execution and uniformly random bit, and classify
-/// every outcome. Uses an unbounded scheduler built from `cfg.sched`
-/// (retries, no deadline); see [`program_campaign_sched`] for the
-/// deadline-aware form.
-pub fn program_campaign(
-    module: &Module,
-    input: &ProgInput,
-    golden: &GoldenRun,
-    cfg: &CampaignConfig,
-) -> ProgramCampaign {
-    program_campaign_sched(
-        module,
-        input,
-        golden,
-        cfg,
-        &Scheduler::unbounded(cfg.sched.clone()),
-    )
-}
-
-/// [`program_campaign`] under an explicit [`Scheduler`]: engine failures
-/// are retried with backoff, and once the scheduler's deadline expires
-/// the remaining injections are truncated (counted, not lost — see
-/// `ProgramCampaign::truncated`).
-pub fn program_campaign_sched(
-    module: &Module,
-    input: &ProgInput,
-    golden: &GoldenRun,
-    cfg: &CampaignConfig,
-    sched: &Scheduler,
-) -> ProgramCampaign {
-    let population = golden.profile.injectable_execs;
-    let mut counts = OutcomeCounts::default();
-    if population == 0 || cfg.injections == 0 {
-        return ProgramCampaign::empty(cfg);
-    }
-    sched.add_planned(cfg.injections as u64);
-    let interp = Interp::new(module, faulty_exec_config(cfg, golden.steps));
-    // capture once so workers pay no atomic load when tracing is off
-    let tracing = trace::active();
-    let counters = CampaignCounters::new(CampaignKind::Program, cfg.injections as u64);
-    let suffix_steps = Histogram::new();
-    let recovered = AtomicU64::new(0);
-    let outcomes = trace::sample_campaign(&counters, PROGRESS_INTERVAL, || {
-        par_map_init(
-            cfg.injections,
-            cfg.threads,
-            MachineState::default,
-            |st, i| {
-                if sched.deadline_exceeded() {
-                    return None;
-                }
-                // per-injection RNG: deterministic regardless of thread schedule
-                let mut rng = StdRng::seed_from_u64(
-                    cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                );
-                let fault = FaultSpec {
-                    target: FaultTarget::NthDynamic(rng.random_range(0..population)),
-                    bit: rng.random_range(0..64),
-                };
-                let r = resolve_injection(
-                    sched,
-                    CampaignKind::Program,
-                    i as u64,
-                    &interp,
-                    st,
-                    golden,
-                    input,
-                    fault,
-                    chaos_plan(cfg, i as u64),
-                );
-                sched.note_completed(1);
-                if r.recovered {
-                    recovered.fetch_add(1, Ordering::Relaxed);
-                }
-                if tracing {
-                    counters.record(outcome_kind(r.outcome), r.executed, r.skipped);
-                    if r.recovered {
-                        counters.record_recovered();
-                    }
-                    suffix_steps.record(r.executed);
-                }
-                Some(r.outcome)
-            },
-        )
-    });
-    if tracing {
-        suffix_steps.emit("fi.program.suffix_steps");
-    }
-    let mut truncated = 0u64;
-    for o in outcomes {
-        match o {
-            Some(o) => counts.record(o),
-            None => truncated += 1,
-        }
-    }
-    sched.note_truncated(CampaignKind::Program, truncated);
-    // engine errors carry no information about the program, so the CI is
-    // over the injections that produced a real outcome
-    let sdc_ci = binomial_ci(counts.sdc, counts.valid_total(), cfg.sched.ci_z);
-    ProgramCampaign {
-        counts,
-        sdc_ci,
-        planned: cfg.injections as u64,
-        truncated,
-        recovered: recovered.into_inner(),
-    }
-}
-
-/// [`program_campaign`] with crash-safe journaling: outcomes already in
-/// `journal` (keyed by `(input_fp, injection index)`) are served without
-/// re-execution, fresh outcomes are appended as they complete, and a
-/// pending [`interrupt`] makes the campaign drain quickly and return
-/// [`Interrupted`] with all finished work durable.
-///
-/// Bit-identical to [`program_campaign`]: every injection's fault is
-/// drawn from an RNG seeded only by `(cfg.seed, index)`, so serving some
-/// outcomes from the journal cannot perturb the rest.
-pub fn program_campaign_journaled(
-    module: &Module,
-    input: &ProgInput,
-    golden: &GoldenRun,
-    cfg: &CampaignConfig,
-    sched: &Scheduler,
-    journal: &CampaignJournal,
-    input_fp: u64,
-) -> Result<ProgramCampaign, Interrupted> {
-    let population = golden.profile.injectable_execs;
-    let mut counts = OutcomeCounts::default();
-    if population == 0 || cfg.injections == 0 {
-        return Ok(ProgramCampaign::empty(cfg));
-    }
-    sched.add_planned(cfg.injections as u64);
-    let interp = Interp::new(module, faulty_exec_config(cfg, golden.steps));
-    let tracing = trace::active();
-    let counters = CampaignCounters::new(CampaignKind::Program, cfg.injections as u64);
-    let recovered = AtomicU64::new(0);
-    // worker result: None = interrupted, Some(None) = deadline-truncated,
-    // Some(Some(o)) = a real outcome
-    let outcomes = trace::sample_campaign(&counters, PROGRESS_INTERVAL, || {
-        par_map_init(
-            cfg.injections,
-            cfg.threads,
-            MachineState::default,
-            |st, i| {
-                if interrupt::requested() {
-                    return None;
-                }
-                if let Some(o) = journal
-                    .program_outcome(input_fp, i as u64)
-                    .and_then(Outcome::from_u8)
-                {
-                    sched.note_completed(1);
-                    if tracing {
-                        counters.record(outcome_kind(o), 0, 0);
-                    }
-                    return Some(Some(o));
-                }
-                if sched.deadline_exceeded() {
-                    return Some(None);
-                }
-                let mut rng = StdRng::seed_from_u64(
-                    cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                );
-                let fault = FaultSpec {
-                    target: FaultTarget::NthDynamic(rng.random_range(0..population)),
-                    bit: rng.random_range(0..64),
-                };
-                let r = resolve_injection(
-                    sched,
-                    CampaignKind::Program,
-                    i as u64,
-                    &interp,
-                    st,
-                    golden,
-                    input,
-                    fault,
-                    chaos_plan(cfg, i as u64),
-                );
-                journal.record_program(input_fp, i as u64, r.outcome.to_u8());
-                sched.note_completed(1);
-                if r.recovered {
-                    recovered.fetch_add(1, Ordering::Relaxed);
-                }
-                if tracing {
-                    counters.record(outcome_kind(r.outcome), r.executed, r.skipped);
-                    if r.recovered {
-                        counters.record_recovered();
-                    }
-                }
-                Some(Some(r.outcome))
-            },
-        )
-    });
-    if outcomes.iter().any(Option::is_none) || interrupt::requested() {
-        let _ = journal.sync();
-        return Err(Interrupted);
-    }
-    let mut truncated = 0u64;
-    for o in outcomes.into_iter().flatten() {
-        match o {
-            Some(o) => counts.record(o),
-            None => truncated += 1,
-        }
-    }
-    sched.note_truncated(CampaignKind::Program, truncated);
-    let _ = journal.sync();
-    let sdc_ci = binomial_ci(counts.sdc, counts.valid_total(), cfg.sched.ci_z);
-    Ok(ProgramCampaign {
-        counts,
-        sdc_ci,
-        planned: cfg.injections as u64,
-        truncated,
-        recovered: recovered.into_inner(),
-    })
 }
 
 /// Per-static-instruction SDC profile (dense in module numbering order).
@@ -663,274 +244,35 @@ impl PerInstSdc {
     }
 }
 
+/// Inject `cfg.injections` single-bit flips, each into a uniformly random
+/// dynamic instruction execution and uniformly random bit, and classify
+/// every outcome. Compatibility wrapper over [`CampaignEngine`] with no
+/// policy layers attached (retries per `cfg.sched`, no deadline, no
+/// journal); attach layers on the engine for anything more.
+pub fn program_campaign(
+    module: &Module,
+    input: &ProgInput,
+    golden: &GoldenRun,
+    cfg: &CampaignConfig,
+) -> ProgramCampaign {
+    CampaignEngine::new(module, input, golden, cfg)
+        .run_program()
+        .unwrap_or_else(|_| unreachable!("interrupts only observed under a journal"))
+}
+
 /// Measure the SDC probability of every injectable static instruction by
-/// injecting `cfg.per_inst_injections` faults into uniformly random dynamic
-/// executions of it. Uses an unbounded scheduler built from `cfg.sched`;
-/// see [`per_instruction_campaign_sched`] for the deadline-aware form.
+/// injecting `cfg.per_inst_injections` faults into uniformly random
+/// dynamic executions of it. Compatibility wrapper over
+/// [`CampaignEngine`] with no policy layers attached.
 pub fn per_instruction_campaign(
     module: &Module,
     input: &ProgInput,
     golden: &GoldenRun,
     cfg: &CampaignConfig,
 ) -> PerInstSdc {
-    per_instruction_campaign_sched(
-        module,
-        input,
-        golden,
-        cfg,
-        &Scheduler::unbounded(cfg.sched.clone()),
-    )
-}
-
-/// [`per_instruction_campaign`] under an explicit [`Scheduler`]: engine
-/// failures are retried with backoff; a site that keeps exhausting its
-/// retry budget is quarantined (excluded from rates); a site whose Wilson
-/// interval converges below `ci_half_width` stops early; and sites still
-/// pending when the deadline expires are truncated. High-dynamic-count
-/// instructions run first, so the deadline truncates the low-benefit tail.
-pub fn per_instruction_campaign_sched(
-    module: &Module,
-    input: &ProgInput,
-    golden: &GoldenRun,
-    cfg: &CampaignConfig,
-    sched: &Scheduler,
-) -> PerInstSdc {
-    per_instruction_campaign_inner(module, input, golden, cfg, sched, None)
+    CampaignEngine::new(module, input, golden, cfg)
+        .run_per_instruction()
         .unwrap_or_else(|_| unreachable!("interrupts only observed under a journal"))
-}
-
-/// [`per_instruction_campaign_sched`] with crash-safe journaling:
-/// injections already journaled under `(input_fp, dense, k)` are served
-/// without re-execution, fresh ones are appended, journaled quarantines
-/// skip their site outright, and a pending [`interrupt`] returns
-/// [`Interrupted`] with all finished injections durable. Bit-identical to
-/// the plain variant for the same reason as [`program_campaign_journaled`].
-pub fn per_instruction_campaign_journaled(
-    module: &Module,
-    input: &ProgInput,
-    golden: &GoldenRun,
-    cfg: &CampaignConfig,
-    sched: &Scheduler,
-    journal: &CampaignJournal,
-    input_fp: u64,
-) -> Result<PerInstSdc, Interrupted> {
-    per_instruction_campaign_inner(module, input, golden, cfg, sched, Some((journal, input_fp)))
-}
-
-fn per_instruction_campaign_inner(
-    module: &Module,
-    input: &ProgInput,
-    golden: &GoldenRun,
-    cfg: &CampaignConfig,
-    sched: &Scheduler,
-    journal: Option<(&CampaignJournal, u64)>,
-) -> Result<PerInstSdc, Interrupted> {
-    let numbering = module.numbering();
-    let n = numbering.len();
-    let interp = Interp::new(module, faulty_exec_config(cfg, golden.steps));
-
-    // collect the injectable, executed instructions, highest dynamic
-    // count first: under a deadline the most-executed (highest knapsack
-    // benefit) instructions are measured before the budget runs out.
-    // Harmless to determinism — every result lands in a dense-indexed
-    // slot and every RNG is keyed by (seed, dense, k).
-    let mut targets: Vec<(usize, GlobalInstId, u64)> = module
-        .iter_insts()
-        .filter(|(_, inst)| inst.injectable())
-        .map(|(gid, _)| {
-            let dense = numbering.index(gid);
-            (dense, gid, golden.profile.inst_counts[dense])
-        })
-        .filter(|&(_, _, count)| count > 0)
-        .collect();
-    targets.sort_unstable_by_key(|&(dense, _, count)| (std::cmp::Reverse(count), dense));
-
-    let planned = cfg.per_inst_injections;
-    sched.add_planned((targets.len() * planned) as u64);
-    let tracing = trace::active();
-    let counters = CampaignCounters::new(CampaignKind::PerInst, (targets.len() * planned) as u64);
-    let per_target = trace::sample_campaign(&counters, PROGRESS_INTERVAL, || {
-        par_map_init(
-            targets.len(),
-            cfg.threads,
-            MachineState::default,
-            |st, t| {
-                let (dense, gid, count) = targets[t];
-                let site = dense as u64;
-                let mut counts = OutcomeCounts::default();
-                // a site quarantined by a previous (crashed or resumed)
-                // run is skipped outright: the journal is the durable
-                // quarantine list
-                if let Some((j, input_fp)) = journal {
-                    if let Some(b) = j.quarantined_site(input_fp, site) {
-                        let reason = FailureKind::from_u8(b).unwrap_or(FailureKind::Panic);
-                        sched.note_resumed_quarantine();
-                        sched.note_quarantine_skipped(planned as u64);
-                        if tracing {
-                            counters.record_quarantined(planned as u64);
-                        }
-                        return (dense, counts, SiteStatus::Quarantined(reason), true);
-                    }
-                }
-                let mut status = SiteStatus::Full;
-                let mut consecutive = 0u32;
-                for k in 0..planned {
-                    if journal.is_some() && interrupt::requested() {
-                        return (dense, counts, status, false);
-                    }
-                    if sched.deadline_exceeded() {
-                        status = if k == 0 {
-                            SiteStatus::Unsampled
-                        } else {
-                            SiteStatus::Truncated
-                        };
-                        sched.note_truncated(CampaignKind::PerInst, (planned - k) as u64);
-                        break;
-                    }
-                    if let Some(o) = journal
-                        .and_then(|(j, fp)| j.per_inst_outcome(fp, site, k as u64))
-                        .and_then(Outcome::from_u8)
-                    {
-                        counts.record(o);
-                        sched.note_completed(1);
-                        consecutive = if o == Outcome::EngineError {
-                            consecutive + 1
-                        } else {
-                            0
-                        };
-                        if tracing {
-                            counters.record(outcome_kind(o), 0, 0);
-                        }
-                        if let Some(hw) = sched.early_stop(counts.sdc, counts.valid_total()) {
-                            if k + 1 < planned {
-                                let skip = (planned - k - 1) as u64;
-                                sched.note_early_stop(
-                                    CampaignKind::PerInst,
-                                    site,
-                                    counts.total(),
-                                    hw,
-                                    skip,
-                                );
-                                status = SiteStatus::EarlyStopped;
-                                break;
-                            }
-                        }
-                        continue;
-                    }
-                    let mut rng = StdRng::seed_from_u64(
-                        cfg.seed
-                            ^ (dense as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
-                            ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    );
-                    let fault = FaultSpec {
-                        target: FaultTarget::NthOfInst(gid, rng.random_range(0..count)),
-                        bit: rng.random_range(0..64),
-                    };
-                    let chaos_key = per_inst_chaos_key(cfg, dense, k);
-                    let r = resolve_injection(
-                        sched,
-                        CampaignKind::PerInst,
-                        chaos_key,
-                        &interp,
-                        st,
-                        golden,
-                        input,
-                        fault,
-                        chaos_plan(cfg, chaos_key),
-                    );
-                    if let Some(reason) = r.exhausted {
-                        consecutive += 1;
-                        if consecutive >= cfg.sched.quarantine_after.max(1)
-                            && sched.try_quarantine(
-                                CampaignKind::PerInst,
-                                site,
-                                reason,
-                                consecutive,
-                            )
-                        {
-                            // the triggering injection and everything
-                            // still pending at this site are charged to
-                            // quarantine, not recorded as outcomes
-                            if let Some((j, input_fp)) = journal {
-                                j.record_quarantine(input_fp, site, reason.to_u8());
-                            }
-                            let skip = (planned - k) as u64;
-                            sched.note_quarantine_skipped(skip);
-                            if tracing {
-                                counters.record_quarantined(skip);
-                            }
-                            status = SiteStatus::Quarantined(reason);
-                            break;
-                        }
-                        // cap reached or below the threshold: the
-                        // exhaustion degrades to a recorded EngineError
-                    } else {
-                        consecutive = 0;
-                    }
-                    if let Some((j, input_fp)) = journal {
-                        j.record_per_inst(input_fp, site, k as u64, r.outcome.to_u8());
-                    }
-                    counts.record(r.outcome);
-                    sched.note_completed(1);
-                    if tracing {
-                        counters.record(outcome_kind(r.outcome), r.executed, r.skipped);
-                        if r.recovered {
-                            counters.record_recovered();
-                        }
-                    }
-                    if let Some(hw) = sched.early_stop(counts.sdc, counts.valid_total()) {
-                        if k + 1 < planned {
-                            let skip = (planned - k - 1) as u64;
-                            sched.note_early_stop(
-                                CampaignKind::PerInst,
-                                site,
-                                counts.total(),
-                                hw,
-                                skip,
-                            );
-                            status = SiteStatus::EarlyStopped;
-                            break;
-                        }
-                    }
-                }
-                (dense, counts, status, true)
-            },
-        )
-    });
-
-    if journal.is_some() {
-        let complete = per_target.iter().all(|&(_, _, _, done)| done);
-        if !complete || interrupt::requested() {
-            if let Some((j, _)) = journal {
-                let _ = j.sync();
-            }
-            return Err(Interrupted);
-        }
-    }
-    let mut sdc_prob = vec![0.0; n];
-    let mut counts = vec![OutcomeCounts::default(); n];
-    let mut ci = vec![binomial_ci(0, 0, cfg.sched.ci_z); n];
-    let mut status = vec![SiteStatus::Unsampled; n];
-    for (dense, c, st_, _) in per_target {
-        if st_.trusted() {
-            sdc_prob[dense] = c.sdc_prob();
-            ci[dense] = sched.site_ci(c.sdc, c.valid_total());
-        }
-        counts[dense] = c;
-        status[dense] = st_;
-    }
-    if tracing {
-        emit_function_outcomes(module, &targets, &counts);
-    }
-    if let Some((j, _)) = journal {
-        let _ = j.sync();
-    }
-    Ok(PerInstSdc {
-        sdc_prob,
-        counts,
-        ci,
-        status,
-    })
 }
 
 /// Count one specific outcome in a program campaign (test/report helper).
@@ -954,6 +296,8 @@ pub fn outcome_fraction(counts: &OutcomeCounts, outcome: Outcome) -> f64 {
 mod tests {
     use super::*;
     use minpsid_interp::Scalar;
+    use minpsid_journal::{interrupt, CampaignJournal, Interrupted};
+    use minpsid_sched::Scheduler;
 
     /// A small kernel with input-dependent branching: faults on the
     /// comparison flip the branch only when `x` is near the threshold.
@@ -1144,22 +488,32 @@ mod tests {
         let dir = journal_dir("bitident");
         let j = CampaignJournal::open(&dir, 1, 2).unwrap();
         let s = Scheduler::unbounded(cfg.sched.clone());
-        // first pass: everything fresh (appended)
-        let a = program_campaign_journaled(&m, &input(50), &g, &cfg, &s, &j, 9).unwrap();
-        let a_pi = per_instruction_campaign_journaled(&m, &input(50), &g, &cfg, &s, &j, 9).unwrap();
-        assert_eq!(a.counts, plain.counts);
-        assert_eq!(a_pi.counts, plain_pi.counts);
-        let (_, appended) = j.usage();
-        assert!(appended > 0);
+        let inp = input(50);
+        // first pass: everything fresh (appended); scoped so the engine's
+        // borrow of the journal ends before the journal is reopened
+        {
+            let eng = CampaignEngine::new(&m, &inp, &g, &cfg)
+                .with_scheduler(&s)
+                .with_journal(&j, 9);
+            let a = eng.run_program().unwrap();
+            let a_pi = eng.run_per_instruction().unwrap();
+            assert_eq!(a.counts, plain.counts);
+            assert_eq!(a_pi.counts, plain_pi.counts);
+            let (_, appended) = j.usage();
+            assert!(appended > 0);
+            j.sync().unwrap();
+        }
 
         // second pass over a reopened journal: everything served, still
         // bit-identical
-        j.sync().unwrap();
         drop(j);
         let j = CampaignJournal::open(&dir, 1, 2).unwrap();
         let s = Scheduler::unbounded(cfg.sched.clone());
-        let b = program_campaign_journaled(&m, &input(50), &g, &cfg, &s, &j, 9).unwrap();
-        let b_pi = per_instruction_campaign_journaled(&m, &input(50), &g, &cfg, &s, &j, 9).unwrap();
+        let eng = CampaignEngine::new(&m, &inp, &g, &cfg)
+            .with_scheduler(&s)
+            .with_journal(&j, 9);
+        let b = eng.run_program().unwrap();
+        let b_pi = eng.run_per_instruction().unwrap();
         assert_eq!(b.counts, plain.counts);
         assert_eq!(b_pi.counts, plain_pi.counts);
         assert_eq!(b_pi.sdc_prob, plain_pi.sdc_prob);
@@ -1206,18 +560,21 @@ mod tests {
         let dir = journal_dir("interrupt");
         {
             let j = CampaignJournal::open(&dir, 1, 2).unwrap();
-            let s = Scheduler::unbounded(cfg.sched.clone());
             // request the interrupt up front: the campaign must drain
             // immediately and report Interrupted without recording anything
             interrupt::request();
-            let r = program_campaign_journaled(&m, &input(50), &g, &cfg, &s, &j, 5);
+            let r = CampaignEngine::new(&m, &input(50), &g, &cfg)
+                .with_journal(&j, 5)
+                .run_program();
             interrupt::clear();
             assert_eq!(r.unwrap_err(), Interrupted);
         }
         // resume: completes and matches the uninterrupted counts
         let j = CampaignJournal::open(&dir, 1, 2).unwrap();
-        let s = Scheduler::unbounded(cfg.sched.clone());
-        let resumed = program_campaign_journaled(&m, &input(50), &g, &cfg, &s, &j, 5).unwrap();
+        let resumed = CampaignEngine::new(&m, &input(50), &g, &cfg)
+            .with_journal(&j, 5)
+            .run_program()
+            .unwrap();
         assert_eq!(resumed.counts, plain.counts);
     }
 
@@ -1239,7 +596,10 @@ mod tests {
         // so with the default budget (3 attempts) every hit either
         // recovers or exhausts — and nothing is lost either way
         let s = Scheduler::unbounded(cfg.sched.clone());
-        let c = program_campaign_sched(&m, &input(50), &g, &cfg, &s);
+        let c = CampaignEngine::new(&m, &input(50), &g, &cfg)
+            .with_scheduler(&s)
+            .run_program()
+            .unwrap();
         let snap = s.snapshot();
         assert_eq!(c.counts.total(), cfg.injections as u64);
         assert_eq!(snap.recovered + snap.exhausted, 3, "{snap:?}");
@@ -1249,7 +609,10 @@ mod tests {
 
         // deterministic: a fresh scheduler reproduces counts and tallies
         let s2 = Scheduler::unbounded(cfg.sched.clone());
-        let c2 = program_campaign_sched(&m, &input(50), &g, &cfg, &s2);
+        let c2 = CampaignEngine::new(&m, &input(50), &g, &cfg)
+            .with_scheduler(&s2)
+            .run_program()
+            .unwrap();
         assert_eq!(c.counts, c2.counts);
         assert_eq!(snap, s2.snapshot());
     }
@@ -1282,7 +645,10 @@ mod tests {
         fast_sched(&mut cfg);
         let g = golden_run(&m, &input(20), &cfg).unwrap();
         let s = Scheduler::unbounded(cfg.sched.clone());
-        let p = per_instruction_campaign_sched(&m, &input(20), &g, &cfg, &s);
+        let p = CampaignEngine::new(&m, &input(20), &g, &cfg)
+            .with_scheduler(&s)
+            .run_per_instruction()
+            .unwrap();
         let snap = s.snapshot();
 
         // quarantine_after=2: each site records one EngineError, then the
@@ -1333,7 +699,10 @@ mod tests {
         fast_sched(&mut cfg);
         let g = golden_run(&m, &input(30), &cfg).unwrap();
         let s = Scheduler::unbounded(cfg.sched.clone());
-        let p = per_instruction_campaign_sched(&m, &input(30), &g, &cfg, &s);
+        let p = CampaignEngine::new(&m, &input(30), &g, &cfg)
+            .with_scheduler(&s)
+            .run_per_instruction()
+            .unwrap();
         let snap = s.snapshot();
         assert!(snap.early_stopped_sites > 0, "{snap:?}");
         assert!(snap.early_stop_skipped > 0);
@@ -1352,7 +721,10 @@ mod tests {
         }
         // deterministic
         let s2 = Scheduler::unbounded(cfg.sched.clone());
-        let p2 = per_instruction_campaign_sched(&m, &input(30), &g, &cfg, &s2);
+        let p2 = CampaignEngine::new(&m, &input(30), &g, &cfg)
+            .with_scheduler(&s2)
+            .run_per_instruction()
+            .unwrap();
         assert_eq!(p.sdc_prob, p2.sdc_prob);
         assert_eq!(snap, s2.snapshot());
     }
@@ -1366,7 +738,10 @@ mod tests {
         let g = golden_run(&m, &input(30), &cfg).unwrap();
 
         let s = Scheduler::new(cfg.sched.clone(), Deadline::from_secs(Some(0.0)));
-        let c = program_campaign_sched(&m, &input(30), &g, &cfg, &s);
+        let c = CampaignEngine::new(&m, &input(30), &g, &cfg)
+            .with_scheduler(&s)
+            .run_program()
+            .unwrap();
         assert_eq!(c.counts.total(), 0);
         assert_eq!(c.truncated, cfg.injections as u64);
         let snap = s.snapshot();
@@ -1374,7 +749,10 @@ mod tests {
         assert_eq!(snap.completeness(), 0.0);
 
         let s = Scheduler::new(cfg.sched.clone(), Deadline::from_secs(Some(0.0)));
-        let p = per_instruction_campaign_sched(&m, &input(30), &g, &cfg, &s);
+        let p = CampaignEngine::new(&m, &input(30), &g, &cfg)
+            .with_scheduler(&s)
+            .run_per_instruction()
+            .unwrap();
         assert!(p.counts.iter().all(|c| c.total() == 0));
         assert!(p
             .status
@@ -1402,8 +780,11 @@ mod tests {
         {
             let j = CampaignJournal::open(&dir, 1, 2).unwrap();
             let s = Scheduler::unbounded(cfg.sched.clone());
-            let p =
-                per_instruction_campaign_journaled(&m, &input(20), &g, &cfg, &s, &j, 9).unwrap();
+            let p = CampaignEngine::new(&m, &input(20), &g, &cfg)
+                .with_scheduler(&s)
+                .with_journal(&j, 9)
+                .run_per_instruction()
+                .unwrap();
             sites = p
                 .status
                 .iter()
@@ -1420,7 +801,11 @@ mod tests {
         calm.chaos_panic_one_in = None;
         let j = CampaignJournal::open(&dir, 1, 2).unwrap();
         let s = Scheduler::unbounded(calm.sched.clone());
-        let p = per_instruction_campaign_journaled(&m, &input(20), &g, &calm, &s, &j, 9).unwrap();
+        let p = CampaignEngine::new(&m, &input(20), &g, &calm)
+            .with_scheduler(&s)
+            .with_journal(&j, 9)
+            .run_per_instruction()
+            .unwrap();
         let snap = s.snapshot();
         assert_eq!(snap.quarantined_sites, sites);
         assert_eq!(snap.quarantined_injections, sites * 4);

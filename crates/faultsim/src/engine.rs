@@ -1,0 +1,869 @@
+//! The unified campaign execution engine: one plan → execute → reduce
+//! pipeline behind every campaign composition.
+//!
+//! Four features grew onto the fault-injection loop one PR at a time —
+//! checkpointed replay, tracing, the crash-safe WAL journal, and the
+//! resilient scheduler — and each arrived as a forked entry point, until
+//! `campaign.rs` carried a 3×2 matrix of near-identical loop bodies.
+//! [`CampaignEngine`] folds that matrix back into one orchestration core
+//! with the features attached as *policy layers*:
+//!
+//! * **Scheduling** — retry/backoff, quarantine, early stop and the
+//!   wall-clock deadline live on a [`Scheduler`]. The engine owns an
+//!   unbounded one by default; [`CampaignEngine::with_scheduler`] attaches
+//!   a caller-owned (deadline-aware, shared-accounting) one instead.
+//! * **Journaling** — [`CampaignEngine::with_journal`] makes the run
+//!   crash-safe: recorded outcomes are served without re-execution, fresh
+//!   outcomes are appended, and a pending [`interrupt`] drains the run
+//!   into [`Interrupted`] with all finished work durable.
+//! * **Tracing** — counters, progress sampling and per-function outcome
+//!   events, active whenever the process-wide trace sink is.
+//!
+//! Execution is parallel for **every** composition. Workers fan out over
+//! [`par_map_init`] and each result lands in its plan-ordered slot, so
+//! reduction — and therefore every report — is byte-identical at any
+//! thread count. Journaled runs stay parallel too: workers buffer their
+//! WAL records per work unit and a single [`OrderedWriter`] appends each
+//! contiguous prefix of completed units, so the WAL byte stream is as
+//! deterministic as the report while finished work still reaches disk
+//! *during* the run (a crash loses at most the in-flight units).
+//!
+//! Determinism contract (unchanged from the pre-engine code, verified by
+//! the equivalence tests): every injection's RNG is seeded only by
+//! `(cfg.seed, plan position)`, never by thread schedule or by which
+//! outcomes a journal served, so plain, scheduled, journaled and resumed
+//! runs of the same seed produce bit-identical reports.
+
+use crate::campaign::{CampaignConfig, GoldenRun, PerInstSdc, ProgramCampaign, PROGRESS_INTERVAL};
+use crate::outcome::{classify, Outcome, OutcomeCounts};
+use crate::parallel::par_map_init;
+use minpsid_interp::{
+    ExecConfig, ExecResult, FaultSpec, FaultTarget, Interp, MachineState, ProgInput,
+};
+use minpsid_ir::{GlobalInstId, Module};
+use minpsid_journal::{interrupt, CampaignJournal, Interrupted};
+use minpsid_sched::{
+    binomial_ci, splitmix64, AttemptResult, FailureKind, Scheduler, SiteStatus, TaskResult,
+};
+use minpsid_trace as trace;
+use minpsid_trace::{CampaignCounters, CampaignKind, Histogram, OutcomeKind};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// Plan
+// ---------------------------------------------------------------------------
+
+/// The deterministic work list a campaign executes: one entry per *work
+/// unit* — a single injection for program campaigns, a whole site for
+/// per-instruction campaigns. Building a plan is pure: it depends only on
+/// the module, the golden profile and the config, never on the thread
+/// schedule or on journal contents, which is what keeps reduction order
+/// (and unit numbering for the ordered journal writer) stable.
+#[derive(Debug, Clone)]
+pub enum CampaignPlan {
+    /// `injections` single-bit flips, each into a uniformly random dynamic
+    /// instruction execution out of `population`.
+    Program { injections: usize, population: u64 },
+    /// One unit per injectable, executed static instruction, highest
+    /// dynamic count first so a deadline truncates the low-benefit tail:
+    /// `(dense index, instruction id, dynamic count)`.
+    PerInst {
+        sites: Vec<(usize, GlobalInstId, u64)>,
+        injections_per_site: usize,
+    },
+}
+
+impl CampaignPlan {
+    /// Number of work units the executor fans out over.
+    pub fn units(&self) -> usize {
+        match self {
+            CampaignPlan::Program { injections, .. } => *injections,
+            CampaignPlan::PerInst { sites, .. } => sites.len(),
+        }
+    }
+
+    /// Total injections the plan intends to run (the scheduler's
+    /// `planned` figure).
+    pub fn planned_injections(&self) -> u64 {
+        match self {
+            CampaignPlan::Program { injections, .. } => *injections as u64,
+            CampaignPlan::PerInst {
+                sites,
+                injections_per_site,
+            } => (sites.len() * injections_per_site) as u64,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ordered journal writer
+// ---------------------------------------------------------------------------
+
+/// One WAL record a worker produced, buffered until the single ordered
+/// writer commits its work unit.
+enum PendingRecord {
+    Program { index: u64, outcome: u8 },
+    PerInst { site: u64, k: u64, outcome: u8 },
+    Quarantine { site: u64, reason: u8 },
+}
+
+/// The single ordered writer behind parallel journaled runs.
+///
+/// Workers complete units out of order, but the WAL byte stream must not
+/// depend on the thread schedule: replay correctness is keyed, yet a
+/// deterministic stream is what makes resume diffs and journal
+/// compaction reproducible. Each worker hands its unit's record batch to
+/// [`OrderedWriter::commit`]; the writer appends the longest contiguous
+/// prefix of committed units and holds later units in a reorder buffer.
+/// Finished work therefore reaches disk during the run — a crash loses
+/// at most the in-flight units behind the first gap — in an order no
+/// thread schedule can perturb.
+struct OrderedWriter<'j> {
+    journal: &'j CampaignJournal,
+    input_fp: u64,
+    state: Mutex<ReorderBuffer>,
+}
+
+#[derive(Default)]
+struct ReorderBuffer {
+    /// Next unit ordinal the WAL is waiting for.
+    next: usize,
+    /// Out-of-order batches, keyed by unit ordinal.
+    pending: BTreeMap<usize, Vec<PendingRecord>>,
+}
+
+impl<'j> OrderedWriter<'j> {
+    fn new(journal: &'j CampaignJournal, input_fp: u64) -> Self {
+        OrderedWriter {
+            journal,
+            input_fp,
+            state: Mutex::new(ReorderBuffer::default()),
+        }
+    }
+
+    /// Hand over unit `unit`'s records (possibly empty — served-from-
+    /// journal and truncated units still advance the cursor) and flush
+    /// every batch that is now part of the contiguous completed prefix.
+    fn commit(&self, unit: usize, records: Vec<PendingRecord>) {
+        let mut st = self.state.lock().unwrap();
+        st.pending.insert(unit, records);
+        while let Some(batch) = {
+            let next = st.next;
+            st.pending.remove(&next)
+        } {
+            for r in batch {
+                self.append(&r);
+            }
+            st.next += 1;
+        }
+    }
+
+    /// Drain whatever is still buffered, in unit order. Interrupted runs
+    /// leave gaps (units that never committed); everything that *did*
+    /// complete still becomes durable.
+    fn finish(&self) {
+        let mut st = self.state.lock().unwrap();
+        for (_, batch) in std::mem::take(&mut st.pending) {
+            for r in batch {
+                self.append(&r);
+            }
+        }
+    }
+
+    fn append(&self, r: &PendingRecord) {
+        match *r {
+            PendingRecord::Program { index, outcome } => {
+                self.journal.record_program(self.input_fp, index, outcome)
+            }
+            PendingRecord::PerInst { site, k, outcome } => {
+                self.journal
+                    .record_per_inst(self.input_fp, site, k, outcome)
+            }
+            PendingRecord::Quarantine { site, reason } => {
+                self.journal.record_quarantine(self.input_fp, site, reason)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution helpers (shared by both campaign shapes)
+// ---------------------------------------------------------------------------
+
+fn outcome_kind(o: Outcome) -> OutcomeKind {
+    match o {
+        Outcome::Benign => OutcomeKind::Benign,
+        Outcome::Sdc => OutcomeKind::Sdc,
+        Outcome::Crash => OutcomeKind::Crash,
+        Outcome::Hang => OutcomeKind::Hang,
+        Outcome::Detected => OutcomeKind::Detected,
+        Outcome::EngineError => OutcomeKind::EngineError,
+    }
+}
+
+fn outcome_tally(c: &OutcomeCounts) -> trace::OutcomeTally {
+    trace::OutcomeTally {
+        benign: c.benign,
+        sdc: c.sdc,
+        crash: c.crash,
+        hang: c.hang,
+        detected: c.detected,
+        engine_error: c.engine_error,
+        // the retry/quarantine side-tallies are campaign-level, not
+        // per-function
+        transient_recovered: 0,
+        quarantined: 0,
+    }
+}
+
+/// Aggregate a per-instruction campaign's outcome counts by enclosing
+/// function and emit one `function_outcomes` event per touched function.
+fn emit_function_outcomes(
+    module: &Module,
+    targets: &[(usize, GlobalInstId, u64)],
+    counts: &[OutcomeCounts],
+) {
+    let mut per_func = vec![OutcomeCounts::default(); module.funcs.len()];
+    for &(dense, gid, _) in targets {
+        per_func[gid.func.index()].merge(&counts[dense]);
+    }
+    for (fi, agg) in per_func.iter().enumerate() {
+        if agg.total() > 0 {
+            trace::emit(trace::Event::FunctionOutcomes {
+                func: module.funcs[fi].name.clone(),
+                counts: outcome_tally(agg),
+            });
+        }
+    }
+}
+
+/// Run one injection: resume from the nearest safe snapshot when one
+/// exists (faults early in the trace may precede the first snapshot),
+/// otherwise replay from scratch. `st` is per-worker scratch whose buffers
+/// are reused across injections.
+fn inject(
+    interp: &Interp<'_>,
+    st: &mut MachineState,
+    golden: &GoldenRun,
+    input: &ProgInput,
+    fault: FaultSpec,
+) -> ExecResult {
+    let snap = match fault.target {
+        FaultTarget::NthDynamic(n) => golden.checkpoints.nearest_for_dynamic(n),
+        FaultTarget::NthOfInst(gid, n) => golden
+            .checkpoints
+            .nearest_for_inst(interp.dense_index(gid), n),
+    };
+    match snap {
+        Some(s) => interp.resume_with(st, s, input, fault),
+        None => interp.run_with_fault(input, fault),
+    }
+}
+
+/// Salt separating the timeout knob's failure-count stream from the panic
+/// knob's, so the two chaos classes fail for independent spans.
+const CHAOS_TIMEOUT_SALT: u64 = 0xA24B_AED4_963E_E407;
+
+/// Deterministic chaos plan for one injection key: `(kind, n)` means the
+/// first `n` attempts at this injection fail with `kind`. `n` spans 1–4,
+/// so with the default retry budget of 2 some chaos-hit injections
+/// recover and some exhaust — both paths are exercised by one knob.
+/// Deterministic in the key alone, so interrupted-and-resumed runs see
+/// the same engine failures as uninterrupted ones.
+fn chaos_plan(cfg: &CampaignConfig, key: u64) -> Option<(FailureKind, u32)> {
+    if let Some(n) = cfg.chaos_panic_one_in.filter(|&n| n > 0) {
+        if key.is_multiple_of(n) {
+            return Some((FailureKind::Panic, 1 + (splitmix64(key) & 3) as u32));
+        }
+    }
+    if let Some(m) = cfg.chaos_timeout_one_in.filter(|&m| m > 0) {
+        if key.wrapping_add(m / 2).is_multiple_of(m) {
+            let fails = 1 + (splitmix64(key ^ CHAOS_TIMEOUT_SALT) & 3) as u32;
+            return Some((FailureKind::Timeout, fails));
+        }
+    }
+    None
+}
+
+/// Flat injection index of the per-instruction campaign's (dense, k)
+/// pair, the chaos key shared by journaled and plain variants.
+fn per_inst_chaos_key(cfg: &CampaignConfig, dense: usize, k: usize) -> u64 {
+    (dense as u64) * (cfg.per_inst_injections as u64) + k as u64
+}
+
+/// One attempt at [`inject`], hardened for the retry loop: a panic
+/// anywhere inside the replay (an interpreter bug, or the chaos knob)
+/// surfaces as [`FailureKind::Panic`] instead of poisoning the worker
+/// pool, and a wall-clock blowout (real, or the timeout chaos knob)
+/// surfaces as [`FailureKind::Timeout`]. Both are retryable — they say
+/// something about the harness or the host, not the program under test.
+/// The panic still prints to stderr: a degraded run is visible, not
+/// silent.
+#[allow(clippy::too_many_arguments)]
+fn inject_attempt(
+    interp: &Interp<'_>,
+    st: &mut MachineState,
+    golden: &GoldenRun,
+    input: &ProgInput,
+    fault: FaultSpec,
+    chaos: Option<(FailureKind, u32)>,
+    attempt: u32,
+) -> AttemptResult<(Outcome, u64, u64)> {
+    let chaos_hit = matches!(chaos, Some((_, fails)) if attempt < fails);
+    if chaos_hit && matches!(chaos, Some((FailureKind::Timeout, _))) {
+        // a synthetic wall-clock kill: nothing executed, nothing to classify
+        return AttemptResult::Failed(FailureKind::Timeout);
+    }
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if chaos_hit {
+            panic!("chaos: injected worker panic (chaos_panic_one_in)");
+        }
+        inject(interp, st, golden, input, fault)
+    }));
+    match result {
+        Ok(r) => {
+            debug_assert!(r.fault_applied, "fault target within population");
+            let skipped = r.resumed_at.unwrap_or(0);
+            let executed = r.steps.saturating_sub(skipped);
+            match classify(&golden.output, &r) {
+                // a real wall-clock blowout reflects host pressure, not
+                // program behaviour — hand it to the retry loop
+                Outcome::EngineError => AttemptResult::Failed(FailureKind::Timeout),
+                o => AttemptResult::Ok((o, executed, skipped)),
+            }
+        }
+        Err(_) => {
+            // the panic may have left the per-worker scratch mid-run;
+            // drop it so the next attempt starts clean
+            *st = MachineState::default();
+            AttemptResult::Failed(FailureKind::Panic)
+        }
+    }
+}
+
+/// Drive one injection through the scheduler's retry loop. Exhaustion
+/// collapses to a final [`Outcome::EngineError`] with zero step counts;
+/// `recovered` is true when the outcome arrived only after ≥1 retry.
+struct ResolvedInjection {
+    outcome: Outcome,
+    executed: u64,
+    skipped: u64,
+    recovered: bool,
+    exhausted: Option<FailureKind>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_injection(
+    sched: &Scheduler,
+    kind: CampaignKind,
+    site: u64,
+    interp: &Interp<'_>,
+    st: &mut MachineState,
+    golden: &GoldenRun,
+    input: &ProgInput,
+    fault: FaultSpec,
+    chaos: Option<(FailureKind, u32)>,
+) -> ResolvedInjection {
+    match sched.run_task(kind, site, |attempt| {
+        inject_attempt(interp, st, golden, input, fault, chaos, attempt)
+    }) {
+        TaskResult::Done {
+            value: (outcome, executed, skipped),
+            retries,
+        } => ResolvedInjection {
+            outcome,
+            executed,
+            skipped,
+            recovered: retries > 0,
+            exhausted: None,
+        },
+        TaskResult::Exhausted { reason, .. } => ResolvedInjection {
+            outcome: Outcome::EngineError,
+            executed: 0,
+            skipped: 0,
+            recovered: false,
+            exhausted: Some(reason),
+        },
+    }
+}
+
+fn faulty_exec_config(cfg: &CampaignConfig, golden_steps: u64) -> ExecConfig {
+    ExecConfig {
+        profile: false,
+        step_limit: golden_steps.saturating_mul(cfg.hang_multiplier).max(10_000),
+        ..cfg.exec.clone()
+    }
+}
+
+/// How a program-campaign work unit ended.
+enum UnitResult {
+    Done(Outcome),
+    Truncated,
+    Interrupted,
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// The single orchestration core every campaign runs through.
+///
+/// Construct with [`CampaignEngine::new`], attach policy layers with
+/// [`with_scheduler`](CampaignEngine::with_scheduler) /
+/// [`with_journal`](CampaignEngine::with_journal), then execute a
+/// campaign shape with [`run_program`](CampaignEngine::run_program) or
+/// [`run_per_instruction`](CampaignEngine::run_per_instruction).
+///
+/// ```text
+/// CampaignEngine::new(&module, &input, &golden, &cfg)
+///     .with_scheduler(&sched)        // deadline + shared accounting
+///     .with_journal(&journal, fp)    // crash-safe resume
+///     .run_per_instruction()?
+/// ```
+pub struct CampaignEngine<'a> {
+    module: &'a Module,
+    input: &'a ProgInput,
+    golden: &'a GoldenRun,
+    cfg: &'a CampaignConfig,
+    /// Fallback scheduler (retry knobs from `cfg.sched`, no deadline)
+    /// used when the caller does not attach one.
+    owned_sched: Scheduler,
+    sched: Option<&'a Scheduler>,
+    journal: Option<(&'a CampaignJournal, u64)>,
+}
+
+impl<'a> CampaignEngine<'a> {
+    /// An engine over `(module, input, golden)` with no external policy
+    /// layers: retries per `cfg.sched`, no deadline, no journal.
+    pub fn new(
+        module: &'a Module,
+        input: &'a ProgInput,
+        golden: &'a GoldenRun,
+        cfg: &'a CampaignConfig,
+    ) -> Self {
+        CampaignEngine {
+            module,
+            input,
+            golden,
+            cfg,
+            owned_sched: Scheduler::unbounded(cfg.sched.clone()),
+            sched: None,
+            journal: None,
+        }
+    }
+
+    /// Attach a caller-owned [`Scheduler`] — the deadline-aware form whose
+    /// accounting spans several campaigns of one run.
+    pub fn with_scheduler(mut self, sched: &'a Scheduler) -> Self {
+        self.sched = Some(sched);
+        self
+    }
+
+    /// Attach a crash-safe journal layer: outcomes recorded under
+    /// `input_fp` are served without re-execution, fresh outcomes are
+    /// appended (in deterministic unit order, whatever the thread count),
+    /// and a pending [`interrupt`] returns [`Interrupted`] with all
+    /// finished work durable.
+    pub fn with_journal(mut self, journal: &'a CampaignJournal, input_fp: u64) -> Self {
+        self.journal = Some((journal, input_fp));
+        self
+    }
+
+    /// The scheduler this engine executes under.
+    pub fn scheduler(&self) -> &Scheduler {
+        self.sched.unwrap_or(&self.owned_sched)
+    }
+
+    /// The whole-program plan: `cfg.injections` units over the golden
+    /// run's injectable population.
+    pub fn plan_program(&self) -> CampaignPlan {
+        CampaignPlan::Program {
+            injections: self.cfg.injections,
+            population: self.golden.profile.injectable_execs,
+        }
+    }
+
+    /// The per-instruction plan: one unit per injectable, executed static
+    /// instruction, highest dynamic count first (deadlines truncate the
+    /// low-benefit tail; dense index breaks ties so the order is total).
+    pub fn plan_per_instruction(&self) -> CampaignPlan {
+        let numbering = self.module.numbering();
+        let mut sites: Vec<(usize, GlobalInstId, u64)> = self
+            .module
+            .iter_insts()
+            .filter(|(_, inst)| inst.injectable())
+            .map(|(gid, _)| {
+                let dense = numbering.index(gid);
+                (dense, gid, self.golden.profile.inst_counts[dense])
+            })
+            .filter(|&(_, _, count)| count > 0)
+            .collect();
+        sites.sort_unstable_by_key(|&(dense, _, count)| (std::cmp::Reverse(count), dense));
+        CampaignPlan::PerInst {
+            sites,
+            injections_per_site: self.cfg.per_inst_injections,
+        }
+    }
+
+    /// Execute the whole-program campaign: `cfg.injections` single-bit
+    /// flips, each into a uniformly random dynamic instruction execution
+    /// and uniformly random bit, every outcome classified against the
+    /// golden run. Errs with [`Interrupted`] only when a journal is
+    /// attached and an interrupt is pending.
+    pub fn run_program(&self) -> Result<ProgramCampaign, Interrupted> {
+        let (injections, population) = match self.plan_program() {
+            CampaignPlan::Program {
+                injections,
+                population,
+            } => (injections, population),
+            CampaignPlan::PerInst { .. } => unreachable!(),
+        };
+        let cfg = self.cfg;
+        let sched = self.scheduler();
+        if population == 0 || injections == 0 {
+            return Ok(ProgramCampaign::empty(cfg));
+        }
+        sched.add_planned(injections as u64);
+        let interp = Interp::new(self.module, faulty_exec_config(cfg, self.golden.steps));
+        // capture once so workers pay no atomic load when tracing is off
+        let tracing = trace::active();
+        let counters = CampaignCounters::new(CampaignKind::Program, injections as u64);
+        let suffix_steps = Histogram::new();
+        let recovered = AtomicU64::new(0);
+        let journal = self.journal;
+        let writer = journal.map(|(j, fp)| OrderedWriter::new(j, fp));
+        let results = trace::sample_campaign(&counters, PROGRESS_INTERVAL, || {
+            par_map_init(injections, cfg.threads, MachineState::default, |st, i| {
+                if journal.is_some() && interrupt::requested() {
+                    return UnitResult::Interrupted;
+                }
+                if let Some((j, fp)) = journal {
+                    if let Some(o) = j.program_outcome(fp, i as u64).and_then(Outcome::from_u8) {
+                        sched.note_completed(1);
+                        if tracing {
+                            counters.record(outcome_kind(o), 0, 0);
+                        }
+                        if let Some(w) = &writer {
+                            w.commit(i, Vec::new());
+                        }
+                        return UnitResult::Done(o);
+                    }
+                }
+                if sched.deadline_exceeded() {
+                    if let Some(w) = &writer {
+                        w.commit(i, Vec::new());
+                    }
+                    return UnitResult::Truncated;
+                }
+                // per-injection RNG: deterministic regardless of
+                // thread schedule or journal contents
+                let mut rng = StdRng::seed_from_u64(
+                    cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let fault = FaultSpec {
+                    target: FaultTarget::NthDynamic(rng.random_range(0..population)),
+                    bit: rng.random_range(0..64),
+                };
+                let r = resolve_injection(
+                    sched,
+                    CampaignKind::Program,
+                    i as u64,
+                    &interp,
+                    st,
+                    self.golden,
+                    self.input,
+                    fault,
+                    chaos_plan(cfg, i as u64),
+                );
+                if let Some(w) = &writer {
+                    w.commit(
+                        i,
+                        vec![PendingRecord::Program {
+                            index: i as u64,
+                            outcome: r.outcome.to_u8(),
+                        }],
+                    );
+                }
+                sched.note_completed(1);
+                if r.recovered {
+                    recovered.fetch_add(1, Ordering::Relaxed);
+                }
+                if tracing {
+                    counters.record(outcome_kind(r.outcome), r.executed, r.skipped);
+                    if r.recovered {
+                        counters.record_recovered();
+                    }
+                    suffix_steps.record(r.executed);
+                }
+                UnitResult::Done(r.outcome)
+            })
+        });
+        if let Some(w) = &writer {
+            w.finish();
+        }
+        if tracing {
+            suffix_steps.emit("fi.program.suffix_steps");
+        }
+        if journal.is_some()
+            && (results.iter().any(|r| matches!(r, UnitResult::Interrupted))
+                || interrupt::requested())
+        {
+            if let Some((j, _)) = journal {
+                let _ = j.sync();
+            }
+            return Err(Interrupted);
+        }
+        let mut counts = OutcomeCounts::default();
+        let mut truncated = 0u64;
+        for r in results {
+            match r {
+                UnitResult::Done(o) => counts.record(o),
+                UnitResult::Truncated => truncated += 1,
+                UnitResult::Interrupted => unreachable!("handled above"),
+            }
+        }
+        sched.note_truncated(CampaignKind::Program, truncated);
+        if let Some((j, _)) = journal {
+            let _ = j.sync();
+        }
+        // engine errors carry no information about the program, so the CI
+        // is over the injections that produced a real outcome
+        let sdc_ci = binomial_ci(counts.sdc, counts.valid_total(), cfg.sched.ci_z);
+        Ok(ProgramCampaign {
+            counts,
+            sdc_ci,
+            planned: injections as u64,
+            truncated,
+            recovered: recovered.into_inner(),
+        })
+    }
+
+    /// Execute the per-instruction campaign: `cfg.per_inst_injections`
+    /// faults into uniformly random dynamic executions of every site in
+    /// the plan. Engine failures are retried; persistently failing sites
+    /// are quarantined; converged sites stop early; sites past the
+    /// deadline are truncated. Errs with [`Interrupted`] only when a
+    /// journal is attached and an interrupt is pending.
+    pub fn run_per_instruction(&self) -> Result<PerInstSdc, Interrupted> {
+        let (sites, planned) = match self.plan_per_instruction() {
+            CampaignPlan::PerInst {
+                sites,
+                injections_per_site,
+            } => (sites, injections_per_site),
+            CampaignPlan::Program { .. } => unreachable!(),
+        };
+        let cfg = self.cfg;
+        let sched = self.scheduler();
+        let n = self.module.numbering().len();
+        let interp = Interp::new(self.module, faulty_exec_config(cfg, self.golden.steps));
+        sched.add_planned((sites.len() * planned) as u64);
+        let tracing = trace::active();
+        let counters = CampaignCounters::new(CampaignKind::PerInst, (sites.len() * planned) as u64);
+        let journal = self.journal;
+        let writer = journal.map(|(j, fp)| OrderedWriter::new(j, fp));
+        let per_site = trace::sample_campaign(&counters, PROGRESS_INTERVAL, || {
+            par_map_init(sites.len(), cfg.threads, MachineState::default, |st, t| {
+                let (dense, gid, count) = sites[t];
+                let site = dense as u64;
+                let mut counts = OutcomeCounts::default();
+                let mut records: Vec<PendingRecord> = Vec::new();
+                let commit = |records: Vec<PendingRecord>| {
+                    if let Some(w) = &writer {
+                        w.commit(t, records);
+                    }
+                };
+                // a site quarantined by a previous (crashed or
+                // resumed) run is skipped outright: the journal is
+                // the durable quarantine list
+                if let Some((j, input_fp)) = journal {
+                    if let Some(b) = j.quarantined_site(input_fp, site) {
+                        let reason = FailureKind::from_u8(b).unwrap_or(FailureKind::Panic);
+                        sched.note_resumed_quarantine();
+                        sched.note_quarantine_skipped(planned as u64);
+                        if tracing {
+                            counters.record_quarantined(planned as u64);
+                        }
+                        commit(records);
+                        return (dense, counts, SiteStatus::Quarantined(reason), true);
+                    }
+                }
+                let mut status = SiteStatus::Full;
+                let mut consecutive = 0u32;
+                for k in 0..planned {
+                    if journal.is_some() && interrupt::requested() {
+                        // partial work stays durable: the batch holds
+                        // everything this unit finished before the
+                        // interrupt
+                        commit(records);
+                        return (dense, counts, status, false);
+                    }
+                    if sched.deadline_exceeded() {
+                        status = if k == 0 {
+                            SiteStatus::Unsampled
+                        } else {
+                            SiteStatus::Truncated
+                        };
+                        sched.note_truncated(CampaignKind::PerInst, (planned - k) as u64);
+                        break;
+                    }
+                    if let Some(o) = journal
+                        .and_then(|(j, fp)| j.per_inst_outcome(fp, site, k as u64))
+                        .and_then(Outcome::from_u8)
+                    {
+                        counts.record(o);
+                        sched.note_completed(1);
+                        consecutive = if o == Outcome::EngineError {
+                            consecutive + 1
+                        } else {
+                            0
+                        };
+                        if tracing {
+                            counters.record(outcome_kind(o), 0, 0);
+                        }
+                        if let Some(hw) = sched.early_stop(counts.sdc, counts.valid_total()) {
+                            if k + 1 < planned {
+                                let skip = (planned - k - 1) as u64;
+                                sched.note_early_stop(
+                                    CampaignKind::PerInst,
+                                    site,
+                                    counts.total(),
+                                    hw,
+                                    skip,
+                                );
+                                status = SiteStatus::EarlyStopped;
+                                break;
+                            }
+                        }
+                        continue;
+                    }
+                    let mut rng = StdRng::seed_from_u64(
+                        cfg.seed
+                            ^ (dense as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+                            ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let fault = FaultSpec {
+                        target: FaultTarget::NthOfInst(gid, rng.random_range(0..count)),
+                        bit: rng.random_range(0..64),
+                    };
+                    let chaos_key = per_inst_chaos_key(cfg, dense, k);
+                    let r = resolve_injection(
+                        sched,
+                        CampaignKind::PerInst,
+                        chaos_key,
+                        &interp,
+                        st,
+                        self.golden,
+                        self.input,
+                        fault,
+                        chaos_plan(cfg, chaos_key),
+                    );
+                    if let Some(reason) = r.exhausted {
+                        consecutive += 1;
+                        if consecutive >= cfg.sched.quarantine_after.max(1)
+                            && sched.try_quarantine(
+                                CampaignKind::PerInst,
+                                site,
+                                reason,
+                                consecutive,
+                            )
+                        {
+                            // the triggering injection and everything
+                            // still pending at this site are charged
+                            // to quarantine, not recorded as outcomes
+                            if journal.is_some() {
+                                records.push(PendingRecord::Quarantine {
+                                    site,
+                                    reason: reason.to_u8(),
+                                });
+                            }
+                            let skip = (planned - k) as u64;
+                            sched.note_quarantine_skipped(skip);
+                            if tracing {
+                                counters.record_quarantined(skip);
+                            }
+                            status = SiteStatus::Quarantined(reason);
+                            break;
+                        }
+                        // cap reached or below the threshold: the
+                        // exhaustion degrades to a recorded EngineError
+                    } else {
+                        consecutive = 0;
+                    }
+                    if journal.is_some() {
+                        records.push(PendingRecord::PerInst {
+                            site,
+                            k: k as u64,
+                            outcome: r.outcome.to_u8(),
+                        });
+                    }
+                    counts.record(r.outcome);
+                    sched.note_completed(1);
+                    if tracing {
+                        counters.record(outcome_kind(r.outcome), r.executed, r.skipped);
+                        if r.recovered {
+                            counters.record_recovered();
+                        }
+                    }
+                    if let Some(hw) = sched.early_stop(counts.sdc, counts.valid_total()) {
+                        if k + 1 < planned {
+                            let skip = (planned - k - 1) as u64;
+                            sched.note_early_stop(
+                                CampaignKind::PerInst,
+                                site,
+                                counts.total(),
+                                hw,
+                                skip,
+                            );
+                            status = SiteStatus::EarlyStopped;
+                            break;
+                        }
+                    }
+                }
+                commit(records);
+                (dense, counts, status, true)
+            })
+        });
+        if let Some(w) = &writer {
+            w.finish();
+        }
+
+        if journal.is_some() {
+            let complete = per_site.iter().all(|&(_, _, _, done)| done);
+            if !complete || interrupt::requested() {
+                if let Some((j, _)) = journal {
+                    let _ = j.sync();
+                }
+                return Err(Interrupted);
+            }
+        }
+        let mut sdc_prob = vec![0.0; n];
+        let mut counts = vec![OutcomeCounts::default(); n];
+        let mut ci = vec![binomial_ci(0, 0, cfg.sched.ci_z); n];
+        let mut status = vec![SiteStatus::Unsampled; n];
+        for (dense, c, st_, _) in per_site {
+            if st_.trusted() {
+                sdc_prob[dense] = c.sdc_prob();
+                ci[dense] = sched.site_ci(c.sdc, c.valid_total());
+            }
+            counts[dense] = c;
+            status[dense] = st_;
+        }
+        if tracing {
+            emit_function_outcomes(self.module, &sites, &counts);
+        }
+        if let Some((j, _)) = journal {
+            let _ = j.sync();
+        }
+        Ok(PerInstSdc {
+            sdc_prob,
+            counts,
+            ci,
+            status,
+        })
+    }
+}

@@ -13,32 +13,49 @@
 //!
 //! Two campaign shapes, mirroring §III-A3:
 //!
-//! * [`program_campaign`] — N faults uniformly over all dynamic
-//!   instructions (the paper's 1000-fault program-level measurement);
-//! * [`per_instruction_campaign`] — N faults per *static* instruction,
-//!   sampled uniformly over that instruction's dynamic executions (the
-//!   paper's 100-fault per-instruction SDC-probability measurement that
-//!   feeds SID's benefit, Eq. 2).
+//! * whole-program — N faults uniformly over all dynamic instructions
+//!   (the paper's 1000-fault program-level measurement);
+//! * per-instruction — N faults per *static* instruction, sampled
+//!   uniformly over that instruction's dynamic executions (the paper's
+//!   100-fault per-instruction SDC-probability measurement that feeds
+//!   SID's benefit, Eq. 2).
 //!
-//! Campaigns are deterministic given a seed and embarrassingly parallel:
-//! injections fan out over `std::thread::scope` workers (see [`parallel`]).
+//! Every campaign runs through one [`CampaignEngine`] (see [`engine`]): a
+//! plan/execute/reduce pipeline with scheduling (retry, quarantine, early
+//! stop, deadline), crash-safe WAL journaling and tracing attached as
+//! composable policy layers. Campaigns are deterministic given a seed and
+//! embarrassingly parallel at any composition: injections fan out over
+//! `std::thread::scope` workers (see [`parallel`]) and reduce in plan
+//! order, so reports are byte-identical at any thread count — journaled
+//! runs included, whose WAL is serialized by a single ordered writer.
 //! Golden runs capture a checkpoint store so each injection replays only
 //! the suffix after the nearest snapshot (see [`campaign`]).
+//!
+//! [`program_campaign`] and [`per_instruction_campaign`] remain as thin
+//! wrappers for default-policy campaigns; [`CampaignConfigBuilder`] (in
+//! [`config`]) is the one validated front door for campaign knobs shared
+//! by the CLI and the bench binaries.
 
 pub mod campaign;
+pub mod config;
+pub mod engine;
 pub mod outcome;
 pub mod parallel;
 pub mod propagation;
-pub mod stats;
 
 pub use campaign::{
-    golden_run, per_instruction_campaign, per_instruction_campaign_journaled,
-    per_instruction_campaign_sched, program_campaign, program_campaign_journaled,
-    program_campaign_sched, CampaignConfig, CheckpointPolicy, GoldenRun, PerInstSdc,
-    ProgramCampaign,
+    golden_run, outcome_fraction, per_instruction_campaign, program_campaign, CampaignConfig,
+    CheckpointPolicy, GoldenRun, PerInstSdc, ProgramCampaign,
 };
+pub use config::CampaignConfigBuilder;
+pub use engine::{CampaignEngine, CampaignPlan};
 pub use minpsid_journal::{interrupt, CampaignJournal, Interrupted};
-pub use minpsid_sched::{Deadline, FailureKind, SchedConfig, SchedSnapshot, Scheduler, SiteStatus};
+// The Wilson-interval code lives in minpsid-sched (the scheduler's
+// early-stop rule is built on it); re-exported here so campaign callers
+// keep a single import path.
+pub use minpsid_sched::{
+    binomial_ci, BinomialCi, Deadline, FailureKind, SchedConfig, SchedSnapshot, Scheduler,
+    SiteStatus,
+};
 pub use outcome::{classify, Outcome, OutcomeCounts};
 pub use propagation::{render_report, trace_fault, PropagationReport};
-pub use stats::{binomial_ci, BinomialCi};

@@ -10,6 +10,11 @@
 //! state, built once per worker *outside* the claim loop. Checkpointed FI
 //! uses this to reuse snapshot-restore buffers across injections instead of
 //! reallocating per item.
+//!
+//! Contract relied on by the `CampaignEngine`: results come back indexed
+//! in `0..n` order no matter how workers raced, so the engine can reduce
+//! outcomes (and a journal can append WAL records) in plan order and
+//! produce byte-identical reports at any thread count.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};

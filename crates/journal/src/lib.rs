@@ -21,6 +21,12 @@
 //!   CLI's SIGINT handler) that campaign loops poll, so ^C flushes the
 //!   journal and exits cleanly instead of mid-write.
 //!
+//! Campaign workers never append to the WAL directly: the faultsim
+//! `CampaignEngine` buffers each unit's records worker-locally and a
+//! single ordered writer appends completed units in plan order, so a
+//! journaled campaign parallelizes while its WAL (and therefore any
+//! resume) stays byte-identical to a serial run's.
+//!
 //! The crate sits just above `minpsid-trace` in the dependency order:
 //! recovery and usage statistics flow into the trace so `trace report`
 //! shows injections recovered vs replayed.

@@ -19,6 +19,11 @@
 //! Everything is deterministic given a seed: retries, chaos plans, and
 //! early-stop decisions are pure functions of per-site keys, so the same
 //! seed and chaos knobs produce byte-identical reports.
+//!
+//! The scheduler is a *policy layer*, not an entry point: campaigns are
+//! executed by the faultsim `CampaignEngine`, which consults an attached
+//! [`Scheduler`] (or a default unbounded one) per attempt — there is no
+//! separate "scheduled campaign" code path to keep in sync.
 
 pub mod deadline;
 pub mod retry;

@@ -4,6 +4,11 @@
 //! measurements (§III-A3); the same Wilson score interval is exposed here
 //! so experiment reports can print comparable error bars, and so the
 //! scheduler can stop sampling a site once its interval is tight enough.
+//!
+//! This module is the single home of the Wilson interval for the whole
+//! workspace: `minpsid-faultsim` re-exports [`BinomialCi`] and
+//! [`binomial_ci`] rather than keeping its own copy, so campaign reports
+//! and scheduler early-stopping always agree on the arithmetic.
 
 /// A binomial proportion with its confidence interval.
 #[derive(Debug, Clone, Copy, PartialEq)]

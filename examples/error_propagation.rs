@@ -4,13 +4,18 @@
 //! Sweeps injection sites across a reduction kernel and shows how the
 //! corruption footprint differs between a fault that lands in the final
 //! output path (small footprint, guaranteed SDC) and one that lands in
-//! the accumulator early (everything downstream corrupted).
+//! the accumulator early (everything downstream corrupted). Then runs a
+//! whole-program campaign over the same kernel through the
+//! `CampaignEngine` to put the hand-picked sweep next to the aggregate
+//! SDC probability a real campaign measures.
 //!
 //! ```text
 //! cargo run --release --example error_propagation
 //! ```
 
-use minpsid_repro::faultsim::{trace_fault, Outcome};
+use minpsid_repro::faultsim::{
+    golden_run, trace_fault, CampaignConfigBuilder, CampaignEngine, Outcome,
+};
 use minpsid_repro::interp::{ExecConfig, FaultSpec, FaultTarget, Interp, ProgInput, Scalar};
 
 fn main() {
@@ -64,4 +69,23 @@ fn main() {
     }
     println!("\n{masked} masked, {sdc} SDCs out of {} faults", 11 * 3);
     println!("(a fault's footprint = every register write that differs from the golden run)");
+
+    // The same kernel under a uniform whole-program campaign: the
+    // hand-picked sweep above explains *why* individual faults corrupt;
+    // the engine measures *how often* a random one does.
+    let cfg = CampaignConfigBuilder::new(5)
+        .injections(400)
+        .expect("positive campaign size")
+        .build();
+    let g = golden_run(&module, &input, &cfg).expect("golden run");
+    let c = CampaignEngine::new(&module, &input, &g, &cfg)
+        .run_program()
+        .expect("plain campaigns are interrupt-free");
+    println!(
+        "\nuniform campaign ({} injections): SDC probability {:.1}% (95% CI {:.1}%..{:.1}%)",
+        c.counts.total(),
+        c.sdc_prob() * 100.0,
+        c.sdc_ci.lo * 100.0,
+        c.sdc_ci.hi * 100.0
+    );
 }

@@ -6,7 +6,7 @@
 //! cargo run --release --example harden_benchmark [bench-name]
 //! ```
 
-use minpsid_repro::faultsim::CampaignConfig;
+use minpsid_repro::faultsim::CampaignConfigBuilder;
 use minpsid_repro::minpsid::{
     run_baseline_sid, run_minpsid, GaConfig, MinpsidConfig, SearchStrategy,
 };
@@ -27,12 +27,11 @@ fn main() {
 
     let cfg = MinpsidConfig {
         protection_level: 0.5,
-        campaign: CampaignConfig {
-            injections: 300,
-            per_inst_injections: 15,
-            seed: 5,
-            ..CampaignConfig::default()
-        },
+        campaign: CampaignConfigBuilder::new(5)
+            .injections(300)
+            .and_then(|b| b.per_inst_injections(15))
+            .expect("positive campaign sizes")
+            .build(),
         ga: GaConfig {
             population: 8,
             max_generations: 5,

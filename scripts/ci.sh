@@ -88,6 +88,20 @@ QUARANTINED="$("$CLI" analyze pathfinder --quick --seed 42 --chaos-timeout-one-i
 test "$QUARANTINED" = "5" \
   || { echo "quarantine cap violated: got $QUARANTINED quarantined sites, cap 5"; exit 1; }
 
+echo "== engine-equivalence smoke (hpccg: two compositions x two thread counts)"
+# every CampaignEngine composition must report identical bytes at any
+# thread count: plain+scheduler (fi) and the journaled pipeline
+# (minpsid --journal), each at 1 and 4 worker threads
+EQ_ARGS=(hpccg --quick --seed 42 --injections 60 --per-inst 4 --quiet)
+"$CLI" fi "${EQ_ARGS[@]}" --threads 1 > "$TRACE_TMP/eq-fi-t1.txt" 2>/dev/null
+"$CLI" fi "${EQ_ARGS[@]}" --threads 4 > "$TRACE_TMP/eq-fi-t4.txt" 2>/dev/null
+diff "$TRACE_TMP/eq-fi-t1.txt" "$TRACE_TMP/eq-fi-t4.txt"
+"$CLI" minpsid "${EQ_ARGS[@]}" --level 0.5 --threads 1 \
+  --journal "$TRACE_TMP/eq-journal-t1" > "$TRACE_TMP/eq-mp-t1.txt" 2>/dev/null
+"$CLI" minpsid "${EQ_ARGS[@]}" --level 0.5 --threads 4 \
+  --journal "$TRACE_TMP/eq-journal-t4" > "$TRACE_TMP/eq-mp-t4.txt" 2>/dev/null
+diff "$TRACE_TMP/eq-mp-t1.txt" "$TRACE_TMP/eq-mp-t4.txt"
+
 echo "== deterministic-report smoke (same seed + chaos knobs => identical bytes)"
 "$CLI" analyze pathfinder --quick --seed 42 --chaos-panic-one-in 50 \
   --chaos-timeout-one-in 50 --quiet > "$TRACE_TMP/chaos-a.txt" 2>/dev/null

@@ -10,7 +10,9 @@
 //! * [`minic`] — the C-like front end (clang stand-in);
 //! * [`interp`] — deterministic interpreter with profiling and the
 //!   fault-injection hook;
-//! * [`faultsim`] — LLFI-style single-bit-flip campaigns;
+//! * [`faultsim`] — LLFI-style single-bit-flip campaigns, all executed
+//!   by one composable `CampaignEngine` (parallel by default; the
+//!   scheduler, journal, and tracer attach as policy layers);
 //! * [`sid`] — baseline selective instruction duplication;
 //! * [`minpsid`] — the paper's contribution: GA input search,
 //!   incubative-instruction identification, re-prioritized SID;
