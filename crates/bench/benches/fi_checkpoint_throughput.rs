@@ -28,8 +28,18 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 const WORKLOADS: &[&str] = &["hpccg", "fft", "xsbench"];
-const REPS: usize = 2;
+const DEFAULT_REPS: usize = 2;
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Best-of-N repetitions per timed measurement. The default keeps the
+/// bench fast; `FI_BENCH_REPS=5` tightens the min against ambient noise
+/// when regenerating the committed baseline.
+fn reps() -> usize {
+    std::env::var("FI_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_REPS)
+}
 
 /// Per-instruction injections; default is a trimmed bench budget.
 /// `FI_BENCH_INJECTIONS=30` reproduces the `small` preset numbers
@@ -46,8 +56,13 @@ struct Row {
     golden_steps: u64,
     snapshots: usize,
     snapshot_bytes: usize,
+    /// Injections the checkpointed campaign actually ran.
+    injections: u64,
     cold_s: f64,
     warm_s: f64,
+    /// Checkpointed campaign re-timed with `--dispatch legacy` (the
+    /// tree-walking loop) — the decoded-dispatch A/B column.
+    legacy_s: f64,
     sched_retries_off_s: f64,
     sched_default_s: f64,
     /// Journaled campaign wall-clock per entry of [`THREAD_COUNTS`].
@@ -57,6 +72,22 @@ struct Row {
 impl Row {
     fn speedup(&self) -> f64 {
         self.cold_s / self.warm_s
+    }
+
+    /// Single-core injection throughput of the checkpointed campaign.
+    fn injections_per_sec(&self) -> f64 {
+        self.injections as f64 / self.warm_s
+    }
+
+    /// Mean wall-clock per injection, in microseconds.
+    fn per_injection_us(&self) -> f64 {
+        self.warm_s * 1e6 / self.injections as f64
+    }
+
+    /// Decoded-dispatch speedup over the legacy tree-walking loop on the
+    /// same (checkpointed) campaign.
+    fn dispatch_speedup(&self) -> f64 {
+        self.legacy_s / self.warm_s
     }
 
     /// Relative cost of the default scheduler (retry budget 2) over the
@@ -79,7 +110,7 @@ fn time_campaign(
     cfg: &CampaignConfig,
 ) -> f64 {
     let mut best = f64::INFINITY;
-    for _ in 0..REPS {
+    for _ in 0..reps() {
         let t = Instant::now();
         black_box(per_instruction_campaign(module, input, golden, cfg));
         best = best.min(t.elapsed().as_secs_f64());
@@ -99,7 +130,7 @@ fn time_journaled(
 ) -> (f64, String) {
     let mut best = f64::INFINITY;
     let mut report = String::new();
-    for rep in 0..REPS {
+    for rep in 0..reps() {
         let dir = std::env::temp_dir().join(format!(
             "minpsid-bench-{dir_tag}-t{}-r{rep}-{}",
             cfg.threads,
@@ -153,6 +184,24 @@ fn main() {
         let cold_s = time_campaign(&module, &input, &g_cold, &cold_cfg);
         let warm_s = time_campaign(&module, &input, &g_warm, &warm_cfg);
 
+        // decoded-vs-legacy dispatch A/B on the same checkpointed
+        // campaign, with its own equivalence gate: the two loops must
+        // produce identical reports before a speedup means anything.
+        let legacy_cfg = CampaignConfigBuilder::new(42)
+            .per_inst_injections(injections() as u64)
+            .expect("positive injection count")
+            .dispatch("legacy")
+            .expect("valid dispatch mode")
+            .build();
+        let g_legacy = golden_run(&module, &input, &legacy_cfg).expect("golden run");
+        let legacy = per_instruction_campaign(&module, &input, &g_legacy, &legacy_cfg);
+        assert_eq!(
+            legacy.sdc_prob, warm.sdc_prob,
+            "{name}: legacy dispatch diverged from decoded dispatch"
+        );
+        let legacy_s = time_campaign(&module, &input, &g_legacy, &legacy_cfg);
+        let total_injections: u64 = warm.counts.iter().map(|c| c.total()).sum();
+
         // scheduler overhead: the same checkpointed campaign with the
         // retry machinery disabled vs the default retry budget (no chaos,
         // so no retries actually fire — this isolates pure bookkeeping)
@@ -182,8 +231,10 @@ fn main() {
             golden_steps: g_warm.steps,
             snapshots: g_warm.checkpoints.len(),
             snapshot_bytes: g_warm.checkpoints.total_bytes(),
+            injections: total_injections,
             cold_s,
             warm_s,
+            legacy_s,
             sched_retries_off_s,
             sched_default_s,
             journaled_s,
@@ -198,6 +249,15 @@ fn main() {
             row.golden_steps,
             row.snapshots,
             row.snapshot_bytes / 1024
+        );
+        println!(
+            "bench fi/{:<10} throughput: {:>8.0} inj/s   {:>8.2} us/inj   \
+             legacy {:>8.3} s   dispatch-speedup {:>5.2}x",
+            row.name,
+            row.injections_per_sec(),
+            row.per_injection_us(),
+            row.legacy_s,
+            row.dispatch_speedup()
         );
         println!(
             "bench fi/{:<10} sched: retries-off {:>8.3} s   default {:>8.3} s   \
@@ -228,8 +288,11 @@ fn main() {
         writeln!(
             json,
             "    {{\"name\": \"{}\", \"golden_steps\": {}, \"snapshots\": {}, \
-             \"snapshot_bytes\": {}, \"cold_s\": {:.4}, \"checkpointed_s\": {:.4}, \
-             \"speedup\": {:.3}, \"sched_retries_off_s\": {:.4}, \
+             \"snapshot_bytes\": {}, \"injections\": {}, \"cold_s\": {:.4}, \
+             \"checkpointed_s\": {:.4}, \"speedup\": {:.3}, \
+             \"injections_per_sec\": {:.1}, \"per_injection_us\": {:.2}, \
+             \"legacy_checkpointed_s\": {:.4}, \"dispatch_speedup\": {:.3}, \
+             \"sched_retries_off_s\": {:.4}, \
              \"sched_default_s\": {:.4}, \"sched_overhead_pct\": {:.2}, \
              \"journaled_t1_s\": {:.4}, \"journaled_t2_s\": {:.4}, \
              \"journaled_t4_s\": {:.4}, \"journaled_t8_s\": {:.4}, \
@@ -238,9 +301,14 @@ fn main() {
             r.golden_steps,
             r.snapshots,
             r.snapshot_bytes,
+            r.injections,
             r.cold_s,
             r.warm_s,
             r.speedup(),
+            r.injections_per_sec(),
+            r.per_injection_us(),
+            r.legacy_s,
+            r.dispatch_speedup(),
             r.sched_retries_off_s,
             r.sched_default_s,
             r.sched_overhead_pct(),

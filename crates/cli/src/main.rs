@@ -173,6 +173,12 @@ FI campaign options (fi/analyze/sid/minpsid):
                             instructions (default: auto, ~sqrt of steps)
   --no-checkpoints          disable checkpointing; replay every injection
                             from scratch
+  --snapshot-mode MODE      checkpoint encoding: `delta` (dirty-range
+                            diffs with periodic keyframes, the default)
+                            or `full` (self-contained snapshots)
+  --dispatch MODE           interpreter loop: `decoded` (pre-decoded
+                            dispatch, the default) or `legacy` (the
+                            tree-walking oracle); results are identical
   --injection-timeout-ms N  per-injection wall-clock budget alongside the
                             step limit (0 = off, the default); overruns
                             classify as engine errors, not hangs
@@ -996,6 +1002,22 @@ mod tests {
 
         assert!(parse_campaign(&args(&["--checkpoint-interval", "0"])).is_err());
         assert!(parse_campaign(&args(&["--checkpoint-interval", "abc"])).is_err());
+    }
+
+    #[test]
+    fn snapshot_mode_and_dispatch_flags_parse() {
+        use minpsid_faultsim::{DispatchMode, SnapshotMode};
+        let def = parse_campaign(&args(&[])).unwrap();
+        assert_eq!(def.snapshot_mode, SnapshotMode::Delta);
+        assert_eq!(def.exec.dispatch, DispatchMode::Decoded);
+
+        let full = parse_campaign(&args(&["--snapshot-mode", "full"])).unwrap();
+        assert_eq!(full.snapshot_mode, SnapshotMode::Full);
+        let legacy = parse_campaign(&args(&["--dispatch", "legacy"])).unwrap();
+        assert_eq!(legacy.exec.dispatch, DispatchMode::Legacy);
+
+        assert!(parse_campaign(&args(&["--snapshot-mode", "none"])).is_err());
+        assert!(parse_campaign(&args(&["--dispatch", "jit"])).is_err());
     }
 
     #[test]

@@ -142,8 +142,13 @@ pub fn config_fingerprint(cfg: &CampaignConfig) -> u64 {
     let mut h = Fnv::new();
     write!(
         h,
-        "{:?}|{:?}|{}|{}",
-        cfg.exec, cfg.checkpoints, cfg.max_checkpoints, cfg.checkpoint_mem_budget
+        "{:?}|{:?}|{}|{}|{:?}|{}",
+        cfg.exec,
+        cfg.checkpoints,
+        cfg.max_checkpoints,
+        cfg.checkpoint_mem_budget,
+        cfg.snapshot_mode,
+        cfg.keyframe_every
     )
     .expect("fmt to hasher cannot fail");
     h.0
@@ -338,6 +343,11 @@ mod tests {
         cache.golden(&m, &input(30), &a).unwrap();
         cache.golden(&m, &input(30), &b).unwrap();
         assert_eq!(cache.misses(), 2, "checkpoint policy changes the entry");
+
+        let mut d = CampaignConfig::quick(1);
+        d.snapshot_mode = minpsid_faultsim::SnapshotMode::Full;
+        cache.golden(&m, &input(30), &d).unwrap();
+        assert_eq!(cache.misses(), 3, "snapshot encoding changes the entry");
 
         // seed/threads/injections do not change golden runs -> hit
         let mut c = CampaignConfig::quick(999);

@@ -27,7 +27,7 @@ use crate::outcome::{Outcome, OutcomeCounts};
 use crate::parallel::default_threads;
 use minpsid_interp::{
     auto_interval, CheckpointConfig, CheckpointStore, ExecConfig, Interp, Output, Profile,
-    ProgInput, Termination,
+    ProgInput, SnapshotMode, Termination,
 };
 use minpsid_ir::Module;
 use minpsid_sched::{binomial_ci, BinomialCi, SchedConfig, SiteStatus};
@@ -71,6 +71,12 @@ pub struct CampaignConfig {
     pub max_checkpoints: u64,
     /// Total snapshot memory budget; exceeding it thins the store.
     pub checkpoint_mem_budget: usize,
+    /// Full snapshots or delta chains (see [`SnapshotMode`]). Campaigns
+    /// default to delta: same restore semantics, ~5-10x less memory per
+    /// checkpoint, so density can rise inside the same budget.
+    pub snapshot_mode: SnapshotMode,
+    /// Delta mode: full keyframe every this many stored checkpoints.
+    pub keyframe_every: u32,
     /// Harness chaos knob: deterministically panic inside every
     /// `n`-th-keyed injection worker. Exercises the `catch_unwind` →
     /// retry → [`Outcome::EngineError`] degradation path in tests and
@@ -101,6 +107,8 @@ impl Default for CampaignConfig {
             checkpoints: CheckpointPolicy::Auto,
             max_checkpoints: 512,
             checkpoint_mem_budget: 256 << 20,
+            snapshot_mode: SnapshotMode::Delta,
+            keyframe_every: 16,
             chaos_panic_one_in: None,
             chaos_timeout_one_in: None,
             sched: SchedConfig::default(),
@@ -169,11 +177,13 @@ pub fn golden_run(
             let ck_cfg = CheckpointConfig {
                 interval,
                 mem_budget_bytes: cfg.checkpoint_mem_budget,
+                mode: cfg.snapshot_mode,
+                keyframe_every: cfg.keyframe_every,
             };
-            let (r2, snaps) = Interp::new(module, exec).run_with_checkpoint_config(input, ck_cfg);
+            let (r2, store) = Interp::new(module, exec).run_with_checkpoint_store(input, ck_cfg);
             debug_assert_eq!(r2.output, r.output, "checkpointed replay diverged");
             debug_assert_eq!(r2.steps, r.steps);
-            CheckpointStore::new(snaps)
+            store
         }
         None => CheckpointStore::default(),
     };

@@ -38,7 +38,7 @@ use crate::campaign::{CampaignConfig, GoldenRun, PerInstSdc, ProgramCampaign, PR
 use crate::outcome::{classify, Outcome, OutcomeCounts};
 use crate::parallel::par_map_init;
 use minpsid_interp::{
-    ExecConfig, ExecResult, FaultSpec, FaultTarget, Interp, MachineState, ProgInput,
+    ExecConfig, ExecResult, ExecScratch, FaultSpec, FaultTarget, Interp, ProgInput,
 };
 use minpsid_ir::{GlobalInstId, Module};
 use minpsid_journal::{interrupt, CampaignJournal, Interrupted};
@@ -248,7 +248,7 @@ fn emit_function_outcomes(
 /// are reused across injections.
 fn inject(
     interp: &Interp<'_>,
-    st: &mut MachineState,
+    st: &mut ExecScratch,
     golden: &GoldenRun,
     input: &ProgInput,
     fault: FaultSpec,
@@ -260,8 +260,8 @@ fn inject(
             .nearest_for_inst(interp.dense_index(gid), n),
     };
     match snap {
-        Some(s) => interp.resume_with(st, s, input, fault),
-        None => interp.run_with_fault(input, fault),
+        Some(i) => interp.resume_from(st, &golden.checkpoints, i, input, fault),
+        None => interp.run_with_fault_in(st, input, fault),
     }
 }
 
@@ -307,7 +307,7 @@ fn per_inst_chaos_key(cfg: &CampaignConfig, dense: usize, k: usize) -> u64 {
 #[allow(clippy::too_many_arguments)]
 fn inject_attempt(
     interp: &Interp<'_>,
-    st: &mut MachineState,
+    st: &mut ExecScratch,
     golden: &GoldenRun,
     input: &ProgInput,
     fault: FaultSpec,
@@ -340,7 +340,7 @@ fn inject_attempt(
         Err(_) => {
             // the panic may have left the per-worker scratch mid-run;
             // drop it so the next attempt starts clean
-            *st = MachineState::default();
+            *st = ExecScratch::default();
             AttemptResult::Failed(FailureKind::Panic)
         }
     }
@@ -363,7 +363,7 @@ fn resolve_injection(
     kind: CampaignKind,
     site: u64,
     interp: &Interp<'_>,
-    st: &mut MachineState,
+    st: &mut ExecScratch,
     golden: &GoldenRun,
     input: &ProgInput,
     fault: FaultSpec,
@@ -538,7 +538,7 @@ impl<'a> CampaignEngine<'a> {
         let journal = self.journal;
         let writer = journal.map(|(j, fp)| OrderedWriter::new(j, fp));
         let results = trace::sample_campaign(&counters, PROGRESS_INTERVAL, || {
-            par_map_init(injections, cfg.threads, MachineState::default, |st, i| {
+            par_map_init(injections, cfg.threads, ExecScratch::default, |st, i| {
                 if journal.is_some() && interrupt::requested() {
                     return UnitResult::Interrupted;
                 }
@@ -667,7 +667,7 @@ impl<'a> CampaignEngine<'a> {
         let journal = self.journal;
         let writer = journal.map(|(j, fp)| OrderedWriter::new(j, fp));
         let per_site = trace::sample_campaign(&counters, PROGRESS_INTERVAL, || {
-            par_map_init(sites.len(), cfg.threads, MachineState::default, |st, t| {
+            par_map_init(sites.len(), cfg.threads, ExecScratch::default, |st, t| {
                 let (dense, gid, count) = sites[t];
                 let site = dense as u64;
                 let mut counts = OutcomeCounts::default();

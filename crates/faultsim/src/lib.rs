@@ -49,6 +49,9 @@ pub use campaign::{
 };
 pub use config::CampaignConfigBuilder;
 pub use engine::{CampaignEngine, CampaignPlan};
+// Interpreter knobs that ride on CampaignConfig, re-exported so front
+// ends keep a single import path.
+pub use minpsid_interp::{DispatchMode, SnapshotMode};
 pub use minpsid_journal::{interrupt, CampaignJournal, Interrupted};
 // The Wilson-interval code lives in minpsid-sched (the scheduler's
 // early-stop rule is built on it); re-exported here so campaign callers

@@ -1,0 +1,3048 @@
+//! Pre-decoded dispatch: the campaign hot path.
+//!
+//! The legacy interpreter loop ([`Interp::run`]'s `run_inner`) re-derives
+//! everything per step from the IR: frame → function → block → inst-id →
+//! inst → dense index is a chain of six dependent loads before the opcode
+//! match even starts. Fault-injection campaigns execute that loop billions
+//! of times on replayed suffixes, so [`Interp::new`] lowers the module once
+//! into a flat [`DecodedModule`]: one contiguous `Vec<DInst>` per function,
+//! indexed by a single program counter, with
+//!
+//! * operands pre-resolved to dense register indices or immediate values
+//!   ([`Opd`]) — no `Operand::Value(id)` indirection at run time;
+//! * per-op static metadata (destination register, dense module-wide
+//!   index, injectability) baked into the [`DInst`] — no side-table loads;
+//! * binary/compare ops specialized by the *static* types of their
+//!   operands (`BinII`, `CmpFF`, …), falling back to the generic pair
+//!   match when types are mixed or unknown. Specialized ops still verify
+//!   the runtime variant, so semantics — including every trap — are
+//!   bit-identical to the legacy tree walk;
+//! * the two hottest adjacent pairs fused into superinstructions:
+//!   cmp+cond-branch ([`DOp::CmpBr`]) and load+binop ([`DOp::LoadBin`]).
+//!
+//! ## Superinstruction layout and snapshot resume
+//!
+//! Fusion must not disturb the pc ↔ (block, pos) mapping, because legacy
+//! snapshots store frame positions in (block, pos) form and a resumed run
+//! may land *between* the two halves of a pair. So a fused pair emits the
+//! superinstruction at the first instruction's pc **and** a standalone
+//! copy of the second instruction at the second pc; block lengths are
+//! unchanged and `pc = block_entry[block] + pos` stays plain arithmetic.
+//! The fused op advances the pc by 2; only a snapshot resume ever enters
+//! the standalone copy. Jump targets are always block starts, so no branch
+//! can land inside a pair.
+//!
+//! Fused ops replicate the legacy per-instruction sequence for *each*
+//! half: step increment, step-limit check, deadline poll, operand traps,
+//! injection counting, fault application, register write — in that order —
+//! so step counts, injection indices and trap points are bit-identical.
+//!
+//! ## The scratch arena
+//!
+//! [`ExecScratch`] owns everything a decoded run mutates: the canonical
+//! [`MachineState`] (linear memories, output, counters) plus flat decoded
+//! frames — one shared register arena and one shared argument arena for
+//! the whole call stack, grown on call and truncated on return. Resetting
+//! it between injections is `clear()`s and a `clone_from`, never a fresh
+//! allocation, which is what makes per-worker scratch pay off in
+//! campaigns (see `CampaignEngine`).
+//!
+//! [`Interp::run`]: crate::Interp::run
+//! [`Interp::new`]: crate::Interp::new
+
+use crate::exec::{
+    bit_equal, cmp_ord, ExecResult, Interp, MachineState, Termination, TrapKind, STACK_TAG,
+};
+use crate::fault::{flip_bit, FaultSpec, FaultTarget};
+use crate::value::{Scalar, Stream, Value};
+use minpsid_ir::{BinOp, CmpOp, Function, InstKind, Module, Operand, Ty, UnOp};
+
+/// A pre-resolved operand: an index into the frame's register arena.
+/// Indices below the function's instruction count name registers (the
+/// producing instruction's index); the slots after them hold the
+/// function's interned constants, materialized at frame entry. Operand
+/// fetch is therefore a single indexed load — no immediate-vs-register
+/// branch in the hot loop.
+pub(crate) type Opd = u32;
+
+/// Which specialized comparison a fused [`DOp::CmpBr`] performs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CmpKind {
+    II,
+    FF,
+    BB,
+    Any,
+}
+
+/// A decoded operation. Control operands (`Br`/`CondBr`/`CmpBr` targets)
+/// are pre-resolved to pcs; `Call` callees to function indices.
+#[derive(Debug, Clone)]
+pub(crate) enum DOp {
+    Param {
+        n: u32,
+    },
+    BinII {
+        op: BinOp,
+        a: Opd,
+        b: Opd,
+    },
+    BinFF {
+        op: BinOp,
+        a: Opd,
+        b: Opd,
+    },
+    BinAny {
+        op: BinOp,
+        a: Opd,
+        b: Opd,
+    },
+    Un {
+        op: UnOp,
+        a: Opd,
+    },
+    CmpII {
+        op: CmpOp,
+        a: Opd,
+        b: Opd,
+    },
+    CmpFF {
+        op: CmpOp,
+        a: Opd,
+        b: Opd,
+    },
+    CmpBB {
+        op: CmpOp,
+        a: Opd,
+        b: Opd,
+    },
+    CmpAny {
+        op: CmpOp,
+        a: Opd,
+        b: Opd,
+    },
+    Select {
+        c: Opd,
+        t: Opd,
+        e: Opd,
+    },
+    Cast {
+        to: Ty,
+        a: Opd,
+    },
+    Alloc {
+        n: Opd,
+    },
+    Salloc {
+        n: Opd,
+    },
+    Load {
+        ty: Ty,
+        ptr: Opd,
+        idx: Opd,
+    },
+    Store {
+        ptr: Opd,
+        idx: Opd,
+        v: Opd,
+    },
+    Call {
+        callee: u32,
+        args: Box<[Opd]>,
+    },
+    NArgs,
+    ArgI {
+        n: Opd,
+    },
+    ArgF {
+        n: Opd,
+    },
+    DataLen {
+        stream: u32,
+    },
+    DataI {
+        stream: u32,
+        idx: Opd,
+    },
+    DataF {
+        stream: u32,
+        idx: Opd,
+    },
+    OutI {
+        v: Opd,
+    },
+    OutF {
+        v: Opd,
+    },
+    Check {
+        a: Opd,
+        b: Opd,
+    },
+    Br {
+        target: u32,
+    },
+    CondBr {
+        c: Opd,
+        t: u32,
+        e: u32,
+    },
+    Ret {
+        v: Option<Opd>,
+    },
+    /// Fused compare + conditional branch. Metadata in the carrying
+    /// [`DInst`] belongs to the compare; the branch half is control-only.
+    CmpBr {
+        kind: CmpKind,
+        op: CmpOp,
+        a: Opd,
+        b: Opd,
+        t: u32,
+        e: u32,
+    },
+    /// Fused binary op + unconditional branch: the ubiquitous loop latch
+    /// `i = i + 1; br head`. Metadata in the carrying [`DInst`] belongs
+    /// to the bin; the branch half is control-only (no result, not
+    /// injectable).
+    BinBr {
+        op: BinOp,
+        a: Opd,
+        b: Opd,
+        target: u32,
+    },
+    /// Fused pair of adjacent binary ops (a multiply feeding an
+    /// accumulate, or two independent updates). The second half's
+    /// operands are fetched *after* the first half's (possibly faulted)
+    /// result is written, so a dependent pair reads exactly what legacy
+    /// sequential execution reads.
+    BinBin {
+        op1: BinOp,
+        a1: Opd,
+        b1: Opd,
+        op2: BinOp,
+        a2: Opd,
+        b2: Opd,
+        bin_dst: u32,
+        bin_dense: u32,
+        bin_inj: bool,
+    },
+    /// Fused pair of adjacent loads (`a[i]` and `b[i]` feeding one
+    /// expression). The second load's address operands are fetched after
+    /// the first's result is written, so indirect chains
+    /// (`x[idx[k]]`) fuse correctly.
+    LoadLoad {
+        ty1: Ty,
+        ptr1: Opd,
+        idx1: Opd,
+        ty2: Ty,
+        ptr2: Opd,
+        idx2: Opd,
+        ld_dst: u32,
+        ld_dense: u32,
+        ld_inj: bool,
+    },
+    /// Fused run of four loads: reduction bodies interleave slot reads
+    /// and element reads (`s, i, a[i], i`) into long load runs. Each
+    /// half's address operands are fetched after the previous halves'
+    /// results are written, so loads may feed later addresses.
+    Load4 {
+        ops: [(Ty, Opd, Opd); 4],
+        dsts: [u32; 3],
+        denses: [u32; 3],
+        injs: [bool; 3],
+    },
+    /// Fused load + cast + binary op + unary op: the twiddle-factor
+    /// prologue of every fft butterfly iteration (`cos(w * float(j))`,
+    /// `sin(w * float(j))`) and any other libm-feeding index chain.
+    /// Carries only the load's operands; the cast, bin and un execute
+    /// from their standalone slots at `pc+1..pc+3` (a bounded tag check
+    /// each instead of a full dispatch round).
+    LoadCastBinUn {
+        ty: Ty,
+        ptr: Opd,
+        idx: Opd,
+    },
+    /// Fused slot-load + compare + conditional branch: every loop head
+    /// (`while i_slot < n`) is this exact triple. Load metadata on the
+    /// carrying [`DInst`]; compare metadata carried here; the branch half
+    /// is control-only.
+    LoadCmpBr {
+        ty: Ty,
+        ptr: Opd,
+        idx: Opd,
+        kind: CmpKind,
+        op: CmpOp,
+        a: Opd,
+        b: Opd,
+        t: u32,
+        e: u32,
+        cmp_dst: u32,
+        cmp_dense: u32,
+        cmp_inj: bool,
+    },
+    /// Fused binary op + store + unconditional branch: the canonical
+    /// block tail `acc_slot = acc + t; br next`. Bin metadata on the
+    /// carrying [`DInst`]; store and branch halves produce nothing.
+    BinStoreBr {
+        op: BinOp,
+        a: Opd,
+        b: Opd,
+        ptr: Opd,
+        idx: Opd,
+        v: Opd,
+        target: u32,
+    },
+    /// Fused load + load + binary op: the dominant three-instruction
+    /// window of compiled loop bodies (`a[i]`, `b[i]`, combine). Carries
+    /// the two loads' operands exactly as [`DOp::LoadLoad`]; the bin
+    /// executes from its typed standalone slot at `pc + 2` (a bounded
+    /// tag check instead of a full dispatch round).
+    LoadLoadBin {
+        ty1: Ty,
+        ptr1: Opd,
+        idx1: Opd,
+        ty2: Ty,
+        ptr2: Opd,
+        idx2: Opd,
+        ld_dst: u32,
+        ld_dense: u32,
+        ld_inj: bool,
+    },
+    /// Fused binary op + load + load (index arithmetic feeding two
+    /// reads). Carries the bin and first load as [`DOp::BinLoad`]; the
+    /// second load executes from its standalone slot at `pc + 2`.
+    BinLoadLoad {
+        op: BinOp,
+        a: Opd,
+        b: Opd,
+        ty2: Ty,
+        ptr2: Opd,
+        idx2: Opd,
+        ld_dst: u32,
+        ld_dense: u32,
+        ld_inj: bool,
+    },
+    /// Fused load + binary op + binary op (a load feeding a multiply
+    /// feeding an accumulate). Carries the load and first bin as
+    /// [`DOp::LoadBin`] plus the second bin's operands inline.
+    LoadBinBin {
+        ty: Ty,
+        op: BinOp,
+        ptr: Opd,
+        idx: Opd,
+        other: Opd,
+        load_lhs: bool,
+        bin_dst: u32,
+        bin_dense: u32,
+        bin_inj: bool,
+        op2: BinOp,
+        a2: Opd,
+        b2: Opd,
+        bin2_dst: u32,
+        bin2_dense: u32,
+        bin2_inj: bool,
+    },
+    /// Fused load + binary op + store + unconditional branch: the loop
+    /// latch (`i = i + 1; br head`) of every compiled loop. All four
+    /// halves carry their operands inline — no chained-slot fetches —
+    /// because this is the single hottest superinstruction in compiled
+    /// loops and each chained slot would touch another code cache line.
+    LoadBinStoreBr {
+        ty: Ty,
+        ptr: Opd,
+        idx: Opd,
+        op: BinOp,
+        a: Opd,
+        b: Opd,
+        bin_dst: u32,
+        bin_dense: u32,
+        bin_inj: bool,
+        st_ptr: Opd,
+        st_idx: Opd,
+        st_v: Opd,
+        target: u32,
+    },
+    /// Fused load + load + bin + store + unconditional branch: a block
+    /// tail storing a two-operand combine (`s = s + x; br next` where
+    /// both operands live in slots). Carries [`DOp::LoadLoadBin`]'s
+    /// fields plus the branch target; the bin and store execute from
+    /// their standalone slots at `pc+3`/`pc+4`.
+    LoadLoadBinStoreBr {
+        ty1: Ty,
+        ptr1: Opd,
+        idx1: Opd,
+        ty2: Ty,
+        ptr2: Opd,
+        idx2: Opd,
+        ld_dst: u32,
+        ld_dense: u32,
+        ld_inj: bool,
+        target: u32,
+    },
+    /// Fused load + load + bin + bin + store: a full compiled statement
+    /// (`w[k] = a + b` with a computed element index). Carries
+    /// [`DOp::LoadLoadBin`]'s fields; the second bin and the store
+    /// execute from their standalone slots at `pc+3`/`pc+4`.
+    LoadLoadBinBinStore {
+        ty1: Ty,
+        ptr1: Opd,
+        idx1: Opd,
+        ty2: Ty,
+        ptr2: Opd,
+        idx2: Opd,
+        ld_dst: u32,
+        ld_dense: u32,
+        ld_inj: bool,
+    },
+    /// Fused load + load + bin + bin + load: index arithmetic feeding an
+    /// element read (`x[i + half]`). Same carrier fields as
+    /// [`DOp::LoadLoadBin`]; chained slots at `pc+3`/`pc+4`.
+    LoadLoadBinBinLoad {
+        ty1: Ty,
+        ptr1: Opd,
+        idx1: Opd,
+        ty2: Ty,
+        ptr2: Opd,
+        idx2: Opd,
+        ld_dst: u32,
+        ld_dense: u32,
+        ld_inj: bool,
+    },
+    /// Fused load + load + bin + bin + bin: a three-op arithmetic chain
+    /// over two slot reads. Same carrier fields as [`DOp::LoadLoadBin`];
+    /// chained slots at `pc+3`/`pc+4`.
+    LoadLoadBinBinBin {
+        ty1: Ty,
+        ptr1: Opd,
+        idx1: Opd,
+        ty2: Ty,
+        ptr2: Opd,
+        idx2: Opd,
+        ld_dst: u32,
+        ld_dense: u32,
+        ld_inj: bool,
+    },
+    /// Fused binary op + store (`acc = acc + t` and every latch's
+    /// `i = i + 1` compile to bin-then-store-to-slot). The store's value
+    /// operand is fetched after the bin's (possibly faulted) result is
+    /// written. The store half produces nothing and is not injectable.
+    BinStore {
+        op: BinOp,
+        a: Opd,
+        b: Opd,
+        ptr: Opd,
+        idx: Opd,
+        v: Opd,
+    },
+    /// Fused store + unconditional branch (block tails like
+    /// `i_slot = t; br head`). Control-only second half.
+    StoreBr {
+        ptr: Opd,
+        idx: Opd,
+        v: Opd,
+        target: u32,
+    },
+    /// Fused store + load (slot write followed by the next statement's
+    /// slot read). The load's metadata is carried here; the carrying
+    /// [`DInst`]'s dst is `u32::MAX` (stores produce nothing).
+    StoreLoad {
+        ptr1: Opd,
+        idx1: Opd,
+        v: Opd,
+        ty2: Ty,
+        ptr2: Opd,
+        idx2: Opd,
+        ld_dst: u32,
+        ld_dense: u32,
+        ld_inj: bool,
+    },
+    /// Fused binary op + load: index arithmetic feeding the next slot
+    /// read (`t = base + j; ... half_slot`). The load's address operands
+    /// are fetched after the bin's result is written.
+    BinLoad {
+        op: BinOp,
+        a: Opd,
+        b: Opd,
+        ty2: Ty,
+        ptr2: Opd,
+        idx2: Opd,
+        ld_dst: u32,
+        ld_dense: u32,
+        ld_inj: bool,
+    },
+    /// Fused load + store: the element-copy / swap idiom
+    /// (`re[i] = re[j]`, `let tr = re[i]`). The store's operands are
+    /// fetched after the load's (possibly faulted) result is written.
+    LoadStore {
+        ty: Ty,
+        ptr1: Opd,
+        idx1: Opd,
+        ptr2: Opd,
+        idx2: Opd,
+        v: Opd,
+    },
+    /// Fused load + binary op. Metadata in the carrying [`DInst`] belongs
+    /// to the load; the bin half's is carried here.
+    LoadBin {
+        ty: Ty,
+        op: BinOp,
+        ptr: Opd,
+        idx: Opd,
+        /// The bin operand that is not the load result. When both bin
+        /// operands are the load result this is `R(load_dst)`, read back
+        /// after the (possibly faulted) load value is written.
+        other: Opd,
+        /// True when the load result is the bin's *lhs*.
+        load_lhs: bool,
+        bin_dst: u32,
+        bin_dense: u32,
+        bin_inj: bool,
+    },
+}
+
+/// One decoded instruction slot: the op plus the static per-instruction
+/// metadata the legacy loop looked up per step.
+#[derive(Debug, Clone)]
+pub(crate) struct DInst {
+    pub(crate) op: DOp,
+    /// Destination register; `u32::MAX` for void ops (never written).
+    pub(crate) dst: u32,
+    /// Dense module-wide index (fault targeting, injection counting).
+    pub(crate) dense: u32,
+    pub(crate) inj: bool,
+}
+
+/// One decoded function: flat code, block-entry pcs, register count.
+#[derive(Debug)]
+pub(crate) struct DFunc {
+    pub(crate) code: Vec<DInst>,
+    /// `pc_of(block, pos) = block_entry[block] + pos`: every instruction
+    /// keeps its own slot (fusion emits a standalone second-half copy),
+    /// so the mapping from legacy frame positions is plain arithmetic.
+    pub(crate) block_entry: Vec<u32>,
+    /// Frame arena size: instruction count plus `consts.len()`. The
+    /// first `num_regs - consts.len()` slots are registers, the tail
+    /// holds the materialized constant pool.
+    pub(crate) num_regs: u32,
+    /// Interned constants, copied into the arena tail at frame entry.
+    pub(crate) consts: Vec<Value>,
+}
+
+/// The whole module, lowered once at [`Interp::new`].
+///
+/// [`Interp::new`]: crate::Interp::new
+#[derive(Debug)]
+pub(crate) struct DecodedModule {
+    pub(crate) funcs: Vec<DFunc>,
+    pub(crate) entry: u32,
+}
+
+/// One decoded frame: bases into the shared [`ExecScratch`] arenas
+/// instead of per-frame `Vec`s.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DFrame {
+    pub(crate) func: u32,
+    pub(crate) pc: u32,
+    pub(crate) reg_base: usize,
+    pub(crate) arg_base: usize,
+    pub(crate) arg_len: usize,
+    /// Stack-memory watermark to restore on return.
+    pub(crate) sp_base: usize,
+}
+
+/// Reusable per-worker machine arena for decoded runs: the canonical
+/// [`MachineState`] plus the flat frame/register/argument arenas. All
+/// buffers survive across injections; resetting is `clear` + `clone_from`.
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    pub(crate) st: MachineState,
+    pub(crate) dframes: Vec<DFrame>,
+    pub(crate) regs: Vec<Value>,
+    pub(crate) args: Vec<Value>,
+}
+
+impl ExecScratch {
+    /// Reset to the program entry point without touching capacity.
+    pub(crate) fn start_decoded(&mut self, dm: &DecodedModule) {
+        self.st.reset();
+        self.dframes.clear();
+        self.regs.clear();
+        self.args.clear();
+        let entry = &dm.funcs[dm.entry as usize];
+        self.regs
+            .resize(entry.num_regs as usize - entry.consts.len(), Value::Undef);
+        self.regs.extend_from_slice(&entry.consts);
+        self.dframes.push(DFrame {
+            func: dm.entry,
+            pc: entry.block_entry[0],
+            reg_base: 0,
+            arg_base: 0,
+            arg_len: 0,
+            sp_base: 0,
+        });
+    }
+
+    /// Convert the restored legacy frames in `self.st` into decoded
+    /// frames (a snapshot-resume entry point). The legacy frames stay in
+    /// `st` untouched; the decoded run never reads them.
+    pub(crate) fn enter_decoded(&mut self, dm: &DecodedModule) {
+        self.dframes.clear();
+        self.regs.clear();
+        self.args.clear();
+        for f in &self.st.frames {
+            let df = &dm.funcs[f.func.index()];
+            debug_assert_eq!(f.regs.len() + df.consts.len(), df.num_regs as usize);
+            let pc = df.block_entry[f.block.index()] + f.pos as u32;
+            let reg_base = self.regs.len();
+            let arg_base = self.args.len();
+            // legacy frames carry register slots only; re-materialize
+            // the const tail the decoded arena layout expects
+            self.regs.extend_from_slice(&f.regs);
+            self.regs.extend_from_slice(&df.consts);
+            self.args.extend_from_slice(&f.args);
+            self.dframes.push(DFrame {
+                func: f.func.0,
+                pc,
+                reg_base,
+                arg_base,
+                arg_len: f.args.len(),
+                sp_base: f.sp_base,
+            });
+        }
+    }
+}
+
+/// Static type of an operand: the defining instruction's declared type,
+/// or the immediate's. `None` for untyped definitions (unverified
+/// modules); decode then falls back to the generic op.
+fn sty(f: &Function, o: &Operand) -> Option<Ty> {
+    match o {
+        Operand::Value(id) => f.insts[id.index()].ty,
+        Operand::ConstI(_) => Some(Ty::I64),
+        Operand::ConstF(_) => Some(Ty::F64),
+        Operand::ConstB(_) => Some(Ty::Bool),
+    }
+}
+
+/// Per-function operand-interning context. Registers resolve to their
+/// instruction id; constants are deduplicated by tagged bit pattern
+/// (`0.0` and `-0.0` stay distinct) into slots after the registers.
+struct OpdCx {
+    /// Instruction count of the function = index of the first const slot.
+    ni: u32,
+    pool: std::cell::RefCell<ConstPool>,
+}
+
+#[derive(Default)]
+struct ConstPool {
+    vals: Vec<Value>,
+    ix: std::collections::HashMap<(u8, u64), u32>,
+}
+
+impl OpdCx {
+    fn new(f: &Function) -> Self {
+        OpdCx {
+            ni: f.insts.len() as u32,
+            pool: Default::default(),
+        }
+    }
+
+    fn opd(&self, o: &Operand) -> Opd {
+        match o {
+            Operand::Value(id) => id.0,
+            Operand::ConstI(c) => self.slot(0, *c as u64, Value::I(*c)),
+            Operand::ConstF(c) => self.slot(1, c.to_bits(), Value::F(*c)),
+            Operand::ConstB(c) => self.slot(2, *c as u64, Value::B(*c)),
+        }
+    }
+
+    fn slot(&self, tag: u8, bits: u64, v: Value) -> u32 {
+        let mut p = self.pool.borrow_mut();
+        if let Some(&i) = p.ix.get(&(tag, bits)) {
+            return self.ni + i;
+        }
+        let i = p.vals.len() as u32;
+        p.vals.push(v);
+        p.ix.insert((tag, bits), i);
+        self.ni + i
+    }
+}
+
+pub(crate) fn decode_module(m: &Module) -> DecodedModule {
+    let mut funcs = Vec::with_capacity(m.funcs.len());
+    let mut dense_base = 0u32;
+    for f in &m.funcs {
+        funcs.push(decode_func(f, dense_base));
+        dense_base += f.insts.len() as u32;
+    }
+    DecodedModule {
+        funcs,
+        entry: m.entry.0,
+    }
+}
+
+fn decode_func(f: &Function, dense_base: u32) -> DFunc {
+    let cx = OpdCx::new(f);
+    let mut block_entry = Vec::with_capacity(f.blocks.len());
+    let mut pc = 0u32;
+    for b in &f.blocks {
+        block_entry.push(pc);
+        pc += b.insts.len() as u32;
+    }
+    let mut code = Vec::with_capacity(pc as usize);
+    for b in &f.blocks {
+        let mut k = 0;
+        while k < b.insts.len() {
+            if k + 4 < b.insts.len() {
+                if let Some(fused) = try_fuse5(
+                    f,
+                    &cx,
+                    &block_entry,
+                    [
+                        b.insts[k],
+                        b.insts[k + 1],
+                        b.insts[k + 2],
+                        b.insts[k + 3],
+                        b.insts[k + 4],
+                    ],
+                    dense_base,
+                ) {
+                    code.push(fused);
+                    for j in 1..5 {
+                        code.push(decode_inst(
+                            f,
+                            &cx,
+                            &block_entry,
+                            b.insts[k + j],
+                            dense_base,
+                        ));
+                    }
+                    k += 5;
+                    continue;
+                }
+            }
+            if k + 3 < b.insts.len() {
+                if let Some(fused) = try_fuse4(
+                    f,
+                    &cx,
+                    &block_entry,
+                    [b.insts[k], b.insts[k + 1], b.insts[k + 2], b.insts[k + 3]],
+                    dense_base,
+                ) {
+                    code.push(fused);
+                    for j in 1..4 {
+                        code.push(decode_inst(
+                            f,
+                            &cx,
+                            &block_entry,
+                            b.insts[k + j],
+                            dense_base,
+                        ));
+                    }
+                    k += 4;
+                    continue;
+                }
+            }
+            if k + 2 < b.insts.len() {
+                if let Some(fused) = try_fuse3(
+                    f,
+                    &cx,
+                    &block_entry,
+                    b.insts[k],
+                    b.insts[k + 1],
+                    b.insts[k + 2],
+                    dense_base,
+                ) {
+                    code.push(fused);
+                    code.push(decode_inst(
+                        f,
+                        &cx,
+                        &block_entry,
+                        b.insts[k + 1],
+                        dense_base,
+                    ));
+                    code.push(decode_inst(
+                        f,
+                        &cx,
+                        &block_entry,
+                        b.insts[k + 2],
+                        dense_base,
+                    ));
+                    k += 3;
+                    continue;
+                }
+            }
+            if k + 1 < b.insts.len() {
+                if let Some(fused) =
+                    try_fuse(f, &cx, &block_entry, b.insts[k], b.insts[k + 1], dense_base)
+                {
+                    code.push(fused);
+                    code.push(decode_inst(
+                        f,
+                        &cx,
+                        &block_entry,
+                        b.insts[k + 1],
+                        dense_base,
+                    ));
+                    k += 2;
+                    continue;
+                }
+            }
+            code.push(decode_inst(f, &cx, &block_entry, b.insts[k], dense_base));
+            k += 1;
+        }
+    }
+    let consts = cx.pool.into_inner().vals;
+    DFunc {
+        code,
+        block_entry,
+        num_regs: f.insts.len() as u32 + consts.len() as u32,
+        consts,
+    }
+}
+
+/// Five-instruction fusion, tried first: compiled whole-statement
+/// windows anchored on a load+load+bin head. Layout rule as everywhere —
+/// the superinstruction sits at the first pc and standalone copies fill
+/// the next four slots; the chained tail ops execute from those slots.
+fn try_fuse5(
+    f: &Function,
+    cx: &OpdCx,
+    block_entry: &[u32],
+    ids: [minpsid_ir::InstId; 5],
+    dense_base: u32,
+) -> Option<DInst> {
+    let opd = |o: &Operand| cx.opd(o);
+    let (
+        InstKind::Load {
+            ptr: p1,
+            idx: x1,
+            ty: t1,
+        },
+        InstKind::Load {
+            ptr: p2,
+            idx: x2,
+            ty: t2,
+        },
+        InstKind::Bin { .. },
+    ) = (
+        &f.insts[ids[0].index()].kind,
+        &f.insts[ids[1].index()].kind,
+        &f.insts[ids[2].index()].kind,
+    )
+    else {
+        return None;
+    };
+    let ld_dst = ids[1].0;
+    let ld_dense = dense_base + ids[1].0;
+    let ld_inj = f.insts[ids[1].index()].injectable();
+    let op = match (&f.insts[ids[3].index()].kind, &f.insts[ids[4].index()].kind) {
+        (InstKind::Store { .. }, InstKind::Br { target }) => DOp::LoadLoadBinStoreBr {
+            ty1: *t1,
+            ptr1: opd(p1),
+            idx1: opd(x1),
+            ty2: *t2,
+            ptr2: opd(p2),
+            idx2: opd(x2),
+            ld_dst,
+            ld_dense,
+            ld_inj,
+            target: block_entry[target.index()],
+        },
+        (InstKind::Bin { .. }, InstKind::Store { .. }) => DOp::LoadLoadBinBinStore {
+            ty1: *t1,
+            ptr1: opd(p1),
+            idx1: opd(x1),
+            ty2: *t2,
+            ptr2: opd(p2),
+            idx2: opd(x2),
+            ld_dst,
+            ld_dense,
+            ld_inj,
+        },
+        (InstKind::Bin { .. }, InstKind::Load { .. }) => DOp::LoadLoadBinBinLoad {
+            ty1: *t1,
+            ptr1: opd(p1),
+            idx1: opd(x1),
+            ty2: *t2,
+            ptr2: opd(p2),
+            idx2: opd(x2),
+            ld_dst,
+            ld_dense,
+            ld_inj,
+        },
+        (InstKind::Bin { .. }, InstKind::Bin { .. }) => DOp::LoadLoadBinBinBin {
+            ty1: *t1,
+            ptr1: opd(p1),
+            idx1: opd(x1),
+            ty2: *t2,
+            ptr2: opd(p2),
+            idx2: opd(x2),
+            ld_dst,
+            ld_dense,
+            ld_inj,
+        },
+        _ => return None,
+    };
+    Some(DInst {
+        op,
+        dst: ids[0].0,
+        dense: dense_base + ids[0].0,
+        inj: f.insts[ids[0].index()].injectable(),
+    })
+}
+
+/// Four-instruction fusion, tried after quints: a straight run of four
+/// loads, the load+cast+bin+un twiddle chain, or the loop latch. Layout
+/// rule as for pairs/triples — the superinstruction sits at the first pc
+/// and standalone copies fill the next three slots.
+fn try_fuse4(
+    f: &Function,
+    cx: &OpdCx,
+    block_entry: &[u32],
+    ids: [minpsid_ir::InstId; 4],
+    dense_base: u32,
+) -> Option<DInst> {
+    let opd = |o: &Operand| cx.opd(o);
+    // load + cast + bin + un (the bin may combine the cast result with
+    // anything; no dependence restrictions are needed — each half
+    // fetches its operands after the previous halves' writes)
+    if let (
+        InstKind::Load { ptr, idx, ty },
+        InstKind::Cast { .. },
+        InstKind::Bin { .. },
+        InstKind::Un { .. },
+    ) = (
+        &f.insts[ids[0].index()].kind,
+        &f.insts[ids[1].index()].kind,
+        &f.insts[ids[2].index()].kind,
+        &f.insts[ids[3].index()].kind,
+    ) {
+        return Some(DInst {
+            op: DOp::LoadCastBinUn {
+                ty: *ty,
+                ptr: opd(ptr),
+                idx: opd(idx),
+            },
+            dst: ids[0].0,
+            dense: dense_base + ids[0].0,
+            inj: f.insts[ids[0].index()].injectable(),
+        });
+    }
+    // load + bin + store + br: the loop latch (`i = i + 1; br head`)
+    if let (
+        InstKind::Load { ptr, idx, ty },
+        InstKind::Bin { op, lhs, rhs },
+        InstKind::Store {
+            ptr: sp,
+            idx: si,
+            value: sv,
+        },
+        InstKind::Br { target },
+    ) = (
+        &f.insts[ids[0].index()].kind,
+        &f.insts[ids[1].index()].kind,
+        &f.insts[ids[2].index()].kind,
+        &f.insts[ids[3].index()].kind,
+    ) {
+        return Some(DInst {
+            op: DOp::LoadBinStoreBr {
+                ty: *ty,
+                ptr: opd(ptr),
+                idx: opd(idx),
+                op: *op,
+                a: opd(lhs),
+                b: opd(rhs),
+                bin_dst: ids[1].0,
+                bin_dense: dense_base + ids[1].0,
+                bin_inj: f.insts[ids[1].index()].injectable(),
+                st_ptr: opd(sp),
+                st_idx: opd(si),
+                st_v: opd(sv),
+                target: block_entry[target.index()],
+            },
+            dst: ids[0].0,
+            dense: dense_base + ids[0].0,
+            inj: f.insts[ids[0].index()].injectable(),
+        });
+    }
+    let mut ops = [(Ty::I64, 0 as Opd, 0 as Opd); 4];
+    for (slot, id) in ops.iter_mut().zip(ids) {
+        match &f.insts[id.index()].kind {
+            InstKind::Load { ptr, idx, ty } => *slot = (*ty, opd(ptr), opd(idx)),
+            _ => return None,
+        }
+    }
+    let meta = |i: usize| {
+        let id = ids[i];
+        (id.0, dense_base + id.0, f.insts[id.index()].injectable())
+    };
+    let (d1, n1, j1) = meta(1);
+    let (d2, n2, j2) = meta(2);
+    let (d3, n3, j3) = meta(3);
+    Some(DInst {
+        op: DOp::Load4 {
+            ops,
+            dsts: [d1, d2, d3],
+            denses: [n1, n2, n3],
+            injs: [j1, j2, j3],
+        },
+        dst: ids[0].0,
+        dense: dense_base + ids[0].0,
+        inj: f.insts[ids[0].index()].injectable(),
+    })
+}
+
+/// Three-instruction fusion, tried before pair fusion. Same layout rule:
+/// the superinstruction sits at the first pc, standalone copies of the
+/// second and third occupy their own pcs (snapshot resume can land on
+/// either), and block lengths never change.
+fn try_fuse3(
+    f: &Function,
+    cx: &OpdCx,
+    block_entry: &[u32],
+    i1: minpsid_ir::InstId,
+    i2: minpsid_ir::InstId,
+    i3: minpsid_ir::InstId,
+    dense_base: u32,
+) -> Option<DInst> {
+    let opd = |o: &Operand| cx.opd(o);
+    let first = &f.insts[i1.index()];
+    let second = &f.insts[i2.index()];
+    let third = &f.insts[i3.index()];
+    match (&first.kind, &second.kind, &third.kind) {
+        (
+            InstKind::Load { ptr, idx, ty },
+            InstKind::Cmp { op, lhs, rhs },
+            InstKind::CondBr {
+                cond: Operand::Value(id),
+                then_b,
+                else_b,
+            },
+        ) if *id == i2 => {
+            let kind = match (sty(f, lhs), sty(f, rhs)) {
+                (Some(Ty::I64), Some(Ty::I64)) => CmpKind::II,
+                (Some(Ty::F64), Some(Ty::F64)) => CmpKind::FF,
+                (Some(Ty::Bool), Some(Ty::Bool)) => CmpKind::BB,
+                _ => CmpKind::Any,
+            };
+            Some(DInst {
+                op: DOp::LoadCmpBr {
+                    ty: *ty,
+                    ptr: opd(ptr),
+                    idx: opd(idx),
+                    kind,
+                    op: *op,
+                    a: opd(lhs),
+                    b: opd(rhs),
+                    t: block_entry[then_b.index()],
+                    e: block_entry[else_b.index()],
+                    cmp_dst: i2.0,
+                    cmp_dense: dense_base + i2.0,
+                    cmp_inj: second.injectable(),
+                },
+                dst: i1.0,
+                dense: dense_base + i1.0,
+                inj: first.injectable(),
+            })
+        }
+        (
+            InstKind::Bin { op, lhs, rhs },
+            InstKind::Store { ptr, idx, value },
+            InstKind::Br { target },
+        ) => Some(DInst {
+            op: DOp::BinStoreBr {
+                op: *op,
+                a: opd(lhs),
+                b: opd(rhs),
+                ptr: opd(ptr),
+                idx: opd(idx),
+                v: opd(value),
+                target: block_entry[target.index()],
+            },
+            dst: i1.0,
+            dense: dense_base + i1.0,
+            inj: first.injectable(),
+        }),
+        (
+            InstKind::Load {
+                ptr: p1,
+                idx: x1,
+                ty: t1,
+            },
+            InstKind::Load {
+                ptr: p2,
+                idx: x2,
+                ty: t2,
+            },
+            InstKind::Bin { .. },
+        ) => Some(DInst {
+            op: DOp::LoadLoadBin {
+                ty1: *t1,
+                ptr1: opd(p1),
+                idx1: opd(x1),
+                ty2: *t2,
+                ptr2: opd(p2),
+                idx2: opd(x2),
+                ld_dst: i2.0,
+                ld_dense: dense_base + i2.0,
+                ld_inj: second.injectable(),
+            },
+            dst: i1.0,
+            dense: dense_base + i1.0,
+            inj: first.injectable(),
+        }),
+        (
+            InstKind::Bin { op, lhs, rhs },
+            InstKind::Load {
+                ptr: p2,
+                idx: x2,
+                ty: t2,
+            },
+            InstKind::Load { .. },
+        ) => Some(DInst {
+            op: DOp::BinLoadLoad {
+                op: *op,
+                a: opd(lhs),
+                b: opd(rhs),
+                ty2: *t2,
+                ptr2: opd(p2),
+                idx2: opd(x2),
+                ld_dst: i2.0,
+                ld_dense: dense_base + i2.0,
+                ld_inj: second.injectable(),
+            },
+            dst: i1.0,
+            dense: dense_base + i1.0,
+            inj: first.injectable(),
+        }),
+        (
+            InstKind::Load { ptr, idx, ty },
+            InstKind::Bin { op, lhs, rhs },
+            InstKind::Bin {
+                op: op2,
+                lhs: l2,
+                rhs: r2,
+            },
+        ) if matches!(lhs, Operand::Value(id) if *id == i1)
+            || matches!(rhs, Operand::Value(id) if *id == i1) =>
+        {
+            let load_lhs = matches!(lhs, Operand::Value(id) if *id == i1);
+            let other = if load_lhs { opd(rhs) } else { opd(lhs) };
+            Some(DInst {
+                op: DOp::LoadBinBin {
+                    ty: *ty,
+                    op: *op,
+                    ptr: opd(ptr),
+                    idx: opd(idx),
+                    other,
+                    load_lhs,
+                    bin_dst: i2.0,
+                    bin_dense: dense_base + i2.0,
+                    bin_inj: second.injectable(),
+                    op2: *op2,
+                    a2: opd(l2),
+                    b2: opd(r2),
+                    bin2_dst: i3.0,
+                    bin2_dense: dense_base + i3.0,
+                    bin2_inj: third.injectable(),
+                },
+                dst: i1.0,
+                dense: dense_base + i1.0,
+                inj: first.injectable(),
+            })
+        }
+        _ => None,
+    }
+}
+
+fn try_fuse(
+    f: &Function,
+    cx: &OpdCx,
+    block_entry: &[u32],
+    i1: minpsid_ir::InstId,
+    i2: minpsid_ir::InstId,
+    dense_base: u32,
+) -> Option<DInst> {
+    let opd = |o: &Operand| cx.opd(o);
+    let first = &f.insts[i1.index()];
+    let second = &f.insts[i2.index()];
+    match (&first.kind, &second.kind) {
+        (
+            InstKind::Cmp { op, lhs, rhs },
+            InstKind::CondBr {
+                cond: Operand::Value(id),
+                then_b,
+                else_b,
+            },
+        ) if *id == i1 => {
+            let kind = match (sty(f, lhs), sty(f, rhs)) {
+                (Some(Ty::I64), Some(Ty::I64)) => CmpKind::II,
+                (Some(Ty::F64), Some(Ty::F64)) => CmpKind::FF,
+                (Some(Ty::Bool), Some(Ty::Bool)) => CmpKind::BB,
+                _ => CmpKind::Any,
+            };
+            Some(DInst {
+                op: DOp::CmpBr {
+                    kind,
+                    op: *op,
+                    a: opd(lhs),
+                    b: opd(rhs),
+                    t: block_entry[then_b.index()],
+                    e: block_entry[else_b.index()],
+                },
+                dst: i1.0,
+                dense: dense_base + i1.0,
+                inj: first.injectable(),
+            })
+        }
+        (
+            InstKind::Load {
+                ptr: p1,
+                idx: x1,
+                ty: t1,
+            },
+            InstKind::Load {
+                ptr: p2,
+                idx: x2,
+                ty: t2,
+            },
+        ) => Some(DInst {
+            op: DOp::LoadLoad {
+                ty1: *t1,
+                ptr1: opd(p1),
+                idx1: opd(x1),
+                ty2: *t2,
+                ptr2: opd(p2),
+                idx2: opd(x2),
+                ld_dst: i2.0,
+                ld_dense: dense_base + i2.0,
+                ld_inj: second.injectable(),
+            },
+            dst: i1.0,
+            dense: dense_base + i1.0,
+            inj: first.injectable(),
+        }),
+        (InstKind::Load { ptr, idx, ty }, InstKind::Bin { op, lhs, rhs })
+            if matches!(lhs, Operand::Value(id) if *id == i1)
+                || matches!(rhs, Operand::Value(id) if *id == i1) =>
+        {
+            let load_lhs = matches!(lhs, Operand::Value(id) if *id == i1);
+            let other = if load_lhs { opd(rhs) } else { opd(lhs) };
+            Some(DInst {
+                op: DOp::LoadBin {
+                    ty: *ty,
+                    op: *op,
+                    ptr: opd(ptr),
+                    idx: opd(idx),
+                    other,
+                    load_lhs,
+                    bin_dst: i2.0,
+                    bin_dense: dense_base + i2.0,
+                    bin_inj: second.injectable(),
+                },
+                dst: i1.0,
+                dense: dense_base + i1.0,
+                inj: first.injectable(),
+            })
+        }
+        (
+            InstKind::Bin {
+                op: o1,
+                lhs: l1,
+                rhs: r1,
+            },
+            InstKind::Bin {
+                op: o2,
+                lhs: l2,
+                rhs: r2,
+            },
+        ) => Some(DInst {
+            op: DOp::BinBin {
+                op1: *o1,
+                a1: opd(l1),
+                b1: opd(r1),
+                op2: *o2,
+                a2: opd(l2),
+                b2: opd(r2),
+                bin_dst: i2.0,
+                bin_dense: dense_base + i2.0,
+                bin_inj: second.injectable(),
+            },
+            dst: i1.0,
+            dense: dense_base + i1.0,
+            inj: first.injectable(),
+        }),
+        (InstKind::Bin { op, lhs, rhs }, InstKind::Br { target }) => Some(DInst {
+            op: DOp::BinBr {
+                op: *op,
+                a: opd(lhs),
+                b: opd(rhs),
+                target: block_entry[target.index()],
+            },
+            dst: i1.0,
+            dense: dense_base + i1.0,
+            inj: first.injectable(),
+        }),
+        (InstKind::Bin { op, lhs, rhs }, InstKind::Store { ptr, idx, value }) => Some(DInst {
+            op: DOp::BinStore {
+                op: *op,
+                a: opd(lhs),
+                b: opd(rhs),
+                ptr: opd(ptr),
+                idx: opd(idx),
+                v: opd(value),
+            },
+            dst: i1.0,
+            dense: dense_base + i1.0,
+            inj: first.injectable(),
+        }),
+        (InstKind::Store { ptr, idx, value }, InstKind::Br { target }) => Some(DInst {
+            op: DOp::StoreBr {
+                ptr: opd(ptr),
+                idx: opd(idx),
+                v: opd(value),
+                target: block_entry[target.index()],
+            },
+            dst: u32::MAX,
+            dense: dense_base + i1.0,
+            inj: false,
+        }),
+        (
+            InstKind::Bin { op, lhs, rhs },
+            InstKind::Load {
+                ptr: p2,
+                idx: x2,
+                ty: t2,
+            },
+        ) => Some(DInst {
+            op: DOp::BinLoad {
+                op: *op,
+                a: opd(lhs),
+                b: opd(rhs),
+                ty2: *t2,
+                ptr2: opd(p2),
+                idx2: opd(x2),
+                ld_dst: i2.0,
+                ld_dense: dense_base + i2.0,
+                ld_inj: second.injectable(),
+            },
+            dst: i1.0,
+            dense: dense_base + i1.0,
+            inj: first.injectable(),
+        }),
+        (
+            InstKind::Load {
+                ptr: p1,
+                idx: x1,
+                ty: t1,
+            },
+            InstKind::Store { ptr, idx, value },
+        ) => Some(DInst {
+            op: DOp::LoadStore {
+                ty: *t1,
+                ptr1: opd(p1),
+                idx1: opd(x1),
+                ptr2: opd(ptr),
+                idx2: opd(idx),
+                v: opd(value),
+            },
+            dst: i1.0,
+            dense: dense_base + i1.0,
+            inj: first.injectable(),
+        }),
+        (
+            InstKind::Store {
+                ptr: p1,
+                idx: x1,
+                value,
+            },
+            InstKind::Load {
+                ptr: p2,
+                idx: x2,
+                ty: t2,
+            },
+        ) => Some(DInst {
+            op: DOp::StoreLoad {
+                ptr1: opd(p1),
+                idx1: opd(x1),
+                v: opd(value),
+                ty2: *t2,
+                ptr2: opd(p2),
+                idx2: opd(x2),
+                ld_dst: i2.0,
+                ld_dense: dense_base + i2.0,
+                ld_inj: second.injectable(),
+            },
+            dst: u32::MAX,
+            dense: dense_base + i1.0,
+            inj: false,
+        }),
+        _ => None,
+    }
+}
+
+fn decode_inst(
+    f: &Function,
+    cx: &OpdCx,
+    block_entry: &[u32],
+    iid: minpsid_ir::InstId,
+    dense_base: u32,
+) -> DInst {
+    let opd = |o: &Operand| cx.opd(o);
+    let inst = &f.insts[iid.index()];
+    let op = match &inst.kind {
+        InstKind::Param { n } => DOp::Param { n: *n },
+        InstKind::Bin { op, lhs, rhs } => {
+            let (a, b) = (opd(lhs), opd(rhs));
+            match (sty(f, lhs), sty(f, rhs)) {
+                (Some(Ty::I64), Some(Ty::I64)) => DOp::BinII { op: *op, a, b },
+                (Some(Ty::F64), Some(Ty::F64)) => DOp::BinFF { op: *op, a, b },
+                _ => DOp::BinAny { op: *op, a, b },
+            }
+        }
+        InstKind::Un { op, arg } => DOp::Un {
+            op: *op,
+            a: opd(arg),
+        },
+        InstKind::Cmp { op, lhs, rhs } => {
+            let (a, b) = (opd(lhs), opd(rhs));
+            match (sty(f, lhs), sty(f, rhs)) {
+                (Some(Ty::I64), Some(Ty::I64)) => DOp::CmpII { op: *op, a, b },
+                (Some(Ty::F64), Some(Ty::F64)) => DOp::CmpFF { op: *op, a, b },
+                (Some(Ty::Bool), Some(Ty::Bool)) => DOp::CmpBB { op: *op, a, b },
+                _ => DOp::CmpAny { op: *op, a, b },
+            }
+        }
+        InstKind::Select {
+            cond,
+            then_v,
+            else_v,
+        } => DOp::Select {
+            c: opd(cond),
+            t: opd(then_v),
+            e: opd(else_v),
+        },
+        InstKind::Cast { to, arg } => DOp::Cast {
+            to: *to,
+            a: opd(arg),
+        },
+        InstKind::Alloc { count } => DOp::Alloc { n: opd(count) },
+        InstKind::Salloc { count } => DOp::Salloc { n: opd(count) },
+        InstKind::Load { ptr, idx, ty } => DOp::Load {
+            ty: *ty,
+            ptr: opd(ptr),
+            idx: opd(idx),
+        },
+        InstKind::Store { ptr, idx, value } => DOp::Store {
+            ptr: opd(ptr),
+            idx: opd(idx),
+            v: opd(value),
+        },
+        InstKind::Call { func, args } => DOp::Call {
+            callee: func.0,
+            args: args.iter().map(opd).collect(),
+        },
+        InstKind::NArgs => DOp::NArgs,
+        InstKind::ArgI { n } => DOp::ArgI { n: opd(n) },
+        InstKind::ArgF { n } => DOp::ArgF { n: opd(n) },
+        InstKind::DataLen { stream } => DOp::DataLen { stream: *stream },
+        InstKind::DataI { stream, idx } => DOp::DataI {
+            stream: *stream,
+            idx: opd(idx),
+        },
+        InstKind::DataF { stream, idx } => DOp::DataF {
+            stream: *stream,
+            idx: opd(idx),
+        },
+        InstKind::OutI { v } => DOp::OutI { v: opd(v) },
+        InstKind::OutF { v } => DOp::OutF { v: opd(v) },
+        InstKind::Check { a, b } => DOp::Check {
+            a: opd(a),
+            b: opd(b),
+        },
+        InstKind::Br { target } => DOp::Br {
+            target: block_entry[target.index()],
+        },
+        InstKind::CondBr {
+            cond,
+            then_b,
+            else_b,
+        } => DOp::CondBr {
+            c: opd(cond),
+            t: block_entry[then_b.index()],
+            e: block_entry[else_b.index()],
+        },
+        InstKind::Ret { v } => DOp::Ret {
+            v: v.as_ref().map(opd),
+        },
+    };
+    // Calls keep their dst: the return value is written through the call
+    // op's slot when the callee returns (see the `Ret` arm).
+    let has_result = !matches!(
+        inst.kind,
+        InstKind::Store { .. }
+            | InstKind::Check { .. }
+            | InstKind::Br { .. }
+            | InstKind::CondBr { .. }
+            | InstKind::Ret { .. }
+    );
+    DInst {
+        op,
+        dst: if has_result { iid.0 } else { u32::MAX },
+        dense: dense_base + iid.0,
+        inj: inst.injectable(),
+    }
+}
+
+/// The decoded hot loop. Semantics (including step accounting, trap
+/// points, injection ordering and fault application) are bit-identical to
+/// the legacy `run_inner`; the profile, trace and checkpoint observers are
+/// deliberately absent — runs needing them route to the legacy loop.
+///
+/// The loop is monomorphized twice via `exec_loop::<ARMED>`: the *armed*
+/// variant carries the injection counters and the fault-fire check, the
+/// *clean* variant strips every per-step fault cost. A faulty run executes
+/// armed only up to the flip, then finishes clean; a golden run is clean
+/// from the first step. Nothing observes the injection counters after the
+/// fault has fired (checkpointing runs use the legacy loop), so dropping
+/// them mid-run is invisible.
+pub(crate) fn run_decoded(
+    interp: &Interp<'_>,
+    scratch: &mut ExecScratch,
+    input: &crate::value::ProgInput,
+    fault: Option<FaultSpec>,
+) -> ExecResult {
+    let resumed_at = (scratch.st.steps > 0).then_some(scratch.st.steps);
+    if fault.is_some() && !scratch.st.fault_applied {
+        if let Some(r) = exec_loop::<true>(interp, scratch, input, fault, resumed_at) {
+            return r;
+        }
+    }
+    exec_loop::<false>(interp, scratch, input, fault, resumed_at)
+        .expect("the clean loop always runs to a termination")
+}
+
+/// One monomorphized interpreter loop; see [`run_decoded`]. Returns
+/// `Some(result)` on termination. The armed variant (`ARMED = true`)
+/// additionally returns `None` at the first instruction boundary after
+/// the fault fires, with the current frame's pc synced back into the
+/// scratch so the clean variant can pick up mid-run.
+fn exec_loop<const ARMED: bool>(
+    interp: &Interp<'_>,
+    scratch: &mut ExecScratch,
+    input: &crate::value::ProgInput,
+    fault: Option<FaultSpec>,
+    resumed_at: Option<u64>,
+) -> Option<ExecResult> {
+    let dm = interp.decoded();
+    let step_limit = interp.config().step_limit;
+    let mem_limit = interp.config().mem_limit;
+    let call_depth_limit = interp.config().call_depth_limit;
+    let output_limit = interp.config().output_limit;
+    let deadline = (interp.config().wall_clock_ms > 0).then(|| {
+        std::time::Instant::now() + std::time::Duration::from_millis(interp.config().wall_clock_ms)
+    });
+
+    let ExecScratch {
+        st,
+        dframes,
+        regs,
+        args,
+    } = scratch;
+    let MachineState {
+        frames: _,
+        mem,
+        stack_mem,
+        output,
+        steps,
+        inj_ctr,
+        per_inst_ctr,
+        fault_applied,
+    } = st;
+
+    let (target_dense, target_nth, whole_nth) = match fault {
+        Some(FaultSpec {
+            target: FaultTarget::NthOfInst(gid, n),
+            ..
+        }) => (Some(interp.dense_index(gid) as u32), n, u64::MAX),
+        Some(FaultSpec {
+            target: FaultTarget::NthDynamic(n),
+            ..
+        }) => (None, 0, n),
+        None => (None, 0, u64::MAX),
+    };
+    let fault_bit = fault.map(|f| f.bit).unwrap_or(0);
+
+    // current-frame fields cached in locals; re-synced on call/return
+    let top = *dframes.last().expect("scratch holds at least one frame");
+    let mut pc = top.pc as usize;
+    let mut reg_base = top.reg_base;
+    let mut arg_base = top.arg_base;
+    let mut arg_len = top.arg_len;
+    let mut code: &[DInst] = &dm.funcs[top.func as usize].code;
+
+    // the step counter lives in a register-resident local for the whole
+    // loop; every exit path writes it back through `finish!` (or the
+    // armed handoff) so the MachineState stays canonical
+    let mut steps_l = *steps;
+    // one threshold folds the per-step limit check and the periodic
+    // deadline poll into a single compare: `next_pause` is the next step
+    // count at which *something* must happen — the step limit expiring
+    // (at exactly step_limit + 1, as legacy) or a wall-clock poll (at
+    // the next multiple of 8192, as legacy). With no deadline set — every
+    // campaign run — the poll term is u64::MAX and the compare is the
+    // only per-step accounting cost.
+    let next_pause_after = |steps: u64| -> u64 {
+        let poll = if deadline.is_some() {
+            ((steps >> 13) + 1) << 13
+        } else {
+            u64::MAX
+        };
+        poll.min(step_limit.saturating_add(1))
+    };
+    let mut next_pause = next_pause_after(steps_l);
+    macro_rules! finish {
+        ($term:expr, $ret:expr) => {{
+            *steps = steps_l;
+            return Some(ExecResult {
+                termination: $term,
+                output: std::mem::take(output),
+                profile: None,
+                steps: steps_l,
+                fault_applied: *fault_applied,
+                ret: $ret,
+                trace: None,
+                resumed_at,
+            });
+        }};
+    }
+    macro_rules! trap {
+        ($kind:expr) => {
+            finish!(Termination::Trap($kind), None)
+        };
+    }
+    // legacy per-step prologue: increment, limit check, coarse deadline poll
+    macro_rules! tick {
+        () => {
+            steps_l += 1;
+            if steps_l >= next_pause {
+                // cold: the limit expired or a deadline poll is due
+                if steps_l > step_limit {
+                    finish!(Termination::StepLimit, None);
+                }
+                if let Some(d) = deadline {
+                    if std::time::Instant::now() >= d {
+                        finish!(Termination::WallClock, None);
+                    }
+                }
+                next_pause = next_pause_after(steps_l);
+            }
+        };
+    }
+    // operand fetch; trap order (UndefRead before type checks) matches legacy
+    macro_rules! raw {
+        ($o:expr) => {{
+            let r = *$o as usize;
+            debug_assert!(reg_base + r < regs.len());
+            // SAFETY: decode resolves register operands to instruction
+            // ids of the current function and constants to the interned
+            // slots after them (all < num_regs on verified IR), and the
+            // arena holds exactly reg_base + num_regs slots for the
+            // active frame (resized on call, truncated on return).
+            let v = unsafe { *regs.get_unchecked(reg_base + r) };
+            if matches!(v, Value::Undef) {
+                trap!(TrapKind::UndefRead);
+            }
+            v
+        }};
+    }
+    // typed operand fetches: one match instead of raw!-then-as_x. On
+    // verified IR a non-Undef register always holds its declared variant
+    // (bit flips preserve the variant, const slots are pre-materialized),
+    // so the only reachable trap here is UndefRead — checked per operand
+    // in the same order as legacy.
+    macro_rules! int {
+        ($o:expr) => {{
+            let r = *$o as usize;
+            debug_assert!(reg_base + r < regs.len());
+            // SAFETY: see `raw!`.
+            match unsafe { *regs.get_unchecked(reg_base + r) } {
+                Value::I(x) => x,
+                Value::Undef => trap!(TrapKind::UndefRead),
+                _ => trap!(TrapKind::TypeConfusion),
+            }
+        }};
+    }
+    macro_rules! flt {
+        ($o:expr) => {{
+            let r = *$o as usize;
+            debug_assert!(reg_base + r < regs.len());
+            // SAFETY: see `raw!`.
+            match unsafe { *regs.get_unchecked(reg_base + r) } {
+                Value::F(x) => x,
+                Value::Undef => trap!(TrapKind::UndefRead),
+                _ => trap!(TrapKind::TypeConfusion),
+            }
+        }};
+    }
+    macro_rules! boolean {
+        ($o:expr) => {{
+            let r = *$o as usize;
+            debug_assert!(reg_base + r < regs.len());
+            // SAFETY: see `raw!`.
+            match unsafe { *regs.get_unchecked(reg_base + r) } {
+                Value::B(x) => x,
+                Value::Undef => trap!(TrapKind::UndefRead),
+                _ => trap!(TrapKind::TypeConfusion),
+            }
+        }};
+    }
+    macro_rules! pointer {
+        ($o:expr) => {{
+            let r = *$o as usize;
+            debug_assert!(reg_base + r < regs.len());
+            // SAFETY: see `raw!`.
+            match unsafe { *regs.get_unchecked(reg_base + r) } {
+                Value::P(x) => x,
+                Value::Undef => trap!(TrapKind::UndefRead),
+                _ => trap!(TrapKind::TypeConfusion),
+            }
+        }};
+    }
+    // fault application + injection counting + register write for one
+    // produced value; evaluates to the (possibly flipped) value. The
+    // clean variant compiles down to the bare register write.
+    macro_rules! produce {
+        ($dense:expr, $inj:expr, $dst:expr, $v:expr) => {{
+            let mut v = $v;
+            if ARMED && $inj {
+                let fire = match target_dense {
+                    Some(td) => {
+                        if td == $dense {
+                            let hit = *per_inst_ctr == target_nth;
+                            *per_inst_ctr += 1;
+                            hit
+                        } else {
+                            false
+                        }
+                    }
+                    None => *inj_ctr == whole_nth,
+                };
+                if fire && !*fault_applied {
+                    *fault_applied = true;
+                    v = flip_bit(v, fault_bit);
+                }
+                *inj_ctr += 1;
+            }
+            debug_assert!(reg_base + ($dst as usize) < regs.len());
+            // SAFETY: dst is this instruction's id (< num_regs); see the
+            // operand-read invariant in `raw!`.
+            unsafe {
+                *regs.get_unchecked_mut(reg_base + $dst as usize) = v;
+            }
+            v
+        }};
+    }
+    macro_rules! bin_ii {
+        ($op:expr, $x:expr, $y:expr) => {{
+            let (x, y) = ($x, $y);
+            match $op {
+                BinOp::Add => x.wrapping_add(y),
+                BinOp::Sub => x.wrapping_sub(y),
+                BinOp::Mul => x.wrapping_mul(y),
+                BinOp::Div => match x.checked_div(y) {
+                    Some(v) => v,
+                    None => trap!(TrapKind::DivByZero),
+                },
+                BinOp::Rem => match x.checked_rem(y) {
+                    Some(v) => v,
+                    None => trap!(TrapKind::DivByZero),
+                },
+                BinOp::And => x & y,
+                BinOp::Or => x | y,
+                BinOp::Xor => x ^ y,
+                BinOp::Shl => x.wrapping_shl(y as u32 & 63),
+                BinOp::Shr => x.wrapping_shr(y as u32 & 63),
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+            }
+        }};
+    }
+    macro_rules! bin_ff {
+        ($op:expr, $x:expr, $y:expr) => {{
+            let (x, y) = ($x, $y);
+            match $op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Rem => x % y,
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+                _ => trap!(TrapKind::TypeConfusion),
+            }
+        }};
+    }
+    // generic pair dispatch, identical to the legacy Bin arm
+    macro_rules! bin_any {
+        ($op:expr, $a:expr, $b:expr) => {
+            match ($a, $b) {
+                (Value::I(x), Value::I(y)) => Value::I(bin_ii!($op, x, y)),
+                (Value::F(x), Value::F(y)) => Value::F(bin_ff!($op, x, y)),
+                _ => trap!(TrapKind::TypeConfusion),
+            }
+        };
+    }
+    macro_rules! cmp_ff {
+        ($op:expr, $x:expr, $y:expr) => {{
+            let (x, y) = ($x, $y);
+            match $op {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            }
+        }};
+    }
+    macro_rules! cmp_any {
+        ($op:expr, $a:expr, $b:expr) => {
+            match ($a, $b) {
+                (Value::I(x), Value::I(y)) => cmp_ord($op, x.cmp(&y)),
+                (Value::B(x), Value::B(y)) => cmp_ord($op, x.cmp(&y)),
+                (Value::F(x), Value::F(y)) => cmp_ff!($op, x, y),
+                _ => trap!(TrapKind::TypeConfusion),
+            }
+        };
+    }
+    macro_rules! load_word {
+        ($ptr:expr, $idx:expr) => {{
+            let p = pointer!($ptr);
+            let i = int!($idx);
+            let (space, base): (&[u64], u64) = if p & STACK_TAG != 0 {
+                (&*stack_mem, p & !STACK_TAG)
+            } else {
+                (&*mem, p)
+            };
+            // u64 + signed offset; None (negative or overflow) is
+            // exactly the legacy i128 out-of-range condition
+            let addr = match base.checked_add_signed(i) {
+                Some(a) if a < space.len() as u64 => a,
+                _ => trap!(TrapKind::OutOfBounds),
+            };
+            space[addr as usize]
+        }};
+    }
+    // one store, shared by the Store arm and the store-carrying fused
+    // ops; operand fetch and trap order match the legacy Store arm
+    macro_rules! store_word {
+        ($ptr:expr, $idx:expr, $v:expr) => {{
+            let p = pointer!($ptr);
+            let i = int!($idx);
+            let val = raw!($v);
+            let (space, base): (&mut Vec<u64>, u64) = if p & STACK_TAG != 0 {
+                (&mut *stack_mem, p & !STACK_TAG)
+            } else {
+                (&mut *mem, p)
+            };
+            let addr = match base.checked_add_signed(i) {
+                Some(a) if a < space.len() as u64 => a,
+                _ => trap!(TrapKind::OutOfBounds),
+            };
+            space[addr as usize] = match val {
+                Value::I(x) => x as u64,
+                Value::F(x) => x.to_bits(),
+                _ => trap!(TrapKind::TypeConfusion),
+            };
+        }};
+    }
+    macro_rules! stream_idx {
+        ($o:expr) => {{
+            let i = int!($o);
+            match usize::try_from(i) {
+                Ok(ix) => ix,
+                Err(_) => trap!(TrapKind::BadIndex),
+            }
+        }};
+    }
+
+    loop {
+        // armed phase only: hand off to the clean loop at the first
+        // instruction boundary after the fault has fired
+        if ARMED && *fault_applied {
+            dframes.last_mut().expect("frame stack is non-empty").pc = pc as u32;
+            *steps = steps_l;
+            return None;
+        }
+        // `code` is reassigned on call/return while `di` may still be
+        // live, so index through a per-iteration copy of the reference
+        let cur_code = code;
+        debug_assert!(pc < cur_code.len());
+        // SAFETY: pc is always a block entry or the sequential successor
+        // of a non-terminator; verified IR ends every (non-empty) block
+        // with a terminator, so both stay inside `code`.
+        let di = unsafe { cur_code.get_unchecked(pc) };
+        tick!();
+        match &di.op {
+            DOp::Param { n } => {
+                let v = if (*n as usize) < arg_len {
+                    args[arg_base + *n as usize]
+                } else {
+                    Value::Undef
+                };
+                produce!(di.dense, di.inj, di.dst, v);
+                pc += 1;
+            }
+            DOp::BinII { op, a, b } => {
+                let r = bin_ii!(op, int!(a), int!(b));
+                produce!(di.dense, di.inj, di.dst, Value::I(r));
+                pc += 1;
+            }
+            DOp::BinFF { op, a, b } => {
+                let r = bin_ff!(op, flt!(a), flt!(b));
+                produce!(di.dense, di.inj, di.dst, Value::F(r));
+                pc += 1;
+            }
+            DOp::BinAny { op, a, b } => {
+                let x = raw!(a);
+                let y = raw!(b);
+                let r = bin_any!(op, x, y);
+                produce!(di.dense, di.inj, di.dst, r);
+                pc += 1;
+            }
+            DOp::Un { op, a } => {
+                let v = raw!(a);
+                let r = match (op, v) {
+                    (UnOp::Neg, Value::I(x)) => Value::I(x.wrapping_neg()),
+                    (UnOp::Neg, Value::F(x)) => Value::F(-x),
+                    (UnOp::Not, Value::B(x)) => Value::B(!x),
+                    (UnOp::Not, Value::I(x)) => Value::I(!x),
+                    (UnOp::Abs, Value::I(x)) => Value::I(x.wrapping_abs()),
+                    (UnOp::Abs, Value::F(x)) => Value::F(x.abs()),
+                    (UnOp::Sqrt, Value::F(x)) => Value::F(x.sqrt()),
+                    (UnOp::Sin, Value::F(x)) => Value::F(x.sin()),
+                    (UnOp::Cos, Value::F(x)) => Value::F(x.cos()),
+                    (UnOp::Exp, Value::F(x)) => Value::F(x.exp()),
+                    (UnOp::Log, Value::F(x)) => Value::F(x.ln()),
+                    (UnOp::Floor, Value::F(x)) => Value::F(x.floor()),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(di.dense, di.inj, di.dst, r);
+                pc += 1;
+            }
+            DOp::CmpII { op, a, b } => {
+                let (x, y) = (int!(a), int!(b));
+                let r = cmp_ord(*op, x.cmp(&y));
+                produce!(di.dense, di.inj, di.dst, Value::B(r));
+                pc += 1;
+            }
+            DOp::CmpFF { op, a, b } => {
+                let r = cmp_ff!(op, flt!(a), flt!(b));
+                produce!(di.dense, di.inj, di.dst, Value::B(r));
+                pc += 1;
+            }
+            DOp::CmpBB { op, a, b } => {
+                let (x, y) = (boolean!(a), boolean!(b));
+                let r = cmp_ord(*op, x.cmp(&y));
+                produce!(di.dense, di.inj, di.dst, Value::B(r));
+                pc += 1;
+            }
+            DOp::CmpAny { op, a, b } => {
+                let x = raw!(a);
+                let y = raw!(b);
+                let r = cmp_any!(*op, x, y);
+                produce!(di.dense, di.inj, di.dst, Value::B(r));
+                pc += 1;
+            }
+            DOp::Select { c, t, e } => {
+                let cv = boolean!(c);
+                let r = if cv { raw!(t) } else { raw!(e) };
+                produce!(di.dense, di.inj, di.dst, r);
+                pc += 1;
+            }
+            DOp::Cast { to, a } => {
+                let v = raw!(a);
+                let r = match (v, to) {
+                    (Value::I(x), Ty::F64) => Value::F(x as f64),
+                    (Value::F(x), Ty::I64) => Value::I(x as i64), // saturating
+                    (Value::B(x), Ty::I64) => Value::I(x as i64),
+                    (Value::I(x), Ty::I64) => Value::I(x),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(di.dense, di.inj, di.dst, r);
+                pc += 1;
+            }
+            DOp::Alloc { n } => {
+                let n = int!(n);
+                if n < 0 {
+                    trap!(TrapKind::NegativeAlloc);
+                }
+                let n = n as u64;
+                let base = mem.len() as u64;
+                if base + n > mem_limit {
+                    trap!(TrapKind::MemLimit);
+                }
+                mem.resize((base + n) as usize, 0);
+                produce!(di.dense, di.inj, di.dst, Value::P(base));
+                pc += 1;
+            }
+            DOp::Salloc { n } => {
+                let n = int!(n);
+                if n < 0 {
+                    trap!(TrapKind::NegativeAlloc);
+                }
+                let n = n as u64;
+                let base = stack_mem.len() as u64;
+                if base + n > mem_limit {
+                    trap!(TrapKind::MemLimit);
+                }
+                stack_mem.resize((base + n) as usize, 0);
+                produce!(di.dense, di.inj, di.dst, Value::P(STACK_TAG | base));
+                pc += 1;
+            }
+            DOp::Load { ty, ptr, idx } => {
+                let bits = load_word!(ptr, idx);
+                let r = match ty {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(di.dense, di.inj, di.dst, r);
+                pc += 1;
+            }
+            DOp::Store { ptr, idx, v } => {
+                store_word!(ptr, idx, v);
+                pc += 1;
+            }
+            DOp::Call {
+                callee,
+                args: cargs,
+            } => {
+                if dframes.len() as u32 >= call_depth_limit {
+                    trap!(TrapKind::CallDepth);
+                }
+                // argument fetch uses the caller's registers; push onto
+                // the shared arg arena before switching frames
+                let new_arg_base = args.len();
+                for a in cargs.iter() {
+                    let v = raw!(a);
+                    args.push(v);
+                }
+                dframes.last_mut().unwrap().pc = pc as u32; // stay at the call
+                let callee = *callee as usize;
+                let cf = &dm.funcs[callee];
+                let new_reg_base = regs.len();
+                regs.resize(
+                    new_reg_base + cf.num_regs as usize - cf.consts.len(),
+                    Value::Undef,
+                );
+                regs.extend_from_slice(&cf.consts);
+                dframes.push(DFrame {
+                    func: callee as u32,
+                    pc: cf.block_entry[0],
+                    reg_base: new_reg_base,
+                    arg_base: new_arg_base,
+                    arg_len: cargs.len(),
+                    sp_base: stack_mem.len(),
+                });
+                code = &dm.funcs[callee].code;
+                pc = cf.block_entry[0] as usize;
+                reg_base = new_reg_base;
+                arg_base = new_arg_base;
+                arg_len = cargs.len();
+            }
+            DOp::NArgs => {
+                produce!(di.dense, di.inj, di.dst, Value::I(input.args.len() as i64));
+                pc += 1;
+            }
+            DOp::ArgI { n } => {
+                let ix = stream_idx!(n);
+                match input.args.get(ix) {
+                    Some(Scalar::I(v)) => {
+                        produce!(di.dense, di.inj, di.dst, Value::I(*v));
+                    }
+                    Some(Scalar::F(_)) => trap!(TrapKind::ArgTypeMismatch),
+                    None => trap!(TrapKind::ArgOutOfRange),
+                }
+                pc += 1;
+            }
+            DOp::ArgF { n } => {
+                let ix = stream_idx!(n);
+                match input.args.get(ix) {
+                    Some(Scalar::F(v)) => {
+                        produce!(di.dense, di.inj, di.dst, Value::F(*v));
+                    }
+                    Some(Scalar::I(_)) => trap!(TrapKind::ArgTypeMismatch),
+                    None => trap!(TrapKind::ArgOutOfRange),
+                }
+                pc += 1;
+            }
+            DOp::DataLen { stream } => {
+                let len = input
+                    .streams
+                    .get(*stream as usize)
+                    .map(|s| s.len() as i64)
+                    .unwrap_or(0);
+                produce!(di.dense, di.inj, di.dst, Value::I(len));
+                pc += 1;
+            }
+            DOp::DataI { stream, idx } => {
+                let ix = stream_idx!(idx);
+                match input.streams.get(*stream as usize) {
+                    Some(Stream::I(v)) => match v.get(ix) {
+                        Some(x) => {
+                            produce!(di.dense, di.inj, di.dst, Value::I(*x));
+                        }
+                        None => trap!(TrapKind::StreamOutOfBounds),
+                    },
+                    Some(Stream::F(_)) => trap!(TrapKind::StreamTypeMismatch),
+                    None => trap!(TrapKind::StreamOutOfBounds),
+                }
+                pc += 1;
+            }
+            DOp::DataF { stream, idx } => {
+                let ix = stream_idx!(idx);
+                match input.streams.get(*stream as usize) {
+                    Some(Stream::F(v)) => match v.get(ix) {
+                        Some(x) => {
+                            produce!(di.dense, di.inj, di.dst, Value::F(*x));
+                        }
+                        None => trap!(TrapKind::StreamOutOfBounds),
+                    },
+                    Some(Stream::I(_)) => trap!(TrapKind::StreamTypeMismatch),
+                    None => trap!(TrapKind::StreamOutOfBounds),
+                }
+                pc += 1;
+            }
+            DOp::OutI { v } => {
+                let x = int!(v);
+                output.push_i(x);
+                if output.len() > output_limit {
+                    finish!(Termination::StepLimit, None);
+                }
+                pc += 1;
+            }
+            DOp::OutF { v } => {
+                let x = flt!(v);
+                output.push_f(x);
+                if output.len() > output_limit {
+                    finish!(Termination::StepLimit, None);
+                }
+                pc += 1;
+            }
+            DOp::Check { a, b } => {
+                let x = raw!(a);
+                let y = raw!(b);
+                if !bit_equal(x, y) {
+                    finish!(Termination::Detected, None);
+                }
+                pc += 1;
+            }
+            DOp::Br { target } => {
+                pc = *target as usize;
+            }
+            DOp::CondBr { c, t, e } => {
+                let cv = boolean!(c);
+                pc = if cv { *t } else { *e } as usize;
+            }
+            DOp::Ret { v } => {
+                let rv = match v {
+                    Some(v) => Some(raw!(v)),
+                    None => None,
+                };
+                let finished = dframes.pop().unwrap();
+                stack_mem.truncate(finished.sp_base);
+                regs.truncate(finished.reg_base);
+                args.truncate(finished.arg_base);
+                match dframes.last() {
+                    None => {
+                        finish!(Termination::Exit, rv);
+                    }
+                    Some(&caller) => {
+                        code = &dm.funcs[caller.func as usize].code;
+                        pc = caller.pc as usize;
+                        reg_base = caller.reg_base;
+                        arg_base = caller.arg_base;
+                        arg_len = caller.arg_len;
+                        // the caller's pc still points at the call (calls
+                        // are never fused): its return value materializes
+                        // here, so this is its fault-injection point
+                        let call = &code[pc];
+                        if let Some(v) = rv {
+                            produce!(call.dense, call.inj, call.dst, v);
+                        }
+                        pc += 1;
+                    }
+                }
+            }
+            DOp::CmpBr {
+                kind,
+                op,
+                a,
+                b,
+                t,
+                e,
+            } => {
+                // compare half (metadata on the carrying DInst)
+                let r = match kind {
+                    CmpKind::II => {
+                        let (x, y) = (int!(a), int!(b));
+                        cmp_ord(*op, x.cmp(&y))
+                    }
+                    CmpKind::FF => cmp_ff!(*op, flt!(a), flt!(b)),
+                    CmpKind::BB => {
+                        let (x, y) = (boolean!(a), boolean!(b));
+                        cmp_ord(*op, x.cmp(&y))
+                    }
+                    CmpKind::Any => {
+                        let x = raw!(a);
+                        let y = raw!(b);
+                        cmp_any!(*op, x, y)
+                    }
+                };
+                let v = produce!(di.dense, di.inj, di.dst, Value::B(r));
+                // branch half: a flip on a Bool stays a Bool, so the
+                // branch reads the post-fault value exactly as legacy does
+                let cv = match v {
+                    Value::B(c) => c,
+                    _ => unreachable!("bit flip preserves the Bool variant"),
+                };
+                tick!();
+                pc = if cv { *t } else { *e } as usize;
+            }
+            DOp::Load4 {
+                ops,
+                dsts,
+                denses,
+                injs,
+            } => {
+                // first load (metadata on the carrying DInst); later
+                // halves fetch addresses after earlier writes land
+                let (ty, ptr, idx) = &ops[0];
+                let bits = load_word!(ptr, idx);
+                let r = match ty {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(di.dense, di.inj, di.dst, r);
+                for h in 0..3 {
+                    tick!();
+                    let (ty, ptr, idx) = &ops[h + 1];
+                    let bits = load_word!(ptr, idx);
+                    let r = match ty {
+                        Ty::I64 => Value::I(bits as i64),
+                        Ty::F64 => Value::F(f64::from_bits(bits)),
+                        _ => trap!(TrapKind::TypeConfusion),
+                    };
+                    produce!(denses[h], injs[h], dsts[h], r);
+                }
+                pc += 4;
+            }
+            DOp::LoadCastBinUn { ty, ptr, idx } => {
+                // load half (metadata on the carrying DInst)
+                let bits = load_word!(ptr, idx);
+                let r = match ty {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(di.dense, di.inj, di.dst, r);
+                // the cast, bin and un execute from their standalone
+                // slots — a bounded tag check each, not a dispatch
+                // round; every half fetches after the previous write
+                tick!();
+                // SAFETY: decode fused a 4-window of one block, so the
+                // three standalone copies follow the carrying slot
+                let d2 = unsafe { cur_code.get_unchecked(pc + 1) };
+                match &d2.op {
+                    DOp::Cast { to, a } => {
+                        let v = raw!(a);
+                        let r = match (v, to) {
+                            (Value::I(x), Ty::F64) => Value::F(x as f64),
+                            (Value::F(x), Ty::I64) => Value::I(x as i64), // saturating
+                            (Value::B(x), Ty::I64) => Value::I(x as i64),
+                            (Value::I(x), Ty::I64) => Value::I(x),
+                            _ => trap!(TrapKind::TypeConfusion),
+                        };
+                        produce!(d2.dense, d2.inj, d2.dst, r);
+                    }
+                    _ => unreachable!("LoadCastBinUn chains a cast slot"),
+                }
+                tick!();
+                // SAFETY: as above
+                let d3 = unsafe { cur_code.get_unchecked(pc + 2) };
+                match &d3.op {
+                    DOp::BinII { op, a, b } => {
+                        let r = bin_ii!(op, int!(a), int!(b));
+                        produce!(d3.dense, d3.inj, d3.dst, Value::I(r));
+                    }
+                    DOp::BinFF { op, a, b } => {
+                        let r = bin_ff!(op, flt!(a), flt!(b));
+                        produce!(d3.dense, d3.inj, d3.dst, Value::F(r));
+                    }
+                    DOp::BinAny { op, a, b } => {
+                        let x = raw!(a);
+                        let y = raw!(b);
+                        let r = bin_any!(op, x, y);
+                        produce!(d3.dense, d3.inj, d3.dst, r);
+                    }
+                    _ => unreachable!("LoadCastBinUn chains a bin slot"),
+                }
+                tick!();
+                // SAFETY: as above
+                let d4 = unsafe { cur_code.get_unchecked(pc + 3) };
+                match &d4.op {
+                    DOp::Un { op, a } => {
+                        let v = raw!(a);
+                        let r = match (op, v) {
+                            (UnOp::Neg, Value::I(x)) => Value::I(x.wrapping_neg()),
+                            (UnOp::Neg, Value::F(x)) => Value::F(-x),
+                            (UnOp::Not, Value::B(x)) => Value::B(!x),
+                            (UnOp::Not, Value::I(x)) => Value::I(!x),
+                            (UnOp::Abs, Value::I(x)) => Value::I(x.wrapping_abs()),
+                            (UnOp::Abs, Value::F(x)) => Value::F(x.abs()),
+                            (UnOp::Sqrt, Value::F(x)) => Value::F(x.sqrt()),
+                            (UnOp::Sin, Value::F(x)) => Value::F(x.sin()),
+                            (UnOp::Cos, Value::F(x)) => Value::F(x.cos()),
+                            (UnOp::Exp, Value::F(x)) => Value::F(x.exp()),
+                            (UnOp::Log, Value::F(x)) => Value::F(x.ln()),
+                            (UnOp::Floor, Value::F(x)) => Value::F(x.floor()),
+                            _ => trap!(TrapKind::TypeConfusion),
+                        };
+                        produce!(d4.dense, d4.inj, d4.dst, r);
+                    }
+                    _ => unreachable!("LoadCastBinUn chains a un slot"),
+                }
+                pc += 4;
+            }
+            DOp::LoadCmpBr {
+                ty,
+                ptr,
+                idx,
+                kind,
+                op,
+                a,
+                b,
+                t,
+                e,
+                cmp_dst,
+                cmp_dense,
+                cmp_inj,
+            } => {
+                // load half (metadata on the carrying DInst)
+                let bits = load_word!(ptr, idx);
+                let r = match ty {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(di.dense, di.inj, di.dst, r);
+                // compare half: operands fetched after the load write,
+                // so a compare of the loaded slot reads the post-fault
+                // value exactly as legacy does
+                tick!();
+                let r = match kind {
+                    CmpKind::II => {
+                        let (x, y) = (int!(a), int!(b));
+                        cmp_ord(*op, x.cmp(&y))
+                    }
+                    CmpKind::FF => cmp_ff!(*op, flt!(a), flt!(b)),
+                    CmpKind::BB => {
+                        let (x, y) = (boolean!(a), boolean!(b));
+                        cmp_ord(*op, x.cmp(&y))
+                    }
+                    CmpKind::Any => {
+                        let x = raw!(a);
+                        let y = raw!(b);
+                        cmp_any!(*op, x, y)
+                    }
+                };
+                let v = produce!(*cmp_dense, *cmp_inj, *cmp_dst, Value::B(r));
+                // branch half: a flip on a Bool stays a Bool
+                let cv = match v {
+                    Value::B(c) => c,
+                    _ => unreachable!("bit flip preserves the Bool variant"),
+                };
+                tick!();
+                pc = if cv { *t } else { *e } as usize;
+            }
+            DOp::BinLoad {
+                op,
+                a,
+                b,
+                ty2,
+                ptr2,
+                idx2,
+                ld_dst,
+                ld_dense,
+                ld_inj,
+            } => {
+                // bin half (metadata on the carrying DInst)
+                let x = raw!(a);
+                let y = raw!(b);
+                let r = bin_any!(op, x, y);
+                produce!(di.dense, di.inj, di.dst, r);
+                // load half: address fetched after the bin write
+                tick!();
+                let bits = load_word!(ptr2, idx2);
+                let r = match ty2 {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(*ld_dense, *ld_inj, *ld_dst, r);
+                pc += 2;
+            }
+            DOp::LoadStore {
+                ty,
+                ptr1,
+                idx1,
+                ptr2,
+                idx2,
+                v,
+            } => {
+                // load half (metadata on the carrying DInst)
+                let bits = load_word!(ptr1, idx1);
+                let r = match ty {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(di.dense, di.inj, di.dst, r);
+                // store half: value fetched after the load write, so a
+                // store of the loaded value reads the post-fault value
+                tick!();
+                store_word!(ptr2, idx2, v);
+                pc += 2;
+            }
+            DOp::BinStore {
+                op,
+                a,
+                b,
+                ptr,
+                idx,
+                v,
+            } => {
+                // bin half (metadata on the carrying DInst)
+                let x = raw!(a);
+                let y = raw!(b);
+                let r = bin_any!(op, x, y);
+                produce!(di.dense, di.inj, di.dst, r);
+                // store half: value fetched after the bin write, so a
+                // store of the bin result reads the post-fault value
+                tick!();
+                store_word!(ptr, idx, v);
+                pc += 2;
+            }
+            DOp::StoreBr {
+                ptr,
+                idx,
+                v,
+                target,
+            } => {
+                // store half (carrying DInst; produces nothing)
+                store_word!(ptr, idx, v);
+                // branch half: control-only
+                tick!();
+                pc = *target as usize;
+            }
+            DOp::StoreLoad {
+                ptr1,
+                idx1,
+                v,
+                ty2,
+                ptr2,
+                idx2,
+                ld_dst,
+                ld_dense,
+                ld_inj,
+            } => {
+                // store half (carrying DInst; produces nothing)
+                store_word!(ptr1, idx1, v);
+                // load half: address fetched after the store, so a
+                // read-back of the stored slot sees the new value
+                tick!();
+                let bits = load_word!(ptr2, idx2);
+                let r = match ty2 {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(*ld_dense, *ld_inj, *ld_dst, r);
+                pc += 2;
+            }
+            DOp::BinBr { op, a, b, target } => {
+                // bin half (metadata on the carrying DInst)
+                let x = raw!(a);
+                let y = raw!(b);
+                let r = bin_any!(op, x, y);
+                produce!(di.dense, di.inj, di.dst, r);
+                // branch half: control-only
+                tick!();
+                pc = *target as usize;
+            }
+            DOp::BinBin {
+                op1,
+                a1,
+                b1,
+                op2,
+                a2,
+                b2,
+                bin_dst,
+                bin_dense,
+                bin_inj,
+            } => {
+                // first half (metadata on the carrying DInst)
+                let x = raw!(a1);
+                let y = raw!(b1);
+                let r = bin_any!(op1, x, y);
+                produce!(di.dense, di.inj, di.dst, r);
+                // second half fetches after the first write, so a
+                // dependent pair reads the post-fault value as legacy does
+                tick!();
+                let x = raw!(a2);
+                let y = raw!(b2);
+                let r = bin_any!(op2, x, y);
+                produce!(*bin_dense, *bin_inj, *bin_dst, r);
+                pc += 2;
+            }
+            DOp::LoadLoad {
+                ty1,
+                ptr1,
+                idx1,
+                ty2,
+                ptr2,
+                idx2,
+                ld_dst,
+                ld_dense,
+                ld_inj,
+            } => {
+                // first load (metadata on the carrying DInst)
+                let bits = load_word!(ptr1, idx1);
+                let r = match ty1 {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(di.dense, di.inj, di.dst, r);
+                // second load: address operands fetched after the first
+                // write, so indirect chains read the post-fault value
+                tick!();
+                let bits = load_word!(ptr2, idx2);
+                let r = match ty2 {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(*ld_dense, *ld_inj, *ld_dst, r);
+                pc += 2;
+            }
+            DOp::LoadBin {
+                ty,
+                op,
+                ptr,
+                idx,
+                other,
+                load_lhs,
+                bin_dst,
+                bin_dense,
+                bin_inj,
+            } => {
+                // load half (metadata on the carrying DInst)
+                let bits = load_word!(ptr, idx);
+                let lv = match ty {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                let lv = produce!(di.dense, di.inj, di.dst, lv);
+                // bin half: reads the post-fault load value; operand fetch
+                // order (lhs before rhs) matches legacy
+                tick!();
+                let (x, y) = if *load_lhs {
+                    (lv, raw!(other))
+                } else {
+                    (raw!(other), lv)
+                };
+                let r = bin_any!(op, x, y);
+                produce!(*bin_dense, *bin_inj, *bin_dst, r);
+                pc += 2;
+            }
+            DOp::BinStoreBr {
+                op,
+                a,
+                b,
+                ptr,
+                idx,
+                v,
+                target,
+            } => {
+                // bin half (metadata on the carrying DInst)
+                let x = raw!(a);
+                let y = raw!(b);
+                let r = bin_any!(op, x, y);
+                produce!(di.dense, di.inj, di.dst, r);
+                // store half: value fetched after the bin write
+                tick!();
+                store_word!(ptr, idx, v);
+                // branch half: control-only
+                tick!();
+                pc = *target as usize;
+            }
+            DOp::LoadLoadBin {
+                ty1,
+                ptr1,
+                idx1,
+                ty2,
+                ptr2,
+                idx2,
+                ld_dst,
+                ld_dense,
+                ld_inj,
+            } => {
+                // first load (metadata on the carrying DInst)
+                let bits = load_word!(ptr1, idx1);
+                let r = match ty1 {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(di.dense, di.inj, di.dst, r);
+                // second load: address operands fetched after the first
+                // write, so indirect chains read the post-fault value
+                tick!();
+                let bits = load_word!(ptr2, idx2);
+                let r = match ty2 {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(*ld_dense, *ld_inj, *ld_dst, r);
+                // bin third: executes from its standalone slot — a
+                // bounded tag check, not a full dispatch round; operand
+                // fetch happens after both load writes
+                tick!();
+                // SAFETY: decode fused a 3-window of one block, so the
+                // standalone bin copy sits two slots after the carrier
+                let d3 = unsafe { cur_code.get_unchecked(pc + 2) };
+                match &d3.op {
+                    DOp::BinII { op, a, b } => {
+                        let r = bin_ii!(op, int!(a), int!(b));
+                        produce!(d3.dense, d3.inj, d3.dst, Value::I(r));
+                    }
+                    DOp::BinFF { op, a, b } => {
+                        let r = bin_ff!(op, flt!(a), flt!(b));
+                        produce!(d3.dense, d3.inj, d3.dst, Value::F(r));
+                    }
+                    DOp::BinAny { op, a, b } => {
+                        let x = raw!(a);
+                        let y = raw!(b);
+                        let r = bin_any!(op, x, y);
+                        produce!(d3.dense, d3.inj, d3.dst, r);
+                    }
+                    _ => unreachable!("LoadLoadBin chains a bin slot"),
+                }
+                pc += 3;
+            }
+            DOp::BinLoadLoad {
+                op,
+                a,
+                b,
+                ty2,
+                ptr2,
+                idx2,
+                ld_dst,
+                ld_dense,
+                ld_inj,
+            } => {
+                // bin half (metadata on the carrying DInst)
+                let x = raw!(a);
+                let y = raw!(b);
+                let r = bin_any!(op, x, y);
+                produce!(di.dense, di.inj, di.dst, r);
+                // first load: address fetched after the bin write
+                tick!();
+                let bits = load_word!(ptr2, idx2);
+                let r = match ty2 {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(*ld_dense, *ld_inj, *ld_dst, r);
+                // second load executes from its standalone slot
+                tick!();
+                // SAFETY: decode fused a 3-window of one block, so the
+                // standalone load copy sits two slots after the carrier
+                let d3 = unsafe { cur_code.get_unchecked(pc + 2) };
+                match &d3.op {
+                    DOp::Load { ty, ptr, idx } => {
+                        let bits = load_word!(ptr, idx);
+                        let r = match ty {
+                            Ty::I64 => Value::I(bits as i64),
+                            Ty::F64 => Value::F(f64::from_bits(bits)),
+                            _ => trap!(TrapKind::TypeConfusion),
+                        };
+                        produce!(d3.dense, d3.inj, d3.dst, r);
+                    }
+                    _ => unreachable!("BinLoadLoad chains a load slot"),
+                }
+                pc += 3;
+            }
+            DOp::LoadBinBin {
+                ty,
+                op,
+                ptr,
+                idx,
+                other,
+                load_lhs,
+                bin_dst,
+                bin_dense,
+                bin_inj,
+                op2,
+                a2,
+                b2,
+                bin2_dst,
+                bin2_dense,
+                bin2_inj,
+            } => {
+                // load half (metadata on the carrying DInst)
+                let bits = load_word!(ptr, idx);
+                let lv = match ty {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                let lv = produce!(di.dense, di.inj, di.dst, lv);
+                // first bin: reads the post-fault load value; operand
+                // fetch order (lhs before rhs) matches legacy
+                tick!();
+                let (x, y) = if *load_lhs {
+                    (lv, raw!(other))
+                } else {
+                    (raw!(other), lv)
+                };
+                let r = bin_any!(op, x, y);
+                produce!(*bin_dense, *bin_inj, *bin_dst, r);
+                // second bin: operands fetched after the first's write
+                tick!();
+                let x = raw!(a2);
+                let y = raw!(b2);
+                let r = bin_any!(op2, x, y);
+                produce!(*bin2_dense, *bin2_inj, *bin2_dst, r);
+                pc += 3;
+            }
+            DOp::LoadBinStoreBr {
+                ty,
+                ptr,
+                idx,
+                op,
+                a,
+                b,
+                bin_dst,
+                bin_dense,
+                bin_inj,
+                st_ptr,
+                st_idx,
+                st_v,
+                target,
+            } => {
+                // load half (metadata on the carrying DInst)
+                let bits = load_word!(ptr, idx);
+                let r = match ty {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(di.dense, di.inj, di.dst, r);
+                // bin half: operands fetched after the load's write
+                tick!();
+                let x = raw!(a);
+                let y = raw!(b);
+                let r = bin_any!(op, x, y);
+                produce!(*bin_dense, *bin_inj, *bin_dst, r);
+                // store half: value fetched after the bin's write
+                tick!();
+                store_word!(st_ptr, st_idx, st_v);
+                // branch half: control-only
+                tick!();
+                pc = *target as usize;
+            }
+            DOp::LoadLoadBinStoreBr {
+                ty1,
+                ptr1,
+                idx1,
+                ty2,
+                ptr2,
+                idx2,
+                ld_dst,
+                ld_dense,
+                ld_inj,
+                target,
+            } => {
+                // first load (metadata on the carrying DInst)
+                let bits = load_word!(ptr1, idx1);
+                let r = match ty1 {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(di.dense, di.inj, di.dst, r);
+                // second load: address operands fetched after the first
+                // write, so indirect chains read the post-fault value
+                tick!();
+                let bits = load_word!(ptr2, idx2);
+                let r = match ty2 {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(*ld_dense, *ld_inj, *ld_dst, r);
+                // bin and store execute from their standalone slots
+                tick!();
+                // SAFETY: decode fused a 5-window of one block, so the
+                // four standalone copies follow the carrying slot
+                let d3 = unsafe { cur_code.get_unchecked(pc + 2) };
+                match &d3.op {
+                    DOp::BinII { op, a, b }
+                    | DOp::BinFF { op, a, b }
+                    | DOp::BinAny { op, a, b } => {
+                        let x = raw!(a);
+                        let y = raw!(b);
+                        let r = bin_any!(op, x, y);
+                        produce!(d3.dense, d3.inj, d3.dst, r);
+                    }
+                    _ => unreachable!("LoadLoadBinStoreBr chains a bin slot"),
+                }
+                tick!();
+                // SAFETY: as above
+                let d4 = unsafe { cur_code.get_unchecked(pc + 3) };
+                match &d4.op {
+                    DOp::Store { ptr, idx, v } => store_word!(ptr, idx, v),
+                    _ => unreachable!("LoadLoadBinStoreBr chains a store slot"),
+                }
+                // branch half: control-only
+                tick!();
+                pc = *target as usize;
+            }
+            DOp::LoadLoadBinBinStore {
+                ty1,
+                ptr1,
+                idx1,
+                ty2,
+                ptr2,
+                idx2,
+                ld_dst,
+                ld_dense,
+                ld_inj,
+            } => {
+                // first load (metadata on the carrying DInst)
+                let bits = load_word!(ptr1, idx1);
+                let r = match ty1 {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(di.dense, di.inj, di.dst, r);
+                // second load
+                tick!();
+                let bits = load_word!(ptr2, idx2);
+                let r = match ty2 {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(*ld_dense, *ld_inj, *ld_dst, r);
+                // two bins and the store execute from standalone slots
+                tick!();
+                // SAFETY: decode fused a 5-window of one block, so the
+                // four standalone copies follow the carrying slot
+                let d3 = unsafe { cur_code.get_unchecked(pc + 2) };
+                match &d3.op {
+                    DOp::BinII { op, a, b }
+                    | DOp::BinFF { op, a, b }
+                    | DOp::BinAny { op, a, b } => {
+                        let x = raw!(a);
+                        let y = raw!(b);
+                        let r = bin_any!(op, x, y);
+                        produce!(d3.dense, d3.inj, d3.dst, r);
+                    }
+                    _ => unreachable!("LoadLoadBinBinStore chains a bin slot"),
+                }
+                tick!();
+                // SAFETY: as above
+                let d4 = unsafe { cur_code.get_unchecked(pc + 3) };
+                match &d4.op {
+                    DOp::BinII { op, a, b }
+                    | DOp::BinFF { op, a, b }
+                    | DOp::BinAny { op, a, b } => {
+                        let x = raw!(a);
+                        let y = raw!(b);
+                        let r = bin_any!(op, x, y);
+                        produce!(d4.dense, d4.inj, d4.dst, r);
+                    }
+                    _ => unreachable!("LoadLoadBinBinStore chains a bin slot"),
+                }
+                tick!();
+                // SAFETY: as above
+                let d5 = unsafe { cur_code.get_unchecked(pc + 4) };
+                match &d5.op {
+                    DOp::Store { ptr, idx, v } => store_word!(ptr, idx, v),
+                    _ => unreachable!("LoadLoadBinBinStore chains a store slot"),
+                }
+                pc += 5;
+            }
+            DOp::LoadLoadBinBinLoad {
+                ty1,
+                ptr1,
+                idx1,
+                ty2,
+                ptr2,
+                idx2,
+                ld_dst,
+                ld_dense,
+                ld_inj,
+            } => {
+                // first load (metadata on the carrying DInst)
+                let bits = load_word!(ptr1, idx1);
+                let r = match ty1 {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(di.dense, di.inj, di.dst, r);
+                // second load
+                tick!();
+                let bits = load_word!(ptr2, idx2);
+                let r = match ty2 {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(*ld_dense, *ld_inj, *ld_dst, r);
+                // the bins and the trailing element load execute from
+                // standalone slots
+                tick!();
+                // SAFETY: decode fused a 5-window of one block, so the
+                // four standalone copies follow the carrying slot
+                let d3 = unsafe { cur_code.get_unchecked(pc + 2) };
+                match &d3.op {
+                    DOp::BinII { op, a, b }
+                    | DOp::BinFF { op, a, b }
+                    | DOp::BinAny { op, a, b } => {
+                        let x = raw!(a);
+                        let y = raw!(b);
+                        let r = bin_any!(op, x, y);
+                        produce!(d3.dense, d3.inj, d3.dst, r);
+                    }
+                    _ => unreachable!("LoadLoadBinBinLoad chains a bin slot"),
+                }
+                tick!();
+                // SAFETY: as above
+                let d4 = unsafe { cur_code.get_unchecked(pc + 3) };
+                match &d4.op {
+                    DOp::BinII { op, a, b }
+                    | DOp::BinFF { op, a, b }
+                    | DOp::BinAny { op, a, b } => {
+                        let x = raw!(a);
+                        let y = raw!(b);
+                        let r = bin_any!(op, x, y);
+                        produce!(d4.dense, d4.inj, d4.dst, r);
+                    }
+                    _ => unreachable!("LoadLoadBinBinLoad chains a bin slot"),
+                }
+                tick!();
+                // SAFETY: as above
+                let d5 = unsafe { cur_code.get_unchecked(pc + 4) };
+                match &d5.op {
+                    DOp::Load { ty, ptr, idx } => {
+                        let bits = load_word!(ptr, idx);
+                        let r = match ty {
+                            Ty::I64 => Value::I(bits as i64),
+                            Ty::F64 => Value::F(f64::from_bits(bits)),
+                            _ => trap!(TrapKind::TypeConfusion),
+                        };
+                        produce!(d5.dense, d5.inj, d5.dst, r);
+                    }
+                    _ => unreachable!("LoadLoadBinBinLoad chains a load slot"),
+                }
+                pc += 5;
+            }
+            DOp::LoadLoadBinBinBin {
+                ty1,
+                ptr1,
+                idx1,
+                ty2,
+                ptr2,
+                idx2,
+                ld_dst,
+                ld_dense,
+                ld_inj,
+            } => {
+                // first load (metadata on the carrying DInst)
+                let bits = load_word!(ptr1, idx1);
+                let r = match ty1 {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(di.dense, di.inj, di.dst, r);
+                // second load
+                tick!();
+                let bits = load_word!(ptr2, idx2);
+                let r = match ty2 {
+                    Ty::I64 => Value::I(bits as i64),
+                    Ty::F64 => Value::F(f64::from_bits(bits)),
+                    _ => trap!(TrapKind::TypeConfusion),
+                };
+                produce!(*ld_dense, *ld_inj, *ld_dst, r);
+                // the three-op arithmetic chain executes from standalone
+                // slots, each fetching after the previous write
+                tick!();
+                // SAFETY: decode fused a 5-window of one block, so the
+                // four standalone copies follow the carrying slot
+                let d3 = unsafe { cur_code.get_unchecked(pc + 2) };
+                match &d3.op {
+                    DOp::BinII { op, a, b }
+                    | DOp::BinFF { op, a, b }
+                    | DOp::BinAny { op, a, b } => {
+                        let x = raw!(a);
+                        let y = raw!(b);
+                        let r = bin_any!(op, x, y);
+                        produce!(d3.dense, d3.inj, d3.dst, r);
+                    }
+                    _ => unreachable!("LoadLoadBinBinBin chains a bin slot"),
+                }
+                tick!();
+                // SAFETY: as above
+                let d4 = unsafe { cur_code.get_unchecked(pc + 3) };
+                match &d4.op {
+                    DOp::BinII { op, a, b }
+                    | DOp::BinFF { op, a, b }
+                    | DOp::BinAny { op, a, b } => {
+                        let x = raw!(a);
+                        let y = raw!(b);
+                        let r = bin_any!(op, x, y);
+                        produce!(d4.dense, d4.inj, d4.dst, r);
+                    }
+                    _ => unreachable!("LoadLoadBinBinBin chains a bin slot"),
+                }
+                tick!();
+                // SAFETY: as above
+                let d5 = unsafe { cur_code.get_unchecked(pc + 4) };
+                match &d5.op {
+                    DOp::BinII { op, a, b }
+                    | DOp::BinFF { op, a, b }
+                    | DOp::BinAny { op, a, b } => {
+                        let x = raw!(a);
+                        let y = raw!(b);
+                        let r = bin_any!(op, x, y);
+                        produce!(d5.dense, d5.inj, d5.dst, r);
+                    }
+                    _ => unreachable!("LoadLoadBinBinBin chains a bin slot"),
+                }
+                pc += 5;
+            }
+        }
+    }
+}

@@ -14,9 +14,10 @@
 //! machine is fully deterministic, a resumed run is bit-identical to a
 //! from-scratch run with the same fault.
 
+use crate::decode::{self, DecodedModule, ExecScratch};
 use crate::fault::{flip_bit, FaultSpec, FaultTarget};
 use crate::profile::Profile;
-use crate::snapshot::{CheckpointCollector, CheckpointConfig, Snapshot};
+use crate::snapshot::{CheckpointCollector, CheckpointConfig, CheckpointStore, Snapshot};
 use crate::value::{Output, ProgInput, Scalar, Stream, Value};
 use minpsid_ir::{BinOp, BlockId, CmpOp, CostModel, FuncId, InstKind, Module, Ty, UnOp};
 
@@ -47,6 +48,23 @@ pub struct ExecConfig {
     /// campaigns that must replay bit-identically leave this at 0.
     pub wall_clock_ms: u64,
     pub cost_model: CostModel,
+    /// Which interpreter loop to use; see [`DispatchMode`]. Both loops are
+    /// bit-identical, so this is a performance knob, not a semantic one.
+    pub dispatch: DispatchMode,
+}
+
+/// Which interpreter loop executes a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// The pre-decoded index-dispatch loop (see [`crate::decode`]) — the
+    /// campaign hot path. Runs that need a profile, a trace, or checkpoint
+    /// capture fall back to the legacy loop automatically: those
+    /// observers only exist there, and the golden run they belong to is a
+    /// once-per-campaign cost.
+    #[default]
+    Decoded,
+    /// The original per-step IR tree walk.
+    Legacy,
 }
 
 impl Default for ExecConfig {
@@ -60,6 +78,7 @@ impl Default for ExecConfig {
             trace: false,
             wall_clock_ms: 0,
             cost_model: CostModel::default(),
+            dispatch: DispatchMode::default(),
         }
     }
 }
@@ -89,6 +108,10 @@ pub enum TrapKind {
     StreamOutOfBounds,
     StreamTypeMismatch,
     TypeConfusion,
+    /// An arg/stream index outside the `usize` range (e.g. negative).
+    /// Distinct from the out-of-range kinds so that a corrupted index is
+    /// never silently aliased to a plain miss.
+    BadIndex,
 }
 
 /// How an execution ended.
@@ -143,14 +166,14 @@ pub const STACK_TAG: u64 = 1 << 62;
 
 #[derive(Debug, Clone)]
 pub(crate) struct Frame {
-    func: FuncId,
-    block: BlockId,
+    pub(crate) func: FuncId,
+    pub(crate) block: BlockId,
     /// Index into the current block's instruction list.
-    pos: usize,
-    regs: Vec<Value>,
-    args: Vec<Value>,
+    pub(crate) pos: usize,
+    pub(crate) regs: Vec<Value>,
+    pub(crate) args: Vec<Value>,
     /// Stack-memory watermark to restore on return (frees `salloc`s).
-    sp_base: usize,
+    pub(crate) sp_base: usize,
 }
 
 /// Everything the interpreter carries from one instruction to the next:
@@ -210,11 +233,23 @@ impl Clone for MachineState {
 }
 
 impl MachineState {
+    /// Clear to the pre-run state (no frames) without touching capacity.
+    pub(crate) fn reset(&mut self) {
+        self.frames.clear();
+        self.mem.clear();
+        self.stack_mem.clear();
+        self.output.items.clear();
+        self.steps = 0;
+        self.inj_ctr = 0;
+        self.per_inst_ctr = 0;
+        self.fault_applied = false;
+    }
+
     /// Reset to the program entry point: one frame at the entry function's
     /// first block, empty memories and output, zeroed counters.
-    fn start(&mut self, m: &Module) {
+    pub(crate) fn start(&mut self, m: &Module) {
         let entry_fn = m.func(m.entry);
-        self.frames.clear();
+        self.reset();
         self.frames.push(Frame {
             func: m.entry,
             block: BlockId(0),
@@ -223,13 +258,6 @@ impl MachineState {
             args: vec![],
             sp_base: 0,
         });
-        self.mem.clear();
-        self.stack_mem.clear();
-        self.output.items.clear();
-        self.steps = 0;
-        self.inj_ctr = 0;
-        self.per_inst_ctr = 0;
-        self.fault_applied = false;
     }
 
     /// Rough heap footprint in bytes, for checkpoint memory budgeting.
@@ -257,6 +285,8 @@ pub struct Interp<'m> {
     cost: Vec<u64>,
     /// Per static instruction (dense): injectable flag.
     injectable: Vec<bool>,
+    /// The module lowered for pre-decoded dispatch (see [`crate::decode`]).
+    decoded: DecodedModule,
 }
 
 impl<'m> Interp<'m> {
@@ -273,13 +303,25 @@ impl<'m> Interp<'m> {
                 injectable.push(inst.injectable());
             }
         }
+        let decoded = decode::decode_module(module);
         Interp {
             module,
             config,
             base,
             cost,
             injectable,
+            decoded,
         }
+    }
+
+    pub(crate) fn decoded(&self) -> &DecodedModule {
+        &self.decoded
+    }
+
+    /// Runs that need the profile, trace or checkpoint observers use the
+    /// legacy loop regardless of the configured [`DispatchMode`].
+    fn use_legacy(&self) -> bool {
+        self.config.profile || self.config.trace || self.config.dispatch == DispatchMode::Legacy
     }
 
     pub fn module(&self) -> &'m Module {
@@ -297,16 +339,40 @@ impl<'m> Interp<'m> {
 
     /// Execute without faults.
     pub fn run(&self, input: &ProgInput) -> ExecResult {
-        let mut st = MachineState::default();
-        st.start(self.module);
-        self.run_inner(&mut st, input, None, None)
+        if self.use_legacy() {
+            let mut st = MachineState::default();
+            st.start(self.module);
+            self.run_inner(&mut st, input, None, None)
+        } else {
+            let mut scratch = ExecScratch::default();
+            scratch.start_decoded(&self.decoded);
+            decode::run_decoded(self, &mut scratch, input, None)
+        }
     }
 
     /// Execute with a single fault armed.
     pub fn run_with_fault(&self, input: &ProgInput, fault: FaultSpec) -> ExecResult {
-        let mut st = MachineState::default();
-        st.start(self.module);
-        self.run_inner(&mut st, input, Some(fault), None)
+        let mut scratch = ExecScratch::default();
+        self.run_with_fault_in(&mut scratch, input, fault)
+    }
+
+    /// [`Interp::run_with_fault`] into caller-provided scratch, reusing
+    /// every buffer (frames, register/argument arenas, memories, output).
+    /// Campaign workers hold one [`ExecScratch`] each, making injection
+    /// runs allocation-free after warmup.
+    pub fn run_with_fault_in(
+        &self,
+        scratch: &mut ExecScratch,
+        input: &ProgInput,
+        fault: FaultSpec,
+    ) -> ExecResult {
+        if self.use_legacy() {
+            scratch.st.start(self.module);
+            self.run_inner(&mut scratch.st, input, Some(fault), None)
+        } else {
+            scratch.start_decoded(&self.decoded);
+            decode::run_decoded(self, scratch, input, Some(fault))
+        }
     }
 
     /// Execute without faults, capturing a [`Snapshot`] every `interval`
@@ -337,6 +403,21 @@ impl<'m> Interp<'m> {
         let mut coll = CheckpointCollector::new(cfg, self.module.num_insts());
         let r = self.run_inner(&mut st, input, None, Some(&mut coll));
         (r, coll.into_snapshots())
+    }
+
+    /// [`Interp::run_with_checkpoint_config`] returning the
+    /// [`CheckpointStore`] directly: delta-encoded checkpoints stay
+    /// encoded instead of being materialized. This is what campaigns use.
+    pub fn run_with_checkpoint_store(
+        &self,
+        input: &ProgInput,
+        cfg: CheckpointConfig,
+    ) -> (ExecResult, CheckpointStore) {
+        let mut st = MachineState::default();
+        st.start(self.module);
+        let mut coll = CheckpointCollector::new(cfg, self.module.num_insts());
+        let r = self.run_inner(&mut st, input, None, Some(&mut coll));
+        (r, coll.into_store())
     }
 
     /// Resume from a snapshot with a fault armed, executing only the
@@ -377,7 +458,46 @@ impl<'m> Interp<'m> {
             st.per_inst_ctr = 0;
         }
         st.fault_applied = false;
-        self.run_inner(st, input, Some(fault), None)
+        if self.use_legacy() {
+            self.run_inner(st, input, Some(fault), None)
+        } else {
+            // compat path: borrow the caller's state into a temporary
+            // scratch (swap is pointer-sized), run decoded, swap back
+            let mut scratch = ExecScratch::default();
+            std::mem::swap(&mut scratch.st, st);
+            scratch.enter_decoded(&self.decoded);
+            let r = decode::run_decoded(self, &mut scratch, input, Some(fault));
+            std::mem::swap(&mut scratch.st, st);
+            r
+        }
+    }
+
+    /// Resume from checkpoint `idx` of a [`CheckpointStore`] into
+    /// caller-provided scratch. This is the campaign hot path: the store
+    /// materializes the checkpoint directly into the scratch state
+    /// (applying delta chains in place when the store is delta-encoded)
+    /// and the decoded loop runs the suffix without allocating.
+    pub fn resume_from(
+        &self,
+        scratch: &mut ExecScratch,
+        store: &CheckpointStore,
+        idx: usize,
+        input: &ProgInput,
+        fault: FaultSpec,
+    ) -> ExecResult {
+        store.restore_into(idx, &mut scratch.st);
+        if let FaultTarget::NthOfInst(gid, _) = fault.target {
+            scratch.st.per_inst_ctr = store.inj_count_at(idx, self.dense_index(gid));
+        } else {
+            scratch.st.per_inst_ctr = 0;
+        }
+        scratch.st.fault_applied = false;
+        if self.use_legacy() {
+            self.run_inner(&mut scratch.st, input, Some(fault), None)
+        } else {
+            scratch.enter_decoded(&self.decoded);
+            decode::run_decoded(self, scratch, input, Some(fault))
+        }
     }
 
     fn run_inner(
@@ -732,7 +852,12 @@ impl<'m> Interp<'m> {
                     }
                     InstKind::ArgI { n } => {
                         let i = int!(n);
-                        match input.args.get(usize::try_from(i).unwrap_or(usize::MAX)) {
+                        // a negative (or otherwise unrepresentable) index
+                        // traps distinctly instead of aliasing to a miss
+                        let Ok(ix) = usize::try_from(i) else {
+                            trap!(TrapKind::BadIndex)
+                        };
+                        match input.args.get(ix) {
                             Some(Scalar::I(v)) => result = Some(Value::I(*v)),
                             Some(Scalar::F(_)) => trap!(TrapKind::ArgTypeMismatch),
                             None => trap!(TrapKind::ArgOutOfRange),
@@ -740,7 +865,10 @@ impl<'m> Interp<'m> {
                     }
                     InstKind::ArgF { n } => {
                         let i = int!(n);
-                        match input.args.get(usize::try_from(i).unwrap_or(usize::MAX)) {
+                        let Ok(ix) = usize::try_from(i) else {
+                            trap!(TrapKind::BadIndex)
+                        };
+                        match input.args.get(ix) {
                             Some(Scalar::F(v)) => result = Some(Value::F(*v)),
                             Some(Scalar::I(_)) => trap!(TrapKind::ArgTypeMismatch),
                             None => trap!(TrapKind::ArgOutOfRange),
@@ -756,26 +884,28 @@ impl<'m> Interp<'m> {
                     }
                     InstKind::DataI { stream, idx } => {
                         let i = int!(idx);
+                        let Ok(ix) = usize::try_from(i) else {
+                            trap!(TrapKind::BadIndex)
+                        };
                         match input.streams.get(*stream as usize) {
-                            Some(Stream::I(v)) => {
-                                match v.get(usize::try_from(i).unwrap_or(usize::MAX)) {
-                                    Some(x) => result = Some(Value::I(*x)),
-                                    None => trap!(TrapKind::StreamOutOfBounds),
-                                }
-                            }
+                            Some(Stream::I(v)) => match v.get(ix) {
+                                Some(x) => result = Some(Value::I(*x)),
+                                None => trap!(TrapKind::StreamOutOfBounds),
+                            },
                             Some(Stream::F(_)) => trap!(TrapKind::StreamTypeMismatch),
                             None => trap!(TrapKind::StreamOutOfBounds),
                         }
                     }
                     InstKind::DataF { stream, idx } => {
                         let i = int!(idx);
+                        let Ok(ix) = usize::try_from(i) else {
+                            trap!(TrapKind::BadIndex)
+                        };
                         match input.streams.get(*stream as usize) {
-                            Some(Stream::F(v)) => {
-                                match v.get(usize::try_from(i).unwrap_or(usize::MAX)) {
-                                    Some(x) => result = Some(Value::F(*x)),
-                                    None => trap!(TrapKind::StreamOutOfBounds),
-                                }
-                            }
+                            Some(Stream::F(v)) => match v.get(ix) {
+                                Some(x) => result = Some(Value::F(*x)),
+                                None => trap!(TrapKind::StreamOutOfBounds),
+                            },
                             Some(Stream::I(_)) => trap!(TrapKind::StreamTypeMismatch),
                             None => trap!(TrapKind::StreamOutOfBounds),
                         }
@@ -959,7 +1089,7 @@ enum Control {
     Return(Option<Value>),
 }
 
-fn cmp_ord(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+pub(crate) fn cmp_ord(op: CmpOp, ord: std::cmp::Ordering) -> bool {
     use std::cmp::Ordering::*;
     match op {
         CmpOp::Eq => ord == Equal,
@@ -973,7 +1103,7 @@ fn cmp_ord(op: CmpOp, ord: std::cmp::Ordering) -> bool {
 
 /// Bit-exact equality used by duplication checks (NaN payloads compare by
 /// bits, exactly as a hardware comparator over registers would).
-fn bit_equal(a: Value, b: Value) -> bool {
+pub(crate) fn bit_equal(a: Value, b: Value) -> bool {
     match (a, b) {
         (Value::I(x), Value::I(y)) => x == y,
         (Value::F(x), Value::F(y)) => x.to_bits() == y.to_bits(),
@@ -1463,8 +1593,9 @@ mod tests {
                 };
                 let cold = interp.run_with_fault(&input, fault);
                 assert_eq!(cold.resumed_at, None, "cold runs report no restore");
-                if let Some(snap) = store.nearest_for_dynamic(nth) {
-                    let warm = interp.resume(snap, &input, fault);
+                if let Some(i) = store.nearest_for_dynamic(nth) {
+                    let snap = store.materialize(i);
+                    let warm = interp.resume(&snap, &input, fault);
                     assert_eq!(cold.termination, warm.termination, "nth={nth} bit={bit}");
                     assert_eq!(cold.output, warm.output, "nth={nth} bit={bit}");
                     assert_eq!(cold.steps, warm.steps, "nth={nth} bit={bit}");
@@ -1472,7 +1603,11 @@ mod tests {
                     assert_eq!(cold.ret, warm.ret);
                     // the per-restore telemetry surface: skipped prefix =
                     // the snapshot's step counter
-                    assert_eq!(warm.resumed_at, Some(snap.steps()), "nth={nth} bit={bit}");
+                    assert_eq!(
+                        warm.resumed_at,
+                        Some(store.steps_at(i)),
+                        "nth={nth} bit={bit}"
+                    );
                 }
             }
         }
@@ -1511,8 +1646,9 @@ mod tests {
                         bit: 7,
                     };
                     let cold = interp.run_with_fault(&input, fault);
-                    if let Some(snap) = store.nearest_for_inst(dense, nth) {
-                        let warm = interp.resume(snap, &input, fault);
+                    if let Some(i) = store.nearest_for_inst(dense, nth) {
+                        let snap = store.materialize(i);
+                        let warm = interp.resume(&snap, &input, fault);
                         assert_eq!(cold.termination, warm.termination, "gid={gid:?} nth={nth}");
                         assert_eq!(cold.output, warm.output, "gid={gid:?} nth={nth}");
                         assert_eq!(cold.steps, warm.steps, "gid={gid:?} nth={nth}");
@@ -1530,7 +1666,7 @@ mod tests {
         let input = ProgInput::scalars(vec![Scalar::I(30)]);
         let (_, snaps) = interp.run_with_checkpoints(&input, 11);
         let store = CheckpointStore::new(snaps);
-        let mut scratch = MachineState::default();
+        let mut scratch = ExecScratch::default();
         // back-to-back resumes into the same scratch must stay independent
         for nth in [5u64, 50, 20] {
             let fault = FaultSpec {
@@ -1538,8 +1674,8 @@ mod tests {
                 bit: 4,
             };
             let cold = interp.run_with_fault(&input, fault);
-            if let Some(snap) = store.nearest_for_dynamic(nth) {
-                let warm = interp.resume_with(&mut scratch, snap, &input, fault);
+            if let Some(i) = store.nearest_for_dynamic(nth) {
+                let warm = interp.resume_from(&mut scratch, &store, i, &input, fault);
                 assert_eq!(cold.termination, warm.termination);
                 assert_eq!(cold.output, warm.output);
                 assert_eq!(cold.steps, warm.steps);
@@ -1556,12 +1692,12 @@ mod tests {
         let store = CheckpointStore::new(snaps);
         // a snapshot chosen for nth must not have passed the event yet
         for nth in 0..60u64 {
-            if let Some(s) = store.nearest_for_dynamic(nth) {
-                assert!(s.inj_ctr() <= nth);
+            if let Some(i) = store.nearest_for_dynamic(nth) {
+                assert!(store.inj_ctr_at(i) <= nth);
             }
         }
         // events before the first snapshot's counter have no safe snapshot
-        let first = store.snapshots().first().unwrap().inj_ctr();
+        let first = store.inj_ctr_at(0);
         if first > 0 {
             assert!(store.nearest_for_dynamic(first - 1).is_none() || first == 0);
         }

@@ -30,6 +30,9 @@ pub struct FaultSpec {
 
 /// Flip `bit` in a runtime value, reinterpreting floats and pointers as
 /// their 64-bit patterns (exactly what a flip in a physical register does).
+/// Inlined into both dispatch loops' fault-fire paths: it sits on the
+/// per-step injection-counter check, the hottest branch in a campaign.
+#[inline]
 pub fn flip_bit(v: Value, bit: u32) -> Value {
     match v {
         Value::I(x) => Value::I(x ^ (1i64 << (bit % 64))),

@@ -24,14 +24,18 @@
 //! the nearest snapshot before its injection point is bit-identical to a
 //! from-scratch run (see [`snapshot`]).
 
+pub mod decode;
 pub mod exec;
 pub mod fault;
 pub mod profile;
 pub mod snapshot;
 pub mod value;
 
-pub use exec::{ExecConfig, ExecResult, Interp, MachineState, Termination, TraceEvent, TrapKind};
+pub use decode::ExecScratch;
+pub use exec::{
+    DispatchMode, ExecConfig, ExecResult, Interp, MachineState, Termination, TraceEvent, TrapKind,
+};
 pub use fault::{flip_bit, FaultSpec, FaultTarget};
 pub use profile::Profile;
-pub use snapshot::{auto_interval, CheckpointConfig, CheckpointStore, Snapshot};
+pub use snapshot::{auto_interval, CheckpointConfig, CheckpointStore, Snapshot, SnapshotMode};
 pub use value::{Output, OutputItem, ProgInput, Scalar, Stream, Value};

@@ -22,13 +22,31 @@
 //! `per_inst_ctr` from the dense count vector keeps `NthOfInst` targeting
 //! bit-identical even when a snapshot lands mid-call.
 //!
+//! ## Delta encoding
+//!
+//! Consecutive snapshots of an HPC kernel are nearly identical: a few
+//! registers, the handful of memory words the loop body touched, and the
+//! counters. [`SnapshotMode::Delta`] exploits this — a stored checkpoint
+//! is either a full *keyframe* or a diff against the previously stored
+//! entry: dirty memory runs (gap-coalesced, diffed against the
+//! zero-extended predecessor so freshly grown regions cost only their
+//! non-zero words), per-frame changed registers when the call-stack shape
+//! matches, the appended output tail, and a varint stream of changed
+//! per-instruction injection counts (absolute values, so lookups walk
+//! backward and stop at the first stream mentioning the instruction). A
+//! keyframe every [`CheckpointConfig::keyframe_every`] entries bounds
+//! restore cost; restoring applies at most `keyframe_every - 1` deltas in
+//! place. The ~5-10x size reduction buys proportionally higher checkpoint
+//! density inside the same memory budget.
+//!
 //! What a snapshot does **not** contain: the [`Profile`](crate::Profile)
 //! and the trace (resumed runs re-profile only the suffix — campaigns run
 //! faulty executions unprofiled), and the program input (resume takes the
 //! same `&ProgInput`; the machine reads it lazily).
 
-use crate::exec::MachineState;
-use crate::value::Output;
+use crate::exec::{Frame, MachineState};
+use crate::value::{Output, OutputItem, Value};
+use minpsid_ir::BlockId;
 
 /// A point-in-time copy of complete interpreter state, captured between
 /// two instructions. Resuming from it is bit-identical to executing from
@@ -70,6 +88,17 @@ impl Snapshot {
     }
 }
 
+/// How checkpoints are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotMode {
+    /// Every checkpoint is a complete [`Snapshot`].
+    #[default]
+    Full,
+    /// Checkpoints are diffs against the previous one, with a full
+    /// keyframe every [`CheckpointConfig::keyframe_every`] entries.
+    Delta,
+}
+
 /// Knobs for checkpoint capture during a golden run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckpointConfig {
@@ -79,6 +108,12 @@ pub struct CheckpointConfig {
     /// every other snapshot is dropped and the interval doubles, keeping
     /// spacing even while halving the footprint.
     pub mem_budget_bytes: usize,
+    /// Full snapshots or delta chains; see [`SnapshotMode`].
+    pub mode: SnapshotMode,
+    /// Delta mode: a full keyframe every this many stored entries (so a
+    /// restore applies at most `keyframe_every - 1` diffs). Ignored in
+    /// full mode.
+    pub keyframe_every: u32,
 }
 
 impl Default for CheckpointConfig {
@@ -86,20 +121,296 @@ impl Default for CheckpointConfig {
         CheckpointConfig {
             interval: 4096,
             mem_budget_bytes: 256 << 20,
+            mode: SnapshotMode::Full,
+            keyframe_every: 16,
         }
     }
 }
 
-/// Accumulates snapshots during a checkpointed run. Lives in the
-/// interpreter loop; also maintains the live dense injection-count vector
-/// that each snapshot clones.
+/// Bit-exact value equality for delta encoding: NaN payloads compare by
+/// bits and `Undef == Undef` (unlike the Check-semantics
+/// [`bit_equal`](crate::exec::bit_equal), which must treat any Undef as a
+/// mismatch).
+fn value_bits_eq(a: Value, b: Value) -> bool {
+    match (a, b) {
+        (Value::I(x), Value::I(y)) => x == y,
+        (Value::F(x), Value::F(y)) => x.to_bits() == y.to_bits(),
+        (Value::B(x), Value::B(y)) => x == y,
+        (Value::P(x), Value::P(y)) => x == y,
+        (Value::Undef, Value::Undef) => true,
+        _ => false,
+    }
+}
+
+/// Two dirty runs closer than this many unchanged words are merged: run
+/// headers cost ~16 bytes, so short gaps are cheaper stored verbatim.
+const RUN_GAP: usize = 8;
+
+/// Dirty runs of `cur` against `prev`, with `prev` zero-extended (a grown
+/// region only costs its non-zero words, matching `Vec::resize(_, 0)` on
+/// apply).
+fn diff_words(prev: &[u64], cur: &[u64]) -> Vec<(usize, Vec<u64>)> {
+    let mut runs: Vec<(usize, Vec<u64>)> = Vec::new();
+    for (i, &c) in cur.iter().enumerate() {
+        if c == prev.get(i).copied().unwrap_or(0) {
+            continue;
+        }
+        match runs.last_mut() {
+            Some((start, words)) if *start + words.len() + RUN_GAP >= i => {
+                let from = *start + words.len();
+                words.extend_from_slice(&cur[from..=i]);
+            }
+            _ => runs.push((i, vec![c])),
+        }
+    }
+    runs
+}
+
+fn apply_words(dst: &mut Vec<u64>, new_len: usize, runs: &[(usize, Vec<u64>)]) {
+    dst.resize(new_len, 0);
+    for (start, words) in runs {
+        dst[*start..*start + words.len()].copy_from_slice(words);
+    }
+}
+
+fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+fn read_varint(buf: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = buf[*pos];
+        *pos += 1;
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// Changed per-instruction injection counts as a varint byte stream of
+/// (dense-index gap, absolute new count) pairs. Absolute counts let
+/// [`CheckpointStore::inj_count_at`] stop at the first delta mentioning
+/// the instruction when walking backward.
+fn encode_inj(prev: &[u64], cur: &[u64]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut last = 0usize;
+    for (i, (&p, &c)) in prev.iter().zip(cur).enumerate() {
+        if p != c {
+            push_varint(&mut buf, (i - last) as u64);
+            push_varint(&mut buf, c);
+            last = i + 1;
+        }
+    }
+    buf
+}
+
+fn apply_inj(dst: &mut [u64], buf: &[u8]) {
+    let mut pos = 0usize;
+    let mut i = 0usize;
+    while pos < buf.len() {
+        i += read_varint(buf, &mut pos) as usize;
+        dst[i] = read_varint(buf, &mut pos);
+        i += 1;
+    }
+}
+
+/// The count for `dense` in one delta's stream, if the stream mentions it.
+fn delta_inj_lookup(buf: &[u8], dense: usize) -> Option<u64> {
+    let mut pos = 0usize;
+    let mut i = 0usize;
+    while pos < buf.len() {
+        i += read_varint(buf, &mut pos) as usize;
+        let c = read_varint(buf, &mut pos);
+        match i.cmp(&dense) {
+            std::cmp::Ordering::Equal => return Some(c),
+            std::cmp::Ordering::Greater => return None,
+            std::cmp::Ordering::Less => i += 1,
+        }
+    }
+    None
+}
+
+/// Per-frame diff used when the call-stack shape is unchanged.
+#[derive(Debug, Clone)]
+struct FrameDiff {
+    block: BlockId,
+    pos: usize,
+    /// (register index, new value) for registers whose bits changed.
+    regs: Vec<(u32, Value)>,
+}
+
+#[derive(Debug, Clone)]
+enum FramesDelta {
+    /// Same depth, functions, watermarks and arguments: store per-frame
+    /// position + changed registers only.
+    Sparse(Vec<FrameDiff>),
+    /// The call stack changed shape; store it whole.
+    Full(Vec<Frame>),
+}
+
+/// A checkpoint stored as a diff against the previously stored entry.
+#[derive(Debug, Clone)]
+struct SnapDelta {
+    frames: FramesDelta,
+    mem: Vec<(usize, Vec<u64>)>,
+    mem_len: usize,
+    stack: Vec<(usize, Vec<u64>)>,
+    stack_len: usize,
+    /// Output is append-only, so the delta is just the new tail.
+    out_tail: Vec<OutputItem>,
+    /// See [`encode_inj`].
+    inj: Vec<u8>,
+}
+
+impl SnapDelta {
+    fn approx_bytes(&self) -> usize {
+        let frames = match &self.frames {
+            FramesDelta::Full(fs) => fs
+                .iter()
+                .map(|f| (f.regs.len() + f.args.len()) * std::mem::size_of::<Value>() + 64)
+                .sum::<usize>(),
+            FramesDelta::Sparse(ds) => ds
+                .iter()
+                .map(|d| d.regs.len() * (std::mem::size_of::<Value>() + 4) + 24)
+                .sum::<usize>(),
+        };
+        let words: usize = self
+            .mem
+            .iter()
+            .chain(&self.stack)
+            .map(|(_, w)| w.len() * 8 + 16)
+            .sum();
+        frames
+            + words
+            + self.out_tail.len() * std::mem::size_of::<OutputItem>()
+            + self.inj.len()
+            + 48
+    }
+}
+
+fn frames_delta(prev: &[Frame], cur: &[Frame]) -> FramesDelta {
+    let same_shape = prev.len() == cur.len()
+        && prev.iter().zip(cur).all(|(p, c)| {
+            p.func == c.func
+                && p.sp_base == c.sp_base
+                && p.regs.len() == c.regs.len()
+                && p.args.len() == c.args.len()
+                // same-depth frames can still be *different invocations*
+                // (call returned, new call entered between captures), so
+                // arguments must match bit-exactly for a sparse diff
+                && p.args
+                    .iter()
+                    .zip(&c.args)
+                    .all(|(a, b)| value_bits_eq(*a, *b))
+        });
+    if !same_shape {
+        return FramesDelta::Full(cur.to_vec());
+    }
+    FramesDelta::Sparse(
+        prev.iter()
+            .zip(cur)
+            .map(|(p, c)| FrameDiff {
+                block: c.block,
+                pos: c.pos,
+                regs: c
+                    .regs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, &v)| !value_bits_eq(p.regs[i], v))
+                    .map(|(i, &v)| (i as u32, v))
+                    .collect(),
+            })
+            .collect(),
+    )
+}
+
+fn apply_frames(dst: &mut Vec<Frame>, d: &FramesDelta) {
+    match d {
+        FramesDelta::Full(frames) => dst.clone_from(frames),
+        FramesDelta::Sparse(diffs) => {
+            debug_assert_eq!(dst.len(), diffs.len());
+            for (f, diff) in dst.iter_mut().zip(diffs) {
+                f.block = diff.block;
+                f.pos = diff.pos;
+                for &(i, v) in &diff.regs {
+                    f.regs[i as usize] = v;
+                }
+            }
+        }
+    }
+}
+
+fn encode_delta(prev: &Snapshot, st: &MachineState, inj_counts: &[u64]) -> SnapDelta {
+    debug_assert!(prev.state.output.items.len() <= st.output.items.len());
+    SnapDelta {
+        frames: frames_delta(&prev.state.frames, &st.frames),
+        mem: diff_words(&prev.state.mem, &st.mem),
+        mem_len: st.mem.len(),
+        stack: diff_words(&prev.state.stack_mem, &st.stack_mem),
+        stack_len: st.stack_mem.len(),
+        out_tail: st.output.items[prev.state.output.items.len()..].to_vec(),
+        inj: encode_inj(&prev.inj_counts, inj_counts),
+    }
+}
+
+fn apply_delta_state(st: &mut MachineState, d: &SnapDelta, steps: u64, inj_ctr: u64) {
+    apply_frames(&mut st.frames, &d.frames);
+    apply_words(&mut st.mem, d.mem_len, &d.mem);
+    apply_words(&mut st.stack_mem, d.stack_len, &d.stack);
+    st.output.items.extend_from_slice(&d.out_tail);
+    st.steps = steps;
+    st.inj_ctr = inj_ctr;
+    st.per_inst_ctr = 0;
+    st.fault_applied = false;
+}
+
+#[derive(Debug, Clone)]
+enum SnapBody {
+    Key(Snapshot),
+    Delta(SnapDelta),
+}
+
+/// One stored checkpoint: metadata needed for nearest-snapshot selection
+/// inline, body either a keyframe or a delta.
+#[derive(Debug, Clone)]
+struct StoredSnap {
+    steps: u64,
+    inj_ctr: u64,
+    /// Index of the governing keyframe entry (`== own index` for keys).
+    key: u32,
+    bytes: usize,
+    body: SnapBody,
+}
+
+/// Accumulates checkpoints during a golden run. Lives in the interpreter
+/// loop; also maintains the live dense injection-count vector that each
+/// snapshot clones.
 pub(crate) struct CheckpointCollector {
     interval: u64,
     next_at: u64,
     mem_budget_bytes: usize,
+    mode: SnapshotMode,
+    keyframe_every: u32,
     bytes: usize,
     pub(crate) inj_counts: Vec<u64>,
-    snaps: Vec<Snapshot>,
+    entries: Vec<StoredSnap>,
+    /// Delta mode: a materialized copy of the last stored entry — exactly
+    /// the base the next delta diffs against. Invariant: equals the state
+    /// encoded by `entries.last()`, which `thin` preserves by re-pushing
+    /// kept entries through the same path.
+    shadow: Option<Snapshot>,
 }
 
 impl CheckpointCollector {
@@ -109,9 +420,12 @@ impl CheckpointCollector {
             interval,
             next_at: interval,
             mem_budget_bytes: cfg.mem_budget_bytes,
+            mode: cfg.mode,
+            keyframe_every: cfg.keyframe_every.max(1),
             bytes: 0,
             inj_counts: vec![0; num_insts],
-            snaps: Vec::new(),
+            entries: Vec::new(),
+            shadow: None,
         }
     }
 
@@ -123,85 +437,278 @@ impl CheckpointCollector {
     }
 
     pub(crate) fn capture(&mut self, st: &MachineState) {
-        let snap = Snapshot {
-            state: st.clone(),
-            inj_counts: self.inj_counts.clone(),
-        };
-        self.bytes += snap.approx_bytes();
-        self.snaps.push(snap);
+        let inj = std::mem::take(&mut self.inj_counts);
+        self.push_entry(st, &inj);
+        self.inj_counts = inj;
         self.next_at = st.steps + self.interval;
-        while self.bytes > self.mem_budget_bytes && self.snaps.len() > 1 {
+        while self.bytes > self.mem_budget_bytes && self.entries.len() > 1 {
             self.thin();
         }
     }
 
-    /// Drop every other snapshot (keeping the later of each pair, so the
-    /// worst-case replay suffix stays ≤ the new interval) and double the
-    /// interval.
-    fn thin(&mut self) {
-        let mut keep = false;
-        self.snaps.retain(|_| {
-            keep = !keep;
-            !keep
-        });
-        self.interval = self.interval.saturating_mul(2);
-        self.bytes = self.snaps.iter().map(Snapshot::approx_bytes).sum();
-        self.next_at = self.snaps.last().map(|s| s.steps()).unwrap_or(0) + self.interval;
+    /// Append one checkpoint of machine state `st` with injection counts
+    /// `inj`, choosing keyframe vs delta by the configured policy. Shared
+    /// by live capture and by `thin`'s re-encode.
+    fn push_entry(&mut self, st: &MachineState, inj: &[u64]) {
+        let idx = self.entries.len();
+        let make_key = match self.mode {
+            SnapshotMode::Full => true,
+            SnapshotMode::Delta => match self.entries.last() {
+                None => true,
+                Some(last) => idx as u32 - last.key >= self.keyframe_every,
+            },
+        };
+        let entry = if make_key {
+            let snap = Snapshot {
+                state: st.clone(),
+                inj_counts: inj.to_vec(),
+            };
+            StoredSnap {
+                steps: st.steps,
+                inj_ctr: st.inj_ctr,
+                key: idx as u32,
+                bytes: snap.approx_bytes(),
+                body: SnapBody::Key(snap),
+            }
+        } else {
+            let shadow = self.shadow.as_ref().expect("delta entries follow a key");
+            let d = encode_delta(shadow, st, inj);
+            StoredSnap {
+                steps: st.steps,
+                inj_ctr: st.inj_ctr,
+                key: self.entries.last().unwrap().key,
+                bytes: d.approx_bytes(),
+                body: SnapBody::Delta(d),
+            }
+        };
+        self.bytes += entry.bytes;
+        self.entries.push(entry);
+        if self.mode == SnapshotMode::Delta {
+            match &mut self.shadow {
+                Some(sh) => {
+                    sh.state.clone_from(st);
+                    sh.inj_counts.clear();
+                    sh.inj_counts.extend_from_slice(inj);
+                }
+                None => {
+                    self.shadow = Some(Snapshot {
+                        state: st.clone(),
+                        inj_counts: inj.to_vec(),
+                    })
+                }
+            }
+        }
     }
 
+    /// Drop every other checkpoint (keeping the later of each pair, so the
+    /// worst-case replay suffix stays ≤ the new interval) and double the
+    /// interval. In delta mode the survivors are re-encoded by walking a
+    /// single materialization cursor over the old chain and re-pushing
+    /// each kept state, so keys/deltas stay consistent.
+    fn thin(&mut self) {
+        match self.mode {
+            SnapshotMode::Full => {
+                let mut keep = false;
+                self.entries.retain(|_| {
+                    keep = !keep;
+                    !keep
+                });
+                for (i, e) in self.entries.iter_mut().enumerate() {
+                    e.key = i as u32;
+                }
+                self.bytes = self.entries.iter().map(|e| e.bytes).sum();
+            }
+            SnapshotMode::Delta => {
+                let old = std::mem::take(&mut self.entries);
+                self.bytes = 0;
+                self.shadow = None;
+                let mut cur = MachineState::default();
+                let mut inj = vec![0u64; self.inj_counts.len()];
+                for (i, e) in old.iter().enumerate() {
+                    match &e.body {
+                        SnapBody::Key(s) => {
+                            cur.clone_from(&s.state);
+                            inj.copy_from_slice(&s.inj_counts);
+                        }
+                        SnapBody::Delta(d) => {
+                            apply_delta_state(&mut cur, d, e.steps, e.inj_ctr);
+                            apply_inj(&mut inj, &d.inj);
+                        }
+                    }
+                    if i % 2 == 1 {
+                        self.push_entry(&cur, &inj);
+                    }
+                }
+            }
+        }
+        self.interval = self.interval.saturating_mul(2);
+        self.next_at = self.entries.last().map(|s| s.steps).unwrap_or(0) + self.interval;
+    }
+
+    pub(crate) fn into_store(self) -> CheckpointStore {
+        CheckpointStore {
+            num_insts: self.inj_counts.len(),
+            entries: self.entries,
+        }
+    }
+
+    /// Materialize every stored checkpoint (compat surface for callers
+    /// that want plain [`Snapshot`]s; full-mode entries just move out).
     pub(crate) fn into_snapshots(self) -> Vec<Snapshot> {
-        self.snaps
+        if self
+            .entries
+            .iter()
+            .all(|e| matches!(e.body, SnapBody::Key(_)))
+        {
+            return self
+                .entries
+                .into_iter()
+                .map(|e| match e.body {
+                    SnapBody::Key(s) => s,
+                    SnapBody::Delta(_) => unreachable!(),
+                })
+                .collect();
+        }
+        let store = self.into_store();
+        (0..store.len()).map(|i| store.materialize(i)).collect()
     }
 }
 
-/// An ordered set of snapshots from one golden run, with the lookups FI
-/// campaigns need: the latest snapshot whose injection counter has not yet
-/// passed a given fault index.
+/// An ordered set of checkpoints from one golden run, with the lookups FI
+/// campaigns need: the latest checkpoint whose injection counter has not
+/// yet passed a given fault index. Checkpoints are addressed by index;
+/// [`CheckpointStore::restore_into`] reconstructs one directly into a
+/// scratch [`MachineState`] (applying delta chains in place), and
+/// [`CheckpointStore::materialize`] clones one out as a [`Snapshot`].
 #[derive(Debug, Clone, Default)]
 pub struct CheckpointStore {
-    snaps: Vec<Snapshot>,
+    entries: Vec<StoredSnap>,
+    num_insts: usize,
 }
 
 impl CheckpointStore {
-    /// Build from the snapshots of [`Interp::run_with_checkpoints`]
-    /// (already in capture order).
-    ///
-    /// [`Interp::run_with_checkpoints`]: crate::Interp::run_with_checkpoints
+    /// Build from materialized snapshots (already in capture order); each
+    /// becomes its own keyframe.
     pub fn new(snaps: Vec<Snapshot>) -> Self {
         debug_assert!(snaps.windows(2).all(|w| w[0].steps() < w[1].steps()));
-        CheckpointStore { snaps }
+        let num_insts = snaps.first().map(|s| s.inj_counts.len()).unwrap_or(0);
+        let entries = snaps
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| StoredSnap {
+                steps: s.steps(),
+                inj_ctr: s.inj_ctr(),
+                key: i as u32,
+                bytes: s.approx_bytes(),
+                body: SnapBody::Key(s),
+            })
+            .collect();
+        CheckpointStore { entries, num_insts }
     }
 
     pub fn len(&self) -> usize {
-        self.snaps.len()
+        self.entries.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.snaps.is_empty()
-    }
-
-    pub fn snapshots(&self) -> &[Snapshot] {
-        &self.snaps
+        self.entries.is_empty()
     }
 
     pub fn total_bytes(&self) -> usize {
-        self.snaps.iter().map(Snapshot::approx_bytes).sum()
+        self.entries.iter().map(|e| e.bytes).sum()
     }
 
-    /// Latest snapshot safe for a `NthDynamic(nth)` fault: the last one
+    /// Step counter of checkpoint `idx`.
+    pub fn steps_at(&self, idx: usize) -> u64 {
+        self.entries[idx].steps
+    }
+
+    /// Global injection counter of checkpoint `idx`.
+    pub fn inj_ctr_at(&self, idx: usize) -> u64 {
+        self.entries[idx].inj_ctr
+    }
+
+    /// Injection count of static instruction `dense` at checkpoint `idx`.
+    /// Walks backward from `idx`: deltas store absolute counts, so the
+    /// first stream mentioning `dense` answers; otherwise the keyframe
+    /// does.
+    pub fn inj_count_at(&self, idx: usize, dense: usize) -> u64 {
+        let mut j = idx;
+        loop {
+            match &self.entries[j].body {
+                SnapBody::Key(s) => return s.inj_counts[dense],
+                SnapBody::Delta(d) => {
+                    if let Some(c) = delta_inj_lookup(&d.inj, dense) {
+                        return c;
+                    }
+                    j -= 1;
+                }
+            }
+        }
+    }
+
+    /// Reconstruct checkpoint `idx`'s machine state into `st`, reusing its
+    /// buffers: `clone_from` the governing keyframe, then apply the (at
+    /// most `keyframe_every - 1`) deltas in place.
+    pub fn restore_into(&self, idx: usize, st: &mut MachineState) {
+        let key = self.entries[idx].key as usize;
+        for j in key..=idx {
+            let e = &self.entries[j];
+            match &e.body {
+                SnapBody::Key(s) => st.clone_from(&s.state),
+                SnapBody::Delta(d) => apply_delta_state(st, d, e.steps, e.inj_ctr),
+            }
+        }
+    }
+
+    /// Clone checkpoint `idx` out as a standalone [`Snapshot`].
+    pub fn materialize(&self, idx: usize) -> Snapshot {
+        let mut st = MachineState::default();
+        self.restore_into(idx, &mut st);
+        let key = self.entries[idx].key as usize;
+        let mut inj_counts = vec![0u64; self.num_insts];
+        for j in key..=idx {
+            match &self.entries[j].body {
+                SnapBody::Key(s) => inj_counts.copy_from_slice(&s.inj_counts),
+                SnapBody::Delta(d) => apply_inj(&mut inj_counts, &d.inj),
+            }
+        }
+        Snapshot {
+            state: st,
+            inj_counts,
+        }
+    }
+
+    /// Latest checkpoint safe for a `NthDynamic(nth)` fault: the last one
     /// whose global injection counter is still ≤ `nth` (the target event
     /// has not yet happened at capture time).
-    pub fn nearest_for_dynamic(&self, nth: u64) -> Option<&Snapshot> {
-        let k = self.snaps.partition_point(|s| s.inj_ctr() <= nth);
-        k.checked_sub(1).map(|i| &self.snaps[i])
+    pub fn nearest_for_dynamic(&self, nth: u64) -> Option<usize> {
+        let k = self.entries.partition_point(|s| s.inj_ctr <= nth);
+        k.checked_sub(1)
     }
 
-    /// Latest snapshot safe for a `NthOfInst(dense, nth)` fault: the last
-    /// one where the target instruction's injection count is still ≤ `nth`.
-    pub fn nearest_for_inst(&self, dense: usize, nth: u64) -> Option<&Snapshot> {
-        let k = self.snaps.partition_point(|s| s.inj_count_of(dense) <= nth);
-        k.checked_sub(1).map(|i| &self.snaps[i])
+    /// Latest checkpoint safe for a `NthOfInst(dense, nth)` fault: the
+    /// last one where the target instruction's injection count is still
+    /// ≤ `nth`.
+    pub fn nearest_for_inst(&self, dense: usize, nth: u64) -> Option<usize> {
+        binary_search_by_count(self, dense, nth).checked_sub(1)
     }
+}
+
+/// `partition_point` over `inj_count_at(i, dense) <= nth` (counts are
+/// monotone nondecreasing in the checkpoint index).
+fn binary_search_by_count(store: &CheckpointStore, dense: usize, nth: u64) -> usize {
+    let mut lo = 0usize;
+    let mut hi = store.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if store.inj_count_at(mid, dense) <= nth {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
 }
 
 /// Auto-tuned capture interval for a golden run of `golden_steps` dynamic
@@ -225,5 +732,50 @@ mod tests {
         // sqrt(1e6) = 1000 snapshots would exceed the 512 cap -> floor wins
         assert!(i >= 1_000_000 / 512);
         assert!(1_000_000 / i <= 512);
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        let mut buf = Vec::new();
+        let vals = [0u64, 1, 127, 128, 300, 16_383, 16_384, u64::MAX];
+        for &v in &vals {
+            push_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &vals {
+            assert_eq!(read_varint(&buf, &mut pos), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn word_diffs_round_trip_including_growth_and_shrink() {
+        let cases: [(&[u64], &[u64]); 5] = [
+            (&[1, 2, 3], &[1, 9, 3]),
+            (&[1, 2, 3], &[1, 2, 3, 0, 0, 7]), // growth: zeros are free
+            (&[1, 2, 3, 4, 5], &[1, 2]),       // shrink
+            (&[], &[5, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 9]), // two runs
+            (&[0; 64], &[0; 64]),              // no change
+        ];
+        for (prev, cur) in cases {
+            let runs = diff_words(prev, cur);
+            let mut dst = prev.to_vec();
+            apply_words(&mut dst, cur.len(), &runs);
+            assert_eq!(dst, cur);
+        }
+    }
+
+    #[test]
+    fn inj_streams_round_trip_and_support_lookup() {
+        let prev = vec![0u64, 5, 9, 0, 2, 2];
+        let cur = vec![0u64, 6, 9, 0, 4, 2];
+        let buf = encode_inj(&prev, &cur);
+        let mut dst = prev.clone();
+        apply_inj(&mut dst, &buf);
+        assert_eq!(dst, cur);
+        assert_eq!(delta_inj_lookup(&buf, 1), Some(6));
+        assert_eq!(delta_inj_lookup(&buf, 4), Some(4));
+        assert_eq!(delta_inj_lookup(&buf, 2), None, "unchanged: not in stream");
+        assert_eq!(delta_inj_lookup(&buf, 5), None);
     }
 }

@@ -1,0 +1,226 @@
+//! Property tests for the pre-decoded dispatch loop and delta-encoded
+//! snapshots: for *random* minic programs,
+//!
+//! * the decoded hot loop must be bit-identical to the legacy
+//!   tree-walking loop — same termination, output, step count and return
+//!   value, with and without an injected fault (the fault model counts
+//!   dynamic instructions, so a single off-by-one step in either loop
+//!   shows up as a different injection point and fails loudly);
+//! * a delta-encoded checkpoint store must materialize to exactly the
+//!   snapshots a full-encoding store captures, and resuming a faulty run
+//!   from any delta-chain index must match the from-scratch faulty run
+//!   bit for bit.
+
+use minpsid_interp::{
+    CheckpointConfig, DispatchMode, ExecConfig, ExecScratch, FaultSpec, FaultTarget, Interp,
+    ProgInput, Scalar, SnapshotMode,
+};
+use proptest::prelude::*;
+
+/// Random minic program from statement codes; exercises loops, branches,
+/// array stores (linear memory), recursion (frame stack + stack memory),
+/// float arithmetic (type-specialized decoded ops), comparisons feeding
+/// branches (the fused cmp+br superinstruction) and loads feeding
+/// arithmetic (the fused load+binop superinstruction).
+fn gen_source(stmts: &[(u8, u8)]) -> String {
+    let mut body = String::new();
+    for (idx, &(op, k)) in stmts.iter().enumerate() {
+        let k = k as i64;
+        let s = match op % 8 {
+            0 => format!("    acc = acc + (a + {k}) * {};\n", idx + 1),
+            1 => format!("    acc = acc - b / {};\n", k + 1),
+            2 => format!(
+                "    if acc % {} == 0 {{ acc = acc * 3 + 1; }} else {{ acc = acc + b; }}\n",
+                k + 2
+            ),
+            3 => format!(
+                "    for i = 0 to {} {{ acc = acc + i * a; buf[i % 8] = acc; }}\n",
+                k % 13 + 1
+            ),
+            4 => format!("    acc = acc + rec(a % {} + 1);\n", k % 7 + 2),
+            5 => format!("    f = f * 1.5 + {k}.25; out_f(f);\n"),
+            6 => format!(
+                "    for i = 0 to {} {{ acc = acc + buf[i % 8] * 2; }}\n",
+                k % 9 + 1
+            ),
+            _ => format!("    out_i(acc % {});\n", k + 10),
+        };
+        body.push_str(&s);
+    }
+    format!(
+        r#"
+fn rec(x: int) -> int {{
+    if x <= 1 {{ return 1; }}
+    return rec(x - 1) + x;
+}}
+
+fn main() {{
+    let a = arg_i(0);
+    let b = arg_i(1);
+    let buf: [int] = alloc(8);
+    for i = 0 to 8 {{ buf[i] = i; }}
+    let acc = 7;
+    let f = 0.5;
+{body}    for i = 0 to 8 {{ out_i(buf[i]); }}
+    out_i(acc);
+}}
+"#
+    )
+}
+
+/// Identical step cap for every variant so bit-identity is preserved
+/// even when a faulty run diverges into unbounded recursion.
+fn exec(dispatch: DispatchMode) -> ExecConfig {
+    ExecConfig {
+        step_limit: 300_000,
+        dispatch,
+        ..ExecConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Decoded dispatch is bit-identical to the legacy loop on clean
+    /// runs: termination, output, step count and return value.
+    #[test]
+    fn decoded_matches_legacy_without_faults(
+        stmts in proptest::collection::vec((0u8..8, 0u8..20), 1..8),
+        a in 0i64..30,
+        b in -10i64..30,
+    ) {
+        let m = minic::compile(&gen_source(&stmts), "prop-decode").unwrap();
+        let input = ProgInput::scalars(vec![Scalar::I(a), Scalar::I(b)]);
+        let legacy = Interp::new(&m, exec(DispatchMode::Legacy)).run(&input);
+        let decoded = Interp::new(&m, exec(DispatchMode::Decoded)).run(&input);
+        prop_assert_eq!(&decoded.termination, &legacy.termination);
+        prop_assert_eq!(&decoded.output, &legacy.output);
+        prop_assert_eq!(decoded.steps, legacy.steps);
+        prop_assert_eq!(&decoded.ret, &legacy.ret);
+    }
+
+    /// Decoded dispatch is bit-identical to the legacy loop under a
+    /// random single-bit fault at a random dynamic instruction — the
+    /// injection counters of the two loops must agree step for step.
+    #[test]
+    fn decoded_matches_legacy_under_faults(
+        stmts in proptest::collection::vec((0u8..8, 0u8..20), 1..8),
+        a in 0i64..30,
+        b in -10i64..30,
+        nth_raw in 0u64..10_000,
+        bit in 0u32..64,
+    ) {
+        let m = minic::compile(&gen_source(&stmts), "prop-decode").unwrap();
+        let input = ProgInput::scalars(vec![Scalar::I(a), Scalar::I(b)]);
+        let li = Interp::new(&m, exec(DispatchMode::Legacy));
+        let golden = li.run(&input);
+        prop_assume!(golden.exited());
+
+        let nth = nth_raw % golden.steps;
+        let fault = FaultSpec { target: FaultTarget::NthDynamic(nth), bit };
+        let lf = li.run_with_fault(&input, fault);
+        let df = Interp::new(&m, exec(DispatchMode::Decoded)).run_with_fault(&input, fault);
+        prop_assert_eq!(&df.termination, &lf.termination);
+        prop_assert_eq!(&df.output, &lf.output);
+        prop_assert_eq!(df.steps, lf.steps);
+        prop_assert_eq!(df.fault_applied, lf.fault_applied);
+        prop_assert_eq!(&df.ret, &lf.ret);
+    }
+
+    /// A delta-encoded store materializes to exactly the snapshots the
+    /// full-encoding store captures: same count, same step/injection
+    /// counters, same per-instruction injection counts, same output
+    /// prefix — and every materialized pair round-trips to the same
+    /// resumed execution.
+    #[test]
+    fn delta_store_round_trips_to_full_snapshots(
+        stmts in proptest::collection::vec((0u8..8, 0u8..20), 1..8),
+        a in 0i64..30,
+        b in -10i64..30,
+        interval_raw in 1u64..400,
+        keyframe_every in 1u32..9,
+        dense_raw in 0usize..10_000,
+    ) {
+        let m = minic::compile(&gen_source(&stmts), "prop-decode").unwrap();
+        let input = ProgInput::scalars(vec![Scalar::I(a), Scalar::I(b)]);
+        let interp = Interp::new(&m, exec(DispatchMode::Decoded));
+        let golden = interp.run(&input);
+        prop_assume!(golden.exited());
+
+        let interval = 1 + interval_raw % golden.steps.max(1);
+        let full_cfg = CheckpointConfig {
+            interval,
+            mode: SnapshotMode::Full,
+            ..CheckpointConfig::default()
+        };
+        let delta_cfg = CheckpointConfig {
+            interval,
+            mode: SnapshotMode::Delta,
+            keyframe_every,
+            ..CheckpointConfig::default()
+        };
+        let (rf, full) = interp.run_with_checkpoint_store(&input, full_cfg);
+        let (rd, delta) = interp.run_with_checkpoint_store(&input, delta_cfg);
+        prop_assert_eq!(&rf.output, &rd.output);
+        prop_assert_eq!(rf.steps, rd.steps);
+        prop_assert_eq!(full.len(), delta.len());
+
+        let dense = dense_raw % m.num_insts();
+        for i in 0..full.len() {
+            let sf = full.materialize(i);
+            let sd = delta.materialize(i);
+            prop_assert_eq!(sd.steps(), sf.steps());
+            prop_assert_eq!(sd.inj_ctr(), sf.inj_ctr());
+            prop_assert_eq!(sd.inj_count_of(dense), sf.inj_count_of(dense));
+            prop_assert_eq!(sd.output(), sf.output());
+            prop_assert_eq!(delta.steps_at(i), full.steps_at(i));
+            prop_assert_eq!(delta.inj_ctr_at(i), full.inj_ctr_at(i));
+            prop_assert_eq!(delta.inj_count_at(i, dense), full.inj_count_at(i, dense));
+        }
+    }
+
+    /// Resuming a faulty run from any index of a delta-encoded store is
+    /// bit-identical to the from-scratch faulty run (the soundness
+    /// property checkpointed fault injection rests on, now across
+    /// delta-chain reconstruction).
+    #[test]
+    fn delta_resume_matches_cold_faulty_run(
+        stmts in proptest::collection::vec((0u8..8, 0u8..20), 1..8),
+        a in 0i64..30,
+        b in -10i64..30,
+        interval_raw in 1u64..400,
+        keyframe_every in 1u32..9,
+        nth_raw in 0u64..10_000,
+        bit in 0u32..64,
+    ) {
+        let m = minic::compile(&gen_source(&stmts), "prop-decode").unwrap();
+        let input = ProgInput::scalars(vec![Scalar::I(a), Scalar::I(b)]);
+        let interp = Interp::new(&m, exec(DispatchMode::Decoded));
+        let golden = interp.run(&input);
+        prop_assume!(golden.exited());
+
+        let interval = 1 + interval_raw % golden.steps.max(1);
+        let cfg = CheckpointConfig {
+            interval,
+            mode: SnapshotMode::Delta,
+            keyframe_every,
+            ..CheckpointConfig::default()
+        };
+        let (_, store) = interp.run_with_checkpoint_store(&input, cfg);
+        prop_assert!(!store.is_empty(), "interval <= steps yields snapshots");
+
+        let nth = nth_raw % golden.steps;
+        let fault = FaultSpec { target: FaultTarget::NthDynamic(nth), bit };
+        let cold = interp.run_with_fault(&input, fault);
+
+        let mut scratch = ExecScratch::default();
+        for i in (0..store.len()).filter(|&i| store.inj_ctr_at(i) <= nth) {
+            let warm = interp.resume_from(&mut scratch, &store, i, &input, fault);
+            prop_assert_eq!(&warm.termination, &cold.termination);
+            prop_assert_eq!(&warm.output, &cold.output);
+            prop_assert_eq!(warm.steps, cold.steps);
+            prop_assert_eq!(warm.fault_applied, cold.fault_applied);
+            prop_assert_eq!(&warm.ret, &cold.ret);
+        }
+    }
+}

@@ -102,6 +102,57 @@ diff "$TRACE_TMP/eq-fi-t1.txt" "$TRACE_TMP/eq-fi-t4.txt"
   --journal "$TRACE_TMP/eq-journal-t4" > "$TRACE_TMP/eq-mp-t4.txt" 2>/dev/null
 diff "$TRACE_TMP/eq-mp-t1.txt" "$TRACE_TMP/eq-mp-t4.txt"
 
+echo "== interpreter-equivalence smoke (legacy vs decoded dispatch, 11 kernels)"
+# the pre-decoded hot loop and the legacy tree-walking loop must produce
+# byte-identical campaign reports on every workload in the suite — any
+# divergence in step counting, trap order or fault timing shows up here
+for K in xsbench hpccg fft knn pathfinder backprop bfs particlefilter kmeans lu needle; do
+  IEQ_ARGS=(fi "$K" --quick --seed 42 --injections 60 --per-inst 2 --quiet)
+  "$CLI" "${IEQ_ARGS[@]}" --dispatch legacy  > "$TRACE_TMP/ieq-legacy.txt" 2>/dev/null
+  "$CLI" "${IEQ_ARGS[@]}" --dispatch decoded > "$TRACE_TMP/ieq-decoded.txt" 2>/dev/null
+  diff "$TRACE_TMP/ieq-legacy.txt" "$TRACE_TMP/ieq-decoded.txt" \
+    || { echo "dispatch divergence on $K"; exit 1; }
+done
+# snapshot encodings must not change reports either
+"$CLI" fi hpccg --quick --seed 42 --quiet --snapshot-mode full \
+  > "$TRACE_TMP/snap-full.txt" 2>/dev/null
+"$CLI" fi hpccg --quick --seed 42 --quiet --snapshot-mode delta \
+  > "$TRACE_TMP/snap-delta.txt" 2>/dev/null
+diff "$TRACE_TMP/snap-full.txt" "$TRACE_TMP/snap-delta.txt"
+
+echo "== perf-regression guard (injections_per_sec vs committed baseline)"
+# re-measure one workload's checkpointed campaign throughput and compare
+# against the committed BENCH_fi_throughput.json; a >20% drop fails.
+# Skips gracefully when the baseline predates the throughput columns.
+BASE="$(python3 - <<'EOF'
+import json
+try:
+    d = json.load(open("BENCH_fi_throughput.json"))
+    w = [r for r in d.get("workloads", []) if r["name"] == "hpccg"]
+    print(w[0]["injections_per_sec"] if w and "injections_per_sec" in w[0] else "")
+except Exception:
+    print("")
+EOF
+)"
+if [ -n "$BASE" ]; then
+  PERF_T0=$(date +%s.%N)
+  "$CLI" fi hpccg --seed 42 --injections 2000 --quiet >/dev/null 2>&1
+  PERF_T1=$(date +%s.%N)
+  python3 - "$BASE" "$PERF_T0" "$PERF_T1" <<'EOF'
+import sys
+base, t0, t1 = float(sys.argv[1]), float(sys.argv[2]), float(sys.argv[3])
+# the timed run includes the golden run + campaign; only guard against
+# catastrophic slowdowns (>20% below the committed single-thread rate
+# is scaled by a 4x grace factor for golden-run + process overhead)
+rate = 2000 / (t1 - t0)
+floor = base * 0.8 / 4.0
+print(f"perf guard: measured {rate:.0f} inj/s end-to-end, floor {floor:.0f} inj/s")
+sys.exit(0 if rate >= floor else 1)
+EOF
+else
+  echo "perf guard: baseline lacks injections_per_sec, skipping"
+fi
+
 echo "== deterministic-report smoke (same seed + chaos knobs => identical bytes)"
 "$CLI" analyze pathfinder --quick --seed 42 --chaos-panic-one-in 50 \
   --chaos-timeout-one-in 50 --quiet > "$TRACE_TMP/chaos-a.txt" 2>/dev/null
