@@ -41,6 +41,16 @@ fn reps() -> usize {
         .unwrap_or(DEFAULT_REPS)
 }
 
+/// Repetition floor for the *ratio* columns (scheduler bookkeeping and
+/// profiler overhead): these compare two runs of the same campaign whose
+/// true difference is low single-digit percent, so a 2-rep min is inside
+/// ambient noise and has produced spurious >3% overhead readings. The
+/// ratio columns always take at least 5 reps regardless of
+/// `FI_BENCH_REPS`.
+fn ratio_reps() -> usize {
+    reps().max(5)
+}
+
 /// Per-instruction injections; default is a trimmed bench budget.
 /// `FI_BENCH_INJECTIONS=30` reproduces the `small` preset numbers
 /// recorded in EXPERIMENTS.md.
@@ -65,6 +75,9 @@ struct Row {
     legacy_s: f64,
     sched_retries_off_s: f64,
     sched_default_s: f64,
+    /// Checkpointed campaign re-timed with the interpreter sampling
+    /// profiler enabled (default 1-in-1024 interval).
+    profiled_s: f64,
     /// Journaled campaign wall-clock per entry of [`THREAD_COUNTS`].
     journaled_s: [f64; THREAD_COUNTS.len()],
 }
@@ -96,26 +109,44 @@ impl Row {
         (self.sched_default_s / self.sched_retries_off_s - 1.0) * 100.0
     }
 
+    /// Relative cost of the interpreter sampling profiler over the same
+    /// campaign with it disabled, in percent. Both sides are timed at
+    /// [`ratio_reps`]; the budget is <2%.
+    fn profile_overhead_pct(&self) -> f64 {
+        (self.profiled_s / self.sched_default_s - 1.0) * 100.0
+    }
+
     /// Journaled 4-thread speedup over journaled serial.
     fn journaled_speedup_4t(&self) -> f64 {
         self.journaled_s[0] / self.journaled_s[2]
     }
 }
 
-/// Best-of-REPS wall-clock of one full per-instruction campaign.
+/// Best-of-`n` wall-clock of one full per-instruction campaign.
+fn time_campaign_n(
+    module: &Module,
+    input: &ProgInput,
+    golden: &GoldenRun,
+    cfg: &CampaignConfig,
+    n: usize,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..n {
+        let t = Instant::now();
+        black_box(per_instruction_campaign(module, input, golden, cfg));
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Best-of-[`reps`] wall-clock of one full per-instruction campaign.
 fn time_campaign(
     module: &Module,
     input: &ProgInput,
     golden: &GoldenRun,
     cfg: &CampaignConfig,
 ) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps() {
-        let t = Instant::now();
-        black_box(per_instruction_campaign(module, input, golden, cfg));
-        best = best.min(t.elapsed().as_secs_f64());
-    }
-    best
+    time_campaign_n(module, input, golden, cfg, reps())
 }
 
 /// Best-of-REPS wall-clock of one journaled per-instruction campaign.
@@ -204,11 +235,26 @@ fn main() {
 
         // scheduler overhead: the same checkpointed campaign with the
         // retry machinery disabled vs the default retry budget (no chaos,
-        // so no retries actually fire — this isolates pure bookkeeping)
+        // so no retries actually fire — this isolates pure bookkeeping).
+        // Ratio columns take the tighter rep floor: at 2 reps the min is
+        // still inside ambient noise and the overhead reading is junk.
         let mut retries_off_cfg = warm_cfg.clone();
         retries_off_cfg.sched.max_retries = 0;
-        let sched_retries_off_s = time_campaign(&module, &input, &g_warm, &retries_off_cfg);
-        let sched_default_s = time_campaign(&module, &input, &g_warm, &warm_cfg);
+        let sched_retries_off_s =
+            time_campaign_n(&module, &input, &g_warm, &retries_off_cfg, ratio_reps());
+        let sched_default_s = time_campaign_n(&module, &input, &g_warm, &warm_cfg, ratio_reps());
+
+        // interpreter sampling profiler overhead on the same campaign,
+        // with an identity gate: profiling must not change the report.
+        minpsid_interp::opprof::enable(0);
+        let profiled = per_instruction_campaign(&module, &input, &g_warm, &warm_cfg);
+        assert_eq!(
+            profiled.sdc_prob, warm.sdc_prob,
+            "{name}: campaign report changed with the profiler enabled"
+        );
+        let profiled_s = time_campaign_n(&module, &input, &g_warm, &warm_cfg, ratio_reps());
+        minpsid_interp::opprof::disable();
+        minpsid_interp::opprof::reset();
 
         // journaled campaign across the thread sweep, with a determinism
         // gate: the report must be byte-identical at every thread count
@@ -237,6 +283,7 @@ fn main() {
             legacy_s,
             sched_retries_off_s,
             sched_default_s,
+            profiled_s,
             journaled_s,
         };
         println!(
@@ -268,6 +315,13 @@ fn main() {
             row.sched_overhead_pct()
         );
         println!(
+            "bench fi/{:<10} profiler: off {:>8.3} s   on {:>8.3} s   overhead {:>+5.1}%",
+            row.name,
+            row.sched_default_s,
+            row.profiled_s,
+            row.profile_overhead_pct()
+        );
+        println!(
             "bench fi/{:<10} journaled: 1t {:>7.3} s   2t {:>7.3} s   4t {:>7.3} s   \
              8t {:>7.3} s   4t-speedup {:>5.2}x",
             row.name,
@@ -294,6 +348,7 @@ fn main() {
              \"legacy_checkpointed_s\": {:.4}, \"dispatch_speedup\": {:.3}, \
              \"sched_retries_off_s\": {:.4}, \
              \"sched_default_s\": {:.4}, \"sched_overhead_pct\": {:.2}, \
+             \"profiled_s\": {:.4}, \"profile_overhead_pct\": {:.2}, \
              \"journaled_t1_s\": {:.4}, \"journaled_t2_s\": {:.4}, \
              \"journaled_t4_s\": {:.4}, \"journaled_t8_s\": {:.4}, \
              \"journaled_speedup_4t\": {:.3}}}{}",
@@ -312,6 +367,8 @@ fn main() {
             r.sched_retries_off_s,
             r.sched_default_s,
             r.sched_overhead_pct(),
+            r.profiled_s,
+            r.profile_overhead_pct(),
             r.journaled_s[0],
             r.journaled_s[1],
             r.journaled_s[2],

@@ -25,9 +25,10 @@ use minpsid_ir::printer::print_module;
 use minpsid_ir::Module;
 use minpsid_sid::{run_sid, SidConfig};
 use minpsid_trace as trace;
-use std::io::Write as _;
+use std::io::{IsTerminal as _, Write as _};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Set by `--quiet`: suppresses the CLI's stderr diagnostics (primary
 /// results on stdout are unaffected).
@@ -63,9 +64,27 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    if rest.iter().any(|a| a == "--progress") {
+    // --progress is a stderr convenience; --quiet wins outright.
+    if rest.iter().any(|a| a == "--progress") && !quiet() {
         install_progress_meter();
     }
+    match parse_profile_flags(rest) {
+        Ok(Some(every)) => minpsid_interp::opprof::enable(every),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Keep the server alive for the whole run; dropping it (end of main)
+    // joins the accept loop.
+    let _status_server = match start_status_server(rest) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match cmd.as_str() {
         "list" => cmd_list(),
         "compile" => cmd_compile(rest),
@@ -83,8 +102,9 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`")),
     };
-    let result =
-        result.and_then(|()| trace::shutdown().map_err(|e| format!("writing trace log: {e}")));
+    let result = result
+        .and_then(|()| finish_interp_profile(rest))
+        .and_then(|()| trace::shutdown().map_err(|e| format!("writing trace log: {e}")));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -95,11 +115,21 @@ fn main() -> ExitCode {
     }
 }
 
-/// Install a single-line live campaign meter (`--progress`): an observer
-/// that redraws on every `campaign_progress` sample and clears the line
-/// when the campaign ends. Works with or without `--trace-out`.
+/// Install a live campaign meter (`--progress`): an observer that redraws
+/// a single line on every `campaign_progress` sample and clears it when
+/// the campaign ends. Works with or without `--trace-out`.
+///
+/// The meter only uses carriage returns and ANSI erase codes when stderr
+/// is an actual terminal; redirected to a file or pipe it degrades to
+/// plain lines throttled to at most one per second, so logs don't fill
+/// with control bytes (the sampler fires every 50ms).
 fn install_progress_meter() {
-    trace::add_observer(|ev| {
+    let tty = std::io::stderr().is_terminal();
+    let last_line = Mutex::new(None::<std::time::Instant>);
+    trace::add_observer(move |ev| {
+        if quiet() {
+            return;
+        }
         let mut err = std::io::stderr().lock();
         match &ev.event {
             trace::Event::CampaignProgress {
@@ -120,13 +150,22 @@ fn install_progress_meter() {
                     trace::CampaignKind::Program => "fi",
                     trace::CampaignKind::PerInst => "per-inst fi",
                 };
-                let _ = write!(
-                    err,
-                    "\r{kind}: {done}/{total} injections ({rate:.0}/s, ETA {eta:.1}s) \
-                     sdc {} crash {} hang {} detected {}   ",
+                let line = format!(
+                    "{kind}: {done}/{total} injections ({rate:.0}/s, ETA {eta:.1}s) \
+                     sdc {} crash {} hang {} detected {}",
                     counts.sdc, counts.crash, counts.hang, counts.detected
                 );
-                let _ = err.flush();
+                if tty {
+                    let _ = write!(err, "\r{line}   ");
+                    let _ = err.flush();
+                } else {
+                    let mut last = last_line.lock().unwrap_or_else(|e| e.into_inner());
+                    let due = last.is_none_or(|t| t.elapsed() >= std::time::Duration::from_secs(1));
+                    if due {
+                        *last = Some(std::time::Instant::now());
+                        let _ = writeln!(err, "{line}");
+                    }
+                }
             }
             trace::Event::CampaignEnd {
                 injections,
@@ -134,16 +173,109 @@ fn install_progress_meter() {
                 ..
             } => {
                 let secs = (*elapsed_us as f64 / 1e6).max(1e-9);
-                let _ = write!(err, "\r\x1b[2K");
+                if tty {
+                    let _ = write!(err, "\r\x1b[2K");
+                }
                 let _ = writeln!(
                     err,
                     "campaign done: {injections} injections in {secs:.2}s ({:.0}/s)",
                     *injections as f64 / secs
                 );
+                *last_line.lock().unwrap_or_else(|e| e.into_inner()) = None;
             }
             _ => {}
         }
     });
+}
+
+/// `--profile-interp` / `--profile-sample-every N`: returns
+/// `Some(sample_every)` when the interpreter sampling profiler should be
+/// enabled (0 = the profiler's default interval).
+fn parse_profile_flags(rest: &[String]) -> Result<Option<u64>, String> {
+    let every = match flag_value(rest, "--profile-sample-every") {
+        None => None,
+        Some(v) => Some(v.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+            format!("bad --profile-sample-every `{v}` (want a positive step count)")
+        })?),
+    };
+    let folded = flag_value(rest, "--profile-folded").is_some();
+    if rest.iter().any(|a| a == "--profile-interp") || every.is_some() || folded {
+        Ok(Some(every.unwrap_or(0)))
+    } else {
+        Ok(None)
+    }
+}
+
+/// `--status-addr ADDR`: start the embedded HTTP status server and bridge
+/// the trace event stream into its metrics registry and status board.
+fn start_status_server(rest: &[String]) -> Result<Option<minpsid_metrics::StatusServer>, String> {
+    let Some(addr) = flag_value(rest, "--status-addr") else {
+        return Ok(None);
+    };
+    let registry = Arc::new(minpsid_metrics::Registry::new());
+    registry
+        .gauge(
+            "minpsid_build_info",
+            "Build metadata; the value is always 1.",
+            &[("version", env!("CARGO_PKG_VERSION"))],
+        )
+        .set(1.0);
+    let board = Arc::new(minpsid_metrics::StatusBoard::new());
+    board.set_tool(concat!("minpsid ", env!("CARGO_PKG_VERSION")));
+    // The event stream only carries campaign kinds; label series with the
+    // workload being screened (first positional argument).
+    let workload = rest
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .unwrap_or("-");
+    trace::bridge::install(registry.clone(), board.clone(), workload);
+    let server = minpsid_metrics::StatusServer::bind(&addr, registry, board)
+        .map_err(|e| format!("cannot bind status server on `{addr}`: {e}"))?;
+    diag!(
+        "status server on http://{}/  (endpoints: /metrics, /status)",
+        server.local_addr()
+    );
+    Ok(Some(server))
+}
+
+/// When the interpreter profiler ran, surface its findings: emit the
+/// `interp_profile` trace event (lands in `--trace-out` logs for
+/// `minpsid trace report`), write the flamegraph-compatible folded-stacks
+/// file (`--profile-folded PATH`), and print a short stderr summary.
+/// Stdout is untouched — reports stay byte-identical with profiling on.
+fn finish_interp_profile(rest: &[String]) -> Result<(), String> {
+    if !minpsid_interp::opprof::enabled() {
+        return Ok(());
+    }
+    let rep = minpsid_interp::opprof::snapshot();
+    trace::emit(trace::Event::InterpProfile {
+        sample_every: rep.sample_every,
+        total_samples: rep.total_samples,
+        fused_samples: rep.fused_samples,
+        fused_sites: rep.fused_sites,
+        total_sites: rep.total_sites,
+        encode_ns: rep.encode_ns,
+        encode_ops: rep.encode_ops,
+        restore_ns: rep.restore_ns,
+        restore_ops: rep.restore_ops,
+        samples: rep.samples.clone(),
+    });
+    if let Some(path) = flag_value(rest, "--profile-folded") {
+        std::fs::write(&path, rep.folded())
+            .map_err(|e| format!("writing folded stacks to {path}: {e}"))?;
+        diag!("wrote folded stacks to {path}");
+    }
+    diag!(
+        "interp profile: {} samples (1 per {} steps), {:.1}% on fused superinstructions",
+        rep.total_samples,
+        rep.sample_every,
+        rep.fused_sample_rate() * 100.0
+    );
+    for (op, n) in rep.samples.iter().take(5) {
+        diag!("  {op:<22} {n}");
+    }
+    Ok(())
 }
 
 fn usage() {
@@ -206,10 +338,25 @@ crash-safe journal (minpsid):
   --max-inputs N            cap on searched inputs (default 25)
   --golden-cache-cap N      LRU-evict golden runs beyond N cache entries
 
+live observability:
+  --status-addr ADDR        serve /metrics (Prometheus text) and /status
+                            (JSON) over HTTP while the run executes,
+                            e.g. --status-addr 127.0.0.1:9090
+  --profile-interp          interpreter sampling profiler: per-opcode
+                            cycle attribution, fusion hit rates, and
+                            snapshot encode/restore costs (reported via
+                            stderr, the trace log, and trace report)
+  --profile-sample-every N  profiler sample interval in dynamic steps
+                            (default 8192; implies --profile-interp)
+  --profile-folded PATH     write flamegraph-compatible folded stacks
+                            (implies --profile-interp)
+
 global options:
   --trace-out PATH          write a structured JSONL trace of the run
                             (analyze with `minpsid trace report`)
-  --progress                live single-line campaign meter on stderr
+  --progress                live campaign meter on stderr (single-line
+                            when stderr is a TTY, throttled plain lines
+                            otherwise; silenced by --quiet)
   --quiet                   suppress stderr diagnostics"
     );
 }

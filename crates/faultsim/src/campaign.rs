@@ -170,6 +170,7 @@ pub fn golden_run(
     };
     let checkpoints = match interval {
         Some(interval) => {
+            let _span = trace::span("checkpoint_capture");
             let exec = ExecConfig {
                 profile: false,
                 ..cfg.exec.clone()

@@ -516,6 +516,7 @@ impl<'a> CampaignEngine<'a> {
     /// golden run. Errs with [`Interrupted`] only when a journal is
     /// attached and an interrupt is pending.
     pub fn run_program(&self) -> Result<ProgramCampaign, Interrupted> {
+        let plan_span = trace::span("plan");
         let (injections, population) = match self.plan_program() {
             CampaignPlan::Program {
                 injections,
@@ -523,6 +524,7 @@ impl<'a> CampaignEngine<'a> {
             } => (injections, population),
             CampaignPlan::PerInst { .. } => unreachable!(),
         };
+        drop(plan_span);
         let cfg = self.cfg;
         let sched = self.scheduler();
         if population == 0 || injections == 0 {
@@ -537,6 +539,7 @@ impl<'a> CampaignEngine<'a> {
         let recovered = AtomicU64::new(0);
         let journal = self.journal;
         let writer = journal.map(|(j, fp)| OrderedWriter::new(j, fp));
+        let execute_span = trace::span("execute");
         let results = trace::sample_campaign(&counters, PROGRESS_INTERVAL, || {
             par_map_init(injections, cfg.threads, ExecScratch::default, |st, i| {
                 if journal.is_some() && interrupt::requested() {
@@ -603,6 +606,7 @@ impl<'a> CampaignEngine<'a> {
                 UnitResult::Done(r.outcome)
             })
         });
+        drop(execute_span);
         if let Some(w) = &writer {
             w.finish();
         }
@@ -618,6 +622,7 @@ impl<'a> CampaignEngine<'a> {
             }
             return Err(Interrupted);
         }
+        let _reduce_span = trace::span("reduce");
         let mut counts = OutcomeCounts::default();
         let mut truncated = 0u64;
         for r in results {
@@ -650,6 +655,7 @@ impl<'a> CampaignEngine<'a> {
     /// deadline are truncated. Errs with [`Interrupted`] only when a
     /// journal is attached and an interrupt is pending.
     pub fn run_per_instruction(&self) -> Result<PerInstSdc, Interrupted> {
+        let plan_span = trace::span("plan");
         let (sites, planned) = match self.plan_per_instruction() {
             CampaignPlan::PerInst {
                 sites,
@@ -657,6 +663,7 @@ impl<'a> CampaignEngine<'a> {
             } => (sites, injections_per_site),
             CampaignPlan::Program { .. } => unreachable!(),
         };
+        drop(plan_span);
         let cfg = self.cfg;
         let sched = self.scheduler();
         let n = self.module.numbering().len();
@@ -666,6 +673,7 @@ impl<'a> CampaignEngine<'a> {
         let counters = CampaignCounters::new(CampaignKind::PerInst, (sites.len() * planned) as u64);
         let journal = self.journal;
         let writer = journal.map(|(j, fp)| OrderedWriter::new(j, fp));
+        let execute_span = trace::span("execute");
         let per_site = trace::sample_campaign(&counters, PROGRESS_INTERVAL, || {
             par_map_init(sites.len(), cfg.threads, ExecScratch::default, |st, t| {
                 let (dense, gid, count) = sites[t];
@@ -828,6 +836,7 @@ impl<'a> CampaignEngine<'a> {
                 (dense, counts, status, true)
             })
         });
+        drop(execute_span);
         if let Some(w) = &writer {
             w.finish();
         }
@@ -841,6 +850,7 @@ impl<'a> CampaignEngine<'a> {
                 return Err(Interrupted);
             }
         }
+        let _reduce_span = trace::span("reduce");
         let mut sdc_prob = vec![0.0; n];
         let mut counts = vec![OutcomeCounts::default(); n];
         let mut ci = vec![binomial_ci(0, 0, cfg.sched.ci_z); n];

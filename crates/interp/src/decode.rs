@@ -498,6 +498,122 @@ pub(crate) enum DOp {
     },
 }
 
+/// Display names for every [`DOp`] kind, indexed by [`DOp::index`].
+/// Declaration order of the enum; fused superinstructions start at
+/// [`opprof::FIRST_FUSED`](crate::opprof::FIRST_FUSED).
+pub(crate) const OP_NAMES: [&str; 50] = [
+    "Param",
+    "BinII",
+    "BinFF",
+    "BinAny",
+    "Un",
+    "CmpII",
+    "CmpFF",
+    "CmpBB",
+    "CmpAny",
+    "Select",
+    "Cast",
+    "Alloc",
+    "Salloc",
+    "Load",
+    "Store",
+    "Call",
+    "NArgs",
+    "ArgI",
+    "ArgF",
+    "DataLen",
+    "DataI",
+    "DataF",
+    "OutI",
+    "OutF",
+    "Check",
+    "Br",
+    "CondBr",
+    "Ret",
+    "CmpBr",
+    "BinBr",
+    "BinBin",
+    "LoadLoad",
+    "Load4",
+    "LoadCastBinUn",
+    "LoadCmpBr",
+    "BinStoreBr",
+    "LoadLoadBin",
+    "BinLoadLoad",
+    "LoadBinBin",
+    "LoadBinStoreBr",
+    "LoadLoadBinStoreBr",
+    "LoadLoadBinBinStore",
+    "LoadLoadBinBinLoad",
+    "LoadLoadBinBinBin",
+    "BinStore",
+    "StoreBr",
+    "StoreLoad",
+    "BinLoad",
+    "LoadStore",
+    "LoadBin",
+];
+
+impl DOp {
+    /// Stable profiling index of this op kind: its position in
+    /// [`OP_NAMES`] (enum declaration order).
+    #[inline]
+    pub(crate) fn index(&self) -> usize {
+        match self {
+            DOp::Param { .. } => 0,
+            DOp::BinII { .. } => 1,
+            DOp::BinFF { .. } => 2,
+            DOp::BinAny { .. } => 3,
+            DOp::Un { .. } => 4,
+            DOp::CmpII { .. } => 5,
+            DOp::CmpFF { .. } => 6,
+            DOp::CmpBB { .. } => 7,
+            DOp::CmpAny { .. } => 8,
+            DOp::Select { .. } => 9,
+            DOp::Cast { .. } => 10,
+            DOp::Alloc { .. } => 11,
+            DOp::Salloc { .. } => 12,
+            DOp::Load { .. } => 13,
+            DOp::Store { .. } => 14,
+            DOp::Call { .. } => 15,
+            DOp::NArgs => 16,
+            DOp::ArgI { .. } => 17,
+            DOp::ArgF { .. } => 18,
+            DOp::DataLen { .. } => 19,
+            DOp::DataI { .. } => 20,
+            DOp::DataF { .. } => 21,
+            DOp::OutI { .. } => 22,
+            DOp::OutF { .. } => 23,
+            DOp::Check { .. } => 24,
+            DOp::Br { .. } => 25,
+            DOp::CondBr { .. } => 26,
+            DOp::Ret { .. } => 27,
+            DOp::CmpBr { .. } => 28,
+            DOp::BinBr { .. } => 29,
+            DOp::BinBin { .. } => 30,
+            DOp::LoadLoad { .. } => 31,
+            DOp::Load4 { .. } => 32,
+            DOp::LoadCastBinUn { .. } => 33,
+            DOp::LoadCmpBr { .. } => 34,
+            DOp::BinStoreBr { .. } => 35,
+            DOp::LoadLoadBin { .. } => 36,
+            DOp::BinLoadLoad { .. } => 37,
+            DOp::LoadBinBin { .. } => 38,
+            DOp::LoadBinStoreBr { .. } => 39,
+            DOp::LoadLoadBinStoreBr { .. } => 40,
+            DOp::LoadLoadBinBinStore { .. } => 41,
+            DOp::LoadLoadBinBinLoad { .. } => 42,
+            DOp::LoadLoadBinBinBin { .. } => 43,
+            DOp::BinStore { .. } => 44,
+            DOp::StoreBr { .. } => 45,
+            DOp::StoreLoad { .. } => 46,
+            DOp::BinLoad { .. } => 47,
+            DOp::LoadStore { .. } => 48,
+            DOp::LoadBin { .. } => 49,
+        }
+    }
+}
+
 /// One decoded instruction slot: the op plus the static per-instruction
 /// metadata the legacy loop looked up per step.
 #[derive(Debug, Clone)]
@@ -673,6 +789,18 @@ pub(crate) fn decode_module(m: &Module) -> DecodedModule {
         funcs.push(decode_func(f, dense_base));
         dense_base += f.insts.len() as u32;
     }
+    // static fusion coverage for the sampling profiler: carrying
+    // superinstruction slots vs all decoded slots
+    let (mut fused, mut total) = (0u64, 0u64);
+    for f in &funcs {
+        total += f.code.len() as u64;
+        fused += f
+            .code
+            .iter()
+            .filter(|di| di.op.index() >= crate::opprof::FIRST_FUSED)
+            .count() as u64;
+    }
+    crate::opprof::record_decode_stats(fused, total);
     DecodedModule {
         funcs,
         entry: m.entry.0,
@@ -1599,7 +1727,17 @@ fn exec_loop<const ARMED: bool>(
         };
         poll.min(step_limit.saturating_add(1))
     };
-    let mut next_pause = next_pause_after(steps_l);
+    // sampling profiler boundary, folded into the same compare: with the
+    // profiler off (every campaign run unless `--profile-interp`),
+    // `next_sample` is u64::MAX and the hot path is untouched. Sampling
+    // on global step phase (next multiple of the interval) keeps short
+    // replayed suffixes sampled at the same rate as long runs.
+    let sample_every = crate::opprof::sample_every();
+    let mut next_sample = match steps_l.checked_div(sample_every) {
+        None => u64::MAX,
+        Some(intervals) => (intervals + 1) * sample_every,
+    };
+    let mut next_pause = next_pause_after(steps_l).min(next_sample);
     macro_rules! finish {
         ($term:expr, $ret:expr) => {{
             *steps = steps_l;
@@ -1620,12 +1758,16 @@ fn exec_loop<const ARMED: bool>(
             finish!(Termination::Trap($kind), None)
         };
     }
-    // legacy per-step prologue: increment, limit check, coarse deadline poll
+    // legacy per-step prologue: increment, limit check, coarse deadline
+    // poll, profiler sample — all behind the one folded compare. `$di` is
+    // the carrying instruction, so fused halves attribute their sample to
+    // the superinstruction.
     macro_rules! tick {
-        () => {
+        ($di:expr) => {
             steps_l += 1;
             if steps_l >= next_pause {
-                // cold: the limit expired or a deadline poll is due
+                // cold: the limit expired, a deadline poll is due, or a
+                // profiler sample is due
                 if steps_l > step_limit {
                     finish!(Termination::StepLimit, None);
                 }
@@ -1634,7 +1776,11 @@ fn exec_loop<const ARMED: bool>(
                         finish!(Termination::WallClock, None);
                     }
                 }
-                next_pause = next_pause_after(steps_l);
+                if steps_l >= next_sample {
+                    crate::opprof::record($di.op.index());
+                    next_sample = ((steps_l / sample_every) + 1) * sample_every;
+                }
+                next_pause = next_pause_after(steps_l).min(next_sample);
             }
         };
     }
@@ -1882,7 +2028,7 @@ fn exec_loop<const ARMED: bool>(
         // of a non-terminator; verified IR ends every (non-empty) block
         // with a terminator, so both stay inside `code`.
         let di = unsafe { cur_code.get_unchecked(pc) };
-        tick!();
+        tick!(di);
         match &di.op {
             DOp::Param { n } => {
                 let v = if (*n as usize) < arg_len {
@@ -2207,7 +2353,7 @@ fn exec_loop<const ARMED: bool>(
                     Value::B(c) => c,
                     _ => unreachable!("bit flip preserves the Bool variant"),
                 };
-                tick!();
+                tick!(di);
                 pc = if cv { *t } else { *e } as usize;
             }
             DOp::Load4 {
@@ -2227,7 +2373,7 @@ fn exec_loop<const ARMED: bool>(
                 };
                 produce!(di.dense, di.inj, di.dst, r);
                 for h in 0..3 {
-                    tick!();
+                    tick!(di);
                     let (ty, ptr, idx) = &ops[h + 1];
                     let bits = load_word!(ptr, idx);
                     let r = match ty {
@@ -2251,7 +2397,7 @@ fn exec_loop<const ARMED: bool>(
                 // the cast, bin and un execute from their standalone
                 // slots — a bounded tag check each, not a dispatch
                 // round; every half fetches after the previous write
-                tick!();
+                tick!(di);
                 // SAFETY: decode fused a 4-window of one block, so the
                 // three standalone copies follow the carrying slot
                 let d2 = unsafe { cur_code.get_unchecked(pc + 1) };
@@ -2269,7 +2415,7 @@ fn exec_loop<const ARMED: bool>(
                     }
                     _ => unreachable!("LoadCastBinUn chains a cast slot"),
                 }
-                tick!();
+                tick!(di);
                 // SAFETY: as above
                 let d3 = unsafe { cur_code.get_unchecked(pc + 2) };
                 match &d3.op {
@@ -2289,7 +2435,7 @@ fn exec_loop<const ARMED: bool>(
                     }
                     _ => unreachable!("LoadCastBinUn chains a bin slot"),
                 }
-                tick!();
+                tick!(di);
                 // SAFETY: as above
                 let d4 = unsafe { cur_code.get_unchecked(pc + 3) };
                 match &d4.op {
@@ -2341,7 +2487,7 @@ fn exec_loop<const ARMED: bool>(
                 // compare half: operands fetched after the load write,
                 // so a compare of the loaded slot reads the post-fault
                 // value exactly as legacy does
-                tick!();
+                tick!(di);
                 let r = match kind {
                     CmpKind::II => {
                         let (x, y) = (int!(a), int!(b));
@@ -2364,7 +2510,7 @@ fn exec_loop<const ARMED: bool>(
                     Value::B(c) => c,
                     _ => unreachable!("bit flip preserves the Bool variant"),
                 };
-                tick!();
+                tick!(di);
                 pc = if cv { *t } else { *e } as usize;
             }
             DOp::BinLoad {
@@ -2384,7 +2530,7 @@ fn exec_loop<const ARMED: bool>(
                 let r = bin_any!(op, x, y);
                 produce!(di.dense, di.inj, di.dst, r);
                 // load half: address fetched after the bin write
-                tick!();
+                tick!(di);
                 let bits = load_word!(ptr2, idx2);
                 let r = match ty2 {
                     Ty::I64 => Value::I(bits as i64),
@@ -2412,7 +2558,7 @@ fn exec_loop<const ARMED: bool>(
                 produce!(di.dense, di.inj, di.dst, r);
                 // store half: value fetched after the load write, so a
                 // store of the loaded value reads the post-fault value
-                tick!();
+                tick!(di);
                 store_word!(ptr2, idx2, v);
                 pc += 2;
             }
@@ -2431,7 +2577,7 @@ fn exec_loop<const ARMED: bool>(
                 produce!(di.dense, di.inj, di.dst, r);
                 // store half: value fetched after the bin write, so a
                 // store of the bin result reads the post-fault value
-                tick!();
+                tick!(di);
                 store_word!(ptr, idx, v);
                 pc += 2;
             }
@@ -2444,7 +2590,7 @@ fn exec_loop<const ARMED: bool>(
                 // store half (carrying DInst; produces nothing)
                 store_word!(ptr, idx, v);
                 // branch half: control-only
-                tick!();
+                tick!(di);
                 pc = *target as usize;
             }
             DOp::StoreLoad {
@@ -2462,7 +2608,7 @@ fn exec_loop<const ARMED: bool>(
                 store_word!(ptr1, idx1, v);
                 // load half: address fetched after the store, so a
                 // read-back of the stored slot sees the new value
-                tick!();
+                tick!(di);
                 let bits = load_word!(ptr2, idx2);
                 let r = match ty2 {
                     Ty::I64 => Value::I(bits as i64),
@@ -2479,7 +2625,7 @@ fn exec_loop<const ARMED: bool>(
                 let r = bin_any!(op, x, y);
                 produce!(di.dense, di.inj, di.dst, r);
                 // branch half: control-only
-                tick!();
+                tick!(di);
                 pc = *target as usize;
             }
             DOp::BinBin {
@@ -2500,7 +2646,7 @@ fn exec_loop<const ARMED: bool>(
                 produce!(di.dense, di.inj, di.dst, r);
                 // second half fetches after the first write, so a
                 // dependent pair reads the post-fault value as legacy does
-                tick!();
+                tick!(di);
                 let x = raw!(a2);
                 let y = raw!(b2);
                 let r = bin_any!(op2, x, y);
@@ -2528,7 +2674,7 @@ fn exec_loop<const ARMED: bool>(
                 produce!(di.dense, di.inj, di.dst, r);
                 // second load: address operands fetched after the first
                 // write, so indirect chains read the post-fault value
-                tick!();
+                tick!(di);
                 let bits = load_word!(ptr2, idx2);
                 let r = match ty2 {
                     Ty::I64 => Value::I(bits as i64),
@@ -2559,7 +2705,7 @@ fn exec_loop<const ARMED: bool>(
                 let lv = produce!(di.dense, di.inj, di.dst, lv);
                 // bin half: reads the post-fault load value; operand fetch
                 // order (lhs before rhs) matches legacy
-                tick!();
+                tick!(di);
                 let (x, y) = if *load_lhs {
                     (lv, raw!(other))
                 } else {
@@ -2584,10 +2730,10 @@ fn exec_loop<const ARMED: bool>(
                 let r = bin_any!(op, x, y);
                 produce!(di.dense, di.inj, di.dst, r);
                 // store half: value fetched after the bin write
-                tick!();
+                tick!(di);
                 store_word!(ptr, idx, v);
                 // branch half: control-only
-                tick!();
+                tick!(di);
                 pc = *target as usize;
             }
             DOp::LoadLoadBin {
@@ -2611,7 +2757,7 @@ fn exec_loop<const ARMED: bool>(
                 produce!(di.dense, di.inj, di.dst, r);
                 // second load: address operands fetched after the first
                 // write, so indirect chains read the post-fault value
-                tick!();
+                tick!(di);
                 let bits = load_word!(ptr2, idx2);
                 let r = match ty2 {
                     Ty::I64 => Value::I(bits as i64),
@@ -2622,7 +2768,7 @@ fn exec_loop<const ARMED: bool>(
                 // bin third: executes from its standalone slot — a
                 // bounded tag check, not a full dispatch round; operand
                 // fetch happens after both load writes
-                tick!();
+                tick!(di);
                 // SAFETY: decode fused a 3-window of one block, so the
                 // standalone bin copy sits two slots after the carrier
                 let d3 = unsafe { cur_code.get_unchecked(pc + 2) };
@@ -2662,7 +2808,7 @@ fn exec_loop<const ARMED: bool>(
                 let r = bin_any!(op, x, y);
                 produce!(di.dense, di.inj, di.dst, r);
                 // first load: address fetched after the bin write
-                tick!();
+                tick!(di);
                 let bits = load_word!(ptr2, idx2);
                 let r = match ty2 {
                     Ty::I64 => Value::I(bits as i64),
@@ -2671,7 +2817,7 @@ fn exec_loop<const ARMED: bool>(
                 };
                 produce!(*ld_dense, *ld_inj, *ld_dst, r);
                 // second load executes from its standalone slot
-                tick!();
+                tick!(di);
                 // SAFETY: decode fused a 3-window of one block, so the
                 // standalone load copy sits two slots after the carrier
                 let d3 = unsafe { cur_code.get_unchecked(pc + 2) };
@@ -2716,7 +2862,7 @@ fn exec_loop<const ARMED: bool>(
                 let lv = produce!(di.dense, di.inj, di.dst, lv);
                 // first bin: reads the post-fault load value; operand
                 // fetch order (lhs before rhs) matches legacy
-                tick!();
+                tick!(di);
                 let (x, y) = if *load_lhs {
                     (lv, raw!(other))
                 } else {
@@ -2725,7 +2871,7 @@ fn exec_loop<const ARMED: bool>(
                 let r = bin_any!(op, x, y);
                 produce!(*bin_dense, *bin_inj, *bin_dst, r);
                 // second bin: operands fetched after the first's write
-                tick!();
+                tick!(di);
                 let x = raw!(a2);
                 let y = raw!(b2);
                 let r = bin_any!(op2, x, y);
@@ -2756,16 +2902,16 @@ fn exec_loop<const ARMED: bool>(
                 };
                 produce!(di.dense, di.inj, di.dst, r);
                 // bin half: operands fetched after the load's write
-                tick!();
+                tick!(di);
                 let x = raw!(a);
                 let y = raw!(b);
                 let r = bin_any!(op, x, y);
                 produce!(*bin_dense, *bin_inj, *bin_dst, r);
                 // store half: value fetched after the bin's write
-                tick!();
+                tick!(di);
                 store_word!(st_ptr, st_idx, st_v);
                 // branch half: control-only
-                tick!();
+                tick!(di);
                 pc = *target as usize;
             }
             DOp::LoadLoadBinStoreBr {
@@ -2790,7 +2936,7 @@ fn exec_loop<const ARMED: bool>(
                 produce!(di.dense, di.inj, di.dst, r);
                 // second load: address operands fetched after the first
                 // write, so indirect chains read the post-fault value
-                tick!();
+                tick!(di);
                 let bits = load_word!(ptr2, idx2);
                 let r = match ty2 {
                     Ty::I64 => Value::I(bits as i64),
@@ -2799,7 +2945,7 @@ fn exec_loop<const ARMED: bool>(
                 };
                 produce!(*ld_dense, *ld_inj, *ld_dst, r);
                 // bin and store execute from their standalone slots
-                tick!();
+                tick!(di);
                 // SAFETY: decode fused a 5-window of one block, so the
                 // four standalone copies follow the carrying slot
                 let d3 = unsafe { cur_code.get_unchecked(pc + 2) };
@@ -2814,7 +2960,7 @@ fn exec_loop<const ARMED: bool>(
                     }
                     _ => unreachable!("LoadLoadBinStoreBr chains a bin slot"),
                 }
-                tick!();
+                tick!(di);
                 // SAFETY: as above
                 let d4 = unsafe { cur_code.get_unchecked(pc + 3) };
                 match &d4.op {
@@ -2822,7 +2968,7 @@ fn exec_loop<const ARMED: bool>(
                     _ => unreachable!("LoadLoadBinStoreBr chains a store slot"),
                 }
                 // branch half: control-only
-                tick!();
+                tick!(di);
                 pc = *target as usize;
             }
             DOp::LoadLoadBinBinStore {
@@ -2845,7 +2991,7 @@ fn exec_loop<const ARMED: bool>(
                 };
                 produce!(di.dense, di.inj, di.dst, r);
                 // second load
-                tick!();
+                tick!(di);
                 let bits = load_word!(ptr2, idx2);
                 let r = match ty2 {
                     Ty::I64 => Value::I(bits as i64),
@@ -2854,7 +3000,7 @@ fn exec_loop<const ARMED: bool>(
                 };
                 produce!(*ld_dense, *ld_inj, *ld_dst, r);
                 // two bins and the store execute from standalone slots
-                tick!();
+                tick!(di);
                 // SAFETY: decode fused a 5-window of one block, so the
                 // four standalone copies follow the carrying slot
                 let d3 = unsafe { cur_code.get_unchecked(pc + 2) };
@@ -2869,7 +3015,7 @@ fn exec_loop<const ARMED: bool>(
                     }
                     _ => unreachable!("LoadLoadBinBinStore chains a bin slot"),
                 }
-                tick!();
+                tick!(di);
                 // SAFETY: as above
                 let d4 = unsafe { cur_code.get_unchecked(pc + 3) };
                 match &d4.op {
@@ -2883,7 +3029,7 @@ fn exec_loop<const ARMED: bool>(
                     }
                     _ => unreachable!("LoadLoadBinBinStore chains a bin slot"),
                 }
-                tick!();
+                tick!(di);
                 // SAFETY: as above
                 let d5 = unsafe { cur_code.get_unchecked(pc + 4) };
                 match &d5.op {
@@ -2912,7 +3058,7 @@ fn exec_loop<const ARMED: bool>(
                 };
                 produce!(di.dense, di.inj, di.dst, r);
                 // second load
-                tick!();
+                tick!(di);
                 let bits = load_word!(ptr2, idx2);
                 let r = match ty2 {
                     Ty::I64 => Value::I(bits as i64),
@@ -2922,7 +3068,7 @@ fn exec_loop<const ARMED: bool>(
                 produce!(*ld_dense, *ld_inj, *ld_dst, r);
                 // the bins and the trailing element load execute from
                 // standalone slots
-                tick!();
+                tick!(di);
                 // SAFETY: decode fused a 5-window of one block, so the
                 // four standalone copies follow the carrying slot
                 let d3 = unsafe { cur_code.get_unchecked(pc + 2) };
@@ -2937,7 +3083,7 @@ fn exec_loop<const ARMED: bool>(
                     }
                     _ => unreachable!("LoadLoadBinBinLoad chains a bin slot"),
                 }
-                tick!();
+                tick!(di);
                 // SAFETY: as above
                 let d4 = unsafe { cur_code.get_unchecked(pc + 3) };
                 match &d4.op {
@@ -2951,7 +3097,7 @@ fn exec_loop<const ARMED: bool>(
                     }
                     _ => unreachable!("LoadLoadBinBinLoad chains a bin slot"),
                 }
-                tick!();
+                tick!(di);
                 // SAFETY: as above
                 let d5 = unsafe { cur_code.get_unchecked(pc + 4) };
                 match &d5.op {
@@ -2988,7 +3134,7 @@ fn exec_loop<const ARMED: bool>(
                 };
                 produce!(di.dense, di.inj, di.dst, r);
                 // second load
-                tick!();
+                tick!(di);
                 let bits = load_word!(ptr2, idx2);
                 let r = match ty2 {
                     Ty::I64 => Value::I(bits as i64),
@@ -2998,7 +3144,7 @@ fn exec_loop<const ARMED: bool>(
                 produce!(*ld_dense, *ld_inj, *ld_dst, r);
                 // the three-op arithmetic chain executes from standalone
                 // slots, each fetching after the previous write
-                tick!();
+                tick!(di);
                 // SAFETY: decode fused a 5-window of one block, so the
                 // four standalone copies follow the carrying slot
                 let d3 = unsafe { cur_code.get_unchecked(pc + 2) };
@@ -3013,7 +3159,7 @@ fn exec_loop<const ARMED: bool>(
                     }
                     _ => unreachable!("LoadLoadBinBinBin chains a bin slot"),
                 }
-                tick!();
+                tick!(di);
                 // SAFETY: as above
                 let d4 = unsafe { cur_code.get_unchecked(pc + 3) };
                 match &d4.op {
@@ -3027,7 +3173,7 @@ fn exec_loop<const ARMED: bool>(
                     }
                     _ => unreachable!("LoadLoadBinBinBin chains a bin slot"),
                 }
-                tick!();
+                tick!(di);
                 // SAFETY: as above
                 let d5 = unsafe { cur_code.get_unchecked(pc + 4) };
                 match &d5.op {

@@ -27,6 +27,7 @@
 pub mod decode;
 pub mod exec;
 pub mod fault;
+pub mod opprof;
 pub mod profile;
 pub mod snapshot;
 pub mod value;
@@ -36,6 +37,7 @@ pub use exec::{
     DispatchMode, ExecConfig, ExecResult, Interp, MachineState, Termination, TraceEvent, TrapKind,
 };
 pub use fault::{flip_bit, FaultSpec, FaultTarget};
+pub use opprof::InterpProfileReport;
 pub use profile::Profile;
 pub use snapshot::{auto_interval, CheckpointConfig, CheckpointStore, Snapshot, SnapshotMode};
 pub use value::{Output, OutputItem, ProgInput, Scalar, Stream, Value};

@@ -1,0 +1,201 @@
+//! Prometheus text-format exposition (format version 0.0.4).
+//!
+//! Renders a [`Registry`](crate::Registry) snapshot as the plain-text
+//! format scrapers expect: `# HELP` / `# TYPE` headers, one sample line
+//! per series, histogram series expanded into cumulative `_bucket` lines
+//! (ending in `le="+Inf"`) plus `_sum` and `_count`. Families and series
+//! arrive pre-sorted from the registry, so two renders of the same state
+//! are byte-identical.
+
+use crate::registry::{FamilySnapshot, SampleValue};
+use std::fmt::Write as _;
+
+/// Sanitize a metric or label name to `[a-zA-Z_:][a-zA-Z0-9_:]*`
+/// (colons allowed in metric names only by convention; we map every
+/// invalid byte to `_`, and prefix `_` if the first byte is a digit).
+fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a HELP text: backslash and newline.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape a label value: backslash, double-quote, newline.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Format an `f64` the way Prometheus expects (`+Inf`, `-Inf`, `NaN`).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}=\"{}\"", sanitize_name(k), escape_label(v));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+}
+
+/// Render a snapshot as Prometheus text format.
+pub fn render_prometheus(families: &[FamilySnapshot]) -> String {
+    let mut out = String::with_capacity(1024);
+    for fam in families {
+        let name = sanitize_name(&fam.name);
+        if !fam.help.is_empty() {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&fam.help));
+        }
+        let _ = writeln!(out, "# TYPE {name} {}", fam.kind.as_str());
+        for s in &fam.series {
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    out.push_str(&name);
+                    write_labels(&mut out, &s.labels, None);
+                    let _ = writeln!(out, " {v}");
+                }
+                SampleValue::Gauge(v) => {
+                    out.push_str(&name);
+                    write_labels(&mut out, &s.labels, None);
+                    let _ = writeln!(out, " {}", fmt_f64(*v));
+                }
+                SampleValue::Histogram {
+                    buckets,
+                    sum,
+                    count,
+                } => {
+                    for (bound, cum) in buckets {
+                        let _ = write!(out, "{name}_bucket");
+                        let le = fmt_f64(*bound);
+                        write_labels(&mut out, &s.labels, Some(("le", &le)));
+                        let _ = writeln!(out, " {cum}");
+                    }
+                    let _ = write!(out, "{name}_sum");
+                    write_labels(&mut out, &s.labels, None);
+                    let _ = writeln!(out, " {}", fmt_f64(*sum));
+                    let _ = write!(out, "{name}_count");
+                    write_labels(&mut out, &s.labels, None);
+                    let _ = writeln!(out, " {count}");
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn counters_and_gauges_render_with_help_and_type() {
+        let r = Registry::new();
+        r.counter("inj_total", "Total injections.", &[("kind", "program")])
+            .add(42);
+        r.gauge("completeness", "Campaign completeness score.", &[])
+            .set(0.97);
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("# HELP completeness Campaign completeness score.\n"));
+        assert!(text.contains("# TYPE completeness gauge\n"));
+        assert!(text.contains("completeness 0.97\n"));
+        assert!(text.contains("# TYPE inj_total counter\n"));
+        assert!(text.contains("inj_total{kind=\"program\"} 42\n"));
+    }
+
+    #[test]
+    fn bad_names_are_sanitized_and_label_values_escaped() {
+        let r = Registry::new();
+        r.counter(
+            "9bad.metric-name",
+            "line1\nline2 with \\slash",
+            &[("re-source", "a\"b\\c\nd")],
+        )
+        .inc();
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE _9bad_metric_name counter\n"));
+        assert!(text.contains("# HELP _9bad_metric_name line1\\nline2 with \\\\slash\n"));
+        assert!(text.contains("_9bad_metric_name{re_source=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn families_and_series_render_in_stable_order() {
+        let r = Registry::new();
+        r.counter("zz", "", &[]).inc();
+        r.counter("aa", "", &[("w", "beta")]).inc();
+        r.counter("aa", "", &[("w", "alpha")]).inc();
+        let a = render_prometheus(&r.snapshot());
+        let b = render_prometheus(&r.snapshot());
+        assert_eq!(a, b, "same state renders identical bytes");
+        let zz = a.find("# TYPE zz").unwrap();
+        let aa = a.find("# TYPE aa").unwrap();
+        assert!(aa < zz, "families sorted by name");
+        assert!(a.find("w=\"alpha\"").unwrap() < a.find("w=\"beta\"").unwrap());
+    }
+
+    #[test]
+    fn histograms_expose_cumulative_buckets_ending_in_inf() {
+        let r = Registry::new();
+        let h = r.histogram(
+            "restore_us",
+            "Checkpoint restore cost.",
+            &[("wl", "hpccg")],
+            &[10.0, 100.0],
+        );
+        for v in [5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE restore_us histogram\n"));
+        assert!(text.contains("restore_us_bucket{wl=\"hpccg\",le=\"10\"} 1\n"));
+        assert!(text.contains("restore_us_bucket{wl=\"hpccg\",le=\"100\"} 2\n"));
+        assert!(text.contains("restore_us_bucket{wl=\"hpccg\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("restore_us_sum{wl=\"hpccg\"} 555\n"));
+        assert!(text.contains("restore_us_count{wl=\"hpccg\"} 3\n"));
+        // +Inf is the last bucket line
+        let inf = text.find("le=\"+Inf\"").unwrap();
+        let last_bucket = text.rfind("restore_us_bucket").unwrap();
+        assert!(inf > last_bucket);
+    }
+}

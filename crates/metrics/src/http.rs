@@ -1,0 +1,205 @@
+//! A dependency-free HTTP/1.1 status server over `std::net::TcpListener`.
+//!
+//! Serves exactly two read-only endpoints:
+//!
+//! * `GET /metrics` — Prometheus text format from the [`Registry`]
+//! * `GET /status`  — the [`StatusBoard`] JSON document
+//!
+//! Everything else is 404. Requests are handled sequentially on one
+//! accept-loop thread (scrapers poll at seconds-scale; this is not a web
+//! server), every response carries `Content-Length` and
+//! `Connection: close`, and `Drop` shuts the thread down by flagging stop
+//! and poking the listener with a loopback connect.
+
+use crate::expo::render_prometheus;
+use crate::registry::Registry;
+use crate::status::StatusBoard;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to the running server; dropping it stops the accept loop.
+pub struct StatusServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl StatusServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9464`, port 0 for ephemeral) and
+    /// start serving in a background thread.
+    pub fn bind(
+        addr: &str,
+        registry: Arc<Registry>,
+        board: Arc<StatusBoard>,
+    ) -> std::io::Result<StatusServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("minpsid-status".into())
+            .spawn(move || accept_loop(listener, registry, board, stop2))?;
+        Ok(StatusServer {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for StatusServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock accept() so the thread sees the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    board: Arc<StatusBoard>,
+    stop: Arc<AtomicBool>,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let _ = handle_conn(stream, &registry, &board);
+    }
+}
+
+fn handle_conn(
+    mut stream: TcpStream,
+    registry: &Registry,
+    board: &StatusBoard,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+
+    // Read until the end of the request head (headers are ignored;
+    // these endpoints have no request semantics beyond the path).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, ctype, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                render_prometheus(&registry.snapshot()),
+            ),
+            "/status" => ("200 OK", "application/json", board.render_json()),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found (try /metrics or /status)\n".to_string(),
+            ),
+        }
+    };
+
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        let (head, body) = resp.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_and_status_then_shuts_down() {
+        let reg = Arc::new(Registry::new());
+        reg.counter("up_total", "liveness", &[]).inc();
+        let board = Arc::new(StatusBoard::new());
+        board.set_tool("test-tool");
+        let srv = StatusServer::bind("127.0.0.1:0", reg, board).unwrap();
+        let addr = srv.local_addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(head.contains("Connection: close"));
+        assert!(body.contains("up_total 1\n"));
+
+        let (head, body) = get(addr, "/status");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(head.contains("application/json"));
+        assert!(body.contains("\"tool\":\"test-tool\""));
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        drop(srv); // must join cleanly, not hang
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may briefly accept on a dying socket; a second
+                // connect after the listener is gone must fail.
+                std::thread::sleep(Duration::from_millis(50));
+                TcpStream::connect(addr).is_err()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let reg = Arc::new(Registry::new());
+        let board = Arc::new(StatusBoard::new());
+        let srv = StatusServer::bind("127.0.0.1:0", reg, board).unwrap();
+        let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+        write!(s, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 405"));
+    }
+}

@@ -1,0 +1,399 @@
+//! The typed metrics registry.
+//!
+//! A metric *family* is a (name, help, kind); a *series* is one labelled
+//! instance of a family. Handles ([`Counter`], [`Gauge`], [`Histogram`])
+//! are cheap `Arc`s whose updates are relaxed atomics — hot paths never
+//! touch the registry lock. [`Registry::snapshot`] takes the lock once,
+//! reads every series, and returns a stable, ordered copy for the
+//! exposition layer.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A monotone counter. `add` only; snapshots of a counter never decrease.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge holding an `f64` (stored as bits so the update
+/// is one atomic store).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram: upper bounds are set at registration and
+/// never change. `observe` is two relaxed adds plus a CAS loop for the
+/// `f64` sum.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Inclusive upper bounds, strictly increasing; an implicit `+Inf`
+    /// bucket follows the last. `buckets[i]` counts observations with
+    /// `v <= bounds[i]` (non-cumulative here; exposition cumulates).
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+        }
+    }
+
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative `(upper_bound, count_le)` pairs ending with `+Inf`.
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc += b.load(Ordering::Relaxed);
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, acc));
+        }
+        out
+    }
+}
+
+/// What kind of family a name belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+type Labels = Vec<(String, String)>;
+
+enum Series {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    help: String,
+    kind: MetricKind,
+    /// Label-set → series, ordered so snapshots are byte-stable.
+    series: BTreeMap<Labels, Series>,
+}
+
+/// One series' sampled value inside a [`Registry`] snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram {
+        /// Cumulative buckets, last bound is `+Inf`.
+        buckets: Vec<(f64, u64)>,
+        sum: f64,
+        count: u64,
+    },
+}
+
+/// One labelled series inside a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    pub labels: Labels,
+    pub value: SampleValue,
+}
+
+/// One family inside a snapshot, series in stable label order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySnapshot {
+    pub name: String,
+    pub help: String,
+    pub kind: MetricKind,
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// The registry: families keyed by name, each holding labelled series.
+///
+/// Registering the same (name, labels) twice returns the same underlying
+/// handle, so callers can re-resolve instead of caching. Registering a
+/// name with a different kind panics — that is a programming error, not
+/// a runtime condition.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Family>> {
+        self.families.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn family<'a>(
+        fams: &'a mut BTreeMap<String, Family>,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+    ) -> &'a mut Family {
+        let f = fams.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            f.kind == kind,
+            "metric `{name}` re-registered as {:?} (was {:?})",
+            kind,
+            f.kind
+        );
+        f
+    }
+
+    fn own_labels(labels: &[(&str, &str)]) -> Labels {
+        let mut v: Labels = labels
+            .iter()
+            .map(|(k, val)| (k.to_string(), val.to_string()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Resolve (or create) a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut fams = self.lock();
+        let f = Self::family(&mut fams, name, help, MetricKind::Counter);
+        match f
+            .series
+            .entry(Self::own_labels(labels))
+            .or_insert_with(|| Series::Counter(Arc::new(Counter::default())))
+        {
+            Series::Counter(c) => c.clone(),
+            _ => unreachable!("kind checked by family()"),
+        }
+    }
+
+    /// Resolve (or create) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut fams = self.lock();
+        let f = Self::family(&mut fams, name, help, MetricKind::Gauge);
+        match f
+            .series
+            .entry(Self::own_labels(labels))
+            .or_insert_with(|| Series::Gauge(Arc::new(Gauge::default())))
+        {
+            Series::Gauge(g) => g.clone(),
+            _ => unreachable!("kind checked by family()"),
+        }
+    }
+
+    /// Resolve (or create) a histogram series with the given bucket upper
+    /// bounds (strictly increasing; `+Inf` is implicit).
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        let mut fams = self.lock();
+        let f = Self::family(&mut fams, name, help, MetricKind::Histogram);
+        match f
+            .series
+            .entry(Self::own_labels(labels))
+            .or_insert_with(|| Series::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Series::Histogram(h) => h.clone(),
+            _ => unreachable!("kind checked by family()"),
+        }
+    }
+
+    /// Read every series once, in stable (name, labels) order.
+    pub fn snapshot(&self) -> Vec<FamilySnapshot> {
+        let fams = self.lock();
+        fams.iter()
+            .map(|(name, f)| FamilySnapshot {
+                name: name.clone(),
+                help: f.help.clone(),
+                kind: f.kind,
+                series: f
+                    .series
+                    .iter()
+                    .map(|(labels, s)| SeriesSnapshot {
+                        labels: labels.clone(),
+                        value: match s {
+                            Series::Counter(c) => SampleValue::Counter(c.get()),
+                            Series::Gauge(g) => SampleValue::Gauge(g.get()),
+                            Series::Histogram(h) => SampleValue::Histogram {
+                                buckets: h.cumulative(),
+                                sum: h.sum(),
+                                count: h.count(),
+                            },
+                        },
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_series_are_shared_and_monotone() {
+        let r = Registry::new();
+        let a = r.counter("inj_total", "injections", &[("kind", "program")]);
+        let b = r.counter("inj_total", "injections", &[("kind", "program")]);
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5, "same (name, labels) resolves one series");
+        let other = r.counter("inj_total", "injections", &[("kind", "per_inst")]);
+        other.add(7);
+        assert_eq!(a.get(), 5);
+        assert_eq!(other.get(), 7);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let r = Registry::new();
+        let a = r.counter("x", "", &[("a", "1"), ("b", "2")]);
+        let b = r.counter("x", "", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn gauge_holds_last_write() {
+        let r = Registry::new();
+        let g = r.gauge("depth", "", &[]);
+        g.set(3.5);
+        g.set(-1.0);
+        assert_eq!(g.get(), -1.0);
+    }
+
+    #[test]
+    fn histogram_cumulates_and_ends_at_inf() {
+        let r = Registry::new();
+        let h = r.histogram("lat", "", &[], &[1.0, 10.0, 100.0]);
+        for v in [0.5, 0.7, 5.0, 50.0, 5000.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 5056.2).abs() < 1e-9);
+        let c = h.cumulative();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c[0], (1.0, 2));
+        assert_eq!(c[1], (10.0, 3));
+        assert_eq!(c[2], (100.0, 4));
+        assert_eq!(c[3].1, 5);
+        assert!(c[3].0.is_infinite());
+    }
+
+    #[test]
+    fn boundary_observation_lands_in_its_bucket() {
+        let r = Registry::new();
+        let h = r.histogram("b", "", &[], &[1.0]);
+        h.observe(1.0); // le="1" is inclusive, Prometheus semantics
+        assert_eq!(h.cumulative()[0], (1.0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn kind_conflicts_panic() {
+        let r = Registry::new();
+        let _c = r.counter("dual", "", &[]);
+        let _g = r.gauge("dual", "", &[]);
+    }
+
+    #[test]
+    fn snapshot_is_ordered_and_complete() {
+        let r = Registry::new();
+        r.counter("z_last", "", &[]).inc();
+        r.counter("a_first", "", &[("w", "b")]).inc();
+        r.counter("a_first", "", &[("w", "a")]).add(2);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].name, "a_first");
+        assert_eq!(snap[1].name, "z_last");
+        let labels: Vec<&str> = snap[0]
+            .series
+            .iter()
+            .map(|s| s.labels[0].1.as_str())
+            .collect();
+        assert_eq!(labels, ["a", "b"], "series ordered by label values");
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the metrics registry (ISSUE 7 satellite):
+//! counter snapshots are monotone under any interleaving of updates and
+//! snapshots, histogram invariants (cumulative buckets non-decreasing,
+//! +Inf bucket == count) hold for arbitrary observations, and the
+//! Prometheus render of a snapshot is deterministic.
+
+use minpsid_metrics::{render_prometheus, Registry, SampleValue};
+use proptest::prelude::*;
+use proptest::proptest;
+
+fn counter_value(reg: &Registry, name: &str) -> u64 {
+    for fam in reg.snapshot() {
+        if fam.name == name {
+            if let SampleValue::Counter(v) = fam.series[0].value {
+                return v;
+            }
+        }
+    }
+    panic!("counter {name} not in snapshot");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Interleave adds with snapshots: every snapshot of a counter is
+    /// >= the previous one, and the final snapshot equals the sum of
+    /// all increments.
+    #[test]
+    fn counter_snapshots_are_monotone(
+        adds in proptest::collection::vec((0u64..1_000, proptest::prelude::any::<bool>()), 1..64),
+    ) {
+        let reg = Registry::new();
+        let c = reg.counter("inj_total", "test", &[("w", "hpccg")]);
+        let mut expected = 0u64;
+        let mut last_seen = 0u64;
+        for (n, snap_now) in &adds {
+            c.add(*n);
+            expected += n;
+            if *snap_now {
+                let seen = counter_value(&reg, "inj_total");
+                prop_assert!(seen >= last_seen, "snapshot went backwards: {seen} < {last_seen}");
+                prop_assert_eq!(seen, expected);
+                last_seen = seen;
+            }
+        }
+        prop_assert_eq!(counter_value(&reg, "inj_total"), expected);
+    }
+
+    /// Histogram invariants for arbitrary observations: buckets are
+    /// cumulative (non-decreasing), the +Inf bucket equals the total
+    /// count, and the sum matches.
+    #[test]
+    fn histogram_buckets_cumulate_to_count(
+        obs in proptest::collection::vec(0u64..100_000, 0..64),
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_us", "test", &[], &[10.0, 100.0, 1_000.0, 10_000.0]);
+        let mut sum = 0u64;
+        for v in &obs {
+            h.observe(*v as f64);
+            sum += v;
+        }
+        let cum = h.cumulative();
+        prop_assert!(cum.windows(2).all(|w| w[0].1 <= w[1].1), "buckets must cumulate");
+        let last = cum.last().unwrap();
+        prop_assert!(last.0.is_infinite());
+        prop_assert_eq!(last.1, obs.len() as u64);
+        prop_assert_eq!(h.count(), obs.len() as u64);
+        prop_assert!((h.sum() - sum as f64).abs() < 1e-6);
+    }
+
+    /// Rendering the same snapshot twice yields identical bytes, for any
+    /// label soup.
+    #[test]
+    fn render_is_deterministic(
+        labels in proptest::collection::vec((".{0,8}", ".{0,8}"), 1..6),
+    ) {
+        let reg = Registry::new();
+        for (i, (k, v)) in labels.iter().enumerate() {
+            reg.counter("soup_total", "label soup", &[("k", k), ("v", v)])
+                .add(i as u64);
+        }
+        let a = render_prometheus(&reg.snapshot());
+        let b = render_prometheus(&reg.snapshot());
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,6 +1,6 @@
 //! The versioned trace event schema.
 //!
-//! Every JSONL line is one [`TimedEvent`]: `{"v":3,"ts_us":…,"kind":…,…}`.
+//! Every JSONL line is one [`TimedEvent`]: `{"v":4,"ts_us":…,"kind":…,…}`.
 //! `v` is [`SCHEMA_VERSION`]; the parser rejects lines whose version it
 //! does not understand, so a report can never silently misparse a log
 //! written by a different schema. Serialization is hand-rolled over
@@ -15,7 +15,10 @@ use crate::json::{parse, Json, JsonError};
 /// v3: outcome tallies carry `transient_recovered`/`quarantined`, and the
 /// resilient scheduler emits `retry_attempt`/`quarantine`/`early_stop`/
 /// `deadline_truncation`/`sched_summary` events.
-pub const SCHEMA_VERSION: u32 = 3;
+/// v4: the interpreter sampling profiler emits `interp_profile`, and the
+/// engine wraps plan/execute/reduce (plus golden runs and checkpoint
+/// capture) in span begin/end pairs so reports render a stage waterfall.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Which campaign shape produced a progress/end event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,6 +211,23 @@ pub enum Event {
     /// The wall-clock deadline expired with `truncated` injections still
     /// pending in this campaign.
     DeadlineTruncation { kind: CampaignKind, truncated: u64 },
+    /// Accumulated interpreter sampling-profiler state: per-op sample
+    /// counts (descending), fusion coverage, and checkpoint
+    /// encode/restore cost totals. Emitted once at shutdown when the
+    /// profiler ran.
+    InterpProfile {
+        sample_every: u64,
+        total_samples: u64,
+        fused_samples: u64,
+        fused_sites: u64,
+        total_sites: u64,
+        encode_ns: u64,
+        encode_ops: u64,
+        restore_ns: u64,
+        restore_ops: u64,
+        /// `(op name, samples)` pairs, nonzero only.
+        samples: Vec<(String, u64)>,
+    },
     /// Run-level scheduler accounting, emitted once at the end.
     SchedSummary {
         retries: u64,
@@ -244,6 +264,7 @@ impl Event {
             Event::Quarantine { .. } => "quarantine",
             Event::EarlyStop { .. } => "early_stop",
             Event::DeadlineTruncation { .. } => "deadline_truncation",
+            Event::InterpProfile { .. } => "interp_profile",
             Event::SchedSummary { .. } => "sched_summary",
         }
     }
@@ -484,6 +505,39 @@ impl TimedEvent {
                 o.set("campaign", Json::Str(kind.as_str().to_string()));
                 o.set("truncated", Json::U64(*truncated));
             }
+            Event::InterpProfile {
+                sample_every,
+                total_samples,
+                fused_samples,
+                fused_sites,
+                total_sites,
+                encode_ns,
+                encode_ops,
+                restore_ns,
+                restore_ops,
+                samples,
+            } => {
+                o.set("sample_every", Json::U64(*sample_every));
+                o.set("total_samples", Json::U64(*total_samples));
+                o.set("fused_samples", Json::U64(*fused_samples));
+                o.set("fused_sites", Json::U64(*fused_sites));
+                o.set("total_sites", Json::U64(*total_sites));
+                o.set("encode_ns", Json::U64(*encode_ns));
+                o.set("encode_ops", Json::U64(*encode_ops));
+                o.set("restore_ns", Json::U64(*restore_ns));
+                o.set("restore_ops", Json::U64(*restore_ops));
+                o.set(
+                    "samples",
+                    Json::Array(
+                        samples
+                            .iter()
+                            .map(|(name, n)| {
+                                Json::Array(vec![Json::Str(name.clone()), Json::U64(*n)])
+                            })
+                            .collect(),
+                    ),
+                );
+            }
             Event::SchedSummary {
                 retries,
                 recovered,
@@ -637,6 +691,36 @@ impl TimedEvent {
                 kind: field_kind(&v)?,
                 truncated: field_u64(&v, "truncated")?,
             },
+            "interp_profile" => {
+                let raw = field(&v, "samples")?
+                    .as_array()
+                    .ok_or(SchemaError::BadField("samples"))?;
+                let mut samples = Vec::with_capacity(raw.len());
+                for pair in raw {
+                    let pair = pair.as_array().ok_or(SchemaError::BadField("samples"))?;
+                    match pair {
+                        [name, n] => samples.push((
+                            name.as_str()
+                                .ok_or(SchemaError::BadField("samples"))?
+                                .to_string(),
+                            n.as_u64().ok_or(SchemaError::BadField("samples"))?,
+                        )),
+                        _ => return Err(SchemaError::BadField("samples")),
+                    }
+                }
+                Event::InterpProfile {
+                    sample_every: field_u64(&v, "sample_every")?,
+                    total_samples: field_u64(&v, "total_samples")?,
+                    fused_samples: field_u64(&v, "fused_samples")?,
+                    fused_sites: field_u64(&v, "fused_sites")?,
+                    total_sites: field_u64(&v, "total_sites")?,
+                    encode_ns: field_u64(&v, "encode_ns")?,
+                    encode_ops: field_u64(&v, "encode_ops")?,
+                    restore_ns: field_u64(&v, "restore_ns")?,
+                    restore_ops: field_u64(&v, "restore_ops")?,
+                    samples,
+                }
+            }
             "sched_summary" => Event::SchedSummary {
                 retries: field_u64(&v, "retries")?,
                 recovered: field_u64(&v, "recovered")?,
@@ -785,6 +869,18 @@ mod tests {
             kind: CampaignKind::Program,
             truncated: 12,
         });
+        rt(Event::InterpProfile {
+            sample_every: 1024,
+            total_samples: 4096,
+            fused_samples: 3000,
+            fused_sites: 120,
+            total_sites: 400,
+            encode_ns: 1_000_000,
+            encode_ops: 10,
+            restore_ns: 2_000_000,
+            restore_ops: 99,
+            samples: vec![("LoadBinStoreBr".into(), 2500), ("BinII".into(), 500)],
+        });
         rt(Event::SchedSummary {
             retries: 9,
             recovered: 7,
@@ -805,7 +901,7 @@ mod tests {
             event: Event::TraceEnd { dur_us: 0 },
         }
         .to_line()
-        .replace("\"v\":3", "\"v\":999");
+        .replace("\"v\":4", "\"v\":999");
         assert!(matches!(
             TimedEvent::parse_line(&line),
             Err(SchemaError::Version(999))
@@ -815,11 +911,11 @@ mod tests {
     #[test]
     fn unknown_kind_and_missing_fields_are_rejected() {
         assert!(matches!(
-            TimedEvent::parse_line(r#"{"v":3,"ts_us":0,"kind":"mystery"}"#),
+            TimedEvent::parse_line(r#"{"v":4,"ts_us":0,"kind":"mystery"}"#),
             Err(SchemaError::UnknownKind(_))
         ));
         assert!(matches!(
-            TimedEvent::parse_line(r#"{"v":3,"ts_us":0,"kind":"counter","name":"x"}"#),
+            TimedEvent::parse_line(r#"{"v":4,"ts_us":0,"kind":"counter","name":"x"}"#),
             Err(SchemaError::MissingField("value"))
         ));
         assert!(matches!(

@@ -29,6 +29,7 @@
 //! depends on nothing), so every layer — interp, faultsim, sid, core,
 //! CLI, bench — can emit events.
 
+pub mod bridge;
 pub mod event;
 pub mod json;
 pub mod report;

@@ -31,6 +31,64 @@ pub struct StageStat {
     pub total_us: u64,
 }
 
+/// One completed span instance, for the stage waterfall: begin/end pairs
+/// matched by span id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaterfallEntry {
+    pub name: String,
+    /// Timestamp of the span's begin event (µs since trace start).
+    pub start_us: u64,
+    pub dur_us: u64,
+}
+
+/// Cap on rendered waterfall rows: the first slice of a long run is what
+/// shows the plan/execute/reduce shape; the full span set is still in
+/// the stage table.
+const WATERFALL_CAP: usize = 48;
+
+/// Accumulated interpreter sampling-profiler state (v4 `interp_profile`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InterpProfileStat {
+    pub sample_every: u64,
+    pub total_samples: u64,
+    pub fused_samples: u64,
+    pub fused_sites: u64,
+    pub total_sites: u64,
+    pub encode_ns: u64,
+    pub encode_ops: u64,
+    pub restore_ns: u64,
+    pub restore_ops: u64,
+    /// `(op name, samples)`, descending.
+    pub samples: Vec<(String, u64)>,
+}
+
+impl InterpProfileStat {
+    pub fn fused_sample_rate(&self) -> f64 {
+        if self.total_samples == 0 {
+            0.0
+        } else {
+            self.fused_samples as f64 / self.total_samples as f64
+        }
+    }
+
+    fn mean_us(ns: u64, ops: u64) -> f64 {
+        if ops == 0 {
+            0.0
+        } else {
+            ns as f64 / ops as f64 / 1e3
+        }
+    }
+
+    /// Flamegraph-compatible folded stacks (`minpsid;interp;<op> <n>`).
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for (name, n) in &self.samples {
+            let _ = writeln!(out, "minpsid;interp;{name} {n}");
+        }
+        out
+    }
+}
+
 /// Aggregate statistics of one campaign shape.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CampaignStat {
@@ -111,6 +169,13 @@ pub struct TraceSummary {
     pub histograms: BTreeMap<String, Vec<(u64, u64)>>,
     /// Spans that began but never ended (crashed / truncated trace).
     pub open_spans: u64,
+    /// Interpreter sampling profile (last `interp_profile` event).
+    pub interp_profile: Option<InterpProfileStat>,
+    /// Completed span instances in begin order, capped at
+    /// [`WATERFALL_CAP`] rows.
+    pub waterfall: Vec<WaterfallEntry>,
+    /// Completed spans beyond the cap (not in `waterfall`).
+    pub waterfall_dropped: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -189,14 +254,19 @@ pub fn summarize(events: &[TimedEvent]) -> TraceSummary {
     let mut ended: u64 = 0;
     let mut func_order: Vec<String> = Vec::new();
     let mut funcs: BTreeMap<String, OutcomeTally> = BTreeMap::new();
+    // open spans by id, for waterfall begin/end pairing
+    let mut open: BTreeMap<u64, u64> = BTreeMap::new();
 
     for te in events {
         s.wall_us = s.wall_us.max(te.ts_us);
         match &te.event {
             Event::TraceStart { tool } => s.tool = Some(tool.clone()),
             Event::TraceEnd { dur_us } => s.wall_us = s.wall_us.max(*dur_us),
-            Event::SpanBegin { .. } => begun += 1,
-            Event::SpanEnd { name, dur_us, .. } => {
+            Event::SpanBegin { id, .. } => {
+                begun += 1;
+                open.insert(*id, te.ts_us);
+            }
+            Event::SpanEnd { id, name, dur_us } => {
                 ended += 1;
                 let st = stages.entry(name.clone()).or_insert_with(|| {
                     stage_order.push(name.clone());
@@ -208,6 +278,20 @@ pub fn summarize(events: &[TimedEvent]) -> TraceSummary {
                 });
                 st.calls += 1;
                 st.total_us += dur_us;
+                // waterfall entry: begin ts if paired, else derive from
+                // the end event (pre-v4 logs may lack the begin line)
+                let start_us = open
+                    .remove(id)
+                    .unwrap_or_else(|| te.ts_us.saturating_sub(*dur_us));
+                if s.waterfall.len() < WATERFALL_CAP {
+                    s.waterfall.push(WaterfallEntry {
+                        name: name.clone(),
+                        start_us,
+                        dur_us: *dur_us,
+                    });
+                } else {
+                    s.waterfall_dropped += 1;
+                }
             }
             Event::Counter { name, value } => {
                 s.counters.insert(name.clone(), *value);
@@ -310,6 +394,31 @@ pub fn summarize(events: &[TimedEvent]) -> TraceSummary {
                 let j = s.journal.get_or_insert_with(JournalStat::default);
                 j.served = *recovered;
                 j.appended = *appended;
+            }
+            Event::InterpProfile {
+                sample_every,
+                total_samples,
+                fused_samples,
+                fused_sites,
+                total_sites,
+                encode_ns,
+                encode_ops,
+                restore_ns,
+                restore_ops,
+                samples,
+            } => {
+                s.interp_profile = Some(InterpProfileStat {
+                    sample_every: *sample_every,
+                    total_samples: *total_samples,
+                    fused_samples: *fused_samples,
+                    fused_sites: *fused_sites,
+                    total_sites: *total_sites,
+                    encode_ns: *encode_ns,
+                    encode_ops: *encode_ops,
+                    restore_ns: *restore_ns,
+                    restore_ops: *restore_ops,
+                    samples: samples.clone(),
+                });
             }
             Event::RetryAttempt { .. } => s.retry_events += 1,
             Event::Quarantine { .. } => s.quarantine_events += 1,
@@ -458,6 +567,89 @@ pub fn render_markdown(s: &TraceSummary) -> String {
                 st.calls,
                 secs(st.total_us),
                 pct(st.total_us, denom)
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    if !s.waterfall.is_empty() {
+        let _ = writeln!(out, "## Stage waterfall\n");
+        // scale bars to the covered interval: offset spaces + duration █
+        let t0 = s.waterfall.iter().map(|w| w.start_us).min().unwrap_or(0);
+        let t1 = s
+            .waterfall
+            .iter()
+            .map(|w| w.start_us + w.dur_us)
+            .max()
+            .unwrap_or(1)
+            .max(t0 + 1);
+        let span = (t1 - t0).max(1);
+        const W: u64 = 40;
+        let _ = writeln!(
+            out,
+            "| stage | start s | dur s | timeline |\n|---|---|---|---|"
+        );
+        for w in &s.waterfall {
+            let off = ((w.start_us - t0) * W / span).min(W - 1);
+            let len = ((w.dur_us * W).div_ceil(span)).clamp(1, W - off);
+            let _ = writeln!(
+                out,
+                "| {} | {:.3} | {:.3} | `{}{}` |",
+                w.name,
+                secs(w.start_us),
+                secs(w.dur_us),
+                "·".repeat(off as usize),
+                "█".repeat(len as usize),
+            );
+        }
+        if s.waterfall_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "\n({} later span(s) omitted; totals in the stage table above)",
+                s.waterfall_dropped
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    if let Some(p) = &s.interp_profile {
+        let _ = writeln!(out, "## Interpreter profile\n");
+        let _ = writeln!(
+            out,
+            "- {} samples, one every {} steps (~{} steps covered)",
+            p.total_samples,
+            p.sample_every,
+            p.total_samples * p.sample_every
+        );
+        let _ = writeln!(
+            out,
+            "- fusion: {:.1}% of dynamic samples in superinstructions; {} of {} static slots are fused carriers ({:.1}%)",
+            p.fused_sample_rate() * 100.0,
+            p.fused_sites,
+            p.total_sites,
+            pct(p.fused_sites, p.total_sites)
+        );
+        if p.encode_ops + p.restore_ops > 0 {
+            let _ = writeln!(
+                out,
+                "- snapshots: {} encode(s) at {:.1} µs mean, {} restore(s) at {:.1} µs mean",
+                p.encode_ops,
+                InterpProfileStat::mean_us(p.encode_ns, p.encode_ops),
+                p.restore_ops,
+                InterpProfileStat::mean_us(p.restore_ns, p.restore_ops),
+            );
+        }
+        let _ = writeln!(out, "\n| op | samples | share | |\n|---|---|---|---|");
+        let peak = p.samples.first().map(|&(_, n)| n).unwrap_or(1).max(1);
+        for (name, n) in &p.samples {
+            let bar = "█".repeat(((n * 24).div_ceil(peak)) as usize);
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.1}% | {} |",
+                name,
+                n,
+                pct(*n, p.total_samples),
+                bar
             );
         }
         let _ = writeln!(out);
@@ -913,6 +1105,134 @@ mod tests {
         );
         assert!(html.matches("<table>").count() >= 3);
         assert!(html.ends_with("</body></html>\n"));
+    }
+
+    #[test]
+    fn interp_profile_section_renders_with_fusion_and_snapshot_costs() {
+        let events = parse_log(&log_from(vec![Event::InterpProfile {
+            sample_every: 1024,
+            total_samples: 1000,
+            fused_samples: 750,
+            fused_sites: 30,
+            total_sites: 120,
+            encode_ns: 5_000_000,
+            encode_ops: 10,
+            restore_ns: 900_000,
+            restore_ops: 9,
+            samples: vec![("LoadBinStoreBr".into(), 700), ("BinII".into(), 300)],
+        }]))
+        .unwrap();
+        let s = summarize(&events);
+        let p = s.interp_profile.as_ref().unwrap();
+        assert!((p.fused_sample_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(
+            p.folded(),
+            "minpsid;interp;LoadBinStoreBr 700\nminpsid;interp;BinII 300\n"
+        );
+        let md = render_markdown(&s);
+        for needle in [
+            "## Interpreter profile",
+            "1000 samples, one every 1024 steps",
+            "75.0% of dynamic samples in superinstructions",
+            "30 of 120 static slots are fused carriers (25.0%)",
+            "10 encode(s) at 500.0 µs mean, 9 restore(s) at 100.0 µs mean",
+            "| LoadBinStoreBr | 700 | 70.0% |",
+            "| BinII | 300 | 30.0% |",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
+        }
+    }
+
+    #[test]
+    fn waterfall_renders_span_pairs_in_begin_order() {
+        let log = [
+            (
+                0,
+                Event::SpanBegin {
+                    id: 1,
+                    name: "plan".into(),
+                },
+            ),
+            (
+                100,
+                Event::SpanEnd {
+                    id: 1,
+                    name: "plan".into(),
+                    dur_us: 100,
+                },
+            ),
+            (
+                100,
+                Event::SpanBegin {
+                    id: 2,
+                    name: "execute".into(),
+                },
+            ),
+            (
+                900,
+                Event::SpanEnd {
+                    id: 2,
+                    name: "execute".into(),
+                    dur_us: 800,
+                },
+            ),
+            (
+                900,
+                Event::SpanBegin {
+                    id: 3,
+                    name: "reduce".into(),
+                },
+            ),
+            (
+                1000,
+                Event::SpanEnd {
+                    id: 3,
+                    name: "reduce".into(),
+                    dur_us: 100,
+                },
+            ),
+        ]
+        .into_iter()
+        .map(|(ts_us, event)| TimedEvent { ts_us, event }.to_line())
+        .collect::<Vec<_>>()
+        .join("\n");
+        let s = summarize(&parse_log(&log).unwrap());
+        assert_eq!(s.waterfall.len(), 3);
+        assert_eq!(s.waterfall[0].name, "plan");
+        assert_eq!(s.waterfall[1].name, "execute");
+        assert_eq!(s.waterfall[1].start_us, 100);
+        assert_eq!(s.waterfall[1].dur_us, 800);
+        assert_eq!(s.waterfall_dropped, 0);
+        let md = render_markdown(&s);
+        assert!(md.contains("## Stage waterfall"), "missing section:\n{md}");
+        // execute starts after plan: its bar is offset from the margin
+        let exec_row = md
+            .lines()
+            .find(|l| l.starts_with("| execute |") && l.contains('`'))
+            .unwrap_or_else(|| panic!("no execute waterfall row in:\n{md}"));
+        assert!(exec_row.contains('·'), "expected offset dots: {exec_row}");
+        assert!(exec_row.contains('█'));
+    }
+
+    #[test]
+    fn waterfall_is_capped_but_stage_totals_are_not() {
+        let mut events = Vec::new();
+        for i in 0..60u64 {
+            events.push(Event::SpanBegin {
+                id: i,
+                name: "golden_run".into(),
+            });
+            events.push(Event::SpanEnd {
+                id: i,
+                name: "golden_run".into(),
+                dur_us: 10,
+            });
+        }
+        let s = summarize(&parse_log(&log_from(events)).unwrap());
+        assert_eq!(s.waterfall.len(), 48);
+        assert_eq!(s.waterfall_dropped, 12);
+        assert_eq!(s.stages[0].calls, 60);
+        assert!(render_markdown(&s).contains("12 later span(s) omitted"));
     }
 
     #[test]

@@ -153,6 +153,65 @@ else
   echo "perf guard: baseline lacks injections_per_sec, skipping"
 fi
 
+echo "== observability smoke (--status-addr live endpoints, reports + WAL unchanged)"
+# reference: a journaled campaign with no observability at all
+OBS_ARGS=(minpsid pathfinder --quick --seed 42 --level 0.5 --quiet)
+"$CLI" "${OBS_ARGS[@]}" --journal "$TRACE_TMP/obs-journal-off" \
+  > "$TRACE_TMP/obs-off.txt"
+# the same campaign with the status server, metrics bridge, and
+# interpreter profiler all attached; poll both endpoints mid-run
+"$CLI" "${OBS_ARGS[@]}" --journal "$TRACE_TMP/obs-journal-on" \
+  --status-addr 127.0.0.1:19464 --profile-interp \
+  > "$TRACE_TMP/obs-on.txt" 2>/dev/null &
+OBS_PID=$!
+python3 - <<'EOF'
+import json, time, urllib.request
+deadline = time.time() + 30
+metrics = status = None
+while time.time() < deadline:
+    try:
+        metrics = urllib.request.urlopen(
+            "http://127.0.0.1:19464/metrics", timeout=2).read().decode()
+        status = json.loads(urllib.request.urlopen(
+            "http://127.0.0.1:19464/status", timeout=2).read().decode())
+        if "minpsid_build_info" in metrics and status.get("tool", "").startswith("minpsid"):
+            break
+    except Exception:
+        time.sleep(0.05)
+else:
+    raise SystemExit("status server never answered on /metrics + /status")
+assert "# TYPE minpsid_build_info gauge" in metrics, metrics[:400]
+assert "campaigns" in status and "sched" in status, status
+print(f"observability smoke: /metrics {len(metrics)} bytes, tool={status['tool']!r}")
+EOF
+wait "$OBS_PID"
+# observability must not change a single report byte...
+diff "$TRACE_TMP/obs-off.txt" "$TRACE_TMP/obs-on.txt"
+# ...nor a single WAL byte
+cmp "$TRACE_TMP/obs-journal-off/campaign.wal" "$TRACE_TMP/obs-journal-on/campaign.wal"
+
+echo "== profiler-overhead guard (profile_overhead_pct <= 2% in committed baseline)"
+# the sampling profiler's budget is <2% on every workload; the committed
+# bench baseline carries the measured column. Skips gracefully when the
+# baseline predates the profiler columns.
+python3 - <<'EOF'
+import json, sys
+try:
+    d = json.load(open("BENCH_fi_throughput.json"))
+    rows = [r for r in d.get("workloads", []) if "profile_overhead_pct" in r]
+except Exception:
+    rows = []
+if not rows:
+    print("profiler guard: baseline lacks profile_overhead_pct, skipping")
+    sys.exit(0)
+bad = False
+for r in rows:
+    pct = r["profile_overhead_pct"]
+    print(f"profiler guard: {r['name']} overhead {pct:+.2f}% (budget 2%)")
+    bad = bad or pct > 2.0
+sys.exit(1 if bad else 0)
+EOF
+
 echo "== deterministic-report smoke (same seed + chaos knobs => identical bytes)"
 "$CLI" analyze pathfinder --quick --seed 42 --chaos-panic-one-in 50 \
   --chaos-timeout-one-in 50 --quiet > "$TRACE_TMP/chaos-a.txt" 2>/dev/null

@@ -33,6 +33,7 @@ pub use minpsid_faultsim as faultsim;
 pub use minpsid_interp as interp;
 pub use minpsid_ir as ir;
 pub use minpsid_journal as journal;
+pub use minpsid_metrics as metrics;
 pub use minpsid_sched as sched;
 pub use minpsid_sid as sid;
 pub use minpsid_trace as trace;

@@ -85,6 +85,66 @@ fn all_engine_compositions_are_byte_identical_across_thread_counts() {
     }
 }
 
+/// Observability must be a pure observer: the same campaign run with the
+/// interpreter sampling profiler enabled AND the full trace/metrics
+/// bridge attached (the `--status-addr` wiring) produces byte-identical
+/// reports to a bare run. The bridge sees real events — the campaign is
+/// sampled — but none of it may leak into results.
+#[test]
+fn observability_on_and_off_produce_byte_identical_reports() {
+    use minpsid_repro::metrics::{Registry, StatusBoard};
+    use minpsid_repro::trace;
+    use std::sync::Arc;
+
+    let (module, input) = bench_module("fft");
+    let cfg = CampaignConfigBuilder::new(7)
+        .injections(60)
+        .and_then(|b| b.per_inst_injections(4))
+        .expect("valid config")
+        .build();
+    let golden = golden_run(&module, &input, &cfg).expect("golden run");
+
+    let run = || {
+        let program = CampaignEngine::new(&module, &input, &golden, &cfg)
+            .run_program()
+            .expect("no interrupt requested");
+        let per_inst = CampaignEngine::new(&module, &input, &golden, &cfg)
+            .run_per_instruction()
+            .expect("no interrupt requested");
+        (format!("{program:?}"), format!("{per_inst:?}"))
+    };
+
+    let bare = run();
+
+    let registry = Arc::new(Registry::new());
+    let board = Arc::new(StatusBoard::new());
+    trace::bridge::install(registry.clone(), board.clone(), "fft");
+    minpsid_repro::interp::opprof::enable(64);
+    let observed = run();
+    minpsid_repro::interp::opprof::disable();
+    minpsid_repro::interp::opprof::reset();
+    trace::shutdown().expect("clean trace shutdown");
+
+    assert_eq!(
+        observed, bare,
+        "campaign reports changed with profiler + metrics bridge enabled"
+    );
+    // The observers must have actually seen the campaign, or the identity
+    // check proved nothing.
+    let doc = board.render_json_at(0);
+    assert!(
+        doc.contains("\"workload\":\"fft\"") && doc.contains("\"finished\":true"),
+        "bridge saw no campaign: {doc}"
+    );
+    assert!(
+        registry
+            .snapshot()
+            .iter()
+            .any(|f| f.name == "minpsid_injections_total"),
+        "bridge recorded no injections"
+    );
+}
+
 /// Campaign the SIGKILL child and the resuming parent both run: big
 /// enough to survive a few hundred milliseconds on one core, parallel
 /// (8 workers) so the kill lands on the multi-threaded journaled path.
