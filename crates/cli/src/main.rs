@@ -13,12 +13,13 @@
 //! to a `.mc` (minic) source file.
 
 use minpsid::{
-    minpsid_config_fingerprint, module_fingerprint, run_minpsid_cached, run_minpsid_journaled,
-    GoldenCache, MinpsidConfig, PipelineError,
+    config_fingerprint, input_fingerprint, minpsid_config_fingerprint, module_fingerprint,
+    run_minpsid_cached, run_minpsid_journaled, GoldenCache, MinpsidConfig, PipelineError,
 };
 use minpsid_faultsim::{
-    golden_run, interrupt, CampaignConfig, CampaignConfigBuilder, CampaignEngine, CampaignJournal,
-    Deadline, Scheduler,
+    binomial_ci, golden_run, interrupt, CampaignConfig, CampaignConfigBuilder, CampaignEngine,
+    CampaignJournal, Deadline, FailureKind, Outcome, OutcomeCounts, ProgramCampaign, SchedSnapshot,
+    Scheduler,
 };
 use minpsid_interp::{ExecConfig, Interp, ProgInput, Scalar};
 use minpsid_ir::printer::print_module;
@@ -90,6 +91,8 @@ fn main() -> ExitCode {
         "compile" => cmd_compile(rest),
         "run" => cmd_run(rest),
         "fi" => cmd_fi(rest),
+        // hidden: fleet worker process, re-exec'd by `fi --workers`
+        "worker" => cmd_worker(rest),
         "analyze" => cmd_analyze(rest),
         "cfg" => cmd_cfg(rest),
         "propagate" => cmd_propagate(rest),
@@ -319,6 +322,31 @@ FI campaign options (fi/analyze/sid/minpsid):
   --chaos-timeout-one-in N  test harness: synthetic timeout in every Nth
                             injection to exercise retry → quarantine
 
+process-isolated fleet (fi):
+  --workers N               run the campaign across N supervised worker
+                            processes instead of threads; a worker
+                            killed mid-shard (SIGKILL, abort, OOM,
+                            hang) is restarted and its shard
+                            reassigned, and the report and journal stay
+                            byte-identical to a --threads run
+  --fleet-lease-ms MS       heartbeat lease on a shard before the
+                            holder is presumed hung and killed
+                            (default 10000)
+  --shards-per-worker N     plan granularity: shards = workers × N
+                            (default 4)
+  --poison-after K          kills of non-chaos workers a shard may
+                            cause before it is quarantined as poisoned
+                            (default 3)
+  --chaos-kill-worker-ms MS test harness: SIGKILL a random busy worker
+                            every MS milliseconds; the report must not
+                            change
+  --chaos-abort-unit I      test harness: worker aborts at plan index I
+                            on the first attempt (transient fault)
+  --chaos-poison-unit I     test harness: worker aborts at plan index I
+                            on every attempt (poisoned shard)
+  --chaos-hang-unit I       test harness: worker hangs at plan index I
+                            on the first attempt (lease expiry)
+
 resilient scheduling (fi/analyze/sid/minpsid):
   --deadline-secs S         global wall-clock budget; expired work is
                             truncated (low-benefit sites first) and the
@@ -331,11 +359,11 @@ resilient scheduling (fi/analyze/sid/minpsid):
   --ci-half-width W         per-site early stop once the 95% Wilson
                             interval half-width is <= W (0 = off)
 
-crash-safe journal (minpsid):
-  --journal DIR             journal campaign progress to DIR; SIGINT
-                            flushes and exits with a resume hint
+crash-safe journal (fi/minpsid):
+  --journal DIR             journal campaign progress to DIR; SIGINT or
+                            SIGTERM flushes and exits with a resume hint
   --resume DIR              resume a journaled run (same flags required)
-  --max-inputs N            cap on searched inputs (default 25)
+  --max-inputs N            cap on searched inputs (minpsid; default 25)
   --golden-cache-cap N      LRU-evict golden runs beyond N cache entries
 
 live observability:
@@ -514,6 +542,16 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
 
 fn cmd_fi(rest: &[String]) -> Result<(), String> {
     let name = first_arg(rest, "benchmark name")?;
+    if let Some(w) = parse_positive(rest, "--workers", "want a positive worker-process count")? {
+        if parse_deadline(rest)?.is_some() {
+            return Err(
+                "--workers does not combine with --deadline-secs; deadline-bounded \
+                 campaigns use the in-process --threads path"
+                    .into(),
+            );
+        }
+        return cmd_fi_fleet(name, rest, w as usize);
+    }
     let module = load_module(name)?;
     let input = parse_input(name, rest)?;
     let campaign = parse_campaign(rest)?;
@@ -521,12 +559,100 @@ fn cmd_fi(rest: &[String]) -> Result<(), String> {
         campaign.sched.clone(),
         Deadline::from_secs(parse_deadline(rest)?),
     );
+    let journal = open_fi_journal(rest, &module, &campaign)?;
     let golden =
         golden_run(&module, &input, &campaign).map_err(|t| format!("golden run failed: {t:?}"))?;
-    let c = CampaignEngine::new(&module, &input, &golden, &campaign)
-        .with_scheduler(&sched)
-        .run_program()
-        .unwrap_or_else(|_| unreachable!("interrupts are only observed under a journal"));
+    let mut engine =
+        CampaignEngine::new(&module, &input, &golden, &campaign).with_scheduler(&sched);
+    let input_fp = input_fingerprint(&input);
+    if let Some(j) = &journal {
+        engine = engine.with_journal(j, input_fp);
+    }
+    let c = match engine.run_program() {
+        Ok(c) => c,
+        Err(_) => {
+            let j = journal
+                .as_ref()
+                .expect("interrupts only surface under a journal");
+            return Err(fi_resume_hint(rest, j));
+        }
+    };
+    print_fi_report(&c, &sched.snapshot())?;
+    if let Some(j) = &journal {
+        let (served, appended) = j.usage();
+        diag!(
+            "journal: {served} injections served, {appended} records appended ({})",
+            j.dir().display()
+        );
+    }
+    Ok(())
+}
+
+/// Journal key for `fi` campaigns. [`config_fingerprint`] hashes only
+/// the golden-run-relevant fields; a whole-program campaign's recorded
+/// outcomes additionally depend on the seed and the plan size, so both
+/// are mixed in — resuming with a different seed must open a different
+/// key, not silently serve another campaign's outcomes.
+fn fi_journal_key(campaign: &CampaignConfig) -> u64 {
+    config_fingerprint(campaign)
+        ^ campaign.seed.rotate_left(17)
+        ^ (campaign.injections as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// `fi --journal DIR` / `fi --resume DIR`: open (or refuse to resume a
+/// missing) campaign journal and install the interrupt handlers that
+/// make ^C / SIGTERM flush instead of corrupt.
+fn open_fi_journal(
+    rest: &[String],
+    module: &Module,
+    campaign: &CampaignConfig,
+) -> Result<Option<CampaignJournal>, String> {
+    let resume = flag_value(rest, "--resume");
+    let Some(dir) = flag_value(rest, "--journal").or_else(|| resume.clone()) else {
+        return Ok(None);
+    };
+    let dir = std::path::PathBuf::from(dir);
+    if resume.is_some() && !dir.join("campaign.wal").is_file() {
+        return Err(format!(
+            "--resume: no journal found at {} (start one with --journal)",
+            dir.display()
+        ));
+    }
+    let j = CampaignJournal::open(&dir, module_fingerprint(module), fi_journal_key(campaign))
+        .map_err(|e| format!("opening journal: {e}"))?;
+    let (recovered, truncated) = j.recovery_stats();
+    if recovered > 0 || truncated > 0 {
+        diag!("journal: recovered {recovered} records ({truncated} torn-tail bytes truncated)");
+    }
+    install_interrupt_handlers();
+    Ok(Some(j))
+}
+
+fn fi_resume_hint(rest: &[String], j: &CampaignJournal) -> String {
+    let dir = j.dir().display().to_string();
+    let mut args: Vec<String> = Vec::new();
+    let mut skip = false;
+    for a in rest {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a == "--journal" || a == "--resume" {
+            skip = true;
+            continue;
+        }
+        args.push(a.clone());
+    }
+    format!(
+        "interrupted; progress saved — resume with: minpsid fi {} --resume {dir}",
+        args.join(" ")
+    )
+}
+
+/// The `fi` report, shared verbatim by the `--threads` and `--workers`
+/// paths so process isolation can be byte-identity-tested against
+/// in-process execution.
+fn print_fi_report(c: &ProgramCampaign, snap: &SchedSnapshot) -> Result<(), String> {
     println!("injections: {}", c.counts.total());
     println!("  benign:   {}", c.counts.benign);
     println!("  sdc:      {}", c.counts.sdc);
@@ -551,13 +677,18 @@ fn cmd_fi(rest: &[String]) -> Result<(), String> {
             c.truncated, c.planned
         );
     }
+    if snap.quarantined_injections > 0 {
+        println!(
+            "  quarantined: {} of {} planned (poisoned shards)",
+            snap.quarantined_injections, c.planned
+        );
+    }
     println!(
         "SDC probability: {:.2}% (95% CI {:.2}%..{:.2}%)",
         c.sdc_prob() * 100.0,
         c.sdc_ci.lo * 100.0,
         c.sdc_ci.hi * 100.0
     );
-    let snap = sched.snapshot();
     println!("completeness: {:.4}", snap.completeness());
     if snap.accounted() != snap.planned {
         return Err(format!(
@@ -567,6 +698,278 @@ fn cmd_fi(rest: &[String]) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// Flags the supervisor consumes (or that would be wrong to duplicate
+/// in a worker: its own journal, status server, trace file) — stripped
+/// from the argv re-exec'd into worker processes. Listed as
+/// (flag, takes_value) pairs.
+const FLEET_SUPERVISOR_FLAGS: &[(&str, bool)] = &[
+    ("--workers", true),
+    ("--threads", true),
+    ("--journal", true),
+    ("--resume", true),
+    ("--trace-out", true),
+    ("--status-addr", true),
+    ("--fleet-lease-ms", true),
+    ("--shards-per-worker", true),
+    ("--poison-after", true),
+    ("--chaos-kill-worker-ms", true),
+    ("--progress", false),
+    ("--quiet", false),
+];
+
+/// The argv a fleet worker is re-exec'd with: the benchmark name plus
+/// every campaign-relevant flag, minus supervisor-side concerns.
+fn worker_args(name: &str, rest: &[String]) -> Vec<String> {
+    let mut out = vec![name.to_string()];
+    let mut i = 0;
+    let mut seen_name = false;
+    while i < rest.len() {
+        let a = &rest[i];
+        if !seen_name && a == name && !a.starts_with("--") {
+            seen_name = true; // the positional we already re-emitted
+            i += 1;
+            continue;
+        }
+        if let Some((_, takes_value)) = FLEET_SUPERVISOR_FLAGS.iter().find(|(f, _)| f == a) {
+            i += 1 + usize::from(*takes_value);
+            continue;
+        }
+        out.push(a.clone());
+        i += 1;
+    }
+    out
+}
+
+/// `fi --workers N`: the process-isolated campaign fleet.
+///
+/// The supervisor runs its own golden run (for the plan and a
+/// determinism cross-check), re-execs this binary as N `worker`
+/// processes, leases shards to them, and merges their spool segments in
+/// plan order. The printed report — and, under `--journal`, the WAL —
+/// is byte-identical to the in-process `--threads` path, including
+/// under `--chaos-kill-worker-ms` random kills; shards that keep
+/// killing workers are quarantined as poisoned instead of sinking the
+/// campaign.
+fn cmd_fi_fleet(name: &str, rest: &[String], workers: usize) -> Result<(), String> {
+    let module = load_module(name)?;
+    let input = parse_input(name, rest)?;
+    let campaign = parse_campaign(rest)?;
+    let sched = Scheduler::new(campaign.sched.clone(), Deadline::from_secs(None));
+    let injections = campaign.injections as u64;
+    let input_fp = input_fingerprint(&input);
+
+    let journal = open_fi_journal(rest, &module, &campaign)?;
+    // Fleet runs are always interruptible: SIGTERM/SIGINT stop leasing,
+    // salvage finished units, and (when journaled) leave a resumable WAL.
+    install_interrupt_handlers();
+    interrupt::clear();
+
+    let golden =
+        golden_run(&module, &input, &campaign).map_err(|t| format!("golden run failed: {t:?}"))?;
+    let population = golden.profile.injectable_execs;
+    if population == 0 || injections == 0 {
+        let c = ProgramCampaign {
+            counts: OutcomeCounts::default(),
+            sdc_ci: binomial_ci(0, 0, campaign.sched.ci_z),
+            planned: 0,
+            truncated: 0,
+            recovered: 0,
+        };
+        return print_fi_report(&c, &sched.snapshot());
+    }
+
+    sched.add_planned(injections);
+
+    // Probe the journal in plan order: served outcomes and honoured
+    // quarantines never reach a worker.
+    let mut served: Vec<Option<Outcome>> = vec![None; injections as usize];
+    let mut prequarantined = vec![false; injections as usize];
+    let mut units = Vec::with_capacity(injections as usize);
+    for i in 0..injections {
+        if let Some(j) = &journal {
+            if let Some(o) = j.program_outcome(input_fp, i).and_then(Outcome::from_u8) {
+                served[i as usize] = Some(o);
+                sched.note_completed(1);
+                continue;
+            }
+            if j.quarantined_site(input_fp, i).is_some() {
+                prequarantined[i as usize] = true;
+                sched.note_quarantine_skipped(1);
+                continue;
+            }
+        }
+        units.push(i);
+    }
+
+    let mut fcfg = minpsid_fleet::FleetConfig::new(workers);
+    if let Some(ms) = parse_positive(rest, "--fleet-lease-ms", "want milliseconds")? {
+        fcfg.lease_ms = ms;
+    }
+    if let Some(n) = parse_positive(rest, "--shards-per-worker", "want a positive shard count")? {
+        fcfg.shards_per_worker = n as usize;
+    }
+    if let Some(n) = parse_positive(rest, "--poison-after", "want a positive kill count")? {
+        fcfg.poison_after = n as u32;
+    }
+    if let Some(ms) = parse_positive(rest, "--chaos-kill-worker-ms", "want milliseconds")? {
+        fcfg.chaos_kill_worker_ms = Some(ms);
+    }
+
+    let spool = match &journal {
+        Some(j) => j.dir().join("spool"),
+        None => std::env::temp_dir().join(format!("minpsid-fleet-{}", std::process::id())),
+    };
+    let _ = std::fs::remove_dir_all(&spool);
+
+    let exe = std::env::current_exe().map_err(|e| format!("locating own binary: {e}"))?;
+    let wargs = worker_args(name, rest);
+    diag!(
+        "fleet: {workers} worker processes over {} pending of {injections} planned injections",
+        units.len()
+    );
+    let fo = minpsid_fleet::run_fleet(&fcfg, &units, population, &spool, |k| {
+        std::process::Command::new(&exe)
+            .arg("worker")
+            .args(&wargs)
+            .args(["--worker-id", &k.to_string(), "--spool-dir"])
+            .arg(&spool)
+            .arg("--quiet")
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::inherit())
+            .spawn()
+    })
+    .map_err(|e| format!("fleet supervisor: {e}"))?;
+
+    // Merge in plan order: the journal (and the report) end up
+    // byte-identical to a single-process run over the same plan.
+    let mut counts = OutcomeCounts::default();
+    let mut recovered = 0u64;
+    let mut missing = 0u64;
+    for i in 0..injections {
+        let idx = i as usize;
+        if let Some(o) = served[idx] {
+            counts.record(o);
+            continue;
+        }
+        if prequarantined[idx] {
+            continue;
+        }
+        if let Some((byte, rec)) = fo.ledger.get(i) {
+            let o = Outcome::from_u8(byte)
+                .ok_or_else(|| format!("corrupt spool outcome byte {byte} for unit {i}"))?;
+            if let Some(j) = &journal {
+                j.record_program(input_fp, i, byte);
+            }
+            sched.note_completed(1);
+            counts.record(o);
+            recovered += u64::from(rec);
+        } else if fo.poisoned.contains(&i) {
+            if let Some(j) = &journal {
+                j.record_quarantine(input_fp, i, FailureKind::PoisonedShard.to_u8());
+            }
+            sched.note_quarantine_skipped(1);
+        } else {
+            missing += 1;
+        }
+    }
+    if let Some(j) = &journal {
+        j.sync().map_err(|e| format!("syncing journal: {e}"))?;
+    }
+    let _ = std::fs::remove_dir_all(&spool);
+
+    if fo.stats.deaths > 0 || fo.stats.poisoned_shards > 0 {
+        diag!(
+            "fleet: {} spawns, {} deaths ({} chaos kills, {} lease expiries), \
+             {} shards reassigned, {} poisoned",
+            fo.stats.spawns,
+            fo.stats.deaths,
+            fo.stats.chaos_kills,
+            fo.stats.lease_expiries,
+            fo.stats.reassigned,
+            fo.stats.poisoned_shards
+        );
+    }
+    if fo.interrupted || missing > 0 {
+        return Err(match &journal {
+            Some(j) => fi_resume_hint(rest, j),
+            None => format!(
+                "interrupted with {missing} injections unfinished \
+                 (add --journal DIR to make fleet runs resumable)"
+            ),
+        });
+    }
+
+    let c = ProgramCampaign {
+        counts,
+        sdc_ci: binomial_ci(counts.sdc, counts.valid_total(), campaign.sched.ci_z),
+        planned: injections,
+        truncated: 0,
+        recovered,
+    };
+    print_fi_report(&c, &sched.snapshot())?;
+    if let Some(j) = &journal {
+        let (served, appended) = j.usage();
+        diag!(
+            "journal: {served} injections served, {appended} records appended ({})",
+            j.dir().display()
+        );
+    }
+    Ok(())
+}
+
+/// Hidden subcommand: one fleet worker process. Protocol on
+/// stdin/stdout, results spooled to `--spool-dir`; see `minpsid-fleet`.
+/// The `--chaos-*-unit` knobs let tests make this process abort or hang
+/// at a specific plan index — on the first attempt only (transient) or
+/// on every attempt (a poisoned shard).
+fn cmd_worker(rest: &[String]) -> Result<(), String> {
+    let name = first_arg(rest, "benchmark name")?;
+    let spool =
+        flag_value(rest, "--spool-dir").ok_or("worker: missing --spool-dir (internal command)")?;
+    let chaos = |flag: &str| -> Result<Option<u64>, String> {
+        flag_value(rest, flag)
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("bad {flag} `{v}` (want a plan index)"))
+            })
+            .transpose()
+    };
+    let abort_unit = chaos("--chaos-abort-unit")?;
+    let poison_unit = chaos("--chaos-poison-unit")?;
+    let hang_unit = chaos("--chaos-hang-unit")?;
+
+    let module = load_module(name)?;
+    let input = parse_input(name, rest)?;
+    let campaign = parse_campaign(rest)?;
+    let sched = Scheduler::new(campaign.sched.clone(), Deadline::from_secs(None));
+    let golden = golden_run(&module, &input, &campaign)
+        .map_err(|t| format!("worker golden run failed: {t:?}"))?;
+    let engine = CampaignEngine::new(&module, &input, &golden, &campaign).with_scheduler(&sched);
+    let mut ex = engine.program_executor();
+    let population = ex.population();
+    minpsid_fleet::run_worker(
+        std::path::Path::new(&spool),
+        population,
+        move |unit, attempt| {
+            if poison_unit == Some(unit) {
+                std::process::abort(); // poisoned: dies on every attempt
+            }
+            if abort_unit == Some(unit) && attempt == 0 {
+                std::process::abort(); // transient: recovers on reassignment
+            }
+            if hang_unit == Some(unit) && attempt == 0 {
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                }
+            }
+            let (o, rec) = ex.run_unit(unit as usize);
+            (o.to_u8(), rec)
+        },
+    )
+    .map_err(|e| format!("worker: {e}"))
 }
 
 /// Rank instructions by SDC benefit under the reference input — the
@@ -721,25 +1124,30 @@ fn cmd_sid(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Route SIGINT through the cooperative interrupt flag so a journaled
-/// campaign flushes its WAL and exits with a resume hint instead of
-/// dying mid-write. Only an atomic store happens in the handler.
+/// Route SIGINT *and* SIGTERM through the cooperative interrupt flag so
+/// a journaled campaign (or a fleet supervisor) flushes its WAL and
+/// exits with a resume hint instead of dying mid-write. Process
+/// managers and CI cancelers send SIGTERM, interactive ^C sends SIGINT;
+/// both deserve the same graceful path. Only an atomic store happens in
+/// the handler.
 #[cfg(unix)]
-fn install_sigint_handler() {
+fn install_interrupt_handlers() {
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
-    extern "C" fn on_sigint(_sig: i32) {
+    extern "C" fn on_signal(_sig: i32) {
         interrupt::request();
     }
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
     unsafe {
-        signal(SIGINT, on_sigint as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
     }
 }
 
 #[cfg(not(unix))]
-fn install_sigint_handler() {}
+fn install_interrupt_handlers() {}
 
 fn cmd_minpsid(rest: &[String]) -> Result<(), String> {
     let name = first_arg(rest, "benchmark name")?;
@@ -794,7 +1202,7 @@ fn cmd_minpsid(rest: &[String]) -> Result<(), String> {
                  ({truncated} torn-tail bytes truncated)"
             );
         }
-        install_sigint_handler();
+        install_interrupt_handlers();
         journal = Some(j);
     }
 
@@ -1013,6 +1421,55 @@ mod tests {
 
     fn args(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn worker_args_strip_supervisor_concerns() {
+        let rest = args(&[
+            "fft",
+            "--quick",
+            "--workers",
+            "4",
+            "--seed",
+            "7",
+            "--journal",
+            "/tmp/j",
+            "--trace-out",
+            "/tmp/t.jsonl",
+            "--status-addr",
+            "127.0.0.1:9090",
+            "--threads",
+            "8",
+            "--fleet-lease-ms",
+            "500",
+            "--poison-after",
+            "2",
+            "--chaos-kill-worker-ms",
+            "25",
+            "--progress",
+            "--chaos-abort-unit",
+            "5",
+        ]);
+        let w = worker_args("fft", &rest);
+        // bench name stays first (first_arg only inspects rest[0])
+        assert_eq!(w[0], "fft");
+        // campaign-relevant flags survive, supervisor concerns don't
+        assert_eq!(
+            w[1..],
+            args(&["--quick", "--seed", "7", "--chaos-abort-unit", "5"])
+        );
+    }
+
+    #[test]
+    fn fi_journal_key_mixes_seed_and_plan_size() {
+        let base = CampaignConfig::default();
+        let mut other_seed = base.clone();
+        other_seed.seed ^= 1;
+        let mut other_n = base.clone();
+        other_n.injections += 1;
+        assert_ne!(fi_journal_key(&base), fi_journal_key(&other_seed));
+        assert_ne!(fi_journal_key(&base), fi_journal_key(&other_n));
+        assert_eq!(fi_journal_key(&base), fi_journal_key(&base.clone()));
     }
 
     #[test]

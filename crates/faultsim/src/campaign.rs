@@ -367,6 +367,41 @@ mod tests {
     }
 
     #[test]
+    fn unit_executor_reproduces_run_program_in_any_order() {
+        let m = test_module();
+        let cfg = CampaignConfig::quick(23);
+        let g = golden_run(&m, &input(60), &cfg).unwrap();
+        let whole = program_campaign(&m, &input(60), &g, &cfg);
+
+        // Resolve the same plan unit-at-a-time in a scrambled order —
+        // the order a fleet's shard leases (and reassignments after
+        // worker deaths) would produce — and re-aggregate.
+        let inp = input(60);
+        let engine = CampaignEngine::new(&m, &inp, &g, &cfg);
+        let mut ex = engine.program_executor();
+        assert_eq!(ex.injections(), cfg.injections);
+        assert_eq!(ex.population(), g.profile.injectable_execs);
+        let mut order: Vec<usize> = (0..cfg.injections).collect();
+        order.reverse();
+        order.rotate_left(cfg.injections / 3);
+        let mut counts = OutcomeCounts::default();
+        for i in order {
+            let (o, _recovered) = ex.run_unit(i);
+            counts.record(o);
+        }
+        assert_eq!(
+            counts, whole.counts,
+            "unit-at-a-time execution must reduce to the run_program report"
+        );
+
+        // and re-running a unit is idempotent (at-least-once execution)
+        let mut ex2 = engine.program_executor();
+        let (a, ra) = ex2.run_unit(3);
+        let (b, rb) = ex2.run_unit(3);
+        assert_eq!((a, ra), (b, rb));
+    }
+
+    #[test]
     fn campaigns_are_deterministic_given_seed() {
         let m = test_module();
         let cfg = CampaignConfig::quick(99);

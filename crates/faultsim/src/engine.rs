@@ -392,6 +392,41 @@ fn resolve_injection(
     }
 }
 
+/// Execute program-campaign unit `i` — the body shared by
+/// [`CampaignEngine::run_program`] and the fleet's
+/// [`ProgramUnitExecutor`], so an out-of-process shard worker resolves
+/// exactly the outcome the in-process parallel executor would.
+#[allow(clippy::too_many_arguments)]
+fn program_unit(
+    cfg: &CampaignConfig,
+    sched: &Scheduler,
+    interp: &Interp<'_>,
+    st: &mut ExecScratch,
+    golden: &GoldenRun,
+    input: &ProgInput,
+    population: u64,
+    i: usize,
+) -> ResolvedInjection {
+    // per-injection RNG: deterministic regardless of thread schedule,
+    // journal contents, or which process runs the unit
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let fault = FaultSpec {
+        target: FaultTarget::NthDynamic(rng.random_range(0..population)),
+        bit: rng.random_range(0..64),
+    };
+    resolve_injection(
+        sched,
+        CampaignKind::Program,
+        i as u64,
+        interp,
+        st,
+        golden,
+        input,
+        fault,
+        chaos_plan(cfg, i as u64),
+    )
+}
+
 fn faulty_exec_config(cfg: &CampaignConfig, golden_steps: u64) -> ExecConfig {
     ExecConfig {
         profile: false,
@@ -563,25 +598,15 @@ impl<'a> CampaignEngine<'a> {
                     }
                     return UnitResult::Truncated;
                 }
-                // per-injection RNG: deterministic regardless of
-                // thread schedule or journal contents
-                let mut rng = StdRng::seed_from_u64(
-                    cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                );
-                let fault = FaultSpec {
-                    target: FaultTarget::NthDynamic(rng.random_range(0..population)),
-                    bit: rng.random_range(0..64),
-                };
-                let r = resolve_injection(
+                let r = program_unit(
+                    cfg,
                     sched,
-                    CampaignKind::Program,
-                    i as u64,
                     &interp,
                     st,
                     self.golden,
                     self.input,
-                    fault,
-                    chaos_plan(cfg, i as u64),
+                    population,
+                    i,
                 );
                 if let Some(w) = &writer {
                     w.commit(
@@ -875,5 +900,92 @@ impl<'a> CampaignEngine<'a> {
             ci,
             status,
         })
+    }
+
+    /// A sequential unit-at-a-time executor over this engine's program
+    /// plan, for callers that drive unit selection themselves — the fleet
+    /// worker resolves exactly the units its leased shard names, in
+    /// whatever order the supervisor hands them out, and each unit's
+    /// outcome is identical to what [`run_program`](Self::run_program)
+    /// would have produced at that plan position.
+    pub fn program_executor(&self) -> ProgramUnitExecutor<'_> {
+        let (injections, population) = match self.plan_program() {
+            CampaignPlan::Program {
+                injections,
+                population,
+            } => (injections, population),
+            CampaignPlan::PerInst { .. } => unreachable!(),
+        };
+        ProgramUnitExecutor {
+            cfg: self.cfg,
+            sched: self.scheduler(),
+            golden: self.golden,
+            input: self.input,
+            interp: Interp::new(self.module, faulty_exec_config(self.cfg, self.golden.steps)),
+            scratch: ExecScratch::default(),
+            injections,
+            population,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pluggable shard executor
+// ---------------------------------------------------------------------------
+
+/// Resolves individual program-campaign units on demand.
+///
+/// This is the engine's seam for out-of-process execution: a fleet worker
+/// builds one from its own [`CampaignEngine`] (same module, input, golden
+/// run and config as the supervisor planned with) and resolves the unit
+/// indices of whatever shard it currently leases. Determinism is carried
+/// entirely by the plan position `i` — RNG seed, chaos plan and retry
+/// schedule all derive from `(cfg, i)` — so at-least-once execution
+/// across worker deaths still reduces to exactly the `--threads` report.
+pub struct ProgramUnitExecutor<'e> {
+    cfg: &'e CampaignConfig,
+    sched: &'e Scheduler,
+    golden: &'e GoldenRun,
+    input: &'e ProgInput,
+    interp: Interp<'e>,
+    scratch: ExecScratch,
+    injections: usize,
+    population: u64,
+}
+
+impl ProgramUnitExecutor<'_> {
+    /// Units in the plan (`cfg.injections`).
+    pub fn injections(&self) -> usize {
+        self.injections
+    }
+
+    /// Injectable dynamic-execution population of the golden run. When
+    /// zero the plan is empty and no unit may be run.
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// Resolve unit `i`: `(classified outcome, recovered-via-retry)`.
+    ///
+    /// Panics if `i` is outside the plan or the population is empty —
+    /// the supervisor never leases such units.
+    pub fn run_unit(&mut self, i: usize) -> (Outcome, bool) {
+        assert!(
+            i < self.injections && self.population > 0,
+            "unit {i} outside plan ({} injections, population {})",
+            self.injections,
+            self.population
+        );
+        let r = program_unit(
+            self.cfg,
+            self.sched,
+            &self.interp,
+            &mut self.scratch,
+            self.golden,
+            self.input,
+            self.population,
+            i,
+        );
+        (r.outcome, r.recovered)
     }
 }

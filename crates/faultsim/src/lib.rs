@@ -48,7 +48,7 @@ pub use campaign::{
     CheckpointPolicy, GoldenRun, PerInstSdc, ProgramCampaign,
 };
 pub use config::CampaignConfigBuilder;
-pub use engine::{CampaignEngine, CampaignPlan};
+pub use engine::{CampaignEngine, CampaignPlan, ProgramUnitExecutor};
 // Interpreter knobs that ride on CampaignConfig, re-exported so front
 // ends keep a single import path.
 pub use minpsid_interp::{DispatchMode, SnapshotMode};

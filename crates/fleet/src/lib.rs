@@ -1,0 +1,34 @@
+//! minpsid-fleet: process-isolated campaign execution.
+//!
+//! Thread-level parallelism (`--threads`) shares one address space: a
+//! single wild injection that corrupts the interpreter's host process —
+//! a real possibility when simulating hardware faults — takes the whole
+//! campaign (and its journal) down with it. The fleet moves that blast
+//! radius across a process boundary:
+//!
+//! * the **supervisor** ([`run_fleet`]) re-execs the CLI as N worker
+//!   processes and hands out campaign shards as heartbeat-renewed
+//!   leases over length-prefixed pipes ([`proto`]);
+//! * each **worker** ([`run_worker`]) executes its leased units and
+//!   spools results into per-lease WAL segments ([`spool`]) that
+//!   survive the worker's death;
+//! * when a worker is SIGKILLed, aborts, OOMs, or hangs, its lease
+//!   expires and the shard is reassigned; a shard that keeps killing
+//!   workers is declared **poisoned** and routed to quarantine
+//!   ([`shard`]) so one bad unit cannot sink the run.
+//!
+//! Execution is at-least-once, reduction exactly-once: the supervisor
+//! merges segments first-record-wins in plan order, so the final
+//! report and journal are byte-identical to an in-process run — even
+//! under random kill chaos.
+
+pub mod proto;
+pub mod shard;
+pub mod spool;
+pub mod supervisor;
+pub mod worker;
+
+pub use shard::{plan_shards, OutcomeLedger, ShardFate, ShardTable};
+pub use spool::{read_segment, segment_path, SegmentWriter, SpooledUnit};
+pub use supervisor::{run_fleet, FleetConfig, FleetOutcome, FleetStats};
+pub use worker::{drive_worker, run_worker};

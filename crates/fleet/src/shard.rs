@@ -1,0 +1,385 @@
+//! Pure shard bookkeeping: the lease table and the outcome ledger.
+//!
+//! These types hold every invariant the supervisor relies on — leases
+//! renew by heartbeat, a dead worker's shard requeues with a bumped
+//! attempt, a shard that kills too many workers is poisoned, and a unit
+//! reduces exactly once no matter how many spool segments mention it —
+//! with no processes, pipes, or clocks involved, so the property tests
+//! can drive them through millions of adversarial schedules.
+
+use crate::spool::SpooledUnit;
+use std::collections::{BTreeMap, VecDeque};
+
+/// What happened to a shard when the worker holding its lease died.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFate {
+    /// Requeued for another worker; `attempt` is the count of leases
+    /// granted so far (the next lease will be this attempt number).
+    Requeued { attempts_so_far: u32 },
+    /// The shard has now killed `poison_after` workers and is declared
+    /// poisoned: its units route to quarantine, not to another worker.
+    Poisoned,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ShardState {
+    Pending,
+    Leased { slot: usize, hb_ms: u64 },
+    Done,
+    Poisoned,
+}
+
+/// Lease table over the campaign's shards.
+///
+/// Time is an opaque millisecond counter supplied by the caller
+/// (wall-clock in the supervisor, a scripted counter in tests).
+#[derive(Debug)]
+pub struct ShardTable {
+    units: Vec<Vec<u64>>,
+    state: Vec<ShardState>,
+    /// Leases granted per shard (== next attempt number).
+    attempts: Vec<u32>,
+    /// Workers killed while holding this shard's lease (chaos kills
+    /// excluded — those are the supervisor's fault, not the shard's).
+    kills: Vec<u32>,
+    queue: VecDeque<u32>,
+    poison_after: u32,
+}
+
+impl ShardTable {
+    /// `units` is the per-shard list of plan indices; `poison_after` is
+    /// the number of (non-chaos) worker kills that poisons a shard.
+    pub fn new(units: Vec<Vec<u64>>, poison_after: u32) -> ShardTable {
+        assert!(poison_after > 0, "poison_after must be at least 1");
+        let n = units.len();
+        ShardTable {
+            units,
+            state: vec![ShardState::Pending; n],
+            attempts: vec![0; n],
+            kills: vec![0; n],
+            queue: (0..n as u32).collect(),
+            poison_after,
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.units.len()
+    }
+
+    pub fn units(&self, shard: u32) -> &[u64] {
+        &self.units[shard as usize]
+    }
+
+    /// Lease the next pending shard to `slot`, returning the shard id
+    /// and this lease's attempt number.
+    pub fn lease_next(&mut self, slot: usize, now_ms: u64) -> Option<(u32, u32)> {
+        let shard = self.queue.pop_front()?;
+        let s = shard as usize;
+        debug_assert_eq!(self.state[s], ShardState::Pending);
+        let attempt = self.attempts[s];
+        self.attempts[s] += 1;
+        self.state[s] = ShardState::Leased {
+            slot,
+            hb_ms: now_ms,
+        };
+        Some((shard, attempt))
+    }
+
+    /// Renew the lease. Ignored unless `slot` actually holds it (stale
+    /// heartbeats from a replaced worker's buffered frames are no-ops).
+    pub fn heartbeat(&mut self, shard: u32, slot: usize, now_ms: u64) {
+        if let Some(ShardState::Leased {
+            slot: holder,
+            hb_ms,
+        }) = self.state.get_mut(shard as usize)
+        {
+            if *holder == slot {
+                *hb_ms = now_ms;
+            }
+        }
+    }
+
+    /// Mark the shard done. Returns false (and changes nothing) unless
+    /// `slot` holds the lease — a completion racing its own lease
+    /// expiry loses, and the shard stays with the replacement worker.
+    pub fn complete(&mut self, shard: u32, slot: usize) -> bool {
+        match self.state.get(shard as usize) {
+            Some(ShardState::Leased { slot: holder, .. }) if *holder == slot => {
+                self.state[shard as usize] = ShardState::Done;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The worker holding this shard died (or was killed). When
+    /// `counts_toward_poison` is false — the supervisor killed it for
+    /// chaos, not the shard — the kill tally is untouched so chaos can
+    /// never change what the campaign reports.
+    pub fn fail(&mut self, shard: u32, counts_toward_poison: bool) -> ShardFate {
+        let s = shard as usize;
+        assert!(
+            matches!(self.state[s], ShardState::Leased { .. }),
+            "fail() on a shard without a lease"
+        );
+        if counts_toward_poison {
+            self.kills[s] += 1;
+            if self.kills[s] >= self.poison_after {
+                self.state[s] = ShardState::Poisoned;
+                return ShardFate::Poisoned;
+            }
+        }
+        self.state[s] = ShardState::Pending;
+        self.queue.push_back(shard);
+        ShardFate::Requeued {
+            attempts_so_far: self.attempts[s],
+        }
+    }
+
+    /// The shard currently leased by `slot`, with its attempt number.
+    pub fn leased_by(&self, slot: usize) -> Option<(u32, u32)> {
+        self.state.iter().enumerate().find_map(|(i, st)| match st {
+            ShardState::Leased { slot: holder, .. } if *holder == slot => {
+                Some((i as u32, self.attempts[i] - 1))
+            }
+            _ => None,
+        })
+    }
+
+    /// Shards whose lease has gone `lease_ms` without a heartbeat,
+    /// with the slot that holds each.
+    pub fn expired(&self, now_ms: u64, lease_ms: u64) -> Vec<(u32, usize)> {
+        self.state
+            .iter()
+            .enumerate()
+            .filter_map(|(i, st)| match st {
+                ShardState::Leased { slot, hb_ms } if now_ms.saturating_sub(*hb_ms) > lease_ms => {
+                    Some((i as u32, *slot))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// True once every shard is done or poisoned.
+    pub fn all_settled(&self) -> bool {
+        self.state
+            .iter()
+            .all(|s| matches!(s, ShardState::Done | ShardState::Poisoned))
+    }
+
+    pub fn is_poisoned(&self, shard: u32) -> bool {
+        matches!(self.state[shard as usize], ShardState::Poisoned)
+    }
+
+    /// Plan indices of every poisoned shard, ascending.
+    pub fn poisoned_units(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, ShardState::Poisoned))
+            .flat_map(|(i, _)| self.units[i].iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Shards that are neither done nor poisoned, with how many lease
+    /// attempts each has been granted — i.e. which spool segments may
+    /// hold salvageable partial results after an interrupt.
+    pub fn salvageable(&self) -> Vec<(u32, u32)> {
+        self.state
+            .iter()
+            .enumerate()
+            .filter_map(|(i, st)| match st {
+                ShardState::Pending | ShardState::Leased { .. } if self.attempts[i] > 0 => {
+                    Some((i as u32, self.attempts[i]))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// First-record-wins fold of spooled units: at-least-once execution,
+/// exactly-once reduction.
+///
+/// Execution is deterministic per plan index, so duplicate records from
+/// overlapping attempts carry identical outcomes and first-wins is a
+/// pure dedup; keeping the discrepancy counter anyway turns "should be
+/// impossible" into something a test can assert on.
+#[derive(Debug, Default)]
+pub struct OutcomeLedger {
+    map: BTreeMap<u64, (u8, bool)>,
+    duplicates: u64,
+    conflicts: u64,
+}
+
+impl OutcomeLedger {
+    pub fn new() -> OutcomeLedger {
+        OutcomeLedger::default()
+    }
+
+    /// Fold a segment's records in; returns how many were new.
+    pub fn absorb(&mut self, units: &[SpooledUnit]) -> usize {
+        let mut fresh = 0;
+        for u in units {
+            match self.map.get(&u.index) {
+                None => {
+                    self.map.insert(u.index, (u.outcome, u.recovered));
+                    fresh += 1;
+                }
+                Some(&(o, r)) => {
+                    self.duplicates += 1;
+                    if (o, r) != (u.outcome, u.recovered) {
+                        self.conflicts += 1;
+                    }
+                }
+            }
+        }
+        fresh
+    }
+
+    pub fn get(&self, index: u64) -> Option<(u8, bool)> {
+        self.map.get(&index).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Duplicate records absorbed (same index seen again).
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Duplicates that *disagreed* with the first record — always zero
+    /// when per-unit execution is deterministic.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+}
+
+/// Chunk `0..total` plan indices into at most `shards` near-equal
+/// contiguous shards (fewer when `total` is small).
+pub fn plan_shards(units: &[u64], shards: usize) -> Vec<Vec<u64>> {
+    let shards = shards.max(1).min(units.len().max(1));
+    if units.is_empty() {
+        return Vec::new();
+    }
+    let base = units.len() / shards;
+    let extra = units.len() % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut at = 0;
+    for i in 0..shards {
+        let take = base + usize::from(i < extra);
+        out.push(units[at..at + take].to_vec());
+        at += take;
+    }
+    debug_assert_eq!(at, units.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(index: u64, outcome: u8) -> SpooledUnit {
+        SpooledUnit {
+            index,
+            outcome,
+            recovered: false,
+        }
+    }
+
+    #[test]
+    fn plan_shards_covers_everything_contiguously() {
+        let units: Vec<u64> = (0..13).collect();
+        let shards = plan_shards(&units, 4);
+        assert_eq!(shards.len(), 4);
+        let flat: Vec<u64> = shards.iter().flatten().copied().collect();
+        assert_eq!(flat, units);
+        assert!(shards.iter().all(|s| s.len() == 3 || s.len() == 4));
+        // more shards than units degrades to one unit each
+        assert_eq!(plan_shards(&units[..2], 8).len(), 2);
+        assert!(plan_shards(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn lease_expires_reassigns_and_heartbeat_renews() {
+        let mut t = ShardTable::new(vec![vec![0, 1], vec![2, 3]], 3);
+        let (s0, a0) = t.lease_next(0, 1000).unwrap();
+        assert_eq!((s0, a0), (0, 0));
+        assert!(t.expired(1500, 1000).is_empty());
+        t.heartbeat(s0, 0, 2000);
+        assert!(t.expired(2900, 1000).is_empty(), "renewed lease holds");
+        assert_eq!(t.expired(3100, 1000), vec![(0, 0)]);
+        // a heartbeat from the wrong slot does not renew
+        t.heartbeat(s0, 5, 9000);
+        assert_eq!(t.expired(3100, 1000), vec![(0, 0)]);
+        // expiry → fail → requeued with a bumped attempt
+        assert_eq!(t.fail(s0, true), ShardFate::Requeued { attempts_so_far: 1 });
+        let (s, a) = t.lease_next(1, 4000).unwrap();
+        assert_eq!(s, 1, "queue order: shard 1 was already queued");
+        assert_eq!(a, 0);
+        let (s, a) = t.lease_next(2, 4000).unwrap();
+        assert_eq!((s, a), (0, 1), "requeued shard comes back with attempt 1");
+    }
+
+    #[test]
+    fn third_kill_poisons_but_chaos_kills_never_count() {
+        let mut t = ShardTable::new(vec![vec![7, 8, 9]], 3);
+        // two chaos kills and two real kills, interleaved: tally is 2
+        for (i, counts) in [false, true, false, true].into_iter().enumerate() {
+            let (s, a) = t.lease_next(0, 0).unwrap();
+            assert_eq!((s, a), (0, i as u32));
+            assert_eq!(
+                t.fail(s, counts),
+                ShardFate::Requeued {
+                    attempts_so_far: i as u32 + 1
+                }
+            );
+        }
+        assert!(!t.is_poisoned(0), "chaos kills must not poison");
+        // the third real kill tips it over
+        let (s, _) = t.lease_next(0, 0).unwrap();
+        assert_eq!(t.fail(s, true), ShardFate::Poisoned);
+        assert!(t.is_poisoned(0));
+        assert!(t.all_settled());
+        assert_eq!(t.poisoned_units(), vec![7, 8, 9]);
+        assert!(t.lease_next(0, 0).is_none());
+    }
+
+    #[test]
+    fn completion_races_lose_to_reassignment() {
+        let mut t = ShardTable::new(vec![vec![0]], 3);
+        let (s, _) = t.lease_next(0, 0).unwrap();
+        t.fail(s, true); // expiry killed slot 0
+        let (s2, _) = t.lease_next(1, 0).unwrap();
+        assert_eq!(s2, s);
+        assert!(!t.complete(s, 0), "stale completion from slot 0 ignored");
+        assert!(t.complete(s, 1));
+        assert!(t.all_settled());
+    }
+
+    #[test]
+    fn ledger_reduces_each_unit_exactly_once() {
+        let mut l = OutcomeLedger::new();
+        assert_eq!(l.absorb(&[unit(0, 1), unit(1, 2)]), 2);
+        // overlapping attempt re-reports unit 1 identically: deduped
+        assert_eq!(l.absorb(&[unit(1, 2), unit(2, 0)]), 1);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.duplicates(), 1);
+        assert_eq!(l.conflicts(), 0);
+        assert_eq!(l.get(1), Some((2, false)));
+        // a disagreeing duplicate is counted but first still wins
+        l.absorb(&[unit(1, 5)]);
+        assert_eq!(l.conflicts(), 1);
+        assert_eq!(l.get(1), Some((2, false)));
+    }
+}

@@ -1,0 +1,187 @@
+//! Per-worker WAL spool segments.
+//!
+//! Each lease attempt writes its results into its own checksummed WAL
+//! segment, `shard{S}-a{A}.wal`, using the journal crate's frame format
+//! with spool-only [`Record::ShardUnit`] records. Keying segments by
+//! `(shard, attempt)` means a killed worker's half-written segment can
+//! never be confused with its replacement's: the supervisor reads the
+//! segment named by the attempt it actually leased.
+//!
+//! Torn tails are expected here — workers die mid-append by design
+//! (SIGKILL chaos) — and the journal's recovery scan simply drops them;
+//! every intact record before the tear is still salvageable.
+
+use minpsid_journal::record::Record;
+use minpsid_journal::wal::{open_wal, read_wal, WalWriter};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One executed unit as spooled by a worker: plan index, outcome byte
+/// (`Outcome::to_u8`), and whether the scheduler recovered it via retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpooledUnit {
+    pub index: u64,
+    pub outcome: u8,
+    pub recovered: bool,
+}
+
+/// Path of the segment for one `(shard, attempt)` lease.
+pub fn segment_path(dir: &Path, shard: u32, attempt: u32) -> PathBuf {
+    dir.join(format!("shard{shard:05}-a{attempt:03}.wal"))
+}
+
+/// Append-side of one spool segment (worker side).
+///
+/// Records are batched in memory and written [`BATCH`](Self::BATCH) at
+/// a time: segments are salvage material, not the source of truth, so a
+/// worker killed mid-batch merely re-executes those units elsewhere —
+/// and fast units stop paying a write syscall each.
+pub struct SegmentWriter {
+    wal: WalWriter,
+    pending: Vec<Record>,
+}
+
+impl SegmentWriter {
+    /// Create a fresh segment for this lease. Any stale file at the
+    /// same path (only possible if a previous worker got the identical
+    /// `(shard, attempt)` lease, which the supervisor never grants
+    /// twice) is removed rather than appended to.
+    pub fn create(dir: &Path, shard: u32, attempt: u32) -> io::Result<SegmentWriter> {
+        std::fs::create_dir_all(dir)?;
+        let path = segment_path(dir, shard, attempt);
+        match std::fs::remove_file(&path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let (mut wal, _) = open_wal(&path)?;
+        // The segment's durability point is the single fsync before
+        // SHARD_DONE; a worker killed mid-shard re-executes anyway, so
+        // periodic fsync would buy nothing and cost per-unit latency.
+        wal.set_fsync_every(0);
+        Ok(SegmentWriter {
+            wal,
+            pending: Vec::with_capacity(Self::BATCH),
+        })
+    }
+
+    /// Records buffered before one batched write hits the file.
+    pub const BATCH: usize = 128;
+
+    pub fn record(&mut self, unit: SpooledUnit) -> io::Result<()> {
+        self.pending.push(Record::ShardUnit {
+            index: unit.index,
+            outcome: unit.outcome,
+            recovered: unit.recovered,
+        });
+        if self.pending.len() >= Self::BATCH {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Write every buffered record to the file (no fsync).
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.wal.append_batch(&self.pending)?;
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Flush and fsync the segment; called before `SHARD_DONE` goes up
+    /// the pipe so the supervisor never reads a segment that claims
+    /// completion but lost records to a buffer or the page cache.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.flush()?;
+        self.wal.sync()
+    }
+}
+
+/// Read every intact `ShardUnit` in a segment (supervisor side).
+///
+/// A missing segment reads as empty — a worker killed before its first
+/// append never created the file. Non-`ShardUnit` records are ignored.
+pub fn read_segment(dir: &Path, shard: u32, attempt: u32) -> io::Result<Vec<SpooledUnit>> {
+    let rec = read_wal(&segment_path(dir, shard, attempt))?;
+    Ok(rec
+        .records
+        .into_iter()
+        .filter_map(|r| match r {
+            Record::ShardUnit {
+                index,
+                outcome,
+                recovered,
+            } => Some(SpooledUnit {
+                index,
+                outcome,
+                recovered,
+            }),
+            _ => None,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("minpsid-fleet-spool-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn segment_round_trips_units() {
+        let d = tmpdir("rt");
+        let units = [
+            SpooledUnit {
+                index: 0,
+                outcome: 2,
+                recovered: false,
+            },
+            SpooledUnit {
+                index: 7,
+                outcome: 0,
+                recovered: true,
+            },
+        ];
+        let mut w = SegmentWriter::create(&d, 3, 1).unwrap();
+        for u in units {
+            w.record(u).unwrap();
+        }
+        w.sync().unwrap();
+        assert_eq!(read_segment(&d, 3, 1).unwrap(), units.to_vec());
+        // a different attempt of the same shard is a different segment
+        assert!(read_segment(&d, 3, 2).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_recreate_truncates_stale_data() {
+        let d = tmpdir("torn");
+        let mut w = SegmentWriter::create(&d, 0, 0).unwrap();
+        w.record(SpooledUnit {
+            index: 1,
+            outcome: 1,
+            recovered: false,
+        })
+        .unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // simulate a SIGKILL mid-append: garbage tail past the frame
+        let p = segment_path(&d, 0, 0);
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes.extend_from_slice(&[9, 9, 9]);
+        std::fs::write(&p, &bytes).unwrap();
+        let got = read_segment(&d, 0, 0).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].index, 1);
+        // a new lease at the same key starts clean
+        let w2 = SegmentWriter::create(&d, 0, 0).unwrap();
+        drop(w2);
+        assert!(read_segment(&d, 0, 0).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

@@ -1,0 +1,203 @@
+//! The worker side of the fleet protocol.
+//!
+//! A worker is the same CLI binary re-exec'd with a hidden subcommand.
+//! It performs its own golden run (reported in READY for a determinism
+//! cross-check), then loops: receive a shard lease on stdin, execute
+//! its units in order through the injected executor, spool each result
+//! into the lease's WAL segment, heartbeat after every unit, fsync,
+//! report `SHARD_DONE`. It exits cleanly on `SHUTDOWN` or on stdin
+//! EOF (the supervisor is gone; there is nobody left to report to).
+//!
+//! The executor callback gets `(unit, attempt)` so the caller can wire
+//! chaos — abort on first attempt only (transient fault), abort on
+//! every attempt (poison shard), or hang (lease-expiry fault) —
+//! without this crate knowing anything about fault simulation.
+
+use crate::proto::{read_frame, write_frame, ToSupervisor, ToWorker};
+use crate::spool::{SegmentWriter, SpooledUnit};
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Lease-renewal cadence. Fast units would otherwise each pay a pipe
+/// write and flush, which dominates their cost; one heartbeat per
+/// interval renews the lease just as well. Must stay well below any
+/// usable `--fleet-lease-ms` (minimum practical lease: a few hundred
+/// ms).
+pub const HEARTBEAT_EVERY: Duration = Duration::from_millis(100);
+
+/// Drive the worker protocol over arbitrary pipes (tests use in-memory
+/// buffers; [`run_worker`] wires stdin/stdout). `hb_every` throttles
+/// lease-renewal heartbeats: at most one per interval (tests pass
+/// [`Duration::ZERO`] to heartbeat on every unit).
+pub fn drive_worker<R, W, X>(
+    input: &mut R,
+    output: &mut W,
+    spool_dir: &Path,
+    population: u64,
+    hb_every: Duration,
+    mut exec: X,
+) -> io::Result<()>
+where
+    R: Read,
+    W: Write,
+    X: FnMut(u64, u32) -> (u8, bool),
+{
+    write_frame(output, &ToSupervisor::Ready { population }.encode())?;
+    loop {
+        let Some(frame) = read_frame(input)? else {
+            return Ok(()); // supervisor hung up
+        };
+        match ToWorker::decode(&frame)? {
+            ToWorker::Shutdown => return Ok(()),
+            ToWorker::Assign {
+                shard,
+                attempt,
+                units,
+            } => {
+                let mut seg = SegmentWriter::create(spool_dir, shard, attempt)?;
+                let mut last_hb = Instant::now();
+                for (i, &index) in units.iter().enumerate() {
+                    let (outcome, recovered) = exec(index, attempt);
+                    seg.record(SpooledUnit {
+                        index,
+                        outcome,
+                        recovered,
+                    })?;
+                    if last_hb.elapsed() >= hb_every {
+                        let done = (i + 1) as u64;
+                        write_frame(output, &ToSupervisor::Heartbeat { shard, done }.encode())?;
+                        last_hb = Instant::now();
+                    }
+                }
+                // fsync before claiming completion: SHARD_DONE promises
+                // the supervisor a fully readable segment.
+                seg.sync()?;
+                write_frame(output, &ToSupervisor::ShardDone { shard }.encode())?;
+            }
+        }
+    }
+}
+
+/// [`drive_worker`] over the process's real stdin/stdout.
+pub fn run_worker<X>(spool_dir: &Path, population: u64, exec: X) -> io::Result<()>
+where
+    X: FnMut(u64, u32) -> (u8, bool),
+{
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    drive_worker(
+        &mut stdin.lock(),
+        &mut stdout.lock(),
+        spool_dir,
+        population,
+        HEARTBEAT_EVERY,
+        exec,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spool::read_segment;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("minpsid-fleet-worker-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn worker_executes_lease_spools_and_reports() {
+        let d = tmpdir("lease");
+        let mut input = Vec::new();
+        write_frame(
+            &mut input,
+            &ToWorker::Assign {
+                shard: 2,
+                attempt: 1,
+                units: vec![4, 6, 9],
+            }
+            .encode(),
+        )
+        .unwrap();
+        write_frame(&mut input, &ToWorker::Shutdown.encode()).unwrap();
+
+        let mut output = Vec::new();
+        drive_worker(
+            &mut &input[..],
+            &mut output,
+            &d,
+            77,
+            Duration::ZERO,
+            |unit, attempt| {
+                assert_eq!(attempt, 1);
+                ((unit % 5) as u8, unit == 6)
+            },
+        )
+        .unwrap();
+
+        // protocol transcript: READY, 3 heartbeats, SHARD_DONE
+        let mut r = &output[..];
+        let mut msgs = Vec::new();
+        while let Some(f) = read_frame(&mut r).unwrap() {
+            msgs.push(ToSupervisor::decode(&f).unwrap());
+        }
+        assert_eq!(msgs[0], ToSupervisor::Ready { population: 77 });
+        assert_eq!(msgs[1], ToSupervisor::Heartbeat { shard: 2, done: 1 });
+        assert_eq!(msgs[3], ToSupervisor::Heartbeat { shard: 2, done: 3 });
+        assert_eq!(msgs[4], ToSupervisor::ShardDone { shard: 2 });
+        assert_eq!(msgs.len(), 5);
+
+        // and the spool segment holds exactly the executed units
+        let seg = read_segment(&d, 2, 1).unwrap();
+        assert_eq!(
+            seg,
+            vec![
+                SpooledUnit {
+                    index: 4,
+                    outcome: 4,
+                    recovered: false
+                },
+                SpooledUnit {
+                    index: 6,
+                    outcome: 1,
+                    recovered: true
+                },
+                SpooledUnit {
+                    index: 9,
+                    outcome: 4,
+                    recovered: false
+                },
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn worker_exits_cleanly_on_eof() {
+        let d = tmpdir("eof");
+        let input: Vec<u8> = Vec::new();
+        let mut output = Vec::new();
+        drive_worker(
+            &mut &input[..],
+            &mut output,
+            &d,
+            0,
+            Duration::ZERO,
+            |_, _| (0, false),
+        )
+        .unwrap();
+        let mut r = &output[..];
+        let f = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(
+            ToSupervisor::decode(&f).unwrap(),
+            ToSupervisor::Ready { population: 0 }
+        );
+        assert!(read_frame(&mut r).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the fleet's exactly-once-reduction invariant:
+//! no adversarial schedule of leases, kills, chaos kills, stale
+//! completions, and duplicate segment deliveries can make a unit
+//! reduce twice, resurrect a poisoned unit, or let a stale worker
+//! complete a shard it no longer holds.
+
+use minpsid_fleet::shard::{plan_shards, OutcomeLedger, ShardFate, ShardTable};
+use minpsid_fleet::spool::SpooledUnit;
+use proptest::prelude::*;
+use proptest::proptest;
+use std::collections::BTreeSet;
+
+const SLOTS: usize = 4;
+
+/// Deterministic per-unit outcome, mirroring the engine's seed-only
+/// dependence on the plan index.
+fn outcome_of(index: u64) -> (u8, bool) {
+    (((index * 7 + 3) % 6) as u8, index.is_multiple_of(5))
+}
+
+fn full_segment(units: &[u64]) -> Vec<SpooledUnit> {
+    units
+        .iter()
+        .map(|&index| {
+            let (outcome, recovered) = outcome_of(index);
+            SpooledUnit {
+                index,
+                outcome,
+                recovered,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn adversarial_schedules_never_double_reduce(
+        n_units in 1usize..64,
+        n_shards in 1usize..9,
+        poison_after in 1u32..4,
+        script in proptest::collection::vec(0u64..u64::MAX, 1..250),
+    ) {
+        let units: Vec<u64> = (0..n_units as u64).collect();
+        let mut table = ShardTable::new(plan_shards(&units, n_shards), poison_after);
+        let mut ledger = OutcomeLedger::new();
+        // every segment the supervisor ever absorbed, available for
+        // adversarial redelivery (salvage paths may re-read them)
+        let mut delivered: Vec<Vec<SpooledUnit>> = Vec::new();
+        let mut completed_units: BTreeSet<u64> = BTreeSet::new();
+        let mut now = 0u64;
+
+        for op in script {
+            now += 1;
+            let slot = (op >> 8) as usize % SLOTS;
+            match op % 5 {
+                // try to lease the next pending shard to `slot` (only
+                // if it holds nothing — one lease per worker)
+                0 => {
+                    if table.leased_by(slot).is_none() {
+                        let _ = table.lease_next(slot, now);
+                    }
+                }
+                // worker finishes its shard: full segment, absorb iff
+                // the completion is accepted (the supervisor rule)
+                1 => {
+                    if let Some((shard, _attempt)) = table.leased_by(slot) {
+                        let seg = full_segment(table.units(shard));
+                        if table.complete(shard, slot) {
+                            let fresh = ledger.absorb(&seg);
+                            prop_assert_eq!(
+                                fresh,
+                                seg.len(),
+                                "an accepted completion must be the first reduction \
+                                 of every one of its units"
+                            );
+                            for u in &seg {
+                                completed_units.insert(u.index);
+                            }
+                            delivered.push(seg);
+                        }
+                    }
+                }
+                // worker dies for real (counts toward poison)
+                2 => {
+                    if let Some((shard, _)) = table.leased_by(slot) {
+                        let _ = table.fail(shard, true);
+                    }
+                }
+                // chaos kill (never counts toward poison)
+                3 => {
+                    if let Some((shard, _)) = table.leased_by(slot) {
+                        prop_assert!(matches!(
+                            table.fail(shard, false),
+                            ShardFate::Requeued { .. }
+                        ), "a chaos kill can never poison");
+                    }
+                }
+                // adversary redelivers an old segment (duplicate
+                // SHARD_DONE race, salvage re-read, …)
+                _ => {
+                    if !delivered.is_empty() {
+                        let seg = delivered[op as usize % delivered.len()].clone();
+                        let fresh = ledger.absorb(&seg);
+                        prop_assert_eq!(fresh, 0, "redelivery must never reduce again");
+                    }
+                }
+            }
+        }
+
+        // deterministic execution ⇒ duplicates always agreed
+        prop_assert_eq!(ledger.conflicts(), 0);
+        // exactly-once: the ledger holds precisely the completed units
+        prop_assert_eq!(ledger.len(), completed_units.len());
+        for &u in &completed_units {
+            prop_assert_eq!(ledger.get(u), Some(outcome_of(u)));
+        }
+        // poisoned shards and reduced units are disjoint worlds
+        for u in table.poisoned_units() {
+            prop_assert!(
+                ledger.get(u).is_none(),
+                "unit {} both poisoned and reduced", u
+            );
+        }
+    }
+
+    #[test]
+    fn poisoning_is_reached_only_by_real_kills(
+        poison_after in 1u32..5,
+        kills in proptest::collection::vec(proptest::prelude::any::<bool>(), 1..40),
+    ) {
+        let mut table = ShardTable::new(vec![vec![0, 1]], poison_after);
+        let mut real = 0u32;
+        for (i, counts) in kills.iter().enumerate() {
+            if table.is_poisoned(0) {
+                break;
+            }
+            let leased = table.lease_next(i % SLOTS, i as u64);
+            prop_assert!(leased.is_some());
+            let fate = table.fail(0, *counts);
+            if *counts {
+                real += 1;
+            }
+            if real >= poison_after {
+                prop_assert_eq!(fate, ShardFate::Poisoned);
+            } else {
+                let requeued = matches!(fate, ShardFate::Requeued { .. });
+                prop_assert!(requeued, "expected a requeue below the poison threshold");
+            }
+        }
+        prop_assert_eq!(table.is_poisoned(0), real >= poison_after);
+    }
+}

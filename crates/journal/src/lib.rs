@@ -170,6 +170,10 @@ impl State {
             } => {
                 self.quarantine.insert((input_fp, dense), reason);
             }
+            // Spool-only: workers write these into their private segments;
+            // the supervisor folds them into ProgramOutcome records before
+            // anything reaches a campaign WAL. Ignore defensively.
+            Record::ShardUnit { .. } => {}
         }
     }
 

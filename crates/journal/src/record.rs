@@ -60,6 +60,15 @@ pub enum Record {
         dense: u64,
         reason: u8,
     },
+    /// One unit of a fleet shard, written by a worker process into its
+    /// private spool segment. Spool-only: the supervisor folds these into
+    /// `ProgramOutcome` records when it merges segments in plan order, so
+    /// a campaign WAL never contains one. `State::apply` ignores them.
+    ShardUnit {
+        index: u64,
+        outcome: u8,
+        recovered: bool,
+    },
 }
 
 /// Why a payload failed to decode. Reaching this for a frame that passed
@@ -94,6 +103,7 @@ const TAG_EVAL: u8 = 5;
 const TAG_ACCEPTED: u8 = 6;
 const TAG_SELECTION: u8 = 7;
 const TAG_QUARANTINE: u8 = 8;
+const TAG_SHARD_UNIT: u8 = 9;
 
 fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -212,6 +222,16 @@ impl Record {
                 put_u64(buf, *dense);
                 buf.push(*reason);
             }
+            Record::ShardUnit {
+                index,
+                outcome,
+                recovered,
+            } => {
+                buf.push(TAG_SHARD_UNIT);
+                put_u64(buf, *index);
+                buf.push(*outcome);
+                buf.push(u8::from(*recovered));
+            }
         }
     }
 
@@ -274,6 +294,11 @@ impl Record {
                 input_fp: r.u64()?,
                 dense: r.u64()?,
                 reason: r.u8()?,
+            },
+            TAG_SHARD_UNIT => Record::ShardUnit {
+                index: r.u64()?,
+                outcome: r.u8()?,
+                recovered: r.u8()? != 0,
             },
             t => return Err(DecodeError::UnknownTag(t)),
         };
@@ -342,6 +367,16 @@ mod tests {
             input_fp: 14,
             dense: 15,
             reason: 1,
+        });
+        rt(Record::ShardUnit {
+            index: 16,
+            outcome: 2,
+            recovered: true,
+        });
+        rt(Record::ShardUnit {
+            index: u64::MAX,
+            outcome: 0,
+            recovered: false,
         });
     }
 

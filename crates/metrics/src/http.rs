@@ -5,21 +5,39 @@
 //! * `GET /metrics` — Prometheus text format from the [`Registry`]
 //! * `GET /status`  — the [`StatusBoard`] JSON document
 //!
-//! Everything else is 404. Requests are handled sequentially on one
-//! accept-loop thread (scrapers poll at seconds-scale; this is not a web
-//! server), every response carries `Content-Length` and
-//! `Connection: close`, and `Drop` shuts the thread down by flagging stop
-//! and poking the listener with a loopback connect.
+//! Everything else is 404. Each connection is handled on its own short-
+//! lived thread so one stalled scraper cannot wedge the rest, but the
+//! server is hardened against misbehaving clients: at most
+//! [`MAX_CONNS`] connections are served concurrently (excess gets an
+//! immediate 503), a request head larger than [`MAX_HEAD_BYTES`] gets
+//! 431, and reads/writes carry short timeouts. Every response carries
+//! `Content-Length` and `Connection: close`, and `Drop` shuts the accept
+//! loop down by flagging stop and poking the listener with a loopback
+//! connect.
 
 use crate::expo::render_prometheus;
 use crate::registry::Registry;
 use crate::status::StatusBoard;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Hard cap on the request head (request line + headers). These
+/// endpoints carry no request semantics beyond the path, so anything
+/// bigger is a client bug or abuse.
+const MAX_HEAD_BYTES: usize = 8192;
+
+/// Hard cap on concurrently served connections. Scrapers poll at
+/// seconds-scale; beyond this the server answers 503 immediately instead
+/// of queueing unbounded work.
+const MAX_CONNS: usize = 8;
+
+/// Bound on how many request bytes a rejected connection drains before
+/// the 431 goes out (so the response isn't lost to a reset on close).
+const MAX_DRAIN_BYTES: usize = 64 * 1024;
 
 /// Handle to the running server; dropping it stops the accept loop.
 pub struct StatusServer {
@@ -73,12 +91,38 @@ fn accept_loop(
     board: Arc<StatusBoard>,
     stop: Arc<AtomicBool>,
 ) {
+    let active = Arc::new(AtomicUsize::new(0));
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = conn else { continue };
-        let _ = handle_conn(stream, &registry, &board);
+        // Reserve a slot before spawning; over the cap the connection is
+        // answered 503 right here, so a scraper storm cannot balloon the
+        // thread count or queue unbounded work.
+        if active.fetch_add(1, Ordering::SeqCst) >= MAX_CONNS {
+            active.fetch_sub(1, Ordering::SeqCst);
+            let _ = respond(
+                stream,
+                "503 Service Unavailable",
+                "text/plain; charset=utf-8",
+                "too many concurrent connections\n",
+            );
+            continue;
+        }
+        let reg2 = registry.clone();
+        let board2 = board.clone();
+        let active2 = active.clone();
+        let spawned = std::thread::Builder::new()
+            .name("minpsid-status-conn".into())
+            .spawn(move || {
+                let _ = handle_conn(stream, &reg2, &board2);
+                active2.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            // the handler (and its slot release) never ran
+            active.fetch_sub(1, Ordering::SeqCst);
+        }
     }
 }
 
@@ -94,17 +138,40 @@ fn handle_conn(
     // these endpoints have no request semantics beyond the path).
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
+    let mut too_large = false;
     loop {
         match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => {
                 buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+                if buf.len() > MAX_HEAD_BYTES {
+                    too_large = true;
                     break;
                 }
             }
             Err(_) => break,
         }
+    }
+    if too_large {
+        // Drain what the client already sent (bounded, until EOF or the
+        // read timeout) so the rejection isn't lost to a reset when the
+        // socket closes with unread bytes pending.
+        let mut drained = buf.len();
+        while drained < MAX_DRAIN_BYTES {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => drained += n,
+            }
+        }
+        return respond(
+            stream,
+            "431 Request Header Fields Too Large",
+            "text/plain; charset=utf-8",
+            "request head too large\n",
+        );
     }
 
     let head = String::from_utf8_lossy(&buf);
@@ -135,6 +202,12 @@ fn handle_conn(
         }
     };
 
+    respond(stream, status, ctype, &body)
+}
+
+/// Write one complete `Connection: close` response.
+fn respond(mut stream: TcpStream, status: &str, ctype: &str, body: &str) -> std::io::Result<()> {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
     let head = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
@@ -189,6 +262,47 @@ mod tests {
                 TcpStream::connect(addr).is_err()
             }
         );
+    }
+
+    #[test]
+    fn oversize_request_head_is_rejected_with_431() {
+        let reg = Arc::new(Registry::new());
+        let board = Arc::new(StatusBoard::new());
+        let srv = StatusServer::bind("127.0.0.1:0", reg, board).unwrap();
+        let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+        // a request line that never terminates its head, past the cap
+        s.write_all(b"GET /metrics HTTP/1.1\r\nX-Junk: ").unwrap();
+        s.write_all(&vec![b'a'; MAX_HEAD_BYTES + 1024]).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 431"), "got: {resp}");
+    }
+
+    #[test]
+    fn concurrent_connections_are_bounded_with_503() {
+        let reg = Arc::new(Registry::new());
+        let board = Arc::new(StatusBoard::new());
+        let srv = StatusServer::bind("127.0.0.1:0", reg, board).unwrap();
+        let addr = srv.local_addr();
+        // saturate every slot with idle connections (their handlers park
+        // in read() until the 500ms timeout)
+        let idle: Vec<TcpStream> = (0..MAX_CONNS)
+            .map(|_| TcpStream::connect(addr).unwrap())
+            .collect();
+        std::thread::sleep(Duration::from_millis(150));
+        // Send nothing: the server answers 503 without reading the
+        // request, so an unread request body can't turn the close into a
+        // reset that races the response away.
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 503"), "got: {resp}");
+        drop(idle);
+        // slots free up once the idle handlers time out; service resumes
+        std::thread::sleep(Duration::from_millis(700));
+        let (head, _) = get(addr, "/status");
+        assert!(head.starts_with("HTTP/1.1 200"), "got: {head}");
     }
 
     #[test]

@@ -15,6 +15,10 @@ pub enum FailureKind {
     Panic,
     /// The per-injection wall-clock budget blew.
     Timeout,
+    /// The work killed its executor *process* (abort, OOM, segfault)
+    /// repeatedly: the fleet supervisor declared the shard poisoned after
+    /// K consecutive worker deaths and quarantined its injections.
+    PoisonedShard,
 }
 
 impl FailureKind {
@@ -23,6 +27,7 @@ impl FailureKind {
         match self {
             FailureKind::Panic => 0,
             FailureKind::Timeout => 1,
+            FailureKind::PoisonedShard => 2,
         }
     }
 
@@ -32,6 +37,7 @@ impl FailureKind {
         match b {
             0 => Some(FailureKind::Panic),
             1 => Some(FailureKind::Timeout),
+            2 => Some(FailureKind::PoisonedShard),
             _ => None,
         }
     }
@@ -40,6 +46,7 @@ impl FailureKind {
         match self {
             FailureKind::Panic => "panic",
             FailureKind::Timeout => "timeout",
+            FailureKind::PoisonedShard => "poisoned-shard",
         }
     }
 }
@@ -85,10 +92,14 @@ mod tests {
 
     #[test]
     fn failure_kind_bytes_round_trip() {
-        for k in [FailureKind::Panic, FailureKind::Timeout] {
+        for k in [
+            FailureKind::Panic,
+            FailureKind::Timeout,
+            FailureKind::PoisonedShard,
+        ] {
             assert_eq!(FailureKind::from_u8(k.to_u8()), Some(k));
         }
-        assert_eq!(FailureKind::from_u8(2), None);
+        assert_eq!(FailureKind::from_u8(3), None);
     }
 
     #[test]

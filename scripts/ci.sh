@@ -56,9 +56,12 @@ diff "$TRACE_TMP/uninterrupted.txt" "$TRACE_TMP/resumed.txt"
 
 echo "== chaos smoke (worker panics degrade to engine errors)"
 # --max-retries 0: with the default retry budget the scheduler would heal
-# these injected panics and no engine-err line would ever appear
-"$CLI" fi pathfinder --quick --seed 42 --chaos-panic-one-in 40 --max-retries 0 \
-  --quiet 2>/dev/null | grep -q "engine-err"
+# these injected panics and no engine-err line would ever appear.
+# Capture-then-grep, not a pipe: `grep -q` exits at the first match and
+# the CLI's next line-buffered println would flakily panic on EPIPE.
+CHAOS_OUT="$("$CLI" fi pathfinder --quick --seed 42 --chaos-panic-one-in 40 \
+  --max-retries 0 --quiet 2>/dev/null)"
+grep -q "engine-err" <<<"$CHAOS_OUT"
 
 echo "== chaos matrix (panic x timeout x deadline: always exit 0 + valid report)"
 # every cell must terminate cleanly and print a completeness score; the
@@ -75,9 +78,9 @@ for CHAOS in "--chaos-panic-one-in 50" "--chaos-timeout-one-in 50" \
   done
 done
 # an already-expired deadline still exits 0 with an honest (<1) score
-"$CLI" fi pathfinder --quick --seed 42 --chaos-panic-one-in 50 \
-  --chaos-timeout-one-in 50 --deadline-secs 0 --quiet 2>/dev/null \
-  | grep -q "^completeness: 0.0000"
+EXPIRED_OUT="$("$CLI" fi pathfinder --quick --seed 42 --chaos-panic-one-in 50 \
+  --chaos-timeout-one-in 50 --deadline-secs 0 --quiet 2>/dev/null)"
+grep -q "^completeness: 0.0000" <<<"$EXPIRED_OUT"
 
 echo "== quarantine-cap smoke (quarantined sites never exceed the cap)"
 # timeouts on every injection + no retries: every site wants quarantine,
@@ -101,6 +104,65 @@ diff "$TRACE_TMP/eq-fi-t1.txt" "$TRACE_TMP/eq-fi-t4.txt"
 "$CLI" minpsid "${EQ_ARGS[@]}" --level 0.5 --threads 4 \
   --journal "$TRACE_TMP/eq-journal-t4" > "$TRACE_TMP/eq-mp-t4.txt" 2>/dev/null
 diff "$TRACE_TMP/eq-mp-t1.txt" "$TRACE_TMP/eq-mp-t4.txt"
+
+echo "== fleet-identity smoke (--workers vs --threads: reports + WAL byte-identical)"
+FLEET_ARGS=(fi fft --injections 300 --seed 42)
+"$CLI" "${FLEET_ARGS[@]}" --threads 4 --journal "$TRACE_TMP/fleet-j-threads" \
+  > "$TRACE_TMP/fleet-threads.txt" 2>/dev/null
+"$CLI" "${FLEET_ARGS[@]}" --workers 4 --journal "$TRACE_TMP/fleet-j-workers" \
+  > "$TRACE_TMP/fleet-workers.txt" 2>/dev/null
+diff "$TRACE_TMP/fleet-threads.txt" "$TRACE_TMP/fleet-workers.txt"
+cmp "$TRACE_TMP/fleet-j-threads/campaign.wal" "$TRACE_TMP/fleet-j-workers/campaign.wal"
+
+echo "== fleet chaos matrix (kill-worker x poison-shard x SIGTERM-resume)"
+# cell 1: random SIGKILLs every 20ms must not change a report or WAL byte
+"$CLI" "${FLEET_ARGS[@]}" --workers 4 --chaos-kill-worker-ms 20 \
+  --journal "$TRACE_TMP/fleet-j-chaos" > "$TRACE_TMP/fleet-chaos.txt" 2>/dev/null
+diff "$TRACE_TMP/fleet-threads.txt" "$TRACE_TMP/fleet-chaos.txt"
+cmp "$TRACE_TMP/fleet-j-threads/campaign.wal" "$TRACE_TMP/fleet-j-chaos/campaign.wal"
+# cell 2: a shard that aborts its worker on every attempt is quarantined
+# as poisoned; the campaign exits 0 with an honest (<1) completeness
+POISON_OUT="$("$CLI" fi fft --quick --seed 42 --workers 2 \
+  --chaos-poison-unit 5 --poison-after 2 2>/dev/null)"
+echo "$POISON_OUT" | grep -q "quarantined:" \
+  || { echo "poisoned shard not surfaced in the report"; exit 1; }
+echo "$POISON_OUT" | grep -q "^completeness: 0\." \
+  || { echo "poisoned shard not reflected in completeness"; exit 1; }
+# cell 3: SIGTERM a parked fleet run, then resume to an identical report
+"$CLI" fi fft --quick --seed 42 --threads 2 > "$TRACE_TMP/fleet-ref.txt" 2>/dev/null
+"$CLI" fi fft --quick --seed 42 --workers 2 --chaos-hang-unit 2 \
+  --fleet-lease-ms 3600000 --journal "$TRACE_TMP/fleet-j-term" \
+  > /dev/null 2>&1 &
+FLEET_VICTIM=$!
+sleep 1.5
+kill -TERM "$FLEET_VICTIM" 2>/dev/null || true
+wait "$FLEET_VICTIM" 2>/dev/null || true
+test -s "$TRACE_TMP/fleet-j-term/campaign.wal"
+"$CLI" fi fft --quick --seed 42 --workers 2 --resume "$TRACE_TMP/fleet-j-term" \
+  > "$TRACE_TMP/fleet-resumed.txt" 2>/dev/null
+diff "$TRACE_TMP/fleet-ref.txt" "$TRACE_TMP/fleet-resumed.txt"
+
+echo "== fleet-overhead guard (fleet_overhead_pct <= 5% in committed baseline)"
+# process isolation buys crash containment; the committed bench baseline
+# carries its measured cost. Skips gracefully when the baseline predates
+# the fleet columns.
+python3 - <<'EOF'
+import json, sys
+try:
+    d = json.load(open("BENCH_fi_throughput.json"))
+    rows = [r for r in d.get("workloads", []) if "fleet_overhead_pct" in r]
+except Exception:
+    rows = []
+if not rows:
+    print("fleet guard: baseline lacks fleet_overhead_pct, skipping")
+    sys.exit(0)
+bad = False
+for r in rows:
+    pct = r["fleet_overhead_pct"]
+    print(f"fleet guard: {r['name']} overhead {pct:+.2f}% (budget 5%)")
+    bad = bad or pct > 5.0
+sys.exit(1 if bad else 0)
+EOF
 
 echo "== interpreter-equivalence smoke (legacy vs decoded dispatch, 11 kernels)"
 # the pre-decoded hot loop and the legacy tree-walking loop must produce
