@@ -25,10 +25,11 @@ use minpsid_interp::{ExecConfig, Interp, ProgInput, Scalar};
 use minpsid_ir::printer::print_module;
 use minpsid_ir::Module;
 use minpsid_sid::{run_sid, SidConfig};
+use minpsid_store::ArtifactStore;
 use minpsid_trace as trace;
 use std::io::{IsTerminal as _, Write as _};
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Set by `--quiet`: suppresses the CLI's stderr diagnostics (primary
@@ -38,6 +39,14 @@ static QUIET: AtomicBool = AtomicBool::new(false);
 fn quiet() -> bool {
     QUIET.load(Ordering::Relaxed)
 }
+
+/// A command that succeeded but wants a distinguishing exit code (e.g.
+/// `store scrub` found and quarantined corruption: the store is healthy
+/// again but CI must notice). 0 = plain success.
+static EXIT_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// `store scrub` exit code when the pass quarantined corrupt objects.
+const SCRUB_CORRUPTION_EXIT: u8 = 3;
 
 /// All CLI stderr diagnostics go through here so `--quiet` silences them
 /// in one place.
@@ -58,6 +67,20 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     if rest.iter().any(|a| a == "--quiet") {
         QUIET.store(true, Ordering::Relaxed);
+    }
+    // Chaos knob for the artifact store, deliberately outside every
+    // config fingerprint: flips a bit in stored artifacts to prove the
+    // store detects, quarantines, and recomputes. Parsed before
+    // dispatch so every store this process (or a re-exec'd worker)
+    // opens inherits it.
+    if let Some(v) = flag_value(rest, "--chaos-flip-artifact-one-in") {
+        match v.parse::<u64>() {
+            Ok(n) => minpsid_store::chaos::set_flip_one_in(n),
+            Err(_) => {
+                eprintln!("error: bad --chaos-flip-artifact-one-in `{v}` (want a count, 0 = off)");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if let Some(path) = flag_value(rest, "--trace-out") {
         if let Err(e) = trace::init_file(&path) {
@@ -98,6 +121,7 @@ fn main() -> ExitCode {
         "propagate" => cmd_propagate(rest),
         "sid" => cmd_sid(rest),
         "minpsid" => cmd_minpsid(rest),
+        "store" => cmd_store(rest),
         "trace" => cmd_trace(rest),
         "help" | "--help" | "-h" => {
             usage();
@@ -109,7 +133,10 @@ fn main() -> ExitCode {
         .and_then(|()| finish_interp_profile(rest))
         .and_then(|()| trace::shutdown().map_err(|e| format!("writing trace log: {e}")));
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => match EXIT_OVERRIDE.load(Ordering::Relaxed) {
+            0 => ExitCode::SUCCESS,
+            n => ExitCode::from(n),
+        },
         Err(e) => {
             let _ = trace::shutdown();
             eprintln!("error: {e}");
@@ -297,6 +324,10 @@ usage:
   minpsid minpsid <bench> [--level 0.5] [--seed S] [--json]
   minpsid trace report <log.jsonl> [-o out/]   # analyze a trace log
   minpsid trace check <log.jsonl>              # validate a trace log
+  minpsid store scrub <dir>              # verify every object; exit 3 if
+                                         # corruption was found+quarantined
+  minpsid store gc <dir>                 # drop unreferenced objects
+  minpsid store ls <dir>                 # list objects with back-refs
 
 FI campaign options (fi/analyze/sid/minpsid):
   --injections N            whole-program campaign size (default 1000)
@@ -365,6 +396,19 @@ crash-safe journal (fi/minpsid):
   --resume DIR              resume a journaled run (same flags required)
   --max-inputs N            cap on searched inputs (minpsid; default 25)
   --golden-cache-cap N      LRU-evict golden runs beyond N cache entries
+
+self-verifying artifact store (fi/minpsid):
+  --store DIR               persist golden runs, checkpoints, and WAL
+                            snapshots in a content-addressed store at
+                            DIR (default <journal>/store when journaled;
+                            artifacts are digest-verified on load —
+                            corruption is quarantined and recomputed,
+                            never served)
+  --chaos-flip-artifact-one-in N
+                            test harness: flip one bit in every Nth
+                            published artifact between write and read;
+                            reports must not change (corruption is
+                            detected and healed by recompute)
 
 live observability:
   --status-addr ADDR        serve /metrics (Prometheus text) and /status
@@ -588,6 +632,87 @@ fn cmd_fi(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The self-verifying artifact store backing a run: `--store DIR`, or
+/// `<journal>/store` when the run is journaled. `None` when neither is
+/// given — campaigns then recompute everything in memory as before.
+fn open_run_store(rest: &[String]) -> Result<Option<Arc<ArtifactStore>>, String> {
+    let dir = match flag_value(rest, "--store") {
+        Some(d) => Some(std::path::PathBuf::from(d)),
+        None => flag_value(rest, "--journal")
+            .or_else(|| flag_value(rest, "--resume"))
+            .map(|d| std::path::PathBuf::from(d).join("store")),
+    };
+    match dir {
+        None => Ok(None),
+        Some(d) => ArtifactStore::open(&d)
+            .map(|s| Some(Arc::new(s)))
+            .map_err(|e| format!("opening artifact store {}: {e}", d.display())),
+    }
+}
+
+/// `minpsid store <scrub|gc|ls> <dir>` — offline maintenance of an
+/// artifact store. `scrub` exits with [`SCRUB_CORRUPTION_EXIT`] when it
+/// quarantined corrupt objects, so CI can distinguish "store verified
+/// clean" from "corruption found (and neutralized)".
+fn cmd_store(rest: &[String]) -> Result<(), String> {
+    let sub = rest
+        .first()
+        .map(|s| s.as_str())
+        .ok_or("missing store subcommand (scrub|gc|ls)")?;
+    let dir = flag_value(rest, "--store")
+        .or_else(|| rest.get(1).filter(|s| !s.starts_with("--")).cloned())
+        .ok_or("missing store directory (pass a path or --store DIR)")?;
+    let store = ArtifactStore::open(std::path::Path::new(&dir))
+        .map_err(|e| format!("opening artifact store {dir}: {e}"))?;
+    match sub {
+        "scrub" => {
+            let r = store.scrub().map_err(|e| format!("scrub: {e}"))?;
+            println!("scrubbed {} objects ({} bytes)", r.objects, r.bytes);
+            for (hex, kind) in &r.quarantined {
+                println!("  quarantined: {kind} {hex}");
+            }
+            for name in &r.dangling_refs {
+                println!("  dangling ref: {name} (target recomputes on next run)");
+            }
+            if r.found_corruption() {
+                EXIT_OVERRIDE.store(SCRUB_CORRUPTION_EXIT, Ordering::Relaxed);
+                diag!(
+                    "scrub: {} corrupt objects quarantined; \
+                     affected artifacts will be recomputed",
+                    r.quarantined.len()
+                );
+            } else {
+                println!("store clean");
+            }
+            Ok(())
+        }
+        "gc" => {
+            let r = store.gc().map_err(|e| format!("gc: {e}"))?;
+            println!(
+                "gc: kept {}, removed {} ({} bytes freed), swept {} stale tmp files",
+                r.kept, r.removed, r.bytes_freed, r.tmp_swept
+            );
+            Ok(())
+        }
+        "ls" => {
+            for e in store.ls().map_err(|e| format!("ls: {e}"))? {
+                println!(
+                    "{} {:>10} {}",
+                    e.digest,
+                    e.bytes,
+                    if e.refs.is_empty() {
+                        "(unreferenced)".to_string()
+                    } else {
+                        e.refs.join(" ")
+                    }
+                );
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown store subcommand `{other}` (scrub|gc|ls)")),
+    }
+}
+
 /// Journal key for `fi` campaigns. [`config_fingerprint`] hashes only
 /// the golden-run-relevant fields; a whole-program campaign's recorded
 /// outcomes additionally depend on the seed and the plan size, so both
@@ -618,8 +743,13 @@ fn open_fi_journal(
             dir.display()
         ));
     }
-    let j = CampaignJournal::open(&dir, module_fingerprint(module), fi_journal_key(campaign))
-        .map_err(|e| format!("opening journal: {e}"))?;
+    let j = CampaignJournal::open_with_store(
+        &dir,
+        module_fingerprint(module),
+        fi_journal_key(campaign),
+        open_run_store(rest)?,
+    )
+    .map_err(|e| format!("opening journal: {e}"))?;
     let (recovered, truncated) = j.recovery_stats();
     if recovered > 0 || truncated > 0 {
         diag!("journal: recovered {recovered} records ({truncated} torn-tail bytes truncated)");
@@ -709,6 +839,7 @@ const FLEET_SUPERVISOR_FLAGS: &[(&str, bool)] = &[
     ("--threads", true),
     ("--journal", true),
     ("--resume", true),
+    ("--store", true),
     ("--trace-out", true),
     ("--status-addr", true),
     ("--fleet-lease-ms", true),
@@ -880,16 +1011,17 @@ fn cmd_fi_fleet(name: &str, rest: &[String], workers: usize) -> Result<(), Strin
     }
     let _ = std::fs::remove_dir_all(&spool);
 
-    if fo.stats.deaths > 0 || fo.stats.poisoned_shards > 0 {
+    if fo.stats.deaths > 0 || fo.stats.poisoned_shards > 0 || fo.stats.corrupt_segments > 0 {
         diag!(
             "fleet: {} spawns, {} deaths ({} chaos kills, {} lease expiries), \
-             {} shards reassigned, {} poisoned",
+             {} shards reassigned, {} poisoned, {} corrupt segments re-executed",
             fo.stats.spawns,
             fo.stats.deaths,
             fo.stats.chaos_kills,
             fo.stats.lease_expiries,
             fo.stats.reassigned,
-            fo.stats.poisoned_shards
+            fo.stats.poisoned_shards,
+            fo.stats.corrupt_segments
         );
     }
     if fo.interrupted || missing > 0 {
@@ -1173,9 +1305,16 @@ fn cmd_minpsid(rest: &[String]) -> Result<(), String> {
     )? {
         cfg.max_inputs = n as usize;
     }
-    let cache = match parse_positive(rest, "--golden-cache-cap", "want a positive entry count")? {
-        Some(n) => GoldenCache::with_capacity(n as usize),
-        None => GoldenCache::new(),
+    // One store instance backs both tiers of persistence: the golden
+    // cache's cross-invocation artifacts and the journal's compacted
+    // WAL snapshots.
+    let store = open_run_store(rest)?;
+    let cap = parse_positive(rest, "--golden-cache-cap", "want a positive entry count")?
+        .map(|n| n as usize)
+        .unwrap_or(0);
+    let cache = match &store {
+        Some(s) => GoldenCache::with_store(cap, s.clone()),
+        None => GoldenCache::with_capacity(cap),
     };
 
     let resume = flag_value(rest, "--resume");
@@ -1189,10 +1328,11 @@ fn cmd_minpsid(rest: &[String]) -> Result<(), String> {
                 dir.display()
             ));
         }
-        let j = CampaignJournal::open(
+        let j = CampaignJournal::open_with_store(
             &dir,
             module_fingerprint(&module),
             minpsid_config_fingerprint(&cfg),
+            store.clone(),
         )
         .map_err(|e| format!("opening journal: {e}"))?;
         let (recovered, truncated) = j.recovery_stats();
@@ -1302,15 +1442,26 @@ fn print_run_telemetry(t: &minpsid::Timings, cache: &GoldenCache) {
     row("input search", t.search);
     row("select+xform", t.other);
     row("total", t.total());
-    let lookups = cache.hits() + cache.misses();
+    let lookups = cache.hits() + cache.misses() + cache.disk_hits();
     if lookups > 0 {
         diag!(
-            "  golden cache   {} hits / {} misses ({:.0}% hit rate, {} entries)",
+            "  golden cache   {} hits / {} disk hits / {} misses ({:.0}% hit rate, {} entries)",
             cache.hits(),
+            cache.disk_hits(),
             cache.misses(),
-            cache.hits() as f64 / lookups as f64 * 100.0,
+            (cache.hits() + cache.disk_hits()) as f64 / lookups as f64 * 100.0,
             cache.len()
         );
+    }
+    if let Some(s) = cache.store() {
+        if let Ok(q) = s.quarantined_count() {
+            if q > 0 {
+                diag!(
+                    "  artifact store {q} quarantined objects (recomputed; \
+                     inspect with `minpsid store ls`)"
+                );
+            }
+        }
     }
 }
 
@@ -1335,6 +1486,7 @@ fn minpsid_json(
     timings.set("total_s", Json::F64(r.timings.total().as_secs_f64()));
     let mut cache_obj = Json::obj();
     cache_obj.set("hits", Json::U64(cache.hits()));
+    cache_obj.set("disk_hits", Json::U64(cache.disk_hits()));
     cache_obj.set("misses", Json::U64(cache.misses()));
     cache_obj.set("entries", Json::U64(cache.len() as u64));
     let mut o = Json::obj();

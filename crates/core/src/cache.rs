@@ -21,10 +21,16 @@
 use minpsid_faultsim::{golden_run, CampaignConfig, GoldenRun};
 use minpsid_interp::{Output, OutputItem, ProgInput, Scalar, Stream, Termination};
 use minpsid_ir::Module;
+use minpsid_store::ArtifactStore;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Store artifact class for a golden run's meta (output+profile+steps).
+pub const GOLDEN_ARTIFACT: &str = "golden";
+/// Store artifact class for a golden run's checkpoint store.
+pub const CKPT_ARTIFACT: &str = "ckpt";
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -156,6 +162,11 @@ pub fn config_fingerprint(cfg: &CampaignConfig) -> u64 {
 
 type Key = (u64, u64, u64);
 
+/// Store ref name of a golden run: the fingerprint triple, hex.
+fn ref_name((m, i, c): Key) -> String {
+    format!("{m:016x}-{i:016x}-{c:016x}")
+}
+
 /// A cached golden run stamped with its last-use tick for LRU eviction.
 struct Entry {
     run: Arc<GoldenRun>,
@@ -171,6 +182,13 @@ struct Entry {
 /// when full, the least-recently-used entry is evicted before inserting a
 /// new one. The default capacity is unbounded (`cap == 0`), preserving the
 /// old behaviour for short pipelines.
+/// With [`GoldenCache::with_store`], evicted or cold entries fall back
+/// to a content-addressed on-disk tier that survives process restarts:
+/// each golden run is persisted as two independently corruptible
+/// artifacts (`golden` meta and `ckpt` checkpoint store). Loads are
+/// digest-verified by the store — an artifact that rots on disk is
+/// quarantined and the run is recomputed and republished, never served
+/// corrupt.
 #[derive(Default)]
 pub struct GoldenCache {
     map: Mutex<HashMap<Key, Entry>>,
@@ -179,6 +197,8 @@ pub struct GoldenCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    store: Option<Arc<ArtifactStore>>,
+    disk_hits: AtomicU64,
 }
 
 impl GoldenCache {
@@ -196,9 +216,26 @@ impl GoldenCache {
         }
     }
 
+    /// A capped cache backed by a content-addressed artifact store:
+    /// entries missing from memory are loaded (digest-verified) from the
+    /// store, and fresh computes are published back, so golden runs
+    /// survive across CLI invocations.
+    pub fn with_store(cap: usize, store: Arc<ArtifactStore>) -> Self {
+        GoldenCache {
+            cap,
+            store: Some(store),
+            ..GoldenCache::default()
+        }
+    }
+
     /// The configured capacity (`0` = unbounded).
     pub fn capacity(&self) -> usize {
         self.cap
+    }
+
+    /// The backing artifact store, if one is attached.
+    pub fn store(&self) -> Option<&Arc<ArtifactStore>> {
+        self.store.as_ref()
     }
 
     /// The golden run of (module, input) under `cfg`, computed at most
@@ -221,11 +258,25 @@ impl GoldenCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(&e.run));
         }
+        // Disk tier: a verified load from the store skips the recompute.
+        // A corrupt artifact was already quarantined by the store — it
+        // can never be served — so we fall through to recompute.
+        if let Some(g) = self.load_from_store(key) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.insert(key, &g);
+            return Ok(g);
+        }
         // Compute outside the lock so concurrent misses on different keys
         // don't serialize. Two threads racing on the *same* key compute
         // identical results (determinism), so last-write-wins is benign.
         let g = Arc::new(golden_run(module, input, cfg)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.publish_to_store(key, &g);
+        self.insert(key, &g);
+        Ok(g)
+    }
+
+    fn insert(&self, key: Key, g: &Arc<GoldenRun>) {
         let mut map = self.map.lock().unwrap();
         if self.cap > 0 && !map.contains_key(&key) && map.len() >= self.cap {
             let oldest = map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| *k);
@@ -237,11 +288,52 @@ impl GoldenCache {
         map.insert(
             key,
             Entry {
-                run: Arc::clone(&g),
+                run: Arc::clone(g),
                 tick: self.tick.fetch_add(1, Ordering::Relaxed),
             },
         );
-        Ok(g)
+    }
+
+    /// Verified load of both wire artifacts from the store. `None` on
+    /// any failure: absent refs, a digest mismatch (the store has
+    /// already quarantined the object and emitted a `store_event`), an
+    /// I/O error, or a wire decode error — all degrade to recompute.
+    fn load_from_store(&self, key: Key) -> Option<Arc<GoldenRun>> {
+        let store = self.store.as_ref()?;
+        let name = ref_name(key);
+        let fetch = |kind: &str| match store.load_named(kind, &name) {
+            Ok(Some((_, bytes))) => Some(bytes),
+            Ok(None) => None,
+            Err(minpsid_store::StoreError::Corrupt { quarantined, .. }) => {
+                eprintln!(
+                    "minpsid: STORE CORRUPTION: cached {kind} artifact {name} failed digest \
+                     verification; quarantined to {} and recomputing",
+                    quarantined.display(),
+                );
+                None
+            }
+            Err(_) => None,
+        };
+        let meta = fetch(GOLDEN_ARTIFACT)?;
+        let ckpt = fetch(CKPT_ARTIFACT)?;
+        GoldenRun::decode(&meta, &ckpt).ok().map(Arc::new)
+    }
+
+    /// Best-effort publish of a freshly computed run; persistence
+    /// failures degrade to a cold cache, never to a wrong result.
+    fn publish_to_store(&self, key: Key, g: &GoldenRun) {
+        let Some(store) = self.store.as_ref() else {
+            return;
+        };
+        let name = ref_name(key);
+        let publish = || -> std::io::Result<()> {
+            let meta = store.publish(GOLDEN_ARTIFACT, &g.encode_meta())?;
+            store.set_ref(GOLDEN_ARTIFACT, &name, &meta)?;
+            let ckpt = store.publish(CKPT_ARTIFACT, &g.encode_checkpoints())?;
+            store.set_ref(CKPT_ARTIFACT, &name, &ckpt)?;
+            Ok(())
+        };
+        let _ = publish();
     }
 
     pub fn hits(&self) -> u64 {
@@ -255,6 +347,12 @@ impl GoldenCache {
     /// How many entries LRU pressure has pushed out so far.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Golden runs served from the on-disk store tier (verified loads
+    /// that skipped a recompute).
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
     }
 
     pub fn len(&self) -> usize {
@@ -278,6 +376,7 @@ impl std::fmt::Debug for GoldenCache {
             .field("hits", &self.hits())
             .field("misses", &self.misses())
             .field("evictions", &self.evictions())
+            .field("disk_hits", &self.disk_hits())
             .finish()
     }
 }
@@ -410,6 +509,76 @@ mod tests {
         assert_eq!(cache.misses(), misses, "10 was retained");
         cache.golden(&m, &input(11), &cfg).unwrap();
         assert_eq!(cache.misses(), misses + 1, "11 was evicted");
+    }
+
+    fn store_dir(tag: &str) -> std::path::PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("minpsid-cache-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn store_tier_survives_cache_instances() {
+        let dir = store_dir("warm");
+        let m = module();
+        let cfg = CampaignConfig::quick(1);
+
+        let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+        let first = GoldenCache::with_store(0, store);
+        let a = first.golden(&m, &input(30), &cfg).unwrap();
+        assert_eq!(first.misses(), 1);
+        assert_eq!(first.disk_hits(), 0);
+
+        // a fresh cache (fresh process, conceptually) over the same store
+        // serves the run from disk without recomputing
+        let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+        let second = GoldenCache::with_store(0, store);
+        let b = second.golden(&m, &input(30), &cfg).unwrap();
+        assert_eq!(second.disk_hits(), 1);
+        assert_eq!(second.misses(), 0);
+        assert_eq!(b.output, a.output);
+        assert_eq!(b.steps, a.steps);
+        assert_eq!(b.checkpoints.len(), a.checkpoints.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite: an entry whose persisted artifacts fail digest
+    /// verification must be quarantined and recomputed — never served.
+    /// The chaos-flip knob corrupts each published artifact in place.
+    #[test]
+    fn corrupt_store_entry_is_quarantined_and_recomputed() {
+        let dir = store_dir("rot");
+        let m = module();
+        let cfg = CampaignConfig::quick(1);
+
+        // flip a bit in every published artifact (one-in-1)
+        let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+        store.set_chaos_flip(1);
+        let first = GoldenCache::with_store(0, store);
+        let a = first.golden(&m, &input(30), &cfg).unwrap();
+
+        // the rotted artifacts are detected on load, quarantined, and the
+        // run recomputed; the result is correct, not the corrupt bytes
+        let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+        let second = GoldenCache::with_store(0, Arc::clone(&store));
+        let b = second.golden(&m, &input(30), &cfg).unwrap();
+        assert_eq!(second.disk_hits(), 0, "corrupt entry must not be served");
+        assert_eq!(second.misses(), 1, "recomputed");
+        assert_eq!(b.output, a.output);
+        assert_eq!(b.steps, a.steps);
+        assert!(store.quarantined_count().unwrap() >= 1);
+
+        // recompute republished clean artifacts (the chaos marker files
+        // record each digest as already flipped, so they stay clean):
+        // a third instance now hits disk and scrub passes
+        let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+        let third = GoldenCache::with_store(0, Arc::clone(&store));
+        let c = third.golden(&m, &input(30), &cfg).unwrap();
+        assert_eq!(third.disk_hits(), 1);
+        assert_eq!(c.output, a.output);
+        assert!(!store.scrub().unwrap().found_corruption());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

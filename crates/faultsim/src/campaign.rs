@@ -139,6 +139,34 @@ pub struct GoldenRun {
     pub checkpoints: CheckpointStore,
 }
 
+impl GoldenRun {
+    /// Wire-encode the verdict surface (output, profile, steps) — the
+    /// store's `golden` artifact class.
+    pub fn encode_meta(&self) -> Vec<u8> {
+        minpsid_interp::wire::encode_golden(&self.output, &self.profile, self.steps)
+    }
+
+    /// Wire-encode the checkpoint store — the store's `ckpt` artifact
+    /// class, persisted separately because it dwarfs the meta and is
+    /// independently corruptible.
+    pub fn encode_checkpoints(&self) -> Vec<u8> {
+        minpsid_interp::wire::encode_checkpoints(&self.checkpoints)
+    }
+
+    /// Rebuild a golden run from its two wire images. Checked end to
+    /// end: malformed bytes produce an error, never a panic.
+    pub fn decode(meta: &[u8], ckpt: &[u8]) -> Result<GoldenRun, minpsid_interp::wire::WireError> {
+        let (output, profile, steps) = minpsid_interp::wire::decode_golden(meta)?;
+        let checkpoints = minpsid_interp::wire::decode_checkpoints(ckpt)?;
+        Ok(GoldenRun {
+            output,
+            profile,
+            steps,
+            checkpoints,
+        })
+    }
+}
+
 /// Execute the golden (fault-free, profiled) run and, unless disabled,
 /// capture its checkpoint store. Fails if the program does not exit
 /// cleanly — campaign inputs must be error-free, matching the paper's
@@ -341,6 +369,27 @@ mod tests {
         assert_eq!(g.output.len(), 1);
         assert!(g.profile.injectable_execs > 0);
         assert!(g.steps > 100);
+    }
+
+    #[test]
+    fn golden_run_round_trips_through_wire_images() {
+        let m = test_module();
+        let cfg = CampaignConfig::default(); // delta-mode checkpoints
+        let g = golden_run(&m, &input(60), &cfg).unwrap();
+        assert!(!g.checkpoints.is_empty());
+        let back = GoldenRun::decode(&g.encode_meta(), &g.encode_checkpoints()).unwrap();
+        assert_eq!(back.output, g.output);
+        assert_eq!(back.steps, g.steps);
+        assert_eq!(back.profile.inst_counts, g.profile.inst_counts);
+        assert_eq!(back.profile.injectable_execs, g.profile.injectable_execs);
+        assert_eq!(back.checkpoints.len(), g.checkpoints.len());
+        for i in 0..g.checkpoints.len() {
+            assert_eq!(back.checkpoints.steps_at(i), g.checkpoints.steps_at(i));
+            assert_eq!(back.checkpoints.inj_ctr_at(i), g.checkpoints.inj_ctr_at(i));
+        }
+        // encoding is deterministic, so the store dedups identical runs
+        assert_eq!(g.encode_meta(), back.encode_meta());
+        assert_eq!(g.encode_checkpoints(), back.encode_checkpoints());
     }
 
     #[test]

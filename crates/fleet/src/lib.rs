@@ -29,6 +29,9 @@ pub mod supervisor;
 pub mod worker;
 
 pub use shard::{plan_shards, OutcomeLedger, ShardFate, ShardTable};
-pub use spool::{read_segment, segment_path, SegmentWriter, SpooledUnit};
+pub use spool::{
+    read_segment, read_segment_verified, segment_path, segment_ref_name, SegmentWriter,
+    SpooledUnit, VerifiedSegment, SPOOL_ARTIFACT,
+};
 pub use supervisor::{run_fleet, FleetConfig, FleetOutcome, FleetStats};
-pub use worker::{drive_worker, run_worker};
+pub use worker::{drive_worker, run_worker, store_path};

@@ -10,11 +10,30 @@
 //! Torn tails are expected here — workers die mid-append by design
 //! (SIGKILL chaos) — and the journal's recovery scan simply drops them;
 //! every intact record before the tear is still salvageable.
+//!
+//! A completed segment is additionally *sealed* into the fleet's
+//! content-addressed store ([`SegmentWriter::seal`]): the synced bytes
+//! are published as a `spool` artifact and a ref named by the lease
+//! records its digest. The supervisor's
+//! [`read_segment_verified`] then loads through the store, so a
+//! segment that rots between the worker's fsync and the merge is
+//! detected, quarantined, and the shard recomputed — never folded
+//! into the ledger corrupt. The raw `.wal` file stays beside the
+//! store for interrupt salvage of unsealed (mid-lease) segments.
 
 use minpsid_journal::record::Record;
-use minpsid_journal::wal::{open_wal, read_wal, WalWriter};
+use minpsid_journal::wal::{open_wal, read_wal, scan_bytes, WalWriter};
+use minpsid_store::{ArtifactStore, StoreError};
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// Store artifact class for sealed spool segments.
+pub const SPOOL_ARTIFACT: &str = "spool";
+
+/// Store ref name of one `(shard, attempt)` lease's sealed segment.
+pub fn segment_ref_name(shard: u32, attempt: u32) -> String {
+    format!("shard{shard:05}-a{attempt:03}")
+}
 
 /// One executed unit as spooled by a worker: plan index, outcome byte
 /// (`Outcome::to_u8`), and whether the scheduler recovered it via retry.
@@ -39,6 +58,9 @@ pub fn segment_path(dir: &Path, shard: u32, attempt: u32) -> PathBuf {
 pub struct SegmentWriter {
     wal: WalWriter,
     pending: Vec<Record>,
+    path: PathBuf,
+    shard: u32,
+    attempt: u32,
 }
 
 impl SegmentWriter {
@@ -62,6 +84,9 @@ impl SegmentWriter {
         Ok(SegmentWriter {
             wal,
             pending: Vec::with_capacity(Self::BATCH),
+            path,
+            shard,
+            attempt,
         })
     }
 
@@ -94,6 +119,22 @@ impl SegmentWriter {
         self.flush()?;
         self.wal.sync()
     }
+
+    /// Sync the segment and publish its bytes into the store under a
+    /// ref named by this lease. After this, the supervisor's
+    /// [`read_segment_verified`] merges through the store — a segment
+    /// that rots on disk afterwards is caught by digest verification
+    /// instead of poisoning the campaign ledger.
+    pub fn seal(&mut self, store: &ArtifactStore) -> io::Result<()> {
+        self.sync()?;
+        let bytes = std::fs::read(&self.path)?;
+        let digest = store.publish(SPOOL_ARTIFACT, &bytes)?;
+        store.set_ref(
+            SPOOL_ARTIFACT,
+            &segment_ref_name(self.shard, self.attempt),
+            &digest,
+        )
+    }
 }
 
 /// Read every intact `ShardUnit` in a segment (supervisor side).
@@ -118,6 +159,64 @@ pub fn read_segment(dir: &Path, shard: u32, attempt: u32) -> io::Result<Vec<Spoo
             _ => None,
         })
         .collect())
+}
+
+/// Result of a store-verified segment read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifiedSegment {
+    /// The segment's intact units (sealed bytes verified against their
+    /// digest, or — for unsealed segments — the raw file's intact
+    /// prefix).
+    Units(Vec<SpooledUnit>),
+    /// The sealed bytes failed digest verification; the store has
+    /// quarantined the object and the shard must be re-executed.
+    Corrupt,
+}
+
+/// Read a segment through the store, verifying sealed bytes against
+/// their published digest (supervisor side).
+///
+/// A segment with no ref was never sealed — the worker died before
+/// `SHARD_DONE`, or predates the store — and falls back to the raw
+/// torn-tail-tolerant [`read_segment`]. A sealed segment whose bytes
+/// fail verification returns [`VerifiedSegment::Corrupt`]; the store
+/// has already quarantined the object, so the shard's next attempt
+/// republishes fresh bytes.
+pub fn read_segment_verified(
+    store: &ArtifactStore,
+    dir: &Path,
+    shard: u32,
+    attempt: u32,
+) -> io::Result<VerifiedSegment> {
+    match store.load_named(SPOOL_ARTIFACT, &segment_ref_name(shard, attempt)) {
+        Ok(Some((_, bytes))) => {
+            let units = scan_bytes(&bytes)
+                .records
+                .into_iter()
+                .filter_map(|r| match r {
+                    Record::ShardUnit {
+                        index,
+                        outcome,
+                        recovered,
+                    } => Some(SpooledUnit {
+                        index,
+                        outcome,
+                        recovered,
+                    }),
+                    _ => None,
+                })
+                .collect();
+            Ok(VerifiedSegment::Units(units))
+        }
+        Ok(None) => Ok(VerifiedSegment::Units(read_segment(dir, shard, attempt)?)),
+        Err(StoreError::Corrupt { .. }) => Ok(VerifiedSegment::Corrupt),
+        // Ref exists but the object is gone (gc'ed or previously
+        // quarantined): treat like unsealed and salvage the raw file.
+        Err(StoreError::Missing(_)) => {
+            Ok(VerifiedSegment::Units(read_segment(dir, shard, attempt)?))
+        }
+        Err(StoreError::Io(e)) => Err(e),
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +254,60 @@ mod tests {
         assert_eq!(read_segment(&d, 3, 1).unwrap(), units.to_vec());
         // a different attempt of the same shard is a different segment
         assert!(read_segment(&d, 3, 2).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn sealed_segment_reads_through_store_and_corruption_is_detected() {
+        let d = tmpdir("seal");
+        let store = ArtifactStore::open(&d.join("store")).unwrap();
+        let units = [
+            SpooledUnit {
+                index: 4,
+                outcome: 1,
+                recovered: false,
+            },
+            SpooledUnit {
+                index: 9,
+                outcome: 3,
+                recovered: true,
+            },
+        ];
+        let mut w = SegmentWriter::create(&d, 2, 0).unwrap();
+        for u in units {
+            w.record(u).unwrap();
+        }
+        w.seal(&store).unwrap();
+        assert_eq!(
+            read_segment_verified(&store, &d, 2, 0).unwrap(),
+            VerifiedSegment::Units(units.to_vec())
+        );
+        // unsealed (no ref) segments fall back to the raw file
+        let mut w2 = SegmentWriter::create(&d, 2, 1).unwrap();
+        w2.record(units[0]).unwrap();
+        w2.sync().unwrap();
+        assert_eq!(
+            read_segment_verified(&store, &d, 2, 1).unwrap(),
+            VerifiedSegment::Units(vec![units[0]]),
+        );
+        // rot the sealed object: detected, quarantined, reported Corrupt
+        let refp = d
+            .join("store/refs")
+            .join(SPOOL_ARTIFACT)
+            .join(format!("{}.ref", segment_ref_name(2, 0)));
+        let hex = std::fs::read_to_string(&refp).unwrap().trim().to_string();
+        let obj = d
+            .join("store/objects")
+            .join(&hex[..2])
+            .join(format!("{hex}.obj"));
+        let mut bytes = std::fs::read(&obj).unwrap();
+        bytes[0] ^= 0x40;
+        std::fs::write(&obj, &bytes).unwrap();
+        assert_eq!(
+            read_segment_verified(&store, &d, 2, 0).unwrap(),
+            VerifiedSegment::Corrupt
+        );
+        assert!(store.quarantined_count().unwrap() >= 1);
         let _ = std::fs::remove_dir_all(&d);
     }
 

@@ -19,8 +19,10 @@
 
 use crate::proto::{read_frame, write_frame, ToSupervisor, ToWorker};
 use crate::shard::{plan_shards, OutcomeLedger, ShardFate, ShardTable};
-use crate::spool::read_segment;
+use crate::spool::{read_segment, read_segment_verified, VerifiedSegment};
+use crate::worker::store_path;
 use minpsid_journal::interrupt;
+use minpsid_store::ArtifactStore;
 use minpsid_trace::{emit, Event};
 use std::collections::BTreeSet;
 use std::io;
@@ -78,6 +80,9 @@ pub struct FleetStats {
     pub lease_expiries: u64,
     pub reassigned: u64,
     pub poisoned_shards: u64,
+    /// Sealed spool segments that failed digest verification at merge
+    /// time; each was quarantined and its shard re-executed.
+    pub corrupt_segments: u64,
 }
 
 /// What the fleet computed: the merged per-unit ledger, the plan
@@ -207,6 +212,10 @@ where
     }
     std::fs::create_dir_all(spool_dir)?;
     let spool: PathBuf = spool_dir.to_path_buf();
+    // Workers open the same store by the shared path convention and
+    // seal their segments into it; the merge below reads through it so
+    // segment bytes are digest-verified between fsync and fold.
+    let store = ArtifactStore::open(&store_path(spool_dir))?;
 
     let (tx, rx) = mpsc::channel::<(usize, u64, ReaderMsg)>();
     let start = Instant::now();
@@ -347,7 +356,29 @@ where
                         continue; // stale completion from a lost lease
                     }
                     let attempt = held.unwrap().1;
-                    let seg = read_segment(&spool, shard, attempt).unwrap_or_default();
+                    let seg = match read_segment_verified(&store, &spool, shard, attempt) {
+                        Ok(VerifiedSegment::Units(units)) => units,
+                        Ok(VerifiedSegment::Corrupt) => {
+                            // The sealed segment rotted between the
+                            // worker's fsync and this merge. The store
+                            // has quarantined the object; requeue the
+                            // shard (no poison tally — the shard's
+                            // units did nothing wrong) and re-execute.
+                            stats.corrupt_segments += 1;
+                            emit(Event::FleetShard {
+                                shard: shard as u64,
+                                worker: k as u64,
+                                attempt: attempt as u64,
+                                event: "corrupt".to_string(),
+                            });
+                            let _ = table.fail(shard, false);
+                            let slot = &mut slots[k];
+                            slot.state = SlotState::Idle;
+                            try_assign(k, slot, &mut table, start);
+                            continue;
+                        }
+                        Err(_) => Vec::new(),
+                    };
                     let want = table.units(shard);
                     let have: std::collections::HashSet<u64> =
                         seg.iter().map(|r| r.index).collect();

@@ -15,9 +15,18 @@
 
 use crate::proto::{read_frame, write_frame, ToSupervisor, ToWorker};
 use crate::spool::{SegmentWriter, SpooledUnit};
+use minpsid_store::ArtifactStore;
 use std::io::{self, Read, Write};
 use std::path::Path;
 use std::time::{Duration, Instant};
+
+/// The fleet's artifact store lives at a fixed path inside the spool
+/// directory so supervisor and workers agree on it without widening
+/// the protocol: both sides derive it from the spool dir they already
+/// share.
+pub fn store_path(spool_dir: &Path) -> std::path::PathBuf {
+    spool_dir.join("store")
+}
 
 /// Lease-renewal cadence. Fast units would otherwise each pay a pipe
 /// write and flush, which dominates their cost; one heartbeat per
@@ -34,6 +43,7 @@ pub fn drive_worker<R, W, X>(
     input: &mut R,
     output: &mut W,
     spool_dir: &Path,
+    store: Option<&ArtifactStore>,
     population: u64,
     hb_every: Duration,
     mut exec: X,
@@ -71,8 +81,12 @@ where
                     }
                 }
                 // fsync before claiming completion: SHARD_DONE promises
-                // the supervisor a fully readable segment.
-                seg.sync()?;
+                // the supervisor a fully readable segment. With a store,
+                // also seal it so the merge verifies the bytes by digest.
+                match store {
+                    Some(s) => seg.seal(s)?,
+                    None => seg.sync()?,
+                }
                 write_frame(output, &ToSupervisor::ShardDone { shard }.encode())?;
             }
         }
@@ -86,10 +100,12 @@ where
 {
     let stdin = io::stdin();
     let stdout = io::stdout();
+    let store = ArtifactStore::open(&store_path(spool_dir))?;
     drive_worker(
         &mut stdin.lock(),
         &mut stdout.lock(),
         spool_dir,
+        Some(&store),
         population,
         HEARTBEAT_EVERY,
         exec,
@@ -131,6 +147,7 @@ mod tests {
             &mut &input[..],
             &mut output,
             &d,
+            None,
             77,
             Duration::ZERO,
             |unit, attempt| {
@@ -178,6 +195,52 @@ mod tests {
     }
 
     #[test]
+    fn worker_with_store_seals_segment_for_verified_merge() {
+        let d = tmpdir("seal");
+        let store = ArtifactStore::open(&store_path(&d)).unwrap();
+        let mut input = Vec::new();
+        write_frame(
+            &mut input,
+            &ToWorker::Assign {
+                shard: 0,
+                attempt: 0,
+                units: vec![1, 2],
+            }
+            .encode(),
+        )
+        .unwrap();
+        write_frame(&mut input, &ToWorker::Shutdown.encode()).unwrap();
+        let mut output = Vec::new();
+        drive_worker(
+            &mut &input[..],
+            &mut output,
+            &d,
+            Some(&store),
+            2,
+            Duration::ZERO,
+            |unit, _| (unit as u8, false),
+        )
+        .unwrap();
+        // the sealed segment is readable through the store, verified
+        assert_eq!(
+            crate::spool::read_segment_verified(&store, &d, 0, 0).unwrap(),
+            crate::spool::VerifiedSegment::Units(vec![
+                SpooledUnit {
+                    index: 1,
+                    outcome: 1,
+                    recovered: false
+                },
+                SpooledUnit {
+                    index: 2,
+                    outcome: 2,
+                    recovered: false
+                },
+            ])
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
     fn worker_exits_cleanly_on_eof() {
         let d = tmpdir("eof");
         let input: Vec<u8> = Vec::new();
@@ -186,6 +249,7 @@ mod tests {
             &mut &input[..],
             &mut output,
             &d,
+            None,
             0,
             Duration::ZERO,
             |_, _| (0, false),

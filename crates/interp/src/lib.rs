@@ -31,6 +31,7 @@ pub mod opprof;
 pub mod profile;
 pub mod snapshot;
 pub mod value;
+pub mod wire;
 
 pub use decode::ExecScratch;
 pub use exec::{

@@ -244,15 +244,15 @@ fn delta_inj_lookup(buf: &[u8], dense: usize) -> Option<u64> {
 
 /// Per-frame diff used when the call-stack shape is unchanged.
 #[derive(Debug, Clone)]
-struct FrameDiff {
-    block: BlockId,
-    pos: usize,
+pub(crate) struct FrameDiff {
+    pub(crate) block: BlockId,
+    pub(crate) pos: usize,
     /// (register index, new value) for registers whose bits changed.
-    regs: Vec<(u32, Value)>,
+    pub(crate) regs: Vec<(u32, Value)>,
 }
 
 #[derive(Debug, Clone)]
-enum FramesDelta {
+pub(crate) enum FramesDelta {
     /// Same depth, functions, watermarks and arguments: store per-frame
     /// position + changed registers only.
     Sparse(Vec<FrameDiff>),
@@ -262,16 +262,16 @@ enum FramesDelta {
 
 /// A checkpoint stored as a diff against the previously stored entry.
 #[derive(Debug, Clone)]
-struct SnapDelta {
-    frames: FramesDelta,
-    mem: Vec<(usize, Vec<u64>)>,
-    mem_len: usize,
-    stack: Vec<(usize, Vec<u64>)>,
-    stack_len: usize,
+pub(crate) struct SnapDelta {
+    pub(crate) frames: FramesDelta,
+    pub(crate) mem: Vec<(usize, Vec<u64>)>,
+    pub(crate) mem_len: usize,
+    pub(crate) stack: Vec<(usize, Vec<u64>)>,
+    pub(crate) stack_len: usize,
     /// Output is append-only, so the delta is just the new tail.
-    out_tail: Vec<OutputItem>,
+    pub(crate) out_tail: Vec<OutputItem>,
     /// See [`encode_inj`].
-    inj: Vec<u8>,
+    pub(crate) inj: Vec<u8>,
 }
 
 impl SnapDelta {
@@ -377,7 +377,7 @@ fn apply_delta_state(st: &mut MachineState, d: &SnapDelta, steps: u64, inj_ctr: 
 }
 
 #[derive(Debug, Clone)]
-enum SnapBody {
+pub(crate) enum SnapBody {
     Key(Snapshot),
     Delta(SnapDelta),
 }
@@ -385,13 +385,13 @@ enum SnapBody {
 /// One stored checkpoint: metadata needed for nearest-snapshot selection
 /// inline, body either a keyframe or a delta.
 #[derive(Debug, Clone)]
-struct StoredSnap {
-    steps: u64,
-    inj_ctr: u64,
+pub(crate) struct StoredSnap {
+    pub(crate) steps: u64,
+    pub(crate) inj_ctr: u64,
     /// Index of the governing keyframe entry (`== own index` for keys).
-    key: u32,
-    bytes: usize,
-    body: SnapBody,
+    pub(crate) key: u32,
+    pub(crate) bytes: usize,
+    pub(crate) body: SnapBody,
 }
 
 /// Accumulates checkpoints during a golden run. Lives in the interpreter
@@ -587,8 +587,8 @@ impl CheckpointCollector {
 /// [`CheckpointStore::materialize`] clones one out as a [`Snapshot`].
 #[derive(Debug, Clone, Default)]
 pub struct CheckpointStore {
-    entries: Vec<StoredSnap>,
-    num_insts: usize,
+    pub(crate) entries: Vec<StoredSnap>,
+    pub(crate) num_insts: usize,
 }
 
 impl CheckpointStore {

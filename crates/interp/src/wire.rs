@@ -1,0 +1,807 @@
+//! Wire codec for persistable golden-run artifacts.
+//!
+//! Two artifact classes cross the process boundary into the
+//! content-addressed store: the golden *meta* (output stream, profile,
+//! step count) and the golden *checkpoint store* (keyframes + delta
+//! chains). Both get a compact little-endian binary encoding here —
+//! deterministic (equal values encode to equal bytes, so the store
+//! dedups them by content) and **checked** on the way back in: the
+//! reader never panics on malformed bytes, never allocates more than
+//! the input could possibly describe, and returns a typed
+//! [`WireError`] instead. Digest verification in the store catches
+//! bit rot before decode; the checked reader is the second wall, so a
+//! store bug or a foreign file can at worst produce an error, not UB
+//! or an abort.
+//!
+//! Integers are varint-encoded (LEB128, ≤ 10 bytes) except raw memory
+//! words, which stay fixed 8-byte LE — HPC heaps are dense with
+//! high-entropy floats where varints only add bytes. Hash-map ordered
+//! collections (CFG edge counts) are sorted by key before encoding so
+//! the byte image is a pure function of the value.
+
+use crate::exec::{Frame, MachineState};
+use crate::profile::Profile;
+use crate::snapshot::{
+    CheckpointStore, FrameDiff, FramesDelta, SnapBody, SnapDelta, Snapshot, StoredSnap,
+};
+use crate::value::{Output, OutputItem, Value};
+use minpsid_ir::{BlockId, FuncId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Format version; bump on any layout change (decoders reject other
+/// versions rather than guessing).
+pub const WIRE_VERSION: u32 = 1;
+
+const GOLDEN_MAGIC: &[u8; 4] = b"MPSG";
+const CKPT_MAGIC: &[u8; 4] = b"MPSC";
+
+/// Why a byte image failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value it promised.
+    Truncated,
+    /// Structurally impossible content (bad magic/version/tag, a length
+    /// larger than the remaining input, a varint past 64 bits, ...).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire image truncated"),
+            WireError::Invalid(what) => write!(f, "wire image invalid: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// --- writer helpers ---
+
+fn w_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+fn w_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn w_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+// --- checked reader ---
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn varint(&mut self) -> Result<u64, WireError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift == 63 && b > 1 {
+                return Err(WireError::Invalid("varint exceeds 64 bits"));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::Invalid("varint exceeds 64 bits"));
+            }
+        }
+    }
+
+    /// A count of items each at least `min_bytes` long. Bounds every
+    /// allocation by what the remaining input could actually hold, so a
+    /// malformed length can't balloon memory before `Truncated` fires.
+    fn count(&mut self, min_bytes: usize) -> Result<usize, WireError> {
+        let n = self.varint()? as usize;
+        if n.saturating_mul(min_bytes.max(1)) > self.remaining() {
+            return Err(WireError::Invalid("count exceeds remaining input"));
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Invalid("trailing bytes"));
+        }
+        Ok(())
+    }
+}
+
+// --- values / output ---
+
+fn w_value(buf: &mut Vec<u8>, v: Value) {
+    match v {
+        Value::I(x) => {
+            buf.push(0);
+            w_u64(buf, x as u64);
+        }
+        Value::F(x) => {
+            buf.push(1);
+            w_u64(buf, x.to_bits());
+        }
+        Value::B(x) => {
+            buf.push(2);
+            buf.push(u8::from(x));
+        }
+        Value::P(x) => {
+            buf.push(3);
+            w_u64(buf, x);
+        }
+        Value::Undef => buf.push(4),
+    }
+}
+
+fn r_value(r: &mut Reader) -> Result<Value, WireError> {
+    Ok(match r.u8()? {
+        0 => Value::I(r.u64()? as i64),
+        1 => Value::F(f64::from_bits(r.u64()?)),
+        2 => Value::B(match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(WireError::Invalid("bool byte")),
+        }),
+        3 => Value::P(r.u64()?),
+        4 => Value::Undef,
+        _ => return Err(WireError::Invalid("value tag")),
+    })
+}
+
+fn w_values(buf: &mut Vec<u8>, vs: &[Value]) {
+    w_varint(buf, vs.len() as u64);
+    for &v in vs {
+        w_value(buf, v);
+    }
+}
+
+fn r_values(r: &mut Reader) -> Result<Vec<Value>, WireError> {
+    let n = r.count(1)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r_value(r)?);
+    }
+    Ok(out)
+}
+
+fn w_output_items(buf: &mut Vec<u8>, items: &[OutputItem]) {
+    w_varint(buf, items.len() as u64);
+    for item in items {
+        match *item {
+            OutputItem::I(v) => {
+                buf.push(0);
+                w_u64(buf, v as u64);
+            }
+            OutputItem::F(v) => {
+                buf.push(1);
+                w_u64(buf, v.to_bits());
+            }
+        }
+    }
+}
+
+fn r_output_items(r: &mut Reader) -> Result<Vec<OutputItem>, WireError> {
+    let n = r.count(9)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(match r.u8()? {
+            0 => OutputItem::I(r.u64()? as i64),
+            1 => OutputItem::F(f64::from_bits(r.u64()?)),
+            _ => return Err(WireError::Invalid("output item tag")),
+        });
+    }
+    Ok(out)
+}
+
+// --- raw word memories & varint vectors ---
+
+fn w_words(buf: &mut Vec<u8>, words: &[u64]) {
+    w_varint(buf, words.len() as u64);
+    for &w in words {
+        w_u64(buf, w);
+    }
+}
+
+fn r_words(r: &mut Reader) -> Result<Vec<u64>, WireError> {
+    let n = r.count(8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u64()?);
+    }
+    Ok(out)
+}
+
+fn w_varints(buf: &mut Vec<u8>, vals: &[u64]) {
+    w_varint(buf, vals.len() as u64);
+    for &v in vals {
+        w_varint(buf, v);
+    }
+}
+
+fn r_varints(r: &mut Reader) -> Result<Vec<u64>, WireError> {
+    let n = r.count(1)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.varint()?);
+    }
+    Ok(out)
+}
+
+// --- frames & machine state ---
+
+fn w_frame(buf: &mut Vec<u8>, f: &Frame) {
+    w_u32(buf, f.func.0);
+    w_u32(buf, f.block.0);
+    w_varint(buf, f.pos as u64);
+    w_values(buf, &f.regs);
+    w_values(buf, &f.args);
+    w_varint(buf, f.sp_base as u64);
+}
+
+fn r_frame(r: &mut Reader) -> Result<Frame, WireError> {
+    Ok(Frame {
+        func: FuncId(r.u32()?),
+        block: BlockId(r.u32()?),
+        pos: r.varint()? as usize,
+        regs: r_values(r)?,
+        args: r_values(r)?,
+        sp_base: r.varint()? as usize,
+    })
+}
+
+fn w_frames(buf: &mut Vec<u8>, frames: &[Frame]) {
+    w_varint(buf, frames.len() as u64);
+    for f in frames {
+        w_frame(buf, f);
+    }
+}
+
+fn r_frames(r: &mut Reader) -> Result<Vec<Frame>, WireError> {
+    let n = r.count(12)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r_frame(r)?);
+    }
+    Ok(out)
+}
+
+fn w_state(buf: &mut Vec<u8>, st: &MachineState) {
+    w_frames(buf, &st.frames);
+    w_words(buf, &st.mem);
+    w_words(buf, &st.stack_mem);
+    w_output_items(buf, &st.output.items);
+    w_varint(buf, st.steps);
+    w_varint(buf, st.inj_ctr);
+    w_varint(buf, st.per_inst_ctr);
+    buf.push(u8::from(st.fault_applied));
+}
+
+fn r_state(r: &mut Reader) -> Result<MachineState, WireError> {
+    Ok(MachineState {
+        frames: r_frames(r)?,
+        mem: r_words(r)?,
+        stack_mem: r_words(r)?,
+        output: Output {
+            items: r_output_items(r)?,
+        },
+        steps: r.varint()?,
+        inj_ctr: r.varint()?,
+        per_inst_ctr: r.varint()?,
+        fault_applied: match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(WireError::Invalid("fault_applied byte")),
+        },
+    })
+}
+
+fn w_snapshot(buf: &mut Vec<u8>, s: &Snapshot) {
+    w_state(buf, &s.state);
+    w_varints(buf, &s.inj_counts);
+}
+
+fn r_snapshot(r: &mut Reader) -> Result<Snapshot, WireError> {
+    Ok(Snapshot {
+        state: r_state(r)?,
+        inj_counts: r_varints(r)?,
+    })
+}
+
+// --- delta bodies ---
+
+fn w_runs(buf: &mut Vec<u8>, runs: &[(usize, Vec<u64>)]) {
+    w_varint(buf, runs.len() as u64);
+    for (start, words) in runs {
+        w_varint(buf, *start as u64);
+        w_words(buf, words);
+    }
+}
+
+fn r_runs(r: &mut Reader) -> Result<Vec<(usize, Vec<u64>)>, WireError> {
+    let n = r.count(2)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let start = r.varint()? as usize;
+        out.push((start, r_words(r)?));
+    }
+    Ok(out)
+}
+
+fn w_delta(buf: &mut Vec<u8>, d: &SnapDelta) {
+    match &d.frames {
+        FramesDelta::Sparse(diffs) => {
+            buf.push(0);
+            w_varint(buf, diffs.len() as u64);
+            for diff in diffs {
+                w_u32(buf, diff.block.0);
+                w_varint(buf, diff.pos as u64);
+                w_varint(buf, diff.regs.len() as u64);
+                for &(i, v) in &diff.regs {
+                    w_u32(buf, i);
+                    w_value(buf, v);
+                }
+            }
+        }
+        FramesDelta::Full(frames) => {
+            buf.push(1);
+            w_frames(buf, frames);
+        }
+    }
+    w_runs(buf, &d.mem);
+    w_varint(buf, d.mem_len as u64);
+    w_runs(buf, &d.stack);
+    w_varint(buf, d.stack_len as u64);
+    w_output_items(buf, &d.out_tail);
+    w_varint(buf, d.inj.len() as u64);
+    buf.extend_from_slice(&d.inj);
+}
+
+fn r_delta(r: &mut Reader) -> Result<SnapDelta, WireError> {
+    let frames = match r.u8()? {
+        0 => {
+            let n = r.count(6)?;
+            let mut diffs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let block = BlockId(r.u32()?);
+                let pos = r.varint()? as usize;
+                let k = r.count(5)?;
+                let mut regs = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let i = r.u32()?;
+                    regs.push((i, r_value(r)?));
+                }
+                diffs.push(FrameDiff { block, pos, regs });
+            }
+            FramesDelta::Sparse(diffs)
+        }
+        1 => FramesDelta::Full(r_frames(r)?),
+        _ => return Err(WireError::Invalid("frames-delta tag")),
+    };
+    Ok(SnapDelta {
+        frames,
+        mem: r_runs(r)?,
+        mem_len: r.varint()? as usize,
+        stack: r_runs(r)?,
+        stack_len: r.varint()? as usize,
+        out_tail: r_output_items(r)?,
+        inj: {
+            let n = r.count(1)?;
+            r.take(n)?.to_vec()
+        },
+    })
+}
+
+// --- checkpoint store ---
+
+/// Encode a [`CheckpointStore`] as a self-describing byte image
+/// (`MPSC` + version + entries). Deterministic: equal stores encode to
+/// equal bytes.
+pub fn encode_checkpoints(store: &CheckpointStore) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + store.total_bytes() / 4);
+    buf.extend_from_slice(CKPT_MAGIC);
+    w_u32(&mut buf, WIRE_VERSION);
+    w_varint(&mut buf, store.num_insts as u64);
+    w_varint(&mut buf, store.entries.len() as u64);
+    for e in &store.entries {
+        w_varint(&mut buf, e.steps);
+        w_varint(&mut buf, e.inj_ctr);
+        w_u32(&mut buf, e.key);
+        w_varint(&mut buf, e.bytes as u64);
+        match &e.body {
+            SnapBody::Key(s) => {
+                buf.push(0);
+                w_snapshot(&mut buf, s);
+            }
+            SnapBody::Delta(d) => {
+                buf.push(1);
+                w_delta(&mut buf, d);
+            }
+        }
+    }
+    buf
+}
+
+/// Decode a [`CheckpointStore`] image, validating structure end to end:
+/// every delta chain starts at an in-range keyframe and every keyframe
+/// carries the advertised `num_insts` counts, so downstream
+/// `restore_into`/`inj_count_at` cannot index out of bounds.
+pub fn decode_checkpoints(bytes: &[u8]) -> Result<CheckpointStore, WireError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != CKPT_MAGIC {
+        return Err(WireError::Invalid("checkpoint magic"));
+    }
+    if r.u32()? != WIRE_VERSION {
+        return Err(WireError::Invalid("wire version"));
+    }
+    let num_insts = r.varint()? as usize;
+    let n = r.count(14)?;
+    let mut entries: Vec<StoredSnap> = Vec::with_capacity(n);
+    for i in 0..n {
+        let steps = r.varint()?;
+        let inj_ctr = r.varint()?;
+        let key = r.u32()?;
+        let bytes = r.varint()? as usize;
+        let body = match r.u8()? {
+            0 => SnapBody::Key(r_snapshot(&mut r)?),
+            1 => SnapBody::Delta(r_delta(&mut r)?),
+            _ => return Err(WireError::Invalid("snapshot body tag")),
+        };
+        match &body {
+            SnapBody::Key(s) => {
+                if key as usize != i {
+                    return Err(WireError::Invalid("keyframe not its own key"));
+                }
+                if s.inj_counts.len() != num_insts {
+                    return Err(WireError::Invalid("keyframe inj_counts length"));
+                }
+            }
+            SnapBody::Delta(_) => {
+                if key as usize >= i || !matches!(entries[key as usize].body, SnapBody::Key(_)) {
+                    return Err(WireError::Invalid("delta key out of range"));
+                }
+            }
+        }
+        entries.push(StoredSnap {
+            steps,
+            inj_ctr,
+            key,
+            bytes,
+            body,
+        });
+    }
+    r.finish()?;
+    Ok(CheckpointStore { entries, num_insts })
+}
+
+// --- profile ---
+
+fn w_profile(buf: &mut Vec<u8>, p: &Profile) {
+    w_varints(buf, &p.inst_counts);
+    w_varints(buf, &p.inst_cycles);
+    w_varint(buf, p.block_counts.len() as u64);
+    for counts in &p.block_counts {
+        w_varints(buf, counts);
+    }
+    w_varint(buf, p.edge_counts.len() as u64);
+    for edges in &p.edge_counts {
+        let mut sorted: Vec<_> = edges.iter().collect();
+        sorted.sort_unstable_by_key(|(k, _)| **k);
+        w_varint(buf, sorted.len() as u64);
+        for (&(from, to), &count) in sorted {
+            w_u32(buf, from.0);
+            w_u32(buf, to.0);
+            w_varint(buf, count);
+        }
+    }
+    w_varint(buf, p.total_cycles);
+    w_varint(buf, p.total_insts);
+    w_varint(buf, p.injectable_execs);
+}
+
+fn r_profile(r: &mut Reader) -> Result<Profile, WireError> {
+    let inst_counts = r_varints(r)?;
+    let inst_cycles = r_varints(r)?;
+    let nb = r.count(1)?;
+    let mut block_counts = Vec::with_capacity(nb);
+    for _ in 0..nb {
+        block_counts.push(r_varints(r)?);
+    }
+    let ne = r.count(1)?;
+    let mut edge_counts = Vec::with_capacity(ne);
+    for _ in 0..ne {
+        let k = r.count(9)?;
+        let mut edges = HashMap::with_capacity(k);
+        for _ in 0..k {
+            let from = BlockId(r.u32()?);
+            let to = BlockId(r.u32()?);
+            edges.insert((from, to), r.varint()?);
+        }
+        edge_counts.push(edges);
+    }
+    Ok(Profile {
+        inst_counts,
+        inst_cycles,
+        block_counts,
+        edge_counts,
+        total_cycles: r.varint()?,
+        total_insts: r.varint()?,
+        injectable_execs: r.varint()?,
+    })
+}
+
+// --- golden meta ---
+
+/// Encode a golden run's verdict surface — output stream, profile, step
+/// count — as one `MPSG` image (the store's `golden` artifact class).
+pub fn encode_golden(output: &Output, profile: &Profile, steps: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(256 + output.items.len() * 9);
+    buf.extend_from_slice(GOLDEN_MAGIC);
+    w_u32(&mut buf, WIRE_VERSION);
+    w_output_items(&mut buf, &output.items);
+    w_profile(&mut buf, profile);
+    w_varint(&mut buf, steps);
+    buf
+}
+
+/// Decode an `MPSG` golden-meta image back into (output, profile,
+/// steps).
+pub fn decode_golden(bytes: &[u8]) -> Result<(Output, Profile, u64), WireError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != GOLDEN_MAGIC {
+        return Err(WireError::Invalid("golden magic"));
+    }
+    if r.u32()? != WIRE_VERSION {
+        return Err(WireError::Invalid("wire version"));
+    }
+    let output = Output {
+        items: r_output_items(&mut r)?,
+    };
+    let profile = r_profile(&mut r)?;
+    let steps = r.varint()?;
+    r.finish()?;
+    Ok((output, profile, steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{CheckpointCollector, CheckpointConfig, SnapshotMode};
+
+    fn sample_state(seed: u64) -> MachineState {
+        MachineState {
+            frames: vec![
+                Frame {
+                    func: FuncId(0),
+                    block: BlockId(1),
+                    pos: 3,
+                    regs: vec![
+                        Value::I(seed as i64),
+                        Value::F(f64::from_bits(0x7ff8_0000_dead_beef)), // NaN payload
+                        Value::B(true),
+                        Value::Undef,
+                    ],
+                    args: vec![Value::P(16)],
+                    sp_base: 0,
+                },
+                Frame {
+                    func: FuncId(2),
+                    block: BlockId(0),
+                    pos: 0,
+                    regs: vec![Value::I(-1)],
+                    args: vec![],
+                    sp_base: 8,
+                },
+            ],
+            mem: (0..64).map(|i| i * seed).collect(),
+            stack_mem: vec![seed; 16],
+            output: Output {
+                items: vec![OutputItem::I(7), OutputItem::F(0.1 + seed as f64)],
+            },
+            steps: 1000 + seed,
+            inj_ctr: 500 + seed,
+            per_inst_ctr: 0,
+            fault_applied: false,
+        }
+    }
+
+    fn states_bit_equal(a: &MachineState, b: &MachineState) {
+        assert_eq!(a.frames.len(), b.frames.len());
+        for (fa, fb) in a.frames.iter().zip(&b.frames) {
+            assert_eq!(fa.func, fb.func);
+            assert_eq!(fa.block, fb.block);
+            assert_eq!(fa.pos, fb.pos);
+            assert_eq!(fa.sp_base, fb.sp_base);
+            let bits = |v: &Value| format!("{v:?}");
+            assert_eq!(
+                fa.regs.iter().map(bits).collect::<Vec<_>>(),
+                fb.regs.iter().map(bits).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                fa.args.iter().map(bits).collect::<Vec<_>>(),
+                fb.args.iter().map(bits).collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(a.mem, b.mem);
+        assert_eq!(a.stack_mem, b.stack_mem);
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.inj_ctr, b.inj_ctr);
+    }
+
+    #[test]
+    fn golden_meta_round_trips_and_is_deterministic() {
+        let output = Output {
+            items: vec![
+                OutputItem::I(i64::MIN),
+                OutputItem::F(f64::NAN),
+                OutputItem::F(-0.0),
+            ],
+        };
+        let mut profile = Profile {
+            inst_counts: vec![0, 3, u64::MAX],
+            inst_cycles: vec![1, 2, 3],
+            block_counts: vec![vec![5, 6], vec![]],
+            edge_counts: vec![HashMap::new(), HashMap::new()],
+            total_cycles: 99,
+            total_insts: 42,
+            injectable_execs: 17,
+        };
+        profile.edge_counts[0].insert((BlockId(0), BlockId(1)), 10);
+        profile.edge_counts[0].insert((BlockId(1), BlockId(0)), 9);
+
+        let bytes = encode_golden(&output, &profile, 12345);
+        assert_eq!(bytes, encode_golden(&output, &profile, 12345));
+        let (o2, p2, steps) = decode_golden(&bytes).unwrap();
+        assert_eq!(o2, output);
+        assert_eq!(p2.inst_counts, profile.inst_counts);
+        assert_eq!(p2.inst_cycles, profile.inst_cycles);
+        assert_eq!(p2.block_counts, profile.block_counts);
+        assert_eq!(p2.edge_counts, profile.edge_counts);
+        assert_eq!(p2.total_cycles, 99);
+        assert_eq!(steps, 12345);
+    }
+
+    #[test]
+    fn checkpoint_store_round_trips_full_and_delta() {
+        for mode in [SnapshotMode::Full, SnapshotMode::Delta] {
+            let cfg = CheckpointConfig {
+                interval: 1,
+                mode,
+                keyframe_every: 3,
+                ..CheckpointConfig::default()
+            };
+            let mut coll = CheckpointCollector::new(cfg, 8);
+            for i in 0..10u64 {
+                let mut st = sample_state(i);
+                st.steps = (i + 1) * 100;
+                st.inj_ctr = (i + 1) * 10;
+                coll.inj_counts[(i % 8) as usize] += 1;
+                coll.capture(&st);
+            }
+            let store = coll.into_store();
+            let bytes = encode_checkpoints(&store);
+            assert_eq!(bytes, encode_checkpoints(&store), "deterministic");
+            let back = decode_checkpoints(&bytes).unwrap();
+            assert_eq!(back.len(), store.len());
+            assert_eq!(back.total_bytes(), store.total_bytes());
+            for i in 0..store.len() {
+                assert_eq!(back.steps_at(i), store.steps_at(i));
+                assert_eq!(back.inj_ctr_at(i), store.inj_ctr_at(i));
+                for dense in 0..8 {
+                    assert_eq!(back.inj_count_at(i, dense), store.inj_count_at(i, dense));
+                }
+                let a = store.materialize(i);
+                let b = back.materialize(i);
+                states_bit_equal(&a.state, &b.state);
+                assert_eq!(a.inj_counts, b.inj_counts);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let store = CheckpointStore::default();
+        let back = decode_checkpoints(&encode_checkpoints(&store)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn malformed_images_error_and_never_panic() {
+        let store = {
+            let mut coll = CheckpointCollector::new(CheckpointConfig::default(), 4);
+            coll.capture(&sample_state(1));
+            coll.into_store()
+        };
+        let good = encode_checkpoints(&store);
+
+        // every truncation point errors cleanly
+        for cut in 0..good.len() {
+            assert!(decode_checkpoints(&good[..cut]).is_err());
+        }
+        // bad magic / version
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(
+            decode_checkpoints(&bad).err(),
+            Some(WireError::Invalid("checkpoint magic"))
+        );
+        let mut bad = good.clone();
+        bad[4] ^= 0xff;
+        assert_eq!(
+            decode_checkpoints(&bad).err(),
+            Some(WireError::Invalid("wire version"))
+        );
+        // trailing garbage is rejected, not silently ignored
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(decode_checkpoints(&bad).is_err());
+        // single flipped bytes either decode or error — never panic
+        for pos in 8..good.len() {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x10;
+            let _ = decode_checkpoints(&bad);
+        }
+
+        let meta = encode_golden(
+            &Output::default(),
+            &Profile {
+                inst_counts: vec![],
+                inst_cycles: vec![],
+                block_counts: vec![],
+                edge_counts: vec![],
+                total_cycles: 0,
+                total_insts: 0,
+                injectable_execs: 0,
+            },
+            0,
+        );
+        for cut in 0..meta.len() {
+            assert!(decode_golden(&meta[..cut]).is_err());
+        }
+    }
+}

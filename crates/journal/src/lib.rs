@@ -34,14 +34,15 @@
 pub mod record;
 pub mod wal;
 
+use minpsid_store::{ArtifactStore, StoreError};
 use record::Record;
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
-use wal::{open_wal, rewrite_wal, WalWriter};
+use std::sync::{Arc, Mutex, RwLock};
+use wal::{encode_records, open_wal, rewrite_wal, WalWriter};
 
 /// Cooperative interruption: one process-wide flag, set from a signal
 /// handler (it is only an atomic store, so it is async-signal-safe) and
@@ -116,6 +117,12 @@ impl From<io::Error> for JournalError {
 }
 
 const WAL_FILE: &str = "campaign.wal";
+
+/// Store ref name for a run's compacted-WAL snapshot: one snapshot per
+/// (module, config) pair, so a resumed run finds exactly its own.
+fn wal_ref_name(module_fp: u64, config_fp: u64) -> String {
+    format!("{module_fp:016x}-{config_fp:016x}")
+}
 
 #[derive(Default)]
 struct State {
@@ -261,7 +268,16 @@ pub struct CampaignJournal {
     appended: AtomicU64,
     recovered_records: u64,
     truncated_bytes: u64,
+    dropped_records: u64,
+    /// Artifact store that mirrors each compacted WAL snapshot. On open
+    /// the snapshot object is verified and its records merged under the
+    /// live log, so bit rot in the compacted prefix costs a recompute of
+    /// at most the un-snapshotted suffix instead of the whole campaign.
+    store: Option<Arc<ArtifactStore>>,
 }
+
+/// Artifact class under which compacted WAL snapshots are published.
+pub const WAL_ARTIFACT: &str = "wal";
 
 impl CampaignJournal {
     /// Open (creating if needed) the journal in `dir`, recover its
@@ -269,13 +285,73 @@ impl CampaignJournal {
     /// this (module, config) pair. Emits a `journal_recovery` trace
     /// event describing what recovery found.
     pub fn open(dir: &Path, module_fp: u64, config_fp: u64) -> Result<Self, JournalError> {
+        Self::open_with_store(dir, module_fp, config_fp, None)
+    }
+
+    /// [`CampaignJournal::open`], plus an artifact store that holds a
+    /// verified snapshot of every compacted WAL. The snapshot's records
+    /// are merged *under* the live log (the live log is newer), so if
+    /// mid-file corruption severed the live log's compacted prefix, the
+    /// snapshot restores those facts; if the snapshot itself rotted, the
+    /// store quarantines it and the live log stands alone.
+    pub fn open_with_store(
+        dir: &Path,
+        module_fp: u64,
+        config_fp: u64,
+        store: Option<Arc<ArtifactStore>>,
+    ) -> Result<Self, JournalError> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(WAL_FILE);
         let (mut writer, recovery) = open_wal(&path)?;
 
+        if recovery.mid_file_corruption() {
+            // Loud by design: this is bit rot inside the journal, not a
+            // normal crash artifact, and it bypasses --quiet.
+            eprintln!(
+                "minpsid: JOURNAL CORRUPTION: checksum mismatch mid-file in {}: \
+                 {} intact record(s) past the corruption were dropped and will be \
+                 recomputed; severed suffix preserved at {}",
+                path.display(),
+                recovery.dropped_records,
+                recovery
+                    .quarantined_tail
+                    .as_deref()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_else(|| "<unsaved>".to_string()),
+            );
+        }
+
+        // Records from the last compacted-WAL snapshot in the store, if
+        // one exists and verifies. Applied before the live records so
+        // live facts win.
+        let mut snapshot_records = Vec::new();
+        if let Some(store) = &store {
+            let name = wal_ref_name(module_fp, config_fp);
+            match store.load_named(WAL_ARTIFACT, &name) {
+                Ok(Some((_, bytes))) => {
+                    let snap = wal::scan_bytes(&bytes);
+                    // the object is digest-verified, so a short scan means
+                    // an encoding bug, not rot; take whatever parses
+                    snapshot_records = snap.records;
+                }
+                Ok(None) => {}
+                Err(StoreError::Corrupt { quarantined, .. }) => {
+                    eprintln!(
+                        "minpsid: STORE CORRUPTION: compacted WAL snapshot for {} failed \
+                         digest verification; quarantined to {} (live journal stands alone)",
+                        path.display(),
+                        quarantined.display(),
+                    );
+                }
+                Err(StoreError::Missing(_)) => {}
+                Err(StoreError::Io(e)) => return Err(JournalError::Io(e)),
+            }
+        }
+
         let mut state = State::default();
         let mut header: Option<(u64, u64)> = None;
-        for rec in recovery.records {
+        let live_records = recovery.records;
+        for rec in snapshot_records.into_iter().chain(live_records) {
             if let Record::Header {
                 module_fp: m,
                 config_fp: c,
@@ -312,6 +388,7 @@ impl CampaignJournal {
         minpsid_trace::emit(minpsid_trace::Event::JournalRecovery {
             records: recovered_records,
             truncated_bytes: recovery.truncated_bytes,
+            dropped_records: recovery.dropped_records,
         });
 
         Ok(CampaignJournal {
@@ -324,6 +401,8 @@ impl CampaignJournal {
             appended: AtomicU64::new(0),
             recovered_records,
             truncated_bytes: recovery.truncated_bytes,
+            dropped_records: recovery.dropped_records,
+            store,
         })
     }
 
@@ -483,16 +562,33 @@ impl CampaignJournal {
 
     /// Rewrite the log as a compacted snapshot of the current state
     /// (drops superseded records; bounds log growth across many resumes).
+    /// With a store attached, the snapshot is also published as a
+    /// content-addressed `wal` artifact so the next open can verify it
+    /// and recover from bit rot in the live file.
     pub fn compact(&self) -> io::Result<()> {
         let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         let records = self.read().snapshot(self.module_fp, self.config_fp);
         *w = rewrite_wal(&self.dir.join(WAL_FILE), &records)?;
+        if let Some(store) = &self.store {
+            let digest = store.publish(WAL_ARTIFACT, &encode_records(&records))?;
+            store.set_ref(
+                WAL_ARTIFACT,
+                &wal_ref_name(self.module_fp, self.config_fp),
+                &digest,
+            )?;
+        }
         Ok(())
     }
 
     /// (records recovered at open, torn-tail bytes truncated at open).
     pub fn recovery_stats(&self) -> (u64, u64) {
         (self.recovered_records, self.truncated_bytes)
+    }
+
+    /// Intact records dropped past a mid-file checksum mismatch at open
+    /// (0 for a clean or merely torn log). See [`wal::Recovery`].
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped_records
     }
 
     /// (injections/evals served from the journal, records appended) this
@@ -595,6 +691,89 @@ mod tests {
         let j = CampaignJournal::open(&dir, 5, 6).unwrap();
         assert_eq!(j.per_inst_outcome(1, 0, 0), Some((199 % 6) as u8));
         assert_eq!(j.per_inst_outcome(1, 0, 150), Some(1));
+    }
+
+    /// Byte offset of frame `n` in a WAL image (frame 0 is the first
+    /// record after the preamble).
+    fn frame_start(bytes: &[u8], n: usize) -> usize {
+        let mut pos = 8;
+        for _ in 0..n {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 12 + len;
+        }
+        pos
+    }
+
+    #[test]
+    fn store_snapshot_restores_facts_severed_by_mid_file_corruption() {
+        let dir = tmpdir("snap-restore");
+        let store = Arc::new(ArtifactStore::open(&dir.join("store")).unwrap());
+        {
+            let j = CampaignJournal::open_with_store(&dir, 5, 6, Some(store.clone())).unwrap();
+            j.record_golden(1, 111, 5000);
+            j.record_per_inst(1, 3, 0, 2);
+            j.sync().unwrap();
+            j.compact().unwrap(); // publishes the snapshot artifact
+            j.record_program(1, 9, 1); // post-snapshot fact
+            j.sync().unwrap();
+        }
+        // Rot a byte inside frame 1 (the GoldenDigest record): the live
+        // scan now stops at the Header, severing every later record.
+        let path = dir.join(WAL_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pos = frame_start(&bytes, 1) + 12 + 2;
+        bytes[pos] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let j = CampaignJournal::open_with_store(&dir, 5, 6, Some(store)).unwrap();
+        // intact frames past the corruption (per_inst + program) counted
+        assert_eq!(j.dropped_records(), 2);
+        // compacted facts come back from the verified snapshot...
+        assert_eq!(j.golden_digest(1), Some((111, 5000)));
+        assert_eq!(j.per_inst_outcome(1, 3, 0), Some(2));
+        // ...the post-snapshot fact is honestly lost (recompute territory)
+        assert_eq!(j.program_outcome(1, 9), None);
+        // severed suffix preserved for forensics
+        assert!(path.with_extension("corrupt").exists());
+    }
+
+    #[test]
+    fn corrupt_store_snapshot_is_quarantined_and_live_log_stands_alone() {
+        let dir = tmpdir("snap-rot");
+        let store_dir = dir.join("store");
+        let store = Arc::new(ArtifactStore::open(&store_dir).unwrap());
+        {
+            let j = CampaignJournal::open_with_store(&dir, 5, 6, Some(store.clone())).unwrap();
+            j.record_golden(1, 111, 5000);
+            j.sync().unwrap();
+            j.compact().unwrap();
+        }
+        // rot the snapshot object itself
+        let ref_path = store_dir
+            .join("refs")
+            .join(WAL_ARTIFACT)
+            .join(format!("{}.ref", wal_ref_name(5, 6)));
+        let hex = std::fs::read_to_string(&ref_path)
+            .unwrap()
+            .trim()
+            .to_string();
+        let obj = store_dir
+            .join("objects")
+            .join(&hex[..2])
+            .join(format!("{hex}.obj"));
+        let mut bytes = std::fs::read(&obj).unwrap();
+        bytes[0] ^= 0xff;
+        std::fs::write(&obj, &bytes).unwrap();
+
+        // open succeeds from the intact live log; the rotten snapshot is
+        // quarantined, not consumed
+        let j = CampaignJournal::open_with_store(&dir, 5, 6, Some(store.clone())).unwrap();
+        assert_eq!(j.golden_digest(1), Some((111, 5000)));
+        assert_eq!(store.quarantined_count().unwrap(), 1);
+        assert!(!obj.exists());
+        // the next compact republishes a fresh, verifiable snapshot
+        j.compact().unwrap();
+        assert!(!store.scrub().unwrap().found_corruption());
     }
 
     #[test]

@@ -51,6 +51,60 @@ pub struct Recovery {
     pub valid_len: u64,
     /// Bytes discarded past `valid_len` (torn or corrupt tail).
     pub truncated_bytes: u64,
+    /// Intact-looking frames found *past* the first invalid one. A plain
+    /// torn tail (crash mid-append) has none; a nonzero count means the
+    /// middle of the log rotted and `dropped_records` good records were
+    /// cut off with it — a loud, distinct recovery outcome, not a normal
+    /// crash artifact. The dropped facts are recomputed on resume.
+    pub dropped_records: u64,
+    /// Where [`open_wal`] quarantined the severed suffix bytes
+    /// (only on mid-file corruption; a torn tail is just truncated).
+    pub quarantined_tail: Option<std::path::PathBuf>,
+}
+
+impl Recovery {
+    /// True when the invalid region was followed by intact frames:
+    /// corruption struck the middle of the file, not the append point.
+    pub fn mid_file_corruption(&self) -> bool {
+        self.dropped_records > 0
+    }
+}
+
+/// Try to parse one frame at `pos`; returns the record and the offset
+/// just past the frame.
+fn try_frame(bytes: &[u8], pos: usize) -> Option<(Record, usize)> {
+    let head = bytes.get(pos..pos + 12)?;
+    let len = u32::from_le_bytes(head[..4].try_into().unwrap());
+    if len > MAX_FRAME {
+        return None;
+    }
+    let sum = u64::from_le_bytes(head[4..12].try_into().unwrap());
+    let payload = bytes.get(pos + 12..pos + 12 + len as usize)?;
+    if fnv64(payload) != sum {
+        return None;
+    }
+    let record = Record::decode(payload).ok()?;
+    Some((record, pos + 12 + len as usize))
+}
+
+/// Count intact frames in the severed region after the first invalid
+/// frame, resynchronizing byte-by-byte. Recovery still stops at the
+/// corruption point — records past a rotten frame cannot be trusted to
+/// be complete — but the count tells the operator (and the trace) that
+/// this was bit rot, not a torn tail, and how much was lost.
+fn count_dropped(bytes: &[u8], from: usize) -> u64 {
+    let mut count = 0u64;
+    let mut pos = from;
+    while pos + 12 <= bytes.len() {
+        match try_frame(bytes, pos) {
+            Some((_, next)) => {
+                count += 1;
+                pos = next;
+            }
+            None => pos += 1,
+        }
+    }
+    count
 }
 
 /// Parse the byte image of a log. Never fails: a log that is corrupt
@@ -67,27 +121,38 @@ fn scan(bytes: &[u8]) -> Recovery {
         return rec;
     }
     let mut pos = PREAMBLE_LEN as usize;
-    while let Some(head) = bytes.get(pos..pos + 12) {
-        let len = u32::from_le_bytes(head[..4].try_into().unwrap());
-        if len > MAX_FRAME {
-            break;
-        }
-        let sum = u64::from_le_bytes(head[4..12].try_into().unwrap());
-        let Some(payload) = bytes.get(pos + 12..pos + 12 + len as usize) else {
-            break;
-        };
-        if fnv64(payload) != sum {
-            break;
-        }
-        let Ok(record) = Record::decode(payload) else {
-            break;
-        };
+    while let Some((record, next)) = try_frame(bytes, pos) {
         rec.records.push(record);
-        pos += 12 + len as usize;
+        pos = next;
     }
     rec.valid_len = pos as u64;
     rec.truncated_bytes = total - pos as u64;
+    if rec.truncated_bytes > 0 {
+        rec.dropped_records = count_dropped(bytes, pos + 1);
+    }
     rec
+}
+
+/// Parse a byte image that is already in memory (e.g. a spool segment
+/// loaded — verified — from the artifact store).
+pub fn scan_bytes(bytes: &[u8]) -> Recovery {
+    scan(bytes)
+}
+
+/// The full byte image of a log holding exactly `records` — preamble
+/// plus checksummed frames, identical to what [`rewrite_wal`] puts on
+/// disk. Used to publish compacted WALs to the artifact store.
+pub fn encode_records(records: &[Record]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(PREAMBLE_LEN as usize + records.len() * 32);
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    for record in records {
+        let payload = record.to_bytes();
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&fnv64(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+    }
+    buf
 }
 
 /// Appending side of the log. Writes are unbuffered (see module docs);
@@ -192,6 +257,28 @@ pub fn open_wal(path: &Path) -> io::Result<(WalWriter, Recovery)> {
             format!("{}: not a minpsid journal (bad magic)", path.display()),
         ));
     }
+    // Mid-file corruption (intact frames beyond the rot) is evidence of
+    // bit rot, not a crash: preserve the severed suffix next to the log
+    // for post-mortem before truncating it away. Torn tails are not
+    // preserved — they are an expected crash artifact.
+    if recovery.dropped_records > 0 {
+        let suffix = &bytes[recovery.valid_len as usize..];
+        let mut n = 0u32;
+        let qpath = loop {
+            let candidate = path.with_extension(if n == 0 {
+                "corrupt".to_string()
+            } else {
+                format!("corrupt.{n}")
+            });
+            if !candidate.exists() {
+                break candidate;
+            }
+            n += 1;
+        };
+        std::fs::write(&qpath, suffix)?;
+        recovery.quarantined_tail = Some(qpath);
+    }
+
     let file = OpenOptions::new().write(true).open(path)?;
     if recovery.truncated_bytes > 0 {
         file.set_len(recovery.valid_len)?;
@@ -229,35 +316,19 @@ pub fn read_wal(path: &Path) -> io::Result<Recovery> {
 }
 
 /// Atomically replace the log at `path` with a compacted one holding
-/// exactly `records`: write to a temp file, fsync, rename over, fsync
-/// the directory. Returns a writer on the new log.
+/// exactly `records`, via the artifact store's crash-safe two-phase
+/// write (hidden tmp sibling + fsync + rename + directory fsync).
+/// Returns a writer positioned at the end of the new log.
 pub fn rewrite_wal(path: &Path, records: &[Record]) -> io::Result<WalWriter> {
-    let tmp = path.with_extension("tmp");
-    let mut file = OpenOptions::new()
-        .create(true)
-        .write(true)
-        .truncate(true)
-        .open(&tmp)?;
-    file.write_all(&MAGIC)?;
-    file.write_all(&VERSION.to_le_bytes())?;
-    let mut w = WalWriter {
+    minpsid_store::two_phase_write(path, &encode_records(records))?;
+    let mut file = OpenOptions::new().write(true).open(path)?;
+    use std::io::Seek;
+    file.seek(io::SeekFrom::End(0))?;
+    Ok(WalWriter {
         file,
         unsynced: 0,
         fsync_every: WalWriter::FSYNC_EVERY,
-    };
-    for r in records {
-        w.append(r)?;
-    }
-    w.unsynced = 1; // force the final fsync even if append just synced
-    w.sync()?;
-    std::fs::rename(&tmp, path)?;
-    if let Some(dir) = path.parent() {
-        // make the rename itself durable
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
-        }
-    }
-    Ok(w)
+    })
 }
 
 #[cfg(test)]
@@ -338,6 +409,81 @@ mod tests {
         for (i, r) in rec.records.iter().enumerate() {
             assert_eq!(*r, sample(i as u64), "prefix intact");
         }
+    }
+
+    /// Locate the byte offset of frame `index` (0-based) in a log image.
+    fn frame_offset(bytes: &[u8], index: usize) -> usize {
+        let mut pos = PREAMBLE_LEN as usize;
+        for _ in 0..index {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 12 + len;
+        }
+        pos
+    }
+
+    #[test]
+    fn mid_file_corruption_is_counted_and_suffix_quarantined() {
+        let dir = tmpdir("midrot");
+        let path = dir.join("j.wal");
+        let (mut w, _) = open_wal(&path).unwrap();
+        for i in 0..10 {
+            w.append(&sample(i)).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        // rot one payload byte in frame 3: frames 0..=2 stay intact,
+        // frames 4..=9 are intact but unreachable past the rot
+        let mut bytes = std::fs::read(&path).unwrap();
+        let off = frame_offset(&bytes, 3);
+        bytes[off + 12] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, rec) = open_wal(&path).unwrap();
+        assert_eq!(rec.records.len(), 3, "replay stops at the rot");
+        assert!(rec.mid_file_corruption());
+        assert_eq!(rec.dropped_records, 6, "intact suffix frames counted");
+        let q = rec.quarantined_tail.expect("severed suffix preserved");
+        assert!(q.exists());
+        assert_eq!(
+            std::fs::read(&q).unwrap().len() as u64,
+            rec.truncated_bytes,
+            "quarantine holds exactly the severed bytes"
+        );
+        // truncation is persistent and the next open is clean
+        let (_, rec2) = open_wal(&path).unwrap();
+        assert_eq!(rec2.records.len(), 3);
+        assert_eq!(rec2.dropped_records, 0);
+        assert!(rec2.quarantined_tail.is_none());
+    }
+
+    #[test]
+    fn torn_tail_is_not_mid_file_corruption() {
+        let dir = tmpdir("torn-vs-rot");
+        let path = dir.join("j.wal");
+        let (mut w, _) = open_wal(&path).unwrap();
+        for i in 0..10 {
+            w.append(&sample(i)).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let (_, rec) = open_wal(&path).unwrap();
+        assert_eq!(rec.records.len(), 9);
+        assert!(!rec.mid_file_corruption(), "torn tail has no intact suffix");
+        assert!(rec.quarantined_tail.is_none());
+    }
+
+    #[test]
+    fn encode_records_matches_rewrite_image() {
+        let dir = tmpdir("encode");
+        let path = dir.join("j.wal");
+        let records: Vec<Record> = (0..7).map(sample).collect();
+        drop(rewrite_wal(&path, &records).unwrap());
+        assert_eq!(std::fs::read(&path).unwrap(), encode_records(&records));
+        let rec = scan_bytes(&encode_records(&records));
+        assert_eq!(rec.records, records);
+        assert_eq!(rec.truncated_bytes, 0);
     }
 
     #[test]

@@ -352,6 +352,15 @@ fn apply(
                 )
                 .set(*workers as f64);
         }
+        Event::StoreEvent { op, artifact, .. } => {
+            registry
+                .counter(
+                    "minpsid_store_ops_total",
+                    "Artifact-store operations (publish/load/quarantine/scrub/…) by artifact class.",
+                    &[("workload", workload), ("op", op), ("artifact", artifact)],
+                )
+                .inc();
+        }
         Event::InterpProfile {
             sample_every,
             total_samples,
@@ -585,6 +594,50 @@ mod tests {
             doc.contains("\"fleet\":{\"workers\":4,\"restarts\":1,\"poisoned_shards\":1}"),
             "{doc}"
         );
+    }
+
+    #[test]
+    fn bridge_counts_store_ops_by_op_and_artifact() {
+        let registry = Registry::new();
+        let board = StatusBoard::new();
+        let mut st = BridgeState {
+            per_kind: BTreeMap::new(),
+        };
+        let mut feed = |e: Event| apply(&mut st, &ev(e), &registry, &board, "hpccg");
+        feed(Event::StoreEvent {
+            op: "publish".into(),
+            artifact: "golden".into(),
+            bytes: 100,
+        });
+        feed(Event::StoreEvent {
+            op: "publish".into(),
+            artifact: "golden".into(),
+            bytes: 100,
+        });
+        feed(Event::StoreEvent {
+            op: "quarantine".into(),
+            artifact: "ckpt".into(),
+            bytes: 64,
+        });
+
+        let snap = registry.snapshot();
+        let fam = snap
+            .iter()
+            .find(|f| f.name == "minpsid_store_ops_total")
+            .expect("store counter family registered");
+        let value = |op: &str, artifact: &str| {
+            fam.series
+                .iter()
+                .find(|s| {
+                    s.labels.iter().any(|(k, v)| k == "op" && v == op)
+                        && s.labels
+                            .iter()
+                            .any(|(k, v)| k == "artifact" && v == artifact)
+                })
+                .map(|s| s.value.clone())
+        };
+        assert_eq!(value("publish", "golden"), Some(SampleValue::Counter(2)));
+        assert_eq!(value("quarantine", "ckpt"), Some(SampleValue::Counter(1)));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The versioned trace event schema.
 //!
-//! Every JSONL line is one [`TimedEvent`]: `{"v":5,"ts_us":…,"kind":…,…}`.
+//! Every JSONL line is one [`TimedEvent`]: `{"v":6,"ts_us":…,"kind":…,…}`.
 //! `v` is [`SCHEMA_VERSION`]; the parser rejects lines whose version it
 //! does not understand, so a report can never silently misparse a log
 //! written by a different schema. Serialization is hand-rolled over
@@ -20,7 +20,12 @@ use crate::json::{parse, Json, JsonError};
 /// capture) in span begin/end pairs so reports render a stage waterfall.
 /// v5: the process-isolated fleet emits `fleet_worker`/`fleet_shard`
 /// lifecycle events and a `fleet_summary` at the end of a `--workers` run.
-pub const SCHEMA_VERSION: u32 = 5;
+/// v6: the content-addressed artifact store emits `store_event`
+/// (publish/load/quarantine/scrub per artifact class), and
+/// `journal_recovery` carries `dropped_records` — the count of intact
+/// suffix records lost to a checksum mismatch in the *middle* of the WAL
+/// (0 for a plain torn tail).
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Which campaign shape produced a progress/end event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,7 +186,14 @@ pub enum Event {
     },
     /// Crash-safe journal opened: how much prior state was recovered and
     /// how many bytes of torn/corrupt tail were truncated.
-    JournalRecovery { records: u64, truncated_bytes: u64 },
+    /// `dropped_records` counts intact-looking records found *after* the
+    /// first corrupt frame: nonzero means mid-file corruption (bit rot),
+    /// not an ordinary torn tail, and those records will be recomputed.
+    JournalRecovery {
+        records: u64,
+        truncated_bytes: u64,
+        dropped_records: u64,
+    },
     /// End-of-run journal usage: injections served from the journal
     /// (recovered) vs executed fresh and appended (replayed).
     JournalStats { recovered: u64, appended: u64 },
@@ -267,6 +279,16 @@ pub enum Event {
         reassigned: u64,
         poisoned_shards: u64,
     },
+    /// Artifact-store operation. `op` is one of `publish`, `load`,
+    /// `quarantine`, `chaos_flip`, `scrub`, `gc`; `artifact` is the
+    /// artifact class (`golden`, `ckpt`, `spool`, `wal`, …— `*` for
+    /// store-wide ops); `bytes` is the object size (for `scrub`/`gc`,
+    /// the number of objects examined).
+    StoreEvent {
+        op: String,
+        artifact: String,
+        bytes: u64,
+    },
 }
 
 impl Event {
@@ -296,6 +318,7 @@ impl Event {
             Event::FleetWorker { .. } => "fleet_worker",
             Event::FleetShard { .. } => "fleet_shard",
             Event::FleetSummary { .. } => "fleet_summary",
+            Event::StoreEvent { .. } => "store_event",
         }
     }
 }
@@ -485,9 +508,11 @@ impl TimedEvent {
             Event::JournalRecovery {
                 records,
                 truncated_bytes,
+                dropped_records,
             } => {
                 o.set("records", Json::U64(*records));
                 o.set("truncated_bytes", Json::U64(*truncated_bytes));
+                o.set("dropped_records", Json::U64(*dropped_records));
             }
             Event::JournalStats {
                 recovered,
@@ -622,6 +647,15 @@ impl TimedEvent {
                 o.set("reassigned", Json::U64(*reassigned));
                 o.set("poisoned_shards", Json::U64(*poisoned_shards));
             }
+            Event::StoreEvent {
+                op,
+                artifact,
+                bytes,
+            } => {
+                o.set("op", Json::Str(op.clone()));
+                o.set("artifact", Json::Str(artifact.clone()));
+                o.set("bytes", Json::U64(*bytes));
+            }
         }
         o.render()
     }
@@ -726,6 +760,7 @@ impl TimedEvent {
             "journal_recovery" => Event::JournalRecovery {
                 records: field_u64(&v, "records")?,
                 truncated_bytes: field_u64(&v, "truncated_bytes")?,
+                dropped_records: field_u64(&v, "dropped_records")?,
             },
             "journal_stats" => Event::JournalStats {
                 recovered: field_u64(&v, "recovered")?,
@@ -812,6 +847,11 @@ impl TimedEvent {
                 deaths: field_u64(&v, "deaths")?,
                 reassigned: field_u64(&v, "reassigned")?,
                 poisoned_shards: field_u64(&v, "poisoned_shards")?,
+            },
+            "store_event" => Event::StoreEvent {
+                op: field_str(&v, "op")?,
+                artifact: field_str(&v, "artifact")?,
+                bytes: field_u64(&v, "bytes")?,
             },
             other => return Err(SchemaError::UnknownKind(other.to_string())),
         };
@@ -922,6 +962,7 @@ mod tests {
         rt(Event::JournalRecovery {
             records: 321,
             truncated_bytes: 13,
+            dropped_records: 2,
         });
         rt(Event::JournalStats {
             recovered: 200,
@@ -991,6 +1032,11 @@ mod tests {
             reassigned: 3,
             poisoned_shards: 1,
         });
+        rt(Event::StoreEvent {
+            op: "quarantine".into(),
+            artifact: "golden".into(),
+            bytes: 4096,
+        });
     }
 
     #[test]
@@ -1000,7 +1046,7 @@ mod tests {
             event: Event::TraceEnd { dur_us: 0 },
         }
         .to_line()
-        .replace("\"v\":5", "\"v\":999");
+        .replace("\"v\":6", "\"v\":999");
         assert!(matches!(
             TimedEvent::parse_line(&line),
             Err(SchemaError::Version(999))
@@ -1010,11 +1056,11 @@ mod tests {
     #[test]
     fn unknown_kind_and_missing_fields_are_rejected() {
         assert!(matches!(
-            TimedEvent::parse_line(r#"{"v":5,"ts_us":0,"kind":"mystery"}"#),
+            TimedEvent::parse_line(r#"{"v":6,"ts_us":0,"kind":"mystery"}"#),
             Err(SchemaError::UnknownKind(_))
         ));
         assert!(matches!(
-            TimedEvent::parse_line(r#"{"v":5,"ts_us":0,"kind":"counter","name":"x"}"#),
+            TimedEvent::parse_line(r#"{"v":6,"ts_us":0,"kind":"counter","name":"x"}"#),
             Err(SchemaError::MissingField("value"))
         ));
         assert!(matches!(

@@ -155,6 +155,8 @@ pub struct TraceSummary {
     pub knapsack: Option<KnapsackStat>,
     pub cache: Option<CacheStat>,
     pub journal: Option<JournalStat>,
+    /// Artifact-store accounting aggregated over `store_event`s.
+    pub store: Option<StoreStat>,
     /// Run-level scheduler accounting (last `sched_summary` event).
     pub sched: Option<SchedStat>,
     /// Raw resilience event counts, present even when the run died
@@ -200,8 +202,20 @@ pub struct KnapsackStat {
 pub struct JournalStat {
     pub recovered_records: u64,
     pub truncated_bytes: u64,
+    /// Intact records dropped past a mid-file checksum mismatch
+    /// (nonzero = bit rot inside the WAL, not a torn tail).
+    pub dropped_records: u64,
     pub served: u64,
     pub appended: u64,
+}
+
+/// Content-addressed artifact store accounting: per-op event counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStat {
+    pub publishes: u64,
+    pub loads: u64,
+    pub quarantines: u64,
+    pub chaos_flips: u64,
 }
 
 /// Process-isolated fleet accounting: worker spawns/deaths, shard
@@ -399,10 +413,12 @@ pub fn summarize(events: &[TimedEvent]) -> TraceSummary {
             Event::JournalRecovery {
                 records,
                 truncated_bytes,
+                dropped_records,
             } => {
                 let j = s.journal.get_or_insert_with(JournalStat::default);
                 j.recovered_records = *records;
                 j.truncated_bytes = *truncated_bytes;
+                j.dropped_records = *dropped_records;
             }
             Event::JournalStats {
                 recovered,
@@ -466,6 +482,16 @@ pub fn summarize(events: &[TimedEvent]) -> TraceSummary {
             }
             Event::FleetWorker { .. } => s.fleet_worker_events += 1,
             Event::FleetShard { .. } => s.fleet_shard_events += 1,
+            Event::StoreEvent { op, .. } => {
+                let st = s.store.get_or_insert_with(StoreStat::default);
+                match op.as_str() {
+                    "publish" => st.publishes += 1,
+                    "load" => st.loads += 1,
+                    "quarantine" => st.quarantines += 1,
+                    "chaos_flip" => st.chaos_flips += 1,
+                    _ => {}
+                }
+            }
             Event::FleetSummary {
                 workers,
                 spawns,
@@ -726,12 +752,28 @@ pub fn render_markdown(s: &TraceSummary) -> String {
             "- recovery: {} record(s) replayed from the log, {} byte(s) of torn tail truncated",
             j.recovered_records, j.truncated_bytes
         );
+        if j.dropped_records > 0 {
+            let _ = writeln!(
+                out,
+                "- **mid-file corruption**: {} intact record(s) dropped past a checksum mismatch and recomputed",
+                j.dropped_records
+            );
+        }
         let _ = writeln!(
             out,
             "- injections served from the journal: {} recovered vs {} executed fresh ({:.1}% of the run skipped)\n",
             j.served,
             j.appended,
             pct(j.served, j.served + j.appended)
+        );
+    }
+
+    if let Some(st) = &s.store {
+        let _ = writeln!(out, "## Artifact store\n");
+        let _ = writeln!(
+            out,
+            "- {} publish(es), {} verified load(s), {} quarantine(s), {} chaos flip(s)\n",
+            st.publishes, st.loads, st.quarantines, st.chaos_flips
         );
     }
 
@@ -1044,6 +1086,7 @@ mod tests {
             Event::JournalRecovery {
                 records: 120,
                 truncated_bytes: 7,
+                dropped_records: 0,
             },
             Event::JournalStats {
                 recovered: 150,

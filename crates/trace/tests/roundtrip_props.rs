@@ -148,7 +148,7 @@ proptest! {
                 func: name,
                 counts: tally([seed[0], seed[1], seed[2], seed[3], seed[4]]),
             },
-            2 => Event::JournalRecovery { records: seed[0], truncated_bytes: seed[1] },
+            2 => Event::JournalRecovery { records: seed[0], truncated_bytes: seed[1], dropped_records: seed[2] },
             3 => Event::JournalStats { recovered: seed[0], appended: seed[1] },
             _ => Event::CacheStats { hits: seed[0], misses: seed[1], entries: seed[2] },
         };

@@ -142,6 +142,41 @@ test -s "$TRACE_TMP/fleet-j-term/campaign.wal"
   > "$TRACE_TMP/fleet-resumed.txt" 2>/dev/null
 diff "$TRACE_TMP/fleet-ref.txt" "$TRACE_TMP/fleet-resumed.txt"
 
+echo "== store smoke (scrub exit codes, corruption heals, cross-invocation cache hits)"
+# first store-backed run populates the store; scrub verifies clean (exit 0)
+STORE_ARGS=(minpsid pathfinder --quick --seed 42 --level 0.5)
+rm -rf "$TRACE_TMP/store"
+"$CLI" "${STORE_ARGS[@]}" --quiet --store "$TRACE_TMP/store" > "$TRACE_TMP/store-run1.txt"
+"$CLI" store scrub "$TRACE_TMP/store" >/dev/null
+# cross-invocation golden-cache hit: the second run is served verified
+# artifacts from disk (no recompute) and prints identical bytes
+"$CLI" "${STORE_ARGS[@]}" --store "$TRACE_TMP/store" \
+  > "$TRACE_TMP/store-run2.txt" 2> "$TRACE_TMP/store-run2-err.txt"
+diff "$TRACE_TMP/store-run1.txt" "$TRACE_TMP/store-run2.txt"
+grep -Eq "golden cache +0 hits / [1-9][0-9]* disk hits / 0 misses" \
+  "$TRACE_TMP/store-run2-err.txt" \
+  || { echo "second run was not served from the store"; exit 1; }
+# bit-rot one object: scrub must quarantine it and exit 3 (not 0, not 1)
+OBJ="$(find "$TRACE_TMP/store/objects" -name '*.obj' | head -1)"
+printf 'X' | dd of="$OBJ" bs=1 seek=3 conv=notrunc 2>/dev/null
+set +e
+"$CLI" store scrub "$TRACE_TMP/store" >/dev/null
+SCRUB_EXIT=$?
+set -e
+test "$SCRUB_EXIT" = "3" \
+  || { echo "scrub on a corrupt store exited $SCRUB_EXIT, want 3"; exit 1; }
+# the next campaign recomputes the quarantined artifact: byte-identical
+# report, and the store scrubs clean (exit 0) again
+"$CLI" "${STORE_ARGS[@]}" --quiet --store "$TRACE_TMP/store" > "$TRACE_TMP/store-run3.txt"
+diff "$TRACE_TMP/store-run1.txt" "$TRACE_TMP/store-run3.txt"
+"$CLI" store scrub "$TRACE_TMP/store" >/dev/null
+# chaos-flip across a journaled fleet run: segments rot between worker
+# fsync and merge, shards re-execute, report + WAL stay byte-identical
+"$CLI" "${FLEET_ARGS[@]}" --workers 2 --chaos-flip-artifact-one-in 2 \
+  --journal "$TRACE_TMP/fleet-j-flip" > "$TRACE_TMP/fleet-flip.txt" 2>/dev/null
+diff "$TRACE_TMP/fleet-threads.txt" "$TRACE_TMP/fleet-flip.txt"
+cmp "$TRACE_TMP/fleet-j-threads/campaign.wal" "$TRACE_TMP/fleet-j-flip/campaign.wal"
+
 echo "== fleet-overhead guard (fleet_overhead_pct <= 5% in committed baseline)"
 # process isolation buys crash containment; the committed bench baseline
 # carries its measured cost. Skips gracefully when the baseline predates

@@ -22,6 +22,10 @@
 //!   resume-after-crash, cooperative interrupts;
 //! * [`sched`] — resilient campaign scheduler: retry/backoff,
 //!   site quarantine, Wilson-interval early stopping, deadlines;
+//! * [`fleet`] — process-isolated campaign fleet: supervised workers,
+//!   lease-based shard reassignment, poison-shard quarantine;
+//! * [`store`] — self-verifying content-addressed artifact store:
+//!   digest-verified loads, corruption quarantine, scrub/gc;
 //! * [`workloads`] — the 11 benchmarks of Table I.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
@@ -30,11 +34,13 @@
 pub use minic;
 pub use minpsid;
 pub use minpsid_faultsim as faultsim;
+pub use minpsid_fleet as fleet;
 pub use minpsid_interp as interp;
 pub use minpsid_ir as ir;
 pub use minpsid_journal as journal;
 pub use minpsid_metrics as metrics;
 pub use minpsid_sched as sched;
 pub use minpsid_sid as sid;
+pub use minpsid_store as store;
 pub use minpsid_trace as trace;
 pub use minpsid_workloads as workloads;
