@@ -18,14 +18,18 @@
 //! Run with `cargo bench --bench fi_checkpoint_throughput`.
 
 use criterion::black_box;
+use minpsid::input_fingerprint;
 use minpsid_faultsim::{
     golden_run, per_instruction_campaign, CampaignConfig, CampaignConfigBuilder, CampaignEngine,
-    CampaignJournal, GoldenRun,
+    CampaignJournal, GoldenRun, TableMemo,
 };
 use minpsid_interp::ProgInput;
+use minpsid_ir::inst::{BinOp, InstKind};
 use minpsid_ir::Module;
+use minpsid_store::ArtifactStore;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 const WORKLOADS: &[&str] = &["hpccg", "fft", "xsbench"];
@@ -108,6 +112,17 @@ struct Row {
     /// Median of per-pair workers/threads ratios at matched
     /// parallelism, as a percent overhead; the budget is <5%.
     fleet_overhead_pct: f64,
+    /// The function the one-function-edit scenario edits.
+    edited_fn: &'static str,
+    /// From-scratch campaign (both shapes) of the edited module.
+    scratch_s: f64,
+    /// Incremental re-campaign of the edited module over the sealed
+    /// section tables of the original.
+    incr_s: f64,
+    /// Injections the incremental re-campaign served from tables vs
+    /// executed fresh.
+    incr_served: u64,
+    incr_executed: u64,
 }
 
 impl Row {
@@ -147,6 +162,19 @@ impl Row {
     /// Journaled 4-thread speedup over journaled serial.
     fn journaled_speedup_4t(&self) -> f64 {
         self.journaled_s[0] / self.journaled_s[2]
+    }
+
+    /// Share of the incremental re-campaign's injections served from
+    /// sealed section tables instead of executing.
+    fn sections_reused_pct(&self) -> f64 {
+        100.0 * self.incr_served as f64 / (self.incr_served + self.incr_executed).max(1) as f64
+    }
+
+    /// Wall-clock speedup of the incremental re-campaign over a
+    /// from-scratch campaign of the same edited module; the regression
+    /// guard is >1.5x.
+    fn incremental_speedup(&self) -> f64 {
+        self.scratch_s / self.incr_s
     }
 }
 
@@ -232,6 +260,90 @@ fn time_cli_ab(
         (ratios[ratios.len() / 2 - 1] + ratios[ratios.len() / 2]) / 2.0
     };
     ((best.0, reports.0), (best.1, reports.1), median)
+}
+
+/// Whole-program campaign size for the one-function-edit incremental
+/// scenario: big enough that the program shape dominates the injection
+/// budget (as real campaigns do), small enough to keep the bench fast.
+fn incr_program_injections() -> u64 {
+    std::env::var("FI_BENCH_INCR_INJECTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_500)
+}
+
+/// Which function the one-function-edit scenario edits: a small routine
+/// with thin callers, so most injection mass lives in untouched sections
+/// — the realistic "tweak one utility function" re-campaign.
+fn edit_target(name: &str) -> &'static str {
+    match name {
+        "hpccg" => "init",
+        "fft" => "condition",
+        "xsbench" => "resonance",
+        other => panic!("no edit target for workload {other}"),
+    }
+}
+
+/// Value-preserving one-function edit: swap the operands of the first
+/// commutative binop in `fname` (IEEE add and mul are bitwise
+/// commutative). The function's content fingerprint changes; the golden
+/// output, step count, and every section's dynamic profile do not —
+/// exactly the edit shape whose sealed tables must survive.
+fn edit_one_function(module: &Module, fname: &str) -> Module {
+    let mut m = module.clone();
+    let fid = m.func_by_name(fname).expect("edit target exists");
+    for inst in &mut m.funcs[fid.0 as usize].insts {
+        if let InstKind::Bin {
+            op: BinOp::Add | BinOp::Mul,
+            lhs,
+            rhs,
+        } = &mut inst.kind
+        {
+            if lhs != rhs {
+                std::mem::swap(lhs, rhs);
+                return m;
+            }
+        }
+    }
+    panic!("no commutative binop to edit in {fname}");
+}
+
+/// Recursive copy of a sealed store: the incremental re-campaign seals
+/// tables for the edited sections, so each timed rep needs a pristine
+/// copy or later reps would serve everything and time nothing.
+fn copy_dir(src: &std::path::Path, dst: &std::path::Path) {
+    std::fs::create_dir_all(dst).expect("create store copy dir");
+    for entry in std::fs::read_dir(src).expect("read store dir") {
+        let entry = entry.expect("store dir entry");
+        let to = dst.join(entry.file_name());
+        if entry.file_type().expect("file type").is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).expect("copy store file");
+        }
+    }
+}
+
+/// Both campaign shapes back to back (the incremental scenario budgets
+/// program + per-instruction together, like a real `minpsid fi` run).
+fn run_both_shapes(
+    module: &Module,
+    input: &ProgInput,
+    golden: &GoldenRun,
+    cfg: &CampaignConfig,
+    memo: Option<&TableMemo>,
+) -> (String, String) {
+    let mut e = CampaignEngine::new(module, input, golden, cfg);
+    if let Some(m) = memo {
+        e = e.with_tables(m);
+    }
+    let program = e
+        .run_program()
+        .expect("bench campaigns are never interrupted");
+    let per_inst = e
+        .run_per_instruction()
+        .expect("bench campaigns are never interrupted");
+    (format!("{program:?}"), format!("{per_inst:?}"))
 }
 
 /// Best-of-`n` wall-clock of one full per-instruction campaign.
@@ -422,6 +534,76 @@ fn main() {
             "{name}: 4-worker fleet report diverged"
         );
 
+        // one-function-edit incremental columns: seal section tables for
+        // the pristine module, apply a value-preserving edit to one small
+        // function, and compare a from-scratch campaign of the edited
+        // module against an incremental re-campaign over the sealed
+        // tables. Identity gate first: the incremental reports must match
+        // from-scratch byte for byte, or the speedup is meaningless.
+        let efn = edit_target(name);
+        let m2 = edit_one_function(&module, efn);
+        let incr_cfg = CampaignConfigBuilder::new(42)
+            .injections(incr_program_injections())
+            .and_then(|b| b.per_inst_injections(injections() as u64))
+            .expect("positive injection counts")
+            .build();
+        let g1 = golden_run(&module, &input, &incr_cfg).expect("golden run");
+        let g2 = golden_run(&m2, &input, &incr_cfg).expect("edited golden run");
+        let input_fp = input_fingerprint(&input);
+        let seed_store =
+            std::env::temp_dir().join(format!("minpsid-bench-incr-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&seed_store);
+        {
+            let store = Arc::new(ArtifactStore::open(&seed_store).expect("open seed store"));
+            let memo = TableMemo::new(store, input_fp);
+            black_box(run_both_shapes(
+                &module,
+                &input,
+                &g1,
+                &incr_cfg,
+                Some(&memo),
+            ));
+            assert!(memo.stats().tables_sealed > 0, "{name}: no tables sealed");
+        }
+        let scratch_reports = run_both_shapes(&m2, &input, &g2, &incr_cfg, None);
+        let (incr_served, incr_executed) = {
+            let dir = seed_store.with_extension("gate");
+            let _ = std::fs::remove_dir_all(&dir);
+            copy_dir(&seed_store, &dir);
+            let store = Arc::new(ArtifactStore::open(&dir).expect("open gate store"));
+            let memo = TableMemo::new(store, input_fp);
+            let got = run_both_shapes(&m2, &input, &g2, &incr_cfg, Some(&memo));
+            assert_eq!(
+                got, scratch_reports,
+                "{name}: incremental re-campaign diverged from from-scratch"
+            );
+            let s = memo.stats();
+            assert!(
+                s.injections_served > 0,
+                "{name}: the edit invalidated every section"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+            (s.injections_served, s.injections_executed)
+        };
+        let mut scratch_s = f64::INFINITY;
+        let mut incr_s = f64::INFINITY;
+        for rep in 0..reps() {
+            let t = Instant::now();
+            black_box(run_both_shapes(&m2, &input, &g2, &incr_cfg, None));
+            scratch_s = scratch_s.min(t.elapsed().as_secs_f64());
+
+            let dir = seed_store.with_extension(format!("r{rep}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            copy_dir(&seed_store, &dir);
+            let store = Arc::new(ArtifactStore::open(&dir).expect("open rep store"));
+            let memo = TableMemo::new(store, input_fp);
+            let t = Instant::now();
+            black_box(run_both_shapes(&m2, &input, &g2, &incr_cfg, Some(&memo)));
+            incr_s = incr_s.min(t.elapsed().as_secs_f64());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let _ = std::fs::remove_dir_all(&seed_store);
+
         let row = Row {
             name,
             golden_steps: g_warm.steps,
@@ -439,6 +621,11 @@ fn main() {
             fleet_threads_s,
             fleet_workers_s,
             fleet_overhead_pct: (fleet_ratio - 1.0) * 100.0,
+            edited_fn: efn,
+            scratch_s,
+            incr_s,
+            incr_served,
+            incr_executed,
         };
         println!(
             "bench fi/{:<10} cold {:>8.3} s   checkpointed {:>8.3} s   speedup {:>5.2}x   \
@@ -494,6 +681,18 @@ fn main() {
             row.fleet_overhead_pct,
             row.workers_t4_s
         );
+        println!(
+            "bench fi/{:<10} incremental: edit {}: scratch {:>7.3} s   incremental {:>7.3} s   \
+             speedup {:>5.2}x   reuse {:>5.1}%   ({} served / {} executed)",
+            row.name,
+            row.edited_fn,
+            row.scratch_s,
+            row.incr_s,
+            row.incremental_speedup(),
+            row.sections_reused_pct(),
+            row.incr_served,
+            row.incr_executed
+        );
         rows.push(row);
     }
 
@@ -516,7 +715,10 @@ fn main() {
              \"journaled_t4_s\": {:.4}, \"journaled_t8_s\": {:.4}, \
              \"journaled_speedup_4t\": {:.3}, \
              \"workers_t4_s\": {:.4}, \"fleet_threads_s\": {:.4}, \
-             \"fleet_workers_s\": {:.4}, \"fleet_overhead_pct\": {:.2}}}{}",
+             \"fleet_workers_s\": {:.4}, \"fleet_overhead_pct\": {:.2}, \
+             \"edited_fn\": \"{}\", \"scratch_s\": {:.4}, \"incremental_s\": {:.4}, \
+             \"incr_served\": {}, \"incr_executed\": {}, \
+             \"sections_reused_pct\": {:.2}, \"incremental_speedup\": {:.3}}}{}",
             r.name,
             r.golden_steps,
             r.snapshots,
@@ -543,6 +745,13 @@ fn main() {
             r.fleet_threads_s,
             r.fleet_workers_s,
             r.fleet_overhead_pct,
+            r.edited_fn,
+            r.scratch_s,
+            r.incr_s,
+            r.incr_served,
+            r.incr_executed,
+            r.sections_reused_pct(),
+            r.incremental_speedup(),
             if i + 1 < rows.len() { "," } else { "" }
         )
         .unwrap();

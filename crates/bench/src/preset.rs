@@ -110,6 +110,7 @@ impl Preset {
             strategy: SearchStrategy::Genetic,
             use_dp: false,
             deadline_secs: None,
+            incremental: true,
         }
     }
 }

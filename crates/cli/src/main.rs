@@ -14,12 +14,13 @@
 
 use minpsid::{
     config_fingerprint, input_fingerprint, minpsid_config_fingerprint, module_fingerprint,
-    run_minpsid_cached, run_minpsid_journaled, GoldenCache, MinpsidConfig, PipelineError,
+    module_section_map, run_minpsid_cached, run_minpsid_journaled, GoldenCache, MinpsidConfig,
+    PipelineError,
 };
 use minpsid_faultsim::{
     binomial_ci, golden_run, interrupt, CampaignConfig, CampaignConfigBuilder, CampaignEngine,
     CampaignJournal, Deadline, FailureKind, Outcome, OutcomeCounts, ProgramCampaign, SchedSnapshot,
-    Scheduler,
+    Scheduler, TableMemo, TableStatsSnapshot,
 };
 use minpsid_interp::{ExecConfig, Interp, ProgInput, Scalar};
 use minpsid_ir::printer::print_module;
@@ -121,6 +122,7 @@ fn main() -> ExitCode {
         "propagate" => cmd_propagate(rest),
         "sid" => cmd_sid(rest),
         "minpsid" => cmd_minpsid(rest),
+        "sections" => cmd_sections(rest),
         "store" => cmd_store(rest),
         "trace" => cmd_trace(rest),
         "help" | "--help" | "-h" => {
@@ -322,12 +324,16 @@ usage:
   minpsid propagate <bench> [--nth K] [--bit B]
   minpsid sid <bench> [--level 0.5] [--seed S]
   minpsid minpsid <bench> [--level 0.5] [--seed S] [--json]
+  minpsid sections <bench> [--static]    # per-function fingerprints and
+                                         # dynamic ranges (incremental FI)
   minpsid trace report <log.jsonl> [-o out/]   # analyze a trace log
   minpsid trace check <log.jsonl>              # validate a trace log
   minpsid store scrub <dir>              # verify every object; exit 3 if
                                          # corruption was found+quarantined
   minpsid store gc <dir>                 # drop unreferenced objects
-  minpsid store ls <dir>                 # list objects with back-refs
+  minpsid store ls <dir> [--kind K]      # list objects with back-refs,
+                                         # filtered by artifact class,
+                                         # plus per-kind byte totals
 
 FI campaign options (fi/analyze/sid/minpsid):
   --injections N            whole-program campaign size (default 1000)
@@ -409,6 +415,14 @@ self-verifying artifact store (fi/minpsid):
                             published artifact between write and read;
                             reports must not change (corruption is
                             detected and healed by recompute)
+
+incremental re-campaigns (fi/minpsid, needs --store or --journal):
+  --incremental             memoize sealed per-section outcome tables in
+                            the store and serve them on later runs, so a
+                            re-campaign after an edit re-executes only
+                            the touched functions (default when a store
+                            is attached)
+  --no-incremental          always re-execute every injection
 
 live observability:
   --status-addr ADDR        serve /metrics (Prometheus text) and /status
@@ -603,14 +617,22 @@ fn cmd_fi(rest: &[String]) -> Result<(), String> {
         campaign.sched.clone(),
         Deadline::from_secs(parse_deadline(rest)?),
     );
-    let journal = open_fi_journal(rest, &module, &campaign)?;
+    let store = open_run_store(rest)?;
+    let journal = open_fi_journal(rest, &module, &campaign, store.clone())?;
     let golden =
         golden_run(&module, &input, &campaign).map_err(|t| format!("golden run failed: {t:?}"))?;
+    let input_fp = input_fingerprint(&input);
+    let memo = match (parse_incremental(rest)?, &store) {
+        (true, Some(s)) => Some(TableMemo::new(s.clone(), input_fp)),
+        _ => None,
+    };
     let mut engine =
         CampaignEngine::new(&module, &input, &golden, &campaign).with_scheduler(&sched);
-    let input_fp = input_fingerprint(&input);
     if let Some(j) = &journal {
         engine = engine.with_journal(j, input_fp);
+    }
+    if let Some(m) = &memo {
+        engine = engine.with_tables(m);
     }
     let c = match engine.run_program() {
         Ok(c) => c,
@@ -627,6 +649,88 @@ fn cmd_fi(rest: &[String]) -> Result<(), String> {
         diag!(
             "journal: {served} injections served, {appended} records appended ({})",
             j.dir().display()
+        );
+    }
+    if let Some(m) = &memo {
+        table_stats_diag(&m.stats());
+    }
+    Ok(())
+}
+
+/// `--incremental` / `--no-incremental`: memoize sealed per-section
+/// outcome tables in the artifact store and serve them on later runs.
+/// Default *on* whenever a store is attached (the flag is a no-op
+/// without one), so `--no-incremental` is the escape hatch.
+fn parse_incremental(rest: &[String]) -> Result<bool, String> {
+    let on = rest.iter().any(|a| a == "--incremental");
+    let off = rest.iter().any(|a| a == "--no-incremental");
+    if on && off {
+        return Err("--incremental and --no-incremental are mutually exclusive".into());
+    }
+    Ok(!off)
+}
+
+/// One stderr line of section-table usage, the incremental analogue of
+/// the journal served/appended line.
+fn table_stats_diag(ts: &TableStatsSnapshot) {
+    diag!(
+        "sections: {} hit / {} missed / {} recomputed; {} injections served \
+         from tables, {} executed, {} tables sealed",
+        ts.sections_hit,
+        ts.sections_missed,
+        ts.sections_recomputed,
+        ts.injections_served,
+        ts.injections_executed,
+        ts.tables_sealed,
+    );
+}
+
+/// `minpsid sections <bench>` — the per-function section table that
+/// drives compositional FI: content fingerprint (stable under edits to
+/// *other* functions), dense static-instruction range, injectable sites,
+/// direct callees, and — unless `--static` — each section's
+/// dynamic-instruction range under the benchmark input (golden run).
+fn cmd_sections(rest: &[String]) -> Result<(), String> {
+    let name = first_arg(rest, "benchmark name")?;
+    let module = load_module(name)?;
+    let map = module_section_map(&module);
+    let calls = minpsid_ir::fingerprint::callees(&module);
+    let golden = if rest.iter().any(|a| a == "--static") {
+        None
+    } else {
+        let input = parse_input(name, rest)?;
+        let campaign = parse_campaign(rest)?;
+        Some(
+            golden_run(&module, &input, &campaign)
+                .map_err(|t| format!("golden run failed: {t:?}"))?,
+        )
+    };
+    println!(
+        "{:<20} {:>16} {:>13} {:>10} {:>21}  callees",
+        "function", "fingerprint", "dense range", "injectable", "dynamic steps"
+    );
+    for ((fid, f), &(fp, base, len)) in module.iter_funcs().zip(&map) {
+        let injectable = f.insts.iter().filter(|i| i.injectable()).count();
+        let dynamic = match &golden {
+            None => "-".to_string(),
+            Some(g) => match g.profile.section_range(fid) {
+                Some((first, last)) => format!("[{first}, {last}]"),
+                None => "(never runs)".to_string(),
+            },
+        };
+        let callees: Vec<&str> = calls[fid.index()]
+            .iter()
+            .map(|c| module.func(*c).name.as_str())
+            .collect();
+        println!(
+            "{:<20} {fp:016x} {:>13} {injectable:>10} {dynamic:>21}  {}",
+            f.name,
+            format!("[{base}, {})", base + len),
+            if callees.is_empty() {
+                "-".to_string()
+            } else {
+                callees.join(" ")
+            }
         );
     }
     Ok(())
@@ -695,7 +799,32 @@ fn cmd_store(rest: &[String]) -> Result<(), String> {
             Ok(())
         }
         "ls" => {
+            // `--kind K` keeps only objects referenced under artifact
+            // class K (`table`, `wal`, `golden`, ...); the per-kind
+            // totals always cover the whole store.
+            let kind_filter = flag_value(rest, "--kind");
+            let mut totals: std::collections::BTreeMap<String, (u64, u64)> = Default::default();
             for e in store.ls().map_err(|e| format!("ls: {e}"))? {
+                let mut kinds: Vec<&str> = e
+                    .refs
+                    .iter()
+                    .map(|r| r.split_once('/').map_or(r.as_str(), |(k, _)| k))
+                    .collect();
+                kinds.sort_unstable();
+                kinds.dedup();
+                if kinds.is_empty() {
+                    kinds.push("(unreferenced)");
+                }
+                for k in &kinds {
+                    let t = totals.entry((*k).to_string()).or_default();
+                    t.0 += 1;
+                    t.1 += e.bytes;
+                }
+                if let Some(f) = &kind_filter {
+                    if !kinds.contains(&f.as_str()) {
+                        continue;
+                    }
+                }
                 println!(
                     "{} {:>10} {}",
                     e.digest,
@@ -706,6 +835,11 @@ fn cmd_store(rest: &[String]) -> Result<(), String> {
                         e.refs.join(" ")
                     }
                 );
+            }
+            for (k, (n, bytes)) in &totals {
+                if kind_filter.as_ref().is_none_or(|f| f == k) {
+                    println!("{k}: {n} objects, {bytes} bytes");
+                }
             }
             Ok(())
         }
@@ -731,6 +865,7 @@ fn open_fi_journal(
     rest: &[String],
     module: &Module,
     campaign: &CampaignConfig,
+    store: Option<Arc<ArtifactStore>>,
 ) -> Result<Option<CampaignJournal>, String> {
     let resume = flag_value(rest, "--resume");
     let Some(dir) = flag_value(rest, "--journal").or_else(|| resume.clone()) else {
@@ -743,11 +878,15 @@ fn open_fi_journal(
             dir.display()
         ));
     }
-    let j = CampaignJournal::open_with_store(
+    // Opening through the section map lets a resume after a program edit
+    // keep the per-instruction facts of untouched functions instead of
+    // refusing outright.
+    let j = CampaignJournal::open_with_sections(
         &dir,
         module_fingerprint(module),
         fi_journal_key(campaign),
-        open_run_store(rest)?,
+        &module_section_map(module),
+        store,
     )
     .map_err(|e| format!("opening journal: {e}"))?;
     let (recovered, truncated) = j.recovery_stats();
@@ -848,6 +987,9 @@ const FLEET_SUPERVISOR_FLAGS: &[(&str, bool)] = &[
     ("--chaos-kill-worker-ms", true),
     ("--progress", false),
     ("--quiet", false),
+    // table memoization is supervisor-side (workers have no store)
+    ("--incremental", false),
+    ("--no-incremental", false),
 ];
 
 /// The argv a fleet worker is re-exec'd with: the benchmark name plus
@@ -891,7 +1033,7 @@ fn cmd_fi_fleet(name: &str, rest: &[String], workers: usize) -> Result<(), Strin
     let injections = campaign.injections as u64;
     let input_fp = input_fingerprint(&input);
 
-    let journal = open_fi_journal(rest, &module, &campaign)?;
+    let journal = open_fi_journal(rest, &module, &campaign, open_run_store(rest)?)?;
     // Fleet runs are always interruptible: SIGTERM/SIGINT stop leasing,
     // salvage finished units, and (when journaled) leave a resumable WAL.
     install_interrupt_handlers();
@@ -1291,6 +1433,7 @@ fn cmd_minpsid(rest: &[String]) -> Result<(), String> {
         protection_level: parse_level(rest)?,
         campaign: parse_campaign(rest)?,
         deadline_secs: parse_deadline(rest)?,
+        incremental: parse_incremental(rest)?,
         ..MinpsidConfig::default()
     };
     if quick {
@@ -1328,10 +1471,11 @@ fn cmd_minpsid(rest: &[String]) -> Result<(), String> {
                 dir.display()
             ));
         }
-        let j = CampaignJournal::open_with_store(
+        let j = CampaignJournal::open_with_sections(
             &dir,
             module_fingerprint(&module),
             minpsid_config_fingerprint(&cfg),
+            &module_section_map(&module),
             store.clone(),
         )
         .map_err(|e| format!("opening journal: {e}"))?;
@@ -1419,6 +1563,9 @@ fn cmd_minpsid(rest: &[String]) -> Result<(), String> {
             "  journal        {served} injections/evals served, {appended} records appended ({})",
             j.dir().display()
         );
+    }
+    if let Some(ts) = &r.table_stats {
+        table_stats_diag(ts);
     }
     Ok(())
 }
@@ -1516,6 +1663,16 @@ fn minpsid_json(
     o.set("sched", sched);
     o.set("timings", timings);
     o.set("golden_cache", cache_obj);
+    if let Some(ts) = &r.table_stats {
+        let mut t = Json::obj();
+        t.set("sections_hit", Json::U64(ts.sections_hit));
+        t.set("sections_missed", Json::U64(ts.sections_missed));
+        t.set("sections_recomputed", Json::U64(ts.sections_recomputed));
+        t.set("injections_served", Json::U64(ts.injections_served));
+        t.set("injections_executed", Json::U64(ts.injections_executed));
+        t.set("tables_sealed", Json::U64(ts.tables_sealed));
+        o.set("section_tables", t);
+    }
     o
 }
 

@@ -46,8 +46,9 @@ pub use cache::{
 pub use incubative::{incubative_between, IncubativeConfig, IncubativeTracker, ReprioritizeRule};
 pub use input::{crossover, mutate, InputModel, ParamKind, ParamSpec, ParamValue};
 pub use pipeline::{
-    minpsid_config_fingerprint, run_baseline_sid, run_minpsid, run_minpsid_cached,
-    run_minpsid_journaled, MinpsidConfig, MinpsidResult, PipelineError, SearchStrategy, Timings,
+    minpsid_config_fingerprint, module_section_map, run_baseline_sid, run_minpsid,
+    run_minpsid_cached, run_minpsid_journaled, MinpsidConfig, MinpsidResult, PipelineError,
+    SearchStrategy, Timings,
 };
 pub use search::{random_searcher, EvalMemo, FitnessKind, GaConfig, SearchEngine, SearchOutcome};
 pub use wcfg::{

@@ -6,7 +6,7 @@ use crate::input::InputModel;
 use crate::search::{EvalMemo, GaConfig, SearchEngine};
 use minpsid_faultsim::{
     interrupt, CampaignConfig, CampaignEngine, CampaignJournal, Deadline, GoldenRun, Interrupted,
-    SchedSnapshot, Scheduler,
+    SchedSnapshot, Scheduler, TableMemo, TableStatsSnapshot,
 };
 use minpsid_interp::{ProgInput, Termination};
 use minpsid_ir::Module;
@@ -54,6 +54,13 @@ pub struct MinpsidConfig {
     /// from the journal fingerprint: a truncated run resumed under a
     /// looser (or absent) deadline must converge to the full result.
     pub deadline_secs: Option<f64>,
+    /// Memoize sealed per-section FI outcome tables in the golden cache's
+    /// artifact store and serve them on later runs, so a re-campaign
+    /// after an edit re-executes only the touched sections (O(diff)).
+    /// Only engaged when the cache has a store attached. Like
+    /// `deadline_secs`, excluded from the journal config fingerprint: it
+    /// changes how outcomes are obtained, never what they are.
+    pub incremental: bool,
 }
 
 impl Default for MinpsidConfig {
@@ -68,6 +75,7 @@ impl Default for MinpsidConfig {
             strategy: SearchStrategy::Genetic,
             use_dp: false,
             deadline_secs: None,
+            incremental: true,
         }
     }
 }
@@ -114,6 +122,10 @@ pub struct MinpsidResult {
     /// The run's scheduler accounting: retries, quarantines, early stops,
     /// deadline truncation. `sched.completeness()` annotates the report.
     pub sched: SchedSnapshot,
+    /// Section-table usage aggregated over every campaign in the run.
+    /// `None` when memoization was off (no store, or `incremental:
+    /// false`).
+    pub table_stats: Option<TableStatsSnapshot>,
 }
 
 /// Baseline SID under this crate's naming, for experiment symmetry.
@@ -208,7 +220,27 @@ pub fn minpsid_config_fingerprint(cfg: &MinpsidConfig) -> u64 {
     // A deadline truncates *which* work runs, never its results; a
     // truncated journal must be resumable under a different budget.
     c.deadline_secs = None;
+    // Table memoization changes where outcomes come from, not what they
+    // are: an incremental run must resume a non-incremental journal.
+    c.incremental = true;
     fingerprint_debug(&c)
+}
+
+/// The per-section module identity that
+/// [`CampaignJournal::open_with_sections`] expects: one `(fingerprint,
+/// dense instruction base, instruction count)` triple per function, in
+/// function order. Opening a journal through this map lets a re-campaign
+/// after an edit keep the per-instruction facts of untouched functions.
+pub fn module_section_map(module: &Module) -> Vec<(u64, u64, u64)> {
+    let fps = minpsid_ir::section_fingerprints(module);
+    let mut out = Vec::with_capacity(fps.len());
+    let mut base = 0u64;
+    for (fp, (_, f)) in fps.iter().zip(module.iter_funcs()) {
+        let len = f.insts.len() as u64;
+        out.push((*fp, base, len));
+        base += len;
+    }
+    out
 }
 
 /// The run-scoped scheduler: retry/quarantine knobs from the campaign
@@ -287,6 +319,7 @@ fn engine_per_inst_fi(
     cache: &GoldenCache,
     sched: &Scheduler,
     journal: Option<&CampaignJournal>,
+    table_stats: &mut Option<TableStatsSnapshot>,
 ) -> Result<(Arc<GoldenRun>, CostBenefit, Option<u64>), PipelineError> {
     let (golden, input_fp) = match journal {
         Some(j) => {
@@ -295,12 +328,29 @@ fn engine_per_inst_fi(
         }
         None => (cache.golden(module, input, &cfg.campaign)?, None),
     };
+    // Section-table memo: scoped to (store, input), shared by every
+    // campaign shape over this pair.
+    let memo = match (cfg.incremental, cache.store()) {
+        (true, Some(store)) => Some(TableMemo::new(
+            store.clone(),
+            input_fp.unwrap_or_else(|| input_fingerprint(input)),
+        )),
+        _ => None,
+    };
     let mut engine =
         CampaignEngine::new(module, input, &golden, &cfg.campaign).with_scheduler(sched);
     if let (Some(j), Some(fp)) = (journal, input_fp) {
         engine = engine.with_journal(j, fp);
     }
+    if let Some(m) = &memo {
+        engine = engine.with_tables(m);
+    }
     let per_inst = engine.run_per_instruction()?;
+    if let Some(m) = &memo {
+        table_stats
+            .get_or_insert_with(Default::default)
+            .merge(&m.stats());
+    }
     let cb = CostBenefit::build(module, &golden, &per_inst);
     Ok((golden, cb, input_fp))
 }
@@ -319,13 +369,21 @@ fn run_minpsid_inner(
     let mut timings = Timings::default();
     let _pipeline_span = trace::span("minpsid_pipeline");
     let sched = run_scheduler(cfg);
+    let mut table_stats: Option<TableStatsSnapshot> = None;
 
     // ① SID preparation: reference-input profile + per-instruction FI
     let t0 = Instant::now();
     let ref_fi_span = trace::span("ref_fi");
     let ref_input = model.materialize(&model.reference());
-    let (ref_golden, ref_cb, _) =
-        engine_per_inst_fi(module, &ref_input, cfg, cache, &sched, journal)?;
+    let (ref_golden, ref_cb, _) = engine_per_inst_fi(
+        module,
+        &ref_input,
+        cfg,
+        cache,
+        &sched,
+        journal,
+        &mut table_stats,
+    )?;
     drop(ref_fi_span);
     timings.ref_fi = t0.elapsed();
     if let Some(j) = journal {
@@ -370,8 +428,15 @@ fn run_minpsid_inner(
         // ⑦ per-instruction FI under the searched input
         let t_fi = Instant::now();
         let fi_span = trace::span("incubative_fi");
-        let (_, cb, input_fp) =
-            engine_per_inst_fi(module, &outcome.input, cfg, cache, &sched, journal)?;
+        let (_, cb, input_fp) = engine_per_inst_fi(
+            module,
+            &outcome.input,
+            cfg,
+            cache,
+            &sched,
+            journal,
+            &mut table_stats,
+        )?;
         drop(fi_span);
         timings.incubative_fi += t_fi.elapsed();
 
@@ -441,6 +506,7 @@ fn run_minpsid_inner(
         cost_benefit: cb,
         tracker,
         sched: sched.snapshot(),
+        table_stats,
     })
 }
 
@@ -704,6 +770,38 @@ mod tests {
 
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn incremental_runs_serve_sections_from_the_store() {
+        let m = module();
+        let model = Model::new();
+        let cfg = quick_cfg(0.5, SearchStrategy::Genetic);
+        let plain = run_minpsid(&m, &model, &cfg).unwrap();
+        assert!(plain.table_stats.is_none(), "no store, no memoization");
+
+        let dir = journal_dir("tables");
+        let store = Arc::new(minpsid_store::ArtifactStore::open(&dir).unwrap());
+        // cold: every section misses, executes, and seals a table
+        let cache = GoldenCache::with_store(64, store.clone());
+        let cold = run_minpsid_cached(&m, &model, &cfg, &cache).unwrap();
+        same_result(&plain, &cold);
+        let ts = cold.table_stats.unwrap();
+        assert!(ts.injections_executed > 0, "{ts:?}");
+        assert_eq!(ts.injections_served, 0, "{ts:?}");
+        assert!(ts.tables_sealed > 0, "{ts:?}");
+
+        // warm rerun (fresh golden cache, same store): every injection is
+        // served from sealed tables; the interpreter never injects
+        let cache = GoldenCache::with_store(64, store);
+        let warm = run_minpsid_cached(&m, &model, &cfg, &cache).unwrap();
+        same_result(&plain, &warm);
+        let ts = warm.table_stats.unwrap();
+        assert_eq!(ts.injections_executed, 0, "{ts:?}");
+        assert!(ts.injections_served > 0, "{ts:?}");
+        assert!(ts.sections_hit > 0, "{ts:?}");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

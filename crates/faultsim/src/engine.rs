@@ -37,10 +37,11 @@
 use crate::campaign::{CampaignConfig, GoldenRun, PerInstSdc, ProgramCampaign, PROGRESS_INTERVAL};
 use crate::outcome::{classify, Outcome, OutcomeCounts};
 use crate::parallel::par_map_init;
+use crate::table::{table_sig, PerInstTable, ProgramTable, TableKind, TableMemo};
 use minpsid_interp::{
     ExecConfig, ExecResult, ExecScratch, FaultSpec, FaultTarget, Interp, ProgInput,
 };
-use minpsid_ir::{GlobalInstId, Module};
+use minpsid_ir::{section_fingerprints, GlobalInstId, Module};
 use minpsid_journal::{interrupt, CampaignJournal, Interrupted};
 use minpsid_sched::{
     binomial_ci, splitmix64, AttemptResult, FailureKind, Scheduler, SiteStatus, TaskResult,
@@ -51,29 +52,76 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 // ---------------------------------------------------------------------------
 // Plan
 // ---------------------------------------------------------------------------
 
-/// The deterministic work list a campaign executes: one entry per *work
-/// unit* — a single injection for program campaigns, a whole site for
-/// per-instruction campaigns. Building a plan is pure: it depends only on
-/// the module, the golden profile and the config, never on the thread
-/// schedule or on journal contents, which is what keeps reduction order
-/// (and unit numbering for the ordered journal writer) stable.
+/// One whole-program-campaign section: a function's slice of the
+/// stratified plan. Flat plan positions `unit_base..unit_base+injections`
+/// target this function's injectable dynamic executions; allocations are
+/// largest-remainder over `pop`, so per-section totals still sum to
+/// `cfg.injections` and the sampling stays proportional to execution
+/// weight (the same distribution the unstratified sampler converged to).
+#[derive(Debug, Clone)]
+pub struct ProgramSection {
+    /// Function index in the module.
+    pub func: usize,
+    /// Content fingerprint: the function's own code plus every transitive
+    /// callee (see `minpsid_ir::section_fingerprints`).
+    pub fp: u64,
+    /// Flat plan position of this section's first unit.
+    pub unit_base: usize,
+    /// Units allocated to this section.
+    pub injections: usize,
+    /// Injectable dynamic executions within this function.
+    pub pop: u64,
+    /// Cumulative dynamic counts over the function's injectable sites
+    /// with nonzero count, in instruction order: `(gid, count-through-
+    /// gid)`. Maps a section-local draw in `0..pop` to a fault target.
+    pub prefix: Vec<(GlobalInstId, u64)>,
+}
+
+/// One per-instruction-campaign section: a function's injectable,
+/// executed sites, highest dynamic count first (a deadline truncates the
+/// low-benefit tail *within* each section).
+#[derive(Debug, Clone)]
+pub struct PerInstSection {
+    /// Function index in the module.
+    pub func: usize,
+    /// Content fingerprint (code + transitive callees).
+    pub fp: u64,
+    /// Flat plan position of this section's first site.
+    pub site_base: usize,
+    /// `(dense index, instruction id, dynamic count)`.
+    pub sites: Vec<(usize, GlobalInstId, u64)>,
+}
+
+/// The deterministic work list a campaign executes: per-section unit
+/// groups — a single injection per unit for program campaigns, a whole
+/// site per unit for per-instruction campaigns. One *section* is one
+/// function; grouping by section is what lets a memoized outcome table
+/// stand in for a whole group, and the per-section RNG streams (seeded by
+/// content fingerprint, not flat position) are what keep an unedited
+/// section's fault sequence stable when a neighbour is edited. Building a
+/// plan is pure: it depends only on the module, the golden profile and
+/// the config, never on the thread schedule or on journal contents, which
+/// is what keeps reduction order (and unit numbering for the ordered
+/// journal writer) stable.
 #[derive(Debug, Clone)]
 pub enum CampaignPlan {
-    /// `injections` single-bit flips, each into a uniformly random dynamic
-    /// instruction execution out of `population`.
-    Program { injections: usize, population: u64 },
-    /// One unit per injectable, executed static instruction, highest
-    /// dynamic count first so a deadline truncates the low-benefit tail:
-    /// `(dense index, instruction id, dynamic count)`.
+    /// `injections` single-bit flips over `population` injectable dynamic
+    /// executions, stratified across `sections`.
+    Program {
+        injections: usize,
+        population: u64,
+        sections: Vec<ProgramSection>,
+    },
+    /// One unit per injectable, executed static instruction, grouped by
+    /// enclosing function.
     PerInst {
-        sites: Vec<(usize, GlobalInstId, u64)>,
+        sections: Vec<PerInstSection>,
         injections_per_site: usize,
     },
 }
@@ -83,7 +131,7 @@ impl CampaignPlan {
     pub fn units(&self) -> usize {
         match self {
             CampaignPlan::Program { injections, .. } => *injections,
-            CampaignPlan::PerInst { sites, .. } => sites.len(),
+            CampaignPlan::PerInst { sections, .. } => sections.iter().map(|s| s.sites.len()).sum(),
         }
     }
 
@@ -93,9 +141,11 @@ impl CampaignPlan {
         match self {
             CampaignPlan::Program { injections, .. } => *injections as u64,
             CampaignPlan::PerInst {
-                sites,
+                sections,
                 injections_per_site,
-            } => (sites.len() * injections_per_site) as u64,
+            } => {
+                (sections.iter().map(|s| s.sites.len()).sum::<usize>() * injections_per_site) as u64
+            }
         }
     }
 }
@@ -392,10 +442,17 @@ fn resolve_injection(
     }
 }
 
-/// Execute program-campaign unit `i` — the body shared by
-/// [`CampaignEngine::run_program`] and the fleet's
-/// [`ProgramUnitExecutor`], so an out-of-process shard worker resolves
-/// exactly the outcome the in-process parallel executor would.
+/// Execute program-campaign unit `i` (section-local index `j` within
+/// `sec`) — the body shared by [`CampaignEngine::run_program`] and the
+/// fleet's [`ProgramUnitExecutor`], so an out-of-process shard worker
+/// resolves exactly the outcome the in-process parallel executor would.
+///
+/// The RNG stream is seeded by `(cfg.seed, section fingerprint, j)` —
+/// never by the flat plan position — so an unedited section draws the
+/// same fault sequence whatever its neighbours turned into, which is the
+/// determinism a memoized outcome table relies on. Chaos and scheduler
+/// site keys stay flat: they describe harness behaviour, not the program
+/// under test.
 #[allow(clippy::too_many_arguments)]
 fn program_unit(
     cfg: &CampaignConfig,
@@ -404,14 +461,20 @@ fn program_unit(
     st: &mut ExecScratch,
     golden: &GoldenRun,
     input: &ProgInput,
-    population: u64,
+    sec: &ProgramSection,
+    j: usize,
     i: usize,
 ) -> ResolvedInjection {
-    // per-injection RNG: deterministic regardless of thread schedule,
-    // journal contents, or which process runs the unit
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng = StdRng::seed_from_u64(
+        cfg.seed ^ splitmix64(sec.fp) ^ (j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let r = rng.random_range(0..sec.pop);
+    // map the section-local draw through the cumulative site counts
+    let idx = sec.prefix.partition_point(|&(_, cum)| cum <= r);
+    let (gid, _) = sec.prefix[idx];
+    let prev = if idx == 0 { 0 } else { sec.prefix[idx - 1].1 };
     let fault = FaultSpec {
-        target: FaultTarget::NthDynamic(rng.random_range(0..population)),
+        target: FaultTarget::NthOfInst(gid, r - prev),
         bit: rng.random_range(0..64),
     };
     resolve_injection(
@@ -427,6 +490,73 @@ fn program_unit(
     )
 }
 
+/// Golden-context table signature for a program section: the per-site
+/// dynamic counts (in plan order) plus the section population pin every
+/// fault target the section-local RNG stream can draw.
+fn program_sig(cfg: &CampaignConfig, golden: &GoldenRun, sec: &ProgramSection) -> u64 {
+    let mut counts = Vec::with_capacity(sec.prefix.len());
+    let mut prev = 0u64;
+    for &(_, cum) in &sec.prefix {
+        counts.push(cum - prev);
+        prev = cum;
+    }
+    table_sig(TableKind::Program, cfg, golden, &counts, sec.pop)
+}
+
+/// Golden-context table signature for a per-instruction section.
+fn per_inst_sig(cfg: &CampaignConfig, golden: &GoldenRun, sec: &PerInstSection) -> u64 {
+    let counts: Vec<u64> = sec.sites.iter().map(|&(_, _, c)| c).collect();
+    let pop = counts.iter().sum();
+    table_sig(TableKind::PerInst, cfg, golden, &counts, pop)
+}
+
+/// Seal each program section's outcomes after a completed (uninterrupted)
+/// run. A group fully served from an existing table is skipped — the
+/// sealed artifact may hold *more* units than this run's allocation
+/// (allocation drift after an edit elsewhere), and rewriting would
+/// discard them. A group containing a truncated unit seals
+/// `complete: false`: a miss on every future load, so deadline-starved
+/// runs never masquerade as finished ones.
+fn seal_program_sections(
+    memo: &TableMemo,
+    cfg: &CampaignConfig,
+    golden: &GoldenRun,
+    sections: &[ProgramSection],
+    loaded: &[Option<ProgramTable>],
+    results: &[UnitResult],
+) {
+    for (s, sec) in sections.iter().enumerate() {
+        if sec.injections == 0 {
+            continue;
+        }
+        let range = &results[sec.unit_base..sec.unit_base + sec.injections];
+        let any_fresh = range
+            .iter()
+            .any(|r| matches!(r, UnitResult::Done { fresh: true, .. }));
+        if loaded[s].is_some() && !any_fresh {
+            continue;
+        }
+        let mut units = Vec::with_capacity(range.len());
+        let mut complete = true;
+        for r in range {
+            match r {
+                UnitResult::Done {
+                    outcome, recovered, ..
+                } => units.push((outcome.to_u8(), *recovered)),
+                _ => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        memo.seal_program(
+            sec.fp,
+            program_sig(cfg, golden, sec),
+            &ProgramTable { complete, units },
+        );
+    }
+}
+
 fn faulty_exec_config(cfg: &CampaignConfig, golden_steps: u64) -> ExecConfig {
     ExecConfig {
         profile: false,
@@ -435,11 +565,67 @@ fn faulty_exec_config(cfg: &CampaignConfig, golden_steps: u64) -> ExecConfig {
     }
 }
 
-/// How a program-campaign work unit ended.
+/// How a program-campaign work unit ended. `fresh` distinguishes an
+/// interpreter execution from an outcome served by the journal or a
+/// memoized table — sealing skips groups with nothing newly executed.
 enum UnitResult {
-    Done(Outcome),
+    Done {
+        outcome: Outcome,
+        recovered: bool,
+        fresh: bool,
+    },
     Truncated,
     Interrupted,
+}
+
+/// How one per-instruction site (one work unit) ended: the dense index
+/// and outcome tally the reducer keys on, the final site status, whether
+/// the unit ran to completion (vs interrupted), the recorded outcome
+/// bytes in injection order (what sealing writes), and whether any
+/// injection at this site executed fresh.
+struct SiteResult {
+    dense: usize,
+    counts: OutcomeCounts,
+    status: SiteStatus,
+    done: bool,
+    outcomes: Vec<u8>,
+    fresh: bool,
+}
+
+/// Seal each per-instruction section's outcome streams. Mirrors
+/// [`seal_program_sections`]: a group fully served from an existing table
+/// is left alone, and any site the run could not finish cleanly
+/// (deadline-truncated, unsampled, or quarantined) marks the whole group
+/// `complete: false` — a miss on every future load.
+fn seal_per_inst_sections(
+    memo: &TableMemo,
+    cfg: &CampaignConfig,
+    golden: &GoldenRun,
+    sections: &[PerInstSection],
+    loaded: &[Option<PerInstTable>],
+    per_site: &[SiteResult],
+) {
+    for (s, sec) in sections.iter().enumerate() {
+        let range = &per_site[sec.site_base..sec.site_base + sec.sites.len()];
+        let any_fresh = range.iter().any(|r| r.fresh);
+        if loaded[s].is_some() && !any_fresh {
+            continue;
+        }
+        let complete = range
+            .iter()
+            .all(|r| matches!(r.status, SiteStatus::Full | SiteStatus::EarlyStopped));
+        let sites: Vec<(u32, Vec<u8>)> = sec
+            .sites
+            .iter()
+            .zip(range)
+            .map(|(&(_, gid, _), r)| (gid.inst.index() as u32, r.outcomes.clone()))
+            .collect();
+        memo.seal_per_inst(
+            sec.fp,
+            per_inst_sig(cfg, golden, sec),
+            &PerInstTable { complete, sites },
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -470,6 +656,7 @@ pub struct CampaignEngine<'a> {
     owned_sched: Scheduler,
     sched: Option<&'a Scheduler>,
     journal: Option<(&'a CampaignJournal, u64)>,
+    tables: Option<&'a TableMemo>,
 }
 
 impl<'a> CampaignEngine<'a> {
@@ -489,6 +676,7 @@ impl<'a> CampaignEngine<'a> {
             owned_sched: Scheduler::unbounded(cfg.sched.clone()),
             sched: None,
             journal: None,
+            tables: None,
         }
     }
 
@@ -509,38 +697,140 @@ impl<'a> CampaignEngine<'a> {
         self
     }
 
+    /// Attach a store-backed section-table memo: each section's executed
+    /// outcomes are sealed into the artifact store, and a later campaign
+    /// whose section fingerprint and golden-context signature match
+    /// serves them without re-executing. The cold path is unchanged —
+    /// composed reports are byte-identical to monolithic ones.
+    pub fn with_tables(mut self, memo: &'a TableMemo) -> Self {
+        self.tables = Some(memo);
+        self
+    }
+
+    /// The memo, gated off under chaos: engine-failure chaos perturbs
+    /// outcomes (`EngineError` from exhausted retries), so memoizing a
+    /// chaos run would leak synthetic failures into clean re-campaigns.
+    fn active_tables(&self) -> Option<&TableMemo> {
+        let chaos = self.cfg.chaos_panic_one_in.filter(|&n| n > 0).is_some()
+            || self.cfg.chaos_timeout_one_in.filter(|&n| n > 0).is_some();
+        if chaos {
+            None
+        } else {
+            self.tables
+        }
+    }
+
     /// The scheduler this engine executes under.
     pub fn scheduler(&self) -> &Scheduler {
         self.sched.unwrap_or(&self.owned_sched)
     }
 
+    /// Injectable sites per function: `(dense index, gid, dynamic count)`
+    /// for every injectable instruction that executed at least once.
+    fn sites_by_function(&self) -> Vec<Vec<(usize, GlobalInstId, u64)>> {
+        let numbering = self.module.numbering();
+        let mut per_func = vec![Vec::new(); self.module.funcs.len()];
+        for (gid, inst) in self.module.iter_insts() {
+            if !inst.injectable() {
+                continue;
+            }
+            let dense = numbering.index(gid);
+            let count = self.golden.profile.inst_counts[dense];
+            if count > 0 {
+                per_func[gid.func.index()].push((dense, gid, count));
+            }
+        }
+        per_func
+    }
+
     /// The whole-program plan: `cfg.injections` units over the golden
-    /// run's injectable population.
+    /// run's injectable population, stratified by section. Per-section
+    /// allocations are largest-remainder over each section's injectable
+    /// executions (remainder ties broken by function index), so they sum
+    /// exactly to `cfg.injections` and track execution weight the way
+    /// uniform global sampling does in expectation.
     pub fn plan_program(&self) -> CampaignPlan {
+        let population = self.golden.profile.injectable_execs;
+        let injections = self.cfg.injections;
+        let fps = section_fingerprints(self.module);
+        let per_func = self.sites_by_function();
+        let mut sections: Vec<ProgramSection> = Vec::new();
+        for (fi, sites) in per_func.into_iter().enumerate() {
+            if sites.is_empty() {
+                continue;
+            }
+            let mut prefix = Vec::with_capacity(sites.len());
+            let mut cum = 0u64;
+            for (_, gid, count) in sites {
+                cum += count;
+                prefix.push((gid, cum));
+            }
+            sections.push(ProgramSection {
+                func: fi,
+                fp: fps[fi],
+                unit_base: 0,
+                injections: 0,
+                pop: cum,
+                prefix,
+            });
+        }
+        debug_assert_eq!(
+            sections.iter().map(|s| s.pop).sum::<u64>(),
+            population,
+            "profile population equals the sum of section populations"
+        );
+        if population > 0 && injections > 0 {
+            let mut assigned = 0usize;
+            let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(sections.len());
+            for (s, sec) in sections.iter_mut().enumerate() {
+                let exact = injections as u128 * sec.pop as u128;
+                sec.injections = (exact / population as u128) as usize;
+                assigned += sec.injections;
+                remainders.push((exact % population as u128, s));
+            }
+            remainders.sort_unstable_by_key(|&(rem, s)| (std::cmp::Reverse(rem), s));
+            for &(_, s) in remainders.iter().take(injections - assigned) {
+                sections[s].injections += 1;
+            }
+            let mut base = 0usize;
+            for sec in &mut sections {
+                sec.unit_base = base;
+                base += sec.injections;
+            }
+            debug_assert_eq!(base, injections, "allocations sum to the plan size");
+        }
         CampaignPlan::Program {
-            injections: self.cfg.injections,
-            population: self.golden.profile.injectable_execs,
+            injections,
+            population,
+            sections,
         }
     }
 
     /// The per-instruction plan: one unit per injectable, executed static
-    /// instruction, highest dynamic count first (deadlines truncate the
+    /// instruction, grouped by enclosing function, highest dynamic count
+    /// first within each group (deadlines truncate each section's
     /// low-benefit tail; dense index breaks ties so the order is total).
     pub fn plan_per_instruction(&self) -> CampaignPlan {
-        let numbering = self.module.numbering();
-        let mut sites: Vec<(usize, GlobalInstId, u64)> = self
-            .module
-            .iter_insts()
-            .filter(|(_, inst)| inst.injectable())
-            .map(|(gid, _)| {
-                let dense = numbering.index(gid);
-                (dense, gid, self.golden.profile.inst_counts[dense])
-            })
-            .filter(|&(_, _, count)| count > 0)
-            .collect();
-        sites.sort_unstable_by_key(|&(dense, _, count)| (std::cmp::Reverse(count), dense));
+        let fps = section_fingerprints(self.module);
+        let per_func = self.sites_by_function();
+        let mut sections: Vec<PerInstSection> = Vec::new();
+        let mut site_base = 0usize;
+        for (fi, mut sites) in per_func.into_iter().enumerate() {
+            if sites.is_empty() {
+                continue;
+            }
+            sites.sort_unstable_by_key(|&(dense, _, count)| (std::cmp::Reverse(count), dense));
+            let len = sites.len();
+            sections.push(PerInstSection {
+                func: fi,
+                fp: fps[fi],
+                site_base,
+                sites,
+            });
+            site_base += len;
+        }
         CampaignPlan::PerInst {
-            sites,
+            sections,
             injections_per_site: self.cfg.per_inst_injections,
         }
     }
@@ -552,11 +842,12 @@ impl<'a> CampaignEngine<'a> {
     /// attached and an interrupt is pending.
     pub fn run_program(&self) -> Result<ProgramCampaign, Interrupted> {
         let plan_span = trace::span("plan");
-        let (injections, population) = match self.plan_program() {
+        let (injections, population, sections) = match self.plan_program() {
             CampaignPlan::Program {
                 injections,
                 population,
-            } => (injections, population),
+                sections,
+            } => (injections, population, sections),
             CampaignPlan::PerInst { .. } => unreachable!(),
         };
         drop(plan_span);
@@ -571,17 +862,30 @@ impl<'a> CampaignEngine<'a> {
         let tracing = trace::active();
         let counters = CampaignCounters::new(CampaignKind::Program, injections as u64);
         let suffix_steps = Histogram::new();
-        let recovered = AtomicU64::new(0);
         let journal = self.journal;
         let writer = journal.map(|(j, fp)| OrderedWriter::new(j, fp));
+        let memo = self.active_tables();
+        // one verified load per section, before the fan-out: workers only
+        // index the decoded tables
+        let loaded: Vec<Option<ProgramTable>> = sections
+            .iter()
+            .map(|sec| {
+                memo.filter(|_| sec.injections > 0)
+                    .and_then(|m| m.load_program(sec.fp, program_sig(cfg, self.golden, sec)))
+            })
+            .collect();
         let execute_span = trace::span("execute");
         let results = trace::sample_campaign(&counters, PROGRESS_INTERVAL, || {
             par_map_init(injections, cfg.threads, ExecScratch::default, |st, i| {
                 if journal.is_some() && interrupt::requested() {
                     return UnitResult::Interrupted;
                 }
-                if let Some((j, fp)) = journal {
-                    if let Some(o) = j.program_outcome(fp, i as u64).and_then(Outcome::from_u8) {
+                // last section whose unit range begins at or before `i`
+                let s = sections.partition_point(|sec| sec.unit_base <= i) - 1;
+                let sec = &sections[s];
+                let j = i - sec.unit_base;
+                if let Some((jr, fp)) = journal {
+                    if let Some(o) = jr.program_outcome(fp, i as u64).and_then(Outcome::from_u8) {
                         sched.note_completed(1);
                         if tracing {
                             counters.record(outcome_kind(o), 0, 0);
@@ -589,8 +893,45 @@ impl<'a> CampaignEngine<'a> {
                         if let Some(w) = &writer {
                             w.commit(i, Vec::new());
                         }
-                        return UnitResult::Done(o);
+                        return UnitResult::Done {
+                            outcome: o,
+                            recovered: false,
+                            fresh: false,
+                        };
                     }
+                }
+                if let Some((o, rec)) = loaded[s]
+                    .as_ref()
+                    .and_then(|t| t.units.get(j))
+                    .and_then(|&(b, rec)| Outcome::from_u8(b).map(|o| (o, rec)))
+                {
+                    // served from the sealed table; the WAL still gets a
+                    // real record so a resumed run's journal matches a
+                    // cold run's byte for byte
+                    sched.note_completed(1);
+                    if let Some(m) = memo {
+                        m.note_served(1);
+                    }
+                    if tracing {
+                        counters.record(outcome_kind(o), 0, 0);
+                        if rec {
+                            counters.record_recovered();
+                        }
+                    }
+                    if let Some(w) = &writer {
+                        w.commit(
+                            i,
+                            vec![PendingRecord::Program {
+                                index: i as u64,
+                                outcome: o.to_u8(),
+                            }],
+                        );
+                    }
+                    return UnitResult::Done {
+                        outcome: o,
+                        recovered: rec,
+                        fresh: false,
+                    };
                 }
                 if sched.deadline_exceeded() {
                     if let Some(w) = &writer {
@@ -598,16 +939,7 @@ impl<'a> CampaignEngine<'a> {
                     }
                     return UnitResult::Truncated;
                 }
-                let r = program_unit(
-                    cfg,
-                    sched,
-                    &interp,
-                    st,
-                    self.golden,
-                    self.input,
-                    population,
-                    i,
-                );
+                let r = program_unit(cfg, sched, &interp, st, self.golden, self.input, sec, j, i);
                 if let Some(w) = &writer {
                     w.commit(
                         i,
@@ -618,8 +950,8 @@ impl<'a> CampaignEngine<'a> {
                     );
                 }
                 sched.note_completed(1);
-                if r.recovered {
-                    recovered.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = memo {
+                    m.note_executed(1);
                 }
                 if tracing {
                     counters.record(outcome_kind(r.outcome), r.executed, r.skipped);
@@ -628,7 +960,11 @@ impl<'a> CampaignEngine<'a> {
                     }
                     suffix_steps.record(r.executed);
                 }
-                UnitResult::Done(r.outcome)
+                UnitResult::Done {
+                    outcome: r.outcome,
+                    recovered: r.recovered,
+                    fresh: true,
+                }
             })
         });
         drop(execute_span);
@@ -650,14 +986,35 @@ impl<'a> CampaignEngine<'a> {
         let _reduce_span = trace::span("reduce");
         let mut counts = OutcomeCounts::default();
         let mut truncated = 0u64;
-        for r in results {
+        let mut recovered = 0u64;
+        for r in &results {
             match r {
-                UnitResult::Done(o) => counts.record(o),
+                UnitResult::Done {
+                    outcome,
+                    recovered: rec,
+                    ..
+                } => {
+                    counts.record(*outcome);
+                    if *rec {
+                        recovered += 1;
+                    }
+                }
                 UnitResult::Truncated => truncated += 1,
                 UnitResult::Interrupted => unreachable!("handled above"),
             }
         }
         sched.note_truncated(CampaignKind::Program, truncated);
+        if let Some(m) = memo {
+            seal_program_sections(m, cfg, self.golden, &sections, &loaded, &results);
+            let served = loaded.iter().filter(|t| t.is_some()).count() as u64;
+            if served > 0 {
+                trace::emit(trace::Event::SectionEvent {
+                    fp: 0,
+                    action: trace::SectionAction::Compose,
+                    units: served,
+                });
+            }
+        }
         if let Some((j, _)) = journal {
             let _ = j.sync();
         }
@@ -669,7 +1026,7 @@ impl<'a> CampaignEngine<'a> {
             sdc_ci,
             planned: injections as u64,
             truncated,
-            recovered: recovered.into_inner(),
+            recovered,
         })
     }
 
@@ -681,14 +1038,19 @@ impl<'a> CampaignEngine<'a> {
     /// journal is attached and an interrupt is pending.
     pub fn run_per_instruction(&self) -> Result<PerInstSdc, Interrupted> {
         let plan_span = trace::span("plan");
-        let (sites, planned) = match self.plan_per_instruction() {
+        let (sections, planned) = match self.plan_per_instruction() {
             CampaignPlan::PerInst {
-                sites,
+                sections,
                 injections_per_site,
-            } => (sites, injections_per_site),
+            } => (sections, injections_per_site),
             CampaignPlan::Program { .. } => unreachable!(),
         };
         drop(plan_span);
+        // flat plan-order site list, for the fan-out and the reducer
+        let sites: Vec<(usize, GlobalInstId, u64)> = sections
+            .iter()
+            .flat_map(|sec| sec.sites.iter().copied())
+            .collect();
         let cfg = self.cfg;
         let sched = self.scheduler();
         let n = self.module.numbering().len();
@@ -698,13 +1060,25 @@ impl<'a> CampaignEngine<'a> {
         let counters = CampaignCounters::new(CampaignKind::PerInst, (sites.len() * planned) as u64);
         let journal = self.journal;
         let writer = journal.map(|(j, fp)| OrderedWriter::new(j, fp));
+        let memo = self.active_tables();
+        let loaded: Vec<Option<PerInstTable>> = sections
+            .iter()
+            .map(|sec| {
+                memo.and_then(|m| m.load_per_inst(sec.fp, per_inst_sig(cfg, self.golden, sec)))
+            })
+            .collect();
         let execute_span = trace::span("execute");
         let per_site = trace::sample_campaign(&counters, PROGRESS_INTERVAL, || {
             par_map_init(sites.len(), cfg.threads, ExecScratch::default, |st, t| {
                 let (dense, gid, count) = sites[t];
+                // last section whose site range begins at or before `t`
+                let s = sections.partition_point(|sec| sec.site_base <= t) - 1;
+                let sec = &sections[s];
                 let site = dense as u64;
                 let mut counts = OutcomeCounts::default();
                 let mut records: Vec<PendingRecord> = Vec::new();
+                let mut outcomes: Vec<u8> = Vec::new();
+                let mut fresh = false;
                 let commit = |records: Vec<PendingRecord>| {
                     if let Some(w) = &writer {
                         w.commit(t, records);
@@ -722,9 +1096,23 @@ impl<'a> CampaignEngine<'a> {
                             counters.record_quarantined(planned as u64);
                         }
                         commit(records);
-                        return (dense, counts, SiteStatus::Quarantined(reason), true);
+                        return SiteResult {
+                            dense,
+                            counts,
+                            status: SiteStatus::Quarantined(reason),
+                            done: true,
+                            outcomes,
+                            fresh,
+                        };
                     }
                 }
+                // the sealed table's outcome stream for this site, keyed
+                // by the instruction's function-local index (stable when
+                // other functions are edited)
+                let served: &[u8] = loaded[s]
+                    .as_ref()
+                    .and_then(|tab| tab.site(gid.inst.index() as u32))
+                    .unwrap_or(&[]);
                 let mut status = SiteStatus::Full;
                 let mut consecutive = 0u32;
                 for k in 0..planned {
@@ -733,7 +1121,14 @@ impl<'a> CampaignEngine<'a> {
                         // everything this unit finished before the
                         // interrupt
                         commit(records);
-                        return (dense, counts, status, false);
+                        return SiteResult {
+                            dense,
+                            counts,
+                            status,
+                            done: false,
+                            outcomes,
+                            fresh,
+                        };
                     }
                     if sched.deadline_exceeded() {
                         status = if k == 0 {
@@ -749,6 +1144,7 @@ impl<'a> CampaignEngine<'a> {
                         .and_then(Outcome::from_u8)
                     {
                         counts.record(o);
+                        outcomes.push(o.to_u8());
                         sched.note_completed(1);
                         consecutive = if o == Outcome::EngineError {
                             consecutive + 1
@@ -774,9 +1170,54 @@ impl<'a> CampaignEngine<'a> {
                         }
                         continue;
                     }
+                    // serve from the sealed table exactly as the journal
+                    // branch would: outcomes recorded, early stop
+                    // re-derived, never re-quarantined. A recorded
+                    // stream shorter than `planned` means the sealing
+                    // run stopped early at this site; the same stop
+                    // re-derives below before `k` ever reaches the end.
+                    if let Some(o) = served.get(k).copied().and_then(Outcome::from_u8) {
+                        counts.record(o);
+                        outcomes.push(o.to_u8());
+                        sched.note_completed(1);
+                        if let Some(m) = memo {
+                            m.note_served(1);
+                        }
+                        consecutive = if o == Outcome::EngineError {
+                            consecutive + 1
+                        } else {
+                            0
+                        };
+                        if tracing {
+                            counters.record(outcome_kind(o), 0, 0);
+                        }
+                        if journal.is_some() {
+                            records.push(PendingRecord::PerInst {
+                                site,
+                                k: k as u64,
+                                outcome: o.to_u8(),
+                            });
+                        }
+                        if let Some(hw) = sched.early_stop(counts.sdc, counts.valid_total()) {
+                            if k + 1 < planned {
+                                let skip = (planned - k - 1) as u64;
+                                sched.note_early_stop(
+                                    CampaignKind::PerInst,
+                                    site,
+                                    counts.total(),
+                                    hw,
+                                    skip,
+                                );
+                                status = SiteStatus::EarlyStopped;
+                                break;
+                            }
+                        }
+                        continue;
+                    }
                     let mut rng = StdRng::seed_from_u64(
                         cfg.seed
-                            ^ (dense as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+                            ^ splitmix64(sec.fp)
+                            ^ (gid.inst.index() as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
                             ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                     );
                     let fault = FaultSpec {
@@ -795,6 +1236,10 @@ impl<'a> CampaignEngine<'a> {
                         fault,
                         chaos_plan(cfg, chaos_key),
                     );
+                    fresh = true;
+                    if let Some(m) = memo {
+                        m.note_executed(1);
+                    }
                     if let Some(reason) = r.exhausted {
                         consecutive += 1;
                         if consecutive >= cfg.sched.quarantine_after.max(1)
@@ -835,6 +1280,7 @@ impl<'a> CampaignEngine<'a> {
                         });
                     }
                     counts.record(r.outcome);
+                    outcomes.push(r.outcome.to_u8());
                     sched.note_completed(1);
                     if tracing {
                         counters.record(outcome_kind(r.outcome), r.executed, r.skipped);
@@ -858,7 +1304,14 @@ impl<'a> CampaignEngine<'a> {
                     }
                 }
                 commit(records);
-                (dense, counts, status, true)
+                SiteResult {
+                    dense,
+                    counts,
+                    status,
+                    done: true,
+                    outcomes,
+                    fresh,
+                }
             })
         });
         drop(execute_span);
@@ -867,7 +1320,7 @@ impl<'a> CampaignEngine<'a> {
         }
 
         if journal.is_some() {
-            let complete = per_site.iter().all(|&(_, _, _, done)| done);
+            let complete = per_site.iter().all(|r| r.done);
             if !complete || interrupt::requested() {
                 if let Some((j, _)) = journal {
                     let _ = j.sync();
@@ -876,17 +1329,28 @@ impl<'a> CampaignEngine<'a> {
             }
         }
         let _reduce_span = trace::span("reduce");
+        if let Some(m) = memo {
+            seal_per_inst_sections(m, cfg, self.golden, &sections, &loaded, &per_site);
+            let served = loaded.iter().filter(|t| t.is_some()).count() as u64;
+            if served > 0 {
+                trace::emit(trace::Event::SectionEvent {
+                    fp: 0,
+                    action: trace::SectionAction::Compose,
+                    units: served,
+                });
+            }
+        }
         let mut sdc_prob = vec![0.0; n];
         let mut counts = vec![OutcomeCounts::default(); n];
         let mut ci = vec![binomial_ci(0, 0, cfg.sched.ci_z); n];
         let mut status = vec![SiteStatus::Unsampled; n];
-        for (dense, c, st_, _) in per_site {
-            if st_.trusted() {
-                sdc_prob[dense] = c.sdc_prob();
-                ci[dense] = sched.site_ci(c.sdc, c.valid_total());
+        for r in per_site {
+            if r.status.trusted() {
+                sdc_prob[r.dense] = r.counts.sdc_prob();
+                ci[r.dense] = sched.site_ci(r.counts.sdc, r.counts.valid_total());
             }
-            counts[dense] = c;
-            status[dense] = st_;
+            counts[r.dense] = r.counts;
+            status[r.dense] = r.status;
         }
         if tracing {
             emit_function_outcomes(self.module, &sites, &counts);
@@ -909,11 +1373,12 @@ impl<'a> CampaignEngine<'a> {
     /// outcome is identical to what [`run_program`](Self::run_program)
     /// would have produced at that plan position.
     pub fn program_executor(&self) -> ProgramUnitExecutor<'_> {
-        let (injections, population) = match self.plan_program() {
+        let (injections, population, sections) = match self.plan_program() {
             CampaignPlan::Program {
                 injections,
                 population,
-            } => (injections, population),
+                sections,
+            } => (injections, population, sections),
             CampaignPlan::PerInst { .. } => unreachable!(),
         };
         ProgramUnitExecutor {
@@ -925,6 +1390,7 @@ impl<'a> CampaignEngine<'a> {
             scratch: ExecScratch::default(),
             injections,
             population,
+            sections,
         }
     }
 }
@@ -951,6 +1417,7 @@ pub struct ProgramUnitExecutor<'e> {
     scratch: ExecScratch,
     injections: usize,
     population: u64,
+    sections: Vec<ProgramSection>,
 }
 
 impl ProgramUnitExecutor<'_> {
@@ -976,6 +1443,8 @@ impl ProgramUnitExecutor<'_> {
             self.injections,
             self.population
         );
+        let s = self.sections.partition_point(|sec| sec.unit_base <= i) - 1;
+        let sec = &self.sections[s];
         let r = program_unit(
             self.cfg,
             self.sched,
@@ -983,7 +1452,8 @@ impl ProgramUnitExecutor<'_> {
             &mut self.scratch,
             self.golden,
             self.input,
-            self.population,
+            sec,
+            i - sec.unit_base,
             i,
         );
         (r.outcome, r.recovered)

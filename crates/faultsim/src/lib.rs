@@ -42,13 +42,17 @@ pub mod engine;
 pub mod outcome;
 pub mod parallel;
 pub mod propagation;
+pub mod table;
 
 pub use campaign::{
     golden_run, outcome_fraction, per_instruction_campaign, program_campaign, CampaignConfig,
     CheckpointPolicy, GoldenRun, PerInstSdc, ProgramCampaign,
 };
 pub use config::CampaignConfigBuilder;
-pub use engine::{CampaignEngine, CampaignPlan, ProgramUnitExecutor};
+pub use engine::{
+    CampaignEngine, CampaignPlan, PerInstSection, ProgramSection, ProgramUnitExecutor,
+};
+pub use table::{table_sig, TableKind, TableMemo, TableStatsSnapshot, TABLE_ARTIFACT};
 // Interpreter knobs that ride on CampaignConfig, re-exported so front
 // ends keep a single import path.
 pub use minpsid_interp::{DispatchMode, SnapshotMode};

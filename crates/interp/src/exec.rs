@@ -615,6 +615,13 @@ impl<'m> Interp<'m> {
                 if let Some(p) = profile.as_mut() {
                     p.inst_counts[dense] += 1;
                     p.inst_cycles[dense] += self.cost[dense];
+                    // Per-section dynamic range: steps are 1-based here
+                    // (incremented above), so 0 doubles as "never ran".
+                    let fidx = frame.func.index();
+                    if p.sec_first_step[fidx] == 0 {
+                        p.sec_first_step[fidx] = *steps;
+                    }
+                    p.sec_last_step[fidx] = *steps;
                 }
 
                 // operand fetch

@@ -31,6 +31,13 @@ pub struct Profile {
     /// Total dynamic executions of injectable instructions (the population
     /// whole-program random injection samples from).
     pub injectable_execs: u64,
+    /// First dynamic step (1-based; 0 = function never executed) at which
+    /// each function ran an instruction. Together with
+    /// [`Profile::sec_last_step`] this is the per-section dynamic-instruction
+    /// range the compositional FI planner uses.
+    pub sec_first_step: Vec<u64>,
+    /// Last dynamic step (1-based; 0 = never executed) per function.
+    pub sec_last_step: Vec<u64>,
 }
 
 impl Profile {
@@ -49,7 +56,15 @@ impl Profile {
             total_cycles: 0,
             total_insts: 0,
             injectable_execs: 0,
+            sec_first_step: vec![0; module.funcs.len()],
+            sec_last_step: vec![0; module.funcs.len()],
         }
+    }
+
+    /// Dynamic step range `[first, last]` of a function, if it ever ran.
+    pub fn section_range(&self, func: FuncId) -> Option<(u64, u64)> {
+        let first = self.sec_first_step[func.index()];
+        (first != 0).then(|| (first, self.sec_last_step[func.index()]))
     }
 
     /// The indexed weighted-CFG list of the *whole program*: the per-block

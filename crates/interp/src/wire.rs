@@ -30,8 +30,9 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Format version; bump on any layout change (decoders reject other
-/// versions rather than guessing).
-pub const WIRE_VERSION: u32 = 1;
+/// versions rather than guessing). v2 added the per-section dynamic step
+/// ranges (`sec_first_step`/`sec_last_step`) to encoded profiles.
+pub const WIRE_VERSION: u32 = 2;
 
 const GOLDEN_MAGIC: &[u8; 4] = b"MPSG";
 const CKPT_MAGIC: &[u8; 4] = b"MPSC";
@@ -541,6 +542,8 @@ fn w_profile(buf: &mut Vec<u8>, p: &Profile) {
     w_varint(buf, p.total_cycles);
     w_varint(buf, p.total_insts);
     w_varint(buf, p.injectable_execs);
+    w_varints(buf, &p.sec_first_step);
+    w_varints(buf, &p.sec_last_step);
 }
 
 fn r_profile(r: &mut Reader) -> Result<Profile, WireError> {
@@ -563,14 +566,24 @@ fn r_profile(r: &mut Reader) -> Result<Profile, WireError> {
         }
         edge_counts.push(edges);
     }
+    let total_cycles = r.varint()?;
+    let total_insts = r.varint()?;
+    let injectable_execs = r.varint()?;
+    let sec_first_step = r_varints(r)?;
+    let sec_last_step = r_varints(r)?;
+    if sec_first_step.len() != sec_last_step.len() {
+        return Err(WireError::Invalid("section range length mismatch"));
+    }
     Ok(Profile {
         inst_counts,
         inst_cycles,
         block_counts,
         edge_counts,
-        total_cycles: r.varint()?,
-        total_insts: r.varint()?,
-        injectable_execs: r.varint()?,
+        total_cycles,
+        total_insts,
+        injectable_execs,
+        sec_first_step,
+        sec_last_step,
     })
 }
 
@@ -690,6 +703,8 @@ mod tests {
             total_cycles: 99,
             total_insts: 42,
             injectable_execs: 17,
+            sec_first_step: vec![1, 0],
+            sec_last_step: vec![40, 0],
         };
         profile.edge_counts[0].insert((BlockId(0), BlockId(1)), 10);
         profile.edge_counts[0].insert((BlockId(1), BlockId(0)), 9);
@@ -703,6 +718,8 @@ mod tests {
         assert_eq!(p2.block_counts, profile.block_counts);
         assert_eq!(p2.edge_counts, profile.edge_counts);
         assert_eq!(p2.total_cycles, 99);
+        assert_eq!(p2.sec_first_step, profile.sec_first_step);
+        assert_eq!(p2.sec_last_step, profile.sec_last_step);
         assert_eq!(steps, 12345);
     }
 
@@ -797,6 +814,8 @@ mod tests {
                 total_cycles: 0,
                 total_insts: 0,
                 injectable_execs: 0,
+                sec_first_step: vec![],
+                sec_last_step: vec![],
             },
             0,
         );

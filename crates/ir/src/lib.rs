@@ -28,6 +28,7 @@ pub mod builder;
 pub mod cfg;
 pub mod cost;
 pub mod dom;
+pub mod fingerprint;
 pub mod inst;
 pub mod module;
 pub mod opt;
@@ -40,6 +41,7 @@ pub use builder::{FunctionBuilder, ModuleBuilder};
 pub use cfg::Cfg;
 pub use cost::CostModel;
 pub use dom::DomTree;
+pub use fingerprint::section_fingerprints;
 pub use inst::{BinOp, CmpOp, Inst, InstId, InstKind, Operand, UnOp};
 pub use module::{Block, BlockId, FuncId, Function, GlobalInstId, Module};
 pub use types::Ty;

@@ -36,7 +36,7 @@ pub mod wal;
 
 use minpsid_store::{ArtifactStore, StoreError};
 use record::Record;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -133,6 +133,11 @@ struct State {
     accepted: Vec<(u64, u64)>,
     selection: Option<Vec<bool>>,
     quarantine: HashMap<(u64, u64), u8>,
+    /// Latest per-section module identity: `(fingerprint, dense base,
+    /// instruction count)` per function, in function order. Lets
+    /// [`CampaignJournal::open_with_sections`] carry per-instruction
+    /// facts across a module edit.
+    sections: Option<Vec<(u64, u64, u64)>>,
 }
 
 impl State {
@@ -181,6 +186,7 @@ impl State {
             // the supervisor folds them into ProgramOutcome records before
             // anything reaches a campaign WAL. Ignore defensively.
             Record::ShardUnit { .. } => {}
+            Record::SectionMap { entries } => self.sections = Some(entries),
         }
     }
 
@@ -193,6 +199,13 @@ impl State {
             module_fp,
             config_fp,
         });
+        // right after the header so a remapping open finds it before any
+        // outcome record
+        if let Some(entries) = &self.sections {
+            out.push(Record::SectionMap {
+                entries: entries.clone(),
+            });
+        }
         // deterministic order so compaction is reproducible
         let mut golden: Vec<_> = self.golden.iter().collect();
         golden.sort_unstable_by_key(|(k, _)| **k);
@@ -406,6 +419,142 @@ impl CampaignJournal {
         })
     }
 
+    /// [`CampaignJournal::open_with_store`], plus the per-section
+    /// identity of the module this run is about: one `(fingerprint,
+    /// dense base, instruction count)` triple per function, in function
+    /// order (see `minpsid_ir::section_fingerprints`).
+    ///
+    /// On a clean open the map is journaled so future opens can remap.
+    /// If the existing log belongs to a *different module under the same
+    /// config* — the program was edited between runs — and the old log
+    /// carries a section map, this open remaps instead of refusing:
+    /// per-instruction outcomes and quarantines in sections whose
+    /// `(fingerprint, length)` survived the edit are carried over at
+    /// their new dense offsets; everything else (golden digests, program
+    /// outcomes, GA memos, accepted inputs, the selection) is dropped
+    /// for recompute; and the WAL is rewritten under the new header.
+    /// [`CampaignJournal::open`] keeps its strict refuse semantics.
+    pub fn open_with_sections(
+        dir: &Path,
+        module_fp: u64,
+        config_fp: u64,
+        sections: &[(u64, u64, u64)],
+        store: Option<Arc<ArtifactStore>>,
+    ) -> Result<Self, JournalError> {
+        match Self::open_with_store(dir, module_fp, config_fp, store.clone()) {
+            Ok(j) => {
+                j.record_section_map(sections);
+                Ok(j)
+            }
+            Err(JournalError::Mismatch { expected, found })
+                if found.1 == config_fp && found.0 != module_fp =>
+            {
+                match Self::open_remapped(dir, module_fp, config_fp, sections, store, found)? {
+                    Some(j) => Ok(j),
+                    // no section map in the old log (pre-incremental
+                    // journal): fall back to the strict refusal
+                    None => Err(JournalError::Mismatch { expected, found }),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Rebuild the journal from an old module's log by translating dense
+    /// instruction keys through matching sections. `Ok(None)` means the
+    /// old log has no section map and cannot be remapped.
+    fn open_remapped(
+        dir: &Path,
+        module_fp: u64,
+        config_fp: u64,
+        sections: &[(u64, u64, u64)],
+        store: Option<Arc<ArtifactStore>>,
+        old_pair: (u64, u64),
+    ) -> Result<Option<Self>, JournalError> {
+        let path = dir.join(WAL_FILE);
+        let (writer, recovery) = open_wal(&path)?;
+        drop(writer); // the log is rewritten below
+        let mut old = State::default();
+        if let Some(store) = &store {
+            if let Ok(Some((_, bytes))) =
+                store.load_named(WAL_ARTIFACT, &wal_ref_name(old_pair.0, old_pair.1))
+            {
+                for rec in wal::scan_bytes(&bytes).records {
+                    old.apply(rec);
+                }
+            }
+        }
+        for rec in recovery.records {
+            old.apply(rec);
+        }
+        let Some(old_map) = old.sections.take() else {
+            return Ok(None);
+        };
+
+        // Pair old and new sections that share (fingerprint, length), in
+        // function order, so duplicated functions match positionally.
+        let mut pool: HashMap<(u64, u64), VecDeque<u64>> = HashMap::new();
+        for &(fp, base, len) in &old_map {
+            if len > 0 {
+                pool.entry((fp, len)).or_default().push_back(base);
+            }
+        }
+        // (old dense base, length, new dense base) per surviving section
+        let mut intervals: Vec<(u64, u64, u64)> = Vec::new();
+        for &(fp, base, len) in sections {
+            if len == 0 {
+                continue;
+            }
+            if let Some(old_base) = pool.get_mut(&(fp, len)).and_then(VecDeque::pop_front) {
+                intervals.push((old_base, len, base));
+            }
+        }
+        intervals.sort_unstable();
+        let map_dense = |d: u64| -> Option<u64> {
+            let i = intervals.partition_point(|&(ob, _, _)| ob <= d);
+            let &(ob, len, nb) = intervals.get(i.checked_sub(1)?)?;
+            (d - ob < len).then(|| nb + (d - ob))
+        };
+
+        // Only facts keyed by a dense instruction inside a surviving
+        // section carry over; everything module-global is recomputed.
+        let mut state = State::default();
+        for (&(input_fp, dense, k), &outcome) in &old.per_inst {
+            if let Some(nd) = map_dense(dense) {
+                state.per_inst.insert((input_fp, nd, k), outcome);
+            }
+        }
+        for (&(input_fp, dense), &reason) in &old.quarantine {
+            if let Some(nd) = map_dense(dense) {
+                state.quarantine.insert((input_fp, nd), reason);
+            }
+        }
+        state.sections = Some(sections.to_vec());
+
+        let records = state.snapshot(module_fp, config_fp);
+        let writer = rewrite_wal(&path, &records)?;
+        let recovered_records = (state.per_inst.len() + state.quarantine.len()) as u64;
+        minpsid_trace::emit(minpsid_trace::Event::JournalRecovery {
+            records: recovered_records,
+            truncated_bytes: recovery.truncated_bytes,
+            dropped_records: recovery.dropped_records,
+        });
+
+        Ok(Some(CampaignJournal {
+            dir: dir.to_path_buf(),
+            module_fp,
+            config_fp,
+            state: RwLock::new(state),
+            writer: Mutex::new(writer),
+            served: AtomicU64::new(0),
+            appended: AtomicU64::new(0),
+            recovered_records,
+            truncated_bytes: recovery.truncated_bytes,
+            dropped_records: recovery.dropped_records,
+            store,
+        }))
+    }
+
     /// Directory this journal lives in (for "resume with ..." hints).
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -552,6 +701,23 @@ impl CampaignJournal {
         });
     }
 
+    // --- section map ---
+
+    /// The journaled per-section module identity, if any.
+    pub fn section_map(&self) -> Option<Vec<(u64, u64, u64)>> {
+        self.read().sections.clone()
+    }
+
+    /// Journal the module's per-section identity (idempotent).
+    pub fn record_section_map(&self, entries: &[(u64, u64, u64)]) {
+        if self.read().sections.as_deref() == Some(entries) {
+            return;
+        }
+        self.append(Record::SectionMap {
+            entries: entries.to_vec(),
+        });
+    }
+
     // --- durability & maintenance ---
 
     /// Force every appended record to stable storage (end of a stage, or
@@ -671,6 +837,90 @@ mod tests {
         ));
         // the right pair still opens
         assert!(CampaignJournal::open(&dir, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn section_map_round_trips_and_survives_compaction() {
+        let dir = tmpdir("secmap");
+        let map = [(0xaa, 0, 4), (0xbb, 4, 6)];
+        {
+            let j = CampaignJournal::open_with_sections(&dir, 1, 2, &map, None).unwrap();
+            assert_eq!(j.section_map().as_deref(), Some(&map[..]));
+            j.record_section_map(&map); // idempotent: no second record
+            let (_, appended) = j.usage();
+            assert_eq!(appended, 1);
+            j.compact().unwrap();
+        }
+        let j = CampaignJournal::open(&dir, 1, 2).unwrap();
+        assert_eq!(j.section_map().as_deref(), Some(&map[..]));
+    }
+
+    #[test]
+    fn edited_module_remaps_surviving_sections_and_drops_the_rest() {
+        let dir = tmpdir("remap");
+        // module A: func a = insts [0,4), func b = insts [4,10)
+        let old_map = [(0xaa, 0, 4), (0xbb, 4, 6)];
+        {
+            let j = CampaignJournal::open_with_sections(&dir, 100, 2, &old_map, None).unwrap();
+            j.record_golden(1, 111, 5000);
+            j.record_per_inst(1, 1, 0, 2); // func a: dropped by the edit
+            j.record_per_inst(1, 5, 3, 4); // func b, offset 1: survives
+            j.record_quarantine(1, 6, 0); // func b, offset 2: survives
+            j.record_program(1, 0, 1);
+            j.record_eval(77, &[1, 2]);
+            j.record_selection(&[true; 10]);
+            j.sync().unwrap();
+        }
+        // module B: func a edited (new fp, now 5 insts), func b untouched
+        // but shifted to base 5
+        let new_map = [(0xcc, 0, 5), (0xbb, 5, 6)];
+        let j = CampaignJournal::open_with_sections(&dir, 200, 2, &new_map, None).unwrap();
+        // surviving section's facts follow their section to the new base
+        assert_eq!(j.per_inst_outcome(1, 6, 3), Some(4));
+        assert_eq!(j.quarantined_site(1, 7), Some(0));
+        // edited section's facts and module-global facts are gone
+        assert_eq!(j.per_inst_outcome(1, 1, 0), None);
+        assert_eq!(j.golden_digest(1), None);
+        assert_eq!(j.program_outcome(1, 0), None);
+        assert_eq!(j.eval_profile(77), None);
+        assert_eq!(j.selection(), None);
+        assert_eq!(j.section_map().as_deref(), Some(&new_map[..]));
+        drop(j);
+        // the rewritten WAL now belongs to module B: a plain open works
+        // and the carried facts are durable
+        let j = CampaignJournal::open(&dir, 200, 2).unwrap();
+        assert_eq!(j.per_inst_outcome(1, 6, 3), Some(4));
+        // ...and the old module refuses, as it must
+        assert!(matches!(
+            CampaignJournal::open(&dir, 100, 2),
+            Err(JournalError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn remap_requires_a_section_map_and_a_matching_config() {
+        let dir = tmpdir("remap-refuse");
+        let map = [(0xaa, 0, 4)];
+        {
+            // old log written without a section map
+            let j = CampaignJournal::open(&dir, 100, 2).unwrap();
+            j.record_per_inst(1, 1, 0, 2);
+            j.sync().unwrap();
+        }
+        assert!(matches!(
+            CampaignJournal::open_with_sections(&dir, 200, 2, &map, None),
+            Err(JournalError::Mismatch { .. })
+        ));
+        let dir = tmpdir("remap-refuse-cfg");
+        {
+            let j = CampaignJournal::open_with_sections(&dir, 100, 2, &map, None).unwrap();
+            j.sync().unwrap();
+        }
+        // config changed: dense keys may mean different things; refuse
+        assert!(matches!(
+            CampaignJournal::open_with_sections(&dir, 200, 3, &map, None),
+            Err(JournalError::Mismatch { .. })
+        ));
     }
 
     #[test]

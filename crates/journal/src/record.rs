@@ -69,6 +69,14 @@ pub enum Record {
         outcome: u8,
         recovered: bool,
     },
+    /// Per-section identity of the module this WAL belongs to: one
+    /// `(fingerprint, dense base, instruction count)` triple per
+    /// function, in function order. A later open against an *edited*
+    /// module (same config) uses this to remap per-instruction facts:
+    /// sections whose fingerprint and length survive the edit keep their
+    /// outcomes at their new dense offsets; facts in edited sections are
+    /// dropped and recomputed. The latest map wins.
+    SectionMap { entries: Vec<(u64, u64, u64)> },
 }
 
 /// Why a payload failed to decode. Reaching this for a frame that passed
@@ -104,6 +112,7 @@ const TAG_ACCEPTED: u8 = 6;
 const TAG_SELECTION: u8 = 7;
 const TAG_QUARANTINE: u8 = 8;
 const TAG_SHARD_UNIT: u8 = 9;
+const TAG_SECTION_MAP: u8 = 10;
 
 fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -232,6 +241,15 @@ impl Record {
                 buf.push(*outcome);
                 buf.push(u8::from(*recovered));
             }
+            Record::SectionMap { entries } => {
+                buf.push(TAG_SECTION_MAP);
+                put_u64(buf, entries.len() as u64);
+                for &(fp, base, len) in entries {
+                    put_u64(buf, fp);
+                    put_u64(buf, base);
+                    put_u64(buf, len);
+                }
+            }
         }
     }
 
@@ -300,6 +318,17 @@ impl Record {
                 outcome: r.u8()?,
                 recovered: r.u8()? != 0,
             },
+            TAG_SECTION_MAP => {
+                let n = r.u64()?;
+                if n > (r.remaining() / 24) as u64 {
+                    return Err(DecodeError::LengthOverflow(n));
+                }
+                let mut entries = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    entries.push((r.u64()?, r.u64()?, r.u64()?));
+                }
+                Record::SectionMap { entries }
+            }
             t => return Err(DecodeError::UnknownTag(t)),
         };
         if r.remaining() != 0 {
@@ -378,6 +407,10 @@ mod tests {
             outcome: 0,
             recovered: false,
         });
+        rt(Record::SectionMap { entries: vec![] });
+        rt(Record::SectionMap {
+            entries: vec![(0xdead_beef, 0, 12), (u64::MAX, 12, 3)],
+        });
     }
 
     #[test]
@@ -409,6 +442,13 @@ mod tests {
         ));
         let mut buf = vec![super::TAG_SELECTION];
         buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Record::decode(&buf),
+            Err(DecodeError::LengthOverflow(_))
+        ));
+        let mut buf = vec![super::TAG_SECTION_MAP];
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 24]);
         assert!(matches!(
             Record::decode(&buf),
             Err(DecodeError::LengthOverflow(_))

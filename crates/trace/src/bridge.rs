@@ -361,6 +361,24 @@ fn apply(
                 )
                 .inc();
         }
+        Event::SectionEvent { action, units, .. } => {
+            registry
+                .counter(
+                    "minpsid_section_events_total",
+                    "Incremental-campaign section-table dispositions (hit/miss/recompute/compose).",
+                    &[("workload", workload), ("action", action.as_str())],
+                )
+                .inc();
+            if matches!(action, crate::event::SectionAction::Hit) {
+                registry
+                    .counter(
+                        "minpsid_section_injections_served_total",
+                        "Injection outcomes served from sealed section tables instead of executing.",
+                        &[("workload", workload)],
+                    )
+                    .add(*units);
+            }
+        }
         Event::InterpProfile {
             sample_every,
             total_samples,
@@ -638,6 +656,55 @@ mod tests {
         };
         assert_eq!(value("publish", "golden"), Some(SampleValue::Counter(2)));
         assert_eq!(value("quarantine", "ckpt"), Some(SampleValue::Counter(1)));
+    }
+
+    #[test]
+    fn section_events_become_hit_rate_counters() {
+        use crate::event::SectionAction;
+        let registry = Registry::new();
+        let board = StatusBoard::new();
+        let mut st = BridgeState {
+            per_kind: BTreeMap::new(),
+        };
+        let mut feed = |action: SectionAction, units: u64| {
+            apply(
+                &mut st,
+                &ev(Event::SectionEvent {
+                    fp: 0xabcd,
+                    action,
+                    units,
+                }),
+                &registry,
+                &board,
+                "hpccg",
+            )
+        };
+        feed(SectionAction::Hit, 100);
+        feed(SectionAction::Hit, 20);
+        feed(SectionAction::Miss, 0);
+        feed(SectionAction::Recompute, 0);
+        feed(SectionAction::Compose, 3);
+
+        let snap = registry.snapshot();
+        let fam = snap
+            .iter()
+            .find(|f| f.name == "minpsid_section_events_total")
+            .expect("section counter family registered");
+        let by_action = |a: &str| {
+            fam.series
+                .iter()
+                .find(|s| s.labels.iter().any(|(k, v)| k == "action" && v == a))
+                .map(|s| s.value.clone())
+        };
+        assert_eq!(by_action("hit"), Some(SampleValue::Counter(2)));
+        assert_eq!(by_action("miss"), Some(SampleValue::Counter(1)));
+        assert_eq!(by_action("recompute"), Some(SampleValue::Counter(1)));
+        assert_eq!(by_action("compose"), Some(SampleValue::Counter(1)));
+        let served = snap
+            .iter()
+            .find(|f| f.name == "minpsid_section_injections_served_total")
+            .expect("served counter registered");
+        assert_eq!(served.series[0].value, SampleValue::Counter(120));
     }
 
     #[test]

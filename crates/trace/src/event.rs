@@ -25,7 +25,9 @@ use crate::json::{parse, Json, JsonError};
 /// `journal_recovery` carries `dropped_records` — the count of intact
 /// suffix records lost to a checksum mismatch in the *middle* of the WAL
 /// (0 for a plain torn tail).
-pub const SCHEMA_VERSION: u32 = 6;
+/// v7: incremental campaigns emit `section_event` — per-section outcome
+/// table dispositions (hit/miss/recompute) and the final compose step.
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// Which campaign shape produced a progress/end event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -289,6 +291,51 @@ pub enum Event {
         artifact: String,
         bytes: u64,
     },
+    /// Per-section outcome-table disposition in an incremental campaign.
+    /// `fp` is the section's content fingerprint; `units` is the number
+    /// of memoized injection outcomes involved (served outcomes for
+    /// `hit`, composed sections for `compose`, 0 for `miss`/`recompute`).
+    SectionEvent {
+        fp: u64,
+        action: SectionAction,
+        units: u64,
+    },
+}
+
+/// How the table memo disposed of one section (or, for `Compose`, how the
+/// reducer assembled the campaign report from per-section tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionAction {
+    /// A sealed, complete table matched and its outcomes were served.
+    Hit,
+    /// No usable table: absent, stale signature, or sealed incomplete.
+    Miss,
+    /// The table failed store verification, was quarantined, and the
+    /// section re-ran.
+    Recompute,
+    /// The reducer composed per-section results into the final report.
+    Compose,
+}
+
+impl SectionAction {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SectionAction::Hit => "hit",
+            SectionAction::Miss => "miss",
+            SectionAction::Recompute => "recompute",
+            SectionAction::Compose => "compose",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "hit" => Some(SectionAction::Hit),
+            "miss" => Some(SectionAction::Miss),
+            "recompute" => Some(SectionAction::Recompute),
+            "compose" => Some(SectionAction::Compose),
+            _ => None,
+        }
+    }
 }
 
 impl Event {
@@ -319,6 +366,7 @@ impl Event {
             Event::FleetShard { .. } => "fleet_shard",
             Event::FleetSummary { .. } => "fleet_summary",
             Event::StoreEvent { .. } => "store_event",
+            Event::SectionEvent { .. } => "section_event",
         }
     }
 }
@@ -656,6 +704,11 @@ impl TimedEvent {
                 o.set("artifact", Json::Str(artifact.clone()));
                 o.set("bytes", Json::U64(*bytes));
             }
+            Event::SectionEvent { fp, action, units } => {
+                o.set("fp", Json::U64(*fp));
+                o.set("action", Json::Str(action.as_str().to_string()));
+                o.set("units", Json::U64(*units));
+            }
         }
         o.render()
     }
@@ -853,6 +906,12 @@ impl TimedEvent {
                 artifact: field_str(&v, "artifact")?,
                 bytes: field_u64(&v, "bytes")?,
             },
+            "section_event" => Event::SectionEvent {
+                fp: field_u64(&v, "fp")?,
+                action: SectionAction::from_str(&field_str(&v, "action")?)
+                    .ok_or(SchemaError::BadField("action"))?,
+                units: field_u64(&v, "units")?,
+            },
             other => return Err(SchemaError::UnknownKind(other.to_string())),
         };
         Ok(TimedEvent { ts_us, event })
@@ -1037,6 +1096,18 @@ mod tests {
             artifact: "golden".into(),
             bytes: 4096,
         });
+        for action in [
+            SectionAction::Hit,
+            SectionAction::Miss,
+            SectionAction::Recompute,
+            SectionAction::Compose,
+        ] {
+            rt(Event::SectionEvent {
+                fp: u64::MAX,
+                action,
+                units: 120,
+            });
+        }
     }
 
     #[test]
@@ -1046,7 +1117,7 @@ mod tests {
             event: Event::TraceEnd { dur_us: 0 },
         }
         .to_line()
-        .replace("\"v\":6", "\"v\":999");
+        .replace("\"v\":7", "\"v\":999");
         assert!(matches!(
             TimedEvent::parse_line(&line),
             Err(SchemaError::Version(999))
@@ -1056,11 +1127,11 @@ mod tests {
     #[test]
     fn unknown_kind_and_missing_fields_are_rejected() {
         assert!(matches!(
-            TimedEvent::parse_line(r#"{"v":6,"ts_us":0,"kind":"mystery"}"#),
+            TimedEvent::parse_line(r#"{"v":7,"ts_us":0,"kind":"mystery"}"#),
             Err(SchemaError::UnknownKind(_))
         ));
         assert!(matches!(
-            TimedEvent::parse_line(r#"{"v":6,"ts_us":0,"kind":"counter","name":"x"}"#),
+            TimedEvent::parse_line(r#"{"v":7,"ts_us":0,"kind":"counter","name":"x"}"#),
             Err(SchemaError::MissingField("value"))
         ));
         assert!(matches!(

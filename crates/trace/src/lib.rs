@@ -35,7 +35,9 @@ pub mod json;
 pub mod report;
 pub mod sink;
 
-pub use event::{CampaignKind, Event, OutcomeTally, SchemaError, TimedEvent, SCHEMA_VERSION};
+pub use event::{
+    CampaignKind, Event, OutcomeTally, SchemaError, SectionAction, TimedEvent, SCHEMA_VERSION,
+};
 pub use report::{
     parse_log, render_html, render_markdown, summarize, CampaignStat, JournalStat, SchedStat,
     TraceSummary,

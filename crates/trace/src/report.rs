@@ -5,7 +5,7 @@
 //! its line number, so a schema drift is loud instead of producing a
 //! silently wrong report.
 
-use crate::event::{CampaignKind, Event, OutcomeTally, SchemaError, TimedEvent};
+use crate::event::{CampaignKind, Event, OutcomeTally, SchemaError, SectionAction, TimedEvent};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -157,6 +157,8 @@ pub struct TraceSummary {
     pub journal: Option<JournalStat>,
     /// Artifact-store accounting aggregated over `store_event`s.
     pub store: Option<StoreStat>,
+    /// Section-cache accounting aggregated over `section_event`s.
+    pub sections: Option<SectionStat>,
     /// Run-level scheduler accounting (last `sched_summary` event).
     pub sched: Option<SchedStat>,
     /// Raw resilience event counts, present even when the run died
@@ -216,6 +218,19 @@ pub struct StoreStat {
     pub loads: u64,
     pub quarantines: u64,
     pub chaos_flips: u64,
+}
+
+/// Section-level memoization accounting aggregated over
+/// `section_event`s: how much of the campaign was served from cached
+/// per-section outcome tables vs executed fresh.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SectionStat {
+    pub hits: u64,
+    pub misses: u64,
+    pub recomputes: u64,
+    pub composes: u64,
+    /// Injections served from cached tables (sum of `units` on hits).
+    pub served_injections: u64,
 }
 
 /// Process-isolated fleet accounting: worker spawns/deaths, shard
@@ -490,6 +505,18 @@ pub fn summarize(events: &[TimedEvent]) -> TraceSummary {
                     "quarantine" => st.quarantines += 1,
                     "chaos_flip" => st.chaos_flips += 1,
                     _ => {}
+                }
+            }
+            Event::SectionEvent { action, units, .. } => {
+                let st = s.sections.get_or_insert_with(SectionStat::default);
+                match action {
+                    SectionAction::Hit => {
+                        st.hits += 1;
+                        st.served_injections += units;
+                    }
+                    SectionAction::Miss => st.misses += 1,
+                    SectionAction::Recompute => st.recomputes += 1,
+                    SectionAction::Compose => st.composes += 1,
                 }
             }
             Event::FleetSummary {
@@ -774,6 +801,22 @@ pub fn render_markdown(s: &TraceSummary) -> String {
             out,
             "- {} publish(es), {} verified load(s), {} quarantine(s), {} chaos flip(s)\n",
             st.publishes, st.loads, st.quarantines, st.chaos_flips
+        );
+    }
+
+    if let Some(sec) = &s.sections {
+        let _ = writeln!(out, "## Section cache\n");
+        let _ = writeln!(
+            out,
+            "- sections: {} hit, {} miss, {} recompute(d) after corruption; \
+             {} composed report(s)",
+            sec.hits, sec.misses, sec.recomputes, sec.composes
+        );
+        let _ = writeln!(
+            out,
+            "- {} injection(s) served from cached outcome tables ({} section hit rate)\n",
+            sec.served_injections,
+            pct(sec.hits, sec.hits + sec.misses + sec.recomputes)
         );
     }
 

@@ -1,7 +1,9 @@
 //! FFT (SPLASH-2): iterative radix-2 Cooley-Tukey FFT (the scaled-down
 //! stand-in for the six-step method — same butterfly data flow and the
 //! same kind of size-dependent comparisons that produced the paper's
-//! Fig. 3 incubative `icmp`).
+//! Fig. 3 incubative `icmp`). The transform is function-decomposed —
+//! conditioning, bit-reversal, butterflies, output — so each phase is
+//! its own *section* for incremental FI.
 
 use crate::gen::uniform_floats;
 use crate::Benchmark;
@@ -9,13 +11,7 @@ use minpsid::{InputModel, ParamKind, ParamSpec, ParamValue};
 use minpsid_interp::{ProgInput, Scalar, Stream};
 
 pub const SOURCE: &str = r#"
-fn main() {
-    let logn = arg_i(0);
-    let clip = arg_f(1);
-    let n = 1;
-    for b = 0 to logn { n = n * 2; }
-    let re: [float] = alloc(n);
-    let im: [float] = alloc(n);
+fn condition(re: [float], im: [float], clip: float, n: int) {
     for i = 0 to n {
         re[i] = data_f(0, i);
         im[i] = data_f(1, i);
@@ -27,7 +23,10 @@ fn main() {
         if im[i] > clip { im[i] = clip; }
         if im[i] < -clip { im[i] = -clip; }
     }
-    // bit-reversal permutation
+}
+
+// bit-reversal permutation
+fn bitrev(re: [float], im: [float], n: int, logn: int) {
     for i = 0 to n {
         let j = 0;
         let t = i;
@@ -40,7 +39,9 @@ fn main() {
             let ti = im[i]; im[i] = im[j]; im[j] = ti;
         }
     }
-    // butterflies
+}
+
+fn butterflies(re: [float], im: [float], n: int) {
     let len = 2;
     while len <= n {
         let ang = -6.283185307179586 / float(len);
@@ -63,10 +64,26 @@ fn main() {
         }
         len = len * 2;
     }
+}
+
+fn emit(re: [float], im: [float], n: int) {
     for i = 0 to n {
         out_f(re[i]);
         out_f(im[i]);
     }
+}
+
+fn main() {
+    let logn = arg_i(0);
+    let clip = arg_f(1);
+    let n = 1;
+    for b = 0 to logn { n = n * 2; }
+    let re: [float] = alloc(n);
+    let im: [float] = alloc(n);
+    condition(re, im, clip, n);
+    bitrev(re, im, n, logn);
+    butterflies(re, im, n);
+    emit(re, im, n);
 }
 "#;
 

@@ -2,7 +2,10 @@
 //! (matrix-free, as HPCCG's 27-point stencil is — reduced to 3 points for
 //! the scaled-down instance). The convergence test `sqrt(rs2) < tol` is
 //! the canonical input-dependent branch: which iteration it fires on
-//! depends on the right-hand side.
+//! depends on the right-hand side. The kernel is function-decomposed the
+//! way the real HPCCG is (`ddot`/`waxpby`/`sparsemv` + driver): each
+//! function is one *section* for incremental FI, so editing one kernel
+//! routine re-runs only its own (and the driver's) injections.
 
 use crate::gen::uniform_floats;
 use crate::Benchmark;
@@ -25,6 +28,30 @@ fn dot(a: [float], b: [float], n: int) -> float {
     return s;
 }
 
+fn init(x: [float], r: [float], p: [float], n: int) {
+    for i = 0 to n {
+        x[i] = 0.0;
+        r[i] = data_f(0, i);
+        p[i] = r[i];
+    }
+}
+
+fn update(x: [float], r: [float], p: [float], ap: [float], alpha: float, n: int) {
+    for i = 0 to n {
+        x[i] = x[i] + alpha * p[i];
+        r[i] = r[i] - alpha * ap[i];
+    }
+}
+
+fn advance(p: [float], r: [float], beta: float, n: int) {
+    for i = 0 to n { p[i] = r[i] + beta * p[i]; }
+}
+
+fn emit(x: [float], r: [float], n: int) {
+    out_f(sqrt(dot(r, r, n)));
+    for i = 0 to n { out_f(x[i]); }
+}
+
 fn main() {
     let n = arg_i(0);
     let iters = arg_i(1);
@@ -33,33 +60,25 @@ fn main() {
     let r: [float] = alloc(n);
     let p: [float] = alloc(n);
     let ap: [float] = alloc(n);
-    for i = 0 to n {
-        x[i] = 0.0;
-        r[i] = data_f(0, i);
-        p[i] = r[i];
-    }
+    init(x, r, p, n);
     let rs = dot(r, r, n);
     let it = 0;
     while it < iters {
         matvec(p, ap, n);
         let pap = dot(p, ap, n);
         let alpha = rs / pap;
-        for i = 0 to n {
-            x[i] = x[i] + alpha * p[i];
-            r[i] = r[i] - alpha * ap[i];
-        }
+        update(x, r, p, ap, alpha, n);
         let rs2 = dot(r, r, n);
         if sqrt(rs2) < tol {
             it = iters;
         } else {
             let beta = rs2 / rs;
-            for i = 0 to n { p[i] = r[i] + beta * p[i]; }
+            advance(p, r, beta, n);
             rs = rs2;
             it = it + 1;
         }
     }
-    out_f(sqrt(dot(r, r, n)));
-    for i = 0 to n { out_f(x[i]); }
+    emit(x, r, n);
 }
 "#;
 

@@ -2,7 +2,9 @@
 //! Carlo neutronics — binary search on a sorted energy grid plus linear
 //! interpolation over 5 reaction channels. The binary-search comparisons
 //! are textbook incubative instructions: their flip sensitivity depends on
-//! where the lookup energies fall within the grid.
+//! where the lookup energies fall within the grid. The kernel is
+//! function-decomposed (grid search, channel interpolation, driver) so
+//! each routine is one *section* for incremental FI.
 
 use crate::gen::{sorted_grid, uniform_floats};
 use crate::Benchmark;
@@ -10,6 +12,42 @@ use minpsid::{InputModel, ParamSpec, ParamValue};
 use minpsid_interp::{ProgInput, Scalar, Stream};
 
 pub const SOURCE: &str = r#"
+// resonance-region self-shielding correction (cold under the reference
+// input: almost no lookup falls below the reference threshold)
+fn resonance(e: float, acc: float) -> float {
+    return acc + log(1.0 + e) * 0.5;
+}
+
+// binary search: find lo with grid[lo] <= e < grid[lo + 1]
+fn search(ngrid: int, e: float) -> int {
+    let lo = 0;
+    let hi = ngrid - 1;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if data_f(0, mid) > e {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    return lo;
+}
+
+// interpolate all 5 reaction channels, folding into the accumulator in
+// channel order (bitwise-identical to the inline loop it replaced)
+fn channels(lo: int, e: float, acc: float) -> float {
+    let hi = lo + 1;
+    let e0 = data_f(0, lo);
+    let e1 = data_f(0, hi);
+    let f = (e - e0) / (e1 - e0);
+    for c = 0 to 5 {
+        let x0 = data_f(1, lo * 5 + c);
+        let x1 = data_f(1, hi * 5 + c);
+        acc = acc + x0 + f * (x1 - x0);
+    }
+    return acc;
+}
+
 fn main() {
     let ngrid = arg_i(0);
     let nlookups = arg_i(1);
@@ -22,28 +60,10 @@ fn main() {
         // self-shielding correction path (cold under the reference input)
         if e < eres {
             resonant = resonant + 1;
-            acc = acc + log(1.0 + e) * 0.5;
+            acc = resonance(e, acc);
         }
-        // binary search: find lo with grid[lo] <= e < grid[hi]
-        let lo = 0;
-        let hi = ngrid - 1;
-        while hi - lo > 1 {
-            let mid = (lo + hi) / 2;
-            if data_f(0, mid) > e {
-                hi = mid;
-            } else {
-                lo = mid;
-            }
-        }
-        let e0 = data_f(0, lo);
-        let e1 = data_f(0, hi);
-        let f = (e - e0) / (e1 - e0);
-        // interpolate all 5 reaction channels
-        for c = 0 to 5 {
-            let x0 = data_f(1, lo * 5 + c);
-            let x1 = data_f(1, hi * 5 + c);
-            acc = acc + x0 + f * (x1 - x0);
-        }
+        let lo = search(ngrid, e);
+        acc = channels(lo, e, acc);
     }
     out_f(acc);
     out_i(resonant);
